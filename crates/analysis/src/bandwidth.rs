@@ -1,0 +1,224 @@
+//! Accumulated bandwidth-usage time series (Fig 7 and Fig 8).
+//!
+//! The paper plots, for selected site pairs, the bandwidth used by the
+//! matched transfers over time: in each time bucket, the sum over active
+//! transfers of their mean rates. Fig 7 shows six *remote* links (usage
+//! mostly under 10 MBps with spikes to 60–130 MBps, asymmetric by
+//! direction); Fig 8 shows six *local* sites (higher but fluctuating, with
+//! intermittent drops).
+
+use dmsa_metastore::{MetaStore, Sym, TransferRecord};
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One series point: bucket start time and usage in MB/s.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UsagePoint {
+    /// Bucket start.
+    pub t: SimTime,
+    /// Accumulated usage, megabytes/second.
+    pub mbps: f64,
+}
+
+/// Bandwidth-usage series for one directed site pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UsageSeries {
+    /// Source site symbol.
+    pub src: Sym,
+    /// Destination site symbol.
+    pub dst: Sym,
+    /// Bucket width.
+    pub bucket: SimDuration,
+    /// Non-empty buckets in time order.
+    pub points: Vec<UsagePoint>,
+    /// Transfers contributing.
+    pub n_transfers: usize,
+}
+
+impl UsageSeries {
+    /// Peak usage (0 for an empty series).
+    pub fn peak_mbps(&self) -> f64 {
+        self.points.iter().map(|p| p.mbps).fold(0.0, f64::max)
+    }
+
+    /// Mean over non-empty buckets (0 for an empty series).
+    pub fn mean_mbps(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.mbps).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Build the usage series for the directed pair `src → dst` from the given
+/// transfers (typically a match set's transfers, per the paper).
+pub fn usage_series<'a>(
+    transfers: impl Iterator<Item = &'a TransferRecord>,
+    src: Sym,
+    dst: Sym,
+    bucket: SimDuration,
+) -> UsageSeries {
+    let bucket_ms = bucket.as_millis().max(1);
+    let mut acc: HashMap<i64, f64> = HashMap::new();
+    let mut n = 0usize;
+    for t in transfers {
+        if t.source_site != src || t.destination_site != dst {
+            continue;
+        }
+        n += 1;
+        let rate_mbps = t.throughput_bytes_per_sec() / 1e6;
+        let span = Interval::new(t.starttime, t.endtime);
+        if span.is_empty() {
+            continue;
+        }
+        let first = span.start.as_millis().div_euclid(bucket_ms);
+        let last = (span.end.as_millis() - 1).div_euclid(bucket_ms);
+        for b in first..=last {
+            let bs = SimTime::from_millis(b * bucket_ms);
+            let be = bs + bucket;
+            let overlap = span.intersect(&Interval::new(bs, be)).len().as_millis() as f64;
+            // Contribution weighted by in-bucket residency.
+            *acc.entry(b).or_insert(0.0) += rate_mbps * overlap / bucket_ms as f64;
+        }
+    }
+    let mut points: Vec<UsagePoint> = acc
+        .into_iter()
+        .map(|(b, mbps)| UsagePoint {
+            t: SimTime::from_millis(b * bucket_ms),
+            mbps,
+        })
+        .collect();
+    points.sort_by_key(|p| p.t);
+    UsageSeries {
+        src,
+        dst,
+        bucket,
+        points,
+        n_transfers: n,
+    }
+}
+
+/// The site pairs with the most matched transfers — how we pick the "six
+/// representative connections" of Fig 7/8.
+pub fn busiest_pairs(
+    store: &MetaStore,
+    transfer_ids: &[u32],
+    local: bool,
+    k: usize,
+) -> Vec<(Sym, Sym, usize)> {
+    let mut counts: HashMap<(Sym, Sym), usize> = HashMap::new();
+    for &ti in transfer_ids {
+        let t = &store.transfers[ti as usize];
+        let is_local =
+            t.source_site == t.destination_site && store.is_valid_site(t.source_site);
+        if is_local != local {
+            continue;
+        }
+        // Skip pairs with unidentified endpoints: the figures name sites.
+        if !store.is_valid_site(t.source_site) || !store.is_valid_site(t.destination_site) {
+            continue;
+        }
+        *counts.entry((t.source_site, t.destination_site)).or_insert(0) += 1;
+    }
+    let mut pairs: Vec<(Sym, Sym, usize)> = counts
+        .into_iter()
+        .map(|((s, d), c)| (s, d, c))
+        .collect();
+    pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_metastore::SymbolTable;
+    use dmsa_rucio_sim::Activity;
+
+    fn transfer(src: Sym, dst: Sym, start_s: i64, end_s: i64, bytes: u64) -> TransferRecord {
+        TransferRecord {
+            transfer_id: 0,
+            lfn: SymbolTable::UNKNOWN,
+            dataset: SymbolTable::UNKNOWN,
+            proddblock: SymbolTable::UNKNOWN,
+            scope: SymbolTable::UNKNOWN,
+            file_size: bytes,
+            starttime: SimTime::from_secs(start_s),
+            endtime: SimTime::from_secs(end_s),
+            source_site: src,
+            destination_site: dst,
+            activity: Activity::AnalysisDownload,
+            jeditaskid: None,
+            is_download: true,
+            is_upload: false,
+            gt_pandaid: None,
+            gt_source_site: src,
+            gt_destination_site: dst,
+            gt_file_size: bytes,
+        }
+    }
+
+    #[test]
+    fn single_transfer_fills_its_buckets() {
+        let (a, b) = (Sym(1), Sym(2));
+        // 100 MB over 100 s => 1 MB/s, spanning two 60 s buckets.
+        let ts = vec![transfer(a, b, 0, 100, 100_000_000)];
+        let s = usage_series(ts.iter(), a, b, SimDuration::from_secs(60));
+        assert_eq!(s.n_transfers, 1);
+        assert_eq!(s.points.len(), 2);
+        // First bucket fully covered: 1 MB/s; second covered 40/60.
+        assert!((s.points[0].mbps - 1.0).abs() < 1e-9);
+        assert!((s.points[1].mbps - 1.0 * 40.0 / 60.0).abs() < 1e-9);
+        assert!((s.peak_mbps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_transfers_accumulate() {
+        let (a, b) = (Sym(1), Sym(2));
+        let ts = vec![
+            transfer(a, b, 0, 60, 60_000_000),
+            transfer(a, b, 0, 60, 120_000_000),
+        ];
+        let s = usage_series(ts.iter(), a, b, SimDuration::from_secs(60));
+        assert_eq!(s.points.len(), 1);
+        assert!((s.points[0].mbps - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_is_respected() {
+        let (a, b) = (Sym(1), Sym(2));
+        let ts = vec![transfer(a, b, 0, 10, 1_000_000)];
+        let rev = usage_series(ts.iter(), b, a, SimDuration::from_secs(60));
+        assert_eq!(rev.n_transfers, 0);
+        assert!(rev.points.is_empty());
+        assert_eq!(rev.mean_mbps(), 0.0);
+    }
+
+    #[test]
+    fn busiest_pairs_split_local_remote() {
+        let mut store = MetaStore::new();
+        let a = store.register_site("A");
+        let b = store.register_site("B");
+        store.transfers.push(transfer(a, a, 0, 10, 1));
+        store.transfers.push(transfer(a, a, 20, 30, 1));
+        store.transfers.push(transfer(a, b, 0, 10, 1));
+        let ids: Vec<u32> = (0..3).collect();
+        let local = busiest_pairs(&store, &ids, true, 5);
+        assert_eq!(local, vec![(a, a, 2)]);
+        let remote = busiest_pairs(&store, &ids, false, 5);
+        assert_eq!(remote, vec![(a, b, 1)]);
+    }
+
+    #[test]
+    fn unknown_endpoints_are_skipped_in_pair_selection() {
+        let mut store = MetaStore::new();
+        let a = store.register_site("A");
+        store
+            .transfers
+            .push(transfer(a, SymbolTable::UNKNOWN, 0, 10, 1));
+        let remote = busiest_pairs(&store, &[0], false, 5);
+        assert!(remote.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Case-study extraction and anomaly detectors (Figs 10–12, Table 3).
+//!
+//! The paper's three case studies each exhibit a distinct pathology:
+//!
+//! * **Fig 10** — a *successful* job that spent 83 % of its queue on three
+//!   strictly sequential local transfers with a 17.7× throughput spread:
+//!   bandwidth under-utilization from serialized staging.
+//! * **Fig 11** — a *failed* job whose 20.5 GB transfer spanned both the
+//!   queuing and wall phases, occupying >90 % of the lifetime.
+//! * **Fig 12 / Table 3** — an RM2-matched job whose files had already been
+//!   delivered once (redundant transfers) and whose `UNKNOWN` destination
+//!   is recoverable from byte-identical duplicates.
+//!
+//! [`JobTimeline`] renders any matched job in the same shape the paper's
+//! timeline figures use; the `find_*` selectors pick the figure-worthy
+//! specimens out of a match set.
+
+use crate::overlap::{all_overlaps, job_overlap};
+use dmsa_core::{MatchSet, MatchedJob};
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One transfer bar of a timeline figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineTransfer {
+    /// Transfer index in the store.
+    pub transfer_idx: u32,
+    /// Recorded start.
+    pub start: SimTime,
+    /// Recorded end.
+    pub end: SimTime,
+    /// Recorded size, bytes.
+    pub bytes: u64,
+    /// Mean throughput, bytes/second.
+    pub throughput: f64,
+    /// Download (towards the computing site) vs upload.
+    pub is_download: bool,
+    /// Recorded source site name.
+    pub source: String,
+    /// Recorded destination site name.
+    pub destination: String,
+}
+
+/// A matched job's full timeline (the shape of Figs 10–12).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobTimeline {
+    /// `pandaid`.
+    pub pandaid: u64,
+    /// Creation instant.
+    pub creation: SimTime,
+    /// Execution start (queue end).
+    pub start: SimTime,
+    /// Completion.
+    pub end: SimTime,
+    /// Job status letter.
+    pub job_status: char,
+    /// Error code if failed.
+    pub error_code: Option<u32>,
+    /// Computing site name.
+    pub computing_site: String,
+    /// Transfer-time percentage of the queue.
+    pub transfer_percent: f64,
+    /// The matched transfers in start order.
+    pub transfers: Vec<TimelineTransfer>,
+}
+
+impl JobTimeline {
+    /// Build the timeline of one matched job.
+    pub fn build(store: &MetaStore, mj: &MatchedJob) -> JobTimeline {
+        let job = &store.jobs[mj.job_idx as usize];
+        let o = job_overlap(store, mj);
+        let mut transfers: Vec<TimelineTransfer> = mj
+            .transfers
+            .iter()
+            .map(|&ti| {
+                let t = &store.transfers[ti as usize];
+                TimelineTransfer {
+                    transfer_idx: ti,
+                    start: t.starttime,
+                    end: t.endtime,
+                    bytes: t.file_size,
+                    throughput: t.throughput_bytes_per_sec(),
+                    is_download: t.is_download,
+                    source: store.name(t.source_site).to_string(),
+                    destination: store.name(t.destination_site).to_string(),
+                }
+            })
+            .collect();
+        transfers.sort_by_key(|t| t.start);
+        JobTimeline {
+            pandaid: job.pandaid,
+            creation: job.creationtime,
+            start: job.starttime,
+            end: job.endtime,
+            job_status: job.status.letter(),
+            error_code: job.error_code,
+            computing_site: store.name(job.computingsite).to_string(),
+            transfer_percent: o.percent,
+            transfers,
+        }
+    }
+
+    /// Are the transfers strictly sequential (each starts at or after the
+    /// previous one ends)? With ≥2 transfers this is the Fig 10 evidence
+    /// of serialized staging.
+    pub fn transfers_sequential(&self) -> bool {
+        self.transfers
+            .windows(2)
+            .all(|w| w[1].start >= w[0].end)
+    }
+
+    /// Max/min throughput ratio across transfers (1.0 for fewer than two).
+    pub fn throughput_spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for t in &self.transfers {
+            lo = lo.min(t.throughput);
+            hi = hi.max(t.throughput);
+        }
+        if self.transfers.len() < 2 || lo <= 0.0 {
+            1.0
+        } else {
+            hi / lo
+        }
+    }
+
+    /// Does any *stage-in* transfer cross the queue/wall boundary — i.e.
+    /// start during queuing and finish during execution (the Fig 11
+    /// anomaly)? Uploads legitimately run during wall time and don't count.
+    pub fn any_transfer_spans_wall(&self) -> bool {
+        self.transfers
+            .iter()
+            .any(|t| t.is_download && t.start < self.start && t.end > self.start)
+    }
+}
+
+/// Fig 10 selector: the successful all-local job whose staging was
+/// strictly sequential, preferring specimens that also show a large
+/// throughput spread (the paper's case pairs 83 % queue share with a
+/// 17.7x spread between its fastest and slowest transfer).
+pub fn find_sequential_staging_case(store: &MetaStore, set: &MatchSet) -> Option<JobTimeline> {
+    let overlaps = all_overlaps(store, set);
+    let mut best: Option<(f64, JobTimeline)> = None;
+    for (mj, o) in set.jobs.iter().zip(&overlaps) {
+        if !o.job_succeeded || !o.all_local || mj.transfers.len() < 2 {
+            continue;
+        }
+        let tl = JobTimeline::build(store, mj);
+        if !tl.transfers_sequential() {
+            continue;
+        }
+        // Spread dominates, percentage breaks ties: a 15x spread at 60 %
+        // queue share is figure-worthier than 1x at 90 %.
+        let score = tl.throughput_spread().min(50.0) * 1_000.0 + tl.transfer_percent;
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, tl));
+        }
+    }
+    best.map(|(_, tl)| tl)
+}
+
+/// Fig 11 selector: the failed job whose transfers extend furthest into
+/// its wall time (relative to lifetime).
+pub fn find_spanning_failure_case(store: &MetaStore, set: &MatchSet) -> Option<JobTimeline> {
+    let mut best: Option<(f64, JobTimeline)> = None;
+    for mj in &set.jobs {
+        let job = &store.jobs[mj.job_idx as usize];
+        if job.status != dmsa_panda_sim::JobStatus::Failed {
+            continue;
+        }
+        let tl = JobTimeline::build(store, mj);
+        if !tl.any_transfer_spans_wall() {
+            continue;
+        }
+        // Fraction of the lifetime covered by the longest transfer.
+        let lifetime = (tl.end - tl.creation).as_secs_f64().max(1.0);
+        let longest = tl
+            .transfers
+            .iter()
+            .map(|t| (t.end - t.start).as_secs_f64())
+            .fold(0.0, f64::max);
+        let frac = longest / lifetime;
+        if best.as_ref().is_none_or(|(f, _)| frac > *f) {
+            best = Some((frac, tl));
+        }
+    }
+    best.map(|(_, tl)| tl)
+}
+
+/// Fig 12 selector: an RM2-matched job with at least one unknown-endpoint
+/// transfer whose file was also delivered with valid metadata nearby
+/// (redundant + inferable). Returns the timeline plus the witness indices.
+pub fn find_redundant_unknown_case(
+    store: &MetaStore,
+    set: &MatchSet,
+    dup_window: dmsa_simcore::SimDuration,
+) -> Option<(JobTimeline, Vec<u32>)> {
+    let inferences = dmsa_core::infer::infer_sites(store, set, dup_window);
+    for mj in &set.jobs {
+        let witnesses: Vec<u32> = inferences
+            .iter()
+            .filter(|inf| mj.transfers.binary_search(&inf.transfer_idx).is_ok())
+            .filter_map(|inf| match inf.evidence {
+                dmsa_core::infer::InferenceEvidence::JobLinkAndDuplicate { witness } => {
+                    Some(witness)
+                }
+                _ => None,
+            })
+            .collect();
+        if !witnesses.is_empty() {
+            return Some((JobTimeline::build(store, mj), witnesses));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_core::{MatchMethod, MatchedJob};
+    use dmsa_metastore::{SymbolTable, TransferRecord};
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_rucio_sim::Activity;
+
+    struct Fx {
+        store: MetaStore,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            let mut store = MetaStore::new();
+            store.register_site("A");
+            Fx { store }
+        }
+
+        fn site(&mut self, name: &str) -> dmsa_metastore::Sym {
+            self.store.register_site(name)
+        }
+
+        fn job(&mut self, pandaid: u64, c: i64, s: i64, e: i64, ok: bool) -> u32 {
+            let site = self.store.symbols.get("A").unwrap();
+            self.store.jobs.push(dmsa_metastore::JobRecord {
+                pandaid,
+                jeditaskid: 1,
+                computingsite: site,
+                creationtime: SimTime::from_secs(c),
+                starttime: SimTime::from_secs(s),
+                endtime: SimTime::from_secs(e),
+                ninputfilebytes: 0,
+                noutputfilebytes: 0,
+                io_mode: IoMode::StageIn,
+                status: if ok { JobStatus::Finished } else { JobStatus::Failed },
+                task_status: TaskStatus::Done,
+                error_code: (!ok).then_some(1305),
+                is_user_analysis: true,
+            });
+            (self.store.jobs.len() - 1) as u32
+        }
+
+        fn transfer(&mut self, a: i64, b: i64, bytes: u64) -> u32 {
+            let site = self.store.symbols.get("A").unwrap();
+            let id = self.store.transfers.len() as u64;
+            self.store.transfers.push(TransferRecord {
+                transfer_id: id,
+                lfn: SymbolTable::UNKNOWN,
+                dataset: SymbolTable::UNKNOWN,
+                proddblock: SymbolTable::UNKNOWN,
+                scope: SymbolTable::UNKNOWN,
+                file_size: bytes,
+                starttime: SimTime::from_secs(a),
+                endtime: SimTime::from_secs(b),
+                source_site: site,
+                destination_site: site,
+                activity: Activity::AnalysisDownload,
+                jeditaskid: Some(1),
+                is_download: true,
+                is_upload: false,
+                gt_pandaid: None,
+                gt_source_site: site,
+                gt_destination_site: site,
+                gt_file_size: bytes,
+            });
+            id as u32
+        }
+    }
+
+    fn set_of(jobs: Vec<MatchedJob>) -> MatchSet {
+        MatchSet {
+            method: MatchMethod::Exact,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn timeline_orders_transfers_and_computes_spread() {
+        let mut fx = Fx::new();
+        let j = fx.job(10, 0, 400, 1000, true);
+        // Fig 10 shape: three sequential transfers, wildly different rates.
+        let t1 = fx.transfer(100, 200, 2_100_000_000); // 21 MB/s
+        let t0 = fx.transfer(0, 100, 4_400_000_000); // 44 MB/s
+        let t2 = fx.transfer(200, 390, 500_000_000); // 2.6 MB/s
+        let mj = MatchedJob {
+            job_idx: j,
+            transfers: vec![t0, t1, t2].tap_sort(),
+        };
+        let tl = JobTimeline::build(&fx.store, &mj);
+        assert_eq!(tl.transfers.len(), 3);
+        assert!(tl.transfers.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(tl.transfers_sequential());
+        assert!(tl.throughput_spread() > 10.0);
+        assert!(!tl.any_transfer_spans_wall());
+    }
+
+    trait TapSort {
+        fn tap_sort(self) -> Self;
+    }
+    impl TapSort for Vec<u32> {
+        fn tap_sort(mut self) -> Self {
+            self.sort_unstable();
+            self.dedup();
+            self
+        }
+    }
+
+    #[test]
+    fn sequential_case_selector_prefers_highest_percent() {
+        let mut fx = Fx::new();
+        let j1 = fx.job(10, 0, 100, 500, true);
+        let a = fx.transfer(0, 10, 1_000);
+        let b = fx.transfer(10, 20, 1_000);
+        let j2 = fx.job(11, 0, 100, 500, true);
+        let c = fx.transfer(0, 40, 1_000);
+        let d = fx.transfer(40, 95, 1_000);
+        let set = set_of(vec![
+            MatchedJob {
+                job_idx: j1,
+                transfers: vec![a, b],
+            },
+            MatchedJob {
+                job_idx: j2,
+                transfers: vec![c, d],
+            },
+        ]);
+        let tl = find_sequential_staging_case(&fx.store, &set).unwrap();
+        assert_eq!(tl.pandaid, 11, "95 % beats 20 %");
+    }
+
+    #[test]
+    fn spanning_failure_selector_requires_failure_and_span() {
+        let mut fx = Fx::new();
+        // Succeeded job with a spanning transfer: not eligible.
+        let j1 = fx.job(10, 0, 100, 2000, true);
+        let a = fx.transfer(50, 1900, 20_500_000_000);
+        // Failed job with a spanning transfer: the Fig 11 case.
+        let j2 = fx.job(11, 0, 100, 2000, false);
+        let b = fx.transfer(60, 1950, 20_500_000_000);
+        // Failed job without spanning: not eligible.
+        let j3 = fx.job(12, 0, 100, 2000, false);
+        let c = fx.transfer(0, 50, 4_600_000_000);
+        let set = set_of(vec![
+            MatchedJob { job_idx: j1, transfers: vec![a] },
+            MatchedJob { job_idx: j2, transfers: vec![b] },
+            MatchedJob { job_idx: j3, transfers: vec![c] },
+        ]);
+        let tl = find_spanning_failure_case(&fx.store, &set).unwrap();
+        assert_eq!(tl.pandaid, 11);
+        assert_eq!(tl.job_status, 'F');
+        assert_eq!(tl.error_code, Some(1305));
+        assert!(tl.any_transfer_spans_wall());
+    }
+
+    #[test]
+    fn redundant_unknown_selector_finds_fig12_shape() {
+        let mut fx = Fx::new();
+        let cern = fx.site("CERN-PROD");
+        let j = fx.job(6585617863, 0, 1277, 4000, true);
+        // Override the job site to CERN.
+        fx.store.jobs[j as usize].computingsite = cern;
+        // Witness: earlier valid delivery of the same bytes.
+        let w = fx.transfer(100, 130, 5_243_410_528);
+        fx.store.transfers[w as usize].source_site = cern;
+        fx.store.transfers[w as usize].destination_site = cern;
+        fx.store.transfers[w as usize].lfn = SymbolTable::UNKNOWN;
+        // Matched transfer with unknown destination.
+        let m = fx.transfer(1180, 1271, 5_243_410_528);
+        fx.store.transfers[m as usize].source_site = cern;
+        fx.store.transfers[m as usize].destination_site = SymbolTable::UNKNOWN;
+        let set = MatchSet {
+            method: MatchMethod::Rm2,
+            jobs: vec![MatchedJob {
+                job_idx: j,
+                transfers: vec![m],
+            }],
+        };
+        let (tl, witnesses) =
+            find_redundant_unknown_case(&fx.store, &set, dmsa_simcore::SimDuration::from_days(1))
+                .unwrap();
+        assert_eq!(tl.pandaid, 6585617863);
+        assert_eq!(witnesses, vec![w]);
+    }
+
+    #[test]
+    fn selectors_return_none_on_empty_sets() {
+        let fx = Fx::new();
+        let set = set_of(vec![]);
+        assert!(find_sequential_staging_case(&fx.store, &set).is_none());
+        assert!(find_spanning_failure_case(&fx.store, &set).is_none());
+        assert!(find_redundant_unknown_case(
+            &fx.store,
+            &set,
+            dmsa_simcore::SimDuration::from_days(1)
+        )
+        .is_none());
+    }
+}

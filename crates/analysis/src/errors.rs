@@ -1,0 +1,202 @@
+//! Error-distribution analysis.
+//!
+//! The paper's introduction claims that uncoordinated optimization
+//! produces "altered error distributions" — e.g. §3.1: "shifting failure
+//! patterns from the network to the compute infrastructure". This module
+//! makes that measurable: it cross-tabulates job error codes against the
+//! staging burden (transfer-time percentage bands), so benches can assert
+//! that staging-related codes (stage-in timeout, overlay failures)
+//! dominate the high-staging bands while payload errors dominate the
+//! low-staging bands.
+
+use crate::overlap::JobTransferOverlap;
+use dmsa_metastore::MetaStore;
+use dmsa_panda_sim::types::error_codes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Staging-burden band of a job.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum StagingBand {
+    /// Transfer time under 10 % of the queue.
+    Low,
+    /// 10–50 %.
+    Medium,
+    /// Above 50 %.
+    High,
+}
+
+impl StagingBand {
+    /// Classify a transfer-time percentage.
+    pub fn of(percent: f64) -> StagingBand {
+        if percent < 10.0 {
+            StagingBand::Low
+        } else if percent < 50.0 {
+            StagingBand::Medium
+        } else {
+            StagingBand::High
+        }
+    }
+
+    /// All bands in order.
+    pub const ALL: [StagingBand; 3] = [StagingBand::Low, StagingBand::Medium, StagingBand::High];
+}
+
+/// Whether an error code implicates the staging path.
+pub fn is_staging_related(code: u32) -> bool {
+    matches!(
+        code,
+        error_codes::STAGEIN_TIMEOUT | error_codes::OVERLAY_FAILURE | error_codes::STAGEOUT_FAILURE
+    )
+}
+
+/// Error counts in one staging band.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BandErrors {
+    /// Failed jobs per error code.
+    pub by_code: HashMap<u32, usize>,
+    /// Jobs in the band (any status).
+    pub n_jobs: usize,
+    /// Failed jobs in the band.
+    pub n_failed: usize,
+}
+
+impl BandErrors {
+    /// Fraction of failures with staging-related codes (`None` if no
+    /// failures).
+    pub fn staging_related_fraction(&self) -> Option<f64> {
+        if self.n_failed == 0 {
+            return None;
+        }
+        let staging: usize = self
+            .by_code
+            .iter()
+            .filter(|(&c, _)| is_staging_related(c))
+            .map(|(_, &n)| n)
+            .sum();
+        Some(staging as f64 / self.n_failed as f64)
+    }
+
+    /// Failure rate of the band (`None` if empty).
+    pub fn failure_rate(&self) -> Option<f64> {
+        (self.n_jobs > 0).then(|| self.n_failed as f64 / self.n_jobs as f64)
+    }
+}
+
+/// Cross-tabulate matched jobs' error codes by staging band.
+pub fn error_distribution(
+    store: &MetaStore,
+    overlaps: &[JobTransferOverlap],
+) -> HashMap<StagingBand, BandErrors> {
+    let mut out: HashMap<StagingBand, BandErrors> = HashMap::new();
+    for band in StagingBand::ALL {
+        out.insert(band, BandErrors::default());
+    }
+    for o in overlaps {
+        let band = StagingBand::of(o.percent);
+        let entry = out.get_mut(&band).expect("band initialized");
+        entry.n_jobs += 1;
+        let job = &store.jobs[o.job_idx as usize];
+        if let Some(code) = job.error_code {
+            entry.n_failed += 1;
+            *entry.by_code.entry(code).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_metastore::JobRecord;
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_simcore::SimTime;
+
+    fn overlap(job_idx: u32, percent: f64) -> JobTransferOverlap {
+        JobTransferOverlap {
+            job_idx,
+            pandaid: job_idx as u64,
+            queue_secs: 100.0,
+            transfer_secs: percent,
+            percent,
+            transferred_bytes: 0,
+            all_local: true,
+            all_remote: false,
+            spans_wall: false,
+            job_succeeded: false,
+            task_succeeded: true,
+        }
+    }
+
+    fn store_with_errors(codes: &[Option<u32>]) -> MetaStore {
+        let mut store = MetaStore::new();
+        let site = store.register_site("A");
+        for (i, &code) in codes.iter().enumerate() {
+            store.jobs.push(JobRecord {
+                pandaid: i as u64,
+                jeditaskid: 0,
+                computingsite: site,
+                creationtime: SimTime::EPOCH,
+                starttime: SimTime::from_secs(100),
+                endtime: SimTime::from_secs(200),
+                ninputfilebytes: 0,
+                noutputfilebytes: 0,
+                io_mode: IoMode::StageIn,
+                status: if code.is_some() {
+                    JobStatus::Failed
+                } else {
+                    JobStatus::Finished
+                },
+                task_status: TaskStatus::Done,
+                error_code: code,
+                is_user_analysis: true,
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn bands_classify_percentages() {
+        assert_eq!(StagingBand::of(0.0), StagingBand::Low);
+        assert_eq!(StagingBand::of(9.99), StagingBand::Low);
+        assert_eq!(StagingBand::of(10.0), StagingBand::Medium);
+        assert_eq!(StagingBand::of(49.9), StagingBand::Medium);
+        assert_eq!(StagingBand::of(50.0), StagingBand::High);
+        assert_eq!(StagingBand::of(100.0), StagingBand::High);
+    }
+
+    #[test]
+    fn staging_related_codes() {
+        assert!(is_staging_related(error_codes::STAGEIN_TIMEOUT));
+        assert!(is_staging_related(error_codes::OVERLAY_FAILURE));
+        assert!(!is_staging_related(error_codes::PAYLOAD_SEGV));
+        assert!(!is_staging_related(error_codes::NO_DISK_SPACE));
+    }
+
+    #[test]
+    fn distribution_cross_tabulates() {
+        let store = store_with_errors(&[
+            Some(error_codes::PAYLOAD_SEGV),     // job 0: low band
+            Some(error_codes::STAGEIN_TIMEOUT),  // job 1: high band
+            None,                                // job 2: high band, ok
+            Some(error_codes::OVERLAY_FAILURE),  // job 3: high band
+        ]);
+        let overlaps = vec![
+            overlap(0, 2.0),
+            overlap(1, 80.0),
+            overlap(2, 90.0),
+            overlap(3, 60.0),
+        ];
+        let dist = error_distribution(&store, &overlaps);
+        let low = &dist[&StagingBand::Low];
+        let high = &dist[&StagingBand::High];
+        assert_eq!(low.n_jobs, 1);
+        assert_eq!(low.staging_related_fraction(), Some(0.0));
+        assert_eq!(high.n_jobs, 3);
+        assert_eq!(high.n_failed, 2);
+        assert_eq!(high.staging_related_fraction(), Some(1.0));
+        assert!((high.failure_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dist[&StagingBand::Medium].n_jobs, 0);
+        assert_eq!(dist[&StagingBand::Medium].failure_rate(), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig 2: the cumulative managed-volume curve, formatted for reporting.
+
+use dmsa_rucio_sim::growth::{volume_at, GrowthPoint};
+use serde::{Deserialize, Serialize};
+
+/// One reporting row of the Fig 2 series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct YearVolume {
+    /// Calendar year (mid-year sample point).
+    pub year: u32,
+    /// Cumulative volume, exabytes.
+    pub exabytes: f64,
+}
+
+/// Downsample a monthly growth series to mid-year points.
+pub fn yearly(series: &[GrowthPoint]) -> Vec<YearVolume> {
+    let Some(last) = series.last() else {
+        return Vec::new();
+    };
+    let first_year = series[0].year.floor() as u32;
+    let last_year = last.year.floor() as u32;
+    (first_year..=last_year)
+        .filter_map(|y| {
+            volume_at(series, y as f64 + 0.5).map(|v| YearVolume {
+                year: y,
+                exabytes: v,
+            })
+        })
+        .collect()
+}
+
+/// Growth multiple between two years (`None` if either is missing or the
+/// earlier volume is zero).
+pub fn growth_multiple(series: &[GrowthPoint], from_year: f64, to_year: f64) -> Option<f64> {
+    let a = volume_at(series, from_year)?;
+    let b = volume_at(series, to_year)?;
+    (a > 0.0).then(|| b / a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_rucio_sim::growth::growth_series;
+    use dmsa_simcore::RngFactory;
+
+    #[test]
+    fn yearly_downsampling_is_monotone() {
+        let s = growth_series(&RngFactory::new(1), 2024.5);
+        let y = yearly(&s);
+        assert!(y.len() >= 15);
+        assert_eq!(y[0].year, 2009);
+        assert!(y.windows(2).all(|w| w[1].exabytes >= w[0].exabytes));
+    }
+
+    #[test]
+    fn growth_multiple_2018_to_2024_exceeds_two() {
+        let s = growth_series(&RngFactory::new(1), 2024.5);
+        let m = growth_multiple(&s, 2018.5, 2024.5).unwrap();
+        assert!(m >= 2.0, "paper: more than a doubling since 2018, got {m}");
+    }
+
+    #[test]
+    fn empty_series_behaves() {
+        assert!(yearly(&[]).is_empty());
+        assert!(growth_multiple(&[], 2018.0, 2024.0).is_none());
+    }
+}

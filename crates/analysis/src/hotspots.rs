@@ -1,0 +1,176 @@
+//! Site-level queueing hot spots (§5.3).
+//!
+//! The paper's Fig 5/6 comparison concludes that "some individual sites
+//! experienced server queuing delays despite using local transfers" — a
+//! site-level, not job-level, pathology. This module aggregates user-job
+//! queue times per computing site and ranks the hot spots, quantifying
+//! the claim that strictly following data locality can park jobs behind
+//! enormous local queues while remote capacity idles.
+
+use dmsa_metastore::{MetaStore, Sym};
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::stats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Queueing statistics of one computing site.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SiteQueueStats {
+    /// Site symbol.
+    pub site: Sym,
+    /// User jobs that ran there (within the window).
+    pub n_jobs: usize,
+    /// Mean queue time, seconds.
+    pub mean_queue_secs: f64,
+    /// 95th percentile queue time, seconds.
+    pub p95_queue_secs: f64,
+    /// Maximum queue time, seconds.
+    pub max_queue_secs: f64,
+    /// Failure rate of the site's jobs.
+    pub failure_rate: f64,
+}
+
+/// Per-site queueing statistics over user jobs in `window`, descending by
+/// p95 queue time. Sites with fewer than `min_jobs` jobs are dropped
+/// (their percentiles are noise).
+pub fn site_queue_stats(store: &MetaStore, window: Interval, min_jobs: usize) -> Vec<SiteQueueStats> {
+    let mut queues: HashMap<Sym, Vec<f64>> = HashMap::new();
+    let mut failures: HashMap<Sym, usize> = HashMap::new();
+    for j in store.user_jobs_in(window) {
+        queues
+            .entry(j.computingsite)
+            .or_default()
+            .push(j.queuing_time().as_secs_f64());
+        if j.status == dmsa_panda_sim::JobStatus::Failed {
+            *failures.entry(j.computingsite).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<SiteQueueStats> = queues
+        .into_iter()
+        .filter(|(_, q)| q.len() >= min_jobs)
+        .map(|(site, q)| {
+            let n_failed = failures.get(&site).copied().unwrap_or(0);
+            SiteQueueStats {
+                site,
+                n_jobs: q.len(),
+                mean_queue_secs: stats::mean(&q).unwrap_or(0.0),
+                p95_queue_secs: stats::percentile(&q, 95.0).unwrap_or(0.0),
+                max_queue_secs: q.iter().copied().fold(0.0, f64::max),
+                failure_rate: n_failed as f64 / q.len() as f64,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.p95_queue_secs.total_cmp(&a.p95_queue_secs));
+    out
+}
+
+/// Imbalance summary: how much worse the hottest sites are than the
+/// median site.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HotspotSummary {
+    /// Sites considered.
+    pub n_sites: usize,
+    /// p95 queue of the hottest site, seconds.
+    pub hottest_p95_secs: f64,
+    /// Median over sites of the per-site p95 queue, seconds.
+    pub median_p95_secs: f64,
+    /// Ratio of the two (1.0 when perfectly balanced).
+    pub imbalance_ratio: f64,
+}
+
+/// Summarize a ranked stats list (from [`site_queue_stats`]).
+pub fn summarize_hotspots(ranked: &[SiteQueueStats]) -> Option<HotspotSummary> {
+    if ranked.is_empty() {
+        return None;
+    }
+    let p95s: Vec<f64> = ranked.iter().map(|s| s.p95_queue_secs).collect();
+    let hottest = p95s[0];
+    let median = stats::median(&p95s).unwrap_or(0.0);
+    Some(HotspotSummary {
+        n_sites: ranked.len(),
+        hottest_p95_secs: hottest,
+        median_p95_secs: median,
+        imbalance_ratio: if median > 0.0 { hottest / median } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_metastore::JobRecord;
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_simcore::SimTime;
+
+    fn job(site: Sym, queue_s: i64, failed: bool) -> JobRecord {
+        JobRecord {
+            pandaid: 0,
+            jeditaskid: 0,
+            computingsite: site,
+            creationtime: SimTime::EPOCH,
+            starttime: SimTime::from_secs(queue_s),
+            endtime: SimTime::from_secs(queue_s + 100),
+            ninputfilebytes: 0,
+            noutputfilebytes: 0,
+            io_mode: IoMode::StageIn,
+            status: if failed { JobStatus::Failed } else { JobStatus::Finished },
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: true,
+        }
+    }
+
+    fn window() -> Interval {
+        Interval::new(SimTime::EPOCH, SimTime::from_secs(1_000_000))
+    }
+
+    #[test]
+    fn ranks_hot_sites_first() {
+        let mut store = MetaStore::new();
+        let cool = store.register_site("COOL");
+        let hot = store.register_site("HOT");
+        for _ in 0..10 {
+            store.jobs.push(job(cool, 10, false));
+            store.jobs.push(job(hot, 10_000, false));
+        }
+        let ranked = site_queue_stats(&store, window(), 1);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].site, hot);
+        assert!(ranked[0].p95_queue_secs > ranked[1].p95_queue_secs * 100.0);
+        let s = summarize_hotspots(&ranked).unwrap();
+        assert!(s.imbalance_ratio > 1.0);
+        assert_eq!(s.n_sites, 2);
+    }
+
+    #[test]
+    fn min_jobs_filters_thin_sites() {
+        let mut store = MetaStore::new();
+        let a = store.register_site("A");
+        let b = store.register_site("B");
+        for _ in 0..10 {
+            store.jobs.push(job(a, 10, false));
+        }
+        store.jobs.push(job(b, 99_999, false));
+        let ranked = site_queue_stats(&store, window(), 5);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].site, a);
+    }
+
+    #[test]
+    fn failure_rates_are_per_site() {
+        let mut store = MetaStore::new();
+        let a = store.register_site("A");
+        for i in 0..10 {
+            store.jobs.push(job(a, 10, i < 3));
+        }
+        let ranked = site_queue_stats(&store, window(), 1);
+        assert!((ranked[0].failure_rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_summarizes_to_none() {
+        let store = MetaStore::new();
+        let ranked = site_queue_stats(&store, window(), 1);
+        assert!(ranked.is_empty());
+        assert!(summarize_hotspots(&ranked).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Transfer-time-in-queue analysis (§5.1).
+//!
+//! The paper defines a matched job's *file transfer time* as "the
+//! cumulative duration during the job's queuing time phase in which at
+//! least one associated file was actively transferring", and reports a
+//! mean of 8.43 % and a geometric mean of 1.942 % of the queuing time.
+//! This module computes that per job from the matched transfer intervals
+//! (interval union, so overlapping transfers are not double-counted).
+
+use dmsa_core::matchset::recorded_local;
+use dmsa_core::{MatchSet, MatchedJob};
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::interval::{union_len_within, Interval};
+use dmsa_simcore::stats;
+use serde::{Deserialize, Serialize};
+
+/// Per-job transfer/queue overlap result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobTransferOverlap {
+    /// Index into `store.jobs`.
+    pub job_idx: u32,
+    /// `pandaid` for display.
+    pub pandaid: u64,
+    /// Queuing duration, seconds.
+    pub queue_secs: f64,
+    /// Union of matched transfer intervals clipped to the queue, seconds.
+    pub transfer_secs: f64,
+    /// `transfer_secs / queue_secs` in percent (0 if queue is empty).
+    pub percent: f64,
+    /// Total bytes of the job's matched transfers.
+    pub transferred_bytes: u64,
+    /// All matched transfers recorded-local?
+    pub all_local: bool,
+    /// All matched transfers recorded-remote?
+    pub all_remote: bool,
+    /// Any matched transfer extends past the job's start (into wall time)?
+    pub spans_wall: bool,
+    /// Job success flag.
+    pub job_succeeded: bool,
+    /// Task success flag.
+    pub task_succeeded: bool,
+}
+
+/// Compute the overlap for one matched job.
+pub fn job_overlap(store: &MetaStore, mj: &MatchedJob) -> JobTransferOverlap {
+    let job = &store.jobs[mj.job_idx as usize];
+    let queue = Interval::new(job.creationtime, job.starttime);
+    let queue_secs = queue.len().as_secs_f64();
+
+    let mut intervals = Vec::with_capacity(mj.transfers.len());
+    let mut bytes = 0u64;
+    let mut all_local = true;
+    let mut all_remote = true;
+    let mut spans_wall = false;
+    for &ti in &mj.transfers {
+        let t = &store.transfers[ti as usize];
+        intervals.push(Interval::new(t.starttime, t.endtime));
+        bytes += t.file_size;
+        if recorded_local(store, ti) {
+            all_remote = false;
+        } else {
+            all_local = false;
+        }
+        if t.endtime > job.starttime && t.starttime < job.endtime {
+            spans_wall = true;
+        }
+    }
+    let transfer_secs = union_len_within(&intervals, queue).as_secs_f64();
+    let percent = if queue_secs > 0.0 {
+        100.0 * transfer_secs / queue_secs
+    } else {
+        0.0
+    };
+    JobTransferOverlap {
+        job_idx: mj.job_idx,
+        pandaid: job.pandaid,
+        queue_secs,
+        transfer_secs,
+        percent,
+        transferred_bytes: bytes,
+        all_local,
+        all_remote,
+        spans_wall,
+        job_succeeded: job.status == dmsa_panda_sim::JobStatus::Finished,
+        task_succeeded: job.task_status == dmsa_panda_sim::TaskStatus::Done,
+    }
+}
+
+/// Overlaps for every matched job of a set.
+pub fn all_overlaps(store: &MetaStore, set: &MatchSet) -> Vec<JobTransferOverlap> {
+    set.jobs.iter().map(|mj| job_overlap(store, mj)).collect()
+}
+
+/// The §5.1 headline numbers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OverlapSummary {
+    /// Jobs summarized.
+    pub n_jobs: usize,
+    /// Arithmetic mean of the per-job transfer-time percentage.
+    pub mean_percent: f64,
+    /// Geometric mean over jobs with a positive percentage.
+    pub geo_mean_percent: f64,
+    /// Largest percentage seen.
+    pub max_percent: f64,
+}
+
+/// Summarize a set of overlaps.
+pub fn summarize(overlaps: &[JobTransferOverlap]) -> OverlapSummary {
+    let percents: Vec<f64> = overlaps.iter().map(|o| o.percent).collect();
+    OverlapSummary {
+        n_jobs: overlaps.len(),
+        mean_percent: stats::mean(&percents).unwrap_or(0.0),
+        geo_mean_percent: stats::geometric_mean(&percents).unwrap_or(0.0),
+        max_percent: percents.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_core::MatchedJob;
+    use dmsa_metastore::{SymbolTable, TransferRecord};
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_rucio_sim::Activity;
+    use dmsa_simcore::SimTime;
+
+    /// One job queued [0, 100)s with transfers at given spans.
+    fn fixture(spans: &[(i64, i64)]) -> (MetaStore, MatchedJob) {
+        let mut store = MetaStore::new();
+        let site = store.register_site("A");
+        store.jobs.push(dmsa_metastore::JobRecord {
+            pandaid: 1,
+            jeditaskid: 2,
+            computingsite: site,
+            creationtime: SimTime::from_secs(0),
+            starttime: SimTime::from_secs(100),
+            endtime: SimTime::from_secs(200),
+            ninputfilebytes: 0,
+            noutputfilebytes: 0,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: true,
+        });
+        let mut transfers = Vec::new();
+        for (i, &(a, b)) in spans.iter().enumerate() {
+            store.transfers.push(TransferRecord {
+                transfer_id: i as u64,
+                lfn: SymbolTable::UNKNOWN,
+                dataset: SymbolTable::UNKNOWN,
+                proddblock: SymbolTable::UNKNOWN,
+                scope: SymbolTable::UNKNOWN,
+                file_size: 1_000,
+                starttime: SimTime::from_secs(a),
+                endtime: SimTime::from_secs(b),
+                source_site: site,
+                destination_site: site,
+                activity: Activity::AnalysisDownload,
+                jeditaskid: Some(2),
+                is_download: true,
+                is_upload: false,
+                gt_pandaid: Some(1),
+                gt_source_site: site,
+                gt_destination_site: site,
+                gt_file_size: 1_000,
+            });
+            transfers.push(i as u32);
+        }
+        (store, MatchedJob {
+            job_idx: 0,
+            transfers,
+        })
+    }
+
+    #[test]
+    fn disjoint_transfers_sum() {
+        let (store, mj) = fixture(&[(0, 10), (20, 30)]);
+        let o = job_overlap(&store, &mj);
+        assert_eq!(o.queue_secs, 100.0);
+        assert_eq!(o.transfer_secs, 20.0);
+        assert!((o.percent - 20.0).abs() < 1e-9);
+        assert!(o.all_local && !o.all_remote);
+        assert!(!o.spans_wall);
+        assert_eq!(o.transferred_bytes, 2_000);
+    }
+
+    #[test]
+    fn overlapping_transfers_count_once() {
+        let (store, mj) = fixture(&[(0, 50), (25, 75)]);
+        let o = job_overlap(&store, &mj);
+        assert_eq!(o.transfer_secs, 75.0);
+    }
+
+    #[test]
+    fn transfer_past_job_start_is_clipped_and_flagged() {
+        let (store, mj) = fixture(&[(90, 150)]);
+        let o = job_overlap(&store, &mj);
+        assert_eq!(o.transfer_secs, 10.0, "only the in-queue part counts");
+        assert!(o.spans_wall, "the Fig 11 anomaly flag");
+    }
+
+    #[test]
+    fn summary_mean_vs_geomean() {
+        let (store, mj) = fixture(&[(0, 83)]);
+        let o = job_overlap(&store, &mj);
+        assert!((o.percent - 83.0).abs() < 1e-9, "the Fig 10 case: 83 %");
+        let s = summarize(&[o.clone(), JobTransferOverlap { percent: 1.0, ..o }]);
+        assert_eq!(s.n_jobs, 2);
+        assert!((s.mean_percent - 42.0).abs() < 1e-9);
+        assert!((s.geo_mean_percent - (83.0f64).sqrt()).abs() < 1e-6);
+        assert_eq!(s.max_percent, 83.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.n_jobs, 0);
+        assert_eq!(s.mean_percent, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Temporal imbalance of transfer activity (§3.2).
+//!
+//! The paper observes that the WLCG moves data "with significant spatial
+//! and temporal imbalance". The spatial half is Fig 3 ([`crate::matrix`]);
+//! this module covers the temporal half: bucketed volume series, their
+//! peak-to-trough ratios, and a per-site activity concentration measure
+//! (Gini coefficient) that quantifies the "hot spot" claim.
+
+use dmsa_metastore::{MetaStore, Sym};
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One bucket of the volume series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VolumePoint {
+    /// Bucket start.
+    pub t: SimTime,
+    /// Bytes whose transfers *started* in this bucket.
+    pub bytes: u64,
+    /// Transfer count.
+    pub count: usize,
+}
+
+/// Transfer volume per time bucket over `window`. Buckets with no traffic
+/// are included (zero), so peak/trough ratios are meaningful.
+pub fn volume_series(store: &MetaStore, window: Interval, bucket: SimDuration) -> Vec<VolumePoint> {
+    let bucket_ms = bucket.as_millis().max(1);
+    let first = window.start.as_millis().div_euclid(bucket_ms);
+    let last = (window.end.as_millis() - 1).div_euclid(bucket_ms);
+    let mut series: Vec<VolumePoint> = (first..=last)
+        .map(|b| VolumePoint {
+            t: SimTime::from_millis(b * bucket_ms),
+            bytes: 0,
+            count: 0,
+        })
+        .collect();
+    for t in store.transfers_in(window) {
+        let b = (t.starttime.as_millis().div_euclid(bucket_ms) - first) as usize;
+        if let Some(p) = series.get_mut(b) {
+            p.bytes += t.file_size;
+            p.count += 1;
+        }
+    }
+    series
+}
+
+/// Peak-to-trough ratio of a volume series over its *nonzero* buckets
+/// (`None` when fewer than two nonzero buckets exist).
+pub fn peak_to_trough(series: &[VolumePoint]) -> Option<f64> {
+    let nonzero: Vec<u64> = series.iter().map(|p| p.bytes).filter(|&b| b > 0).collect();
+    if nonzero.len() < 2 {
+        return None;
+    }
+    let max = *nonzero.iter().max().expect("non-empty");
+    let min = *nonzero.iter().min().expect("non-empty");
+    Some(max as f64 / min as f64)
+}
+
+/// Gini coefficient of per-site transfer volume (0 = perfectly even,
+/// → 1 = one site carries everything). Uses the recorded destination; an
+/// unknown endpoint aggregates like Fig 3's 102nd site.
+pub fn site_volume_gini(store: &MetaStore, window: Interval) -> f64 {
+    let mut by_site: HashMap<Sym, u64> = HashMap::new();
+    for t in store.transfers_in(window) {
+        *by_site.entry(t.destination_site).or_insert(0) += t.file_size;
+    }
+    gini(&by_site.values().map(|&v| v as f64).collect::<Vec<_>>())
+}
+
+/// Plain Gini coefficient of a non-negative sample.
+pub fn gini(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_metastore::{SymbolTable, TransferRecord};
+    use dmsa_rucio_sim::Activity;
+
+    fn transfer(start_s: i64, bytes: u64, dest: Sym) -> TransferRecord {
+        TransferRecord {
+            transfer_id: 0,
+            lfn: SymbolTable::UNKNOWN,
+            dataset: SymbolTable::UNKNOWN,
+            proddblock: SymbolTable::UNKNOWN,
+            scope: SymbolTable::UNKNOWN,
+            file_size: bytes,
+            starttime: SimTime::from_secs(start_s),
+            endtime: SimTime::from_secs(start_s + 10),
+            source_site: dest,
+            destination_site: dest,
+            activity: Activity::DataRebalancing,
+            jeditaskid: None,
+            is_download: false,
+            is_upload: false,
+            gt_pandaid: None,
+            gt_source_site: dest,
+            gt_destination_site: dest,
+            gt_file_size: bytes,
+        }
+    }
+
+    fn window(secs: i64) -> Interval {
+        Interval::new(SimTime::EPOCH, SimTime::from_secs(secs))
+    }
+
+    #[test]
+    fn series_buckets_volume_by_start_time() {
+        let mut store = MetaStore::new();
+        let s = store.register_site("A");
+        store.transfers.push(transfer(10, 100, s));
+        store.transfers.push(transfer(20, 50, s));
+        store.transfers.push(transfer(70, 7, s));
+        let series = volume_series(&store, window(120), SimDuration::from_secs(60));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].bytes, 150);
+        assert_eq!(series[0].count, 2);
+        assert_eq!(series[1].bytes, 7);
+    }
+
+    #[test]
+    fn empty_buckets_are_materialized() {
+        let mut store = MetaStore::new();
+        let s = store.register_site("A");
+        store.transfers.push(transfer(10, 1, s));
+        let series = volume_series(&store, window(600), SimDuration::from_secs(60));
+        assert_eq!(series.len(), 10);
+        assert_eq!(series.iter().filter(|p| p.bytes == 0).count(), 9);
+    }
+
+    #[test]
+    fn peak_to_trough_over_nonzero() {
+        let mut store = MetaStore::new();
+        let s = store.register_site("A");
+        store.transfers.push(transfer(10, 1000, s));
+        store.transfers.push(transfer(70, 10, s));
+        let series = volume_series(&store, window(600), SimDuration::from_secs(60));
+        assert_eq!(peak_to_trough(&series), Some(100.0));
+    }
+
+    #[test]
+    fn peak_to_trough_needs_two_buckets() {
+        let mut store = MetaStore::new();
+        let s = store.register_site("A");
+        store.transfers.push(transfer(10, 1000, s));
+        let series = volume_series(&store, window(60), SimDuration::from_secs(60));
+        assert_eq!(peak_to_trough(&series), None);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[]).abs() < 1e-12);
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12, "even split");
+        let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(concentrated > 0.7, "one-site concentration {concentrated}");
+        // Monotone in concentration.
+        assert!(gini(&[1.0, 1.0, 1.0, 97.0]) > gini(&[10.0, 20.0, 30.0, 40.0]));
+    }
+
+    #[test]
+    fn site_gini_reads_destinations() {
+        let mut store = MetaStore::new();
+        let a = store.register_site("A");
+        let b = store.register_site("B");
+        store.transfers.push(transfer(1, 1_000_000, a));
+        store.transfers.push(transfer(2, 1, b));
+        let g = site_volume_gini(&store, window(60));
+        assert!(g > 0.4, "skewed destinations should show high Gini, got {g}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Job counts by status combination vs transfer-time threshold (Fig 9).
+//!
+//! The paper splits exactly-matched jobs into four (job, task) status
+//! combinations and, sweeping a threshold `T` on the transfer-time
+//! percentage, counts jobs at or below each `T`. Two findings the benches
+//! assert: ~80 % of matched jobs succeed overall, and the few jobs above
+//! `T = 75 %` are predominantly failed — the correlation between staging
+//! pathologies and errors.
+
+use crate::overlap::JobTransferOverlap;
+use serde::{Deserialize, Serialize};
+
+/// The paper's four status combinations, in its legend order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StatusCombo {
+    /// Job succeeded within a successful task.
+    JobOkTaskOk,
+    /// Job failed within a successful task.
+    JobFailTaskOk,
+    /// Job succeeded within a failed task.
+    JobOkTaskFail,
+    /// Job failed within a failed task.
+    JobFailTaskFail,
+}
+
+impl StatusCombo {
+    /// All combos in legend order.
+    pub const ALL: [StatusCombo; 4] = [
+        StatusCombo::JobOkTaskOk,
+        StatusCombo::JobFailTaskOk,
+        StatusCombo::JobOkTaskFail,
+        StatusCombo::JobFailTaskFail,
+    ];
+
+    /// Classify one overlap record.
+    pub fn of(o: &JobTransferOverlap) -> StatusCombo {
+        match (o.job_succeeded, o.task_succeeded) {
+            (true, true) => StatusCombo::JobOkTaskOk,
+            (false, true) => StatusCombo::JobFailTaskOk,
+            (true, false) => StatusCombo::JobOkTaskFail,
+            (false, false) => StatusCombo::JobFailTaskFail,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatusCombo::JobOkTaskOk => "job D / task D",
+            StatusCombo::JobFailTaskOk => "job F / task D",
+            StatusCombo::JobOkTaskFail => "job D / task F",
+            StatusCombo::JobFailTaskFail => "job F / task F",
+        }
+    }
+}
+
+/// Cumulative counts at one threshold value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Threshold `T` in percent.
+    pub t_percent: f64,
+    /// Jobs with transfer-time percentage ≤ `T`, per combo (legend order).
+    pub counts: [usize; 4],
+}
+
+impl ThresholdPoint {
+    /// Total jobs at or below this threshold.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Sweep thresholds over the overlaps (cumulative counts, as in Fig 9).
+pub fn threshold_sweep(overlaps: &[JobTransferOverlap], thresholds: &[f64]) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut counts = [0usize; 4];
+            for o in overlaps {
+                if o.percent <= t {
+                    let combo = StatusCombo::of(o);
+                    let idx = StatusCombo::ALL
+                        .iter()
+                        .position(|&c| c == combo)
+                        .expect("combo in ALL");
+                    counts[idx] += 1;
+                }
+            }
+            ThresholdPoint {
+                t_percent: t,
+                counts,
+            }
+        })
+        .collect()
+}
+
+/// Jobs strictly above a threshold, per combo — the paper's "72 jobs above
+/// 75 %, mostly failed".
+pub fn above_threshold(overlaps: &[JobTransferOverlap], t: f64) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for o in overlaps {
+        if o.percent > t {
+            let idx = StatusCombo::ALL
+                .iter()
+                .position(|&c| c == StatusCombo::of(o))
+                .expect("combo in ALL");
+            counts[idx] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(percent: f64, job_ok: bool, task_ok: bool) -> JobTransferOverlap {
+        JobTransferOverlap {
+            job_idx: 0,
+            pandaid: 0,
+            queue_secs: 100.0,
+            transfer_secs: percent,
+            percent,
+            transferred_bytes: 0,
+            all_local: true,
+            all_remote: false,
+            spans_wall: false,
+            job_succeeded: job_ok,
+            task_succeeded: task_ok,
+        }
+    }
+
+    #[test]
+    fn combo_classification() {
+        assert_eq!(StatusCombo::of(&o(0.0, true, true)), StatusCombo::JobOkTaskOk);
+        assert_eq!(StatusCombo::of(&o(0.0, false, true)), StatusCombo::JobFailTaskOk);
+        assert_eq!(StatusCombo::of(&o(0.0, true, false)), StatusCombo::JobOkTaskFail);
+        assert_eq!(
+            StatusCombo::of(&o(0.0, false, false)),
+            StatusCombo::JobFailTaskFail
+        );
+    }
+
+    #[test]
+    fn sweep_is_cumulative() {
+        let os = vec![o(0.5, true, true), o(1.5, true, true), o(50.0, false, false)];
+        let pts = threshold_sweep(&os, &[1.0, 2.0, 100.0]);
+        assert_eq!(pts[0].counts[0], 1); // only the 0.5 % job
+        assert_eq!(pts[1].counts[0], 2); // plus the 1.5 % job
+        assert_eq!(pts[2].total(), 3);
+        assert!(pts.windows(2).all(|w| w[0].total() <= w[1].total()));
+    }
+
+    #[test]
+    fn above_threshold_counts_extremes() {
+        let os = vec![
+            o(80.0, false, false),
+            o(90.0, false, true),
+            o(99.0, true, true),
+            o(10.0, true, true),
+        ];
+        let above = above_threshold(&os, 75.0);
+        assert_eq!(above.iter().sum::<usize>(), 3);
+        // Failed jobs dominate the extreme bucket.
+        let failed = above[1] + above[3];
+        assert_eq!(failed, 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Top-N queuing-time breakdowns (Fig 5 and Fig 6).
+//!
+//! The paper plots, for the 40 longest-queuing matched jobs whose file
+//! transfers consumed at least 10 % of the queue, the stacked
+//! queue/transfer breakdown plus the total transferred size — separately
+//! for jobs with only local transfers (Fig 5) and only remote transfers
+//! (Fig 6). The headline findings this module lets benches verify:
+//! extreme local cases queue far longer than remote ones, and failed jobs
+//! cluster at high transfer-time percentages.
+
+use crate::overlap::JobTransferOverlap;
+use serde::{Deserialize, Serialize};
+
+/// Which population a figure selects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Locality {
+    /// Jobs whose matched transfers are all local (Fig 5).
+    LocalOnly,
+    /// Jobs whose matched transfers are all remote (Fig 6).
+    RemoteOnly,
+}
+
+/// One bar of the figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopJobRow {
+    /// `pandaid` (the paper labels bars with these).
+    pub pandaid: u64,
+    /// Queuing time, seconds.
+    pub queue_secs: f64,
+    /// File-transfer time within the queue, seconds.
+    pub transfer_secs: f64,
+    /// Transfer-time percentage of the queue.
+    pub percent: f64,
+    /// Total transferred bytes (the secondary axis).
+    pub transferred_bytes: u64,
+    /// Job status letter ('D'/'F').
+    pub job_status: char,
+    /// Task status letter ('D'/'F').
+    pub task_status: char,
+}
+
+/// Select the top-`n` jobs by queuing time among those with
+/// `percent >= min_percent` and the requested locality.
+pub fn top_jobs(
+    overlaps: &[JobTransferOverlap],
+    locality: Locality,
+    min_percent: f64,
+    n: usize,
+) -> Vec<TopJobRow> {
+    let mut rows: Vec<TopJobRow> = overlaps
+        .iter()
+        .filter(|o| o.percent >= min_percent)
+        .filter(|o| match locality {
+            Locality::LocalOnly => o.all_local,
+            Locality::RemoteOnly => o.all_remote,
+        })
+        .map(|o| TopJobRow {
+            pandaid: o.pandaid,
+            queue_secs: o.queue_secs,
+            transfer_secs: o.transfer_secs,
+            percent: o.percent,
+            transferred_bytes: o.transferred_bytes,
+            job_status: if o.job_succeeded { 'D' } else { 'F' },
+            task_status: if o.task_succeeded { 'D' } else { 'F' },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.queue_secs.total_cmp(&a.queue_secs).then(a.pandaid.cmp(&b.pandaid)));
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlap(
+        pandaid: u64,
+        queue: f64,
+        transfer: f64,
+        local: bool,
+        ok: bool,
+    ) -> JobTransferOverlap {
+        JobTransferOverlap {
+            job_idx: pandaid as u32,
+            pandaid,
+            queue_secs: queue,
+            transfer_secs: transfer,
+            percent: 100.0 * transfer / queue,
+            transferred_bytes: 1_000,
+            all_local: local,
+            all_remote: !local,
+            spans_wall: false,
+            job_succeeded: ok,
+            task_succeeded: ok,
+        }
+    }
+
+    #[test]
+    fn filters_by_percent_and_locality() {
+        let os = vec![
+            overlap(1, 100.0, 50.0, true, true),   // local, 50 %
+            overlap(2, 100.0, 5.0, true, true),    // local, 5 % -> excluded
+            overlap(3, 100.0, 40.0, false, false), // remote, 40 %
+        ];
+        let local = top_jobs(&os, Locality::LocalOnly, 10.0, 40);
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].pandaid, 1);
+        let remote = top_jobs(&os, Locality::RemoteOnly, 10.0, 40);
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[0].pandaid, 3);
+        assert_eq!(remote[0].job_status, 'F');
+    }
+
+    #[test]
+    fn sorts_by_queue_time_and_truncates() {
+        let os = vec![
+            overlap(1, 100.0, 50.0, true, true),
+            overlap(2, 900.0, 200.0, true, true),
+            overlap(3, 500.0, 100.0, true, true),
+        ];
+        let rows = top_jobs(&os, Locality::LocalOnly, 10.0, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].pandaid, 2);
+        assert_eq!(rows[1].pandaid, 3);
+    }
+
+    #[test]
+    fn status_letters_match_paper_convention() {
+        let os = vec![overlap(7, 100.0, 90.0, true, false)];
+        let rows = top_jobs(&os, Locality::LocalOnly, 10.0, 40);
+        assert_eq!(rows[0].job_status, 'F');
+        assert_eq!(rows[0].task_status, 'F');
+        assert!((rows[0].percent - 90.0).abs() < 1e-9);
+    }
+}

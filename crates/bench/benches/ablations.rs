@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **simulation throughput** — events/second of the co-simulation loop
+//!   at several scales (the substrate must stay fast enough to reach the
+//!   paper's 6.8 M-transfer volumes);
+//! * **corruption cost** — the metadata-quality model applied to a store;
+//! * **index build vs match** — how much of the hash-join engine's time is
+//!   index construction (it is rebuilt per method in the naive API; callers
+//!   that sweep methods should reuse it);
+//! * **site-inference and redundancy detection** — the RM2 extras.
+//!
+//! Run with `cargo bench -p dmsa-bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmsa_core::index::MatchIndex;
+use dmsa_core::infer::{infer_sites, redundant_groups};
+use dmsa_core::matcher::{job_universe, Matcher};
+use dmsa_core::{IndexedMatcher, MatchMethod};
+use dmsa_metastore::CorruptionModel;
+use dmsa_scenario::ScenarioConfig;
+use dmsa_simcore::{RngFactory, SimDuration};
+use std::hint::black_box;
+
+fn simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for scale in [0.005, 0.01, 0.02] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| black_box(dmsa_scenario::run(&ScenarioConfig::paper_8day(s))))
+        });
+    }
+    g.finish();
+}
+
+fn corruption(c: &mut Criterion) {
+    let clean = dmsa_scenario::run(&ScenarioConfig {
+        corruption: CorruptionModel::none(),
+        ..ScenarioConfig::paper_8day(0.02)
+    });
+    let mut g = c.benchmark_group("corruption");
+    g.sample_size(10);
+    for k in [0.5, 1.0, 2.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let model = CorruptionModel::default().scaled(k);
+            b.iter(|| {
+                let mut store = clean.store.clone();
+                model.apply(&mut store, &RngFactory::new(7));
+                black_box(store.transfers.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn index_vs_match(c: &mut Criterion) {
+    let camp = dmsa_scenario::run(&ScenarioConfig::paper_8day(0.02));
+    let mut g = c.benchmark_group("index");
+    g.sample_size(10);
+    g.bench_function("build", |b| {
+        b.iter(|| black_box(MatchIndex::build(&camp.store)))
+    });
+    g.bench_function("match_only", |b| {
+        let index = MatchIndex::build(&camp.store);
+        let universe = job_universe(&camp.store, camp.window);
+        b.iter(|| {
+            let n = universe
+                .iter()
+                .filter_map(|&j| index.match_one(&camp.store, j, MatchMethod::Rm2))
+                .count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn rm2_extras(c: &mut Criterion) {
+    let camp = dmsa_scenario::run(&ScenarioConfig::paper_8day(0.02));
+    let rm2 = IndexedMatcher.match_jobs(&camp.store, camp.window, MatchMethod::Rm2);
+    let mut g = c.benchmark_group("rm2_extras");
+    g.sample_size(10);
+    g.bench_function("site_inference", |b| {
+        b.iter(|| black_box(infer_sites(&camp.store, &rm2, SimDuration::from_days(2))))
+    });
+    g.bench_function("redundancy_detection", |b| {
+        b.iter(|| {
+            black_box(redundant_groups(&camp.store, SimDuration::from_days(1), |i| {
+                camp.store.transfers[i as usize].destination_site
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulation, corruption, index_vs_match, rm2_extras);
+criterion_main!(benches);

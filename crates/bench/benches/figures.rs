@@ -1,0 +1,122 @@
+//! One bench target per paper table/figure: measures the cost of
+//! regenerating each artifact from a prebuilt campaign (the simulation
+//! itself is benched separately in `ablations.rs`).
+//!
+//! Run with `cargo bench -p dmsa-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::bandwidth::{busiest_pairs, usage_series};
+use dmsa_analysis::cases;
+use dmsa_analysis::growth::yearly;
+use dmsa_analysis::matrix::TransferMatrix;
+use dmsa_analysis::overlap::{all_overlaps, summarize};
+use dmsa_analysis::threshold::threshold_sweep;
+use dmsa_analysis::topjobs::{top_jobs, Locality};
+use dmsa_bench::ReproContext;
+use dmsa_rucio_sim::growth::growth_series;
+use dmsa_scenario::ScenarioConfig;
+use dmsa_simcore::{RngFactory, SimDuration};
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let ctx = ReproContext::build(0.02, 42);
+    let fig3_campaign = dmsa_scenario::run(&ScenarioConfig::paper_92day(0.01));
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig2_growth", |b| {
+        b.iter(|| black_box(yearly(&growth_series(&RngFactory::new(42), 2024.5))))
+    });
+
+    g.bench_function("fig3_matrix", |b| {
+        b.iter(|| {
+            let m = TransferMatrix::build(&fig3_campaign.store, fig3_campaign.window);
+            black_box((m.summary(), m.top_outliers(6)))
+        })
+    });
+
+    g.bench_function("table1_activity", |b| {
+        b.iter(|| black_box(ActivityBreakdown::build(&ctx.campaign.store, &ctx.exact)))
+    });
+
+    g.bench_function("table2_methods", |b| {
+        b.iter(|| {
+            let a = ctx.exact.transfer_counts(&ctx.campaign.store);
+            let bb = ctx.rm1.job_counts(&ctx.campaign.store);
+            let c2 = ctx.rm2.job_counts(&ctx.campaign.store);
+            black_box((a, bb, c2))
+        })
+    });
+
+    g.bench_function("summary_overlap", |b| {
+        b.iter(|| {
+            let o = all_overlaps(&ctx.campaign.store, &ctx.exact);
+            black_box(summarize(&o))
+        })
+    });
+
+    g.bench_function("fig5_topjobs_local", |b| {
+        b.iter(|| black_box(top_jobs(&ctx.overlaps_exact, Locality::LocalOnly, 10.0, 40)))
+    });
+
+    g.bench_function("fig6_topjobs_remote", |b| {
+        b.iter(|| black_box(top_jobs(&ctx.overlaps_exact, Locality::RemoteOnly, 10.0, 40)))
+    });
+
+    let matched_ids: Vec<u32> = ctx
+        .rm2
+        .jobs
+        .iter()
+        .flat_map(|j| j.transfers.iter().copied())
+        .collect();
+    g.bench_function("fig7_bandwidth_remote", |b| {
+        b.iter(|| {
+            let pairs = busiest_pairs(&ctx.campaign.store, &matched_ids, false, 6);
+            let series: Vec<_> = pairs
+                .iter()
+                .map(|&(s, d, _)| {
+                    usage_series(
+                        matched_ids
+                            .iter()
+                            .map(|&ti| &ctx.campaign.store.transfers[ti as usize]),
+                        s,
+                        d,
+                        SimDuration::from_secs(300),
+                    )
+                })
+                .collect();
+            black_box(series)
+        })
+    });
+
+    g.bench_function("fig8_bandwidth_local", |b| {
+        b.iter(|| {
+            let pairs = busiest_pairs(&ctx.campaign.store, &matched_ids, true, 6);
+            black_box(pairs)
+        })
+    });
+
+    g.bench_function("fig9_threshold_sweep", |b| {
+        let thresholds: Vec<f64> = (0..=100).map(|t| t as f64).collect();
+        b.iter(|| black_box(threshold_sweep(&ctx.overlaps_exact, &thresholds)))
+    });
+
+    g.bench_function("fig10_12_case_selectors", |b| {
+        b.iter(|| {
+            let a = cases::find_sequential_staging_case(&ctx.campaign.store, &ctx.exact);
+            let bb = cases::find_spanning_failure_case(&ctx.campaign.store, &ctx.exact);
+            let c2 = cases::find_redundant_unknown_case(
+                &ctx.campaign.store,
+                &ctx.rm2,
+                SimDuration::from_days(2),
+            );
+            black_box((a, bb, c2))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Matcher-engine benchmarks: the §5.5 scalability story.
+//!
+//! Measures the three interchangeable engines (naive reference, hash-join,
+//! rayon-parallel) on identical stores, plus the hash-join engine across
+//! store sizes to show near-linear scaling. Run with
+//! `cargo bench -p dmsa-bench --bench matching`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmsa_core::matcher::Matcher;
+use dmsa_core::{IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher};
+use dmsa_scenario::{Campaign, ScenarioConfig};
+use std::hint::black_box;
+
+fn campaign(scale: f64) -> Campaign {
+    dmsa_scenario::run(&ScenarioConfig::paper_8day(scale))
+}
+
+/// Naive vs indexed vs parallel at a size the naive engine can still
+/// handle.
+fn engines(c: &mut Criterion) {
+    let small = campaign(0.004);
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10);
+    g.bench_function("naive/exact", |b| {
+        b.iter(|| {
+            black_box(NaiveMatcher.match_jobs(&small.store, small.window, MatchMethod::Exact))
+        })
+    });
+    g.bench_function("indexed/exact", |b| {
+        b.iter(|| {
+            black_box(IndexedMatcher.match_jobs(&small.store, small.window, MatchMethod::Exact))
+        })
+    });
+    g.bench_function("parallel/exact", |b| {
+        b.iter(|| {
+            black_box(ParallelMatcher.match_jobs(&small.store, small.window, MatchMethod::Exact))
+        })
+    });
+    g.finish();
+}
+
+/// Indexed-engine cost per method (RM2 relaxations widen candidate sets).
+fn methods(c: &mut Criterion) {
+    let camp = campaign(0.02);
+    let mut g = c.benchmark_group("methods");
+    g.sample_size(10);
+    for method in MatchMethod::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| black_box(IndexedMatcher.match_jobs(&camp.store, camp.window, m))),
+        );
+    }
+    g.finish();
+}
+
+/// Parallel-engine scaling over store size.
+fn scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for scale in [0.005, 0.01, 0.02, 0.04] {
+        let camp = campaign(scale);
+        let transfers = camp.store.transfers.len();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transfers}tx")),
+            &camp,
+            |b, camp| {
+                b.iter(|| {
+                    black_box(ParallelMatcher.match_jobs(
+                        &camp.store,
+                        camp.window,
+                        MatchMethod::Rm2,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engines, methods, scaling);
+criterion_main!(benches);

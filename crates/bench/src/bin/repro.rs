@@ -1,0 +1,612 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p dmsa-bench --bin repro -- [--scale 0.05] [--seed 42] [--sections all]
+//! ```
+//!
+//! Sections: `summary, table1, table2, fig2, fig3, fig5, fig6, fig7, fig8,
+//! fig9, cases, temporal, eval, whatif` or `all`. Absolute numbers scale with `--scale`; the
+//! *shapes* (who wins, by what factor, where crossovers fall) are the
+//! reproduction targets recorded in `EXPERIMENTS.md`.
+
+use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::bandwidth::{busiest_pairs, usage_series};
+use dmsa_analysis::cases;
+use dmsa_analysis::growth::{growth_multiple, yearly};
+use dmsa_analysis::matrix::TransferMatrix;
+use dmsa_analysis::overlap::summarize;
+use dmsa_analysis::threshold::{above_threshold, threshold_sweep, StatusCombo};
+use dmsa_analysis::topjobs::{top_jobs, Locality};
+use dmsa_bench::fmt::{bytes, pct};
+use dmsa_bench::ReproContext;
+use dmsa_core::{evaluate, MatchMethod, ScoredMatcher};
+use dmsa_rucio_sim::growth::growth_series;
+use dmsa_scenario::ScenarioConfig;
+use dmsa_simcore::{RngFactory, SimDuration};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut sections = "all".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--sections" => {
+                i += 1;
+                sections = args[i].clone();
+            }
+            "--full" => scale = 1.0,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro [--scale F] [--seed N] [--full] [--sections a,b,c]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let want = |s: &str| sections == "all" || sections.split(',').any(|x| x == s);
+
+    println!("=== DMSA repro: scale {scale}, seed {seed} ===\n");
+
+    // Fig 2 needs no campaign.
+    if want("fig2") {
+        fig2(seed);
+    }
+    // Fig 3 runs its own 92-day campaign.
+    if want("fig3") {
+        fig3(scale, seed);
+    }
+
+    if want("whatif") {
+        whatif(scale, seed);
+    }
+
+    let needs_ctx = ["summary", "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "cases", "temporal", "eval"]
+        .iter()
+        .any(|s| want(s));
+    if !needs_ctx {
+        return;
+    }
+
+    eprintln!("[running 8-day campaign at scale {scale} ...]");
+    let ctx = ReproContext::build(scale, seed);
+
+    if want("summary") {
+        summary(&ctx);
+    }
+    if want("table1") {
+        table1(&ctx);
+    }
+    if want("table2") {
+        table2(&ctx);
+    }
+    if want("fig5") {
+        fig56(&ctx, Locality::LocalOnly, "Fig 5: top jobs with LOCAL transfers >= 10% of queuing time");
+    }
+    if want("fig6") {
+        fig56(&ctx, Locality::RemoteOnly, "Fig 6: top jobs with REMOTE transfers >= 10% of queuing time");
+    }
+    if want("fig7") {
+        fig78(&ctx, false, "Fig 7: bandwidth usage at six remote connections");
+    }
+    if want("fig8") {
+        fig78(&ctx, true, "Fig 8: bandwidth usage at six local sites");
+    }
+    if want("fig9") {
+        fig9(&ctx);
+    }
+    if want("cases") {
+        case_studies(&ctx);
+    }
+    if want("temporal") {
+        temporal_section(&ctx);
+    }
+    if want("eval") {
+        eval_section(&ctx);
+    }
+}
+
+/// Extension: §3.2's temporal imbalance and §1's "altered error
+/// distributions", quantified.
+fn temporal_section(ctx: &ReproContext) {
+    use dmsa_analysis::errors::{error_distribution, StagingBand};
+    use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
+    println!("--- Extension: temporal imbalance and error distributions ---");
+    let series = volume_series(
+        &ctx.campaign.store,
+        ctx.campaign.window,
+        SimDuration::from_hours(6),
+    );
+    let p2t = peak_to_trough(&series)
+        .map(|r| format!("{r:.1}x"))
+        .unwrap_or_else(|| "n/a".into());
+    println!(
+        "  volume series: {} buckets of 6h, peak/trough {} (temporal imbalance)",
+        series.len(),
+        p2t
+    );
+    println!(
+        "  destination-site volume Gini: {:.3} (spatial concentration)",
+        site_volume_gini(&ctx.campaign.store, ctx.campaign.window)
+    );
+    // Site-level hot spots (section 5.3's "server queuing delays despite
+    // using local transfers").
+    {
+        use dmsa_analysis::hotspots::{site_queue_stats, summarize_hotspots};
+        let ranked = site_queue_stats(&ctx.campaign.store, ctx.campaign.window, 30);
+        if let Some(hs) = summarize_hotspots(&ranked) {
+            println!(
+                "  site queue hot spots: {} sites, hottest p95 {:.0}s vs median p95 {:.0}s ({:.1}x imbalance)",
+                hs.n_sites, hs.hottest_p95_secs, hs.median_p95_secs, hs.imbalance_ratio
+            );
+            for s in ranked.iter().take(3) {
+                println!(
+                    "    {:<24} {:>6} jobs  p95 {:>8.0}s  max {:>8.0}s  fail {:.0}%",
+                    ctx.campaign.store.name(s.site),
+                    s.n_jobs,
+                    s.p95_queue_secs,
+                    s.max_queue_secs,
+                    s.failure_rate * 100.0
+                );
+            }
+        }
+    }
+    let dist = error_distribution(&ctx.campaign.store, &ctx.overlaps_exact);
+    println!("  failed matched jobs by staging band:");
+    for band in StagingBand::ALL {
+        let b = &dist[&band];
+        let rate = b
+            .failure_rate()
+            .map(|r| format!("{:.0}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        let staging = b
+            .staging_related_fraction()
+            .map(|r| format!("{:.0}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "    {:?}: {} jobs, failure rate {}, staging-related codes {}",
+            band, b.n_jobs, rate, staging
+        );
+    }
+    println!();
+}
+
+/// The co-optimization experiment the paper's conclusion calls for:
+/// sweep the brokerage's willingness to send jobs off-data when the
+/// data-holding sites are hot, and measure the locality/queueing trade-off
+/// ("assigning jobs to remote sites, despite requiring additional
+/// transfers, may result in shorter overall queuing times", section 5.3).
+fn whatif(scale: f64, seed: u64) {
+    println!("--- What-if: brokerage data-locality vs load-aware escape ---");
+    println!(
+        "  {:<26} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "policy", "p50 queue", "p90 queue", "p99 queue", "rmt stage", "lcl stage"
+    );
+    for (label, escape, prestage) in [
+        ("strict locality (0.0)", 0.0, 0.0),
+        ("paper-like (0.5)", 0.5, 0.0),
+        ("aggressive offload (1.0)", 1.0, 0.0),
+        ("paper-like + iDDS prestage", 0.5, 0.5),
+    ] {
+        let mut config = ScenarioConfig {
+            seed,
+            ..ScenarioConfig::paper_8day(scale)
+        };
+        config.broker.remote_when_hot_prob = escape;
+        config.prestage_fraction = prestage;
+        let campaign = dmsa_scenario::run(&config);
+        let mut queues: Vec<f64> = campaign
+            .store
+            .user_jobs_in(campaign.window)
+            .map(|j| j.queuing_time().as_secs_f64())
+            .collect();
+        queues.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| {
+            if queues.is_empty() {
+                0.0
+            } else {
+                queues[((queues.len() - 1) as f64 * p) as usize]
+            }
+        };
+        // Job-caused staging volume only: background (rule-driven) traffic
+        // is policy-independent and would swamp the signal.
+        let mut remote = 0u64;
+        let mut local = 0u64;
+        for t in &campaign.store.transfers {
+            if t.gt_pandaid.is_none() {
+                continue;
+            }
+            if t.gt_source_site == t.gt_destination_site {
+                local += t.gt_file_size;
+            } else {
+                remote += t.gt_file_size;
+            }
+        }
+        println!(
+            "  {:<26} {:>9.0}s {:>9.0}s {:>9.0}s {:>12} {:>12}",
+            label,
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            bytes(remote),
+            bytes(local)
+        );
+    }
+    println!("  (expected shape: escaping data locality trades remote volume for shorter tails)\n");
+}
+
+fn fig2(seed: u64) {
+    println!("--- Fig 2: total volume managed by Rucio (exabytes) ---");
+    let series = growth_series(&RngFactory::new(seed), 2024.5);
+    for y in yearly(&series) {
+        let bar = "#".repeat((y.exabytes * 60.0) as usize);
+        println!("  {}  {:6.3} EB  {bar}", y.year, y.exabytes);
+    }
+    let end = series.last().map(|p| p.exabytes).unwrap_or(0.0);
+    let mult = growth_multiple(&series, 2018.5, 2024.5).unwrap_or(0.0);
+    println!("  mid-2024 volume : {end:.3} EB   (paper: ~1 EB)");
+    println!("  growth since 2018: {mult:.2}x     (paper: more than 2x)\n");
+}
+
+fn fig3(scale: f64, seed: u64) {
+    println!("--- Fig 3: site-to-site transfer volumes (92-day window) ---");
+    eprintln!("[running 92-day campaign at scale {scale} ...]");
+    let config = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::paper_92day(scale)
+    };
+    let campaign = dmsa_scenario::run(&config);
+    let matrix = TransferMatrix::build(&campaign.store, campaign.window);
+    let s = matrix.summary();
+    println!("  sites (incl. unknown) : {}", matrix.n());
+    println!("  transfers             : {}", matrix.n_transfers);
+    println!(
+        "  total volume          : {}   (paper: 957.98 PB)",
+        bytes(s.total_bytes)
+    );
+    println!(
+        "  local (diagonal)      : {} = {:.1}%  (paper: 737.85 PB = 77.0%)",
+        bytes(s.local_bytes),
+        100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64
+    );
+    println!(
+        "  mean per site pair    : {}   (paper: 77.75 TB)",
+        bytes(s.mean_pair_bytes as u64)
+    );
+    println!(
+        "  geometric mean (nonzero cells): {}   (paper: 1.11 TB)",
+        bytes(s.geo_mean_pair_bytes as u64)
+    );
+    println!(
+        "  mean / geo-mean ratio : {:.1}x  (heavy-tailed imbalance)",
+        s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
+    );
+    println!("  top outlier cells (paper: 446.3 PB N-Europe T1, 71.9 PB CERN T0, ...):");
+    for c in matrix.top_outliers(6) {
+        let kind = if c.src == c.dst { "local " } else { "remote" };
+        println!(
+            "    {:>9}  {kind}  {} -> {}",
+            bytes(c.bytes),
+            c.src_label,
+            c.dst_label
+        );
+    }
+    println!(
+        "  unknown-endpoint volume: {}  (paper: 42.4 PB CERN->unknown outlier)\n",
+        bytes(matrix.unknown_bytes())
+    );
+}
+
+fn summary(ctx: &ReproContext) {
+    println!("--- Summary of exact matching (paper 5.1) ---");
+    let (jobs, files, transfers, with_tid) = ctx.campaign.store.counts();
+    let user_jobs = ctx.campaign.store.user_jobs_in(ctx.campaign.window).count();
+    println!("  jobs collected        : {jobs} ({user_jobs} user jobs; paper: 966,453 user jobs)");
+    println!("  file-table rows       : {files}");
+    println!("  transfer events       : {transfers} (paper: 6,784,936)");
+    println!("  with jeditaskid       : {with_tid} (paper: 1,585,229)");
+    println!(
+        "  exact-matched transfers: {} = {} of with-taskid (paper: 30,380 = 1.92%)",
+        ctx.exact.n_matched_transfers(),
+        pct(ctx.exact.n_matched_transfers(), with_tid)
+    );
+    println!(
+        "  exact-matched jobs     : {} = {} of user jobs (paper: 7,907 = 0.82%)",
+        ctx.exact.n_matched_jobs(),
+        pct(ctx.exact.n_matched_jobs(), user_jobs)
+    );
+    let s = summarize(&ctx.overlaps_exact);
+    println!(
+        "  transfer time in queue : mean {:.2}% geo-mean {:.3}% max {:.1}% (paper: 8.43% / 1.942% / >83%)\n",
+        s.mean_percent, s.geo_mean_percent, s.max_percent
+    );
+}
+
+fn table1(ctx: &ReproContext) {
+    println!("--- Table 1: breakdown of exact-matched transfers by activity ---");
+    let table = ActivityBreakdown::build(&ctx.campaign.store, &ctx.exact);
+    println!(
+        "  {:<30} {:>9} {:>9} {:>9}   paper",
+        "Transfer activity type", "Matched", "Total", "Pct"
+    );
+    let paper = ["8.38%", "95.42%", "2.31%", "0%", "0%"];
+    for (row, paper_pct) in table.rows.iter().zip(paper) {
+        println!(
+            "  {:<30} {:>9} {:>9} {:>8.2}%   {paper_pct}",
+            row.activity.label(),
+            row.matched,
+            row.total,
+            row.percent()
+        );
+    }
+    let (m, t) = table.totals();
+    println!("  {:<30} {:>9} {:>9} {:>9}   1.92%\n", "Total", m, t, pct(m, t));
+}
+
+fn table2(ctx: &ReproContext) {
+    println!("--- Table 2a: matched transfer counts by method ---");
+    println!(
+        "  {:<7} {:>8} {:>8} {:>8}   paper(local/remote/total)",
+        "Method", "Local", "Remote", "Total"
+    );
+    let paper_a = ["28,579 / 1,801 / 30,380", "35,065 / 1,817 / 36,882", "36,320 / 24,273 / 60,593"];
+    for (method, p) in MatchMethod::ALL.into_iter().zip(paper_a) {
+        let set = ctx.set(method);
+        let c = set.transfer_counts(&ctx.campaign.store);
+        println!(
+            "  {:<7} {:>8} {:>8} {:>8}   {p}",
+            method.label(),
+            c.local,
+            c.remote,
+            c.total()
+        );
+    }
+    println!("--- Table 2b: matched job counts by method ---");
+    println!(
+        "  {:<7} {:>9} {:>9} {:>7} {:>8}   paper(local/remote/mixed/total)",
+        "Method", "AllLocal", "AllRemote", "Mixed", "Total"
+    );
+    let paper_b = ["7,649 / 258 / 0 / 7,907", "8,763 / 260 / 0 / 9,023", "8,727 / 7,662 / 112 / 16,501"];
+    for (method, p) in MatchMethod::ALL.into_iter().zip(paper_b) {
+        let set = ctx.set(method);
+        let c = set.job_counts(&ctx.campaign.store);
+        println!(
+            "  {:<7} {:>9} {:>9} {:>7} {:>8}   {p}",
+            method.label(),
+            c.all_local,
+            c.all_remote,
+            c.mixed,
+            c.total()
+        );
+    }
+    println!();
+}
+
+fn fig56(ctx: &ReproContext, locality: Locality, title: &str) {
+    println!("--- {title} ---");
+    let rows = top_jobs(&ctx.overlaps_exact, locality, 10.0, 40);
+    println!(
+        "  {:<14} {:>10} {:>12} {:>7} {:>10} {:>5}",
+        "pandaid", "queue(s)", "transfer(s)", "pct", "size", "D/F"
+    );
+    for r in rows.iter().take(12) {
+        println!(
+            "  {:<14} {:>10.0} {:>12.0} {:>6.1}% {:>10} {:>3}/{}",
+            r.pandaid,
+            r.queue_secs,
+            r.transfer_secs,
+            r.percent,
+            bytes(r.transferred_bytes),
+            r.task_status,
+            r.job_status
+        );
+    }
+    if rows.len() > 12 {
+        println!("  ... ({} rows total)", rows.len());
+    }
+    let failed = rows.iter().filter(|r| r.job_status == 'F').count();
+    let max_queue = rows.first().map(|r| r.queue_secs).unwrap_or(0.0);
+    println!(
+        "  rows {} | failed {} | longest queue {:.0}s\n",
+        rows.len(),
+        failed,
+        max_queue
+    );
+}
+
+fn fig78(ctx: &ReproContext, local: bool, title: &str) {
+    println!("--- {title} ---");
+    let matched_ids: Vec<u32> = ctx
+        .rm2
+        .jobs
+        .iter()
+        .flat_map(|j| j.transfers.iter().copied())
+        .collect();
+    let pairs = busiest_pairs(&ctx.campaign.store, &matched_ids, local, 6);
+    let store = &ctx.campaign.store;
+    for (src, dst, n) in pairs {
+        let series = usage_series(
+            matched_ids.iter().map(|&ti| &store.transfers[ti as usize]),
+            src,
+            dst,
+            SimDuration::from_secs(300),
+        );
+        println!(
+            "  {} -> {} : {n} transfers, peak {:.1} MBps, mean {:.1} MBps, {} active buckets",
+            store.name(src),
+            store.name(dst),
+            series.peak_mbps(),
+            series.mean_mbps(),
+            series.points.len()
+        );
+    }
+    println!();
+}
+
+fn fig9(ctx: &ReproContext) {
+    println!("--- Fig 9: job counts by status vs transfer-time threshold ---");
+    let thresholds = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0];
+    let pts = threshold_sweep(&ctx.overlaps_exact, &thresholds);
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "T(%)",
+        StatusCombo::ALL[0].label(),
+        StatusCombo::ALL[1].label(),
+        StatusCombo::ALL[2].label(),
+        StatusCombo::ALL[3].label()
+    );
+    for p in &pts {
+        println!(
+            "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+            p.t_percent, p.counts[0], p.counts[1], p.counts[2], p.counts[3]
+        );
+    }
+    let ok = ctx
+        .overlaps_exact
+        .iter()
+        .filter(|o| o.job_succeeded)
+        .count();
+    println!(
+        "  overall success: {} (paper: 80.5%)",
+        pct(ok, ctx.overlaps_exact.len())
+    );
+    let above = above_threshold(&ctx.overlaps_exact, 75.0);
+    let failed_above = above[1] + above[3];
+    println!(
+        "  jobs above T=75%: {} of which failed {} (paper: 72, mostly failed)\n",
+        above.iter().sum::<usize>(),
+        failed_above
+    );
+}
+
+fn case_studies(ctx: &ReproContext) {
+    println!("--- Case studies (Figs 10-12, Table 3) ---");
+    let store = &ctx.campaign.store;
+
+    match cases::find_sequential_staging_case(store, &ctx.exact) {
+        Some(tl) => {
+            println!(
+                "  [Fig 10] successful job {} | transfer {:.1}% of queue | sequential: {} | throughput spread {:.1}x",
+                tl.pandaid,
+                tl.transfer_percent,
+                tl.transfers_sequential(),
+                tl.throughput_spread()
+            );
+            for t in &tl.transfers {
+                println!(
+                    "      {:>10}  {:?} -> {:?}  {:.1} MBps  {} -> {}",
+                    bytes(t.bytes),
+                    t.start,
+                    t.end,
+                    t.throughput / 1e6,
+                    t.source,
+                    t.destination
+                );
+            }
+        }
+        None => println!("  [Fig 10] no sequential-staging case in this sample"),
+    }
+
+    match cases::find_spanning_failure_case(store, &ctx.exact) {
+        Some(tl) => {
+            println!(
+                "  [Fig 11] failed job {} (error {:?}) | transfers span queue+wall | {:.1}% of queue",
+                tl.pandaid, tl.error_code, tl.transfer_percent
+            );
+            for t in &tl.transfers {
+                println!(
+                    "      {:>10}  {:?} -> {:?}  {:.1} MBps",
+                    bytes(t.bytes),
+                    t.start,
+                    t.end,
+                    t.throughput / 1e6
+                );
+            }
+        }
+        None => println!("  [Fig 11] no spanning-failure case in this sample"),
+    }
+
+    match cases::find_redundant_unknown_case(store, &ctx.rm2, SimDuration::from_days(2)) {
+        Some((tl, witnesses)) => {
+            println!(
+                "  [Fig 12] RM2 job {} with UNKNOWN-destination transfers; {} byte-identical witnesses:",
+                tl.pandaid,
+                witnesses.len()
+            );
+            for t in tl.transfers.iter().take(3) {
+                println!(
+                    "      matched : {:>10}  dest '{}' (inferred {})",
+                    bytes(t.bytes),
+                    t.destination,
+                    tl.computing_site
+                );
+            }
+            for &w in witnesses.iter().take(3) {
+                let t = &store.transfers[w as usize];
+                println!(
+                    "      witness : {:>10}  {} -> {}",
+                    bytes(t.file_size),
+                    store.name(t.source_site),
+                    store.name(t.destination_site)
+                );
+            }
+        }
+        None => println!("  [Fig 12] no redundant-unknown case in this sample"),
+    }
+
+    // Redundancy census (the paper: "many extra examples identified by RM2
+    // fall into this category").
+    let groups = dmsa_core::infer::redundant_groups(store, SimDuration::from_days(1), |i| {
+        store.transfers[i as usize].destination_site
+    });
+    println!("  redundant same-destination delivery groups: {}\n", groups.len());
+}
+
+fn eval_section(ctx: &ReproContext) {
+    println!("--- Extension: ground-truth evaluation of the matchers ---");
+    println!(
+        "  {:<7} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "Method", "precision", "recall", "F1", "job-prec", "job-recall"
+    );
+    for method in MatchMethod::ALL {
+        let e = evaluate(&ctx.campaign.store, ctx.set(method), ctx.campaign.window);
+        println!(
+            "  {:<7} {:>10.3} {:>10.3} {:>8.3} {:>10.3} {:>10.3}",
+            method.label(),
+            e.transfer_precision(),
+            e.transfer_recall(),
+            e.transfer_f1(),
+            e.job_precision(),
+            e.job_recall()
+        );
+    }
+
+    // The scored-matcher extension: a tunable precision/recall curve over
+    // the same candidates (threshold 1.0 ~ exact; low thresholds trade
+    // precision for recall beyond RM2).
+    println!("  scored matcher threshold sweep:");
+    let scored = ScoredMatcher::default();
+    for threshold in [0.95, 0.85, 0.75, 0.65, 0.55] {
+        let set = scored.match_jobs_scored(&ctx.campaign.store, ctx.campaign.window, threshold);
+        let e = evaluate(&ctx.campaign.store, &set, ctx.campaign.window);
+        println!(
+            "  t={:<5} {:>10.3} {:>10.3} {:>8.3}   ({} transfers, {} jobs)",
+            threshold,
+            e.transfer_precision(),
+            e.transfer_recall(),
+            e.transfer_f1(),
+            set.n_matched_transfers(),
+            set.n_matched_jobs()
+        );
+    }
+    println!();
+}

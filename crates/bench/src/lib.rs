@@ -1,0 +1,130 @@
+//! # dmsa-bench
+//!
+//! The benchmark/repro harness. Two consumers:
+//!
+//! * the **`repro` binary** (`cargo run -p dmsa-bench --bin repro`), which
+//!   regenerates every table and figure of the paper's evaluation section
+//!   and prints them in the paper's layout — see `EXPERIMENTS.md` for the
+//!   paper-vs-measured record;
+//! * the **criterion benches** (`cargo bench -p dmsa-bench`), one target
+//!   per table/figure plus ablations (matcher engines, corruption sweep).
+//!
+//! [`ReproContext`] bundles the pieces every experiment needs: one 8-day
+//! campaign, the three match sets, and the per-job overlap records.
+
+use dmsa_analysis::overlap::{all_overlaps, JobTransferOverlap};
+use dmsa_core::matcher::Matcher;
+use dmsa_core::{MatchMethod, MatchSet, ParallelMatcher};
+use dmsa_scenario::{Campaign, ScenarioConfig};
+
+/// Everything the §5 experiments share.
+pub struct ReproContext {
+    /// The 8-day campaign.
+    pub campaign: Campaign,
+    /// Exact (Algorithm 1) match set.
+    pub exact: MatchSet,
+    /// RM1 match set.
+    pub rm1: MatchSet,
+    /// RM2 match set.
+    pub rm2: MatchSet,
+    /// Per-job overlaps for the exact set (most figures use these).
+    pub overlaps_exact: Vec<JobTransferOverlap>,
+    /// Per-job overlaps for the RM2 set (Fig 12 needs relaxed matches).
+    pub overlaps_rm2: Vec<JobTransferOverlap>,
+}
+
+impl ReproContext {
+    /// Run the 8-day campaign at `scale` and match with all strategies.
+    pub fn build(scale: f64, seed: u64) -> Self {
+        let config = ScenarioConfig {
+            seed,
+            ..ScenarioConfig::paper_8day(scale)
+        };
+        Self::from_config(&config)
+    }
+
+    /// Same, from an explicit config.
+    pub fn from_config(config: &ScenarioConfig) -> Self {
+        let campaign = dmsa_scenario::run(config);
+        let m = |method| ParallelMatcher.match_jobs(&campaign.store, campaign.window, method);
+        let exact = m(MatchMethod::Exact);
+        let rm1 = m(MatchMethod::Rm1);
+        let rm2 = m(MatchMethod::Rm2);
+        let overlaps_exact = all_overlaps(&campaign.store, &exact);
+        let overlaps_rm2 = all_overlaps(&campaign.store, &rm2);
+        ReproContext {
+            campaign,
+            exact,
+            rm1,
+            rm2,
+            overlaps_exact,
+            overlaps_rm2,
+        }
+    }
+
+    /// The match set for a method.
+    pub fn set(&self, method: MatchMethod) -> &MatchSet {
+        match method {
+            MatchMethod::Exact => &self.exact,
+            MatchMethod::Rm1 => &self.rm1,
+            MatchMethod::Rm2 => &self.rm2,
+        }
+    }
+}
+
+/// Human-readable formatting used by the repro binary's tables.
+pub mod fmt {
+    /// Format bytes with a binary-decimal mix matching the paper (PB/TB/GB).
+    pub fn bytes(b: u64) -> String {
+        let b = b as f64;
+        const UNITS: [(&str, f64); 5] = [
+            ("PB", 1e15),
+            ("TB", 1e12),
+            ("GB", 1e9),
+            ("MB", 1e6),
+            ("KB", 1e3),
+        ];
+        for (name, scale) in UNITS {
+            if b >= scale {
+                return format!("{:.2} {name}", b / scale);
+            }
+        }
+        format!("{b:.0} B")
+    }
+
+    /// Percentage with two decimals.
+    pub fn pct(num: usize, den: usize) -> String {
+        if den == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.2}%", 100.0 * num as f64 / den as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt::bytes(0), "0 B");
+        assert_eq!(fmt::bytes(1_500), "1.50 KB");
+        assert_eq!(fmt::bytes(2_000_000_000), "2.00 GB");
+        assert_eq!(fmt::bytes(957_980_000_000_000_000), "957.98 PB");
+    }
+
+    #[test]
+    fn fmt_pct() {
+        assert_eq!(fmt::pct(1, 52), "1.92%");
+        assert_eq!(fmt::pct(0, 0), "n/a");
+    }
+
+    #[test]
+    fn context_builds_and_is_monotone() {
+        let ctx = ReproContext::from_config(&ScenarioConfig::small());
+        assert!(ctx.rm1.contains(&ctx.exact));
+        assert!(ctx.rm2.contains(&ctx.rm1));
+        assert_eq!(ctx.overlaps_exact.len(), ctx.exact.n_matched_jobs());
+    }
+}

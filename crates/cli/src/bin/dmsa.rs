@@ -1,0 +1,118 @@
+//! The `dmsa` command-line tool.
+//!
+//! ```text
+//! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
+//! dmsa match    --campaign campaign.json --method rm2 --out matches.json
+//! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal
+//! dmsa compare  --campaign campaign.json
+//! ```
+
+use dmsa_cli::run::{analyze, compare_methods, run_match, simulate, MatcherChoice};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dmsa simulate --preset 8day|92day|small [--scale F] [--seed N] [--out FILE]
+  dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T] [--out FILE]
+  dmsa analyze  --campaign FILE [--matches FILE] --report summary|matrix|temporal
+  dmsa compare  --campaign FILE";
+
+/// Parse `--key value` pairs after the subcommand.
+fn flags(args: &[String]) -> Result<HashMap<&str, &str>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key, value.as_str());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no subcommand".into());
+    };
+    let f = flags(rest)?;
+    let read = |key: &str| -> Result<String, String> {
+        let path = f
+            .get(key)
+            .ok_or_else(|| format!("--{key} is required"))?;
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    let write_or_print = |key: &str, content: &str| -> Result<(), String> {
+        match f.get(key) {
+            Some(path) => {
+                std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path} ({} bytes)", content.len());
+                Ok(())
+            }
+            None => {
+                println!("{content}");
+                Ok(())
+            }
+        }
+    };
+
+    match cmd.as_str() {
+        "simulate" => {
+            let preset = f.get("preset").copied().unwrap_or("small");
+            let scale: f64 = f
+                .get("scale")
+                .map(|s| s.parse().map_err(|e| format!("bad --scale: {e}")))
+                .transpose()?
+                .unwrap_or(0.02);
+            let seed: u64 = f
+                .get("seed")
+                .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+                .transpose()?
+                .unwrap_or(42);
+            let json = simulate(preset, scale, seed)?;
+            write_or_print("out", &json)
+        }
+        "match" => {
+            let campaign = read("campaign")?;
+            let method = MatcherChoice::parse(f.get("method").copied().unwrap_or("exact"))?;
+            let (json, stats) = run_match(&campaign, method)?;
+            eprintln!("{stats}");
+            write_or_print("out", &json)
+        }
+        "analyze" => {
+            let campaign = read("campaign")?;
+            let matches = match f.get("matches") {
+                Some(path) => {
+                    Some(std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?)
+                }
+                None => None,
+            };
+            let report = f.get("report").copied().unwrap_or("summary");
+            let out = analyze(&campaign, matches.as_deref(), report)?;
+            println!("{out}");
+            Ok(())
+        }
+        "compare" => {
+            let campaign = read("campaign")?;
+            println!("{}", compare_methods(&campaign)?);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}

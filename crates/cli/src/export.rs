@@ -1,0 +1,109 @@
+//! The on-disk campaign format.
+//!
+//! A campaign export carries everything matching and analysis need — the
+//! (corrupted) metadata store and the observation window — plus the
+//! provenance needed to regenerate it bit-for-bit (the scenario config).
+//! The simulator-side state (topology, catalog, bandwidth oracle) is *not*
+//! exported: analyses must work from metadata alone, exactly like the
+//! paper's.
+
+use dmsa_metastore::MetaStore;
+use dmsa_scenario::{Campaign, ScenarioConfig};
+use dmsa_simcore::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// Serializable campaign: metadata + window + provenance.
+#[derive(Serialize, Deserialize)]
+pub struct CampaignExport {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The scenario that produced this campaign (reproducibility).
+    pub config: ScenarioConfig,
+    /// Observation window.
+    pub window: Interval,
+    /// The corrupted metadata store.
+    pub store: MetaStore,
+}
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl CampaignExport {
+    /// Build an export from a completed campaign.
+    pub fn from_campaign(campaign: &Campaign) -> Self {
+        CampaignExport {
+            version: FORMAT_VERSION,
+            config: campaign.config.clone(),
+            window: campaign.window,
+            store: campaign.store.clone(),
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON, checking the format version.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let export: CampaignExport =
+            serde_json::from_str(json).map_err(|e| format!("parse error: {e}"))?;
+        if export.version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported campaign format version {} (expected {FORMAT_VERSION})",
+                export.version
+            ));
+        }
+        Ok(export)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let campaign = dmsa_scenario::run(&tiny_config());
+        let export = CampaignExport::from_campaign(&campaign);
+        let json = export.to_json().unwrap();
+        let back = CampaignExport::from_json(&json).unwrap();
+        assert_eq!(back.version, FORMAT_VERSION);
+        assert_eq!(back.window, campaign.window);
+        assert_eq!(back.store.counts(), campaign.store.counts());
+        assert_eq!(back.config.seed, campaign.config.seed);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let campaign = dmsa_scenario::run(&tiny_config());
+        let mut export = CampaignExport::from_campaign(&campaign);
+        export.version = 999;
+        let json = export.to_json().unwrap();
+        match CampaignExport::from_json(&json) {
+            Err(err) => assert!(err.contains("version 999")),
+            Ok(_) => panic!("version mismatch accepted"),
+        }
+    }
+
+    #[test]
+    fn matching_on_reimported_store_is_identical() {
+        use dmsa_core::matcher::Matcher;
+        use dmsa_core::{IndexedMatcher, MatchMethod};
+        let campaign = dmsa_scenario::run(&tiny_config());
+        let json = CampaignExport::from_campaign(&campaign).to_json().unwrap();
+        let back = CampaignExport::from_json(&json).unwrap();
+        let a = IndexedMatcher.match_jobs(&campaign.store, campaign.window, MatchMethod::Rm2);
+        let b = IndexedMatcher.match_jobs(&back.store, back.window, MatchMethod::Rm2);
+        assert_eq!(a, b);
+    }
+
+    fn tiny_config() -> dmsa_scenario::ScenarioConfig {
+        let mut c = dmsa_scenario::ScenarioConfig::small();
+        c.duration = dmsa_simcore::SimDuration::from_hours(3);
+        c.workload.tasks_per_hour = 10.0;
+        c.background_transfers_per_hour = 50.0;
+        c.initial_datasets = 20;
+        c
+    }
+}

@@ -1,0 +1,16 @@
+//! # dmsa-cli
+//!
+//! Library backing the `dmsa` command-line tool: a serializable campaign
+//! export format plus the subcommand implementations, kept in the library
+//! so they are unit-testable without process spawning.
+//!
+//! ```text
+//! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
+//! dmsa match    --campaign campaign.json --method rm2 --out matches.json
+//! dmsa analyze  --campaign campaign.json --matches matches.json --report summary
+//! ```
+
+pub mod export;
+pub mod run;
+
+pub use export::CampaignExport;

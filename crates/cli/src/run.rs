@@ -1,0 +1,271 @@
+//! Subcommand implementations.
+//!
+//! Kept binary-free so every path is unit-testable; the `dmsa` binary is a
+//! thin argv adapter over [`simulate`], [`run_match`], and [`analyze`].
+
+use crate::export::CampaignExport;
+use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::matrix::TransferMatrix;
+use dmsa_analysis::overlap::{all_overlaps, summarize};
+use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
+use dmsa_core::matcher::Matcher;
+use dmsa_core::{
+    evaluate, IndexedMatcher, MatchMethod, MatchSet, ParallelMatcher, ScoredMatcher,
+};
+use dmsa_scenario::ScenarioConfig;
+use dmsa_simcore::SimDuration;
+use std::fmt::Write as _;
+
+/// Which matcher the `match` subcommand runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MatcherChoice {
+    /// Algorithm 1.
+    Exact,
+    /// Relaxed level 1.
+    Rm1,
+    /// Relaxed level 2.
+    Rm2,
+    /// Scored matcher at a threshold.
+    Scored(f64),
+}
+
+impl MatcherChoice {
+    /// Parse a `--method` argument (`exact`, `rm1`, `rm2`,
+    /// `scored[:threshold]`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(MatcherChoice::Exact),
+            "rm1" => Ok(MatcherChoice::Rm1),
+            "rm2" => Ok(MatcherChoice::Rm2),
+            _ => {
+                if let Some(rest) = s.strip_prefix("scored") {
+                    let threshold = match rest.strip_prefix(':') {
+                        None if rest.is_empty() => 0.75,
+                        Some(t) => t
+                            .parse()
+                            .map_err(|e| format!("bad scored threshold {t:?}: {e}"))?,
+                        _ => return Err(format!("unknown method {s:?}")),
+                    };
+                    Ok(MatcherChoice::Scored(threshold))
+                } else {
+                    Err(format!(
+                        "unknown method {s:?} (expected exact|rm1|rm2|scored[:T])"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// `dmsa simulate`: run a preset campaign and return its JSON export.
+pub fn simulate(preset: &str, scale: f64, seed: u64) -> Result<String, String> {
+    let mut config = match preset {
+        "8day" => ScenarioConfig::paper_8day(scale),
+        "92day" => ScenarioConfig::paper_92day(scale),
+        "small" => ScenarioConfig::small(),
+        other => return Err(format!("unknown preset {other:?} (8day|92day|small)")),
+    };
+    config.seed = seed;
+    let campaign = dmsa_scenario::run(&config);
+    CampaignExport::from_campaign(&campaign)
+        .to_json()
+        .map_err(|e| format!("serialize error: {e}"))
+}
+
+/// `dmsa match`: run a matcher over an exported campaign; returns the
+/// match set as JSON plus a one-line stats summary.
+pub fn run_match(campaign_json: &str, choice: MatcherChoice) -> Result<(String, String), String> {
+    let export = CampaignExport::from_json(campaign_json)?;
+    let set: MatchSet = match choice {
+        MatcherChoice::Exact => {
+            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Exact)
+        }
+        MatcherChoice::Rm1 => {
+            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Rm1)
+        }
+        MatcherChoice::Rm2 => {
+            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Rm2)
+        }
+        MatcherChoice::Scored(t) => {
+            ScoredMatcher::default().match_jobs_scored(&export.store, export.window, t)
+        }
+    };
+    let eval = evaluate(&export.store, &set, export.window);
+    let stats = format!(
+        "matched {} transfers across {} jobs | precision {:.3} recall {:.3}",
+        set.n_matched_transfers(),
+        set.n_matched_jobs(),
+        eval.transfer_precision(),
+        eval.transfer_recall()
+    );
+    let json = serde_json::to_string(&set).map_err(|e| format!("serialize error: {e}"))?;
+    Ok((json, stats))
+}
+
+/// `dmsa analyze`: produce a textual report over a campaign (and
+/// optionally a match set).
+pub fn analyze(
+    campaign_json: &str,
+    matches_json: Option<&str>,
+    report: &str,
+) -> Result<String, String> {
+    let export = CampaignExport::from_json(campaign_json)?;
+    let store = &export.store;
+    let mut out = String::new();
+    match report {
+        "summary" => {
+            let (jobs, files, transfers, with_tid) = store.counts();
+            let user = store.user_jobs_in(export.window).count();
+            writeln!(out, "jobs {jobs} (user {user}) | file rows {files}").unwrap();
+            writeln!(out, "transfers {transfers} (with taskid {with_tid})").unwrap();
+            if let Some(mj) = matches_json {
+                let set: MatchSet =
+                    serde_json::from_str(mj).map_err(|e| format!("matches parse error: {e}"))?;
+                let overlaps = all_overlaps(store, &set);
+                let s = summarize(&overlaps);
+                writeln!(
+                    out,
+                    "matched jobs {} | transfer-time in queue: mean {:.2}% geo {:.2}% max {:.1}%",
+                    set.n_matched_jobs(),
+                    s.mean_percent,
+                    s.geo_mean_percent,
+                    s.max_percent
+                )
+                .unwrap();
+                let table = ActivityBreakdown::build(store, &set);
+                for row in &table.rows {
+                    writeln!(
+                        out,
+                        "  {:<30} {:>7}/{:<8} {:.2}%",
+                        row.activity.label(),
+                        row.matched,
+                        row.total,
+                        row.percent()
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        "matrix" => {
+            let m = TransferMatrix::build(store, export.window);
+            let s = m.summary();
+            writeln!(out, "sites {} | transfers {}", m.n(), m.n_transfers).unwrap();
+            writeln!(
+                out,
+                "total {} B | local {:.1}% | mean/geo {:.1}x",
+                s.total_bytes,
+                100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64,
+                s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
+            )
+            .unwrap();
+            for c in m.top_outliers(5) {
+                writeln!(out, "  {:>16} B  {} -> {}", c.bytes, c.src_label, c.dst_label).unwrap();
+            }
+        }
+        "temporal" => {
+            let series = volume_series(store, export.window, SimDuration::from_hours(6));
+            let p2t = peak_to_trough(&series)
+                .map(|r| format!("{r:.1}x"))
+                .unwrap_or_else(|| "n/a".into());
+            writeln!(out, "{} buckets of 6h | peak/trough {}", series.len(), p2t).unwrap();
+            writeln!(
+                out,
+                "destination-site volume Gini {:.3}",
+                site_volume_gini(store, export.window)
+            )
+            .unwrap();
+        }
+        other => return Err(format!("unknown report {other:?} (summary|matrix|temporal)")),
+    }
+    Ok(out)
+}
+
+/// Run the three matchers sequentially on one campaign (the `bench-lite`
+/// subcommand used by docs and smoke tests).
+pub fn compare_methods(campaign_json: &str) -> Result<String, String> {
+    let export = CampaignExport::from_json(campaign_json)?;
+    let mut out = String::new();
+    for method in MatchMethod::ALL {
+        let set = IndexedMatcher.match_jobs(&export.store, export.window, method);
+        let e = evaluate(&export.store, &set, export.window);
+        writeln!(
+            out,
+            "{:<6} {:>7} transfers {:>6} jobs  precision {:.3} recall {:.3}",
+            method.label(),
+            set.n_matched_transfers(),
+            set.n_matched_jobs(),
+            e.transfer_precision(),
+            e.transfer_recall()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign_json() -> String {
+        let mut c = ScenarioConfig::small();
+        c.duration = SimDuration::from_hours(3);
+        c.workload.tasks_per_hour = 10.0;
+        c.background_transfers_per_hour = 50.0;
+        c.initial_datasets = 20;
+        let campaign = dmsa_scenario::run(&c);
+        CampaignExport::from_campaign(&campaign).to_json().unwrap()
+    }
+
+    #[test]
+    fn matcher_choice_parsing() {
+        assert_eq!(MatcherChoice::parse("exact").unwrap(), MatcherChoice::Exact);
+        assert_eq!(MatcherChoice::parse("rm1").unwrap(), MatcherChoice::Rm1);
+        assert_eq!(MatcherChoice::parse("rm2").unwrap(), MatcherChoice::Rm2);
+        assert_eq!(
+            MatcherChoice::parse("scored").unwrap(),
+            MatcherChoice::Scored(0.75)
+        );
+        assert_eq!(
+            MatcherChoice::parse("scored:0.9").unwrap(),
+            MatcherChoice::Scored(0.9)
+        );
+        assert!(MatcherChoice::parse("fuzzy").is_err());
+        assert!(MatcherChoice::parse("scored:x").is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_preset() {
+        assert!(simulate("weekly", 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn full_cli_pipeline_runs() {
+        let campaign = tiny_campaign_json();
+        let (matches, stats) = run_match(&campaign, MatcherChoice::Rm2).unwrap();
+        assert!(stats.contains("precision"));
+        let report = analyze(&campaign, Some(&matches), "summary").unwrap();
+        assert!(report.contains("transfers"));
+        let matrix = analyze(&campaign, None, "matrix").unwrap();
+        assert!(matrix.contains("local"));
+        let temporal = analyze(&campaign, None, "temporal").unwrap();
+        assert!(temporal.contains("Gini"));
+        let cmp = compare_methods(&campaign).unwrap();
+        assert!(cmp.contains("Exact") && cmp.contains("RM2"));
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_report() {
+        let campaign = tiny_campaign_json();
+        assert!(analyze(&campaign, None, "pie-chart").is_err());
+    }
+
+    #[test]
+    fn scored_match_runs_via_cli_path() {
+        let campaign = tiny_campaign_json();
+        let (json, _) = run_match(&campaign, MatcherChoice::Scored(0.6)).unwrap();
+        let set: MatchSet = serde_json::from_str(&json).unwrap();
+        let (strict_json, _) = run_match(&campaign, MatcherChoice::Scored(0.99)).unwrap();
+        let strict: MatchSet = serde_json::from_str(&strict_json).unwrap();
+        assert!(set.n_matched_transfers() >= strict.n_matched_transfers());
+    }
+}

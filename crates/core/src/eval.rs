@@ -1,0 +1,214 @@
+//! Scoring match sets against simulator ground truth.
+//!
+//! On production metadata the paper cannot know which transfers a job
+//! *really* caused; it argues validity qualitatively ("many of the matches
+//! identified through RM1 or RM2 show strong evidential validity", §4.3).
+//! The simulator knows: every transfer record carries its true cause in
+//! `gt_pandaid`. This module turns that into precision/recall for each
+//! strategy — the quantitative evaluation the paper could not run, and the
+//! natural acceptance test for any relaxation: RM1/RM2 should add recall
+//! without collapsing precision.
+
+use crate::matcher::job_universe;
+use crate::matchset::MatchSet;
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::interval::Interval;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Precision/recall scores for one match set.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MatchEvaluation {
+    /// Matched (job, transfer) pairs.
+    pub n_pairs: usize,
+    /// Pairs whose transfer was truly caused by that job.
+    pub n_correct_pairs: usize,
+    /// Distinct ground-truth-caused transfers recovered.
+    pub n_recovered_transfers: usize,
+    /// Ground-truth-caused transfers present in the store (the recall
+    /// denominator).
+    pub n_gt_transfers: usize,
+    /// Jobs matched with at least one correct transfer.
+    pub n_correct_jobs: usize,
+    /// Jobs matched at all.
+    pub n_matched_jobs: usize,
+    /// Universe jobs that truly caused at least one surviving transfer.
+    pub n_gt_jobs: usize,
+}
+
+impl MatchEvaluation {
+    /// Pair-level precision.
+    pub fn transfer_precision(&self) -> f64 {
+        ratio(self.n_correct_pairs, self.n_pairs)
+    }
+
+    /// Transfer-level recall.
+    pub fn transfer_recall(&self) -> f64 {
+        ratio(self.n_recovered_transfers, self.n_gt_transfers)
+    }
+
+    /// Job-level precision.
+    pub fn job_precision(&self) -> f64 {
+        ratio(self.n_correct_jobs, self.n_matched_jobs)
+    }
+
+    /// Job-level recall.
+    pub fn job_recall(&self) -> f64 {
+        ratio(self.n_correct_jobs, self.n_gt_jobs)
+    }
+
+    /// Harmonic mean of transfer precision and recall.
+    pub fn transfer_f1(&self) -> f64 {
+        let p = self.transfer_precision();
+        let r = self.transfer_recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        // Vacuous: nothing to find ⇒ perfect score, not NaN.
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Score `set` against ground truth, over the same `window` the matcher
+/// ran with.
+pub fn evaluate(store: &MetaStore, set: &MatchSet, window: Interval) -> MatchEvaluation {
+    let universe = job_universe(store, window);
+    let pandaid_of: HashMap<u64, u32> = universe
+        .iter()
+        .map(|&j| (store.jobs[j as usize].pandaid, j))
+        .collect();
+
+    // Ground truth: transfers caused by universe jobs.
+    let mut gt_jobs: HashSet<u64> = HashSet::new();
+    let mut n_gt_transfers = 0usize;
+    for t in &store.transfers {
+        if let Some(p) = t.gt_pandaid {
+            if pandaid_of.contains_key(&p) {
+                n_gt_transfers += 1;
+                gt_jobs.insert(p);
+            }
+        }
+    }
+
+    let mut eval = MatchEvaluation {
+        n_gt_transfers,
+        n_gt_jobs: gt_jobs.len(),
+        n_matched_jobs: set.jobs.len(),
+        ..Default::default()
+    };
+
+    let mut recovered: HashSet<u32> = HashSet::new();
+    for mj in &set.jobs {
+        let pandaid = store.jobs[mj.job_idx as usize].pandaid;
+        let mut any_correct = false;
+        for &ti in &mj.transfers {
+            eval.n_pairs += 1;
+            let t = &store.transfers[ti as usize];
+            if t.gt_pandaid == Some(pandaid) {
+                eval.n_correct_pairs += 1;
+                any_correct = true;
+                recovered.insert(ti);
+            }
+        }
+        if any_correct {
+            eval.n_correct_jobs += 1;
+        }
+    }
+    eval.n_recovered_transfers = recovered.len();
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::testutil::StoreBuilder;
+    use crate::matcher::{Matcher, NaiveMatcher};
+    use crate::method::MatchMethod;
+
+    #[test]
+    fn clean_store_scores_perfectly() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        for i in 0..20u64 {
+            b.job_with_file(i, 100 + i, site, 1_000 + i, 0, 50, 100);
+            b.download(i, 100 + i, site, site, 1_000 + i, 5, 20);
+        }
+        let w = b.window();
+        let set = NaiveMatcher.match_jobs(&b.store, w, MatchMethod::Exact);
+        let e = evaluate(&b.store, &set, w);
+        assert_eq!(e.n_matched_jobs, 20);
+        assert_eq!(e.transfer_precision(), 1.0);
+        assert_eq!(e.transfer_recall(), 1.0);
+        assert_eq!(e.job_precision(), 1.0);
+        assert_eq!(e.job_recall(), 1.0);
+        assert_eq!(e.transfer_f1(), 1.0);
+    }
+
+    #[test]
+    fn unmatched_gt_transfers_lower_recall() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 50, 100);
+        let t = b.download(1, 10, site, site, 1_000, 5, 20);
+        // Corrupt the transfer so matching fails but ground truth remains.
+        b.store.transfers[t as usize].jeditaskid = None;
+        let w = b.window();
+        let set = NaiveMatcher.match_jobs(&b.store, w, MatchMethod::Rm2);
+        let e = evaluate(&b.store, &set, w);
+        assert_eq!(e.n_matched_jobs, 0);
+        assert_eq!(e.n_gt_transfers, 1);
+        assert_eq!(e.transfer_recall(), 0.0);
+        assert_eq!(e.job_recall(), 0.0);
+        // Precision is vacuously perfect.
+        assert_eq!(e.transfer_precision(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_pairs_lower_precision() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        // Two jobs in the SAME task reading files with identical keys —
+        // the ambiguity that creates matcher false positives.
+        b.job_with_file(1, 10, site, 1_000, 0, 50, 100);
+        b.job_with_file(2, 10, site, 1_000, 0, 60, 120);
+        // Make both jobs' file rows share one LFN.
+        let lfn = b.store.files[0].lfn;
+        b.store.files[1].lfn = lfn;
+        // One real transfer, caused by job 1.
+        let t = b.download(1, 10, site, site, 1_000, 5, 20);
+        b.store.transfers[t as usize].lfn = lfn;
+        let w = b.window();
+        let set = NaiveMatcher.match_jobs(&b.store, w, MatchMethod::Rm1);
+        let e = evaluate(&b.store, &set, w);
+        // Both jobs match the single transfer; only one pairing is true.
+        assert_eq!(e.n_pairs, 2);
+        assert_eq!(e.n_correct_pairs, 1);
+        assert!((e.transfer_precision() - 0.5).abs() < 1e-12);
+        assert_eq!(e.n_recovered_transfers, 1);
+    }
+
+    #[test]
+    fn empty_everything_is_vacuously_perfect() {
+        let store = dmsa_metastore::MetaStore::new();
+        let w = Interval::new(
+            dmsa_simcore::SimTime::EPOCH,
+            dmsa_simcore::SimTime::from_days(1),
+        );
+        let set = MatchSet {
+            method: MatchMethod::Exact,
+            jobs: vec![],
+        };
+        let e = evaluate(&store, &set, w);
+        assert_eq!(e.transfer_precision(), 1.0);
+        assert_eq!(e.transfer_recall(), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Hash-join matching.
+//!
+//! Builds two indexes over the store once — file-table rows by `pandaid`,
+//! transfers by `jeditaskid` — and runs Algorithm 1's joins as hash
+//! lookups. This turns the naive O(|J|·|T|) scan into
+//! O(|J| + |F| + |T| + Σ_j |pool_j|), which is what makes matching
+//! millions of transfers tractable (§5.5's scalability concern).
+
+use crate::matcher::{file_key, finalize_candidates, job_universe, transfer_key, FileKey, Matcher};
+use crate::matchset::{MatchSet, MatchedJob};
+use crate::method::MatchMethod;
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::interval::Interval;
+use std::collections::{HashMap, HashSet};
+
+/// Prebuilt join indexes over one store.
+pub struct MatchIndex {
+    /// File-table row indices by `pandaid`.
+    files_by_pandaid: HashMap<u64, Vec<u32>>,
+    /// Transfer indices by `jeditaskid` (transfers lacking one are absent).
+    transfers_by_taskid: HashMap<u64, Vec<u32>>,
+}
+
+impl MatchIndex {
+    /// Build indexes for `store`.
+    pub fn build(store: &MetaStore) -> Self {
+        let mut files_by_pandaid: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, f) in store.files.iter().enumerate() {
+            files_by_pandaid.entry(f.pandaid).or_default().push(i as u32);
+        }
+        let mut transfers_by_taskid: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, t) in store.transfers.iter().enumerate() {
+            if let Some(tid) = t.jeditaskid {
+                transfers_by_taskid.entry(tid).or_default().push(i as u32);
+            }
+        }
+        MatchIndex {
+            files_by_pandaid,
+            transfers_by_taskid,
+        }
+    }
+
+    /// Candidate transfers for one job: joined on `jeditaskid` and the
+    /// 5-attribute file key. Ascending order.
+    pub fn candidates(&self, store: &MetaStore, job_idx: u32) -> Vec<u32> {
+        let job = &store.jobs[job_idx as usize];
+        let Some(file_rows) = self.files_by_pandaid.get(&job.pandaid) else {
+            return Vec::new();
+        };
+        let keys: HashSet<FileKey> = file_rows
+            .iter()
+            .map(|&fi| &store.files[fi as usize])
+            .filter(|f| f.jeditaskid == job.jeditaskid)
+            .map(file_key)
+            .collect();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let Some(pool) = self.transfers_by_taskid.get(&job.jeditaskid) else {
+            return Vec::new();
+        };
+        pool.iter()
+            .copied()
+            .filter(|&ti| keys.contains(&transfer_key(&store.transfers[ti as usize])))
+            .collect()
+    }
+
+    /// Match one job under `method`.
+    pub fn match_one(&self, store: &MetaStore, job_idx: u32, method: MatchMethod) -> Option<MatchedJob> {
+        let candidates = self.candidates(store, job_idx);
+        let transfers = finalize_candidates(
+            &store.jobs[job_idx as usize],
+            &candidates,
+            store,
+            method,
+        );
+        (!transfers.is_empty()).then_some(MatchedJob { job_idx, transfers })
+    }
+}
+
+/// Sequential hash-join matcher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexedMatcher;
+
+impl Matcher for IndexedMatcher {
+    fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet {
+        let index = MatchIndex::build(store);
+        let jobs = job_universe(store, window)
+            .into_iter()
+            .filter_map(|j| index.match_one(store, j, method))
+            .collect();
+        MatchSet { method, jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::testutil::StoreBuilder;
+    use crate::matcher::NaiveMatcher;
+
+    /// Build a store exercising all rejection paths at once.
+    fn mixed_store() -> (dmsa_metastore::MetaStore, Interval) {
+        let mut b = StoreBuilder::new();
+        let a = b.site("SITE-A");
+        let c = b.site("SITE-C");
+        let unknown = dmsa_metastore::SymbolTable::UNKNOWN;
+        // Job 1: clean exact match, local.
+        b.job_with_file(1, 10, a, 1_000, 0, 100, 200);
+        b.download(1, 10, a, a, 1_000, 10, 50);
+        // Job 2: byte total inconsistent → RM1 only.
+        b.job_with_file(2, 20, a, 2_000, 0, 150, 300);
+        b.download(2, 20, a, a, 2_000, 20, 80);
+        let j2 = 1usize;
+        b.store.jobs[j2].ninputfilebytes = 9_999;
+        // Job 3: unknown destination → RM2 only.
+        b.job_with_file(3, 30, c, 3_000, 0, 200, 400);
+        b.download(3, 30, c, unknown, 3_000, 30, 90);
+        // Job 4: transfer too late → never.
+        b.job_with_file(4, 40, a, 4_000, 0, 250, 500);
+        b.download(4, 40, a, a, 4_000, 600, 700);
+        let w = b.window();
+        (b.store, w)
+    }
+
+    #[test]
+    fn indexed_agrees_with_naive_on_all_methods() {
+        let (store, w) = mixed_store();
+        for m in MatchMethod::ALL {
+            let naive = NaiveMatcher.match_jobs(&store, w, m);
+            let indexed = IndexedMatcher.match_jobs(&store, w, m);
+            assert_eq!(naive, indexed, "divergence under {m:?}");
+        }
+    }
+
+    #[test]
+    fn method_counts_are_monotone() {
+        let (store, w) = mixed_store();
+        let e = IndexedMatcher.match_jobs(&store, w, MatchMethod::Exact);
+        let r1 = IndexedMatcher.match_jobs(&store, w, MatchMethod::Rm1);
+        let r2 = IndexedMatcher.match_jobs(&store, w, MatchMethod::Rm2);
+        assert_eq!(e.n_matched_jobs(), 1);
+        assert_eq!(r1.n_matched_jobs(), 2);
+        assert_eq!(r2.n_matched_jobs(), 3);
+        assert!(r1.contains(&e));
+        assert!(r2.contains(&r1));
+    }
+
+    #[test]
+    fn candidates_respect_taskid_partition() {
+        let (store, _) = mixed_store();
+        let idx = MatchIndex::build(&store);
+        // Job 0's candidates must all carry its task id.
+        for ti in idx.candidates(&store, 0) {
+            assert_eq!(store.transfers[ti as usize].jeditaskid, Some(10));
+        }
+        // And the pool for a job with no files is empty.
+        assert!(idx.candidates(&store, 3).len() <= 1);
+    }
+
+    #[test]
+    fn empty_store_yields_empty_set() {
+        let store = dmsa_metastore::MetaStore::new();
+        let w = Interval::new(
+            dmsa_simcore::SimTime::EPOCH,
+            dmsa_simcore::SimTime::from_days(10),
+        );
+        let m = IndexedMatcher.match_jobs(&store, w, MatchMethod::Rm2);
+        assert!(m.jobs.is_empty());
+    }
+}

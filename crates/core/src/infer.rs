@@ -1,0 +1,312 @@
+//! RM2 extras: inferring missing site metadata and detecting redundant
+//! transfers (§5.4, case study 3 / Fig 12 / Table 3).
+//!
+//! The paper shows that RM2 matches "not only capture additional possible
+//! matches but also help to infer incomplete metadata, effectively
+//! converting uncertain cases into exact ones": a set of transfers with
+//! `UNKNOWN` destinations was pinned to CERN-PROD because byte-identical
+//! transfers of the same files, with valid endpoints, existed nearby in
+//! time. Two inference routes are implemented:
+//!
+//! 1. **Job-link inference** — an RM2 match itself implies the missing
+//!    endpoint: a matched download's true destination is the job's
+//!    computing site.
+//! 2. **Duplicate-evidence inference** — a transfer with the same
+//!    (`lfn`, `file_size`) and a valid endpoint near in time corroborates
+//!    (or supplies) the missing site.
+//!
+//! The same duplicate search, run over *valid* endpoints, exposes the
+//! paper's **redundant transfer** pattern: the same file delivered twice
+//! to the same destination, "in principle avoidable".
+
+use crate::matchset::MatchSet;
+use dmsa_metastore::{MetaStore, Sym};
+use dmsa_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How an inferred site was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferenceEvidence {
+    /// Implied by the matched job's computing site.
+    JobLink,
+    /// Corroborated by a byte-identical transfer with valid metadata.
+    DuplicateTransfer {
+        /// Index of the corroborating transfer.
+        witness: u32,
+    },
+    /// Both routes agree.
+    JobLinkAndDuplicate {
+        /// Index of the corroborating transfer.
+        witness: u32,
+    },
+}
+
+/// One recovered site field.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SiteInference {
+    /// Transfer whose endpoint was `UNKNOWN`/invalid.
+    pub transfer_idx: u32,
+    /// True if the missing endpoint is the destination (else the source).
+    pub destination_missing: bool,
+    /// The inferred site.
+    pub inferred: Sym,
+    /// Supporting evidence.
+    pub evidence: InferenceEvidence,
+}
+
+impl SiteInference {
+    /// Check against simulator ground truth (test/ablation use only).
+    pub fn is_correct(&self, store: &MetaStore) -> bool {
+        let t = &store.transfers[self.transfer_idx as usize];
+        if self.destination_missing {
+            t.gt_destination_site == self.inferred
+        } else {
+            t.gt_source_site == self.inferred
+        }
+    }
+}
+
+/// Infer missing endpoints for every RM2-matched transfer whose relevant
+/// site is not a valid name. `dup_window` bounds the duplicate search.
+pub fn infer_sites(
+    store: &MetaStore,
+    set: &MatchSet,
+    dup_window: SimDuration,
+) -> Vec<SiteInference> {
+    // Index all transfers with valid endpoints by (lfn, size) for the
+    // duplicate search.
+    let mut by_key: HashMap<(Sym, u64), Vec<u32>> = HashMap::new();
+    for (i, t) in store.transfers.iter().enumerate() {
+        if store.is_valid_site(t.source_site) && store.is_valid_site(t.destination_site) {
+            by_key.entry((t.lfn, t.file_size)).or_default().push(i as u32);
+        }
+    }
+
+    let mut out = Vec::new();
+    for mj in &set.jobs {
+        let job = &store.jobs[mj.job_idx as usize];
+        for &ti in &mj.transfers {
+            let t = &store.transfers[ti as usize];
+            let (missing_dest, missing) = if t.is_download && !store.is_valid_site(t.destination_site)
+            {
+                (true, t.destination_site)
+            } else if t.is_upload && !store.is_valid_site(t.source_site) {
+                (false, t.source_site)
+            } else {
+                continue;
+            };
+            let _ = missing;
+
+            // Route 1: the job link implies the endpoint.
+            let inferred = job.computingsite;
+
+            // Route 2: duplicate corroboration — same (lfn, size), valid
+            // endpoints, within the window, endpoint agrees with route 1.
+            let witness = by_key.get(&(t.lfn, t.file_size)).and_then(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&wi| wi != ti)
+                    .find(|&wi| {
+                        let w = &store.transfers[wi as usize];
+                        let gap = (w.starttime - t.starttime).as_millis().abs();
+                        let endpoint = if missing_dest {
+                            w.destination_site
+                        } else {
+                            w.source_site
+                        };
+                        gap <= dup_window.as_millis() && endpoint == inferred
+                    })
+            });
+
+            let evidence = match witness {
+                Some(w) => InferenceEvidence::JobLinkAndDuplicate { witness: w },
+                None => InferenceEvidence::JobLink,
+            };
+            out.push(SiteInference {
+                transfer_idx: ti,
+                destination_missing: missing_dest,
+                inferred,
+                evidence,
+            });
+        }
+    }
+    out
+}
+
+/// A group of transfers delivering the same bytes to the same destination
+/// — the avoidable redundancy of Fig 12.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RedundantGroup {
+    /// The duplicated (lfn, size) key's transfers, ascending by start time.
+    pub transfers: Vec<u32>,
+    /// The common destination (resolved: recorded, or inferred for
+    /// unknown endpoints when `resolved_dest` was supplied).
+    pub destination: Sym,
+}
+
+/// Find redundant delivery groups: ≥2 transfers of the same
+/// (`lfn`, `file_size`) to the same destination within `window` of each
+/// other. `resolve_dest` maps a transfer index to its effective
+/// destination (letting callers substitute inferred sites for `UNKNOWN`).
+pub fn redundant_groups<F>(
+    store: &MetaStore,
+    window: SimDuration,
+    mut resolve_dest: F,
+) -> Vec<RedundantGroup>
+where
+    F: FnMut(u32) -> Sym,
+{
+    let mut by_key: HashMap<(Sym, u64, Sym), Vec<u32>> = HashMap::new();
+    for (i, t) in store.transfers.iter().enumerate() {
+        let dest = resolve_dest(i as u32);
+        by_key.entry((t.lfn, t.file_size, dest)).or_default().push(i as u32);
+    }
+
+    let mut out = Vec::new();
+    for ((_, _, dest), mut idxs) in by_key {
+        if idxs.len() < 2 {
+            continue;
+        }
+        idxs.sort_by_key(|&i| store.transfers[i as usize].starttime);
+        // Split into clusters where consecutive starts are within `window`.
+        let mut cluster: Vec<u32> = vec![idxs[0]];
+        for w in idxs.windows(2) {
+            let gap = store.transfers[w[1] as usize].starttime
+                - store.transfers[w[0] as usize].starttime;
+            if gap <= window {
+                cluster.push(w[1]);
+            } else {
+                if cluster.len() >= 2 {
+                    out.push(RedundantGroup {
+                        transfers: cluster.clone(),
+                        destination: dest,
+                    });
+                }
+                cluster = vec![w[1]];
+            }
+        }
+        if cluster.len() >= 2 {
+            out.push(RedundantGroup {
+                transfers: cluster,
+                destination: dest,
+            });
+        }
+    }
+    out.sort_by_key(|g| g.transfers[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::testutil::StoreBuilder;
+    use crate::matcher::{Matcher, NaiveMatcher};
+    use crate::method::MatchMethod;
+
+    /// The Fig 12 scenario: a job's stage-in recorded with UNKNOWN
+    /// destination, plus an earlier byte-identical delivery with valid
+    /// endpoints.
+    fn fig12_store() -> (dmsa_metastore::MetaStore, dmsa_simcore::interval::Interval, u32, u32) {
+        let mut b = StoreBuilder::new();
+        let cern = b.site("CERN-PROD");
+        let unknown = dmsa_metastore::SymbolTable::UNKNOWN;
+        b.job_with_file(1, 10, cern, 5_243_410_528, 0, 1_277, 3_000);
+        // Earlier redundant delivery, valid metadata (transfers 3-5 of Table 3).
+        let witness = b.download(1, 10, cern, cern, 5_243_410_528, 100, 130);
+        // The matched stage-in with UNKNOWN destination (transfers 0-2).
+        // Its *true* destination is CERN; only the record is corrupted.
+        let broken = b.download(1, 10, cern, unknown, 5_243_410_528, 1_180, 1_271);
+        b.store.transfers[broken as usize].gt_destination_site = cern;
+        // Neutralize the witness's task link so only the broken one matches
+        // (the witness predates the job's own staging).
+        b.store.transfers[witness as usize].jeditaskid = None;
+        b.store.transfers[witness as usize].gt_pandaid = None;
+        let w = b.window();
+        (b.store, w, broken, witness)
+    }
+
+    #[test]
+    fn rm2_match_plus_inference_recovers_unknown_destination() {
+        let (store, w, broken, witness) = fig12_store();
+        let set = NaiveMatcher.match_jobs(&store, w, MatchMethod::Rm2);
+        assert_eq!(set.n_matched_transfers(), 1);
+        let inferred = infer_sites(&store, &set, SimDuration::from_days(2));
+        assert_eq!(inferred.len(), 1);
+        let inf = &inferred[0];
+        assert_eq!(inf.transfer_idx, broken);
+        assert!(inf.destination_missing);
+        assert_eq!(store.name(inf.inferred), "CERN-PROD");
+        assert!(inf.is_correct(&store));
+        assert_eq!(
+            inf.evidence,
+            InferenceEvidence::JobLinkAndDuplicate { witness }
+        );
+    }
+
+    #[test]
+    fn inference_without_witness_uses_job_link_only() {
+        let (mut store, w, _, witness) = fig12_store();
+        // Remove the witness.
+        store.transfers.remove(witness as usize);
+        let set = NaiveMatcher.match_jobs(&store, w, MatchMethod::Rm2);
+        let inferred = infer_sites(&store, &set, SimDuration::from_days(2));
+        assert_eq!(inferred.len(), 1);
+        assert_eq!(inferred[0].evidence, InferenceEvidence::JobLink);
+        assert!(inferred[0].is_correct(&store));
+    }
+
+    #[test]
+    fn exact_matches_produce_no_inferences() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 100, 0, 50, 100);
+        b.download(1, 10, site, site, 100, 5, 10);
+        let set = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Exact);
+        assert!(infer_sites(&b.store, &set, SimDuration::from_days(1)).is_empty());
+    }
+
+    #[test]
+    fn redundant_groups_detect_fig12_duplicates() {
+        let (store, _, broken, witness) = fig12_store();
+        // Resolve unknown destinations to the inferred site (CERN).
+        let cern = store.symbols.get("CERN-PROD").unwrap();
+        let groups = redundant_groups(&store, SimDuration::from_days(1), |i| {
+            let t = &store.transfers[i as usize];
+            if store.is_valid_site(t.destination_site) {
+                t.destination_site
+            } else {
+                cern
+            }
+        });
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.destination, cern);
+        assert_eq!(g.transfers, vec![witness, broken]);
+    }
+
+    #[test]
+    fn far_apart_duplicates_are_not_redundant() {
+        let (store, _, _, _) = fig12_store();
+        // 100 s window: the two deliveries are ~18 min apart.
+        let groups = redundant_groups(&store, SimDuration::from_secs(100), |i| {
+            store.transfers[i as usize].destination_site
+        });
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn distinct_destinations_are_not_redundant() {
+        let mut b = StoreBuilder::new();
+        let a = b.site("A");
+        let c = b.site("C");
+        b.job_with_file(1, 10, a, 100, 0, 50, 100);
+        b.download(1, 10, a, a, 100, 5, 10);
+        b.download(1, 10, a, c, 100, 6, 12); // same file, different dest
+        let groups = redundant_groups(&b.store, SimDuration::from_days(1), |i| {
+            b.store.transfers[i as usize].destination_site
+        });
+        assert!(groups.is_empty(), "replication to two sites is legitimate");
+    }
+}

@@ -1,0 +1,59 @@
+//! # dmsa-core
+//!
+//! The paper's primary contribution: fine-grained matching of PanDA jobs to
+//! Rucio file-transfer events (§4), plus evaluation against simulator
+//! ground truth.
+//!
+//! ## The matching problem
+//!
+//! Transfer records do not carry job identifiers. Algorithm 1 bridges the
+//! gap through PanDA's per-job **file table**: for each job `J_j`, the file
+//! rows sharing its (`pandaid`, `jeditaskid`) give a set of file attribute
+//! keys (`lfn`, `dataset`, `proddblock`, `scope`, `file_size`); transfers
+//! joining on those keys (and on `jeditaskid`) become candidates; a final
+//! filter on time, byte totals, and site consistency yields the match.
+//!
+//! ## Strategies
+//!
+//! * [`MatchMethod::Exact`] — Algorithm 1 in full: candidate transfers must
+//!   start before the job's end time, their per-direction size sums must
+//!   equal the job's `ninputfilebytes` / `noutputfilebytes`, and the
+//!   transfer endpoint must equal the job's computing site.
+//! * [`MatchMethod::Rm1`] — drops the byte-sum check (§4.3), recovering
+//!   jobs with missing sibling transfer records or inconsistent job byte
+//!   accounting.
+//! * [`MatchMethod::Rm2`] — additionally accepts transfers whose relevant
+//!   endpoint is recorded as `UNKNOWN` or an invalid name, and supports
+//!   *site inference* for those matches ([`infer`]).
+//!
+//! ## Implementations
+//!
+//! Three interchangeable engines produce **identical** match sets
+//! (property-tested): [`matcher::NaiveMatcher`] (reference, quadratic),
+//! [`index::IndexedMatcher`] (hash-join), and
+//! [`parallel::ParallelMatcher`] (rayon over jobs — the "parallelization
+//! will be especially valuable" future work of §5.5). Two extensions go
+//! beyond the paper: [`scored::ScoredMatcher`] replaces the binary filters
+//! with a composite evidence score and a tunable precision/recall
+//! threshold, and [`windowed::WindowedMatcher`] streams a long observation
+//! period through overlapping windows per §4.2's pre-selection rule.
+
+pub mod eval;
+pub mod index;
+pub mod infer;
+pub mod matcher;
+pub mod matchset;
+pub mod method;
+pub mod scored;
+pub mod windowed;
+
+pub use eval::{evaluate, MatchEvaluation};
+pub use index::IndexedMatcher;
+pub use matcher::NaiveMatcher;
+pub use matchset::{JobTransferClass, MatchSet, MatchedJob};
+pub use method::MatchMethod;
+pub use parallel::ParallelMatcher;
+pub use scored::{ScoreParams, ScoredMatcher, ScoredPair};
+pub use windowed::WindowedMatcher;
+
+pub mod parallel;

@@ -1,0 +1,466 @@
+//! Shared matching semantics and the reference (naive) implementation.
+//!
+//! All three engines funnel through [`finalize_candidates`], so they can
+//! only differ in *candidate generation* — and the property tests pin the
+//! candidate sets to be equal too. This is the module to read next to the
+//! paper's Algorithm 1 pseudocode.
+
+use crate::matchset::{MatchSet, MatchedJob};
+use crate::method::MatchMethod;
+use dmsa_metastore::{FileRecord, JobRecord, MetaStore, TransferRecord};
+use dmsa_simcore::interval::Interval;
+use std::collections::HashSet;
+
+/// The 5-attribute join key of Algorithm 1:
+/// (`lfn`, `dataset`, `proddblock`, `scope`, `file_size`).
+pub type FileKey = (
+    dmsa_metastore::Sym,
+    dmsa_metastore::Sym,
+    dmsa_metastore::Sym,
+    dmsa_metastore::Sym,
+    u64,
+);
+
+/// Join key of a file-table row.
+pub fn file_key(f: &FileRecord) -> FileKey {
+    (f.lfn, f.dataset, f.proddblock, f.scope, f.file_size)
+}
+
+/// Join key of a transfer record.
+pub fn transfer_key(t: &TransferRecord) -> FileKey {
+    (t.lfn, t.dataset, t.proddblock, t.scope, t.file_size)
+}
+
+/// Indices of the user jobs a matching run considers: user-analysis jobs
+/// completed within `window` (§4.2's common-time-window pre-selection).
+pub fn job_universe(store: &MetaStore, window: Interval) -> Vec<u32> {
+    store
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| {
+            j.is_user_analysis && j.endtime < window.end && j.creationtime >= window.start
+        })
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Does `t` pass the direction-aware site check for `job` under `method`?
+///
+/// Exact/RM1 (§4.2, condition 3): a download's destination — or an
+/// upload's source — must equal the job's computing site. RM2 (§4.3)
+/// additionally retains transfers whose relevant endpoint is recorded as
+/// `UNKNOWN` or an invalid name, "recognizing that these site labels may
+/// be incorrectly recorded in the metadata".
+fn site_check(job: &JobRecord, t: &TransferRecord, method: MatchMethod, store: &MetaStore) -> bool {
+    let relaxed = |site| method.relaxes_sites() && !store.is_valid_site(site);
+    if t.is_download {
+        t.destination_site == job.computingsite || relaxed(t.destination_site)
+    } else if t.is_upload {
+        t.source_site == job.computingsite || relaxed(t.source_site)
+    } else {
+        false
+    }
+}
+
+/// Apply Algorithm 1's final filter to a job's candidate transfers.
+///
+/// `candidates` are transfer indices already joined on `jeditaskid` and the
+/// 5-attribute file key. Ordering of the result is ascending by index.
+///
+/// The byte-sum condition (condition 2) is evaluated per direction group
+/// after the time and site filters: the download group must sum to
+/// `ninputfilebytes`, the upload group to `noutputfilebytes`; a failing
+/// group is rejected wholesale ("this filtering step treats T'_j as a
+/// whole set rather than solving the underlying NP-hard subset-selection
+/// problem", §4.2).
+pub fn finalize_candidates(
+    job: &JobRecord,
+    candidates: &[u32],
+    store: &MetaStore,
+    method: MatchMethod,
+) -> Vec<u32> {
+    let mut downloads: Vec<u32> = Vec::new();
+    let mut uploads: Vec<u32> = Vec::new();
+    for &ti in candidates {
+        let t = &store.transfers[ti as usize];
+        // Condition 1: the transfer started before the job ended.
+        if t.starttime >= job.endtime {
+            continue;
+        }
+        // Condition 3: direction-aware site consistency.
+        if !site_check(job, t, method, store) {
+            continue;
+        }
+        if t.is_download {
+            downloads.push(ti);
+        } else {
+            uploads.push(ti);
+        }
+    }
+
+    let mut out = Vec::with_capacity(downloads.len() + uploads.len());
+    if method.checks_byte_sums() {
+        // Condition 2: per-direction byte totals must match the job's.
+        let sum = |ids: &[u32]| -> u64 {
+            ids.iter()
+                .map(|&ti| store.transfers[ti as usize].file_size)
+                .sum()
+        };
+        if !downloads.is_empty() && sum(&downloads) == job.ninputfilebytes {
+            out.extend_from_slice(&downloads);
+        }
+        if !uploads.is_empty() && sum(&uploads) == job.noutputfilebytes {
+            out.extend_from_slice(&uploads);
+        }
+    } else {
+        out.extend_from_slice(&downloads);
+        out.extend_from_slice(&uploads);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A matching engine: produces the mapping set `M` for a store, window,
+/// and strategy.
+pub trait Matcher {
+    /// Run the matching.
+    fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet;
+}
+
+/// The reference implementation: per job, scan **every** transfer record.
+/// O(|J|·|T|); only suitable for small stores, but trivially correct —
+/// the other engines are property-tested against it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveMatcher;
+
+impl Matcher for NaiveMatcher {
+    fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet {
+        let mut out = Vec::new();
+        for job_idx in job_universe(store, window) {
+            let job = &store.jobs[job_idx as usize];
+            // F'_j: the job's file-table rows.
+            let keys: HashSet<FileKey> = store
+                .files
+                .iter()
+                .filter(|f| f.pandaid == job.pandaid && f.jeditaskid == job.jeditaskid)
+                .map(file_key)
+                .collect();
+            if keys.is_empty() {
+                continue;
+            }
+            // T'_j: transfers sharing the task id and a file key.
+            let candidates: Vec<u32> = store
+                .transfers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.jeditaskid == Some(job.jeditaskid) && keys.contains(&transfer_key(t))
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            let transfers = finalize_candidates(job, &candidates, store, method);
+            if !transfers.is_empty() {
+                out.push(MatchedJob { job_idx, transfers });
+            }
+        }
+        MatchSet { method, jobs: out }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A hand-built micro-store used across the matcher test modules.
+
+    use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, Sym, TransferRecord};
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_rucio_sim::Activity;
+    use dmsa_simcore::interval::Interval;
+    use dmsa_simcore::SimTime;
+
+    /// Builder for compact matcher test fixtures.
+    pub struct StoreBuilder {
+        pub store: MetaStore,
+        next_transfer: u64,
+    }
+
+    impl StoreBuilder {
+        pub fn new() -> Self {
+            StoreBuilder {
+                store: MetaStore::new(),
+                next_transfer: 0,
+            }
+        }
+
+        pub fn site(&mut self, name: &str) -> Sym {
+            self.store.register_site(name)
+        }
+
+        pub fn sym(&mut self, name: &str) -> Sym {
+            self.store.symbols.intern(name)
+        }
+
+        /// A user job with one input file of `size` at `site`, with the
+        /// matching file-table row. Returns the job index.
+        #[allow(clippy::too_many_arguments)]
+        pub fn job_with_file(
+            &mut self,
+            pandaid: u64,
+            taskid: u64,
+            site: Sym,
+            size: u64,
+            created_s: i64,
+            started_s: i64,
+            ended_s: i64,
+        ) -> u32 {
+            let lfn = self.sym(&format!("lfn-{pandaid}"));
+            let ds = self.sym(&format!("ds-{taskid}"));
+            let blk = self.sym(&format!("blk-{taskid}"));
+            let scope = self.sym("user.u0001");
+            self.store.files.push(FileRecord {
+                pandaid,
+                jeditaskid: taskid,
+                lfn,
+                dataset: ds,
+                proddblock: blk,
+                scope,
+                file_size: size,
+                direction: FileDirection::Input,
+            });
+            self.store.jobs.push(JobRecord {
+                pandaid,
+                jeditaskid: taskid,
+                computingsite: site,
+                creationtime: SimTime::from_secs(created_s),
+                starttime: SimTime::from_secs(started_s),
+                endtime: SimTime::from_secs(ended_s),
+                ninputfilebytes: size,
+                noutputfilebytes: 0,
+                io_mode: IoMode::StageIn,
+                status: JobStatus::Finished,
+                task_status: TaskStatus::Done,
+                error_code: None,
+                is_user_analysis: true,
+            });
+            (self.store.jobs.len() - 1) as u32
+        }
+
+        /// A download transfer for the job created by `job_with_file`.
+        pub fn download(
+            &mut self,
+            pandaid: u64,
+            taskid: u64,
+            src: Sym,
+            dst: Sym,
+            size: u64,
+            start_s: i64,
+            end_s: i64,
+        ) -> u32 {
+            let lfn = self.sym(&format!("lfn-{pandaid}"));
+            let ds = self.sym(&format!("ds-{taskid}"));
+            let blk = self.sym(&format!("blk-{taskid}"));
+            let scope = self.sym("user.u0001");
+            let id = self.next_transfer;
+            self.next_transfer += 1;
+            self.store.transfers.push(TransferRecord {
+                transfer_id: id,
+                lfn,
+                dataset: ds,
+                proddblock: blk,
+                scope,
+                file_size: size,
+                starttime: SimTime::from_secs(start_s),
+                endtime: SimTime::from_secs(end_s),
+                source_site: src,
+                destination_site: dst,
+                activity: Activity::AnalysisDownload,
+                jeditaskid: Some(taskid),
+                is_download: true,
+                is_upload: false,
+                gt_pandaid: Some(pandaid),
+                gt_source_site: src,
+                gt_destination_site: dst,
+                gt_file_size: size,
+            });
+            (self.store.transfers.len() - 1) as u32
+        }
+
+        pub fn window(&self) -> Interval {
+            Interval::new(SimTime::from_secs(0), SimTime::from_secs(1_000_000))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::StoreBuilder;
+    use super::*;
+
+    #[test]
+    fn exact_match_happy_path() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        let j = b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        let t = b.download(1, 10, site, site, 1_000, 10, 50);
+        let m = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Exact);
+        assert_eq!(m.jobs.len(), 1);
+        assert_eq!(m.jobs[0].job_idx, j);
+        assert_eq!(m.jobs[0].transfers, vec![t]);
+    }
+
+    #[test]
+    fn transfer_after_job_end_is_rejected() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        b.download(1, 10, site, site, 1_000, 250, 300); // starts after end
+        let m = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Exact);
+        assert!(m.jobs.is_empty());
+    }
+
+    #[test]
+    fn wrong_destination_site_is_rejected_by_exact_but_not_by_rm2_when_unknown() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        let other = b.site("SITE-B");
+        let unknown = dmsa_metastore::SymbolTable::UNKNOWN;
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        b.download(1, 10, other, other, 1_000, 10, 50); // valid but wrong dest
+        let mut b2 = StoreBuilder::new();
+        let site2 = b2.site("SITE-A");
+        b2.site("CERN");
+        b2.job_with_file(1, 10, site2, 1_000, 0, 100, 200);
+        b2.download(1, 10, site2, unknown, 1_000, 10, 50); // unknown dest
+
+        // Valid-but-different destination: rejected by every method.
+        for m in MatchMethod::ALL {
+            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+        }
+        // Unknown destination: rejected by Exact/RM1, accepted by RM2.
+        assert!(NaiveMatcher
+            .match_jobs(&b2.store, b2.window(), MatchMethod::Exact)
+            .jobs
+            .is_empty());
+        assert!(NaiveMatcher
+            .match_jobs(&b2.store, b2.window(), MatchMethod::Rm1)
+            .jobs
+            .is_empty());
+        assert_eq!(
+            NaiveMatcher
+                .match_jobs(&b2.store, b2.window(), MatchMethod::Rm2)
+                .jobs
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_sum_mismatch_rejected_by_exact_recovered_by_rm1() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        // The job's input totals 1_000 bytes but the recorded transfer has
+        // the right per-file size for a *different* sibling that was lost;
+        // emulate by bumping the job total.
+        b.store.jobs[0].ninputfilebytes = 5_000;
+        b.download(1, 10, site, site, 1_000, 10, 50);
+        assert!(NaiveMatcher
+            .match_jobs(&b.store, b.window(), MatchMethod::Exact)
+            .jobs
+            .is_empty());
+        assert_eq!(
+            NaiveMatcher
+                .match_jobs(&b.store, b.window(), MatchMethod::Rm1)
+                .jobs
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_taskid_on_transfer_never_matches() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        let t = b.download(1, 10, site, site, 1_000, 10, 50);
+        b.store.transfers[t as usize].jeditaskid = None;
+        for m in MatchMethod::ALL {
+            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+        }
+    }
+
+    #[test]
+    fn wrong_file_size_breaks_the_join_for_all_methods() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        b.download(1, 10, site, site, 999, 10, 50); // size jittered
+        for m in MatchMethod::ALL {
+            assert!(
+                NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty(),
+                "jittered size must break the attribute join under {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_file_job_requires_complete_set_for_exact() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        let j = b.job_with_file(1, 10, site, 600, 0, 100, 200);
+        // Add a second input file to the same job.
+        b.store.files.push(dmsa_metastore::FileRecord {
+            pandaid: 1,
+            jeditaskid: 10,
+            lfn: b.store.symbols.intern("lfn-1b"),
+            dataset: b.store.symbols.intern("ds-10"),
+            proddblock: b.store.symbols.intern("blk-10"),
+            scope: b.store.symbols.intern("user.u0001"),
+            file_size: 400,
+            direction: dmsa_metastore::FileDirection::Input,
+        });
+        b.store.jobs[j as usize].ninputfilebytes = 1_000;
+        // First file's transfer (600 B) only.
+        let lfn_a = b.store.symbols.get("lfn-1").unwrap();
+        b.download(1, 10, site, site, 600, 10, 50);
+        b.store.transfers.last_mut().unwrap().lfn = lfn_a;
+        b.store.transfers.last_mut().unwrap().file_size = 600;
+
+        // Incomplete set: sum 600 != 1000 → exact fails, RM1 succeeds.
+        assert!(NaiveMatcher
+            .match_jobs(&b.store, b.window(), MatchMethod::Exact)
+            .jobs
+            .is_empty());
+        let rm1 = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Rm1);
+        assert_eq!(rm1.n_matched_transfers(), 1);
+
+        // Adding the second transfer completes the sum → exact succeeds.
+        b.download(1, 10, site, site, 400, 12, 60);
+        let t = b.store.transfers.last_mut().unwrap();
+        t.lfn = b.store.symbols.get("lfn-1b").unwrap();
+        let exact = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Exact);
+        assert_eq!(exact.n_matched_transfers(), 2);
+    }
+
+    #[test]
+    fn production_jobs_are_excluded_from_the_universe() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        b.store.jobs[0].is_user_analysis = false;
+        b.download(1, 10, site, site, 1_000, 10, 50);
+        for m in MatchMethod::ALL {
+            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+        }
+    }
+
+    #[test]
+    fn window_excludes_jobs_ending_outside() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 2_000_000);
+        b.download(1, 10, site, site, 1_000, 10, 50);
+        let m = NaiveMatcher.match_jobs(&b.store, b.window(), MatchMethod::Exact);
+        assert!(m.jobs.is_empty(), "job still running at window end");
+    }
+}

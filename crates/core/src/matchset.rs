@@ -1,0 +1,196 @@
+//! Match results and their classification.
+
+use crate::method::MatchMethod;
+use dmsa_metastore::MetaStore;
+use serde::{Deserialize, Serialize};
+
+/// One matched job with its associated transfer events.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchedJob {
+    /// Index into `store.jobs`.
+    pub job_idx: u32,
+    /// Indices into `store.transfers`, sorted ascending. Never empty.
+    pub transfers: Vec<u32>,
+}
+
+/// Locality class of a matched job's transfer set (Table 2b columns).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum JobTransferClass {
+    /// Every matched transfer is local per recorded metadata.
+    AllLocal,
+    /// Every matched transfer is remote (or has unknown endpoints).
+    AllRemote,
+    /// Both kinds present.
+    Mixed,
+}
+
+/// The output of a matching run: the set `M` of Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchSet {
+    /// Strategy that produced this set.
+    pub method: MatchMethod,
+    /// Matched jobs, ordered by `job_idx`. Jobs without matches are absent.
+    pub jobs: Vec<MatchedJob>,
+}
+
+/// Table 2a row: matched transfer counts by locality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferCounts {
+    /// Local (recorded source == destination, both valid).
+    pub local: usize,
+    /// Remote or unknown-endpoint transfers.
+    pub remote: usize,
+}
+
+impl TransferCounts {
+    /// Total matched transfers.
+    pub fn total(&self) -> usize {
+        self.local + self.remote
+    }
+}
+
+/// Table 2b row: matched job counts by transfer-locality class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobCounts {
+    /// Jobs whose matched transfers are all local.
+    pub all_local: usize,
+    /// Jobs whose matched transfers are all remote.
+    pub all_remote: usize,
+    /// Jobs with both.
+    pub mixed: usize,
+}
+
+impl JobCounts {
+    /// Total matched jobs.
+    pub fn total(&self) -> usize {
+        self.all_local + self.all_remote + self.mixed
+    }
+}
+
+/// Is this transfer local per *recorded* metadata? Unknown or invalid
+/// endpoints never count as local — they surface in Table 2a's remote
+/// column, which is why RM2's remote count jumps by 24 k in the paper.
+pub fn recorded_local(store: &MetaStore, transfer_idx: u32) -> bool {
+    let t = &store.transfers[transfer_idx as usize];
+    t.source_site == t.destination_site && store.is_valid_site(t.source_site)
+}
+
+impl MatchSet {
+    /// Total number of matched transfers (with multiplicity across jobs —
+    /// a transfer matched to two jobs counts twice, as in the paper's
+    /// per-job accounting).
+    pub fn n_matched_transfers(&self) -> usize {
+        self.jobs.iter().map(|j| j.transfers.len()).sum()
+    }
+
+    /// Number of matched jobs.
+    pub fn n_matched_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of *distinct* matched transfer events.
+    pub fn n_distinct_transfers(&self) -> usize {
+        let mut ids: Vec<u32> = self
+            .jobs
+            .iter()
+            .flat_map(|j| j.transfers.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Table 2a: matched transfer counts split by recorded locality.
+    pub fn transfer_counts(&self, store: &MetaStore) -> TransferCounts {
+        let mut c = TransferCounts::default();
+        for j in &self.jobs {
+            for &ti in &j.transfers {
+                if recorded_local(store, ti) {
+                    c.local += 1;
+                } else {
+                    c.remote += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Locality class of one matched job.
+    pub fn classify_job(&self, store: &MetaStore, job: &MatchedJob) -> JobTransferClass {
+        let mut any_local = false;
+        let mut any_remote = false;
+        for &ti in &job.transfers {
+            if recorded_local(store, ti) {
+                any_local = true;
+            } else {
+                any_remote = true;
+            }
+        }
+        match (any_local, any_remote) {
+            (true, false) => JobTransferClass::AllLocal,
+            (false, true) => JobTransferClass::AllRemote,
+            (true, true) => JobTransferClass::Mixed,
+            (false, false) => unreachable!("matched jobs have at least one transfer"),
+        }
+    }
+
+    /// Table 2b: matched job counts by locality class.
+    pub fn job_counts(&self, store: &MetaStore) -> JobCounts {
+        let mut c = JobCounts::default();
+        for j in &self.jobs {
+            match self.classify_job(store, j) {
+                JobTransferClass::AllLocal => c.all_local += 1,
+                JobTransferClass::AllRemote => c.all_remote += 1,
+                JobTransferClass::Mixed => c.mixed += 1,
+            }
+        }
+        c
+    }
+
+    /// True if `other` (a stricter method's result) is contained in this
+    /// set job-by-job — the Exact ⊆ RM1 ⊆ RM2 monotonicity property.
+    pub fn contains(&self, other: &MatchSet) -> bool {
+        let by_job: std::collections::HashMap<u32, &MatchedJob> =
+            self.jobs.iter().map(|j| (j.job_idx, j)).collect();
+        other.jobs.iter().all(|oj| {
+            by_job.get(&oj.job_idx).is_some_and(|sj| {
+                oj.transfers.iter().all(|t| sj.transfers.binary_search(t).is_ok())
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(method: MatchMethod, jobs: Vec<(u32, Vec<u32>)>) -> MatchSet {
+        MatchSet {
+            method,
+            jobs: jobs
+                .into_iter()
+                .map(|(job_idx, transfers)| MatchedJob { job_idx, transfers })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let m = mk(MatchMethod::Exact, vec![(0, vec![1, 2]), (3, vec![2])]);
+        assert_eq!(m.n_matched_jobs(), 2);
+        assert_eq!(m.n_matched_transfers(), 3);
+        assert_eq!(m.n_distinct_transfers(), 2);
+    }
+
+    #[test]
+    fn containment_checks_jobs_and_transfers() {
+        let big = mk(MatchMethod::Rm1, vec![(0, vec![1, 2, 3]), (5, vec![7])]);
+        let small = mk(MatchMethod::Exact, vec![(0, vec![1, 3])]);
+        let off = mk(MatchMethod::Exact, vec![(0, vec![4])]);
+        let extra_job = mk(MatchMethod::Exact, vec![(9, vec![1])]);
+        assert!(big.contains(&small));
+        assert!(!big.contains(&off));
+        assert!(!big.contains(&extra_job));
+        assert!(big.contains(&big));
+    }
+}

@@ -1,0 +1,80 @@
+//! Matching strategy selection.
+
+use serde::{Deserialize, Serialize};
+
+/// The three matching strategies of §4.2–4.3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MatchMethod {
+    /// Algorithm 1 in full (time + byte-sum + site checks).
+    Exact,
+    /// Relaxed level 1: the byte-sum check is dropped.
+    Rm1,
+    /// Relaxed level 2: RM1, plus `UNKNOWN`/invalid endpoint names pass
+    /// the site check.
+    Rm2,
+}
+
+impl MatchMethod {
+    /// All methods in increasing relaxation order.
+    pub const ALL: [MatchMethod; 3] = [MatchMethod::Exact, MatchMethod::Rm1, MatchMethod::Rm2];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchMethod::Exact => "Exact",
+            MatchMethod::Rm1 => "RM1",
+            MatchMethod::Rm2 => "RM2",
+        }
+    }
+
+    /// Whether the byte-sum check applies.
+    pub fn checks_byte_sums(self) -> bool {
+        matches!(self, MatchMethod::Exact)
+    }
+
+    /// Whether unknown/invalid endpoints pass the site check.
+    pub fn relaxes_sites(self) -> bool {
+        matches!(self, MatchMethod::Rm2)
+    }
+
+    /// `a.subsumes(b)` — every match found by `b` must also be found by
+    /// `a` on the same store (the monotonicity the property tests assert).
+    pub fn subsumes(self, other: MatchMethod) -> bool {
+        use MatchMethod::*;
+        matches!(
+            (self, other),
+            (Exact, Exact) | (Rm1, Exact) | (Rm1, Rm1) | (Rm2, _)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MatchMethod::Exact.label(), "Exact");
+        assert_eq!(MatchMethod::Rm1.label(), "RM1");
+        assert_eq!(MatchMethod::Rm2.label(), "RM2");
+    }
+
+    #[test]
+    fn relaxation_flags() {
+        assert!(MatchMethod::Exact.checks_byte_sums());
+        assert!(!MatchMethod::Rm1.checks_byte_sums());
+        assert!(!MatchMethod::Rm2.checks_byte_sums());
+        assert!(MatchMethod::Rm2.relaxes_sites());
+        assert!(!MatchMethod::Rm1.relaxes_sites());
+    }
+
+    #[test]
+    fn subsumption_is_a_chain() {
+        use MatchMethod::*;
+        assert!(Rm2.subsumes(Rm1) && Rm2.subsumes(Exact) && Rm1.subsumes(Exact));
+        assert!(!Exact.subsumes(Rm1) && !Rm1.subsumes(Rm2));
+        for m in MatchMethod::ALL {
+            assert!(m.subsumes(m));
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Time-varying effective bandwidth between sites.
+//!
+//! The paper's Fig 7/8 show that effective throughput on both remote links
+//! and local storage frontends fluctuates by an order of magnitude within
+//! hours, is asymmetric between the two directions of a site pair, and
+//! occasionally collapses (deep congestion drops). This module models the
+//! *effective per-stream rate* as a deterministic pure function of
+//! `(seed, directed link, time bucket)`:
+//!
+//! ```text
+//! rate(src→dst, t) = base(tier_src, tier_dst)
+//!                  × site_factor(src) × site_factor(dst)
+//!                  × diurnal(t, phase(link))
+//!                  × lognormal_noise(link, bucket(t))
+//!                  × congestion_drop(link, bucket(t))
+//! ```
+//!
+//! Purity (no mutable state) means any number of components can query rates
+//! concurrently and the campaign stays reproducible regardless of call
+//! order — the property the whole repro rests on.
+
+use crate::site::{SiteId, Tier};
+use crate::topology::GridTopology;
+use dmsa_simcore::{RngFactory, SimDuration, SimTime};
+use rand::RngExt;
+
+/// Width of the piecewise-constant bandwidth buckets.
+pub const BUCKET: SimDuration = SimDuration::from_secs(300);
+
+/// Fraction of buckets that suffer a congestion drop.
+const DROP_PROB: f64 = 0.05;
+/// Rate multiplier during a congestion drop.
+const DROP_FACTOR: f64 = 0.08;
+/// Fraction of buckets in *deep* collapse (storage frontend overload,
+/// retry storms). These produce the paper's pathological transfers: GBs
+/// crawling for hours (Fig 10's 17.7x spread, Fig 11's 30-minute 20 GB
+/// transfer, Fig 5's 10,000 s staging).
+const DEEP_DROP_PROB: f64 = 0.012;
+/// Rate multiplier during a deep collapse.
+const DEEP_DROP_FACTOR: f64 = 0.012;
+/// Log-normal sigma of the per-bucket noise.
+const NOISE_SIGMA: f64 = 0.55;
+/// Diurnal modulation amplitude.
+const DIURNAL_AMP: f64 = 0.35;
+
+/// Deterministic effective-bandwidth oracle for a fixed topology.
+#[derive(Clone, Debug)]
+pub struct BandwidthModel {
+    seed: u64,
+    tiers: Vec<Tier>,
+    site_factor: Vec<f64>,
+}
+
+impl BandwidthModel {
+    /// Build the model for `topology`, deriving per-site heterogeneity from
+    /// the `"gridnet/bandwidth"` RNG stream.
+    pub fn new(rngs: &RngFactory, topology: &GridTopology) -> Self {
+        let mut rng = rngs.stream("gridnet/bandwidth");
+        let site_factor = topology
+            .sites()
+            .iter()
+            .map(|_| 0.6 + 0.9 * rng.random::<f64>())
+            .collect();
+        BandwidthModel {
+            seed: rngs.master_seed(),
+            tiers: topology.sites().iter().map(|s| s.tier).collect(),
+            site_factor,
+        }
+    }
+
+    /// Baseline per-stream rate (MB/s) for a tier pair, before modulation.
+    fn base_mbps(&self, src: SiteId, dst: SiteId) -> f64 {
+        let ts = self.tiers[src.index()];
+        let td = self.tiers[dst.index()];
+        if src == dst {
+            // Local transfers: storage frontend to worker scratch.
+            match ts {
+                Tier::T0 => 320.0,
+                Tier::T1 => 260.0,
+                Tier::T2 => 160.0,
+                Tier::T3 => 80.0,
+            }
+        } else {
+            use Tier::*;
+            match (ts.min(td), ts.max(td)) {
+                (T0, T0) => 200.0, // unreachable in practice: single T0
+                (T0, T1) | (T1, T1) => 110.0,
+                (T0, T2) | (T1, T2) => 55.0,
+                (T2, T2) => 28.0,
+                (_, T3) => 12.0,
+                _ => 28.0,
+            }
+        }
+    }
+
+    /// Effective per-stream rate in MB/s on the **directed** link
+    /// `src → dst` at instant `t`. Always strictly positive.
+    pub fn effective_mbps(&self, src: SiteId, dst: SiteId, t: SimTime) -> f64 {
+        let base =
+            self.base_mbps(src, dst) * self.site_factor[src.index()] * self.site_factor[dst.index()];
+        let bucket = t.as_millis().div_euclid(BUCKET.as_millis());
+
+        // Directed-link identity: direction matters (Fig 7a vs 7b asymmetry).
+        let link = ((src.0 as u64) << 32) | dst.0 as u64;
+
+        // Diurnal load curve with a per-link phase offset.
+        let phase = uniform(mix(self.seed, link, 0x00D1)) * std::f64::consts::TAU;
+        let day_frac = (t.as_millis().rem_euclid(86_400_000)) as f64 / 86_400_000.0;
+        let diurnal = 1.0 - DIURNAL_AMP * (std::f64::consts::TAU * day_frac + phase).sin();
+
+        // Per-bucket log-normal noise.
+        let u1 = uniform(mix(self.seed, link, bucket as u64 ^ 0xA5A5));
+        let u2 = uniform(mix(self.seed, link, bucket as u64 ^ 0x5A5A));
+        let z = box_muller(u1, u2);
+        let noise = (NOISE_SIGMA * z).exp();
+
+        // Rare congestion drops, two tiers deep.
+        let u_drop = uniform(mix(self.seed, link, bucket as u64 ^ 0xD20B));
+        let drop = if u_drop < DEEP_DROP_PROB {
+            DEEP_DROP_FACTOR
+        } else if u_drop < DROP_PROB {
+            DROP_FACTOR
+        } else {
+            1.0
+        };
+
+        (base * diurnal * noise * drop).max(0.05)
+    }
+
+    /// Completion time of a single-stream transfer of `bytes` starting at
+    /// `start` on `src → dst`, integrating the piecewise-constant rate.
+    pub fn transfer_end(&self, src: SiteId, dst: SiteId, start: SimTime, bytes: u64) -> SimTime {
+        let mut remaining = bytes as f64;
+        let mut t = start;
+        // Bound the loop: even at the floor rate a transfer finishes.
+        for _ in 0..4_000_000 {
+            if remaining <= 0.0 {
+                break;
+            }
+            let rate_bytes_per_ms = self.effective_mbps(src, dst, t) * 1_000.0; // MB/s → bytes/ms
+            let bucket_end = SimTime::from_millis(
+                (t.as_millis().div_euclid(BUCKET.as_millis()) + 1) * BUCKET.as_millis(),
+            );
+            let span_ms = (bucket_end - t).as_millis() as f64;
+            let capacity = rate_bytes_per_ms * span_ms;
+            if capacity >= remaining {
+                let need_ms = (remaining / rate_bytes_per_ms).ceil().max(1.0) as i64;
+                return t + SimDuration::from_millis(need_ms);
+            }
+            remaining -= capacity;
+            t = bucket_end;
+        }
+        t
+    }
+
+    /// Mean throughput (bytes/s) achieved by a transfer occupying
+    /// `[start, end)`.
+    pub fn mean_throughput_bytes_per_sec(bytes: u64, start: SimTime, end: SimTime) -> f64 {
+        let secs = (end - start).as_secs_f64().max(1e-3);
+        bytes as f64 / secs
+    }
+}
+
+/// SplitMix64-style integer mixing of three words.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed ^ a.rotate_left(17) ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform in `(0, 1)` (never exactly 0 or 1).
+fn uniform(h: u64) -> f64 {
+    (((h >> 11) as f64) + 0.5) / (1u64 << 53) as f64
+}
+
+/// One standard normal deviate from two uniforms.
+fn box_muller(u1: f64, u2: f64) -> f64 {
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologyConfig;
+
+    fn model() -> (GridTopology, BandwidthModel) {
+        let rngs = RngFactory::new(42);
+        let topo = GridTopology::generate(&rngs, &TopologyConfig::default());
+        let bw = BandwidthModel::new(&rngs, &topo);
+        (topo, bw)
+    }
+
+    #[test]
+    fn rates_are_positive_and_deterministic() {
+        let (_, bw) = model();
+        let (a, b) = (SiteId(0), SiteId(5));
+        for h in 0..48 {
+            let t = SimTime::from_hours(h);
+            let r1 = bw.effective_mbps(a, b, t);
+            let r2 = bw.effective_mbps(a, b, t);
+            assert!(r1 > 0.0);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn local_rates_exceed_remote_rates_on_average() {
+        let (_, bw) = model();
+        let local: f64 = (0..200)
+            .map(|i| bw.effective_mbps(SiteId(1), SiteId(1), SimTime::from_secs(i * 600)))
+            .sum::<f64>()
+            / 200.0;
+        let remote: f64 = (0..200)
+            .map(|i| bw.effective_mbps(SiteId(1), SiteId(30), SimTime::from_secs(i * 600)))
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            local > remote * 1.5,
+            "local {local:.1} MBps vs remote {remote:.1} MBps"
+        );
+    }
+
+    #[test]
+    fn direction_is_asymmetric() {
+        let (_, bw) = model();
+        let t = SimTime::from_hours(10);
+        let fwd = bw.effective_mbps(SiteId(2), SiteId(40), t);
+        let rev = bw.effective_mbps(SiteId(40), SiteId(2), t);
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn rates_fluctuate_substantially_over_time() {
+        let (_, bw) = model();
+        let rates: Vec<f64> = (0..288) // one day of 5-min buckets
+            .map(|i| bw.effective_mbps(SiteId(3), SiteId(3), SimTime::from_secs(i * 300)))
+            .collect();
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min > 4.0,
+            "expected order-of-magnitude swings, got {min:.1}..{max:.1}"
+        );
+    }
+
+    #[test]
+    fn congestion_drops_occur_at_expected_rate() {
+        let (_, bw) = model();
+        // Count buckets whose rate is far below the running median.
+        let rates: Vec<f64> = (0..2000)
+            .map(|i| bw.effective_mbps(SiteId(4), SiteId(7), SimTime::from_secs(i * 300)))
+            .collect();
+        let mut sorted = rates.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let drops = rates.iter().filter(|&&r| r < median * 0.2).count();
+        let frac = drops as f64 / rates.len() as f64;
+        assert!(
+            (0.01..0.15).contains(&frac),
+            "drop fraction {frac} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn transfer_end_is_after_start_and_monotone_in_size() {
+        let (_, bw) = model();
+        let start = SimTime::from_hours(5);
+        let small = bw.transfer_end(SiteId(0), SiteId(0), start, 100_000_000);
+        let big = bw.transfer_end(SiteId(0), SiteId(0), start, 10_000_000_000);
+        assert!(small > start);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn transfer_duration_roughly_matches_rate() {
+        let (_, bw) = model();
+        let start = SimTime::from_hours(3);
+        let bytes: u64 = 2_000_000_000; // 2 GB
+        let end = bw.transfer_end(SiteId(0), SiteId(0), start, bytes);
+        let secs = (end - start).as_secs_f64();
+        // Local T0 rate is a few hundred MB/s; 2 GB should take seconds to
+        // a few minutes, never hours.
+        assert!(secs > 0.5 && secs < 3_600.0, "2GB local took {secs}s");
+    }
+
+    #[test]
+    fn transfer_spanning_congestion_takes_longer() {
+        let (_, bw) = model();
+        // Find a bucket with a deep drop relative to its neighbour, then
+        // check a transfer started inside it finishes later than one started
+        // in the faster bucket.
+        let (src, dst) = (SiteId(9), SiteId(9));
+        let mut slow_start = None;
+        for i in 0..5000 {
+            let t = SimTime::from_secs(i * 300);
+            let r = bw.effective_mbps(src, dst, t);
+            let r_next = bw.effective_mbps(src, dst, t + SimDuration::from_secs(300));
+            if r < r_next * 0.15 {
+                slow_start = Some(t);
+                break;
+            }
+        }
+        let t0 = slow_start.expect("no congestion drop found in 5000 buckets");
+        let bytes = 5_000_000_000;
+        let d_slow = (bw.transfer_end(src, dst, t0, bytes) - t0).as_secs_f64();
+        let t1 = t0 + SimDuration::from_secs(300);
+        let d_fast = (bw.transfer_end(src, dst, t1, bytes) - t1).as_secs_f64();
+        assert!(
+            d_slow > d_fast,
+            "transfer in congested bucket ({d_slow}s) not slower than after ({d_fast}s)"
+        );
+    }
+
+    #[test]
+    fn mean_throughput_helper() {
+        let th = BandwidthModel::mean_throughput_bytes_per_sec(
+            1_000_000,
+            SimTime::from_secs(0),
+            SimTime::from_secs(10),
+        );
+        assert!((th - 100_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,77 @@
+//! Topology generation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling synthetic grid generation.
+///
+/// Defaults approximate the footprint visible in the paper's Fig 3 heatmap
+/// (111 active sites) at the tier mix typical of the WLCG: one Tier-0, about
+/// a dozen Tier-1s, a long tail of Tier-2/Tier-3 sites.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of Tier-1 sites.
+    pub n_tier1: usize,
+    /// Number of Tier-2 sites.
+    pub n_tier2: usize,
+    /// Number of Tier-3 sites.
+    pub n_tier3: usize,
+    /// Pareto shape for the per-site activity weight (lower = heavier tail).
+    pub activity_pareto_shape: f64,
+    /// Fraction of sites whose storage frontend supports only one concurrent
+    /// transfer stream (the Fig 10 sequential-staging pathology).
+    pub single_stream_site_fraction: f64,
+    /// Mean compute slots at a Tier-2 site; other tiers scale from this.
+    pub t2_compute_slots: u32,
+    /// Disk capacity of a Tier-2 DATADISK in bytes; other tiers scale
+    /// from this. Presets shrink it with campaign scale so storage
+    /// pressure (and therefore the deletion reaper) stays realistic.
+    pub t2_disk_capacity_bytes: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            n_tier1: 12,
+            n_tier2: 70,
+            n_tier3: 28,
+            activity_pareto_shape: 1.1,
+            single_stream_site_fraction: 0.15,
+            t2_compute_slots: 400,
+            t2_disk_capacity_bytes: 5_000_000_000_000_000, // 5 PB
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small topology for unit tests and examples (fast to generate and
+    /// simulate, still tier-diverse).
+    pub fn small() -> Self {
+        TopologyConfig {
+            n_tier1: 3,
+            n_tier2: 8,
+            n_tier3: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of sites this config will generate (including Tier-0).
+    pub fn total_sites(&self) -> usize {
+        1 + self.n_tier1 + self.n_tier2 + self.n_tier3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_footprint() {
+        let c = TopologyConfig::default();
+        assert_eq!(c.total_sites(), 111);
+    }
+
+    #[test]
+    fn small_is_smaller() {
+        assert!(TopologyConfig::small().total_sites() < 20);
+    }
+}

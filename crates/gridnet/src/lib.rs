@@ -1,0 +1,33 @@
+//! # dmsa-gridnet
+//!
+//! A WLCG-like grid substrate: tiered computing sites (Tier-0 … Tier-3, §2.1
+//! of the paper), storage elements, and site-to-site links whose *effective*
+//! bandwidth fluctuates over time.
+//!
+//! The paper's analyses hinge on two properties of the real grid that this
+//! crate reproduces:
+//!
+//! 1. **Spatial imbalance** (Fig 3): a handful of site pairs — mostly the
+//!    diagonal (local transfers) at T0/T1 hubs — carry petabytes while the
+//!    median pair carries almost nothing. We get this from a tiered topology
+//!    with heavy-tailed per-site activity weights.
+//! 2. **Temporal variability** (Fig 7, Fig 8): effective throughput on a
+//!    given link fluctuates by an order of magnitude within hours, and is
+//!    *asymmetric* between the two directions of the same site pair. We get
+//!    this from a deterministic, seeded noise process per (directed link,
+//!    time bucket) composed with a diurnal load curve and rare deep
+//!    congestion events.
+//!
+//! Bandwidth is a pure function of `(master seed, directed link, time)` —
+//! no mutable state — so any component may query it at any time and the
+//! whole campaign stays reproducible.
+
+pub mod bandwidth;
+pub mod config;
+pub mod site;
+pub mod topology;
+
+pub use bandwidth::BandwidthModel;
+pub use config::TopologyConfig;
+pub use site::{Rse, RseId, RseKind, Site, SiteId, Tier};
+pub use topology::GridTopology;

@@ -1,0 +1,142 @@
+//! Sites, tiers, and storage elements.
+//!
+//! Mirrors the WLCG organisation described in §2.1 of the paper: Tier-0 at
+//! CERN records and first-processes raw data; Tier-1 national labs hold
+//! long-term storage; Tier-2 universities contribute simulation and analysis
+//! capacity; Tier-3 institutions serve localized access. Each site exposes
+//! one or more Rucio Storage Elements (RSEs, §2.2) — logical endpoints for
+//! disk or tape.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense site identifier; index into [`crate::GridTopology::sites`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Index form, for matrix addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Dense RSE identifier; index into [`crate::GridTopology::rses`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RseId(pub u32);
+
+impl RseId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// WLCG tier of a computing site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Tier {
+    /// CERN: raw data recording and first-pass processing.
+    T0,
+    /// National laboratories: long-term storage, reprocessing.
+    T1,
+    /// Universities / labs: simulation and user analysis.
+    T2,
+    /// Small institutions: localized access.
+    T3,
+}
+
+impl Tier {
+    /// All tiers, hub first.
+    pub const ALL: [Tier; 4] = [Tier::T0, Tier::T1, Tier::T2, Tier::T3];
+
+    /// Short label used in site names ("Tier-0" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::T0 => "Tier-0",
+            Tier::T1 => "Tier-1",
+            Tier::T2 => "Tier-2",
+            Tier::T3 => "Tier-3",
+        }
+    }
+}
+
+/// Storage media class behind an RSE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RseKind {
+    /// Online disk storage (DATADISK / SCRATCHDISK style).
+    Disk,
+    /// Nearline tape; access implies a staging recall.
+    Tape,
+}
+
+/// A computing site on the grid.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Site {
+    /// Dense identifier.
+    pub id: SiteId,
+    /// Human-readable name, e.g. `"BNL_T1"` or `"CERN-PROD"`.
+    pub name: String,
+    /// WLCG tier.
+    pub tier: Tier,
+    /// Geographic region label (used for figure captions, e.g. "NY, USA").
+    pub region: String,
+    /// Number of concurrent job slots (compute capacity).
+    pub compute_slots: u32,
+    /// Number of concurrent inbound/outbound transfer streams the site's
+    /// storage frontend sustains. Sites with `1` serialize their transfers —
+    /// the paper's Fig 10 "sequential rather than parallel" pathology.
+    pub transfer_slots: u32,
+    /// Relative activity weight; heavy-tailed across sites, which produces
+    /// the Fig 3 hot spots.
+    pub activity_weight: f64,
+    /// RSEs hosted at this site.
+    pub rses: Vec<RseId>,
+}
+
+/// A Rucio Storage Element: a logical storage endpoint at a site.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rse {
+    /// Dense identifier.
+    pub id: RseId,
+    /// Endpoint name, e.g. `"BNL_T1_DATADISK"`.
+    pub name: String,
+    /// Hosting site.
+    pub site: SiteId,
+    /// Disk or tape.
+    pub kind: RseKind,
+    /// Capacity in bytes (used by rule evaluation / deletion pressure).
+    pub capacity_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(Tier::T0.label(), "Tier-0");
+        assert_eq!(Tier::T3.label(), "Tier-3");
+        assert_eq!(Tier::ALL.len(), 4);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(SiteId(1) < SiteId(2));
+        assert_eq!(SiteId(5).index(), 5);
+        assert_eq!(RseId(3).index(), 3);
+        assert_eq!(format!("{:?}", SiteId(7)), "S7");
+        assert_eq!(format!("{:?}", RseId(7)), "R7");
+    }
+}

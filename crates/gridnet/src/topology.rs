@@ -1,0 +1,348 @@
+//! Synthetic WLCG-like topology generation.
+
+use crate::config::TopologyConfig;
+use crate::site::{Rse, RseId, RseKind, Site, SiteId, Tier};
+use dmsa_simcore::RngFactory;
+use rand::RngExt;
+use rand_distr::{Distribution, Pareto};
+use serde::{Deserialize, Serialize};
+
+/// The generated grid: sites, RSEs, and name lookup.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridTopology {
+    sites: Vec<Site>,
+    rses: Vec<Rse>,
+}
+
+/// Region labels assigned round-robin to generated sites. The first few
+/// mirror the locations the paper calls out in Fig 3 (NY USA T1, CERN T0,
+/// Switzerland T2, France T2, North Europe T1).
+const T1_REGIONS: &[&str] = &[
+    "NY, USA",
+    "North Europe",
+    "France",
+    "UK",
+    "Germany",
+    "Italy",
+    "Spain",
+    "Canada",
+    "Netherlands",
+    "Taiwan",
+    "Japan",
+    "Nordic",
+];
+
+const T2_REGIONS: &[&str] = &[
+    "Switzerland",
+    "France",
+    "USA Midwest",
+    "USA Southwest",
+    "Germany",
+    "Italy",
+    "Spain",
+    "UK",
+    "Poland",
+    "Czechia",
+    "Romania",
+    "Israel",
+    "Brazil",
+    "Australia",
+    "South Africa",
+    "Slovenia",
+    "Portugal",
+    "Austria",
+    "Greece",
+    "Turkey",
+];
+
+impl GridTopology {
+    /// Generate a topology from `config`, deterministically from `rngs`.
+    pub fn generate(rngs: &RngFactory, config: &TopologyConfig) -> Self {
+        let mut rng = rngs.stream("gridnet/topology");
+        let pareto = Pareto::new(1.0, config.activity_pareto_shape)
+            .expect("pareto shape must be positive");
+
+        let mut sites = Vec::with_capacity(config.total_sites());
+        let mut rses = Vec::new();
+
+        let push_site = |sites: &mut Vec<Site>,
+                             rses: &mut Vec<Rse>,
+                             name: String,
+                             tier: Tier,
+                             region: String,
+                             rng: &mut rand::rngs::SmallRng| {
+            let id = SiteId(sites.len() as u32);
+            // Compute capacity scales by tier with ±30% jitter.
+            let tier_mult = match tier {
+                Tier::T0 => 6.0,
+                Tier::T1 => 3.0,
+                Tier::T2 => 1.0,
+                Tier::T3 => 0.25,
+            };
+            let jitter = 0.7 + 0.6 * rng.random::<f64>();
+            let compute_slots =
+                ((config.t2_compute_slots as f64) * tier_mult * jitter).max(4.0) as u32;
+
+            // Transfer concurrency: hubs sustain many streams; a configured
+            // fraction of non-hub sites serialize transfers entirely.
+            let transfer_slots = if matches!(tier, Tier::T0 | Tier::T1) {
+                rng.random_range(8..=16)
+            } else if rng.random::<f64>() < config.single_stream_site_fraction {
+                1
+            } else {
+                rng.random_range(2..=6)
+            };
+
+            // Heavy-tailed activity weight, boosted for hub tiers so that
+            // the Fig 3 outliers land on T0/T1 cells.
+            let tail: f64 = pareto.sample(rng);
+            let activity_weight = tail
+                * match tier {
+                    Tier::T0 => 40.0,
+                    Tier::T1 => 10.0,
+                    Tier::T2 => 1.0,
+                    Tier::T3 => 0.2,
+                };
+
+            let mut site_rses = Vec::new();
+            let disk_id = RseId(rses.len() as u32);
+            rses.push(Rse {
+                id: disk_id,
+                name: format!("{name}_DATADISK"),
+                site: id,
+                kind: RseKind::Disk,
+                capacity_bytes: (config.t2_disk_capacity_bytes as f64 * tier_mult * jitter)
+                    as u64,
+            });
+            site_rses.push(disk_id);
+            if matches!(tier, Tier::T0 | Tier::T1) {
+                let tape_id = RseId(rses.len() as u32);
+                rses.push(Rse {
+                    id: tape_id,
+                    name: format!("{name}_MCTAPE"),
+                    site: id,
+                    kind: RseKind::Tape,
+                    capacity_bytes: (50_000_000_000_000_000.0 * tier_mult) as u64,
+                });
+                site_rses.push(tape_id);
+            }
+
+            sites.push(Site {
+                id,
+                name,
+                tier,
+                region,
+                compute_slots,
+                transfer_slots,
+                activity_weight,
+                rses: site_rses,
+            });
+        };
+
+        push_site(
+            &mut sites,
+            &mut rses,
+            "CERN-PROD".to_string(),
+            Tier::T0,
+            "Geneva, Switzerland".to_string(),
+            &mut rng,
+        );
+        for i in 0..config.n_tier1 {
+            let region = T1_REGIONS[i % T1_REGIONS.len()];
+            push_site(
+                &mut sites,
+                &mut rses,
+                format!("T1-{:02}-{}", i, region_slug(region)),
+                Tier::T1,
+                region.to_string(),
+                &mut rng,
+            );
+        }
+        for i in 0..config.n_tier2 {
+            let region = T2_REGIONS[i % T2_REGIONS.len()];
+            push_site(
+                &mut sites,
+                &mut rses,
+                format!("T2-{:02}-{}", i, region_slug(region)),
+                Tier::T2,
+                region.to_string(),
+                &mut rng,
+            );
+        }
+        for i in 0..config.n_tier3 {
+            let region = T2_REGIONS[(i * 3 + 1) % T2_REGIONS.len()];
+            push_site(
+                &mut sites,
+                &mut rses,
+                format!("T3-{:02}-{}", i, region_slug(region)),
+                Tier::T3,
+                region.to_string(),
+                &mut rng,
+            );
+        }
+
+        GridTopology { sites, rses }
+    }
+
+    /// All sites, indexed by `SiteId`.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All RSEs, indexed by `RseId`.
+    pub fn rses(&self) -> &[Rse] {
+        &self.rses
+    }
+
+    /// Site by id.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// RSE by id.
+    pub fn rse(&self, id: RseId) -> &Rse {
+        &self.rses[id.index()]
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The Tier-0 site (always generated first).
+    pub fn tier0(&self) -> &Site {
+        &self.sites[0]
+    }
+
+    /// The primary disk RSE of a site.
+    pub fn disk_rse(&self, site: SiteId) -> RseId {
+        self.site(site)
+            .rses
+            .iter()
+            .copied()
+            .find(|&r| self.rse(r).kind == RseKind::Disk)
+            .expect("every site has a disk RSE")
+    }
+
+    /// Site hosting a given RSE.
+    pub fn site_of_rse(&self, rse: RseId) -> SiteId {
+        self.rse(rse).site
+    }
+
+    /// Look up a site by name (linear scan; used by tests and examples).
+    pub fn site_by_name(&self, name: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.name == name)
+    }
+
+    /// Sites of a given tier.
+    pub fn sites_of_tier(&self, tier: Tier) -> impl Iterator<Item = &Site> {
+        self.sites.iter().filter(move |s| s.tier == tier)
+    }
+}
+
+fn region_slug(region: &str) -> String {
+    region
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> GridTopology {
+        GridTopology::generate(&RngFactory::new(42), &TopologyConfig::default())
+    }
+
+    #[test]
+    fn generates_requested_site_counts() {
+        let t = topo();
+        assert_eq!(t.n_sites(), 111);
+        assert_eq!(t.sites_of_tier(Tier::T0).count(), 1);
+        assert_eq!(t.sites_of_tier(Tier::T1).count(), 12);
+        assert_eq!(t.sites_of_tier(Tier::T2).count(), 70);
+        assert_eq!(t.sites_of_tier(Tier::T3).count(), 28);
+    }
+
+    #[test]
+    fn tier0_is_cern() {
+        let t = topo();
+        assert_eq!(t.tier0().name, "CERN-PROD");
+        assert_eq!(t.tier0().tier, Tier::T0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = topo();
+        let b = topo();
+        for (sa, sb) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.compute_slots, sb.compute_slots);
+            assert_eq!(sa.transfer_slots, sb.transfer_slots);
+            assert_eq!(sa.activity_weight, sb.activity_weight);
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_capacities() {
+        let a = topo();
+        let b = GridTopology::generate(&RngFactory::new(43), &TopologyConfig::default());
+        let diff = a
+            .sites()
+            .iter()
+            .zip(b.sites())
+            .filter(|(x, y)| x.compute_slots != y.compute_slots)
+            .count();
+        assert!(diff > 50, "only {diff} sites differ across seeds");
+    }
+
+    #[test]
+    fn every_site_has_disk_rse_and_hubs_have_tape() {
+        let t = topo();
+        for s in t.sites() {
+            let disk = t.disk_rse(s.id);
+            assert_eq!(t.site_of_rse(disk), s.id);
+            let has_tape = s
+                .rses
+                .iter()
+                .any(|&r| t.rse(r).kind == RseKind::Tape);
+            match s.tier {
+                Tier::T0 | Tier::T1 => assert!(has_tape, "{} lacks tape", s.name),
+                _ => assert!(!has_tape, "{} unexpectedly has tape", s.name),
+            }
+        }
+    }
+
+    #[test]
+    fn activity_weights_are_heavy_tailed() {
+        let t = topo();
+        let weights: Vec<f64> = t.sites().iter().map(|s| s.activity_weight).collect();
+        let mean = dmsa_simcore::stats::mean(&weights).unwrap();
+        let geo = dmsa_simcore::stats::geometric_mean(&weights).unwrap();
+        assert!(
+            mean / geo > 2.0,
+            "weights not heavy-tailed: mean {mean}, geo {geo}"
+        );
+    }
+
+    #[test]
+    fn some_sites_serialize_transfers() {
+        let t = topo();
+        let single = t.sites().iter().filter(|s| s.transfer_slots == 1).count();
+        assert!(single >= 5, "expected several single-stream sites, got {single}");
+        // But never the hubs.
+        for s in t.sites_of_tier(Tier::T0).chain(t.sites_of_tier(Tier::T1)) {
+            assert!(s.transfer_slots >= 8);
+        }
+    }
+
+    #[test]
+    fn site_by_name_round_trip() {
+        let t = topo();
+        let s = t.site_by_name("CERN-PROD").unwrap();
+        assert_eq!(s.id, SiteId(0));
+        assert!(t.site_by_name("NOPE").is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the grid substrate: bandwidth purity and transfer
+//! integration sanity over random sites, times, and sizes.
+
+use dmsa_gridnet::{BandwidthModel, GridTopology, SiteId, TopologyConfig};
+use dmsa_simcore::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+fn fixture(seed: u64) -> (GridTopology, BandwidthModel) {
+    let rngs = RngFactory::new(seed);
+    let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
+    let bw = BandwidthModel::new(&rngs, &topo);
+    (topo, bw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn effective_rate_is_pure_positive_and_bounded(
+        seed in 0u64..32,
+        src in 0u32..15,
+        dst in 0u32..15,
+        t_ms in 0i64..864_000_000, // ten days
+    ) {
+        let (_, bw) = fixture(seed);
+        let t = SimTime::from_millis(t_ms);
+        let r1 = bw.effective_mbps(SiteId(src), SiteId(dst), t);
+        let r2 = bw.effective_mbps(SiteId(src), SiteId(dst), t);
+        prop_assert_eq!(r1, r2, "bandwidth must be a pure function");
+        prop_assert!(r1 > 0.0);
+        prop_assert!(r1 < 10_000.0, "rate {r1} MB/s implausible");
+    }
+
+    #[test]
+    fn transfer_end_is_strictly_after_start_and_monotone(
+        seed in 0u64..16,
+        src in 0u32..15,
+        dst in 0u32..15,
+        start_ms in 0i64..86_400_000,
+        bytes in 1u64..50_000_000_000,
+    ) {
+        let (_, bw) = fixture(seed);
+        let start = SimTime::from_millis(start_ms);
+        let end = bw.transfer_end(SiteId(src), SiteId(dst), start, bytes);
+        prop_assert!(end > start);
+        // Monotone in size.
+        let end_bigger = bw.transfer_end(SiteId(src), SiteId(dst), start, bytes.saturating_mul(2));
+        prop_assert!(end_bigger >= end);
+    }
+
+    #[test]
+    fn transfer_duration_is_consistent_with_observed_rates(
+        seed in 0u64..16,
+        site in 0u32..15,
+        start_ms in 0i64..86_400_000,
+        bytes in 1_000_000u64..10_000_000_000,
+    ) {
+        let (_, bw) = fixture(seed);
+        let (s, d) = (SiteId(site), SiteId(site));
+        let start = SimTime::from_millis(start_ms);
+        let end = bw.transfer_end(s, d, start, bytes);
+        let secs = (end - start).as_secs_f64();
+        // The mean rate must lie within the min/max instantaneous rate
+        // over the transfer's span (sampled per bucket).
+        let mut min_rate = f64::INFINITY;
+        let mut max_rate = 0.0f64;
+        let mut t = start;
+        // Sample finer than the 300 s bucket width and include the end
+        // instant, so no partial bucket escapes the envelope.
+        while t <= end {
+            let r = bw.effective_mbps(s, d, t);
+            min_rate = min_rate.min(r);
+            max_rate = max_rate.max(r);
+            t = t + dmsa_simcore::SimDuration::from_secs(60);
+        }
+        let r_end = bw.effective_mbps(s, d, end);
+        min_rate = min_rate.min(r_end);
+        max_rate = max_rate.max(r_end);
+        let mean_rate = bytes as f64 / 1e6 / secs;
+        prop_assert!(
+            mean_rate <= max_rate * 1.01 + 1.0,
+            "mean {mean_rate} above max {max_rate}"
+        );
+        prop_assert!(
+            mean_rate >= min_rate * 0.49,
+            "mean {mean_rate} far below min {min_rate}"
+        );
+    }
+
+    #[test]
+    fn topology_generation_is_total_and_consistent(seed in 0u64..64) {
+        let rngs = RngFactory::new(seed);
+        let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
+        for s in topo.sites() {
+            prop_assert!(s.compute_slots >= 4);
+            prop_assert!(s.transfer_slots >= 1);
+            prop_assert!(s.activity_weight > 0.0);
+            prop_assert!(!s.rses.is_empty());
+            for &r in &s.rses {
+                prop_assert_eq!(topo.site_of_rse(r), s.id);
+            }
+            let disk = topo.disk_rse(s.id);
+            prop_assert_eq!(topo.site_of_rse(disk), s.id);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dmsa-metastore
+//!
+//! The OpenSearch-like metadata layer (paper §4.1, Fig 4).
+//!
+//! The paper's querying module retrieves three record families from
+//! production telemetry: **job metadata** from PanDA, and **file** and
+//! **transfer-event** metadata from Rucio. This crate holds their in-memory
+//! equivalents:
+//!
+//! * [`records`] — flattened [`records::JobRecord`], [`records::FileRecord`]
+//!   (PanDA's per-job file table), and [`records::TransferRecord`], carrying
+//!   precisely the attributes Algorithm 1 consumes;
+//! * [`intern`] — a string-interning table so millions of records share
+//!   site names, LFNs and dataset names as `u32` symbols (string-equality
+//!   joins become integer joins without changing semantics);
+//! * [`store`] — the [`store::MetaStore`] with the common-time-window
+//!   queries §4.2 prescribes ("the query module only reports jobs that are
+//!   completed before the end of the interval");
+//! * [`corrupt`] — the metadata-quality model. Production metadata is
+//!   "heterogeneous and incomplete, with issues such as missing site
+//!   information, inconsistent file attributes, or incomplete records"
+//!   (§1). Each of those pathologies is a tunable probability here, applied
+//!   deterministically from a seeded stream. Ground-truth fields are
+//!   preserved untouched on every record (prefixed `gt_`) so the matcher
+//!   can be *scored* — something the paper could not do on production data.
+
+pub mod corrupt;
+pub mod intern;
+pub mod records;
+pub mod store;
+
+pub use corrupt::CorruptionModel;
+pub use intern::{Sym, SymbolTable};
+pub use records::{FileDirection, FileRecord, JobRecord, TransferRecord};
+pub use store::MetaStore;

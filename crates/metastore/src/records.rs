@@ -1,0 +1,219 @@
+//! The three record families the paper's query module retrieves.
+//!
+//! Field names deliberately track the paper's Algorithm 1 notation
+//! (`pandaid`, `jeditaskid`, `lfn`, `dataset`, `proddblock`, `scope`,
+//! `file_size`, `ninputfilebytes`, `noutputfilebytes`, `computingsite`,
+//! `starttime`, `endtime`, `source_site`, `destination_site`,
+//! `is_download`/`is_upload`).
+//!
+//! Fields prefixed `gt_` carry simulator ground truth that production
+//! systems do not have. The matcher must never read them; the evaluator
+//! uses them to score match precision/recall.
+
+use crate::intern::Sym;
+use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+use dmsa_rucio_sim::Activity;
+use dmsa_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One completed PanDA job, as the query module reports it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// `pandaid`.
+    pub pandaid: u64,
+    /// `jeditaskid`.
+    pub jeditaskid: u64,
+    /// `computingsite` (interned site name).
+    pub computingsite: Sym,
+    /// Creation instant.
+    pub creationtime: SimTime,
+    /// Execution start.
+    pub starttime: SimTime,
+    /// Completion.
+    pub endtime: SimTime,
+    /// Σ input file sizes.
+    pub ninputfilebytes: u64,
+    /// Σ output file sizes.
+    pub noutputfilebytes: u64,
+    /// Stage-in vs direct I/O.
+    pub io_mode: IoMode,
+    /// Final job status.
+    pub status: JobStatus,
+    /// Final status of the owning task.
+    pub task_status: TaskStatus,
+    /// Error code when failed.
+    pub error_code: Option<u32>,
+    /// User analysis (true) vs production (false). The paper's §5 queries
+    /// user jobs only.
+    pub is_user_analysis: bool,
+}
+
+impl JobRecord {
+    /// Queuing duration.
+    pub fn queuing_time(&self) -> SimDuration {
+        (self.starttime - self.creationtime).clamp_non_negative()
+    }
+
+    /// Wall duration.
+    pub fn wall_time(&self) -> SimDuration {
+        (self.endtime - self.starttime).clamp_non_negative()
+    }
+}
+
+/// Whether a file-table row is an input or output of its job.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FileDirection {
+    /// Input of the job.
+    Input,
+    /// Output of the job.
+    Output,
+}
+
+/// One row of PanDA's per-job file table — the bridge Algorithm 1 walks
+/// from jobs to transfers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FileRecord {
+    /// Owning job.
+    pub pandaid: u64,
+    /// Owning task.
+    pub jeditaskid: u64,
+    /// Logical file name (interned).
+    pub lfn: Sym,
+    /// Dataset DID name (interned).
+    pub dataset: Sym,
+    /// Production block (interned).
+    pub proddblock: Sym,
+    /// Scope (interned).
+    pub scope: Sym,
+    /// Exact file size in bytes.
+    pub file_size: u64,
+    /// Input or output of the job.
+    pub direction: FileDirection,
+}
+
+/// One Rucio file-transfer event.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Event identifier.
+    pub transfer_id: u64,
+    /// Logical file name (interned).
+    pub lfn: Sym,
+    /// Dataset DID name (interned).
+    pub dataset: Sym,
+    /// Production block (interned).
+    pub proddblock: Sym,
+    /// Scope (interned).
+    pub scope: Sym,
+    /// Recorded size in bytes (may be jittered by corruption).
+    pub file_size: u64,
+    /// Transfer start.
+    pub starttime: SimTime,
+    /// Transfer end.
+    pub endtime: SimTime,
+    /// Recorded source site (may be `UNKNOWN` or invalid).
+    pub source_site: Sym,
+    /// Recorded destination site (may be `UNKNOWN` or invalid).
+    pub destination_site: Sym,
+    /// Transfer activity class.
+    pub activity: Activity,
+    /// `jeditaskid` when recorded (job-driven activities only; may be
+    /// dropped by corruption).
+    pub jeditaskid: Option<u64>,
+    /// Moves data *to* the computing site.
+    pub is_download: bool,
+    /// Moves data *from* the computing site.
+    pub is_upload: bool,
+    /// Ground truth: the job that caused this transfer.
+    pub gt_pandaid: Option<u64>,
+    /// Ground truth: true source site.
+    pub gt_source_site: Sym,
+    /// Ground truth: true destination site.
+    pub gt_destination_site: Sym,
+    /// Ground truth: true size before any jitter.
+    pub gt_file_size: u64,
+}
+
+impl TransferRecord {
+    /// Duration of the transfer.
+    pub fn duration(&self) -> SimDuration {
+        (self.endtime - self.starttime).clamp_non_negative()
+    }
+
+    /// Recorded mean throughput in bytes/second.
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        self.file_size as f64 / self.duration().as_secs_f64().max(1e-3)
+    }
+
+    /// Local per the *recorded* sites (what the paper's Table 2a counts).
+    pub fn recorded_local(&self) -> bool {
+        self.source_site == self.destination_site
+    }
+
+    /// Local per ground truth.
+    pub fn gt_local(&self) -> bool {
+        self.gt_source_site == self.gt_destination_site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer() -> TransferRecord {
+        TransferRecord {
+            transfer_id: 1,
+            lfn: Sym(1),
+            dataset: Sym(2),
+            proddblock: Sym(3),
+            scope: Sym(4),
+            file_size: 1_000_000,
+            starttime: SimTime::from_secs(0),
+            endtime: SimTime::from_secs(10),
+            source_site: Sym(5),
+            destination_site: Sym(5),
+            activity: Activity::AnalysisDownload,
+            jeditaskid: Some(9),
+            is_download: true,
+            is_upload: false,
+            gt_pandaid: Some(77),
+            gt_source_site: Sym(5),
+            gt_destination_site: Sym(6),
+            gt_file_size: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn throughput_and_duration() {
+        let t = transfer();
+        assert_eq!(t.duration(), SimDuration::from_secs(10));
+        assert!((t.throughput_bytes_per_sec() - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_vs_ground_truth_locality_can_differ() {
+        let t = transfer();
+        assert!(t.recorded_local());
+        assert!(!t.gt_local(), "corruption can fake locality");
+    }
+
+    #[test]
+    fn job_record_durations() {
+        let j = JobRecord {
+            pandaid: 1,
+            jeditaskid: 2,
+            computingsite: Sym(1),
+            creationtime: SimTime::from_secs(0),
+            starttime: SimTime::from_secs(60),
+            endtime: SimTime::from_secs(160),
+            ninputfilebytes: 0,
+            noutputfilebytes: 0,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: true,
+        };
+        assert_eq!(j.queuing_time(), SimDuration::from_secs(60));
+        assert_eq!(j.wall_time(), SimDuration::from_secs(100));
+    }
+}

@@ -1,0 +1,186 @@
+//! The metadata store and its time-window queries.
+
+use crate::intern::{Sym, SymbolTable};
+use crate::records::{FileRecord, JobRecord, TransferRecord};
+use dmsa_simcore::interval::Interval;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// In-memory metadata store — the simulated OpenSearch.
+///
+/// Holds the three record families plus the shared symbol table. Queries
+/// follow the paper's §4.2 pre-selection discipline: analyses operate on a
+/// common time window, and "the query module only reports jobs that are
+/// completed before the end of the interval, excluding all jobs still
+/// running at that time".
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetaStore {
+    /// Shared string table.
+    pub symbols: SymbolTable,
+    /// Completed jobs.
+    pub jobs: Vec<JobRecord>,
+    /// PanDA file-table rows.
+    pub files: Vec<FileRecord>,
+    /// Rucio transfer events.
+    pub transfers: Vec<TransferRecord>,
+    /// Symbols of *valid* site names (everything else — `UNKNOWN` or
+    /// garbage — is treated as invalid by the RM2 matcher).
+    pub valid_sites: HashSet<Sym>,
+}
+
+impl MetaStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        MetaStore {
+            symbols: SymbolTable::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Register a site name as valid, returning its symbol.
+    pub fn register_site(&mut self, name: &str) -> Sym {
+        let sym = self.symbols.intern(name);
+        self.valid_sites.insert(sym);
+        sym
+    }
+
+    /// Whether a recorded site symbol names a real site.
+    pub fn is_valid_site(&self, sym: Sym) -> bool {
+        self.valid_sites.contains(&sym)
+    }
+
+    /// User jobs completed within `window` — the paper's §5 job
+    /// population (966,453 user jobs in the production study).
+    pub fn user_jobs_in(&self, window: Interval) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(move |j| {
+            j.is_user_analysis && j.endtime < window.end && j.creationtime >= window.start
+        })
+    }
+
+    /// Transfer events whose start lies within `window`.
+    pub fn transfers_in(&self, window: Interval) -> impl Iterator<Item = &TransferRecord> {
+        self.transfers
+            .iter()
+            .filter(move |t| window.contains(t.starttime))
+    }
+
+    /// Transfers carrying a `jeditaskid` — the candidates for matching
+    /// (1,585,229 of 6,784,936 in the paper's window).
+    pub fn transfers_with_taskid(&self) -> impl Iterator<Item = &TransferRecord> {
+        self.transfers.iter().filter(|t| t.jeditaskid.is_some())
+    }
+
+    /// Quick size summary `(jobs, files, transfers, transfers_with_taskid)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.jobs.len(),
+            self.files.len(),
+            self.transfers.len(),
+            self.transfers.iter().filter(|t| t.jeditaskid.is_some()).count(),
+        )
+    }
+
+    /// Resolve an interned name.
+    pub fn name(&self, sym: Sym) -> &str {
+        self.symbols.resolve(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+    use dmsa_rucio_sim::Activity;
+    use dmsa_simcore::SimTime;
+
+    fn job(pandaid: u64, user: bool, created_s: i64, ended_s: i64, site: Sym) -> JobRecord {
+        JobRecord {
+            pandaid,
+            jeditaskid: 1,
+            computingsite: site,
+            creationtime: SimTime::from_secs(created_s),
+            starttime: SimTime::from_secs(created_s + 1),
+            endtime: SimTime::from_secs(ended_s),
+            ninputfilebytes: 0,
+            noutputfilebytes: 0,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: user,
+        }
+    }
+
+    fn transfer(id: u64, start_s: i64, taskid: Option<u64>) -> TransferRecord {
+        TransferRecord {
+            transfer_id: id,
+            lfn: Sym(0),
+            dataset: Sym(0),
+            proddblock: Sym(0),
+            scope: Sym(0),
+            file_size: 1,
+            starttime: SimTime::from_secs(start_s),
+            endtime: SimTime::from_secs(start_s + 1),
+            source_site: Sym(0),
+            destination_site: Sym(0),
+            activity: Activity::AnalysisDownload,
+            jeditaskid: taskid,
+            is_download: true,
+            is_upload: false,
+            gt_pandaid: None,
+            gt_source_site: Sym(0),
+            gt_destination_site: Sym(0),
+            gt_file_size: 1,
+        }
+    }
+
+    fn window(a: i64, b: i64) -> Interval {
+        Interval::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn user_job_query_excludes_production_and_unfinished() {
+        let mut store = MetaStore::new();
+        let site = store.register_site("X");
+        store.jobs.push(job(1, true, 10, 50, site)); // in window
+        store.jobs.push(job(2, false, 10, 50, site)); // production
+        store.jobs.push(job(3, true, 10, 200, site)); // ends after window
+        store.jobs.push(job(4, true, 10, 100, site)); // ends exactly at window end
+        let got: Vec<u64> = store.user_jobs_in(window(0, 100)).map(|j| j.pandaid).collect();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn transfers_in_window_filter_on_start() {
+        let mut store = MetaStore::new();
+        store.transfers.push(transfer(1, 5, None));
+        store.transfers.push(transfer(2, 150, None));
+        let got: Vec<u64> = store
+            .transfers_in(window(0, 100))
+            .map(|t| t.transfer_id)
+            .collect();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn taskid_filter_counts() {
+        let mut store = MetaStore::new();
+        store.transfers.push(transfer(1, 5, Some(7)));
+        store.transfers.push(transfer(2, 6, None));
+        store.transfers.push(transfer(3, 7, Some(8)));
+        assert_eq!(store.transfers_with_taskid().count(), 2);
+        let (j, f, t, twt) = store.counts();
+        assert_eq!((j, f, t, twt), (0, 0, 3, 2));
+    }
+
+    #[test]
+    fn site_validity_registry() {
+        let mut store = MetaStore::new();
+        let s = store.register_site("BNL");
+        assert!(store.is_valid_site(s));
+        assert!(!store.is_valid_site(SymbolTable::UNKNOWN));
+        let garbage = store.symbols.intern("s1te-g@rbage");
+        assert!(!store.is_valid_site(garbage));
+        assert_eq!(store.name(s), "BNL");
+    }
+}

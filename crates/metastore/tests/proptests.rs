@@ -1,0 +1,147 @@
+//! Property tests for the metadata layer: corruption invariants and
+//! symbol-table behaviour under arbitrary inputs.
+
+use dmsa_metastore::{
+    CorruptionModel, FileDirection, FileRecord, JobRecord, MetaStore, SymbolTable, TransferRecord,
+};
+use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+use dmsa_rucio_sim::Activity;
+use dmsa_simcore::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+fn store_with(n_jobs: u64, n_transfers: u64) -> MetaStore {
+    let mut store = MetaStore::new();
+    let site = store.register_site("SITE");
+    for p in 0..n_jobs {
+        store.jobs.push(JobRecord {
+            pandaid: p,
+            jeditaskid: p / 3,
+            computingsite: site,
+            creationtime: SimTime::from_secs(p as i64),
+            starttime: SimTime::from_secs(p as i64 + 10),
+            endtime: SimTime::from_secs(p as i64 + 100),
+            ninputfilebytes: 1_000 + p,
+            noutputfilebytes: 500 + p,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: true,
+        });
+        store.files.push(FileRecord {
+            pandaid: p,
+            jeditaskid: p / 3,
+            lfn: site,
+            dataset: site,
+            proddblock: site,
+            scope: site,
+            file_size: 1_000 + p,
+            direction: FileDirection::Input,
+        });
+    }
+    for id in 0..n_transfers {
+        store.transfers.push(TransferRecord {
+            transfer_id: id,
+            lfn: site,
+            dataset: site,
+            proddblock: site,
+            scope: site,
+            file_size: 1_000_000 + id,
+            starttime: SimTime::from_secs(id as i64),
+            endtime: SimTime::from_secs(id as i64 + 30),
+            source_site: site,
+            destination_site: site,
+            activity: Activity::AnalysisDownload,
+            jeditaskid: Some(id / 5),
+            is_download: true,
+            is_upload: false,
+            gt_pandaid: Some(id),
+            gt_source_site: site,
+            gt_destination_site: site,
+            gt_file_size: 1_000_000 + id,
+        });
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corruption_preserves_ground_truth_and_counts(
+        seed in 0u64..1_000,
+        scale in 0.0f64..2.5,
+        n in 10u64..300,
+    ) {
+        let mut store = store_with(n / 3 + 1, n);
+        let before_transfers = store.transfers.len();
+        let before_jobs = store.jobs.len();
+        let model = CorruptionModel::default().scaled(scale);
+        model.apply(&mut store, &RngFactory::new(seed));
+        // Records may vanish, never appear.
+        prop_assert!(store.transfers.len() <= before_transfers);
+        prop_assert_eq!(store.jobs.len(), before_jobs, "corruption never drops jobs");
+        // Ground truth is untouchable.
+        for t in &store.transfers {
+            prop_assert!(t.gt_pandaid.is_some());
+            prop_assert_eq!(t.gt_file_size, 1_000_000 + t.transfer_id);
+            prop_assert!(store.is_valid_site(t.gt_source_site));
+            prop_assert!(store.is_valid_site(t.gt_destination_site));
+        }
+        // Timelines are never corrupted (the paper's pathologies are about
+        // identity/size fields, not clocks).
+        for t in &store.transfers {
+            prop_assert!(t.endtime > t.starttime);
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_pure_function_of_seed(
+        seed in 0u64..1_000,
+        n in 10u64..150,
+    ) {
+        let run = || {
+            let mut store = store_with(n / 3 + 1, n);
+            CorruptionModel::default().apply(&mut store, &RngFactory::new(seed));
+            store
+                .transfers
+                .iter()
+                .map(|t| (t.transfer_id, t.file_size, t.destination_site, t.jeditaskid))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_scale_is_identity(
+        seed in 0u64..100,
+        n in 10u64..150,
+    ) {
+        let mut store = store_with(n / 3 + 1, n);
+        let before: Vec<u64> = store.transfers.iter().map(|t| t.file_size).collect();
+        CorruptionModel::default().scaled(0.0).apply(&mut store, &RngFactory::new(seed));
+        let after: Vec<u64> = store.transfers.iter().map(|t| t.file_size).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn symbol_table_round_trips_arbitrary_strings(
+        strings in prop::collection::vec("[a-zA-Z0-9_./-]{0,40}", 1..40),
+    ) {
+        let mut table = SymbolTable::new();
+        let syms: Vec<_> = strings.iter().map(|s| table.intern(s)).collect();
+        for (s, &sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(table.resolve(sym), s.as_str());
+            prop_assert_eq!(table.get(s), Some(sym));
+            // Idempotent.
+            prop_assert_eq!(table.intern(s), sym);
+        }
+        // Table size equals distinct strings + sentinel ("UNKNOWN" inputs
+        // collapse onto the sentinel rather than growing the table).
+        let distinct: std::collections::HashSet<_> = strings
+            .iter()
+            .filter(|s| s.as_str() != "UNKNOWN")
+            .collect();
+        prop_assert_eq!(table.len(), distinct.len() + 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The brokerage module: data-locality job placement.
+//!
+//! PanDA "in principle assigns computing jobs to the site that already
+//! hosts the required input data" (paper §3.1). The paper then shows this
+//! heuristic backfiring: hot sites accumulate long queues (Fig 5) while
+//! remote placement — despite the extra transfer — often queues less
+//! (Fig 6). The broker below reproduces both behaviours:
+//!
+//! * jobs go to the least-loaded site holding an input replica;
+//! * when every data-holding site is overloaded, a configurable fraction of
+//!   jobs escapes to the globally least-loaded site (remote staging);
+//! * a small baseline fraction goes remote regardless (user-pinned sites,
+//!   special queues), which seeds the remote population of Fig 6.
+
+use dmsa_gridnet::{GridTopology, SiteId};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Brokerage policy knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Backlog (waiting + running jobs per compute slot) above which a
+    /// data-holding site counts as overloaded.
+    pub hot_backlog_threshold: f64,
+    /// Probability of offloading to a remote site when all data-holding
+    /// sites are hot.
+    pub remote_when_hot_prob: f64,
+    /// Baseline probability of ignoring data locality entirely.
+    pub random_remote_prob: f64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            hot_backlog_threshold: 2.0,
+            remote_when_hot_prob: 0.5,
+            random_remote_prob: 0.03,
+        }
+    }
+}
+
+/// Read-only view of current per-site load, provided by the scenario loop.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteLoadView<'a> {
+    /// Jobs waiting per site.
+    pub queued: &'a [u32],
+    /// Jobs executing per site.
+    pub running: &'a [u32],
+}
+
+impl SiteLoadView<'_> {
+    /// Backlog score: pending work per compute slot.
+    pub fn backlog(&self, site: SiteId, topology: &GridTopology) -> f64 {
+        let i = site.index();
+        let slots = topology.sites()[i].compute_slots.max(1);
+        (self.queued[i] + self.running[i]) as f64 / slots as f64
+    }
+}
+
+/// Placement decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Chosen computing site.
+    pub site: SiteId,
+    /// Whether the site already holds the input data (no remote staging).
+    pub data_local: bool,
+}
+
+/// The brokerage module.
+#[derive(Clone, Debug, Default)]
+pub struct Broker {
+    config: BrokerConfig,
+}
+
+impl Broker {
+    /// Broker with the given policy.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker { config }
+    }
+
+    /// Current policy.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// Choose a computing site for a job whose input replicas live at
+    /// `replica_sites` (deduplicated, non-empty for well-formed catalogs).
+    pub fn choose_site(
+        &self,
+        replica_sites: &[SiteId],
+        load: SiteLoadView<'_>,
+        topology: &GridTopology,
+        rng: &mut SmallRng,
+    ) -> Placement {
+        // Baseline locality violation (user pinning, special queues).
+        if rng.random::<f64>() < self.config.random_remote_prob || replica_sites.is_empty() {
+            let site = self.least_loaded_site(load, topology, None);
+            return Placement {
+                site,
+                data_local: replica_sites.contains(&site),
+            };
+        }
+
+        // Data-locality principle: least-loaded replica-holding site.
+        let best_local = replica_sites
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                load.backlog(a, topology)
+                    .total_cmp(&load.backlog(b, topology))
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty replica set");
+        let local_backlog = load.backlog(best_local, topology);
+
+        if local_backlog <= self.config.hot_backlog_threshold {
+            return Placement {
+                site: best_local,
+                data_local: true,
+            };
+        }
+
+        // All data sites hot: maybe escape to the coolest site anywhere.
+        if rng.random::<f64>() < self.config.remote_when_hot_prob {
+            let site = self.least_loaded_site(load, topology, Some(replica_sites));
+            Placement {
+                site,
+                data_local: replica_sites.contains(&site),
+            }
+        } else {
+            // Stay local and eat the queue — the Fig 5 pathology.
+            Placement {
+                site: best_local,
+                data_local: true,
+            }
+        }
+    }
+
+    /// Globally least-loaded site, optionally excluding a set; excludes
+    /// Tier-3 sites (they take no brokered analysis load). If the
+    /// exclusion empties the candidate pool — every non-T3 site already
+    /// holds the data, common on small grids — the exclusion is waived:
+    /// there is nowhere "remote" to escape to.
+    fn least_loaded_site(
+        &self,
+        load: SiteLoadView<'_>,
+        topology: &GridTopology,
+        exclude: Option<&[SiteId]>,
+    ) -> SiteId {
+        let pick = |ignore_exclusion: bool| {
+            topology
+                .sites()
+                .iter()
+                .filter(|s| s.tier != dmsa_gridnet::Tier::T3)
+                .filter(|s| {
+                    ignore_exclusion || exclude.is_none_or(|e| !e.contains(&s.id))
+                })
+                .map(|s| s.id)
+                .min_by(|&a, &b| {
+                    load.backlog(a, topology)
+                        .total_cmp(&load.backlog(b, topology))
+                        .then(a.cmp(&b))
+                })
+        };
+        pick(false)
+            .or_else(|| pick(true))
+            .expect("topology has at least one non-T3 site")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_gridnet::TopologyConfig;
+    use dmsa_simcore::RngFactory;
+
+    fn topo() -> GridTopology {
+        GridTopology::generate(&RngFactory::new(5), &TopologyConfig::small())
+    }
+
+    fn zero_load(n: usize) -> (Vec<u32>, Vec<u32>) {
+        (vec![0; n], vec![0; n])
+    }
+
+    #[test]
+    fn cold_replica_site_wins() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let p = broker.choose_site(&[SiteId(4)], load, &topo, &mut rng);
+        assert_eq!(p.site, SiteId(4));
+        assert!(p.data_local);
+    }
+
+    #[test]
+    fn least_loaded_replica_site_preferred() {
+        let topo = topo();
+        let (mut q, r) = zero_load(topo.n_sites());
+        q[4] = 10_000; // site 4 slammed
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let p = broker.choose_site(&[SiteId(4), SiteId(6)], load, &topo, &mut rng);
+        assert_eq!(p.site, SiteId(6));
+        assert!(p.data_local);
+    }
+
+    #[test]
+    fn hot_data_sites_trigger_remote_escape() {
+        let topo = topo();
+        let n = topo.n_sites();
+        let (mut q, r) = zero_load(n);
+        q[4] = 100_000;
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            hot_backlog_threshold: 1.0,
+            remote_when_hot_prob: 1.0, // always escape
+            random_remote_prob: 0.0,
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let p = broker.choose_site(&[SiteId(4)], load, &topo, &mut rng);
+        assert_ne!(p.site, SiteId(4));
+        assert!(!p.data_local);
+    }
+
+    #[test]
+    fn hot_data_sites_can_still_queue_locally() {
+        let topo = topo();
+        let (mut q, r) = zero_load(topo.n_sites());
+        q[4] = 100_000;
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            hot_backlog_threshold: 1.0,
+            remote_when_hot_prob: 0.0, // never escape: Fig 5 pathology
+            random_remote_prob: 0.0,
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let p = broker.choose_site(&[SiteId(4)], load, &topo, &mut rng);
+        assert_eq!(p.site, SiteId(4));
+        assert!(p.data_local);
+    }
+
+    #[test]
+    fn no_replicas_falls_back_to_least_loaded() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig::default());
+        let mut rng = RngFactory::new(1).stream("t");
+        let p = broker.choose_site(&[], load, &topo, &mut rng);
+        assert!(!p.data_local);
+        assert_ne!(topo.site(p.site).tier, dmsa_gridnet::Tier::T3);
+    }
+
+    #[test]
+    fn tier3_sites_never_receive_escapes() {
+        let topo = topo();
+        let n = topo.n_sites();
+        // Make every non-T3 site moderately loaded, every T3 site empty:
+        // the escape must still avoid T3.
+        let mut q = vec![0u32; n];
+        for s in topo.sites() {
+            if s.tier != dmsa_gridnet::Tier::T3 {
+                q[s.id.index()] = s.compute_slots; // backlog 1.0
+            }
+        }
+        let r = vec![0u32; n];
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            hot_backlog_threshold: 0.5,
+            remote_when_hot_prob: 1.0,
+            random_remote_prob: 0.0,
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        for _ in 0..32 {
+            let p = broker.choose_site(&[SiteId(1)], load, &topo, &mut rng);
+            assert_ne!(topo.site(p.site).tier, dmsa_gridnet::Tier::T3);
+        }
+    }
+
+    #[test]
+    fn random_remote_prob_diversifies_placement() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.5,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let sites: std::collections::HashSet<SiteId> = (0..200)
+            .map(|_| broker.choose_site(&[SiteId(4)], load, &topo, &mut rng).site)
+            .collect();
+        assert!(sites.len() >= 2, "placement never diversified");
+    }
+}

@@ -1,0 +1,133 @@
+//! Jobs and their recorded lifecycle.
+
+use crate::types::{IoMode, JobId, JobStatus, TaskId, TaskKind, TaskStatus};
+use dmsa_gridnet::SiteId;
+use dmsa_rucio_sim::FileId;
+use dmsa_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A fully executed job, with the timeline fields the paper's Algorithm 1
+/// and analyses consume.
+///
+/// Lifecycle (paper §4.2): `creationtime → starttime` is the **queuing
+/// time** (brokerage, staging, waiting for a compute slot);
+/// `starttime → endtime` is the **wall time** (execution plus output
+/// upload, since PanDA marks a job finished only after its outputs are
+/// safely stored).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    /// `pandaid`.
+    pub id: JobId,
+    /// `jeditaskid` of the owning task.
+    pub task: TaskId,
+    /// User analysis or production.
+    pub kind: TaskKind,
+    /// Site the brokerage assigned (`computingsite`).
+    pub computing_site: SiteId,
+    /// Submission instant.
+    pub creationtime: SimTime,
+    /// Execution start (end of queuing).
+    pub starttime: SimTime,
+    /// Completion (after output upload).
+    pub endtime: SimTime,
+    /// Input files read by this job.
+    pub input_files: Vec<FileId>,
+    /// Output files written by this job.
+    pub output_files: Vec<FileId>,
+    /// Total input bytes (`ninputfilebytes`).
+    pub ninputfilebytes: u64,
+    /// Total output bytes (`noutputfilebytes`).
+    pub noutputfilebytes: u64,
+    /// Stage-in vs direct I/O.
+    pub io_mode: IoMode,
+    /// Final job status.
+    pub status: JobStatus,
+    /// Final status of the owning task (denormalized for Fig 9).
+    pub task_status: TaskStatus,
+    /// PanDA error code if failed.
+    pub error_code: Option<u32>,
+}
+
+impl Job {
+    /// Queuing duration (creation → execution start).
+    pub fn queuing_time(&self) -> SimDuration {
+        (self.starttime - self.creationtime).clamp_non_negative()
+    }
+
+    /// Wall duration (execution start → completion).
+    pub fn wall_time(&self) -> SimDuration {
+        (self.endtime - self.starttime).clamp_non_negative()
+    }
+
+    /// End-to-end lifetime (creation → completion).
+    pub fn lifetime(&self) -> SimDuration {
+        (self.endtime - self.creationtime).clamp_non_negative()
+    }
+
+    /// True for successfully finished jobs.
+    pub fn succeeded(&self) -> bool {
+        self.status == JobStatus::Finished
+    }
+}
+
+/// Outcome summary handed back by the execution model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Final status.
+    pub status: JobStatus,
+    /// Error code when failed.
+    pub error_code: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            id: JobId(1),
+            task: TaskId(2),
+            kind: TaskKind::UserAnalysis,
+            computing_site: SiteId(3),
+            creationtime: SimTime::from_secs(100),
+            starttime: SimTime::from_secs(400),
+            endtime: SimTime::from_secs(1000),
+            input_files: vec![],
+            output_files: vec![],
+            ninputfilebytes: 10,
+            noutputfilebytes: 5,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+        }
+    }
+
+    #[test]
+    fn durations_partition_the_lifetime() {
+        let j = job();
+        assert_eq!(j.queuing_time(), SimDuration::from_secs(300));
+        assert_eq!(j.wall_time(), SimDuration::from_secs(600));
+        assert_eq!(j.lifetime(), SimDuration::from_secs(900));
+        assert_eq!(
+            j.lifetime(),
+            j.queuing_time() + j.wall_time(),
+            "queue + wall must cover the lifetime"
+        );
+    }
+
+    #[test]
+    fn success_flag_tracks_status() {
+        let mut j = job();
+        assert!(j.succeeded());
+        j.status = JobStatus::Failed;
+        assert!(!j.succeeded());
+    }
+
+    #[test]
+    fn degenerate_timelines_clamp_to_zero() {
+        let mut j = job();
+        j.starttime = SimTime::from_secs(50); // before creation (corrupted upstream)
+        assert_eq!(j.queuing_time(), SimDuration::ZERO);
+    }
+}

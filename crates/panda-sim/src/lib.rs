@@ -1,0 +1,39 @@
+//! # dmsa-panda-sim
+//!
+//! A PanDA-style workload-management substrate (paper §2.1).
+//!
+//! PanDA's architecture — a central server receiving user tasks, a global
+//! job queue, a **brokerage** module assigning jobs to sites "based on many
+//! criteria such as job type, priority, input data location, and site
+//! availability", and per-site Harvester/pilot execution — is modelled at
+//! the granularity the paper's analysis needs:
+//!
+//! * [`task`] — JEDI tasks (`jeditaskid`) owning input/output datasets and
+//!   fanning out into jobs (`pandaid`);
+//! * [`job`] — the job lifecycle and the exact metadata fields Algorithm 1
+//!   reads (`computingsite`, `creationtime`/`starttime`/`endtime`,
+//!   `ninputfilebytes`/`noutputfilebytes`, statuses, error codes);
+//! * [`broker`] — the data-locality heuristic ("assign computing jobs to
+//!   the site that already hosts the required input data", §3.1) with a
+//!   load-aware escape hatch that occasionally sends jobs remote;
+//! * [`models`] — calibrated stochastic models for task shapes, file sizes,
+//!   walltimes, I/O modes, and the failure process whose coupling to
+//!   staging delay produces the paper's Fig 9 correlation between high
+//!   transfer-time percentages and elevated error rates.
+//!
+//! The actual event loop lives in `dmsa-scenario`, which wires this crate's
+//! state machines to the Rucio substrate's transfer engine.
+
+pub mod broker;
+pub mod job;
+pub mod models;
+pub mod pilot;
+pub mod task;
+pub mod types;
+
+pub use broker::{Broker, BrokerConfig, SiteLoadView};
+pub use job::{Job, JobOutcome};
+pub use models::{FailureModel, WorkloadModel, WorkloadParams};
+pub use pilot::{DispatchOutcome, HeartbeatOutcome, PilotModel, PilotParams};
+pub use task::JediTask;
+pub use types::{IoMode, JobId, JobStatus, TaskId, TaskKind, TaskStatus};

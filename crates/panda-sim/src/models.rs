@@ -1,0 +1,383 @@
+//! Stochastic workload and failure models.
+//!
+//! Every distribution here is chosen to reproduce a *shape* the paper
+//! reports, not absolute production numbers:
+//!
+//! * file sizes are log-normal with a heavy upper tail, clamped to
+//!   `[10 MB, 30 GB]` — the case studies involve 2–20 GB files;
+//! * walltimes are log-normal around ~2 h — analysis payloads;
+//! * task fan-out is log-normal and small for user analysis, large for
+//!   production — which makes production *uploads* dominate the transfer
+//!   stream (Table 1: 825 k production uploads vs 3 k analysis uploads);
+//! * the failure probability **increases with the fraction of queuing time
+//!   spent staging**, which is what couples transfer pathologies to error
+//!   rates (Fig 9: jobs above a 75 % transfer-time threshold are mostly
+//!   failed).
+
+use crate::job::JobOutcome;
+use crate::types::{error_codes, IoMode, JobStatus, TaskKind};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the workload generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// User-analysis task submissions per hour.
+    pub tasks_per_hour: f64,
+    /// Fraction of tasks that are production rather than user analysis.
+    pub production_fraction: f64,
+    /// Fraction of analysis jobs using direct I/O streaming.
+    pub direct_io_fraction: f64,
+    /// Fraction of analysis jobs whose stage-in produces *recorded*
+    /// per-file transfer events. The rest read through local protocols that
+    /// bypass the transfer layer — one of the reasons the paper can match
+    /// only ~1 % of jobs.
+    pub recorded_stagein_fraction: f64,
+    /// Fraction of tasks that are intrinsically doomed (broken payloads).
+    pub doomed_task_fraction: f64,
+    /// Median input file size in bytes.
+    pub median_file_bytes: f64,
+    /// Log-normal sigma of file sizes.
+    pub file_size_sigma: f64,
+    /// Median job walltime in seconds.
+    pub median_walltime_secs: f64,
+    /// Log-normal sigma of walltimes.
+    pub walltime_sigma: f64,
+    /// Median jobs per user-analysis task.
+    pub median_jobs_per_task: f64,
+    /// Median jobs per production task.
+    pub median_jobs_per_prod_task: f64,
+    /// Files per input dataset: uniform in `1..=max_files_per_dataset`.
+    pub max_files_per_dataset: u32,
+    /// Output bytes as a fraction of input bytes (mean).
+    pub output_ratio: f64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            tasks_per_hour: 40.0,
+            production_fraction: 0.30,
+            direct_io_fraction: 0.60,
+            recorded_stagein_fraction: 0.12,
+            doomed_task_fraction: 0.08,
+            median_file_bytes: 2.0e9,
+            file_size_sigma: 1.1,
+            median_walltime_secs: 5_400.0,
+            walltime_sigma: 0.9,
+            median_jobs_per_task: 8.0,
+            median_jobs_per_prod_task: 60.0,
+            max_files_per_dataset: 24,
+            output_ratio: 0.15,
+        }
+    }
+}
+
+/// Samplers for all workload quantities.
+#[derive(Clone, Debug)]
+pub struct WorkloadModel {
+    params: WorkloadParams,
+    file_size: LogNormal<f64>,
+    walltime: LogNormal<f64>,
+    jobs_user: LogNormal<f64>,
+    jobs_prod: LogNormal<f64>,
+}
+
+impl WorkloadModel {
+    /// Build samplers from parameters.
+    pub fn new(params: WorkloadParams) -> Self {
+        let ln = |median: f64, sigma: f64| {
+            LogNormal::new(median.ln(), sigma).expect("valid log-normal parameters")
+        };
+        WorkloadModel {
+            file_size: ln(params.median_file_bytes, params.file_size_sigma),
+            walltime: ln(params.median_walltime_secs, params.walltime_sigma),
+            jobs_user: ln(params.median_jobs_per_task, 0.9),
+            jobs_prod: ln(params.median_jobs_per_prod_task, 0.8),
+            params,
+        }
+    }
+
+    /// Parameters in effect.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Sample a task kind.
+    pub fn sample_kind(&self, rng: &mut SmallRng) -> TaskKind {
+        if rng.random::<f64>() < self.params.production_fraction {
+            TaskKind::Production
+        } else {
+            TaskKind::UserAnalysis
+        }
+    }
+
+    /// Sample the fan-out (number of jobs) for a task of `kind`.
+    pub fn sample_n_jobs(&self, kind: TaskKind, rng: &mut SmallRng) -> u32 {
+        let dist = match kind {
+            TaskKind::UserAnalysis => &self.jobs_user,
+            TaskKind::Production => &self.jobs_prod,
+        };
+        (dist.sample(rng).round() as u32).clamp(1, 3_000)
+    }
+
+    /// Sample an I/O mode for an analysis job.
+    pub fn sample_io_mode(&self, rng: &mut SmallRng) -> IoMode {
+        if rng.random::<f64>() < self.params.direct_io_fraction {
+            IoMode::DirectIo
+        } else {
+            IoMode::StageIn
+        }
+    }
+
+    /// Whether this job's stage-in produces recorded transfer events.
+    pub fn sample_recorded_stagein(&self, rng: &mut SmallRng) -> bool {
+        rng.random::<f64>() < self.params.recorded_stagein_fraction
+    }
+
+    /// Whether a new task is doomed.
+    pub fn sample_doomed(&self, rng: &mut SmallRng) -> bool {
+        rng.random::<f64>() < self.params.doomed_task_fraction
+    }
+
+    /// Sample the file sizes of a fresh input dataset.
+    pub fn sample_file_sizes(&self, rng: &mut SmallRng) -> Vec<u64> {
+        let n = rng.random_range(1..=self.params.max_files_per_dataset);
+        (0..n)
+            .map(|_| (self.file_size.sample(rng) as u64).clamp(10_000_000, 30_000_000_000))
+            .collect()
+    }
+
+    /// Sample a walltime in seconds.
+    pub fn sample_walltime_secs(&self, rng: &mut SmallRng) -> f64 {
+        self.walltime.sample(rng).clamp(60.0, 72.0 * 3_600.0)
+    }
+
+    /// Sample the output size for a job with `input_bytes` of input.
+    pub fn sample_output_bytes(&self, input_bytes: u64, rng: &mut SmallRng) -> u64 {
+        let ratio = self.params.output_ratio * (0.5 + rng.random::<f64>());
+        ((input_bytes as f64 * ratio) as u64).max(1_000_000)
+    }
+}
+
+/// The failure process.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Failure probability of a healthy job with no staging pathology.
+    pub base_fail_prob: f64,
+    /// Failure probability of jobs in doomed tasks.
+    pub doomed_fail_prob: f64,
+    /// Additional failure probability per unit of staging fraction
+    /// (transfer time / queuing time, capped at 1).
+    pub staging_coupling: f64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            base_fail_prob: 0.10,
+            doomed_fail_prob: 0.60,
+            staging_coupling: 0.45,
+        }
+    }
+}
+
+impl FailureModel {
+    /// Failure probability for a job given its context.
+    pub fn fail_prob(&self, doomed_task: bool, staging_fraction: f64) -> f64 {
+        let base = if doomed_task {
+            self.doomed_fail_prob
+        } else {
+            self.base_fail_prob
+        };
+        (base + self.staging_coupling * staging_fraction.clamp(0.0, 1.0)).min(0.97)
+    }
+
+    /// Draw the outcome of a job. `staging_fraction` is the share of its
+    /// queuing time spent with at least one input transfer active.
+    pub fn draw(
+        &self,
+        doomed_task: bool,
+        staging_fraction: f64,
+        rng: &mut SmallRng,
+    ) -> JobOutcome {
+        let p = self.fail_prob(doomed_task, staging_fraction);
+        if rng.random::<f64>() >= p {
+            return JobOutcome {
+                status: JobStatus::Finished,
+                error_code: None,
+            };
+        }
+        // Failed: pick an error code. Staging-heavy failures skew towards
+        // stage-in/overlay codes (the Fig 11 case study).
+        let staging_heavy = staging_fraction > 0.3;
+        let code = if staging_heavy && rng.random::<f64>() < 0.6 {
+            if rng.random::<f64>() < 0.5 {
+                error_codes::STAGEIN_TIMEOUT
+            } else {
+                error_codes::OVERLAY_FAILURE
+            }
+        } else {
+            match rng.random_range(0..4u32) {
+                0 => error_codes::PAYLOAD_SEGV,
+                1 => error_codes::STAGEOUT_FAILURE,
+                2 => error_codes::NO_DISK_SPACE,
+                _ => error_codes::OVERLAY_FAILURE,
+            }
+        };
+        JobOutcome {
+            status: JobStatus::Failed,
+            error_code: Some(code),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_simcore::RngFactory;
+
+    fn model() -> WorkloadModel {
+        WorkloadModel::new(WorkloadParams::default())
+    }
+
+    #[test]
+    fn file_sizes_respect_clamp_and_median() {
+        let m = model();
+        let mut rng = RngFactory::new(1).stream("t");
+        let mut all = Vec::new();
+        for _ in 0..2_000 {
+            for s in m.sample_file_sizes(&mut rng) {
+                assert!((10_000_000..=30_000_000_000).contains(&s));
+                all.push(s as f64);
+            }
+        }
+        let med = dmsa_simcore::stats::median(&all).unwrap();
+        assert!(
+            (0.5e9..8.0e9).contains(&med),
+            "median file size {med} implausible"
+        );
+    }
+
+    #[test]
+    fn walltimes_are_hours_scale() {
+        let m = model();
+        let mut rng = RngFactory::new(2).stream("t");
+        let xs: Vec<f64> = (0..5_000).map(|_| m.sample_walltime_secs(&mut rng)).collect();
+        let med = dmsa_simcore::stats::median(&xs).unwrap();
+        assert!((1_800.0..18_000.0).contains(&med), "median walltime {med}s");
+        assert!(xs.iter().all(|&w| (60.0..=72.0 * 3600.0).contains(&w)));
+    }
+
+    #[test]
+    fn production_tasks_fan_out_wider() {
+        let m = model();
+        let mut rng = RngFactory::new(3).stream("t");
+        let user: f64 = (0..2_000)
+            .map(|_| m.sample_n_jobs(TaskKind::UserAnalysis, &mut rng) as f64)
+            .sum::<f64>()
+            / 2_000.0;
+        let prod: f64 = (0..2_000)
+            .map(|_| m.sample_n_jobs(TaskKind::Production, &mut rng) as f64)
+            .sum::<f64>()
+            / 2_000.0;
+        assert!(prod > user * 3.0, "prod fan-out {prod} vs user {user}");
+    }
+
+    #[test]
+    fn kind_mix_matches_fraction() {
+        let m = model();
+        let mut rng = RngFactory::new(4).stream("t");
+        let prod = (0..20_000)
+            .filter(|_| m.sample_kind(&mut rng) == TaskKind::Production)
+            .count() as f64
+            / 20_000.0;
+        assert!((prod - 0.30).abs() < 0.02, "production fraction {prod}");
+    }
+
+    #[test]
+    fn output_smaller_than_input_on_average() {
+        let m = model();
+        let mut rng = RngFactory::new(5).stream("t");
+        let mean_out: f64 = (0..5_000)
+            .map(|_| m.sample_output_bytes(10_000_000_000, &mut rng) as f64)
+            .sum::<f64>()
+            / 5_000.0;
+        assert!(mean_out < 5_000_000_000.0);
+        assert!(mean_out > 100_000_000.0);
+    }
+
+    #[test]
+    fn failure_prob_monotone_in_staging_fraction() {
+        let f = FailureModel::default();
+        let p0 = f.fail_prob(false, 0.0);
+        let p5 = f.fail_prob(false, 0.5);
+        let p10 = f.fail_prob(false, 1.0);
+        assert!(p0 < p5 && p5 < p10);
+        assert!(f.fail_prob(true, 0.0) > p10 * 0.8, "doomed dominates");
+        assert!(f.fail_prob(true, 5.0) <= 0.97, "capped");
+    }
+
+    #[test]
+    fn staging_heavy_jobs_fail_more_often() {
+        let f = FailureModel::default();
+        let mut rng = RngFactory::new(6).stream("t");
+        let n = 20_000;
+        let fails = |frac: f64, rng: &mut rand::rngs::SmallRng| {
+            (0..n)
+                .filter(|_| f.draw(false, frac, rng).status == JobStatus::Failed)
+                .count() as f64
+                / n as f64
+        };
+        let low = fails(0.0, &mut rng);
+        let high = fails(0.9, &mut rng);
+        assert!(
+            high > low + 0.2,
+            "staging coupling too weak: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_carry_error_codes() {
+        let f = FailureModel::default();
+        let mut rng = RngFactory::new(7).stream("t");
+        let mut saw_failure = false;
+        for _ in 0..200 {
+            let o = f.draw(true, 0.8, &mut rng);
+            match o.status {
+                JobStatus::Failed => {
+                    saw_failure = true;
+                    assert!(o.error_code.is_some());
+                }
+                JobStatus::Finished => assert!(o.error_code.is_none()),
+            }
+        }
+        assert!(saw_failure);
+    }
+
+    #[test]
+    fn staging_failures_skew_to_stagein_codes() {
+        let f = FailureModel::default();
+        let mut rng = RngFactory::new(8).stream("t");
+        let mut stagein_codes = 0;
+        let mut total_failed = 0;
+        for _ in 0..5_000 {
+            let o = f.draw(false, 0.9, &mut rng);
+            if o.status == JobStatus::Failed {
+                total_failed += 1;
+                if matches!(
+                    o.error_code,
+                    Some(error_codes::STAGEIN_TIMEOUT) | Some(error_codes::OVERLAY_FAILURE)
+                ) {
+                    stagein_codes += 1;
+                }
+            }
+        }
+        assert!(
+            stagein_codes as f64 / total_failed as f64 > 0.5,
+            "staging-related codes should dominate staging-heavy failures"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The Harvester/pilot layer (paper §2.1).
+//!
+//! "At each site, PanDA interacts with the Harvester service, which
+//! orchestrates execution by deploying lightweight Pilot jobs to worker
+//! nodes. Pilots provision the execution environment, validate resources,
+//! and then request a payload job from the dispatcher, thereby shielding
+//! workload jobs from grid heterogeneity."
+//!
+//! The model captures the pieces that matter for timeline/failure realism:
+//!
+//! * **dispatch latency** — pilot submission + environment provisioning +
+//!   resource validation, log-normal around ~½ minute, before staging can
+//!   begin (this is the queue-time floor visible in every matched job);
+//! * **validation failures** — a small fraction of pilots land on broken
+//!   worker nodes; the payload is re-dispatched after a backoff, adding a
+//!   visible queue-time spike;
+//! * **lost heartbeats** — a running payload whose pilot stops
+//!   heartbeating is declared failed partway through its walltime (PanDA
+//!   error "lost heartbeat"), an error class unrelated to staging that
+//!   keeps the Fig 9 `Low`-staging band's failure population realistic.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Lost-heartbeat PanDA error code.
+pub const LOST_HEARTBEAT: u32 = 1361;
+
+/// Pilot-layer parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PilotParams {
+    /// Median provisioning+validation latency in seconds.
+    pub median_dispatch_secs: f64,
+    /// Log-normal sigma of the dispatch latency.
+    pub dispatch_sigma: f64,
+    /// Probability a pilot fails validation and the payload must be
+    /// re-dispatched.
+    pub p_validation_failure: f64,
+    /// Backoff before re-dispatch, seconds (fixed; retries draw a fresh
+    /// dispatch latency on top).
+    pub retry_backoff_secs: f64,
+    /// Maximum validation retries before the job is failed outright.
+    pub max_retries: u32,
+    /// Probability per *hour of walltime* that the pilot's heartbeat is
+    /// lost mid-execution.
+    pub heartbeat_loss_per_hour: f64,
+}
+
+impl Default for PilotParams {
+    fn default() -> Self {
+        PilotParams {
+            median_dispatch_secs: 35.0,
+            dispatch_sigma: 0.6,
+            p_validation_failure: 0.03,
+            retry_backoff_secs: 120.0,
+            max_retries: 3,
+            heartbeat_loss_per_hour: 0.002,
+        }
+    }
+}
+
+/// Outcome of the dispatch phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DispatchOutcome {
+    /// Pilot validated; staging may begin after `delay_secs`.
+    Ready {
+        /// Total seconds from job creation to a validated pilot.
+        delay_secs: f64,
+        /// Validation retries that were needed.
+        retries: u32,
+    },
+    /// Every retry failed validation; the job fails without running.
+    ExhaustedRetries {
+        /// Seconds burned across all attempts.
+        delay_secs: f64,
+    },
+}
+
+/// Outcome of the execution phase's heartbeat watch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HeartbeatOutcome {
+    /// Pilot heartbeat healthy for the whole walltime.
+    Healthy,
+    /// Heartbeat lost at this fraction of the walltime; the job is failed
+    /// there with [`LOST_HEARTBEAT`].
+    LostAtFraction(f64),
+}
+
+/// The pilot model: samplers for dispatch and heartbeat processes.
+#[derive(Clone, Debug)]
+pub struct PilotModel {
+    params: PilotParams,
+    dispatch: LogNormal<f64>,
+}
+
+impl PilotModel {
+    /// Build from parameters.
+    pub fn new(params: PilotParams) -> Self {
+        let dispatch = LogNormal::new(params.median_dispatch_secs.ln(), params.dispatch_sigma)
+            .expect("valid log-normal parameters");
+        PilotModel { params, dispatch }
+    }
+
+    /// Parameters in effect.
+    pub fn params(&self) -> &PilotParams {
+        &self.params
+    }
+
+    /// Sample the dispatch phase: provisioning, validation, retries.
+    pub fn sample_dispatch(&self, rng: &mut SmallRng) -> DispatchOutcome {
+        let mut total = 0.0;
+        for attempt in 0..=self.params.max_retries {
+            total += self.dispatch.sample(rng).clamp(5.0, 3_600.0);
+            if rng.random::<f64>() >= self.params.p_validation_failure {
+                return DispatchOutcome::Ready {
+                    delay_secs: total,
+                    retries: attempt,
+                };
+            }
+            total += self.params.retry_backoff_secs;
+        }
+        DispatchOutcome::ExhaustedRetries { delay_secs: total }
+    }
+
+    /// Sample the heartbeat watch for a payload with `walltime_secs`.
+    pub fn sample_heartbeat(&self, walltime_secs: f64, rng: &mut SmallRng) -> HeartbeatOutcome {
+        let hours = walltime_secs / 3_600.0;
+        let p_loss = 1.0 - (-self.params.heartbeat_loss_per_hour * hours).exp();
+        if rng.random::<f64>() < p_loss {
+            HeartbeatOutcome::LostAtFraction(0.05 + 0.9 * rng.random::<f64>())
+        } else {
+            HeartbeatOutcome::Healthy
+        }
+    }
+}
+
+impl Default for PilotModel {
+    fn default() -> Self {
+        PilotModel::new(PilotParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_simcore::RngFactory;
+
+    fn rng(seed: u64) -> SmallRng {
+        RngFactory::new(seed).stream("pilot-test")
+    }
+
+    #[test]
+    fn dispatch_latency_is_bounded_and_positive() {
+        let m = PilotModel::default();
+        let mut r = rng(1);
+        for _ in 0..2_000 {
+            match m.sample_dispatch(&mut r) {
+                DispatchOutcome::Ready { delay_secs, retries } => {
+                    assert!(delay_secs >= 5.0);
+                    assert!(retries <= m.params().max_retries);
+                }
+                DispatchOutcome::ExhaustedRetries { delay_secs } => {
+                    assert!(delay_secs > m.params().retry_backoff_secs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_failures_occur_at_configured_rate() {
+        let m = PilotModel::new(PilotParams {
+            p_validation_failure: 0.5,
+            ..Default::default()
+        });
+        let mut r = rng(2);
+        let retried = (0..5_000)
+            .filter(|_| {
+                matches!(
+                    m.sample_dispatch(&mut r),
+                    DispatchOutcome::Ready { retries, .. } if retries > 0
+                ) || matches!(
+                    m.sample_dispatch(&mut r),
+                    DispatchOutcome::ExhaustedRetries { .. }
+                )
+            })
+            .count();
+        assert!(retried > 1_000, "retry rate implausibly low: {retried}");
+    }
+
+    #[test]
+    fn zero_failure_probability_never_retries() {
+        let m = PilotModel::new(PilotParams {
+            p_validation_failure: 0.0,
+            ..Default::default()
+        });
+        let mut r = rng(3);
+        for _ in 0..500 {
+            match m.sample_dispatch(&mut r) {
+                DispatchOutcome::Ready { retries, .. } => assert_eq!(retries, 0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn heartbeat_loss_scales_with_walltime() {
+        let m = PilotModel::new(PilotParams {
+            heartbeat_loss_per_hour: 0.05,
+            ..Default::default()
+        });
+        let mut r = rng(4);
+        let losses = |wall: f64, r: &mut SmallRng| {
+            (0..4_000)
+                .filter(|_| m.sample_heartbeat(wall, r) != HeartbeatOutcome::Healthy)
+                .count()
+        };
+        let short = losses(600.0, &mut r);
+        let long = losses(24.0 * 3_600.0, &mut r);
+        assert!(
+            long > short * 5,
+            "day-long jobs should lose heartbeats far more often: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    fn lost_heartbeat_fraction_is_interior() {
+        let m = PilotModel::new(PilotParams {
+            heartbeat_loss_per_hour: 1.0,
+            ..Default::default()
+        });
+        let mut r = rng(5);
+        for _ in 0..500 {
+            if let HeartbeatOutcome::LostAtFraction(f) = m.sample_heartbeat(36_000.0, &mut r) {
+                assert!((0.05..=0.95).contains(&f));
+            }
+        }
+    }
+}

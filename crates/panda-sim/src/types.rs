@@ -1,0 +1,146 @@
+//! Core identifier and status types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PanDA job identifier (`pandaid`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pandaid:{}", self.0)
+    }
+}
+
+/// JEDI task identifier (`jeditaskid`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jeditaskid:{}", self.0)
+    }
+}
+
+/// Final state of a job. The paper's figures label these "D" (done) and
+/// "F" (failed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Completed successfully.
+    Finished,
+    /// Failed (see the job's error code).
+    Failed,
+}
+
+impl JobStatus {
+    /// The paper's single-letter label.
+    pub fn letter(self) -> char {
+        match self {
+            JobStatus::Finished => 'D',
+            JobStatus::Failed => 'F',
+        }
+    }
+}
+
+/// Final state of a task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Task completed.
+    Done,
+    /// Task failed.
+    Failed,
+}
+
+impl TaskStatus {
+    /// The paper's single-letter label.
+    pub fn letter(self) -> char {
+        match self {
+            TaskStatus::Done => 'D',
+            TaskStatus::Failed => 'F',
+        }
+    }
+}
+
+/// User analysis vs centrally-managed production.
+///
+/// The paper's §5.1 queries *user jobs* only; production transfers
+/// therefore never match (Table 1 rows 4–5 show 0%).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// User analysis task.
+    UserAnalysis,
+    /// Production (MC simulation / reprocessing) task.
+    Production,
+}
+
+/// How a job consumes its input.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IoMode {
+    /// Inputs staged to local scratch before execution ("Analysis
+    /// Download" in Table 1); execution cannot begin until staging ends.
+    StageIn,
+    /// Streaming reads overlapping execution ("Analysis Download Direct
+    /// IO"); transfers span the job's walltime.
+    DirectIo,
+}
+
+/// Job error codes observed in the paper's case studies.
+pub mod error_codes {
+    /// "Non-zero return code from Overlay (1)" — Fig 11's failed job.
+    pub const OVERLAY_FAILURE: u32 = 1305;
+    /// Stage-in timeout.
+    pub const STAGEIN_TIMEOUT: u32 = 1099;
+    /// Payload segfault.
+    pub const PAYLOAD_SEGV: u32 = 1201;
+    /// Output upload failure.
+    pub const STAGEOUT_FAILURE: u32 = 1137;
+    /// Worker-node scratch exhausted.
+    pub const NO_DISK_SPACE: u32 = 1098;
+    /// Pilot could not validate any worker node after retries.
+    pub const PILOT_VALIDATION: u32 = 1150;
+    /// Pilot heartbeat lost mid-execution.
+    pub const LOST_HEARTBEAT: u32 = 1361;
+
+    /// Message for a code, mirroring PanDA's error dictionary style.
+    pub fn message(code: u32) -> &'static str {
+        match code {
+            OVERLAY_FAILURE => "Non-zero return code from Overlay (1)",
+            STAGEIN_TIMEOUT => "Stage-in timed out",
+            PAYLOAD_SEGV => "Payload received SIGSEGV",
+            STAGEOUT_FAILURE => "Failed to stage out output file",
+            NO_DISK_SPACE => "No space left on scratch disk",
+            PILOT_VALIDATION => "Pilot failed to validate a worker node",
+            LOST_HEARTBEAT => "Lost heartbeat",
+            _ => "Unknown error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_letters_match_paper_labels() {
+        assert_eq!(JobStatus::Finished.letter(), 'D');
+        assert_eq!(JobStatus::Failed.letter(), 'F');
+        assert_eq!(TaskStatus::Done.letter(), 'D');
+        assert_eq!(TaskStatus::Failed.letter(), 'F');
+    }
+
+    #[test]
+    fn error_dictionary_covers_case_study_code() {
+        assert_eq!(
+            error_codes::message(error_codes::OVERLAY_FAILURE),
+            "Non-zero return code from Overlay (1)"
+        );
+        assert_eq!(error_codes::message(9999), "Unknown error");
+    }
+
+    #[test]
+    fn id_debug_forms() {
+        assert_eq!(format!("{:?}", JobId(6583770648)), "pandaid:6583770648");
+        assert_eq!(format!("{:?}", TaskId(42)), "jeditaskid:42");
+    }
+}

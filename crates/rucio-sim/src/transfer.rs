@@ -1,0 +1,501 @@
+//! The FTS-like file transfer engine.
+//!
+//! Implements the three-step Rucio transfer workflow of paper §2.2:
+//! (1) **data discovery** — does the destination already hold a replica?
+//! (2) **replica selection** — choose the source replica with the best
+//! current effective throughput towards the destination (local replicas
+//! always win); (3) **file transfer** — integrate the time-varying link
+//! bandwidth to obtain the completion time.
+//!
+//! Concurrency is limited by per-site storage-frontend streams
+//! ([`dmsa_gridnet::Site::transfer_slots`]). A transfer occupies one stream
+//! at *each* endpoint; sites with a single stream therefore serialize all
+//! their transfers — reproducing the paper's Fig 10 case study, where three
+//! stage-in transfers at one site ran strictly back-to-back and left the
+//! link idle ("clear evidence of bandwidth underutilization").
+
+use crate::activity::Activity;
+use crate::catalog::{FileId, ReplicaCatalog};
+use crate::did::{DidName, Scope};
+use dmsa_gridnet::{BandwidthModel, GridTopology, RseId, SiteId};
+use dmsa_simcore::{RngFactory, SimTime};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Transfer event identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+/// A request to move one file to a destination RSE.
+#[derive(Clone, Debug)]
+pub struct TransferRequest {
+    /// File to move.
+    pub file: FileId,
+    /// Destination RSE.
+    pub dest: RseId,
+    /// Why the transfer is happening.
+    pub activity: Activity,
+    /// Ground truth: the PanDA job that triggered this transfer, if any.
+    pub caused_by_pandaid: Option<u64>,
+    /// Ground truth: the JEDI task of that job, if any.
+    pub jeditaskid: Option<u64>,
+    /// Pin the source replica (used by stage-in so one job's files all
+    /// come from the same site; honored only if that RSE holds a replica).
+    pub preferred_source: Option<RseId>,
+}
+
+/// A completed (scheduled) transfer with full ground-truth metadata.
+///
+/// Field names deliberately mirror the Rucio/PanDA attributes Algorithm 1
+/// joins on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransferEvent {
+    /// Identifier.
+    pub id: TransferId,
+    /// File moved.
+    pub file: FileId,
+    /// Logical file name.
+    pub lfn: DidName,
+    /// Owning dataset DID name.
+    pub dataset: DidName,
+    /// Production block identifier.
+    pub proddblock: DidName,
+    /// DID scope.
+    pub scope: Scope,
+    /// Exact size in bytes.
+    pub file_size: u64,
+    /// True source site.
+    pub source_site: SiteId,
+    /// True destination site.
+    pub destination_site: SiteId,
+    /// When the request entered the engine.
+    pub queued: SimTime,
+    /// When bytes started flowing (slot acquired).
+    pub starttime: SimTime,
+    /// When the last byte arrived.
+    pub endtime: SimTime,
+    /// Activity class.
+    pub activity: Activity,
+    /// Ground truth: triggering job, hidden from the matcher.
+    pub caused_by_pandaid: Option<u64>,
+    /// `jeditaskid` as Rucio would record it (pre-corruption).
+    pub jeditaskid: Option<u64>,
+}
+
+impl TransferEvent {
+    /// Achieved mean throughput in bytes/second.
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        BandwidthModel::mean_throughput_bytes_per_sec(self.file_size, self.starttime, self.endtime)
+    }
+
+    /// Local (intra-site) transfer?
+    pub fn is_local(&self) -> bool {
+        self.source_site == self.destination_site
+    }
+}
+
+/// Per-site stream accounting + transfer execution.
+pub struct TransferEngine {
+    /// `slots[site]` holds one entry per stream: the time it frees up.
+    slots: Vec<BinaryHeap<Reverse<i64>>>,
+    next_id: u64,
+    /// Per-transfer duration jitter (TCP ramp-up, disk-cache state,
+    /// per-stream fair-share): log-normal multiplier on the integrated
+    /// duration, plus rare deep stalls. This is what produces the paper's
+    /// 17.7x throughput spread between back-to-back transfers of
+    /// similar-sized files at the same site (Fig 10) and the 20x spread
+    /// of Fig 11.
+    jitter_rng: SmallRng,
+    jitter_sigma: f64,
+    stall_prob: f64,
+}
+
+impl TransferEngine {
+    /// Engine for `topology`, all streams free at the epoch. Jitter draws
+    /// come from the `"rucio/transfer-jitter"` stream of `rngs`, so runs
+    /// are reproducible.
+    pub fn new(topology: &GridTopology, rngs: &RngFactory) -> Self {
+        let slots = topology
+            .sites()
+            .iter()
+            .map(|s| {
+                (0..s.transfer_slots.max(1))
+                    .map(|_| Reverse(SimTime::EPOCH.as_millis()))
+                    .collect()
+            })
+            .collect();
+        TransferEngine {
+            slots,
+            next_id: 0,
+            jitter_rng: rngs.stream("rucio/transfer-jitter"),
+            jitter_sigma: 0.55,
+            stall_prob: 0.02,
+        }
+    }
+
+    /// Draw the per-transfer duration multiplier.
+    fn duration_factor(&mut self) -> f64 {
+        let z = {
+            // Box-Muller on the engine's own stream.
+            let u1: f64 = self.jitter_rng.random::<f64>().max(1e-12);
+            let u2: f64 = self.jitter_rng.random();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let mut f = (self.jitter_sigma * z).exp().clamp(0.6, 8.0);
+        if self.jitter_rng.random::<f64>() < self.stall_prob {
+            // Deep stall: retry storms, dead storage movers.
+            f *= 4.0 + 16.0 * self.jitter_rng.random::<f64>();
+        }
+        f
+    }
+
+    /// Step 1+2 of the Rucio workflow: pick the best source replica of
+    /// `file` for a transfer towards `dest_site` at time `t`.
+    ///
+    /// A replica already at the destination site is always preferred (the
+    /// transfer then degenerates to a *local* storage-to-scratch move — the
+    /// diagonal of Fig 3). Otherwise the replica with the highest current
+    /// effective rate wins. Returns `None` when the file has no replicas.
+    pub fn select_source(
+        &self,
+        catalog: &ReplicaCatalog,
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+        file: FileId,
+        dest_site: SiteId,
+        t: SimTime,
+    ) -> Option<RseId> {
+        let replicas = catalog.replicas_of(file);
+        if replicas.is_empty() {
+            return None;
+        }
+        if let Some(&local) = replicas
+            .iter()
+            .find(|&&r| topology.site_of_rse(r) == dest_site)
+        {
+            return Some(local);
+        }
+        replicas
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let ra = bw.effective_mbps(topology.site_of_rse(a), dest_site, t);
+                let rb = bw.effective_mbps(topology.site_of_rse(b), dest_site, t);
+                ra.total_cmp(&rb).then(b.cmp(&a)) // deterministic tiebreak
+            })
+    }
+
+    /// Execute a transfer request that became ready at `ready`.
+    ///
+    /// Picks the source replica, waits for a free stream at both endpoints,
+    /// integrates link bandwidth for the duration, registers the new
+    /// replica in the catalog, and returns the completed event. Returns
+    /// `None` if the file has no source replica (lost data).
+    pub fn execute(
+        &mut self,
+        req: &TransferRequest,
+        ready: SimTime,
+        catalog: &mut ReplicaCatalog,
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+    ) -> Option<TransferEvent> {
+        let dest_site = topology.site_of_rse(req.dest);
+        let source_rse = match req.preferred_source {
+            Some(rse) if catalog.has_replica(req.file, rse) => rse,
+            _ => self.select_source(catalog, topology, bw, req.file, dest_site, ready)?,
+        };
+        let source_site = topology.site_of_rse(source_rse);
+
+        // Acquire one stream at each distinct endpoint.
+        let start = if source_site == dest_site {
+            self.acquire_slot(source_site, ready)
+        } else {
+            self.acquire_pair(source_site, dest_site, ready)
+        };
+
+        let entry = catalog.file(req.file);
+        let size = entry.size;
+        let nominal_end = bw.transfer_end(source_site, dest_site, start, size);
+        let nominal_ms = (nominal_end - start).as_millis().max(1);
+        let end = start
+            + dmsa_simcore::SimDuration::from_millis(
+                (nominal_ms as f64 * self.duration_factor()).round().max(1.0) as i64,
+            );
+
+        // Release the streams at completion.
+        self.release_slot(source_site, end);
+        if source_site != dest_site {
+            self.release_slot(dest_site, end);
+        }
+
+        let ds = catalog.dataset(entry.dataset);
+        let event = TransferEvent {
+            id: TransferId(self.next_id),
+            file: req.file,
+            lfn: entry.lfn.clone(),
+            dataset: ds.name.clone(),
+            proddblock: ds.prod_dblock.clone(),
+            scope: entry.scope,
+            file_size: size,
+            source_site,
+            destination_site: dest_site,
+            queued: ready,
+            starttime: start,
+            endtime: end,
+            activity: req.activity,
+            caused_by_pandaid: req.caused_by_pandaid,
+            jeditaskid: req.jeditaskid,
+        };
+        self.next_id += 1;
+        catalog.add_replica(req.file, req.dest);
+        Some(event)
+    }
+
+    /// Pop the earliest-free stream at `site`; the stream is considered
+    /// busy until [`Self::release_slot`] re-inserts it.
+    fn acquire_slot(&mut self, site: SiteId, ready: SimTime) -> SimTime {
+        let heap = &mut self.slots[site.index()];
+        let Reverse(free) = heap.pop().expect("slot heap never empties");
+        SimTime::from_millis(free).max(ready)
+    }
+
+    /// Acquire one stream at each of two distinct sites; start when both
+    /// are free.
+    fn acquire_pair(&mut self, a: SiteId, b: SiteId, ready: SimTime) -> SimTime {
+        debug_assert_ne!(a, b);
+        let fa = self.acquire_slot(a, ready);
+        let fb = self.acquire_slot(b, ready);
+        fa.max(fb)
+    }
+
+    fn release_slot(&mut self, site: SiteId, at: SimTime) {
+        self.slots[site.index()].push(Reverse(at.as_millis()));
+    }
+
+    /// Earliest instant a new transfer could start at `site` (load signal
+    /// for the brokerage).
+    pub fn earliest_slot(&self, site: SiteId) -> SimTime {
+        let Reverse(free) = *self.slots[site.index()].peek().expect("non-empty heap");
+        SimTime::from_millis(free)
+    }
+
+    /// Number of events issued so far.
+    pub fn n_transfers(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_gridnet::TopologyConfig;
+    use dmsa_simcore::RngFactory;
+
+    struct Fixture {
+        topo: GridTopology,
+        bw: BandwidthModel,
+        cat: ReplicaCatalog,
+        eng: TransferEngine,
+        files: Vec<FileId>,
+    }
+
+    fn fixture() -> Fixture {
+        let rngs = RngFactory::new(11);
+        let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
+        let bw = BandwidthModel::new(&rngs, &topo);
+        let mut cat = ReplicaCatalog::new();
+        let ds = cat.register_dataset(
+            Scope::User(1),
+            1,
+            "s",
+            &[2_000_000_000, 4_000_000_000, 4_500_000_000],
+            SimTime::EPOCH,
+        );
+        let files = cat.dataset_files(ds).to_vec();
+        // Seed all files at the T0 disk.
+        let t0_disk = topo.disk_rse(SiteId(0));
+        for &f in &files {
+            cat.add_replica(f, t0_disk);
+        }
+        let eng = TransferEngine::new(&topo, &rngs);
+        Fixture {
+            topo,
+            bw,
+            cat,
+            eng,
+            files,
+        }
+    }
+
+    fn request(file: FileId, dest: RseId) -> TransferRequest {
+        TransferRequest {
+            file,
+            dest,
+            activity: Activity::AnalysisDownload,
+            caused_by_pandaid: Some(1),
+            jeditaskid: Some(10),
+            preferred_source: None,
+        }
+    }
+
+    #[test]
+    fn local_replica_is_preferred() {
+        let f = fixture();
+        let dest_site = SiteId(0);
+        let src = f
+            .eng
+            .select_source(&f.cat, &f.topo, &f.bw, f.files[0], dest_site, SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(f.topo.site_of_rse(src), dest_site);
+    }
+
+    #[test]
+    fn remote_source_picked_by_throughput() {
+        let mut f = fixture();
+        // Add a second replica at site 2; destination site 5 holds none.
+        let r2 = f.topo.disk_rse(SiteId(2));
+        f.cat.add_replica(f.files[0], r2);
+        let chosen = f
+            .eng
+            .select_source(&f.cat, &f.topo, &f.bw, f.files[0], SiteId(5), SimTime::EPOCH)
+            .unwrap();
+        let s_chosen = f.topo.site_of_rse(chosen);
+        let alt = if s_chosen == SiteId(0) { SiteId(2) } else { SiteId(0) };
+        let r_chosen = f.bw.effective_mbps(s_chosen, SiteId(5), SimTime::EPOCH);
+        let r_alt = f.bw.effective_mbps(alt, SiteId(5), SimTime::EPOCH);
+        assert!(r_chosen >= r_alt);
+    }
+
+    #[test]
+    fn missing_file_yields_none() {
+        let mut f = fixture();
+        let lost = f.files[0];
+        let rse0 = f.topo.disk_rse(SiteId(0));
+        f.cat.remove_replica(lost, rse0);
+        let ev = f.eng.execute(
+            &request(lost, f.topo.disk_rse(SiteId(3))),
+            SimTime::EPOCH,
+            &mut f.cat,
+            &f.topo,
+            &f.bw,
+        );
+        assert!(ev.is_none());
+    }
+
+    #[test]
+    fn execute_registers_replica_and_orders_times() {
+        let mut f = fixture();
+        let dest = f.topo.disk_rse(SiteId(4));
+        let ev = f
+            .eng
+            .execute(
+                &request(f.files[0], dest),
+                SimTime::from_secs(100),
+                &mut f.cat,
+                &f.topo,
+                &f.bw,
+            )
+            .unwrap();
+        assert!(ev.starttime >= ev.queued);
+        assert!(ev.endtime > ev.starttime);
+        assert!(f.cat.has_replica(f.files[0], dest));
+        assert_eq!(ev.file_size, 2_000_000_000);
+        assert!(!ev.is_local());
+        assert!(ev.throughput_bytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn single_stream_site_serializes_transfers() {
+        // Build a fixture and force a destination site to one stream by
+        // finding one in the generated topology.
+        let mut f = fixture();
+        let single = f
+            .topo
+            .sites()
+            .iter()
+            .find(|s| s.transfer_slots == 1)
+            .map(|s| s.id);
+        let Some(site) = single else {
+            // Small topologies may lack a single-stream site under this
+            // seed; the invariant is separately covered at default scale.
+            return;
+        };
+        // Seed local replicas so transfers are local (only one slot row used).
+        let rse = f.topo.disk_rse(site);
+        for &file in &f.files {
+            f.cat.add_replica(file, rse);
+        }
+        let ready = SimTime::from_secs(10);
+        let evs: Vec<TransferEvent> = f
+            .files
+            .clone()
+            .into_iter()
+            .map(|file| {
+                f.eng
+                    .execute(&request(file, rse), ready, &mut f.cat, &f.topo, &f.bw)
+                    .unwrap()
+            })
+            .collect();
+        // Strictly sequential: each starts when the previous one ends.
+        assert!(evs[1].starttime >= evs[0].endtime);
+        assert!(evs[2].starttime >= evs[1].endtime);
+    }
+
+    #[test]
+    fn multi_stream_site_overlaps_transfers() {
+        let mut f = fixture();
+        // T0 has >= 8 streams; three simultaneous local transfers overlap.
+        let rse = f.topo.disk_rse(SiteId(0));
+        let ready = SimTime::from_secs(10);
+        let evs: Vec<TransferEvent> = f
+            .files
+            .clone()
+            .into_iter()
+            .map(|file| {
+                f.eng
+                    .execute(&request(file, rse), ready, &mut f.cat, &f.topo, &f.bw)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(evs[0].starttime, evs[1].starttime);
+        assert_eq!(evs[1].starttime, evs[2].starttime);
+    }
+
+    #[test]
+    fn event_ids_are_sequential() {
+        let mut f = fixture();
+        let rse = f.topo.disk_rse(SiteId(0));
+        let a = f
+            .eng
+            .execute(&request(f.files[0], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .unwrap();
+        let b = f
+            .eng
+            .execute(&request(f.files[1], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .unwrap();
+        assert_eq!(a.id, TransferId(0));
+        assert_eq!(b.id, TransferId(1));
+        assert_eq!(f.eng.n_transfers(), 2);
+    }
+
+    #[test]
+    fn metadata_fields_round_trip_from_catalog() {
+        let mut f = fixture();
+        let rse = f.topo.disk_rse(SiteId(3));
+        let ev = f
+            .eng
+            .execute(&request(f.files[2], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .unwrap();
+        let entry = f.cat.file(f.files[2]);
+        assert_eq!(ev.lfn, entry.lfn);
+        assert_eq!(ev.scope, entry.scope);
+        let ds = f.cat.dataset(entry.dataset);
+        assert_eq!(ev.dataset, ds.name);
+        assert_eq!(ev.proddblock, ds.prod_dblock);
+        assert_eq!(ev.jeditaskid, Some(10));
+        assert_eq!(ev.caused_by_pandaid, Some(1));
+    }
+}

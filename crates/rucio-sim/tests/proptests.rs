@@ -1,0 +1,153 @@
+//! Property tests for the Rucio substrate: catalog invariants under random
+//! operation sequences, rule-engine fixpoints, and transfer-engine slot
+//! discipline.
+
+use dmsa_gridnet::{BandwidthModel, GridTopology, RseId, TopologyConfig};
+use dmsa_rucio_sim::transfer::TransferRequest;
+use dmsa_rucio_sim::{Activity, ReplicaCatalog, RuleEngine, Scope, TransferEngine};
+use dmsa_simcore::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddReplica { file: usize, rse: u32 },
+    RemoveReplica { file: usize, rse: u32 },
+    RegisterDataset { n_files: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64, 0u32..8).prop_map(|(file, rse)| Op::AddReplica { file, rse }),
+        (0usize..64, 0u32..8).prop_map(|(file, rse)| Op::RemoveReplica { file, rse }),
+        (1usize..6).prop_map(|n_files| Op::RegisterDataset { n_files }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn catalog_invariants_hold_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut cat = ReplicaCatalog::new();
+        cat.register_dataset(Scope::User(1), 0, "seed", &[10, 20, 30], SimTime::EPOCH);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::AddReplica { file, rse } => {
+                    let n = cat.n_files();
+                    let f = cat.files()[file % n].id;
+                    cat.add_replica(f, RseId(rse));
+                }
+                Op::RemoveReplica { file, rse } => {
+                    let n = cat.n_files();
+                    let f = cat.files()[file % n].id;
+                    cat.remove_replica(f, RseId(rse));
+                }
+                Op::RegisterDataset { n_files } => {
+                    let sizes: Vec<u64> = (0..n_files as u64).map(|k| 100 + k).collect();
+                    cat.register_dataset(Scope::User(2), i as u64 + 1, "gen", &sizes, SimTime::EPOCH);
+                }
+            }
+            prop_assert!(cat.check_invariants().is_ok(), "{:?}", cat.check_invariants());
+        }
+        // Physical bytes never exceed registered bytes x replica bound.
+        prop_assert!(cat.total_physical_bytes() <= cat.total_registered_bytes() * 8);
+    }
+
+    #[test]
+    fn satisfying_a_rule_reaches_a_fixpoint(
+        copies in 1usize..3,
+        n_files in 1usize..6,
+    ) {
+        let mut cat = ReplicaCatalog::new();
+        let sizes: Vec<u64> = (0..n_files as u64).map(|k| 1 + k).collect();
+        let ds = cat.register_dataset(Scope::Data, 0, "x", &sizes, SimTime::EPOCH);
+        let mut eng = RuleEngine::new();
+        let rses: Vec<RseId> = (0..4).map(RseId).collect();
+        let rule = eng.add_rule(ds, rses, copies, SimTime::EPOCH, None);
+        // Apply every needed transfer as an instantaneous replica add.
+        let needed = eng.missing_replicas(rule, &cat);
+        prop_assert_eq!(needed.len(), copies * n_files);
+        for t in &needed {
+            cat.add_replica(t.file, t.dest);
+        }
+        // Fixpoint: nothing more to do, and idempotent.
+        prop_assert!(eng.missing_replicas(rule, &cat).is_empty());
+        for t in &needed {
+            cat.add_replica(t.file, t.dest);
+        }
+        prop_assert!(eng.missing_replicas(rule, &cat).is_empty());
+        prop_assert!(cat.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn transfer_engine_never_violates_slot_capacity(
+        n_transfers in 1usize..40,
+        seed in 0u64..64,
+    ) {
+        let rngs = RngFactory::new(seed);
+        let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
+        let bw = BandwidthModel::new(&rngs, &topo);
+        let mut cat = ReplicaCatalog::new();
+        let sizes: Vec<u64> = (0..n_transfers as u64).map(|k| 50_000_000 + k * 1_000).collect();
+        let ds = cat.register_dataset(Scope::Data, 0, "x", &sizes, SimTime::EPOCH);
+        let files = cat.dataset_files(ds).to_vec();
+        // All files seeded at site 1's disk; stage them all to site 2.
+        let src_rse = topo.disk_rse(dmsa_gridnet::SiteId(1));
+        let dst_rse = topo.disk_rse(dmsa_gridnet::SiteId(2));
+        for &f in &files {
+            cat.add_replica(f, src_rse);
+        }
+        let mut engine = TransferEngine::new(&topo, &rngs);
+        let events: Vec<_> = files
+            .iter()
+            .map(|&f| {
+                engine
+                    .execute(
+                        &TransferRequest {
+                            file: f,
+                            dest: dst_rse,
+                            activity: Activity::DataRebalancing,
+                            caused_by_pandaid: None,
+                            jeditaskid: None,
+                            preferred_source: None,
+                        },
+                        SimTime::EPOCH,
+                        &mut cat,
+                        &topo,
+                        &bw,
+                    )
+                    .expect("replica exists")
+            })
+            .collect();
+        // At no instant may more transfers be active on the pair than the
+        // tighter endpoint's stream budget.
+        let cap = topo
+            .site(dmsa_gridnet::SiteId(1))
+            .transfer_slots
+            .min(topo.site(dmsa_gridnet::SiteId(2)).transfer_slots) as usize;
+        let mut boundaries: Vec<SimTime> = events
+            .iter()
+            .flat_map(|e| [e.starttime, e.endtime])
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        for &t in &boundaries {
+            let active = events
+                .iter()
+                .filter(|e| e.starttime <= t && t < e.endtime)
+                .count();
+            prop_assert!(
+                active <= cap,
+                "{} active transfers at {:?}, cap {}",
+                active,
+                t,
+                cap
+            );
+        }
+        // Every event is well-formed and was registered.
+        for (e, &f) in events.iter().zip(&files) {
+            prop_assert!(e.endtime > e.starttime);
+            prop_assert!(cat.has_replica(f, dst_rse));
+        }
+    }
+}

@@ -1,0 +1,1099 @@
+//! The co-simulation event loop.
+//!
+//! One [`EventQueue`] drives both systems, mirroring the production
+//! coupling the paper studies: PanDA creates tasks and jobs, the brokerage
+//! places them (data-locality first), Harvester-style staging asks the
+//! Rucio transfer engine to materialize input replicas, compute slots gate
+//! execution, and output upload completes the job *before* PanDA marks it
+//! finished — which is why Algorithm 1's `starttime < endtime` condition
+//! catches uploads too.
+//!
+//! The loop produces ground-truth [`dmsa_rucio_sim::TransferEvent`]s and
+//! finished jobs; [`run`] then flattens both into a [`MetaStore`] and
+//! applies the corruption model. Everything downstream (matching, analysis,
+//! benches) consumes only the store.
+
+use crate::config::ScenarioConfig;
+use dmsa_gridnet::{BandwidthModel, GridTopology, SiteId};
+use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, Sym, TransferRecord};
+use dmsa_panda_sim::{
+    Broker, DispatchOutcome, HeartbeatOutcome, IoMode, Job, JobId, JobStatus, PilotModel,
+    SiteLoadView, TaskId, TaskKind, TaskStatus, WorkloadModel,
+};
+use dmsa_panda_sim::task::TaskProgress;
+use dmsa_rucio_sim::transfer::TransferRequest;
+use dmsa_rucio_sim::{
+    reap_all, Activity, DatasetId, FileId, ReaperPolicy, ReplicaCatalog, RuleEngine, Scope,
+    TransferEngine, TransferEvent,
+};
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::{EventQueue, RngFactory, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// First `pandaid` issued (paper-era ids are ~6.58 × 10⁹).
+const FIRST_PANDAID: u64 = 6_583_000_000;
+/// First `jeditaskid` issued.
+const FIRST_TASKID: u64 = 44_000_000;
+/// Synthetic transfer-id offset for direct-I/O read events (the transfer
+/// engine owns the low id space).
+const DIO_ID_BASE: u64 = 1 << 40;
+
+/// The flattened result of one campaign.
+pub struct Campaign {
+    /// Configuration that produced it.
+    pub config: ScenarioConfig,
+    /// The generated grid.
+    pub topology: GridTopology,
+    /// Bandwidth oracle (shared by analyses that need rate context).
+    pub bw: BandwidthModel,
+    /// Final replica catalog.
+    pub catalog: ReplicaCatalog,
+    /// Corrupted metadata — the matcher's world.
+    pub store: MetaStore,
+    /// The observation window (`[0, duration)`).
+    pub window: Interval,
+    /// Site-name symbol per `SiteId` index.
+    pub sym_of_site: Vec<Sym>,
+}
+
+/// A job in flight, threaded through the event queue.
+struct PendingJob {
+    pandaid: u64,
+    task_idx: u32,
+    kind: TaskKind,
+    io_mode: IoMode,
+    doomed: bool,
+    input_files: Vec<FileId>,
+    input_bytes: u64,
+    creation: SimTime,
+    site: SiteId,
+    recorded_stagein: bool,
+    /// Pinned stage-in source RSE when the data is not local (one source
+    /// per job, as JEDI/Rucio negotiate a single best replica site).
+    stage_source: Option<dmsa_gridnet::RseId>,
+    /// Intervals of this job's stage-in transfers (recorded or not).
+    stage_intervals: Vec<Interval>,
+    /// True staging completion (may exceed `start` under the anomaly knob).
+    staging_end: SimTime,
+    start: SimTime,
+    exec_end: SimTime,
+}
+
+enum Event {
+    TaskArrival,
+    JobCreated(Box<PendingJob>),
+    StagingDone(Box<PendingJob>),
+    ExecDone(Box<PendingJob>),
+    Background,
+    /// Periodic site reaper pass: deletes unprotected replicas at RSEs
+    /// above their high watermark. Deleted inputs must be transferred
+    /// again by later jobs — one *causal* source of the paper's redundant
+    /// transfers.
+    Reaper,
+}
+
+struct TaskCtx {
+    id: TaskId,
+    kind: TaskKind,
+    doomed: bool,
+    n_jobs: u32,
+    progress: TaskProgress,
+}
+
+/// Run one campaign.
+pub fn run(config: &ScenarioConfig) -> Campaign {
+    Driver::new(config.clone()).run()
+}
+
+struct Driver {
+    config: ScenarioConfig,
+    rngs: RngFactory,
+    topology: GridTopology,
+    bw: BandwidthModel,
+    catalog: ReplicaCatalog,
+    engine: TransferEngine,
+    rules: RuleEngine,
+    reaper_policy: ReaperPolicy,
+    broker: Broker,
+    workload: WorkloadModel,
+    pilot: PilotModel,
+    queue: EventQueue<Event>,
+    // Load feedback for the brokerage.
+    queued: Vec<u32>,
+    running: Vec<u32>,
+    compute_slots: Vec<BinaryHeap<Reverse<i64>>>,
+    // Site sampling by activity weight.
+    cum_weights: Vec<f64>,
+    // Outputs.
+    tasks: Vec<TaskCtx>,
+    finished: Vec<(Job, u32, bool)>, // job, task_idx, recorded_upload
+    transfers: Vec<(TransferEvent, bool)>, // event, recorded
+    next_pandaid: u64,
+    next_taskid: u64,
+    next_dio_id: u64,
+    next_output_seq: u64,
+    // RNG streams.
+    rng_task: SmallRng,
+    rng_job: SmallRng,
+    rng_bg: SmallRng,
+}
+
+impl Driver {
+    fn new(config: ScenarioConfig) -> Self {
+        let rngs = RngFactory::new(config.seed);
+        let topology = GridTopology::generate(&rngs, &config.topology);
+        let bw = BandwidthModel::new(&rngs, &topology);
+        let engine = TransferEngine::new(&topology, &rngs);
+        let broker = Broker::new(config.broker.clone());
+        let workload = WorkloadModel::new(config.workload.clone());
+        let n = topology.n_sites();
+
+        let mut cum = 0.0;
+        let cum_weights = topology
+            .sites()
+            .iter()
+            .map(|s| {
+                cum += s.activity_weight;
+                cum
+            })
+            .collect();
+
+        let compute_slots = topology
+            .sites()
+            .iter()
+            .map(|s| {
+                (0..s.compute_slots.max(1))
+                    .map(|_| Reverse(0i64))
+                    .collect()
+            })
+            .collect();
+
+        Driver {
+            rng_task: rngs.stream("scenario/tasks"),
+            rng_job: rngs.stream("scenario/jobs"),
+            rng_bg: rngs.stream("scenario/background"),
+            config,
+            rngs,
+            topology,
+            bw,
+            catalog: ReplicaCatalog::new(),
+            engine,
+            rules: RuleEngine::new(),
+            reaper_policy: ReaperPolicy::default(),
+            broker,
+            workload,
+            pilot: PilotModel::default(),
+            queue: EventQueue::new(),
+            queued: vec![0; n],
+            running: vec![0; n],
+            compute_slots,
+            cum_weights,
+            tasks: Vec::new(),
+            finished: Vec::new(),
+            transfers: Vec::new(),
+            next_pandaid: FIRST_PANDAID,
+            next_taskid: FIRST_TASKID,
+            next_dio_id: DIO_ID_BASE,
+            next_output_seq: 0,
+        }
+    }
+
+    /// Weighted site draw (activity-weighted; used for replica placement
+    /// and background destinations).
+    fn sample_site(&mut self, rng_kind: RngKind) -> SiteId {
+        let total = *self.cum_weights.last().expect("non-empty topology");
+        let x = match rng_kind {
+            RngKind::Task => self.rng_task.random::<f64>(),
+            RngKind::Background => self.rng_bg.random::<f64>(),
+        } * total;
+        let idx = self.cum_weights.partition_point(|&c| c < x);
+        SiteId(idx.min(self.topology.n_sites() - 1) as u32)
+    }
+
+    fn seed_catalog(&mut self) {
+        let mut rng = self.rngs.stream("scenario/catalog");
+        for i in 0..self.config.initial_datasets {
+            let sizes = self.workload.sample_file_sizes(&mut rng);
+            let scope = match i % 4 {
+                0 => Scope::Data,
+                1 => Scope::McProd,
+                2 => Scope::GroupPhys,
+                _ => Scope::User(rng.random_range(0..200)),
+            };
+            let ds = self
+                .catalog
+                .register_dataset(scope, i as u64, "input", &sizes, SimTime::EPOCH);
+            // Place 1..=max replicas at activity-weighted sites.
+            let n_rep = rng.random_range(1..=self.config.max_replicas_per_dataset.max(1));
+            let mut placed: Vec<SiteId> = Vec::new();
+            for _ in 0..n_rep {
+                let total = *self.cum_weights.last().expect("non-empty");
+                let x = rng.random::<f64>() * total;
+                let idx = self.cum_weights.partition_point(|&c| c < x);
+                let site = SiteId(idx.min(self.topology.n_sites() - 1) as u32);
+                if placed.contains(&site) {
+                    continue;
+                }
+                placed.push(site);
+                let rse = self.topology.disk_rse(site);
+                for &f in self.catalog.dataset_files(ds).to_vec().iter() {
+                    self.catalog.add_replica(f, rse);
+                }
+            }
+            // The primary copy is pinned by a long-lived rule; secondary
+            // copies are cache-like and expire, exposing them to the
+            // reaper (and later jobs to re-staging).
+            if let Some(&primary) = placed.first() {
+                self.rules.add_rule(
+                    ds,
+                    vec![self.topology.disk_rse(primary)],
+                    1,
+                    SimTime::EPOCH,
+                    None,
+                );
+            }
+            for &site in placed.iter().skip(1) {
+                self.rules.add_rule(
+                    ds,
+                    vec![self.topology.disk_rse(site)],
+                    1,
+                    SimTime::EPOCH,
+                    Some(SimDuration::from_days(rng.random_range(1..14))),
+                );
+            }
+        }
+    }
+
+    /// Sites currently holding all files of `ds` on disk.
+    fn dataset_sites(&self, ds: DatasetId) -> Vec<SiteId> {
+        let files = self.catalog.dataset_files(ds);
+        let Some(&first) = files.first() else {
+            return Vec::new();
+        };
+        let mut sites: Vec<SiteId> = self
+            .catalog
+            .replicas_of(first)
+            .iter()
+            .map(|&r| self.topology.site_of_rse(r))
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.retain(|&s| {
+            files.iter().all(|&f| {
+                self.catalog
+                    .replicas_of(f)
+                    .iter()
+                    .any(|&r| self.topology.site_of_rse(r) == s)
+            })
+        });
+        sites
+    }
+
+    fn run(mut self) -> Campaign {
+        self.seed_catalog();
+        self.queue.push(SimTime::EPOCH, Event::TaskArrival);
+        self.queue.push(SimTime::EPOCH, Event::Background);
+        self.queue
+            .push(SimTime::EPOCH + SimDuration::from_hours(6), Event::Reaper);
+
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::TaskArrival => self.on_task_arrival(t),
+                Event::JobCreated(pj) => self.on_job_created(t, pj),
+                Event::StagingDone(pj) => self.on_staging_done(t, pj),
+                Event::ExecDone(pj) => self.on_exec_done(t, pj),
+                Event::Background => self.on_background(t),
+                Event::Reaper => self.on_reaper(t),
+            }
+        }
+
+        self.finish()
+    }
+
+    fn window_end(&self) -> SimTime {
+        SimTime::EPOCH + self.config.duration
+    }
+
+    fn on_task_arrival(&mut self, t: SimTime) {
+        // Schedule the next arrival while inside the window.
+        let rate_per_sec = self.workload.params().tasks_per_hour / 3_600.0;
+        let gap = {
+            let u: f64 = self.rng_task.random();
+            -(1.0 - u).ln() / rate_per_sec.max(1e-9)
+        };
+        let next = t + SimDuration::from_secs_f64(gap);
+        if next < self.window_end() {
+            self.queue.push(next, Event::TaskArrival);
+        }
+
+        // Materialize this task.
+        let kind = self.workload.sample_kind(&mut self.rng_task);
+        let n_jobs = self.workload.sample_n_jobs(kind, &mut self.rng_task);
+        let io_mode = self.workload.sample_io_mode(&mut self.rng_task);
+        let doomed = self.workload.sample_doomed(&mut self.rng_task);
+        let taskid = self.next_taskid;
+        self.next_taskid += 1;
+
+        let n_datasets = self.catalog.datasets().len().min(self.config.initial_datasets);
+        if n_datasets == 0 {
+            return;
+        }
+        let ds = DatasetId(self.rng_task.random_range(0..n_datasets as u64));
+
+        let task_idx = self.tasks.len() as u32;
+        self.tasks.push(TaskCtx {
+            id: TaskId(taskid),
+            kind,
+            doomed,
+            n_jobs,
+            progress: TaskProgress::default(),
+        });
+
+        // iDDS-style pre-staging: deliver the whole input dataset to a
+        // chosen site now, ahead of job dispatch. Drawn from a dedicated
+        // per-task substream so prestage_fraction = 0 leaves every other
+        // stream untouched (bit-identical baseline campaigns).
+        if self.config.prestage_fraction > 0.0 && kind == TaskKind::UserAnalysis {
+            let mut prng = self.rngs.substream("scenario/prestage", taskid);
+            if prng.random::<f64>() < self.config.prestage_fraction {
+                let total = *self.cum_weights.last().expect("non-empty topology");
+                let x = prng.random::<f64>() * total;
+                let idx = self.cum_weights.partition_point(|&c| c < x);
+                let target = SiteId(idx.min(self.topology.n_sites() - 1) as u32);
+                let dest = self.topology.disk_rse(target);
+                for &file in &self.catalog.dataset_files(ds).to_vec() {
+                    let req = TransferRequest {
+                        file,
+                        dest,
+                        activity: Activity::DataRebalancing,
+                        caused_by_pandaid: None,
+                        jeditaskid: None,
+                        preferred_source: None,
+                    };
+                    if let Some(ev) = self.engine.execute(
+                        &req,
+                        t,
+                        &mut self.catalog,
+                        &self.topology,
+                        &self.bw,
+                    ) {
+                        self.transfers.push((ev, true));
+                    }
+                }
+            }
+        }
+
+        // Fan out jobs with exponential submission stagger. JEDI splits
+        // the input dataset across jobs: each file is processed by exactly
+        // one job of the task (user analysis caps fan-out at the file
+        // count; production tasks may wrap around and share).
+        let files: Vec<FileId> = self.catalog.dataset_files(ds).to_vec();
+        let n_jobs = match kind {
+            TaskKind::UserAnalysis => n_jobs.min(files.len() as u32),
+            TaskKind::Production => n_jobs,
+        };
+        self.tasks[task_idx as usize].n_jobs = n_jobs;
+        // Balanced partition: the first `rem` jobs take `base + 1` files,
+        // capped at 4 per job (JEDI's nFilesPerJob-style split).
+        let base = files.len() / n_jobs.max(1) as usize;
+        let rem = files.len() % n_jobs.max(1) as usize;
+        let mut cursor = 0usize;
+        let mut created = t;
+        for ji in 0..n_jobs {
+            let gap: f64 = {
+                let u: f64 = self.rng_task.random();
+                -(1.0 - u).ln() * 90.0
+            };
+            created = created + SimDuration::from_secs_f64(gap);
+            // This job's disjoint slice (wrapping only for production).
+            let take = (base + usize::from((ji as usize) < rem)).clamp(1, 4);
+            let mut input_files: Vec<FileId> = (0..take)
+                .map(|k| files[(cursor + k) % files.len()])
+                .collect();
+            cursor += take;
+            input_files.dedup();
+            input_files.sort_unstable();
+            let input_bytes = input_files
+                .iter()
+                .map(|&f| self.catalog.file(f).size)
+                .sum();
+            let pandaid = self.next_pandaid;
+            self.next_pandaid += 1;
+            let pj = PendingJob {
+                pandaid,
+                task_idx,
+                kind,
+                io_mode,
+                doomed,
+                input_files,
+                input_bytes,
+                creation: created,
+                site: SiteId(0),
+                recorded_stagein: false,
+                stage_source: None,
+                stage_intervals: Vec::new(),
+                staging_end: created,
+                start: created,
+                exec_end: created,
+            };
+            self.queue.push(created, Event::JobCreated(Box::new(pj)));
+        }
+    }
+
+    fn on_job_created(&mut self, t: SimTime, mut pj: Box<PendingJob>) {
+        // Brokerage.
+        let ds = self.catalog.file(pj.input_files[0]).dataset;
+        let replica_sites = self.dataset_sites(ds);
+        let load = SiteLoadView {
+            queued: &self.queued,
+            running: &self.running,
+        };
+        let placement =
+            self.broker
+                .choose_site(&replica_sites, load, &self.topology, &mut self.rng_job);
+        pj.site = placement.site;
+        self.queued[pj.site.index()] += 1;
+
+        // Pin one stage-in source per job: local if the dataset is fully
+        // present at the computing site; otherwise the replica site with
+        // the best current effective rate. This keeps a job's transfers
+        // all-local or all-remote, as in production (the paper's Table 2b
+        // shows zero mixed jobs under exact matching).
+        if !replica_sites.is_empty() && !replica_sites.contains(&pj.site) {
+            let best = replica_sites
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ra = self.bw.effective_mbps(a, pj.site, t);
+                    let rb = self.bw.effective_mbps(b, pj.site, t);
+                    ra.total_cmp(&rb).then(b.cmp(&a))
+                })
+                .expect("non-empty replica set");
+            pj.stage_source = Some(self.topology.disk_rse(best));
+        }
+
+        // Harvester/pilot dispatch: provisioning + validation (+retries)
+        // before staging begins. A pilot that exhausts validation retries
+        // fails the job without it ever running.
+        let dispatch = match self.pilot.sample_dispatch(&mut self.rng_job) {
+            DispatchOutcome::Ready { delay_secs, .. } => {
+                SimDuration::from_secs_f64(delay_secs)
+            }
+            DispatchOutcome::ExhaustedRetries { delay_secs } => {
+                self.queued[pj.site.index()] = self.queued[pj.site.index()].saturating_sub(1);
+                let end = t + SimDuration::from_secs_f64(delay_secs);
+                let task = &mut self.tasks[pj.task_idx as usize];
+                task.progress.record(false);
+                let job = Job {
+                    id: JobId(pj.pandaid),
+                    task: task.id,
+                    kind: pj.kind,
+                    computing_site: pj.site,
+                    creationtime: pj.creation,
+                    starttime: end,
+                    endtime: end,
+                    input_files: pj.input_files.clone(),
+                    output_files: Vec::new(),
+                    ninputfilebytes: pj.input_bytes,
+                    noutputfilebytes: 0,
+                    io_mode: pj.io_mode,
+                    status: JobStatus::Failed,
+                    task_status: TaskStatus::Done, // finalized after the loop
+                    error_code: Some(dmsa_panda_sim::types::error_codes::PILOT_VALIDATION),
+                };
+                self.finished.push((job, pj.task_idx, false));
+                return;
+            }
+        };
+        let stage_begin = t + dispatch;
+
+        let mut staging_end = stage_begin;
+        match pj.kind {
+            TaskKind::Production => {
+                // Production inputs are pre-placed by rules; a fraction
+                // records an explicit Production Download.
+                if self.rng_job.random::<f64>() < self.config.prod_download_fraction {
+                    staging_end = self.stage_files(&mut pj, stage_begin, Activity::ProductionDownload, true);
+                }
+            }
+            TaskKind::UserAnalysis => match pj.io_mode {
+                IoMode::StageIn => {
+                    pj.recorded_stagein =
+                        self.workload.sample_recorded_stagein(&mut self.rng_job);
+                    let rec = pj.recorded_stagein;
+                    staging_end = self.stage_files(&mut pj, stage_begin, Activity::AnalysisDownload, rec);
+                }
+                IoMode::DirectIo => {
+                    // No pre-staging; reads overlap execution.
+                }
+            },
+        }
+        pj.staging_end = staging_end;
+
+        // The Fig 11 anomaly: occasionally the job is released to a worker
+        // partway through staging, so a transfer spans queue and wall.
+        let release = if self.rng_job.random::<f64>() < self.config.p_start_before_staging
+            && staging_end > stage_begin
+        {
+            let frac = 0.2 + 0.6 * self.rng_job.random::<f64>();
+            stage_begin + (staging_end - stage_begin).mul_f64(frac)
+        } else {
+            staging_end
+        };
+        self.queue.push(release, Event::StagingDone(pj));
+    }
+
+    /// Execute stage-in transfers for all input files; returns the staging
+    /// completion time and records intervals on the job.
+    ///
+    /// Some pilots serialize their downloads regardless of how many
+    /// streams the storage frontend offers (the Fig 10 pathology); for
+    /// those, each file's request is only issued once the previous one
+    /// completed.
+    fn stage_files(
+        &mut self,
+        pj: &mut PendingJob,
+        begin: SimTime,
+        activity: Activity,
+        recorded: bool,
+    ) -> SimTime {
+        let dest = self.topology.disk_rse(pj.site);
+        let sequential = self.rng_job.random::<f64>() < self.config.p_sequential_stagein;
+        let mut end = begin;
+        let mut ready = begin;
+        for &file in &pj.input_files.clone() {
+            let req = TransferRequest {
+                file,
+                dest,
+                activity,
+                caused_by_pandaid: Some(pj.pandaid),
+                jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
+                preferred_source: pj.stage_source,
+            };
+            if let Some(ev) =
+                self.engine
+                    .execute(&req, ready, &mut self.catalog, &self.topology, &self.bw)
+            {
+                end = end.max(ev.endtime);
+                if sequential {
+                    ready = ev.endtime;
+                }
+                pj.stage_intervals.push(Interval::new(ev.starttime, ev.endtime));
+                self.transfers.push((ev, recorded));
+            }
+        }
+        end
+    }
+
+    fn on_staging_done(&mut self, t: SimTime, mut pj: Box<PendingJob>) {
+        // Acquire a compute slot.
+        let heap = &mut self.compute_slots[pj.site.index()];
+        let Reverse(free) = heap.pop().expect("compute slot heap never empties");
+        let start = SimTime::from_millis(free).max(t);
+        let wall = SimDuration::from_secs_f64(self.workload.sample_walltime_secs(&mut self.rng_job));
+        let exec_end = start + wall;
+        heap.push(Reverse(exec_end.as_millis()));
+
+        self.queued[pj.site.index()] = self.queued[pj.site.index()].saturating_sub(1);
+        self.running[pj.site.index()] += 1;
+
+        pj.start = start;
+        pj.exec_end = exec_end;
+        self.queue.push(exec_end, Event::ExecDone(pj));
+    }
+
+    fn on_exec_done(&mut self, t: SimTime, pj: Box<PendingJob>) {
+        let mut pj = pj;
+        self.running[pj.site.index()] = self.running[pj.site.index()].saturating_sub(1);
+
+        // Direct-I/O reads: emitted during execution.
+        if pj.kind == TaskKind::UserAnalysis && pj.io_mode == IoMode::DirectIo {
+            self.emit_dio_reads(&mut pj);
+        }
+
+        // Staging fraction of queuing time drives the failure draw.
+        let queue_window = Interval::new(pj.creation, pj.start);
+        let queue_secs = queue_window.len().as_secs_f64().max(1.0);
+        let staged_secs =
+            dmsa_simcore::interval::union_len_within(&pj.stage_intervals, queue_window)
+                .as_secs_f64();
+        let staging_frac = staged_secs / queue_secs;
+        // A stage-in still running after the job started (the Fig 11
+        // anomaly) is treated as a severe staging pathology: the payload
+        // races its own input. The paper observes exactly this coupling
+        // ("it remains plausible that the lengthy transfer increased the
+        // likelihood of failure").
+        let crossed = pj.io_mode == IoMode::StageIn && pj.staging_end > pj.start;
+        let effective_frac = if crossed { staging_frac.max(0.85) } else { staging_frac };
+        let mut outcome = self
+            .config
+            .failure
+            .draw(pj.doomed, effective_frac, &mut self.rng_job);
+
+        // Pilot heartbeat watch: a lost heartbeat fails the payload
+        // partway through its walltime regardless of everything else.
+        let wall = pj.exec_end - pj.start;
+        let mut truncated_end: Option<SimTime> = None;
+        if let HeartbeatOutcome::LostAtFraction(frac) = self
+            .pilot
+            .sample_heartbeat(wall.as_secs_f64(), &mut self.rng_job)
+        {
+            outcome = dmsa_panda_sim::JobOutcome {
+                status: JobStatus::Failed,
+                error_code: Some(dmsa_panda_sim::types::error_codes::LOST_HEARTBEAT),
+            };
+            truncated_end = Some(pj.start + wall.mul_f64(frac));
+        }
+
+        // Output registration and (maybe) upload.
+        let output_bytes = self
+            .workload
+            .sample_output_bytes(pj.input_bytes, &mut self.rng_job);
+        let mut endtime = truncated_end.unwrap_or(pj.exec_end.max(pj.staging_end));
+        let mut output_files: Vec<FileId> = Vec::new();
+        let mut recorded_upload = false;
+        if outcome.status == JobStatus::Finished {
+            let scope = match pj.kind {
+                TaskKind::UserAnalysis => Scope::User((pj.pandaid % 200) as u32),
+                TaskKind::Production => Scope::McProd,
+            };
+            let seq = self.next_output_seq;
+            self.next_output_seq += 1;
+            let out_ds = self.catalog.register_dataset(
+                scope,
+                1_000_000 + seq,
+                "output",
+                &[output_bytes],
+                t,
+            );
+            let out_file = self.catalog.dataset_files(out_ds)[0];
+            output_files.push(out_file);
+            // Output first lands on the job's local storage.
+            let local_rse = self.topology.disk_rse(pj.site);
+            self.catalog.add_replica(out_file, local_rse);
+
+            // Recorded uploads come from a different client population
+            // than recorded stage-ins (different pilot I/O plugins), so a
+            // job never records both — which is why the paper's Table 2b
+            // shows zero mixed-locality jobs under exact matching.
+            let (do_upload, activity) = match pj.kind {
+                TaskKind::Production => (true, Activity::ProductionUpload),
+                TaskKind::UserAnalysis => (
+                    !pj.recorded_stagein
+                        && self.rng_job.random::<f64>() < self.config.upload_recorded_fraction,
+                    Activity::AnalysisUpload,
+                ),
+            };
+            if do_upload {
+                let dest_site = if self.rng_job.random::<f64>()
+                    < self.config.upload_remote_fraction
+                {
+                    self.sample_site(RngKind::Task)
+                } else {
+                    pj.site
+                };
+                let req = TransferRequest {
+                    file: out_file,
+                    dest: self.topology.disk_rse(dest_site),
+                    activity,
+                    caused_by_pandaid: Some(pj.pandaid),
+                    jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
+                    preferred_source: None,
+                };
+                if let Some(ev) = self.engine.execute(
+                    &req,
+                    pj.exec_end,
+                    &mut self.catalog,
+                    &self.topology,
+                    &self.bw,
+                ) {
+                    endtime = endtime.max(ev.endtime);
+                    self.transfers.push((ev, true));
+                    recorded_upload = true;
+                }
+            }
+        }
+
+        // Assemble the finished job.
+        let task = &mut self.tasks[pj.task_idx as usize];
+        task.progress.record(outcome.status == JobStatus::Finished);
+        let job = Job {
+            id: JobId(pj.pandaid),
+            task: task.id,
+            kind: pj.kind,
+            computing_site: pj.site,
+            creationtime: pj.creation,
+            starttime: pj.start,
+            endtime,
+            input_files: pj.input_files.clone(),
+            output_files,
+            ninputfilebytes: pj.input_bytes,
+            noutputfilebytes: output_bytes,
+            io_mode: pj.io_mode,
+            status: outcome.status,
+            task_status: TaskStatus::Done, // finalized after the loop
+            error_code: outcome.error_code,
+        };
+        self.finished.push((job, pj.task_idx, recorded_upload));
+    }
+
+    /// Synthesize streaming-read transfer events for a direct-I/O job.
+    fn emit_dio_reads(&mut self, pj: &mut PendingJob) {
+        let wall = (pj.exec_end - pj.start).as_secs_f64().max(1.0);
+        for &file in &pj.input_files.clone() {
+            if self.rng_job.random::<f64>() >= self.config.dio_recorded_fraction {
+                continue;
+            }
+            let entry = self.catalog.file(file);
+            let full = self.rng_job.random::<f64>() < self.config.dio_full_read_fraction;
+            let size = if full {
+                entry.size
+            } else {
+                // Partial read: 5–80 % of the file.
+                let frac = 0.05 + 0.75 * self.rng_job.random::<f64>();
+                ((entry.size as f64 * frac) as u64).max(1)
+            };
+            // Source: the job's pinned staging SE (one streaming session
+            // per job), falling back to per-file selection for fully
+            // local data.
+            let src_site = pj
+                .stage_source
+                .map(|r| self.topology.site_of_rse(r))
+                .or_else(|| {
+                    self.engine
+                        .select_source(
+                            &self.catalog,
+                            &self.topology,
+                            &self.bw,
+                            file,
+                            pj.site,
+                            pj.start,
+                        )
+                        .map(|r| self.topology.site_of_rse(r))
+                })
+                .unwrap_or(pj.site);
+            let offset = self.rng_job.random::<f64>() * 0.8 * wall;
+            let start = pj.start + SimDuration::from_secs_f64(offset);
+            let rate = self.bw.effective_mbps(src_site, pj.site, start) * 1e6;
+            let dur = (size as f64 / rate).max(0.5);
+            let end = start + SimDuration::from_secs_f64(dur);
+            pj.stage_intervals.push(Interval::new(start, end));
+
+            let ds = self.catalog.dataset(entry.dataset);
+            let id = self.next_dio_id;
+            self.next_dio_id += 1;
+            let ev = TransferEvent {
+                id: dmsa_rucio_sim::TransferId(id),
+                file,
+                lfn: entry.lfn.clone(),
+                dataset: ds.name.clone(),
+                proddblock: ds.prod_dblock.clone(),
+                scope: entry.scope,
+                file_size: size,
+                source_site: src_site,
+                destination_site: pj.site,
+                queued: start,
+                starttime: start,
+                endtime: end,
+                activity: Activity::AnalysisDownloadDirectIo,
+                caused_by_pandaid: Some(pj.pandaid),
+                jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
+            };
+            self.transfers.push((ev, true));
+        }
+    }
+
+    fn on_reaper(&mut self, t: SimTime) {
+        if t < self.window_end() {
+            self.queue
+                .push(t + SimDuration::from_hours(6), Event::Reaper);
+        }
+        reap_all(
+            &mut self.catalog,
+            &self.rules,
+            &self.topology,
+            &self.reaper_policy,
+            t,
+        );
+    }
+
+    fn on_background(&mut self, t: SimTime) {
+        // Schedule the next background event while inside the window.
+        let rate = self.config.background_transfers_per_hour / 3_600.0;
+        if rate > 0.0 {
+            let u: f64 = self.rng_bg.random();
+            let gap = -(1.0 - u).ln() / rate;
+            let next = t + SimDuration::from_secs_f64(gap);
+            if next < self.window_end() {
+                self.queue.push(next, Event::Background);
+            }
+        }
+
+        if self.catalog.n_files() == 0 {
+            return;
+        }
+        let file = FileId(self.rng_bg.random_range(0..self.catalog.n_files() as u64));
+        let replicas = self.catalog.replicas_of(file);
+        if replicas.is_empty() {
+            return;
+        }
+        let src_site = self.topology.site_of_rse(replicas[0]);
+
+        let local = self.rng_bg.random::<f64>() < self.config.background_local_fraction;
+        let (dest_site, activity) = if local {
+            let act = if self.rng_bg.random::<bool>() {
+                Activity::TapeRecall
+            } else {
+                Activity::DataConsolidation
+            };
+            (src_site, act)
+        } else {
+            (self.sample_site(RngKind::Background), Activity::DataRebalancing)
+        };
+
+        let req = TransferRequest {
+            file,
+            dest: self.topology.disk_rse(dest_site),
+            activity,
+            caused_by_pandaid: None,
+            jeditaskid: None,
+            preferred_source: None,
+        };
+        if let Some(ev) =
+            self.engine
+                .execute(&req, t, &mut self.catalog, &self.topology, &self.bw)
+        {
+            self.transfers.push((ev, true));
+        }
+    }
+
+    /// Flatten jobs/transfers into the metadata store and corrupt it.
+    fn finish(self) -> Campaign {
+        let mut store = MetaStore::new();
+        let sym_of_site: Vec<Sym> = self
+            .topology
+            .sites()
+            .iter()
+            .map(|s| store.register_site(&s.name))
+            .collect();
+
+        // Task final statuses.
+        let task_status: Vec<TaskStatus> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let fake = dmsa_panda_sim::JediTask {
+                    id: t.id,
+                    kind: t.kind,
+                    user: 0,
+                    input_dataset: DatasetId(0),
+                    n_jobs: t.n_jobs,
+                    io_mode: IoMode::StageIn,
+                    created: SimTime::EPOCH,
+                    doomed: t.doomed,
+                };
+                t.progress.final_status(&fake)
+            })
+            .collect();
+
+        // Job + file records.
+        for (job, task_idx, _) in &self.finished {
+            let site_sym = sym_of_site[job.computing_site.index()];
+            store.jobs.push(JobRecord {
+                pandaid: job.id.0,
+                jeditaskid: job.task.0,
+                computingsite: site_sym,
+                creationtime: job.creationtime,
+                starttime: job.starttime,
+                endtime: job.endtime,
+                ninputfilebytes: job.ninputfilebytes,
+                noutputfilebytes: job.noutputfilebytes,
+                io_mode: job.io_mode,
+                status: job.status,
+                task_status: task_status[*task_idx as usize],
+                error_code: job.error_code,
+                is_user_analysis: job.kind == TaskKind::UserAnalysis,
+            });
+            for (&f, direction) in job
+                .input_files
+                .iter()
+                .map(|f| (f, FileDirection::Input))
+                .chain(job.output_files.iter().map(|f| (f, FileDirection::Output)))
+            {
+                let entry = self.catalog.file(f);
+                let ds = self.catalog.dataset(entry.dataset);
+                let rec = FileRecord {
+                    pandaid: job.id.0,
+                    jeditaskid: job.task.0,
+                    lfn: store.symbols.intern(&entry.lfn.0),
+                    dataset: store.symbols.intern(&ds.name.0),
+                    proddblock: store.symbols.intern(&ds.prod_dblock.0),
+                    scope: store.symbols.intern(&entry.scope.to_string()),
+                    file_size: entry.size,
+                    direction,
+                };
+                store.files.push(rec);
+            }
+        }
+
+        // Transfer records (recorded ones only).
+        for (ev, recorded) in &self.transfers {
+            if !*recorded {
+                continue;
+            }
+            let rec = TransferRecord {
+                transfer_id: ev.id.0,
+                lfn: store.symbols.intern(&ev.lfn.0),
+                dataset: store.symbols.intern(&ev.dataset.0),
+                proddblock: store.symbols.intern(&ev.proddblock.0),
+                scope: store.symbols.intern(&ev.scope.to_string()),
+                file_size: ev.file_size,
+                starttime: ev.starttime,
+                endtime: ev.endtime,
+                source_site: sym_of_site[ev.source_site.index()],
+                destination_site: sym_of_site[ev.destination_site.index()],
+                activity: ev.activity,
+                jeditaskid: ev.jeditaskid,
+                is_download: ev.activity.is_download(),
+                is_upload: !ev.activity.is_download() && ev.activity.carries_jeditaskid(),
+                gt_pandaid: ev.caused_by_pandaid,
+                gt_source_site: sym_of_site[ev.source_site.index()],
+                gt_destination_site: sym_of_site[ev.destination_site.index()],
+                gt_file_size: ev.file_size,
+            };
+            store.transfers.push(rec);
+        }
+
+        // Apply the metadata-quality model.
+        let corruption = self.config.corruption.clone();
+        corruption.apply(&mut store, &self.rngs);
+
+        debug_assert!(self.catalog.check_invariants().is_ok());
+
+        let window = Interval::new(SimTime::EPOCH, self.window_end());
+        Campaign {
+            config: self.config,
+            topology: self.topology,
+            bw: self.bw,
+            catalog: self.catalog,
+            store,
+            window,
+            sym_of_site,
+        }
+    }
+}
+
+/// Which RNG stream a helper should draw from (keeps streams disjoint by
+/// caller role).
+enum RngKind {
+    Task,
+    Background,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn small_campaign() -> Campaign {
+        run(&ScenarioConfig::small())
+    }
+
+    #[test]
+    fn campaign_produces_jobs_files_and_transfers() {
+        let c = small_campaign();
+        let (jobs, files, transfers, with_tid) = c.store.counts();
+        assert!(jobs > 500, "only {jobs} jobs");
+        assert!(files >= jobs, "file table smaller than job table");
+        assert!(transfers > 500, "only {transfers} transfers");
+        assert!(with_tid > 0 && with_tid < transfers);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = small_campaign();
+        let b = small_campaign();
+        assert_eq!(a.store.counts(), b.store.counts());
+        for (x, y) in a.store.transfers.iter().zip(&b.store.transfers) {
+            assert_eq!(x.transfer_id, y.transfer_id);
+            assert_eq!(x.file_size, y.file_size);
+            assert_eq!(x.starttime, y.starttime);
+        }
+        for (x, y) in a.store.jobs.iter().zip(&b.store.jobs) {
+            assert_eq!(x.pandaid, y.pandaid);
+            assert_eq!(x.endtime, y.endtime);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_campaign();
+        let b = run(&ScenarioConfig {
+            seed: 43,
+            ..ScenarioConfig::small()
+        });
+        assert_ne!(a.store.counts(), b.store.counts());
+    }
+
+    #[test]
+    fn job_timelines_are_ordered() {
+        let c = small_campaign();
+        for j in &c.store.jobs {
+            assert!(j.creationtime <= j.starttime, "queue phase must be non-negative");
+            assert!(j.starttime <= j.endtime, "wall phase must be non-negative");
+        }
+    }
+
+    #[test]
+    fn production_and_user_jobs_both_exist() {
+        let c = small_campaign();
+        let user = c.store.jobs.iter().filter(|j| j.is_user_analysis).count();
+        let prod = c.store.jobs.len() - user;
+        assert!(user > 0 && prod > 0, "user {user}, prod {prod}");
+    }
+
+    #[test]
+    fn transfer_activities_cover_job_and_background_classes() {
+        let c = small_campaign();
+        let mut has = std::collections::HashSet::new();
+        for t in &c.store.transfers {
+            has.insert(t.activity);
+        }
+        assert!(has.contains(&Activity::AnalysisDownload));
+        assert!(has.contains(&Activity::AnalysisDownloadDirectIo));
+        assert!(has.contains(&Activity::ProductionUpload));
+        assert!(has.contains(&Activity::DataRebalancing));
+    }
+
+    #[test]
+    fn background_transfers_have_no_taskid_ground_truth() {
+        let c = small_campaign();
+        for t in &c.store.transfers {
+            if !t.activity.carries_jeditaskid() {
+                assert!(t.gt_pandaid.is_none());
+                assert!(t.jeditaskid.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn most_volume_is_local_ground_truth() {
+        let c = small_campaign();
+        let mut local = 0u64;
+        let mut total = 0u64;
+        for t in &c.store.transfers {
+            total += t.gt_file_size;
+            if t.gt_source_site == t.gt_destination_site {
+                local += t.gt_file_size;
+            }
+        }
+        let frac = local as f64 / total.max(1) as f64;
+        assert!(
+            frac > 0.5,
+            "local volume fraction {frac} too low for the Fig 3 diagonal"
+        );
+    }
+}

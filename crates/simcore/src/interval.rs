@@ -1,0 +1,182 @@
+//! Closed-open time intervals and interval-union arithmetic.
+//!
+//! The paper (§5.1) defines a job's *file transfer time* as "the cumulative
+//! duration during the job's queuing time phase in which at least one
+//! associated file was actively transferring". That is exactly the measure
+//! of the union of the transfer intervals, clipped to the queuing window —
+//! overlapping transfers must not be double counted. [`union_len_within`]
+//! implements this in O(n log n).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[start, end)` in simulated time.
+///
+/// Degenerate intervals (`end <= start`) are permitted and have zero length;
+/// they arise naturally from clamping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Construct an interval; `end < start` is allowed (empty interval).
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        Interval { start, end }
+    }
+
+    /// Length of the interval (zero if empty).
+    pub fn len(&self) -> SimDuration {
+        (self.end - self.start).clamp_non_negative()
+    }
+
+    /// True if the interval contains no time.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True if `t` lies within `[start, end)`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Intersection with another interval (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// True if the two intervals share any time.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+/// Total length of the union of `intervals`, restricted to `window`.
+///
+/// This is the paper's "file transfer time" when `intervals` are a job's
+/// matched transfer spans and `window` is its queuing phase.
+pub fn union_len_within(intervals: &[Interval], window: Interval) -> SimDuration {
+    let mut clipped: Vec<Interval> = intervals
+        .iter()
+        .map(|iv| iv.intersect(&window))
+        .filter(|iv| !iv.is_empty())
+        .collect();
+    clipped.sort_by_key(|iv| iv.start);
+
+    let mut total = SimDuration::ZERO;
+    let mut cur: Option<Interval> = None;
+    for iv in clipped {
+        match cur {
+            None => cur = Some(iv),
+            Some(ref mut c) => {
+                if iv.start <= c.end {
+                    c.end = c.end.max(iv.end);
+                } else {
+                    total += c.len();
+                    cur = Some(iv);
+                }
+            }
+        }
+    }
+    if let Some(c) = cur {
+        total += c.len();
+    }
+    total
+}
+
+/// Merge intervals into a minimal sorted list of disjoint intervals.
+pub fn merge(intervals: &[Interval]) -> Vec<Interval> {
+    let mut ivs: Vec<Interval> = intervals.iter().copied().filter(|iv| !iv.is_empty()).collect();
+    ivs.sort_by_key(|iv| iv.start);
+    let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+    for iv in ivs {
+        match out.last_mut() {
+            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn basic_length_and_emptiness() {
+        assert_eq!(iv(2, 5).len(), SimDuration::from_secs(3));
+        assert!(iv(5, 5).is_empty());
+        assert!(iv(7, 3).is_empty());
+        assert_eq!(iv(7, 3).len(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let x = iv(1, 3);
+        assert!(x.contains(SimTime::from_secs(1)));
+        assert!(x.contains(SimTime::from_secs(2)));
+        assert!(!x.contains(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        assert_eq!(iv(0, 10).intersect(&iv(5, 15)), iv(5, 10));
+        assert!(iv(0, 10).overlaps(&iv(9, 20)));
+        assert!(!iv(0, 10).overlaps(&iv(10, 20)), "touching is not overlap");
+        assert!(!iv(0, 5).overlaps(&iv(6, 7)));
+    }
+
+    #[test]
+    fn union_counts_overlap_once() {
+        // Two overlapping transfers: [0,10) and [5,15) union to 15s, not 20s.
+        let total = union_len_within(&[iv(0, 10), iv(5, 15)], iv(0, 100));
+        assert_eq!(total, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn union_respects_window_clipping() {
+        // Transfer spans past the queuing window end; only the in-window part counts.
+        let total = union_len_within(&[iv(0, 50)], iv(10, 20));
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn union_of_disjoint_sums() {
+        let total = union_len_within(&[iv(0, 1), iv(2, 3), iv(4, 5)], iv(0, 10));
+        assert_eq!(total, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn union_empty_inputs() {
+        assert_eq!(union_len_within(&[], iv(0, 10)), SimDuration::ZERO);
+        assert_eq!(union_len_within(&[iv(3, 3)], iv(0, 10)), SimDuration::ZERO);
+        assert_eq!(union_len_within(&[iv(0, 5)], iv(5, 5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn union_touching_intervals_merge_seamlessly() {
+        let total = union_len_within(&[iv(0, 5), iv(5, 10)], iv(0, 100));
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn merge_produces_disjoint_sorted() {
+        let merged = merge(&[iv(5, 7), iv(0, 2), iv(1, 3), iv(6, 10)]);
+        assert_eq!(merged, vec![iv(0, 3), iv(5, 10)]);
+    }
+
+    #[test]
+    fn merge_drops_empties() {
+        assert_eq!(merge(&[iv(4, 4), iv(9, 2)]), vec![]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dmsa-simcore
+//!
+//! Discrete-event simulation engine underpinning the DMSA grid substrate.
+//!
+//! The crate is deliberately small and generic: it knows nothing about grids,
+//! jobs, or transfers. It provides
+//!
+//! * [`SimTime`] / [`SimDuration`] — millisecond-resolution simulated time,
+//! * [`EventQueue`] — a stable (FIFO-among-equal-timestamps) priority queue,
+//! * [`RngFactory`] — named, independently seeded deterministic RNG streams,
+//! * [`interval`] — interval-union arithmetic used by the paper's definition
+//!   of *file transfer time* ("cumulative duration during the job's queuing
+//!   time phase in which at least one associated file was actively
+//!   transferring", §5.1),
+//! * [`stats`] — the summary statistics quoted throughout the paper
+//!   (arithmetic mean vs geometric mean, percentiles).
+//!
+//! Everything downstream (gridnet, rucio-sim, panda-sim, scenario) is built
+//! on these primitives, which keeps the full campaign bit-for-bit
+//! reproducible from a single master seed.
+
+pub mod events;
+pub mod interval;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::RngFactory;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,322 @@
+//! Summary statistics used throughout the paper's analysis.
+//!
+//! The paper repeatedly contrasts the arithmetic mean with the geometric
+//! mean to expose heavy-tailed imbalance (e.g. Fig 3: mean 77.75 TB per
+//! site pair vs geometric mean 1.11 TB; §5.1: 8.43% mean vs 1.942%
+//! geometric-mean transfer-time fraction). These helpers centralize those
+//! computations so every crate reports them identically.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Geometric mean over the **positive** entries, computed in log space to
+/// avoid overflow. Returns `None` if no entry is strictly positive.
+///
+/// Zeros are excluded rather than zeroing the whole product — the same
+/// convention the paper must use, since a single empty site pair would
+/// otherwise collapse Fig 3's geometric mean to zero.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    let mut n = 0usize;
+    let mut log_sum = 0.0f64;
+    for &x in xs {
+        if x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Percentile via linear interpolation on sorted order statistics.
+/// `p` in `[0, 100]`. Returns `None` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let w = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// A fixed-width histogram over `[min, max)` with an overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    min: f64,
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width buckets covering `[min, max)`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0 && max > min, "invalid histogram bounds");
+        Histogram {
+            min,
+            width: (max - min) / bins as f64,
+            counts: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.min) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range max.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bin_lower_edge(&self, i: usize) -> f64 {
+        self.min + self.width * i as f64
+    }
+}
+
+/// Welford online mean/variance accumulator, for streaming statistics over
+/// millions of transfer events without materializing a vector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Count of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`None` if empty).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Minimum (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean_disagree_on_heavy_tails() {
+        // The Fig-3 phenomenon in miniature: one huge outlier dominates the
+        // arithmetic mean but barely moves the geometric mean.
+        let xs = vec![1.0, 1.0, 1.0, 1.0, 1.0e6];
+        let m = mean(&xs).unwrap();
+        let g = geometric_mean(&xs).unwrap();
+        assert!(m > 100_000.0);
+        assert!(g < 20.0);
+    }
+
+    #[test]
+    fn geomean_ignores_zeros() {
+        let g = geometric_mean(&[0.0, 4.0, 9.0]).unwrap();
+        assert!((g - 6.0).abs() < 1e-9);
+        assert!(geometric_mean(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(mean(&[]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+        assert!(std_dev(&[]).is_none());
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(median(&xs), Some(25.0));
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.0, 2.5, 9.9, 10.0, -1.0, 100.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_lower_edge(2), 4.0);
+    }
+
+    #[test]
+    fn online_stats_match_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.add(x);
+        }
+        let m = mean(&xs).unwrap();
+        let sd = std_dev(&xs).unwrap();
+        assert!((o.mean().unwrap() - m).abs() < 1e-9);
+        assert!((o.variance().unwrap().sqrt() - sd).abs() < 1e-9);
+        assert_eq!(o.count(), 1000);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.37).collect();
+        let (a, b) = xs.split_at(200);
+        let mut s1 = OnlineStats::new();
+        for &x in a {
+            s1.add(x);
+        }
+        let mut s2 = OnlineStats::new();
+        for &x in b {
+            s2.add(x);
+        }
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        s1.merge(&s2);
+        assert_eq!(s1.count(), whole.count());
+        assert!((s1.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((s1.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6);
+        assert_eq!(s1.min(), whole.min());
+        assert_eq!(s1.max(), whole.max());
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.add(3.0);
+        let b = OnlineStats::new();
+        let mut a2 = a;
+        a2.merge(&b);
+        assert_eq!(a2.mean(), a.mean());
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), a.mean());
+    }
+}

@@ -1,0 +1,276 @@
+//! Simulated time.
+//!
+//! Time is an absolute number of **milliseconds** since the simulation epoch.
+//! Millisecond resolution is enough for the phenomena the paper studies
+//! (transfers lasting seconds to hours, jobs lasting minutes to days) while
+//! keeping arithmetic exact — no floating-point drift in event ordering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute instant in simulated time (milliseconds since the epoch).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(i64);
+
+/// A span of simulated time (milliseconds; may be negative as an
+/// intermediate value, e.g. when clamping intervals).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(i64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as a sentinel.
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Construct from raw milliseconds since the epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from whole seconds since the epoch.
+    pub const fn from_secs(s: i64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from whole hours since the epoch.
+    pub const fn from_hours(h: i64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Construct from whole days since the epoch.
+    pub const fn from_days(d: i64) -> Self {
+        SimTime(d * 86_400_000)
+    }
+
+    /// Raw milliseconds since the epoch.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for statistics and plotting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration elapsed since `earlier`. Negative if `earlier` is later.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Construct from a fractional number of seconds (rounded to ms).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s * 1000.0).round() as i64)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: i64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(d: i64) -> Self {
+        SimDuration(d * 86_400_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// True if the duration is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Clamp negative durations to zero.
+    pub fn clamp_non_negative(self) -> SimDuration {
+        SimDuration(self.0.max(0))
+    }
+
+    /// Scale by a float factor (rounded to ms).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * k).round() as i64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 -= other.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_ms(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ms(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+fn format_ms(ms: i64) -> String {
+    let sign = if ms < 0 { "-" } else { "" };
+    let ms = ms.unsigned_abs();
+    let (s, ms_rem) = (ms / 1000, ms % 1000);
+    let (m, s_rem) = (s / 60, s % 60);
+    let (h, m_rem) = (m / 60, m % 60);
+    if h > 0 {
+        format!("{sign}{h}h{m_rem:02}m{s_rem:02}s")
+    } else if m > 0 {
+        format!("{sign}{m}m{s_rem:02}s")
+    } else if ms_rem == 0 {
+        format!("{sign}{s}s")
+    } else {
+        format!("{sign}{s}.{ms_rem:03}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(5).as_millis(), 5_000);
+        assert_eq!(SimTime::from_hours(2).as_millis(), 7_200_000);
+        assert_eq!(SimTime::from_days(1).as_millis(), 86_400_000);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1_500);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_secs(100);
+        let t1 = t0 + SimDuration::from_secs(30);
+        assert_eq!((t1 - t0).as_millis(), 30_000);
+        assert_eq!(t1.since(t0), SimDuration::from_secs(30));
+        assert_eq!(t0.since(t1), SimDuration::from_secs(-30));
+        assert_eq!(t0.since(t1).clamp_non_negative(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d.mul_f64(0.5).as_millis(), 5_000);
+        assert_eq!(d.mul_f64(1.25).as_millis(), 12_500);
+    }
+
+    #[test]
+    fn display_formats_human_readable() {
+        assert_eq!(SimDuration::from_secs(45).to_string(), "45s");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1m30s");
+        assert_eq!(SimDuration::from_hours(25).to_string(), "25h00m00s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_secs(-5).to_string(), "-5s");
+    }
+}

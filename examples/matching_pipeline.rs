@@ -1,0 +1,47 @@
+//! Build a *custom* scenario, sweep the metadata-corruption level, and
+//! watch what each matching strategy recovers — the experiment §5.5 of the
+//! paper wishes it could run ("any future systematic and scalable analysis
+//! designs ... will be especially valuable once data quality improves").
+//!
+//! ```text
+//! cargo run --release --example matching_pipeline
+//! ```
+
+use dmsa::prelude::*;
+use dmsa_core::matcher::Matcher;
+
+fn main() {
+    println!(
+        "{:<12} {:>8} {:>16} {:>14} {:>11} {:>9}",
+        "corruption", "method", "matched transfers", "matched jobs", "precision", "recall"
+    );
+    for k in [0.0, 0.5, 1.0, 1.5] {
+        // One campaign per corruption level; everything else fixed.
+        let base = ScenarioConfig::paper_8day(0.02);
+        let config = ScenarioConfig {
+            corruption: base.corruption.scaled(k),
+            ..base
+        };
+        let campaign = dmsa_scenario::run(&config);
+        let (_, _, _, with_tid) = campaign.store.counts();
+        for method in MatchMethod::ALL {
+            let set = ParallelMatcher.match_jobs(&campaign.store, campaign.window, method);
+            let eval = evaluate(&campaign.store, &set, campaign.window);
+            println!(
+                "{:<12} {:>8} {:>9} ({:>5.2}%) {:>14} {:>11.3} {:>9.3}",
+                format!("{k:.1}x"),
+                method.label(),
+                set.n_matched_transfers(),
+                100.0 * set.n_matched_transfers() as f64 / with_tid.max(1) as f64,
+                set.n_matched_jobs(),
+                eval.transfer_precision(),
+                eval.transfer_recall(),
+            );
+        }
+        println!();
+    }
+    println!("At 0x corruption the matcher recovers every recorded job-driven transfer");
+    println!("(recall < 1 only because most grid traffic never records a job linkage);");
+    println!("as corruption grows, exact matching collapses first, RM1/RM2 degrade");
+    println!("gracefully — the quantitative version of the paper's §4.3 argument.");
+}

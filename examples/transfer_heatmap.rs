@@ -1,0 +1,111 @@
+//! Render the Fig 3 site-to-site transfer matrix as an ASCII heatmap.
+//!
+//! ```text
+//! cargo run --release --example transfer_heatmap [scale]
+//! ```
+//!
+//! Reproduces the paper's §3.2 observations: a heavy diagonal (local
+//! transfers), a handful of extreme hub cells, an `unknown` aggregate
+//! row/column, and an arithmetic mean far above the geometric mean.
+
+use dmsa::prelude::*;
+use dmsa_analysis::matrix::TransferMatrix;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(0.01);
+
+    println!("simulating 92-day campaign at scale {scale} ...");
+    let campaign = dmsa_scenario::run(&ScenarioConfig::paper_92day(scale));
+    let matrix = TransferMatrix::build(&campaign.store, campaign.window);
+
+    // Show the busiest 24 sites (by row+column volume) plus unknown.
+    let n = matrix.n();
+    let mut totals: Vec<(usize, u64)> = (0..n)
+        .map(|i| {
+            let row: u64 = matrix.volume[i].iter().sum();
+            let col: u64 = matrix.volume.iter().map(|r| r[i]).sum();
+            (i, row + col)
+        })
+        .collect();
+    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut shown: Vec<usize> = totals.iter().take(24).map(|&(i, _)| i).collect();
+    let unknown = matrix.unknown_index();
+    if !shown.contains(&unknown) {
+        shown.push(unknown);
+    }
+    shown.sort_unstable();
+
+    let mut max = 1u64;
+    for &i in &shown {
+        for &j in &shown {
+            max = max.max(matrix.volume[i][j]);
+        }
+    }
+
+    // Log-scaled shade ramp.
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let shade = |v: u64| -> char {
+        if v == 0 {
+            return ' ';
+        }
+        let f = (v as f64).ln() / (max as f64).ln();
+        shades[((f * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)]
+    };
+
+    println!("\nsource \\ destination (top sites by volume; log shade; '@' = {}):", dmsa_bench_fmt(max));
+    print!("{:>22} ", "");
+    for (k, _) in shown.iter().enumerate() {
+        print!("{}", (b'a' + (k % 26) as u8) as char);
+    }
+    println!();
+    for (_, &i) in shown.iter().enumerate() {
+        print!("{:>22} ", truncate(&matrix.labels[i], 22));
+        for &j in &shown {
+            print!("{}", shade(matrix.volume[i][j]));
+        }
+        println!();
+    }
+
+    let s = matrix.summary();
+    println!("\ntotal volume : {}", dmsa_bench_fmt(s.total_bytes));
+    println!(
+        "local share  : {:.1}%  (paper: 77.0%)",
+        100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64
+    );
+    println!(
+        "mean vs geo-mean per pair: {} vs {}  ({:.0}x gap; paper: 77.75 TB vs 1.11 TB = 70x)",
+        dmsa_bench_fmt(s.mean_pair_bytes as u64),
+        dmsa_bench_fmt(s.geo_mean_pair_bytes as u64),
+        s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
+    );
+    println!("top cells:");
+    for c in matrix.top_outliers(5) {
+        println!(
+            "  {:>10}  {} -> {}",
+            dmsa_bench_fmt(c.bytes),
+            c.src_label,
+            c.dst_label
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}~", &s[..n - 1])
+    }
+}
+
+fn dmsa_bench_fmt(b: u64) -> String {
+    let b = b as f64;
+    for (name, scale) in [("PB", 1e15), ("TB", 1e12), ("GB", 1e9), ("MB", 1e6)] {
+        if b >= scale {
+            return format!("{:.2} {name}", b / scale);
+        }
+    }
+    format!("{b:.0} B")
+}

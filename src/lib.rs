@@ -1,0 +1,56 @@
+//! # dmsa — Data Management System Analysis
+//!
+//! Umbrella crate for the DMSA workspace: a full-system reproduction of
+//! *"Data Management System Analysis for Distributed Computing Workloads"*
+//! (SC Workshops '25). It re-exports every sub-crate and provides a
+//! [`prelude`] for examples and downstream users.
+//!
+//! ## The pieces
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dmsa_simcore`] | discrete-event engine, time, RNG streams, intervals, stats |
+//! | [`dmsa_gridnet`] | WLCG-like topology and time-varying bandwidth |
+//! | [`dmsa_rucio_sim`] | DIDs, replicas, rules, FTS-like transfer engine |
+//! | [`dmsa_panda_sim`] | tasks, jobs, data-locality brokerage, failure model |
+//! | [`dmsa_metastore`] | metadata records, queries, corruption model |
+//! | [`dmsa_core`] | the paper's matching framework (Exact / RM1 / RM2) |
+//! | [`dmsa_analysis`] | matrices, breakdowns, bandwidth series, case studies |
+//! | [`dmsa_scenario`] | end-to-end campaign driver and presets |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dmsa::prelude::*;
+//!
+//! // A tiny campaign (seconds to run) ...
+//! let mut config = ScenarioConfig::small();
+//! config.seed = 7;
+//! let campaign = dmsa_scenario::run(&config);
+//!
+//! // ... matched with Algorithm 1:
+//! let set = IndexedMatcher.match_jobs(&campaign.store, campaign.window, MatchMethod::Exact);
+//! let eval = evaluate(&campaign.store, &set, campaign.window);
+//! assert!(eval.transfer_precision() > 0.9);
+//! ```
+
+pub use dmsa_analysis as analysis;
+pub use dmsa_core as core;
+pub use dmsa_gridnet as gridnet;
+pub use dmsa_metastore as metastore;
+pub use dmsa_panda_sim as panda;
+pub use dmsa_rucio_sim as rucio;
+pub use dmsa_scenario as scenario;
+pub use dmsa_simcore as simcore;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use dmsa_core::matcher::Matcher;
+    pub use dmsa_core::{
+        evaluate, IndexedMatcher, MatchMethod, MatchSet, NaiveMatcher, ParallelMatcher,
+    };
+    pub use dmsa_gridnet::{BandwidthModel, GridTopology, SiteId, Tier, TopologyConfig};
+    pub use dmsa_metastore::{CorruptionModel, MetaStore};
+    pub use dmsa_scenario::{Campaign, ScenarioConfig};
+    pub use dmsa_simcore::{RngFactory, SimDuration, SimTime};
+}

@@ -1,0 +1,186 @@
+//! Shape-calibration tests: the bands the paper's evaluation defines.
+//!
+//! These intentionally assert *bands*, not exact values — the substrate is
+//! a simulator, so absolute counts scale with `--scale`, but the paper's
+//! qualitative findings (who wins, by roughly what factor) must hold at
+//! any scale. Each band cites the paper number it brackets.
+
+use dmsa::prelude::*;
+use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::matrix::TransferMatrix;
+use dmsa_analysis::overlap::all_overlaps;
+use dmsa_analysis::threshold::above_threshold;
+use dmsa_core::matcher::Matcher;
+use dmsa_rucio_sim::Activity;
+use std::sync::OnceLock;
+
+struct Ctx {
+    campaign: Campaign,
+    exact: dmsa_core::MatchSet,
+    rm1: dmsa_core::MatchSet,
+    rm2: dmsa_core::MatchSet,
+}
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let campaign = dmsa_scenario::run(&ScenarioConfig::paper_8day(0.015));
+        let m = |method| ParallelMatcher.match_jobs(&campaign.store, campaign.window, method);
+        Ctx {
+            exact: m(MatchMethod::Exact),
+            rm1: m(MatchMethod::Rm1),
+            rm2: m(MatchMethod::Rm2),
+            campaign,
+        }
+    })
+}
+
+#[test]
+fn exact_match_rates_sit_in_the_papers_regime() {
+    let c = ctx();
+    let (_, _, _, with_tid) = c.campaign.store.counts();
+    let user_jobs = c.campaign.store.user_jobs_in(c.campaign.window).count();
+    let transfer_rate = c.exact.n_matched_transfers() as f64 / with_tid as f64;
+    let job_rate = c.exact.n_matched_jobs() as f64 / user_jobs as f64;
+    // Paper: 1.92% of with-taskid transfers, 0.82% of user jobs.
+    assert!(
+        (0.004..0.05).contains(&transfer_rate),
+        "exact transfer match rate {transfer_rate} outside the paper's regime"
+    );
+    assert!(
+        (0.003..0.04).contains(&job_rate),
+        "exact job match rate {job_rate} outside the paper's regime"
+    );
+}
+
+#[test]
+fn relaxation_gains_match_the_papers_ordering() {
+    let c = ctx();
+    let e = c.exact.n_matched_transfers() as f64;
+    let r1 = c.rm1.n_matched_transfers() as f64;
+    let r2 = c.rm2.n_matched_transfers() as f64;
+    // Paper: RM1/Exact = 1.21, RM2/RM1 = 1.64.
+    assert!(r1 / e >= 1.0 && r1 / e < 1.8, "RM1 gain {:.2}", r1 / e);
+    assert!(r2 / r1 > 1.15 && r2 / r1 < 4.0, "RM2 gain {:.2}", r2 / r1);
+    // The RM2 increment is dominated by *remote* (unknown-endpoint) matches.
+    let tc1 = c.rm1.transfer_counts(&c.campaign.store);
+    let tc2 = c.rm2.transfer_counts(&c.campaign.store);
+    assert!(
+        tc2.remote > tc1.remote * 3,
+        "RM2 remote jump too small: {} -> {}",
+        tc1.remote,
+        tc2.remote
+    );
+    assert_eq!(tc2.local, tc1.local, "site relaxation adds no local matches");
+}
+
+#[test]
+fn exact_matching_yields_essentially_no_mixed_jobs() {
+    // Paper Table 2b: 0 mixed jobs under Exact and RM1. We tolerate a
+    // sub-percent residue: a direct-I/O job whose local replica is reaped
+    // mid-execution legitimately reads one file remotely.
+    let c = ctx();
+    let jc = c.exact.job_counts(&c.campaign.store);
+    assert!(
+        jc.mixed <= jc.total() / 100 + 1,
+        "exact matching produced {} mixed-locality jobs of {}",
+        jc.mixed,
+        jc.total()
+    );
+    assert!(jc.all_local > jc.all_remote, "local jobs must dominate");
+}
+
+#[test]
+fn activity_breakdown_matches_table1_shape() {
+    let c = ctx();
+    let table = ActivityBreakdown::build(&c.campaign.store, &c.exact);
+    let pick = |a| table.row(a).expect("row exists");
+    let ad = pick(Activity::AnalysisDownload);
+    let au = pick(Activity::AnalysisUpload);
+    let dio = pick(Activity::AnalysisDownloadDirectIo);
+    let pu = pick(Activity::ProductionUpload);
+    let pd = pick(Activity::ProductionDownload);
+    // Paper: AU 95.42% >> AD 8.38% >> DIO 2.31% > P* = 0%.
+    assert!(au.percent() > 70.0, "AU {:.1}%", au.percent());
+    assert!(au.percent() > ad.percent());
+    assert!(
+        ad.percent() > dio.percent(),
+        "AD {:.1}% vs DIO {:.1}%",
+        ad.percent(),
+        dio.percent()
+    );
+    assert_eq!(pu.matched, 0);
+    assert_eq!(pd.matched, 0);
+    // Production uploads dominate the with-taskid population (paper: 52%).
+    let (_, total) = table.totals();
+    assert!(
+        pu.total as f64 / total as f64 > 0.3,
+        "PU share {:.2}",
+        pu.total as f64 / total as f64
+    );
+}
+
+#[test]
+fn failures_concentrate_at_extreme_transfer_percentages() {
+    let c = ctx();
+    let overlaps = all_overlaps(&c.campaign.store, &c.exact);
+    let n = overlaps.len();
+    let ok = overlaps.iter().filter(|o| o.job_succeeded).count();
+    // Paper: 80.5% of matched jobs succeeded.
+    let success = ok as f64 / n as f64;
+    assert!(
+        (0.6..0.95).contains(&success),
+        "overall success rate {success}"
+    );
+    // High staging fractions must carry an elevated failure rate (paper:
+    // "most of these extreme cases correspond to failed jobs"). Use the
+    // >50 % band when it has enough samples for the claim to be
+    // statistical rather than anecdotal; fall back to a weaker sanity
+    // check otherwise.
+    let above = above_threshold(&overlaps, 50.0);
+    let total_above: usize = above.iter().sum();
+    let baseline_fail = 1.0 - success;
+    if total_above >= 20 {
+        let failed_above = (above[1] + above[3]) as f64 / total_above as f64;
+        assert!(
+            failed_above > baseline_fail * 1.5,
+            "high-staging failure rate {failed_above:.2} not elevated vs baseline {baseline_fail:.2} ({total_above} jobs)"
+        );
+    } else {
+        // Tiny sample: at least verify some extreme-percentage job exists.
+        assert!(total_above > 0, "no jobs above 50% transfer time at all");
+    }
+}
+
+#[test]
+fn transfer_matrix_shows_fig3_imbalance() {
+    let campaign = dmsa_scenario::run(&ScenarioConfig::paper_92day(0.004));
+    let matrix = TransferMatrix::build(&campaign.store, campaign.window);
+    let s = matrix.summary();
+    let local_frac = s.local_bytes as f64 / s.total_bytes as f64;
+    // Paper: 77% local.
+    assert!(
+        (0.5..0.95).contains(&local_frac),
+        "local volume fraction {local_frac}"
+    );
+    // Arithmetic mean far above geometric mean (paper: 70x).
+    assert!(
+        s.mean_pair_bytes * (matrix.n() * matrix.n()) as f64 / s.n_nonzero_pairs as f64
+            > s.geo_mean_pair_bytes,
+        "no heavy tail"
+    );
+    // The top cell is a hub's diagonal.
+    let top = &matrix.top_outliers(1)[0];
+    assert_eq!(top.src, top.dst, "largest cell must be local");
+    // An unknown aggregate exists (paper's 102nd site).
+    assert!(matrix.unknown_bytes() > 0);
+}
+
+#[test]
+fn matched_jobs_have_higher_precision_than_random_assignment() {
+    let c = ctx();
+    let e = evaluate(&c.campaign.store, &c.rm2, c.campaign.window);
+    assert!(e.transfer_precision() > 0.95, "RM2 precision {}", e.transfer_precision());
+    assert!(e.transfer_recall() > 0.01);
+    assert!(e.transfer_recall() < 0.9, "corruption must hide most links");
+}

@@ -1,0 +1,182 @@
+//! End-to-end integration tests: campaign → store → matchers → analyses.
+
+use dmsa::prelude::*;
+use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::matrix::TransferMatrix;
+use dmsa_analysis::overlap::{all_overlaps, summarize};
+use dmsa_core::matcher::Matcher;
+
+fn campaign() -> Campaign {
+    dmsa_scenario::run(&ScenarioConfig::small())
+}
+
+#[test]
+fn full_pipeline_runs_and_matches() {
+    let c = campaign();
+    let exact = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Exact);
+    let rm1 = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Rm1);
+    let rm2 = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Rm2);
+    assert!(!exact.jobs.is_empty(), "no exact matches in small campaign");
+    assert!(rm1.contains(&exact), "RM1 must subsume Exact");
+    assert!(rm2.contains(&rm1), "RM2 must subsume RM1");
+    assert!(rm1.n_matched_transfers() >= exact.n_matched_transfers());
+    assert!(rm2.n_matched_transfers() >= rm1.n_matched_transfers());
+}
+
+#[test]
+fn all_three_engines_agree_end_to_end() {
+    let c = campaign();
+    for method in MatchMethod::ALL {
+        let naive = NaiveMatcher.match_jobs(&c.store, c.window, method);
+        let indexed = IndexedMatcher.match_jobs(&c.store, c.window, method);
+        let parallel = ParallelMatcher.match_jobs(&c.store, c.window, method);
+        assert_eq!(naive, indexed, "naive vs indexed under {method:?}");
+        assert_eq!(indexed, parallel, "indexed vs parallel under {method:?}");
+    }
+}
+
+#[test]
+fn campaign_and_matching_are_deterministic() {
+    let a = campaign();
+    let b = campaign();
+    let ma = ParallelMatcher.match_jobs(&a.store, a.window, MatchMethod::Rm2);
+    let mb = ParallelMatcher.match_jobs(&b.store, b.window, MatchMethod::Rm2);
+    assert_eq!(ma, mb);
+}
+
+#[test]
+fn evaluation_scores_are_well_formed() {
+    let c = campaign();
+    let mut last_recall = -1.0;
+    for method in MatchMethod::ALL {
+        let set = IndexedMatcher.match_jobs(&c.store, c.window, method);
+        let e = evaluate(&c.store, &set, c.window);
+        let p = e.transfer_precision();
+        let r = e.transfer_recall();
+        assert!((0.0..=1.0).contains(&p), "{method:?} precision {p}");
+        assert!((0.0..=1.0).contains(&r), "{method:?} recall {r}");
+        assert!(
+            r >= last_recall,
+            "relaxation must not lose recall: {method:?}"
+        );
+        last_recall = r;
+        // Matching on jeditaskid + file keys is very precise even relaxed.
+        assert!(p > 0.9, "{method:?} precision {p} suspiciously low");
+    }
+}
+
+#[test]
+fn production_transfers_never_match_user_jobs() {
+    let c = campaign();
+    let rm2 = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Rm2);
+    let table = ActivityBreakdown::build(&c.store, &rm2);
+    for row in &table.rows {
+        if row.activity.is_production() {
+            assert_eq!(
+                row.matched, 0,
+                "production activity {:?} matched user jobs",
+                row.activity
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_and_overlap_analyses_are_consistent() {
+    let c = campaign();
+    let matrix = TransferMatrix::build(&c.store, c.window);
+    let s = matrix.summary();
+    assert!(s.total_bytes > 0);
+    assert!(s.local_bytes <= s.total_bytes);
+    assert!(s.geo_mean_pair_bytes <= s.mean_pair_bytes * matrix.n() as f64 * matrix.n() as f64);
+
+    let exact = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Exact);
+    let overlaps = all_overlaps(&c.store, &exact);
+    assert_eq!(overlaps.len(), exact.n_matched_jobs());
+    for o in &overlaps {
+        assert!(o.percent >= 0.0);
+        assert!(
+            o.transfer_secs <= o.queue_secs + 1e-9,
+            "union clipped to queue cannot exceed it"
+        );
+    }
+    // AM–GM holds over the *positive* percents (the geometric mean
+    // excludes zeros by the paper's convention, the arithmetic one does
+    // not, so the two published summary numbers are not comparable).
+    let positives: Vec<f64> = overlaps
+        .iter()
+        .map(|o| o.percent)
+        .filter(|&p| p > 0.0)
+        .collect();
+    if !positives.is_empty() {
+        let am = dmsa_simcore::stats::mean(&positives).unwrap();
+        let gm = dmsa_simcore::stats::geometric_mean(&positives).unwrap();
+        assert!(am >= gm * 0.999, "AM {am} < GM {gm}");
+    }
+    let sum = summarize(&overlaps);
+    assert!(sum.max_percent <= 100.0 + 1e-9);
+}
+
+#[test]
+fn window_query_excludes_out_of_window_jobs() {
+    let c = campaign();
+    for j in c.store.user_jobs_in(c.window) {
+        assert!(j.endtime < c.window.end);
+        assert!(j.creationtime >= c.window.start);
+    }
+}
+
+#[test]
+fn matched_transfers_satisfy_algorithm1_invariants() {
+    let c = campaign();
+    let exact = IndexedMatcher.match_jobs(&c.store, c.window, MatchMethod::Exact);
+    for mj in &exact.jobs {
+        let job = &c.store.jobs[mj.job_idx as usize];
+        let mut dl_sum = 0u64;
+        let mut ul_sum = 0u64;
+        let mut any_dl = false;
+        let mut any_ul = false;
+        for &ti in &mj.transfers {
+            let t = &c.store.transfers[ti as usize];
+            // Condition 1: started before job end.
+            assert!(t.starttime < job.endtime);
+            // Join: same task.
+            assert_eq!(t.jeditaskid, Some(job.jeditaskid));
+            // Condition 3: direction-aware site equality.
+            if t.is_download {
+                assert_eq!(t.destination_site, job.computingsite);
+                dl_sum += t.file_size;
+                any_dl = true;
+            } else {
+                assert_eq!(t.source_site, job.computingsite);
+                ul_sum += t.file_size;
+                any_ul = true;
+            }
+        }
+        // Condition 2: byte-exact sums per accepted direction group.
+        if any_dl {
+            assert_eq!(dl_sum, job.ninputfilebytes);
+        }
+        if any_ul {
+            assert_eq!(ul_sum, job.noutputfilebytes);
+        }
+    }
+}
+
+#[test]
+fn windowed_matching_equals_single_pass_on_campaign_data() {
+    use dmsa_core::windowed::{max_job_lifetime, max_transfer_lead, WindowedMatcher};
+    let c = campaign();
+    let overlap = max_job_lifetime(&c.store) + max_transfer_lead(&c.store)
+        + dmsa_simcore::SimDuration::from_hours(1);
+    let m = WindowedMatcher::new(
+        IndexedMatcher,
+        overlap + dmsa_simcore::SimDuration::from_hours(2),
+        overlap,
+    );
+    for method in MatchMethod::ALL {
+        let streamed = m.match_streaming(&c.store, c.window, method);
+        let single = IndexedMatcher.match_jobs(&c.store, c.window, method);
+        assert_eq!(streamed, single, "windowed divergence under {method:?}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests over randomly generated metadata stores.
+//!
+//! The generators build small but adversarial stores directly (no
+//! simulation): jobs with random timelines, file tables with shared and
+//! private keys, transfers with random corruption of sites, sizes and task
+//! ids. The properties pin the core guarantees of `dmsa-core`:
+//!
+//! 1. engine agreement — naive, indexed, and parallel produce identical
+//!    match sets;
+//! 2. monotonicity — Exact ⊆ RM1 ⊆ RM2, per job and per transfer;
+//! 3. determinism — repeated runs are equal;
+//! 4. algorithm-1 postconditions on every exact match.
+
+use dmsa_core::matcher::Matcher;
+use dmsa_core::{IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher};
+use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, SymbolTable, TransferRecord};
+use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
+use dmsa_rucio_sim::Activity;
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawJob {
+    pandaid: u64,
+    taskid: u64,
+    site: usize,
+    created_s: i64,
+    queue_s: i64,
+    wall_s: i64,
+    n_files: usize,
+    bytes_skew: i64,
+}
+
+#[derive(Debug, Clone)]
+struct RawTransfer {
+    job_ref: usize,
+    file_ref: usize,
+    start_s: i64,
+    dur_s: i64,
+    size_skew: i64,
+    dest_kind: u8, // 0 = job site, 1 = other site, 2 = UNKNOWN, 3 = garbage
+    drop_taskid: bool,
+    is_upload: bool,
+}
+
+fn raw_job() -> impl Strategy<Value = RawJob> {
+    (
+        1u64..50,
+        1u64..6,
+        0usize..4,
+        0i64..500,
+        1i64..300,
+        1i64..300,
+        1usize..4,
+        prop_oneof![Just(0i64), 1i64..100],
+    )
+        .prop_map(
+            |(pandaid, taskid, site, created_s, queue_s, wall_s, n_files, bytes_skew)| RawJob {
+                pandaid,
+                taskid,
+                site,
+                created_s,
+                queue_s,
+                wall_s,
+                n_files,
+                bytes_skew,
+            },
+        )
+}
+
+fn raw_transfer() -> impl Strategy<Value = RawTransfer> {
+    (
+        0usize..16,
+        0usize..3,
+        0i64..1_000,
+        1i64..200,
+        prop_oneof![Just(0i64), 1i64..50],
+        0u8..4,
+        any::<bool>(),
+        proptest::bool::weighted(0.2),
+    )
+        .prop_map(
+            |(job_ref, file_ref, start_s, dur_s, size_skew, dest_kind, drop_taskid, is_upload)| {
+                RawTransfer {
+                    job_ref,
+                    file_ref,
+                    start_s,
+                    dur_s,
+                    size_skew,
+                    dest_kind,
+                    drop_taskid,
+                    is_upload,
+                }
+            },
+        )
+}
+
+/// Materialize a store from raw specs. File sizes are derived from
+/// (pandaid, file index) so different jobs can still collide on keys when
+/// they share a task id — the ambiguity the matcher must survive.
+fn build_store(jobs: &[RawJob], transfers: &[RawTransfer]) -> MetaStore {
+    let mut store = MetaStore::new();
+    let sites: Vec<_> = (0..4).map(|i| store.register_site(&format!("SITE-{i}"))).collect();
+    let garbage = store.symbols.intern("??bad??");
+
+    for j in jobs {
+        let site = sites[j.site];
+        let in_bytes: u64 = (0..j.n_files).map(|f| 1_000 + j.pandaid * 10 + f as u64).sum();
+        store.jobs.push(JobRecord {
+            pandaid: j.pandaid,
+            jeditaskid: j.taskid,
+            computingsite: site,
+            creationtime: SimTime::from_secs(j.created_s),
+            starttime: SimTime::from_secs(j.created_s + j.queue_s),
+            endtime: SimTime::from_secs(j.created_s + j.queue_s + j.wall_s),
+            ninputfilebytes: (in_bytes as i64 + j.bytes_skew) as u64,
+            noutputfilebytes: 500 + j.pandaid,
+            io_mode: IoMode::StageIn,
+            status: JobStatus::Finished,
+            task_status: TaskStatus::Done,
+            error_code: None,
+            is_user_analysis: true,
+        });
+        for f in 0..j.n_files {
+            store.files.push(FileRecord {
+                pandaid: j.pandaid,
+                jeditaskid: j.taskid,
+                lfn: store.symbols.intern(&format!("lfn-{}-{}", j.pandaid, f)),
+                dataset: store.symbols.intern(&format!("ds-{}", j.taskid)),
+                proddblock: store.symbols.intern(&format!("blk-{}", j.taskid)),
+                scope: store.symbols.intern("user"),
+                file_size: 1_000 + j.pandaid * 10 + f as u64,
+                direction: FileDirection::Input,
+            });
+        }
+    }
+
+    for (i, t) in transfers.iter().enumerate() {
+        let Some(j) = jobs.get(t.job_ref % jobs.len().max(1)) else {
+            continue;
+        };
+        let f = t.file_ref % j.n_files;
+        let site = sites[j.site];
+        let dest = match t.dest_kind {
+            0 => site,
+            1 => sites[(j.site + 1) % sites.len()],
+            2 => SymbolTable::UNKNOWN,
+            _ => garbage,
+        };
+        let size = (1_000 + j.pandaid * 10 + f as u64) as i64 + t.size_skew;
+        store.transfers.push(TransferRecord {
+            transfer_id: i as u64,
+            lfn: store.symbols.intern(&format!("lfn-{}-{}", j.pandaid, f)),
+            dataset: store.symbols.intern(&format!("ds-{}", j.taskid)),
+            proddblock: store.symbols.intern(&format!("blk-{}", j.taskid)),
+            scope: store.symbols.intern("user"),
+            file_size: size.max(1) as u64,
+            starttime: SimTime::from_secs(t.start_s),
+            endtime: SimTime::from_secs(t.start_s + t.dur_s),
+            source_site: if t.is_upload { dest } else { site },
+            destination_site: if t.is_upload { site } else { dest },
+            activity: if t.is_upload {
+                Activity::AnalysisUpload
+            } else {
+                Activity::AnalysisDownload
+            },
+            jeditaskid: (!t.drop_taskid).then_some(j.taskid),
+            is_download: !t.is_upload,
+            is_upload: t.is_upload,
+            gt_pandaid: Some(j.pandaid),
+            gt_source_site: site,
+            gt_destination_site: site,
+            gt_file_size: size.max(1) as u64,
+        });
+    }
+    store
+}
+
+fn window() -> Interval {
+    Interval::new(SimTime::from_secs(0), SimTime::from_secs(100_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_on_random_stores(
+        jobs in prop::collection::vec(raw_job(), 1..12),
+        transfers in prop::collection::vec(raw_transfer(), 0..40),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        for method in MatchMethod::ALL {
+            let naive = NaiveMatcher.match_jobs(&store, window(), method);
+            let indexed = IndexedMatcher.match_jobs(&store, window(), method);
+            let parallel = ParallelMatcher.match_jobs(&store, window(), method);
+            prop_assert_eq!(&naive, &indexed);
+            prop_assert_eq!(&indexed, &parallel);
+        }
+    }
+
+    #[test]
+    fn relaxation_is_monotone_on_random_stores(
+        jobs in prop::collection::vec(raw_job(), 1..12),
+        transfers in prop::collection::vec(raw_transfer(), 0..40),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        let exact = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Exact);
+        let rm1 = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Rm1);
+        let rm2 = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Rm2);
+        prop_assert!(rm1.contains(&exact), "RM1 lost an exact match");
+        prop_assert!(rm2.contains(&rm1), "RM2 lost an RM1 match");
+    }
+
+    #[test]
+    fn matching_is_deterministic_on_random_stores(
+        jobs in prop::collection::vec(raw_job(), 1..8),
+        transfers in prop::collection::vec(raw_transfer(), 0..24),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        let a = ParallelMatcher.match_jobs(&store, window(), MatchMethod::Rm2);
+        let b = ParallelMatcher.match_jobs(&store, window(), MatchMethod::Rm2);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_matches_satisfy_postconditions(
+        jobs in prop::collection::vec(raw_job(), 1..12),
+        transfers in prop::collection::vec(raw_transfer(), 0..40),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        let exact = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Exact);
+        for mj in &exact.jobs {
+            let job = &store.jobs[mj.job_idx as usize];
+            let mut dl = 0u64;
+            let mut ul = 0u64;
+            for &ti in &mj.transfers {
+                let t = &store.transfers[ti as usize];
+                prop_assert!(t.starttime < job.endtime);
+                prop_assert_eq!(t.jeditaskid, Some(job.jeditaskid));
+                if t.is_download {
+                    prop_assert_eq!(t.destination_site, job.computingsite);
+                    dl += t.file_size;
+                } else {
+                    prop_assert_eq!(t.source_site, job.computingsite);
+                    ul += t.file_size;
+                }
+            }
+            prop_assert!(dl == 0 || dl == job.ninputfilebytes);
+            prop_assert!(ul == 0 || ul == job.noutputfilebytes);
+        }
+    }
+
+    #[test]
+    fn unknown_sites_only_ever_add_matches_at_rm2(
+        jobs in prop::collection::vec(raw_job(), 1..10),
+        transfers in prop::collection::vec(raw_transfer(), 0..30),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        let rm1 = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Rm1);
+        let rm2 = IndexedMatcher.match_jobs(&store, window(), MatchMethod::Rm2);
+        // Every RM2-only transfer has an invalid relevant endpoint.
+        let rm1_pairs: std::collections::HashSet<(u32, u32)> = rm1
+            .jobs
+            .iter()
+            .flat_map(|j| j.transfers.iter().map(move |&t| (j.job_idx, t)))
+            .collect();
+        for mj in &rm2.jobs {
+            for &ti in &mj.transfers {
+                if rm1_pairs.contains(&(mj.job_idx, ti)) {
+                    continue;
+                }
+                let t = &store.transfers[ti as usize];
+                let endpoint = if t.is_download {
+                    t.destination_site
+                } else {
+                    t.source_site
+                };
+                prop_assert!(
+                    !store.is_valid_site(endpoint),
+                    "RM2-only match with a valid endpoint"
+                );
+            }
+        }
+    }
+}
