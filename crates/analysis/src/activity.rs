@@ -116,11 +116,21 @@ mod tests {
     #[test]
     fn breakdown_counts_and_percentages() {
         let mut store = MetaStore::new();
-        store.transfers.push(transfer(0, Activity::AnalysisDownload, Some(1))); // matched
-        store.transfers.push(transfer(1, Activity::AnalysisDownload, Some(1))); // unmatched
-        store.transfers.push(transfer(2, Activity::AnalysisUpload, Some(1))); // matched
-        store.transfers.push(transfer(3, Activity::ProductionUpload, Some(2))); // never matched
-        store.transfers.push(transfer(4, Activity::DataRebalancing, None)); // not in table
+        store
+            .transfers
+            .push(transfer(0, Activity::AnalysisDownload, Some(1))); // matched
+        store
+            .transfers
+            .push(transfer(1, Activity::AnalysisDownload, Some(1))); // unmatched
+        store
+            .transfers
+            .push(transfer(2, Activity::AnalysisUpload, Some(1))); // matched
+        store
+            .transfers
+            .push(transfer(3, Activity::ProductionUpload, Some(2))); // never matched
+        store
+            .transfers
+            .push(transfer(4, Activity::DataRebalancing, None)); // not in table
         let set = MatchSet {
             method: MatchMethod::Exact,
             jobs: vec![MatchedJob {
@@ -143,7 +153,9 @@ mod tests {
     #[test]
     fn transfers_without_taskid_are_excluded_from_denominators() {
         let mut store = MetaStore::new();
-        store.transfers.push(transfer(0, Activity::AnalysisDownload, None));
+        store
+            .transfers
+            .push(transfer(0, Activity::AnalysisDownload, None));
         let set = MatchSet {
             method: MatchMethod::Exact,
             jobs: vec![],
@@ -155,7 +167,9 @@ mod tests {
     #[test]
     fn duplicate_matches_count_once() {
         let mut store = MetaStore::new();
-        store.transfers.push(transfer(0, Activity::AnalysisDownload, Some(1)));
+        store
+            .transfers
+            .push(transfer(0, Activity::AnalysisDownload, Some(1)));
         let set = MatchSet {
             method: MatchMethod::Rm2,
             jobs: vec![

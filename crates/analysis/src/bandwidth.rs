@@ -111,8 +111,7 @@ pub fn busiest_pairs(
     let mut counts: HashMap<(Sym, Sym), usize> = HashMap::new();
     for &ti in transfer_ids {
         let t = &store.transfers[ti as usize];
-        let is_local =
-            t.source_site == t.destination_site && store.is_valid_site(t.source_site);
+        let is_local = t.source_site == t.destination_site && store.is_valid_site(t.source_site);
         if is_local != local {
             continue;
         }
@@ -120,12 +119,12 @@ pub fn busiest_pairs(
         if !store.is_valid_site(t.source_site) || !store.is_valid_site(t.destination_site) {
             continue;
         }
-        *counts.entry((t.source_site, t.destination_site)).or_insert(0) += 1;
+        *counts
+            .entry((t.source_site, t.destination_site))
+            .or_insert(0) += 1;
     }
-    let mut pairs: Vec<(Sym, Sym, usize)> = counts
-        .into_iter()
-        .map(|((s, d), c)| (s, d, c))
-        .collect();
+    let mut pairs: Vec<(Sym, Sym, usize)> =
+        counts.into_iter().map(|((s, d), c)| (s, d, c)).collect();
     pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
     pairs.truncate(k);
     pairs
@@ -164,7 +163,7 @@ mod tests {
     fn single_transfer_fills_its_buckets() {
         let (a, b) = (Sym(1), Sym(2));
         // 100 MB over 100 s => 1 MB/s, spanning two 60 s buckets.
-        let ts = vec![transfer(a, b, 0, 100, 100_000_000)];
+        let ts = [transfer(a, b, 0, 100, 100_000_000)];
         let s = usage_series(ts.iter(), a, b, SimDuration::from_secs(60));
         assert_eq!(s.n_transfers, 1);
         assert_eq!(s.points.len(), 2);
@@ -177,7 +176,7 @@ mod tests {
     #[test]
     fn concurrent_transfers_accumulate() {
         let (a, b) = (Sym(1), Sym(2));
-        let ts = vec![
+        let ts = [
             transfer(a, b, 0, 60, 60_000_000),
             transfer(a, b, 0, 60, 120_000_000),
         ];
@@ -189,7 +188,7 @@ mod tests {
     #[test]
     fn direction_is_respected() {
         let (a, b) = (Sym(1), Sym(2));
-        let ts = vec![transfer(a, b, 0, 10, 1_000_000)];
+        let ts = [transfer(a, b, 0, 10, 1_000_000)];
         let rev = usage_series(ts.iter(), b, a, SimDuration::from_secs(60));
         assert_eq!(rev.n_transfers, 0);
         assert!(rev.points.is_empty());

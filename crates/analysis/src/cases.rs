@@ -105,9 +105,7 @@ impl JobTimeline {
     /// previous one ends)? With ≥2 transfers this is the Fig 10 evidence
     /// of serialized staging.
     pub fn transfers_sequential(&self) -> bool {
-        self.transfers
-            .windows(2)
-            .all(|w| w[1].start >= w[0].end)
+        self.transfers.windows(2).all(|w| w[1].start >= w[0].end)
     }
 
     /// Max/min throughput ratio across transfers (1.0 for fewer than two).
@@ -250,7 +248,11 @@ mod tests {
                 ninputfilebytes: 0,
                 noutputfilebytes: 0,
                 io_mode: IoMode::StageIn,
-                status: if ok { JobStatus::Finished } else { JobStatus::Failed },
+                status: if ok {
+                    JobStatus::Finished
+                } else {
+                    JobStatus::Failed
+                },
                 task_status: TaskStatus::Done,
                 error_code: (!ok).then_some(1305),
                 is_user_analysis: true,
@@ -359,9 +361,18 @@ mod tests {
         let j3 = fx.job(12, 0, 100, 2000, false);
         let c = fx.transfer(0, 50, 4_600_000_000);
         let set = set_of(vec![
-            MatchedJob { job_idx: j1, transfers: vec![a] },
-            MatchedJob { job_idx: j2, transfers: vec![b] },
-            MatchedJob { job_idx: j3, transfers: vec![c] },
+            MatchedJob {
+                job_idx: j1,
+                transfers: vec![a],
+            },
+            MatchedJob {
+                job_idx: j2,
+                transfers: vec![b],
+            },
+            MatchedJob {
+                job_idx: j3,
+                transfers: vec![c],
+            },
         ]);
         let tl = find_spanning_failure_case(&fx.store, &set).unwrap();
         assert_eq!(tl.pandaid, 11);

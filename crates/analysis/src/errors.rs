@@ -176,10 +176,10 @@ mod tests {
     #[test]
     fn distribution_cross_tabulates() {
         let store = store_with_errors(&[
-            Some(error_codes::PAYLOAD_SEGV),     // job 0: low band
-            Some(error_codes::STAGEIN_TIMEOUT),  // job 1: high band
-            None,                                // job 2: high band, ok
-            Some(error_codes::OVERLAY_FAILURE),  // job 3: high band
+            Some(error_codes::PAYLOAD_SEGV),    // job 0: low band
+            Some(error_codes::STAGEIN_TIMEOUT), // job 1: high band
+            None,                               // job 2: high band, ok
+            Some(error_codes::OVERLAY_FAILURE), // job 3: high band
         ]);
         let overlaps = vec![
             overlap(0, 2.0),

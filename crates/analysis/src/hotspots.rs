@@ -33,7 +33,11 @@ pub struct SiteQueueStats {
 /// Per-site queueing statistics over user jobs in `window`, descending by
 /// p95 queue time. Sites with fewer than `min_jobs` jobs are dropped
 /// (their percentiles are noise).
-pub fn site_queue_stats(store: &MetaStore, window: Interval, min_jobs: usize) -> Vec<SiteQueueStats> {
+pub fn site_queue_stats(
+    store: &MetaStore,
+    window: Interval,
+    min_jobs: usize,
+) -> Vec<SiteQueueStats> {
     let mut queues: HashMap<Sym, Vec<f64>> = HashMap::new();
     let mut failures: HashMap<Sym, usize> = HashMap::new();
     for j in store.user_jobs_in(window) {
@@ -90,7 +94,11 @@ pub fn summarize_hotspots(ranked: &[SiteQueueStats]) -> Option<HotspotSummary> {
         n_sites: ranked.len(),
         hottest_p95_secs: hottest,
         median_p95_secs: median,
-        imbalance_ratio: if median > 0.0 { hottest / median } else { f64::INFINITY },
+        imbalance_ratio: if median > 0.0 {
+            hottest / median
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -112,7 +120,11 @@ mod tests {
             ninputfilebytes: 0,
             noutputfilebytes: 0,
             io_mode: IoMode::StageIn,
-            status: if failed { JobStatus::Failed } else { JobStatus::Finished },
+            status: if failed {
+                JobStatus::Failed
+            } else {
+                JobStatus::Finished
+            },
             task_status: TaskStatus::Done,
             error_code: None,
             is_user_analysis: true,

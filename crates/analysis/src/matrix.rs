@@ -144,7 +144,7 @@ impl TransferMatrix {
                 }
             }
         }
-        cells.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        cells.sort_by_key(|c| std::cmp::Reverse(c.bytes));
         cells.truncate(k);
         cells
     }

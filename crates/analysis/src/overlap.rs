@@ -167,10 +167,13 @@ mod tests {
             });
             transfers.push(i as u32);
         }
-        (store, MatchedJob {
-            job_idx: 0,
-            transfers,
-        })
+        (
+            store,
+            MatchedJob {
+                job_idx: 0,
+                transfers,
+            },
+        )
     }
 
     #[test]

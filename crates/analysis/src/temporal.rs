@@ -183,6 +183,9 @@ mod tests {
         store.transfers.push(transfer(1, 1_000_000, a));
         store.transfers.push(transfer(2, 1, b));
         let g = site_volume_gini(&store, window(60));
-        assert!(g > 0.4, "skewed destinations should show high Gini, got {g}");
+        assert!(
+            g > 0.4,
+            "skewed destinations should show high Gini, got {g}"
+        );
     }
 }

@@ -131,9 +131,18 @@ mod tests {
 
     #[test]
     fn combo_classification() {
-        assert_eq!(StatusCombo::of(&o(0.0, true, true)), StatusCombo::JobOkTaskOk);
-        assert_eq!(StatusCombo::of(&o(0.0, false, true)), StatusCombo::JobFailTaskOk);
-        assert_eq!(StatusCombo::of(&o(0.0, true, false)), StatusCombo::JobOkTaskFail);
+        assert_eq!(
+            StatusCombo::of(&o(0.0, true, true)),
+            StatusCombo::JobOkTaskOk
+        );
+        assert_eq!(
+            StatusCombo::of(&o(0.0, false, true)),
+            StatusCombo::JobFailTaskOk
+        );
+        assert_eq!(
+            StatusCombo::of(&o(0.0, true, false)),
+            StatusCombo::JobOkTaskFail
+        );
         assert_eq!(
             StatusCombo::of(&o(0.0, false, false)),
             StatusCombo::JobFailTaskFail
@@ -142,7 +151,11 @@ mod tests {
 
     #[test]
     fn sweep_is_cumulative() {
-        let os = vec![o(0.5, true, true), o(1.5, true, true), o(50.0, false, false)];
+        let os = vec![
+            o(0.5, true, true),
+            o(1.5, true, true),
+            o(50.0, false, false),
+        ];
         let pts = threshold_sweep(&os, &[1.0, 2.0, 100.0]);
         assert_eq!(pts[0].counts[0], 1); // only the 0.5 % job
         assert_eq!(pts[1].counts[0], 2); // plus the 1.5 % job

@@ -64,7 +64,11 @@ pub fn top_jobs(
             task_status: if o.task_succeeded { 'D' } else { 'F' },
         })
         .collect();
-    rows.sort_by(|a, b| b.queue_secs.total_cmp(&a.queue_secs).then(a.pandaid.cmp(&b.pandaid)));
+    rows.sort_by(|a, b| {
+        b.queue_secs
+            .total_cmp(&a.queue_secs)
+            .then(a.pandaid.cmp(&b.pandaid))
+    });
     rows.truncate(n);
     rows
 }

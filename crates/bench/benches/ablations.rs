@@ -4,18 +4,17 @@
 //!   at several scales (the substrate must stay fast enough to reach the
 //!   paper's 6.8 M-transfer volumes);
 //! * **corruption cost** — the metadata-quality model applied to a store;
-//! * **index build vs match** — how much of the hash-join engine's time is
-//!   index construction (it is rebuilt per method in the naive API; callers
-//!   that sweep methods should reuse it);
+//! * **index build vs match** — how much of the prepared engine's time is
+//!   index construction (callers that sweep methods or windows reuse one
+//!   [`PreparedStore`]);
 //! * **site-inference and redundancy detection** — the RM2 extras.
 //!
 //! Run with `cargo bench -p dmsa-bench --bench ablations`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmsa_core::index::MatchIndex;
 use dmsa_core::infer::{infer_sites, redundant_groups};
 use dmsa_core::matcher::{job_universe, Matcher};
-use dmsa_core::{IndexedMatcher, MatchMethod};
+use dmsa_core::{IndexedMatcher, MatchMethod, PreparedStore};
 use dmsa_metastore::CorruptionModel;
 use dmsa_scenario::ScenarioConfig;
 use dmsa_simcore::{RngFactory, SimDuration};
@@ -57,15 +56,15 @@ fn index_vs_match(c: &mut Criterion) {
     let mut g = c.benchmark_group("index");
     g.sample_size(10);
     g.bench_function("build", |b| {
-        b.iter(|| black_box(MatchIndex::build(&camp.store)))
+        b.iter(|| black_box(PreparedStore::build(&camp.store)))
     });
     g.bench_function("match_only", |b| {
-        let index = MatchIndex::build(&camp.store);
+        let index = PreparedStore::build(&camp.store);
         let universe = job_universe(&camp.store, camp.window);
         b.iter(|| {
             let n = universe
                 .iter()
-                .filter_map(|&j| index.match_one(&camp.store, j, MatchMethod::Rm2))
+                .filter_map(|&j| index.match_one(j, MatchMethod::Rm2))
                 .count();
             black_box(n)
         })
@@ -83,9 +82,11 @@ fn rm2_extras(c: &mut Criterion) {
     });
     g.bench_function("redundancy_detection", |b| {
         b.iter(|| {
-            black_box(redundant_groups(&camp.store, SimDuration::from_days(1), |i| {
-                camp.store.transfers[i as usize].destination_site
-            }))
+            black_box(redundant_groups(
+                &camp.store,
+                SimDuration::from_days(1),
+                |i| camp.store.transfers[i as usize].destination_site,
+            ))
         })
     });
     g.finish();

@@ -61,7 +61,14 @@ fn figures(c: &mut Criterion) {
     });
 
     g.bench_function("fig6_topjobs_remote", |b| {
-        b.iter(|| black_box(top_jobs(&ctx.overlaps_exact, Locality::RemoteOnly, 10.0, 40)))
+        b.iter(|| {
+            black_box(top_jobs(
+                &ctx.overlaps_exact,
+                Locality::RemoteOnly,
+                10.0,
+                40,
+            ))
+        })
     });
 
     let matched_ids: Vec<u32> = ctx

@@ -1,22 +1,29 @@
 //! Matcher-engine benchmarks: the §5.5 scalability story.
 //!
-//! Measures the three interchangeable engines (naive reference, hash-join,
-//! rayon-parallel) on identical stores, plus the hash-join engine across
-//! store sizes to show near-linear scaling. Run with
-//! `cargo bench -p dmsa-bench --bench matching`.
+//! Measures the interchangeable engines (naive reference, sequential
+//! indexed, rayon-parallel, prepared CSR index) on identical stores, the
+//! prepared-index build cost, the payoff of sharing one build across all
+//! three methods and across streaming windows, and engine scaling over
+//! store sizes. Run with `cargo bench -p dmsa-bench --bench matching`;
+//! `bench_matching` (the binary) emits the tracked `BENCH_matching.json`
+//! baseline from the same measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmsa_core::matcher::Matcher;
-use dmsa_core::{IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher};
+use dmsa_core::{
+    IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher, PreparedMatcher, PreparedStore,
+    WindowedMatcher,
+};
 use dmsa_scenario::{Campaign, ScenarioConfig};
+use dmsa_simcore::SimDuration;
 use std::hint::black_box;
 
 fn campaign(scale: f64) -> Campaign {
     dmsa_scenario::run(&ScenarioConfig::paper_8day(scale))
 }
 
-/// Naive vs indexed vs parallel at a size the naive engine can still
-/// handle.
+/// Naive vs indexed vs parallel vs prepared at a size the naive engine can
+/// still handle.
 fn engines(c: &mut Criterion) {
     let small = campaign(0.004);
     let mut g = c.benchmark_group("engines");
@@ -35,6 +42,63 @@ fn engines(c: &mut Criterion) {
         b.iter(|| {
             black_box(ParallelMatcher.match_jobs(&small.store, small.window, MatchMethod::Exact))
         })
+    });
+    g.bench_function("prepared/exact", |b| {
+        b.iter(|| {
+            black_box(PreparedMatcher.match_jobs(&small.store, small.window, MatchMethod::Exact))
+        })
+    });
+    g.finish();
+}
+
+/// Prepared-index construction cost, and the steady-state matching pass
+/// over an index built once outside the timing loop.
+fn prepared_build(c: &mut Criterion) {
+    let camp = campaign(0.02);
+    let mut g = c.benchmark_group("prepared_build");
+    g.sample_size(10);
+    g.bench_function("build", |b| {
+        b.iter(|| black_box(PreparedStore::build(&camp.store)))
+    });
+    let prepared = PreparedStore::build(&camp.store);
+    g.bench_function("reuse/rm2", |b| {
+        b.iter(|| black_box(prepared.par_match_window(camp.window, MatchMethod::Rm2)))
+    });
+    g.finish();
+}
+
+/// The tentpole comparison: one shared prepared index serving all three
+/// methods versus rebuilding the index per method (what `ReproContext`
+/// used to do), and one build serving every streaming window versus a
+/// rebuild per window.
+fn shared_reuse(c: &mut Criterion) {
+    let camp = campaign(0.02);
+    let mut g = c.benchmark_group("shared_reuse");
+    g.sample_size(10);
+    g.bench_function("3methods/rebuild-per-method", |b| {
+        b.iter(|| {
+            for m in MatchMethod::ALL {
+                black_box(ParallelMatcher.match_jobs(&camp.store, camp.window, m));
+            }
+        })
+    });
+    g.bench_function("3methods/shared-prepared", |b| {
+        b.iter(|| {
+            let prepared = PreparedStore::build(&camp.store);
+            for m in MatchMethod::ALL {
+                black_box(prepared.par_match_window(camp.window, m));
+            }
+        })
+    });
+    let width = SimDuration::from_days(2);
+    let overlap = SimDuration::from_days(1);
+    g.bench_function("windows/rebuild-per-window", |b| {
+        let w = WindowedMatcher::new(ParallelMatcher, width, overlap);
+        b.iter(|| black_box(w.match_streaming(&camp.store, camp.window, MatchMethod::Rm2)))
+    });
+    g.bench_function("windows/shared-prepared", |b| {
+        let w = WindowedMatcher::new(PreparedMatcher, width, overlap);
+        b.iter(|| black_box(w.match_streaming(&camp.store, camp.window, MatchMethod::Rm2)))
     });
     g.finish();
 }
@@ -78,5 +142,12 @@ fn scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engines, methods, scaling);
+criterion_group!(
+    benches,
+    engines,
+    prepared_build,
+    shared_reuse,
+    methods,
+    scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Emit the tracked matching benchmark baseline (`BENCH_matching.json`).
+//!
+//! ```text
+//! cargo run --release -p dmsa-bench --bin bench_matching -- \
+//!     [--scale F] [--seed N] [--naive] [--out FILE]
+//! ```
+//!
+//! Runs one 8-day campaign at `--scale` (default 0.01), measures prepared
+//! index build time and per-engine matching throughput for every method,
+//! and writes the JSON report. `--naive` additionally times the quadratic
+//! reference engine (only sensible at small scales). `--out -` prints to
+//! stdout.
+
+use dmsa_bench::report;
+use dmsa_scenario::ScenarioConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench_matching [--scale F] [--seed N] [--naive] [--out FILE|-]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = 0.01f64;
+    let mut seed = 42u64;
+    let mut include_naive = false;
+    let mut out = "BENCH_matching.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--naive" => {
+                include_naive = true;
+                i += 1;
+            }
+            flag @ ("--scale" | "--seed" | "--out") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--scale" => scale = value.parse().map_err(|e| format!("bad --scale: {e}"))?,
+                    "--seed" => seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    _ => out = value.clone(),
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let config = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::paper_8day(scale)
+    };
+    eprintln!("simulating 8-day campaign at scale {scale} (seed {seed})...");
+    let campaign = dmsa_scenario::run(&config);
+    let (jobs, _, transfers, _) = campaign.store.counts();
+    eprintln!("store: {jobs} jobs, {transfers} transfers; measuring engines...");
+
+    let report = report::measure(&campaign, scale, include_naive);
+    eprintln!(
+        "prepared build {:.1} ms | shared 3-method pass {:.1} ms",
+        report.build_ms, report.shared_all_methods_ms
+    );
+    for e in &report.engines {
+        eprintln!(
+            "  {:<8} {:<5} {:>10.1} ms  {:>12.0} jobs/s  {} matched",
+            e.engine, e.method, e.millis, e.jobs_per_s, e.matched_jobs
+        );
+    }
+
+    let json = report.to_json();
+    if out == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out} ({} bytes)", json.len());
+    }
+    Ok(())
+}

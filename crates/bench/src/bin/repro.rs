@@ -70,9 +70,12 @@ fn main() {
         whatif(scale, seed);
     }
 
-    let needs_ctx = ["summary", "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "cases", "temporal", "eval"]
-        .iter()
-        .any(|s| want(s));
+    let needs_ctx = [
+        "summary", "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "cases", "temporal",
+        "eval",
+    ]
+    .iter()
+    .any(|s| want(s));
     if !needs_ctx {
         return;
     }
@@ -90,13 +93,25 @@ fn main() {
         table2(&ctx);
     }
     if want("fig5") {
-        fig56(&ctx, Locality::LocalOnly, "Fig 5: top jobs with LOCAL transfers >= 10% of queuing time");
+        fig56(
+            &ctx,
+            Locality::LocalOnly,
+            "Fig 5: top jobs with LOCAL transfers >= 10% of queuing time",
+        );
     }
     if want("fig6") {
-        fig56(&ctx, Locality::RemoteOnly, "Fig 6: top jobs with REMOTE transfers >= 10% of queuing time");
+        fig56(
+            &ctx,
+            Locality::RemoteOnly,
+            "Fig 6: top jobs with REMOTE transfers >= 10% of queuing time",
+        );
     }
     if want("fig7") {
-        fig78(&ctx, false, "Fig 7: bandwidth usage at six remote connections");
+        fig78(
+            &ctx,
+            false,
+            "Fig 7: bandwidth usage at six remote connections",
+        );
     }
     if want("fig8") {
         fig78(&ctx, true, "Fig 8: bandwidth usage at six local sites");
@@ -349,7 +364,13 @@ fn table1(ctx: &ReproContext) {
         );
     }
     let (m, t) = table.totals();
-    println!("  {:<30} {:>9} {:>9} {:>9}   1.92%\n", "Total", m, t, pct(m, t));
+    println!(
+        "  {:<30} {:>9} {:>9} {:>9}   1.92%\n",
+        "Total",
+        m,
+        t,
+        pct(m, t)
+    );
 }
 
 fn table2(ctx: &ReproContext) {
@@ -358,7 +379,11 @@ fn table2(ctx: &ReproContext) {
         "  {:<7} {:>8} {:>8} {:>8}   paper(local/remote/total)",
         "Method", "Local", "Remote", "Total"
     );
-    let paper_a = ["28,579 / 1,801 / 30,380", "35,065 / 1,817 / 36,882", "36,320 / 24,273 / 60,593"];
+    let paper_a = [
+        "28,579 / 1,801 / 30,380",
+        "35,065 / 1,817 / 36,882",
+        "36,320 / 24,273 / 60,593",
+    ];
     for (method, p) in MatchMethod::ALL.into_iter().zip(paper_a) {
         let set = ctx.set(method);
         let c = set.transfer_counts(&ctx.campaign.store);
@@ -375,7 +400,11 @@ fn table2(ctx: &ReproContext) {
         "  {:<7} {:>9} {:>9} {:>7} {:>8}   paper(local/remote/mixed/total)",
         "Method", "AllLocal", "AllRemote", "Mixed", "Total"
     );
-    let paper_b = ["7,649 / 258 / 0 / 7,907", "8,763 / 260 / 0 / 9,023", "8,727 / 7,662 / 112 / 16,501"];
+    let paper_b = [
+        "7,649 / 258 / 0 / 7,907",
+        "8,763 / 260 / 0 / 9,023",
+        "8,727 / 7,662 / 112 / 16,501",
+    ];
     for (method, p) in MatchMethod::ALL.into_iter().zip(paper_b) {
         let set = ctx.set(method);
         let c = set.job_counts(&ctx.campaign.store);
@@ -568,7 +597,10 @@ fn case_studies(ctx: &ReproContext) {
     let groups = dmsa_core::infer::redundant_groups(store, SimDuration::from_days(1), |i| {
         store.transfers[i as usize].destination_site
     });
-    println!("  redundant same-destination delivery groups: {}\n", groups.len());
+    println!(
+        "  redundant same-destination delivery groups: {}\n",
+        groups.len()
+    );
 }
 
 fn eval_section(ctx: &ReproContext) {

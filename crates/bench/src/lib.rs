@@ -13,8 +13,7 @@
 //! campaign, the three match sets, and the per-job overlap records.
 
 use dmsa_analysis::overlap::{all_overlaps, JobTransferOverlap};
-use dmsa_core::matcher::Matcher;
-use dmsa_core::{MatchMethod, MatchSet, ParallelMatcher};
+use dmsa_core::{MatchMethod, MatchSet, PreparedStore};
 use dmsa_scenario::{Campaign, ScenarioConfig};
 
 /// Everything the §5 experiments share.
@@ -46,10 +45,14 @@ impl ReproContext {
     /// Same, from an explicit config.
     pub fn from_config(config: &ScenarioConfig) -> Self {
         let campaign = dmsa_scenario::run(config);
-        let m = |method| ParallelMatcher.match_jobs(&campaign.store, campaign.window, method);
+        // One prepared index serves all three methods (it used to be
+        // rebuilt per strategy).
+        let prepared = PreparedStore::build(&campaign.store);
+        let m = |method| prepared.par_match_window(campaign.window, method);
         let exact = m(MatchMethod::Exact);
         let rm1 = m(MatchMethod::Rm1);
         let rm2 = m(MatchMethod::Rm2);
+        drop(prepared);
         let overlaps_exact = all_overlaps(&campaign.store, &exact);
         let overlaps_rm2 = all_overlaps(&campaign.store, &rm2);
         ReproContext {
@@ -85,7 +88,9 @@ pub mod fmt {
             ("KB", 1e3),
         ];
         for (name, scale) in UNITS {
-            if b >= scale {
+            // Roll over to the larger unit as soon as the *rounded* value
+            // would reach it: 999_995 B is "1.00 MB", not "1000.00 KB".
+            if b >= scale * 0.999995 {
                 return format!("{:.2} {name}", b / scale);
             }
         }
@@ -98,6 +103,152 @@ pub mod fmt {
             "n/a".to_string()
         } else {
             format!("{:.2}%", 100.0 * num as f64 / den as f64)
+        }
+    }
+}
+
+/// The tracked matching-benchmark baseline (`BENCH_matching.json`).
+///
+/// The `bench_matching` binary measures prepared-index build time and
+/// per-engine matching throughput on one campaign and emits this report.
+/// The JSON is written by hand (flat, stable key order) so the file diffs
+/// cleanly between baseline updates.
+pub mod report {
+    use dmsa_core::matcher::Matcher;
+    use dmsa_core::{IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher, PreparedStore};
+    use dmsa_scenario::Campaign;
+    use std::time::Instant;
+
+    /// One engine × method measurement.
+    #[derive(Clone, Debug)]
+    pub struct EngineTiming {
+        /// Engine label (`naive`, `indexed`, `parallel`, `prepared`).
+        pub engine: &'static str,
+        /// Method label (`Exact`, `RM1`, `RM2`).
+        pub method: &'static str,
+        /// Wall-clock milliseconds for one full matching pass.
+        pub millis: f64,
+        /// Universe jobs matched per second.
+        pub jobs_per_s: f64,
+        /// Jobs with a non-empty match (equal across engines).
+        pub matched_jobs: usize,
+    }
+
+    /// The whole baseline.
+    #[derive(Clone, Debug)]
+    pub struct MatchingReport {
+        /// Campaign scale factor.
+        pub scale: f64,
+        /// Store population.
+        pub jobs: usize,
+        /// Store population.
+        pub transfers: usize,
+        /// Size of the matching universe (user jobs in the window).
+        pub universe: usize,
+        /// One-off `PreparedStore::build` wall time (milliseconds).
+        pub build_ms: f64,
+        /// Shared-index pass over all three methods, build included once
+        /// (milliseconds) — the number the tentpole optimizes.
+        pub shared_all_methods_ms: f64,
+        /// Per-engine timings.
+        pub engines: Vec<EngineTiming>,
+    }
+
+    /// Measure every engine on `campaign`. `include_naive` guards the
+    /// quadratic reference engine, which is only tolerable on small
+    /// stores.
+    pub fn measure(campaign: &Campaign, scale: f64, include_naive: bool) -> MatchingReport {
+        let store = &campaign.store;
+        let window = campaign.window;
+        let universe = store.user_jobs_in(window).count();
+        let time = |f: &mut dyn FnMut() -> usize| -> (f64, usize) {
+            let start = Instant::now();
+            let matched = f();
+            (start.elapsed().as_secs_f64() * 1e3, matched)
+        };
+
+        let (build_ms, _) = time(&mut || PreparedStore::build(store).task_pool(0).len());
+
+        let (shared_all_methods_ms, _) = time(&mut || {
+            let prepared = PreparedStore::build(store);
+            MatchMethod::ALL
+                .iter()
+                .map(|&m| prepared.par_match_window(window, m).n_matched_jobs())
+                .sum()
+        });
+
+        let mut engines = Vec::new();
+        let prepared = PreparedStore::build(store);
+        for method in MatchMethod::ALL {
+            let label = method.label();
+            let mut row = |engine: &'static str, f: &mut dyn FnMut() -> usize| {
+                let (millis, matched_jobs) = time(f);
+                engines.push(EngineTiming {
+                    engine,
+                    method: label,
+                    millis,
+                    jobs_per_s: universe as f64 / (millis / 1e3).max(1e-9),
+                    matched_jobs,
+                });
+            };
+            if include_naive {
+                row("naive", &mut || {
+                    NaiveMatcher
+                        .match_jobs(store, window, method)
+                        .n_matched_jobs()
+                });
+            }
+            row("indexed", &mut || {
+                IndexedMatcher
+                    .match_jobs(store, window, method)
+                    .n_matched_jobs()
+            });
+            row("parallel", &mut || {
+                ParallelMatcher
+                    .match_jobs(store, window, method)
+                    .n_matched_jobs()
+            });
+            // The prepared engine amortizes its build: time the reuse path.
+            row("prepared", &mut || {
+                prepared.par_match_window(window, method).n_matched_jobs()
+            });
+        }
+
+        MatchingReport {
+            scale,
+            jobs: store.jobs.len(),
+            transfers: store.transfers.len(),
+            universe,
+            build_ms,
+            shared_all_methods_ms,
+            engines,
+        }
+    }
+
+    impl MatchingReport {
+        /// Serialize as stable, hand-rolled JSON.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n");
+            out.push_str(&format!("  \"scale\": {},\n", self.scale));
+            out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+            out.push_str(&format!("  \"transfers\": {},\n", self.transfers));
+            out.push_str(&format!("  \"universe\": {},\n", self.universe));
+            out.push_str(&format!("  \"build_ms\": {:.3},\n", self.build_ms));
+            out.push_str(&format!(
+                "  \"shared_all_methods_ms\": {:.3},\n",
+                self.shared_all_methods_ms
+            ));
+            out.push_str("  \"engines\": [\n");
+            for (i, e) in self.engines.iter().enumerate() {
+                let sep = if i + 1 == self.engines.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"engine\": \"{}\", \"method\": \"{}\", \"millis\": {:.3}, \
+                     \"jobs_per_s\": {:.1}, \"matched_jobs\": {}}}{sep}\n",
+                    e.engine, e.method, e.millis, e.jobs_per_s, e.matched_jobs
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            out
         }
     }
 }
@@ -115,6 +266,23 @@ mod tests {
     }
 
     #[test]
+    fn fmt_bytes_rounds_up_at_unit_boundaries() {
+        // Values whose two-decimal rounding reaches the next unit must
+        // print in that unit, never as "1000.00 <smaller unit>".
+        assert_eq!(fmt::bytes(999_995), "1.00 MB");
+        assert_eq!(fmt::bytes(999_994), "999.99 KB");
+        assert_eq!(fmt::bytes(999_995_000_000), "1.00 TB");
+        assert_eq!(fmt::bytes(999_999_999_999), "1.00 TB");
+        for b in [999_994, 999_995, 1_000_000, 999_999_999_999u64] {
+            assert!(
+                !fmt::bytes(b).starts_with("1000."),
+                "{b} printed as {}",
+                fmt::bytes(b)
+            );
+        }
+    }
+
+    #[test]
     fn fmt_pct() {
         assert_eq!(fmt::pct(1, 52), "1.92%");
         assert_eq!(fmt::pct(0, 0), "n/a");
@@ -126,5 +294,55 @@ mod tests {
         assert!(ctx.rm1.contains(&ctx.exact));
         assert!(ctx.rm2.contains(&ctx.rm1));
         assert_eq!(ctx.overlaps_exact.len(), ctx.exact.n_matched_jobs());
+    }
+
+    #[test]
+    fn matching_report_measures_all_engines_consistently() {
+        let campaign = dmsa_scenario::run(&ScenarioConfig::small());
+        let r = report::measure(&campaign, 1.0, true);
+        assert_eq!(r.jobs, campaign.store.jobs.len());
+        assert_eq!(r.engines.len(), 12, "4 engines x 3 methods");
+        assert!(r.build_ms >= 0.0 && r.shared_all_methods_ms >= 0.0);
+        // Every engine must agree on the matched-job counts per method.
+        for method in ["Exact", "RM1", "RM2"] {
+            let counts: Vec<usize> = r
+                .engines
+                .iter()
+                .filter(|e| e.method == method)
+                .map(|e| e.matched_jobs)
+                .collect();
+            assert!(!counts.is_empty());
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "engines disagree under {method}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_report_json_shape() {
+        let campaign = dmsa_scenario::run(&ScenarioConfig::small());
+        let r = report::measure(&campaign, 0.5, false);
+        let json = r.to_json();
+        for key in [
+            "\"scale\"",
+            "\"jobs\"",
+            "\"transfers\"",
+            "\"universe\"",
+            "\"build_ms\"",
+            "\"shared_all_methods_ms\"",
+            "\"engines\"",
+            "\"jobs_per_s\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("\"naive\""), "naive must be opt-in");
+        assert!(json.contains("\"prepared\""));
+        // Balanced braces/brackets (cheap well-formedness check that does
+        // not require a JSON parser).
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+        assert!(json.ends_with("}\n"));
     }
 }

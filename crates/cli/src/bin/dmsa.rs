@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
-//! dmsa match    --campaign campaign.json --method rm2 --out matches.json
+//! dmsa match    --campaign campaign.json --method rm2 --engine prepared --out matches.json
 //! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal
 //! dmsa compare  --campaign campaign.json
 //! ```
 
-use dmsa_cli::run::{analyze, compare_methods, run_match, simulate, MatcherChoice};
+use dmsa_cli::run::{analyze, compare_methods, run_match, simulate, EngineChoice, MatcherChoice};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -26,7 +26,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dmsa simulate --preset 8day|92day|small [--scale F] [--seed N] [--out FILE]
-  dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T] [--out FILE]
+  dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
+                [--engine naive|indexed|parallel|prepared] [--out FILE]
   dmsa analyze  --campaign FILE [--matches FILE] --report summary|matrix|temporal
   dmsa compare  --campaign FILE";
 
@@ -53,9 +54,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     };
     let f = flags(rest)?;
     let read = |key: &str| -> Result<String, String> {
-        let path = f
-            .get(key)
-            .ok_or_else(|| format!("--{key} is required"))?;
+        let path = f.get(key).ok_or_else(|| format!("--{key} is required"))?;
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
     };
     let write_or_print = |key: &str, content: &str| -> Result<(), String> {
@@ -91,16 +90,17 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "match" => {
             let campaign = read("campaign")?;
             let method = MatcherChoice::parse(f.get("method").copied().unwrap_or("exact"))?;
-            let (json, stats) = run_match(&campaign, method)?;
+            let engine = EngineChoice::parse(f.get("engine").copied().unwrap_or("prepared"))?;
+            let (json, stats) = run_match(&campaign, method, engine)?;
             eprintln!("{stats}");
             write_or_print("out", &json)
         }
         "analyze" => {
             let campaign = read("campaign")?;
             let matches = match f.get("matches") {
-                Some(path) => {
-                    Some(std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?)
-                }
+                Some(path) => Some(
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+                ),
                 None => None,
             };
             let report = f.get("report").copied().unwrap_or("summary");

@@ -10,7 +10,8 @@ use dmsa_analysis::overlap::{all_overlaps, summarize};
 use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
 use dmsa_core::matcher::Matcher;
 use dmsa_core::{
-    evaluate, IndexedMatcher, MatchMethod, MatchSet, ParallelMatcher, ScoredMatcher,
+    evaluate, IndexedMatcher, MatchMethod, MatchSet, NaiveMatcher, ParallelMatcher,
+    PreparedMatcher, PreparedStore, ScoredMatcher,
 };
 use dmsa_scenario::ScenarioConfig;
 use dmsa_simcore::SimDuration;
@@ -57,6 +58,45 @@ impl MatcherChoice {
     }
 }
 
+/// Which matching engine runs the chosen method. All engines produce
+/// identical match sets (property-tested); they differ only in speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum EngineChoice {
+    /// Quadratic reference scan.
+    Naive,
+    /// Sequential prepared-index engine.
+    Indexed,
+    /// Rayon-parallel prepared-index engine.
+    Parallel,
+    /// Prepared CSR index, parallel matching (default).
+    #[default]
+    Prepared,
+}
+
+impl EngineChoice {
+    /// Parse an `--engine` argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(EngineChoice::Naive),
+            "indexed" => Ok(EngineChoice::Indexed),
+            "parallel" => Ok(EngineChoice::Parallel),
+            "prepared" => Ok(EngineChoice::Prepared),
+            _ => Err(format!(
+                "unknown engine {s:?} (expected naive|indexed|parallel|prepared)"
+            )),
+        }
+    }
+
+    fn matcher(self) -> &'static dyn Matcher {
+        match self {
+            EngineChoice::Naive => &NaiveMatcher,
+            EngineChoice::Indexed => &IndexedMatcher,
+            EngineChoice::Parallel => &ParallelMatcher,
+            EngineChoice::Prepared => &PreparedMatcher,
+        }
+    }
+}
+
 /// `dmsa simulate`: run a preset campaign and return its JSON export.
 pub fn simulate(preset: &str, scale: f64, seed: u64) -> Result<String, String> {
     let mut config = match preset {
@@ -73,18 +113,30 @@ pub fn simulate(preset: &str, scale: f64, seed: u64) -> Result<String, String> {
 }
 
 /// `dmsa match`: run a matcher over an exported campaign; returns the
-/// match set as JSON plus a one-line stats summary.
-pub fn run_match(campaign_json: &str, choice: MatcherChoice) -> Result<(String, String), String> {
+/// match set as JSON plus a one-line stats summary. `engine` selects the
+/// implementation for the exact/RM1/RM2 methods (scored matching has a
+/// single engine and ignores it).
+pub fn run_match(
+    campaign_json: &str,
+    choice: MatcherChoice,
+    engine: EngineChoice,
+) -> Result<(String, String), String> {
     let export = CampaignExport::from_json(campaign_json)?;
     let set: MatchSet = match choice {
         MatcherChoice::Exact => {
-            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Exact)
+            engine
+                .matcher()
+                .match_jobs(&export.store, export.window, MatchMethod::Exact)
         }
         MatcherChoice::Rm1 => {
-            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Rm1)
+            engine
+                .matcher()
+                .match_jobs(&export.store, export.window, MatchMethod::Rm1)
         }
         MatcherChoice::Rm2 => {
-            ParallelMatcher.match_jobs(&export.store, export.window, MatchMethod::Rm2)
+            engine
+                .matcher()
+                .match_jobs(&export.store, export.window, MatchMethod::Rm2)
         }
         MatcherChoice::Scored(t) => {
             ScoredMatcher::default().match_jobs_scored(&export.store, export.window, t)
@@ -159,7 +211,12 @@ pub fn analyze(
             )
             .unwrap();
             for c in m.top_outliers(5) {
-                writeln!(out, "  {:>16} B  {} -> {}", c.bytes, c.src_label, c.dst_label).unwrap();
+                writeln!(
+                    out,
+                    "  {:>16} B  {} -> {}",
+                    c.bytes, c.src_label, c.dst_label
+                )
+                .unwrap();
             }
         }
         "temporal" => {
@@ -175,7 +232,11 @@ pub fn analyze(
             )
             .unwrap();
         }
-        other => return Err(format!("unknown report {other:?} (summary|matrix|temporal)")),
+        other => {
+            return Err(format!(
+                "unknown report {other:?} (summary|matrix|temporal)"
+            ))
+        }
     }
     Ok(out)
 }
@@ -185,8 +246,10 @@ pub fn analyze(
 pub fn compare_methods(campaign_json: &str) -> Result<String, String> {
     let export = CampaignExport::from_json(campaign_json)?;
     let mut out = String::new();
+    // One prepared index serves all three methods.
+    let prepared = PreparedStore::build(&export.store);
     for method in MatchMethod::ALL {
-        let set = IndexedMatcher.match_jobs(&export.store, export.window, method);
+        let set = prepared.par_match_window(export.window, method);
         let e = evaluate(&export.store, &set, export.window);
         writeln!(
             out,
@@ -234,14 +297,52 @@ mod tests {
     }
 
     #[test]
+    fn engine_choice_parsing() {
+        assert_eq!(EngineChoice::parse("naive").unwrap(), EngineChoice::Naive);
+        assert_eq!(
+            EngineChoice::parse("indexed").unwrap(),
+            EngineChoice::Indexed
+        );
+        assert_eq!(
+            EngineChoice::parse("parallel").unwrap(),
+            EngineChoice::Parallel
+        );
+        assert_eq!(
+            EngineChoice::parse("prepared").unwrap(),
+            EngineChoice::Prepared
+        );
+        assert_eq!(EngineChoice::default(), EngineChoice::Prepared);
+        assert!(EngineChoice::parse("quantum").is_err());
+    }
+
+    #[test]
     fn simulate_rejects_unknown_preset() {
         assert!(simulate("weekly", 1.0, 1).is_err());
     }
 
     #[test]
+    fn all_engines_agree_via_cli_path() {
+        let campaign = tiny_campaign_json();
+        let engines = [
+            EngineChoice::Naive,
+            EngineChoice::Indexed,
+            EngineChoice::Parallel,
+            EngineChoice::Prepared,
+        ];
+        let results: Vec<String> = engines
+            .iter()
+            .map(|&e| run_match(&campaign, MatcherChoice::Rm2, e).unwrap().0)
+            .collect();
+        for r in &results[1..] {
+            assert_eq!(*r, results[0], "engine output diverged");
+        }
+    }
+
+    #[test]
     fn full_cli_pipeline_runs() {
         let campaign = tiny_campaign_json();
-        let (matches, stats) = run_match(&campaign, MatcherChoice::Rm2).unwrap();
+        let (matches, stats) =
+            run_match(&campaign, MatcherChoice::Rm2, EngineChoice::default()).unwrap();
         assert!(stats.contains("precision"));
         let report = analyze(&campaign, Some(&matches), "summary").unwrap();
         assert!(report.contains("transfers"));
@@ -262,9 +363,10 @@ mod tests {
     #[test]
     fn scored_match_runs_via_cli_path() {
         let campaign = tiny_campaign_json();
-        let (json, _) = run_match(&campaign, MatcherChoice::Scored(0.6)).unwrap();
+        let engine = EngineChoice::default();
+        let (json, _) = run_match(&campaign, MatcherChoice::Scored(0.6), engine).unwrap();
         let set: MatchSet = serde_json::from_str(&json).unwrap();
-        let (strict_json, _) = run_match(&campaign, MatcherChoice::Scored(0.99)).unwrap();
+        let (strict_json, _) = run_match(&campaign, MatcherChoice::Scored(0.99), engine).unwrap();
         let strict: MatchSet = serde_json::from_str(&strict_json).unwrap();
         assert!(set.n_matched_transfers() >= strict.n_matched_transfers());
     }

@@ -1,95 +1,28 @@
-//! Hash-join matching.
+//! Sequential indexed matching.
 //!
-//! Builds two indexes over the store once — file-table rows by `pandaid`,
-//! transfers by `jeditaskid` — and runs Algorithm 1's joins as hash
-//! lookups. This turns the naive O(|J|·|T|) scan into
-//! O(|J| + |F| + |T| + Σ_j |pool_j|), which is what makes matching
-//! millions of transfers tractable (§5.5's scalability concern).
+//! Historically this module built per-call `HashMap<u64, Vec<u32>>` join
+//! indexes; those are superseded by the CSR-based
+//! [`crate::prepared::PreparedStore`], which this engine now runs
+//! single-threaded. Building the index turns the naive O(|J|·|T|) scan
+//! into O(|J| + |F| + |T| log |T| + Σ_j |pool_j|), which is what makes
+//! matching millions of transfers tractable (§5.5's scalability concern).
+//! Use [`crate::prepared::PreparedMatcher`] (or a [`PreparedStore`]
+//! directly) when the same store is matched more than once.
 
-use crate::matcher::{file_key, finalize_candidates, job_universe, transfer_key, FileKey, Matcher};
-use crate::matchset::{MatchSet, MatchedJob};
+use crate::matcher::Matcher;
+use crate::matchset::MatchSet;
 use crate::method::MatchMethod;
+use crate::prepared::PreparedStore;
 use dmsa_metastore::MetaStore;
 use dmsa_simcore::interval::Interval;
-use std::collections::{HashMap, HashSet};
 
-/// Prebuilt join indexes over one store.
-pub struct MatchIndex {
-    /// File-table row indices by `pandaid`.
-    files_by_pandaid: HashMap<u64, Vec<u32>>,
-    /// Transfer indices by `jeditaskid` (transfers lacking one are absent).
-    transfers_by_taskid: HashMap<u64, Vec<u32>>,
-}
-
-impl MatchIndex {
-    /// Build indexes for `store`.
-    pub fn build(store: &MetaStore) -> Self {
-        let mut files_by_pandaid: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, f) in store.files.iter().enumerate() {
-            files_by_pandaid.entry(f.pandaid).or_default().push(i as u32);
-        }
-        let mut transfers_by_taskid: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, t) in store.transfers.iter().enumerate() {
-            if let Some(tid) = t.jeditaskid {
-                transfers_by_taskid.entry(tid).or_default().push(i as u32);
-            }
-        }
-        MatchIndex {
-            files_by_pandaid,
-            transfers_by_taskid,
-        }
-    }
-
-    /// Candidate transfers for one job: joined on `jeditaskid` and the
-    /// 5-attribute file key. Ascending order.
-    pub fn candidates(&self, store: &MetaStore, job_idx: u32) -> Vec<u32> {
-        let job = &store.jobs[job_idx as usize];
-        let Some(file_rows) = self.files_by_pandaid.get(&job.pandaid) else {
-            return Vec::new();
-        };
-        let keys: HashSet<FileKey> = file_rows
-            .iter()
-            .map(|&fi| &store.files[fi as usize])
-            .filter(|f| f.jeditaskid == job.jeditaskid)
-            .map(file_key)
-            .collect();
-        if keys.is_empty() {
-            return Vec::new();
-        }
-        let Some(pool) = self.transfers_by_taskid.get(&job.jeditaskid) else {
-            return Vec::new();
-        };
-        pool.iter()
-            .copied()
-            .filter(|&ti| keys.contains(&transfer_key(&store.transfers[ti as usize])))
-            .collect()
-    }
-
-    /// Match one job under `method`.
-    pub fn match_one(&self, store: &MetaStore, job_idx: u32, method: MatchMethod) -> Option<MatchedJob> {
-        let candidates = self.candidates(store, job_idx);
-        let transfers = finalize_candidates(
-            &store.jobs[job_idx as usize],
-            &candidates,
-            store,
-            method,
-        );
-        (!transfers.is_empty()).then_some(MatchedJob { job_idx, transfers })
-    }
-}
-
-/// Sequential hash-join matcher.
+/// Sequential prepared-index matcher (builds the index per call).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IndexedMatcher;
 
 impl Matcher for IndexedMatcher {
     fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet {
-        let index = MatchIndex::build(store);
-        let jobs = job_universe(store, window)
-            .into_iter()
-            .filter_map(|j| index.match_one(store, j, method))
-            .collect();
-        MatchSet { method, jobs }
+        PreparedStore::build(store).match_window(window, method)
     }
 }
 
@@ -149,13 +82,14 @@ mod tests {
     #[test]
     fn candidates_respect_taskid_partition() {
         let (store, _) = mixed_store();
-        let idx = MatchIndex::build(&store);
+        let idx = PreparedStore::build(&store);
         // Job 0's candidates must all carry its task id.
-        for ti in idx.candidates(&store, 0) {
+        for ti in idx.candidates(0) {
             assert_eq!(store.transfers[ti as usize].jeditaskid, Some(10));
         }
-        // And the pool for a job with no files is empty.
-        assert!(idx.candidates(&store, 3).len() <= 1);
+        // Job 3's lone transfer starts after the job ends, so the
+        // time-prefiltered candidate set is empty.
+        assert!(idx.candidates(3).len() <= 1);
     }
 
     #[test]

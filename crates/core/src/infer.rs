@@ -19,11 +19,11 @@
 //! paper's **redundant transfer** pattern: the same file delivered twice
 //! to the same destination, "in principle avoidable".
 
+use crate::fx::FxHashMap;
 use crate::matchset::MatchSet;
 use dmsa_metastore::{MetaStore, Sym};
 use dmsa_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How an inferred site was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,10 +76,13 @@ pub fn infer_sites(
 ) -> Vec<SiteInference> {
     // Index all transfers with valid endpoints by (lfn, size) for the
     // duplicate search.
-    let mut by_key: HashMap<(Sym, u64), Vec<u32>> = HashMap::new();
+    let mut by_key: FxHashMap<(Sym, u64), Vec<u32>> = FxHashMap::default();
     for (i, t) in store.transfers.iter().enumerate() {
         if store.is_valid_site(t.source_site) && store.is_valid_site(t.destination_site) {
-            by_key.entry((t.lfn, t.file_size)).or_default().push(i as u32);
+            by_key
+                .entry((t.lfn, t.file_size))
+                .or_default()
+                .push(i as u32);
         }
     }
 
@@ -88,14 +91,14 @@ pub fn infer_sites(
         let job = &store.jobs[mj.job_idx as usize];
         for &ti in &mj.transfers {
             let t = &store.transfers[ti as usize];
-            let (missing_dest, missing) = if t.is_download && !store.is_valid_site(t.destination_site)
-            {
-                (true, t.destination_site)
-            } else if t.is_upload && !store.is_valid_site(t.source_site) {
-                (false, t.source_site)
-            } else {
-                continue;
-            };
+            let (missing_dest, missing) =
+                if t.is_download && !store.is_valid_site(t.destination_site) {
+                    (true, t.destination_site)
+                } else if t.is_upload && !store.is_valid_site(t.source_site) {
+                    (false, t.source_site)
+                } else {
+                    continue;
+                };
             let _ = missing;
 
             // Route 1: the job link implies the endpoint.
@@ -104,20 +107,16 @@ pub fn infer_sites(
             // Route 2: duplicate corroboration — same (lfn, size), valid
             // endpoints, within the window, endpoint agrees with route 1.
             let witness = by_key.get(&(t.lfn, t.file_size)).and_then(|cands| {
-                cands
-                    .iter()
-                    .copied()
-                    .filter(|&wi| wi != ti)
-                    .find(|&wi| {
-                        let w = &store.transfers[wi as usize];
-                        let gap = (w.starttime - t.starttime).as_millis().abs();
-                        let endpoint = if missing_dest {
-                            w.destination_site
-                        } else {
-                            w.source_site
-                        };
-                        gap <= dup_window.as_millis() && endpoint == inferred
-                    })
+                cands.iter().copied().filter(|&wi| wi != ti).find(|&wi| {
+                    let w = &store.transfers[wi as usize];
+                    let gap = (w.starttime - t.starttime).as_millis().abs();
+                    let endpoint = if missing_dest {
+                        w.destination_site
+                    } else {
+                        w.source_site
+                    };
+                    gap <= dup_window.as_millis() && endpoint == inferred
+                })
             });
 
             let evidence = match witness {
@@ -158,10 +157,13 @@ pub fn redundant_groups<F>(
 where
     F: FnMut(u32) -> Sym,
 {
-    let mut by_key: HashMap<(Sym, u64, Sym), Vec<u32>> = HashMap::new();
+    let mut by_key: FxHashMap<(Sym, u64, Sym), Vec<u32>> = FxHashMap::default();
     for (i, t) in store.transfers.iter().enumerate() {
         let dest = resolve_dest(i as u32);
-        by_key.entry((t.lfn, t.file_size, dest)).or_default().push(i as u32);
+        by_key
+            .entry((t.lfn, t.file_size, dest))
+            .or_default()
+            .push(i as u32);
     }
 
     let mut out = Vec::new();
@@ -173,8 +175,8 @@ where
         // Split into clusters where consecutive starts are within `window`.
         let mut cluster: Vec<u32> = vec![idxs[0]];
         for w in idxs.windows(2) {
-            let gap = store.transfers[w[1] as usize].starttime
-                - store.transfers[w[0] as usize].starttime;
+            let gap =
+                store.transfers[w[1] as usize].starttime - store.transfers[w[0] as usize].starttime;
             if gap <= window {
                 cluster.push(w[1]);
             } else {
@@ -208,7 +210,12 @@ mod tests {
     /// The Fig 12 scenario: a job's stage-in recorded with UNKNOWN
     /// destination, plus an earlier byte-identical delivery with valid
     /// endpoints.
-    fn fig12_store() -> (dmsa_metastore::MetaStore, dmsa_simcore::interval::Interval, u32, u32) {
+    fn fig12_store() -> (
+        dmsa_metastore::MetaStore,
+        dmsa_simcore::interval::Interval,
+        u32,
+        u32,
+    ) {
         let mut b = StoreBuilder::new();
         let cern = b.site("CERN-PROD");
         let unknown = dmsa_metastore::SymbolTable::UNKNOWN;

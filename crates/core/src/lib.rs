@@ -28,22 +28,29 @@
 //!
 //! ## Implementations
 //!
-//! Three interchangeable engines produce **identical** match sets
+//! Four interchangeable engines produce **identical** match sets
 //! (property-tested): [`matcher::NaiveMatcher`] (reference, quadratic),
-//! [`index::IndexedMatcher`] (hash-join), and
+//! [`index::IndexedMatcher`] (sequential prepared index, built per call),
 //! [`parallel::ParallelMatcher`] (rayon over jobs — the "parallelization
-//! will be especially valuable" future work of §5.5). Two extensions go
-//! beyond the paper: [`scored::ScoredMatcher`] replaces the binary filters
-//! with a composite evidence score and a tunable precision/recall
-//! threshold, and [`windowed::WindowedMatcher`] streams a long observation
-//! period through overlapping windows per §4.2's pre-selection rule.
+//! will be especially valuable" future work of §5.5), and
+//! [`prepared::PreparedMatcher`] over a [`prepared::PreparedStore`] — a
+//! CSR-style flat join index with packed join-key fingerprints, built once
+//! and shared across all three methods and across streaming windows. Two
+//! extensions go beyond the paper: [`scored::ScoredMatcher`] replaces the
+//! binary filters with a composite evidence score and a tunable
+//! precision/recall threshold, and [`windowed::WindowedMatcher`] streams a
+//! long observation period through overlapping windows per §4.2's
+//! pre-selection rule.
 
 pub mod eval;
+pub mod fx;
 pub mod index;
 pub mod infer;
 pub mod matcher;
 pub mod matchset;
 pub mod method;
+pub mod parallel;
+pub mod prepared;
 pub mod scored;
 pub mod windowed;
 
@@ -53,7 +60,6 @@ pub use matcher::NaiveMatcher;
 pub use matchset::{JobTransferClass, MatchSet, MatchedJob};
 pub use method::MatchMethod;
 pub use parallel::ParallelMatcher;
+pub use prepared::{PreparedMatcher, PreparedStore};
 pub use scored::{ScoreParams, ScoredMatcher, ScoredPair};
 pub use windowed::WindowedMatcher;
-
-pub mod parallel;

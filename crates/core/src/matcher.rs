@@ -80,8 +80,38 @@ pub fn finalize_candidates(
     store: &MetaStore,
     method: MatchMethod,
 ) -> Vec<u32> {
-    let mut downloads: Vec<u32> = Vec::new();
-    let mut uploads: Vec<u32> = Vec::new();
+    let mut downloads = Vec::new();
+    let mut uploads = Vec::new();
+    let mut out = Vec::new();
+    finalize_candidates_into(
+        job,
+        candidates,
+        store,
+        method,
+        &mut downloads,
+        &mut uploads,
+        &mut out,
+    );
+    out
+}
+
+/// [`finalize_candidates`] writing into caller-provided buffers, so hot
+/// loops (the prepared engine's `match_one`) run allocation-free in steady
+/// state. `downloads` and `uploads` are scratch space; `out` receives the
+/// surviving transfer indices in ascending order. All three are cleared on
+/// entry.
+pub fn finalize_candidates_into(
+    job: &JobRecord,
+    candidates: &[u32],
+    store: &MetaStore,
+    method: MatchMethod,
+    downloads: &mut Vec<u32>,
+    uploads: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
+    downloads.clear();
+    uploads.clear();
+    out.clear();
     for &ti in candidates {
         let t = &store.transfers[ti as usize];
         // Condition 1: the transfer started before the job ended.
@@ -99,7 +129,6 @@ pub fn finalize_candidates(
         }
     }
 
-    let mut out = Vec::with_capacity(downloads.len() + uploads.len());
     if method.checks_byte_sums() {
         // Condition 2: per-direction byte totals must match the job's.
         let sum = |ids: &[u32]| -> u64 {
@@ -107,18 +136,17 @@ pub fn finalize_candidates(
                 .map(|&ti| store.transfers[ti as usize].file_size)
                 .sum()
         };
-        if !downloads.is_empty() && sum(&downloads) == job.ninputfilebytes {
-            out.extend_from_slice(&downloads);
+        if !downloads.is_empty() && sum(downloads) == job.ninputfilebytes {
+            out.extend_from_slice(downloads);
         }
-        if !uploads.is_empty() && sum(&uploads) == job.noutputfilebytes {
-            out.extend_from_slice(&uploads);
+        if !uploads.is_empty() && sum(uploads) == job.noutputfilebytes {
+            out.extend_from_slice(uploads);
         }
     } else {
-        out.extend_from_slice(&downloads);
-        out.extend_from_slice(&uploads);
+        out.extend_from_slice(downloads);
+        out.extend_from_slice(uploads);
     }
     out.sort_unstable();
-    out
 }
 
 /// A matching engine: produces the mapping set `M` for a store, window,
@@ -126,6 +154,25 @@ pub fn finalize_candidates(
 pub trait Matcher {
     /// Run the matching.
     fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet;
+
+    /// Run the matching over several windows of the **same** store.
+    ///
+    /// The default runs [`Matcher::match_jobs`] per window; engines with a
+    /// reusable prepared index override this to build it once
+    /// ([`crate::prepared::PreparedMatcher`] does). The streaming wrapper
+    /// ([`crate::windowed::WindowedMatcher`]) funnels through this method,
+    /// so the override is what makes windowed matching cheap.
+    fn match_many(
+        &self,
+        store: &MetaStore,
+        windows: &[Interval],
+        method: MatchMethod,
+    ) -> Vec<MatchSet> {
+        windows
+            .iter()
+            .map(|&w| self.match_jobs(store, w, method))
+            .collect()
+    }
 }
 
 /// The reference implementation: per job, scan **every** transfer record.
@@ -246,6 +293,7 @@ pub(crate) mod testutil {
         }
 
         /// A download transfer for the job created by `job_with_file`.
+        #[allow(clippy::too_many_arguments)]
         pub fn download(
             &mut self,
             pandaid: u64,
@@ -334,7 +382,10 @@ mod tests {
 
         // Valid-but-different destination: rejected by every method.
         for m in MatchMethod::ALL {
-            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+            assert!(NaiveMatcher
+                .match_jobs(&b.store, b.window(), m)
+                .jobs
+                .is_empty());
         }
         // Unknown destination: rejected by Exact/RM1, accepted by RM2.
         assert!(NaiveMatcher
@@ -385,7 +436,10 @@ mod tests {
         let t = b.download(1, 10, site, site, 1_000, 10, 50);
         b.store.transfers[t as usize].jeditaskid = None;
         for m in MatchMethod::ALL {
-            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+            assert!(NaiveMatcher
+                .match_jobs(&b.store, b.window(), m)
+                .jobs
+                .is_empty());
         }
     }
 
@@ -397,7 +451,10 @@ mod tests {
         b.download(1, 10, site, site, 999, 10, 50); // size jittered
         for m in MatchMethod::ALL {
             assert!(
-                NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty(),
+                NaiveMatcher
+                    .match_jobs(&b.store, b.window(), m)
+                    .jobs
+                    .is_empty(),
                 "jittered size must break the attribute join under {m:?}"
             );
         }
@@ -450,7 +507,10 @@ mod tests {
         b.store.jobs[0].is_user_analysis = false;
         b.download(1, 10, site, site, 1_000, 10, 50);
         for m in MatchMethod::ALL {
-            assert!(NaiveMatcher.match_jobs(&b.store, b.window(), m).jobs.is_empty());
+            assert!(NaiveMatcher
+                .match_jobs(&b.store, b.window(), m)
+                .jobs
+                .is_empty());
         }
     }
 

@@ -154,7 +154,9 @@ impl MatchSet {
             self.jobs.iter().map(|j| (j.job_idx, j)).collect();
         other.jobs.iter().all(|oj| {
             by_job.get(&oj.job_idx).is_some_and(|sj| {
-                oj.transfers.iter().all(|t| sj.transfers.binary_search(t).is_ok())
+                oj.transfers
+                    .iter()
+                    .all(|t| sj.transfers.binary_search(t).is_ok())
             })
         })
     }

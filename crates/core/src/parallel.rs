@@ -7,27 +7,21 @@
 //! per rayon's indexed parallel iterator, so output order — and therefore
 //! the whole `MatchSet` — is identical to the sequential engines'.
 
-use crate::index::MatchIndex;
-use crate::matcher::{job_universe, Matcher};
+use crate::matcher::Matcher;
 use crate::matchset::MatchSet;
 use crate::method::MatchMethod;
+use crate::prepared::PreparedStore;
 use dmsa_metastore::MetaStore;
 use dmsa_simcore::interval::Interval;
-use rayon::prelude::*;
 
-/// Rayon-parallel hash-join matcher.
+/// Rayon-parallel prepared-index matcher (builds the index per call; the
+/// per-job matching loop runs on all cores with thread-local scratch).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ParallelMatcher;
 
 impl Matcher for ParallelMatcher {
     fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet {
-        let index = MatchIndex::build(store);
-        let universe = job_universe(store, window);
-        let jobs = universe
-            .par_iter()
-            .filter_map(|&j| index.match_one(store, j, method))
-            .collect();
-        MatchSet { method, jobs }
+        PreparedStore::build(store).par_match_window(window, method)
     }
 }
 

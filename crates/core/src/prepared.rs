@@ -1,0 +1,520 @@
+//! The prepared match index: a zero-allocation CSR join structure built
+//! once per store and shared across methods and windows.
+//!
+//! The hash-join engines rebuilt `HashMap<u64, Vec<u32>>` indexes on every
+//! `match_jobs` call — three times per [`crate::eval`] comparison run and
+//! once per window under [`crate::windowed::WindowedMatcher`]. At the
+//! paper's production scale (§5: 966k jobs, 6.8M transfers) the rebuild
+//! dominates. [`PreparedStore`] replaces it with flat sorted arrays:
+//!
+//! * **CSR adjacency** — `pandaid → file rows` and `jeditaskid →
+//!   transfers` each stored as a sorted key array plus offset/value arrays;
+//!   a lookup is one binary search and yields a contiguous slice, with no
+//!   per-entry `Vec` and no hashing of residual keys.
+//! * **Packed fingerprints** — every file row and transfer carries a 64-bit
+//!   fingerprint of its 5-attribute join key, so candidate generation
+//!   compares integers instead of building a `HashSet<FileKey>` per job.
+//!   A fingerprint hit is verified against the full key, so collisions
+//!   cannot create spurious candidates and exactness is preserved.
+//! * **Time-sorted pools** — each task's transfer pool is pre-sorted by
+//!   `starttime`, turning Algorithm 1's condition-1 cutoff (`starttime <
+//!   job.endtime`) into a `partition_point` range scan. The same trick
+//!   serves window pre-selection: user jobs are kept sorted by creation
+//!   time, so a window's universe is a range scan, not a full-store filter.
+//! * **Thread-local scratch** — [`PreparedStore::match_one`] reuses
+//!   per-thread buffers for keys, candidates, and direction groups; the
+//!   only steady-state allocation is the matched job's output vector.
+//!
+//! The structure is immutable after [`PreparedStore::build`] (itself
+//! parallelized with rayon), so one instance serves all three methods and
+//! every streaming window concurrently. Exactness versus
+//! [`crate::matcher::NaiveMatcher`] is pinned by the cross-engine property
+//! tests.
+
+use crate::fx;
+use crate::matcher::{file_key, finalize_candidates_into, transfer_key, FileKey, Matcher};
+use crate::matchset::{MatchSet, MatchedJob};
+use crate::method::MatchMethod;
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::SimTime;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Fingerprint of a 5-attribute join key, used as a cheap equality
+/// prefilter. Pure function of the key: equal keys always produce equal
+/// fingerprints, so a fingerprint *mismatch* proves key inequality.
+#[inline]
+pub fn fingerprint(key: &FileKey) -> u64 {
+    let (lfn, dataset, proddblock, scope, size) = *key;
+    let mut h = fx::mix(0xA076_1D64_78BD_642F, lfn.0 as u64);
+    h = fx::mix(h, dataset.0 as u64);
+    h = fx::mix(h, proddblock.0 as u64);
+    h = fx::mix(h, scope.0 as u64);
+    fx::mix(h, size)
+}
+
+/// One CSR side: sorted distinct keys, offsets, and grouped values.
+#[derive(Clone, Debug, Default)]
+struct Csr {
+    keys: Vec<u64>,
+    /// `keys.len() + 1` offsets into `values`.
+    offsets: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from `(key, value)` pairs already sorted by key (ties in any
+    /// order the caller chose — the within-group order is preserved).
+    fn from_sorted_pairs(pairs: &[(u64, u32)]) -> Self {
+        let mut keys = Vec::new();
+        let mut offsets = Vec::new();
+        let mut values = Vec::with_capacity(pairs.len());
+        for &(key, value) in pairs {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                offsets.push(values.len() as u32);
+            }
+            values.push(value);
+        }
+        offsets.push(values.len() as u32);
+        Csr {
+            keys,
+            offsets,
+            values,
+        }
+    }
+
+    /// The value group for `key` (empty slice if absent).
+    #[inline]
+    fn get(&self, key: u64) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => &self.values[self.offsets[pos] as usize..self.offsets[pos + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Reusable per-thread buffers for the hot matching loop.
+#[derive(Default)]
+struct Scratch {
+    /// The job's file keys with their fingerprints.
+    keys: Vec<(u64, FileKey)>,
+    /// Candidate transfer indices.
+    candidates: Vec<u32>,
+    /// Direction groups for `finalize_candidates_into`.
+    downloads: Vec<u32>,
+    uploads: Vec<u32>,
+    /// Surviving transfers (cloned into the output on a match).
+    out: Vec<u32>,
+}
+
+/// Immutable prepared join index over one store. Build once with
+/// [`PreparedStore::build`], then share freely — every query method takes
+/// `&self` and the scratch space is thread-local.
+pub struct PreparedStore<'a> {
+    /// The underlying store.
+    pub store: &'a MetaStore,
+    /// `pandaid → file-table rows` (rows ascending within a group).
+    files: Csr,
+    /// `jeditaskid → transfers`, each group sorted by `(starttime, idx)`.
+    tasks: Csr,
+    /// Join-key fingerprint per file-table row.
+    file_fp: Vec<u64>,
+    /// Join-key fingerprint per transfer.
+    transfer_fp: Vec<u64>,
+    /// User-analysis job indices sorted by `(creationtime, idx)`.
+    jobs_by_creation: Vec<u32>,
+    /// `creationtime` of each entry in `jobs_by_creation` (kept separate
+    /// so the window scan touches one contiguous array).
+    creation_times: Vec<SimTime>,
+}
+
+impl<'a> PreparedStore<'a> {
+    /// Build the prepared index. The two CSR sides, the fingerprints, and
+    /// the job timeline are constructed in parallel.
+    pub fn build(store: &'a MetaStore) -> Self {
+        let (((files, tasks), (file_fp, transfer_fp)), (jobs_by_creation, creation_times)) =
+            rayon::join(
+                || {
+                    rayon::join(
+                        || {
+                            rayon::join(
+                                || {
+                                    let mut pairs: Vec<(u64, u32)> = store
+                                        .files
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(i, f)| (f.pandaid, i as u32))
+                                        .collect();
+                                    pairs.par_sort_unstable();
+                                    Csr::from_sorted_pairs(&pairs)
+                                },
+                                || {
+                                    let mut pairs: Vec<(u64, u32)> = store
+                                        .transfers
+                                        .iter()
+                                        .enumerate()
+                                        .filter_map(|(i, t)| {
+                                            t.jeditaskid.map(|tid| (tid, i as u32))
+                                        })
+                                        .collect();
+                                    // Sort groups internally by start time so
+                                    // condition 1 becomes a range scan.
+                                    pairs.par_sort_unstable_by_key(|&(tid, ti)| {
+                                        (tid, store.transfers[ti as usize].starttime, ti)
+                                    });
+                                    Csr::from_sorted_pairs(&pairs)
+                                },
+                            )
+                        },
+                        || {
+                            rayon::join(
+                                || {
+                                    store
+                                        .files
+                                        .par_iter()
+                                        .map(|f| fingerprint(&file_key(f)))
+                                        .collect::<Vec<u64>>()
+                                },
+                                || {
+                                    store
+                                        .transfers
+                                        .par_iter()
+                                        .map(|t| fingerprint(&transfer_key(t)))
+                                        .collect::<Vec<u64>>()
+                                },
+                            )
+                        },
+                    )
+                },
+                || {
+                    let mut jobs: Vec<u32> = store
+                        .jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, j)| j.is_user_analysis)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    jobs.par_sort_unstable_by_key(|&i| (store.jobs[i as usize].creationtime, i));
+                    let times = jobs
+                        .iter()
+                        .map(|&i| store.jobs[i as usize].creationtime)
+                        .collect();
+                    (jobs, times)
+                },
+            );
+        PreparedStore {
+            store,
+            files,
+            tasks,
+            file_fp,
+            transfer_fp,
+            jobs_by_creation,
+            creation_times,
+        }
+    }
+
+    /// File-table rows of `pandaid` (ascending row indices).
+    #[inline]
+    pub fn file_rows(&self, pandaid: u64) -> &[u32] {
+        self.files.get(pandaid)
+    }
+
+    /// The transfer pool of `taskid`, sorted by `(starttime, idx)`.
+    #[inline]
+    pub fn task_pool(&self, taskid: u64) -> &[u32] {
+        self.tasks.get(taskid)
+    }
+
+    /// Candidate generation into caller-provided buffers (cleared on
+    /// entry). `out` receives candidates in the pool's start-time order;
+    /// the transfers already pass Algorithm 1's condition-1 time cutoff.
+    fn candidates_into(&self, job_idx: u32, keys: &mut Vec<(u64, FileKey)>, out: &mut Vec<u32>) {
+        keys.clear();
+        out.clear();
+        let job = &self.store.jobs[job_idx as usize];
+        for &fi in self.file_rows(job.pandaid) {
+            let f = &self.store.files[fi as usize];
+            if f.jeditaskid == job.jeditaskid {
+                keys.push((self.file_fp[fi as usize], file_key(f)));
+            }
+        }
+        if keys.is_empty() {
+            return;
+        }
+        let pool = self.task_pool(job.jeditaskid);
+        // Condition-1 prefilter: the pool is start-time sorted, so the
+        // transfers that started before the job ended form a prefix.
+        let cut =
+            pool.partition_point(|&ti| self.store.transfers[ti as usize].starttime < job.endtime);
+        for &ti in &pool[..cut] {
+            let fp = self.transfer_fp[ti as usize];
+            // Fingerprint prefilter, then full-key verification — a
+            // colliding fingerprint cannot admit a wrong candidate.
+            if keys.iter().any(|&(kfp, key)| {
+                kfp == fp && key == transfer_key(&self.store.transfers[ti as usize])
+            }) {
+                out.push(ti);
+            }
+        }
+    }
+
+    /// Candidate transfers for one job: joined on `jeditaskid` and the
+    /// 5-attribute file key, prefiltered by condition 1 (start before job
+    /// end). Ascending order.
+    pub fn candidates(&self, job_idx: u32) -> Vec<u32> {
+        let mut keys = Vec::new();
+        let mut out = Vec::new();
+        self.candidates_into(job_idx, &mut keys, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Match one job under `method`. Allocation-free except for the
+    /// returned transfer list.
+    pub fn match_one(&self, job_idx: u32, method: MatchMethod) -> Option<MatchedJob> {
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            self.candidates_into(job_idx, &mut s.keys, &mut s.candidates);
+            if s.candidates.is_empty() {
+                return None;
+            }
+            finalize_candidates_into(
+                &self.store.jobs[job_idx as usize],
+                &s.candidates,
+                self.store,
+                method,
+                &mut s.downloads,
+                &mut s.uploads,
+                &mut s.out,
+            );
+            (!s.out.is_empty()).then(|| MatchedJob {
+                job_idx,
+                transfers: s.out.clone(),
+            })
+        })
+    }
+
+    /// The job universe of `window` as a range scan over the creation-time
+    /// ordered user jobs. Result is ascending by job index — identical to
+    /// [`crate::matcher::job_universe`].
+    pub fn window_universe(&self, window: Interval) -> Vec<u32> {
+        let lo = self.creation_times.partition_point(|&t| t < window.start);
+        let mut out: Vec<u32> = self.jobs_by_creation[lo..]
+            .iter()
+            .copied()
+            .filter(|&i| self.store.jobs[i as usize].endtime < window.end)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Match every user job of `window` sequentially.
+    pub fn match_window(&self, window: Interval, method: MatchMethod) -> MatchSet {
+        let jobs = self
+            .window_universe(window)
+            .into_iter()
+            .filter_map(|j| self.match_one(j, method))
+            .collect();
+        MatchSet { method, jobs }
+    }
+
+    /// Match every user job of `window` in parallel (order-preserving, so
+    /// the result equals [`PreparedStore::match_window`]).
+    pub fn par_match_window(&self, window: Interval, method: MatchMethod) -> MatchSet {
+        let universe = self.window_universe(window);
+        let jobs = universe
+            .par_iter()
+            .filter_map(|&j| self.match_one(j, method))
+            .collect();
+        MatchSet { method, jobs }
+    }
+}
+
+/// The prepared-index engine. `match_jobs` builds the index per call (like
+/// the other engines); [`Matcher::match_many`] builds it **once** for all
+/// windows, which is what the streaming matcher exploits. Callers that
+/// also want to share across *methods* hold a [`PreparedStore`] directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreparedMatcher;
+
+impl Matcher for PreparedMatcher {
+    fn match_jobs(&self, store: &MetaStore, window: Interval, method: MatchMethod) -> MatchSet {
+        PreparedStore::build(store).par_match_window(window, method)
+    }
+
+    fn match_many(
+        &self,
+        store: &MetaStore,
+        windows: &[Interval],
+        method: MatchMethod,
+    ) -> Vec<MatchSet> {
+        let prepared = PreparedStore::build(store);
+        windows
+            .iter()
+            .map(|&w| prepared.par_match_window(w, method))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::testutil::StoreBuilder;
+    use crate::matcher::{job_universe, NaiveMatcher};
+
+    fn mixed_store() -> (dmsa_metastore::MetaStore, Interval) {
+        let mut b = StoreBuilder::new();
+        let a = b.site("SITE-A");
+        let c = b.site("SITE-C");
+        let unknown = dmsa_metastore::SymbolTable::UNKNOWN;
+        b.job_with_file(1, 10, a, 1_000, 0, 100, 200);
+        b.download(1, 10, a, a, 1_000, 10, 50);
+        b.job_with_file(2, 20, a, 2_000, 0, 150, 300);
+        b.download(2, 20, a, a, 2_000, 20, 80);
+        b.store.jobs[1].ninputfilebytes = 9_999;
+        b.job_with_file(3, 30, c, 3_000, 0, 200, 400);
+        b.download(3, 30, c, unknown, 3_000, 30, 90);
+        b.job_with_file(4, 40, a, 4_000, 0, 250, 500);
+        b.download(4, 40, a, a, 4_000, 600, 700);
+        let w = b.window();
+        (b.store, w)
+    }
+
+    #[test]
+    fn prepared_agrees_with_naive_on_all_methods() {
+        let (store, w) = mixed_store();
+        for m in MatchMethod::ALL {
+            let naive = NaiveMatcher.match_jobs(&store, w, m);
+            let prepared = PreparedMatcher.match_jobs(&store, w, m);
+            assert_eq!(naive, prepared, "divergence under {m:?}");
+        }
+    }
+
+    #[test]
+    fn one_build_serves_all_methods() {
+        let (store, w) = mixed_store();
+        let prepared = PreparedStore::build(&store);
+        assert_eq!(
+            prepared
+                .match_window(w, MatchMethod::Exact)
+                .n_matched_jobs(),
+            1
+        );
+        assert_eq!(
+            prepared.match_window(w, MatchMethod::Rm1).n_matched_jobs(),
+            2
+        );
+        assert_eq!(
+            prepared.match_window(w, MatchMethod::Rm2).n_matched_jobs(),
+            3
+        );
+    }
+
+    #[test]
+    fn sequential_and_parallel_windows_agree() {
+        let (store, w) = mixed_store();
+        let prepared = PreparedStore::build(&store);
+        for m in MatchMethod::ALL {
+            assert_eq!(prepared.match_window(w, m), prepared.par_match_window(w, m));
+        }
+    }
+
+    #[test]
+    fn window_universe_matches_reference_filter() {
+        let (store, _) = mixed_store();
+        let prepared = PreparedStore::build(&store);
+        use dmsa_simcore::SimTime;
+        for (a, b) in [(0i64, 1_000_000i64), (0, 250), (150, 600), (999, 1_000)] {
+            let w = Interval::new(SimTime::from_secs(a), SimTime::from_secs(b));
+            assert_eq!(
+                prepared.window_universe(w),
+                job_universe(&store, w),
+                "universe divergence for window [{a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn time_prefilter_drops_late_transfers_from_candidates() {
+        let (store, _) = mixed_store();
+        let prepared = PreparedStore::build(&store);
+        // Job 3's only transfer starts (600 s) after the job ends (500 s):
+        // the start-time range scan excludes it at candidate generation.
+        assert!(prepared.candidates(3).is_empty());
+        // Job 0's candidates all carry its task id.
+        for ti in prepared.candidates(0) {
+            assert_eq!(store.transfers[ti as usize].jeditaskid, Some(10));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_a_pure_key_function() {
+        let (store, _) = mixed_store();
+        for f in &store.files {
+            assert_eq!(fingerprint(&file_key(f)), fingerprint(&file_key(f)));
+        }
+        // Fingerprints of the matching file/transfer pairs agree.
+        let prepared = PreparedStore::build(&store);
+        for ti in prepared.candidates(0) {
+            let t = &store.transfers[ti as usize];
+            assert_eq!(
+                fingerprint(&transfer_key(t)),
+                prepared.transfer_fp[ti as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn task_pools_are_start_time_sorted() {
+        let mut b = StoreBuilder::new();
+        let site = b.site("SITE-A");
+        b.job_with_file(1, 10, site, 1_000, 0, 100, 200);
+        // Insert transfers out of time order.
+        b.download(1, 10, site, site, 1_000, 90, 95);
+        b.download(1, 10, site, site, 1_000, 10, 50);
+        b.download(1, 10, site, site, 1_000, 40, 60);
+        let prepared = PreparedStore::build(&b.store);
+        let pool = prepared.task_pool(10);
+        assert_eq!(pool.len(), 3);
+        for w in pool.windows(2) {
+            assert!(
+                b.store.transfers[w[0] as usize].starttime
+                    <= b.store.transfers[w[1] as usize].starttime
+            );
+        }
+    }
+
+    #[test]
+    fn match_many_builds_once_and_agrees_with_per_window_calls() {
+        let (store, w) = mixed_store();
+        use dmsa_simcore::SimTime;
+        let half = Interval::new(SimTime::from_secs(0), SimTime::from_secs(350));
+        let windows = [w, half];
+        let many = PreparedMatcher.match_many(&store, &windows, MatchMethod::Rm2);
+        assert_eq!(many.len(), 2);
+        for (set, &window) in many.iter().zip(&windows) {
+            assert_eq!(
+                *set,
+                NaiveMatcher.match_jobs(&store, window, MatchMethod::Rm2)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let store = dmsa_metastore::MetaStore::new();
+        let prepared = PreparedStore::build(&store);
+        use dmsa_simcore::SimTime;
+        let w = Interval::new(SimTime::EPOCH, SimTime::from_days(1));
+        assert!(prepared.match_window(w, MatchMethod::Rm2).jobs.is_empty());
+        assert!(prepared.window_universe(w).is_empty());
+        assert!(prepared.file_rows(1).is_empty());
+        assert!(prepared.task_pool(1).is_empty());
+    }
+}

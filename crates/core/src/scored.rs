@@ -24,10 +24,10 @@
 //! RM2-with-extra-recall. [`ScoredMatcher::match_jobs_scored`] returns the
 //! scores so callers (and the `ablations` bench) can sweep the curve.
 
-use crate::index::MatchIndex;
-use crate::matcher::{job_universe, Matcher};
+use crate::matcher::Matcher;
 use crate::matchset::{MatchSet, MatchedJob};
 use crate::method::MatchMethod;
+use crate::prepared::PreparedStore;
 use dmsa_metastore::{JobRecord, MetaStore, TransferRecord};
 use dmsa_simcore::interval::Interval;
 use rayon::prelude::*;
@@ -131,14 +131,32 @@ impl ScoredMatcher {
     }
 
     /// Score every candidate of every user job in `window`.
+    ///
+    /// Builds a throwaway [`PreparedStore`]; use
+    /// [`ScoredMatcher::score_all_prepared`] to reuse one across calls.
     pub fn score_all(&self, store: &MetaStore, window: Interval) -> Vec<ScoredPair> {
-        let index = MatchIndex::build(store);
-        let universe = job_universe(store, window);
+        self.score_all_prepared(&PreparedStore::build(store), window)
+    }
+
+    /// Score every candidate of every user job in `window`, over a shared
+    /// prepared index.
+    ///
+    /// Candidates whose start time falls at or after the job's end are
+    /// pre-filtered by the index's range scan; those pairs carry a time
+    /// score of exactly 0 and were discarded here anyway, so the scores
+    /// (and sums) are unchanged.
+    pub fn score_all_prepared(
+        &self,
+        prepared: &PreparedStore<'_>,
+        window: Interval,
+    ) -> Vec<ScoredPair> {
+        let store = prepared.store;
+        let universe = prepared.window_universe(window);
         universe
             .par_iter()
             .flat_map_iter(|&job_idx| {
                 let job = &store.jobs[job_idx as usize];
-                let candidates = index.candidates(store, job_idx);
+                let candidates = prepared.candidates(job_idx);
                 // Per-direction sums over plausibly matching candidates
                 // (time + non-conflicting site), for the bytes term.
                 let mut dl_sum = 0u64;
@@ -189,7 +207,11 @@ impl ScoredMatcher {
     ) -> MatchSet {
         let mut pairs = self.score_all(store, window);
         pairs.retain(|p| p.score >= threshold);
-        pairs.sort_by(|a, b| a.job_idx.cmp(&b.job_idx).then(a.transfer_idx.cmp(&b.transfer_idx)));
+        pairs.sort_by(|a, b| {
+            a.job_idx
+                .cmp(&b.job_idx)
+                .then(a.transfer_idx.cmp(&b.transfer_idx))
+        });
         let mut jobs: Vec<MatchedJob> = Vec::new();
         for p in pairs {
             match jobs.last_mut() {

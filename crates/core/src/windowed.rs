@@ -16,6 +16,7 @@
 //! The invariant (tested): with `overlap ≥ max job lifetime + max transfer
 //! lead`, the windowed result equals the single-pass result.
 
+use crate::fx::FxHashMap;
 use crate::matcher::Matcher;
 use crate::matchset::{MatchSet, MatchedJob};
 use crate::method::MatchMethod;
@@ -59,7 +60,7 @@ impl<M: Matcher> WindowedMatcher<M> {
             if end >= period.end {
                 break;
             }
-            start = start + stride;
+            start += stride;
         }
         out
     }
@@ -70,15 +71,19 @@ impl<M: Matcher> WindowedMatcher<M> {
     /// the merge keeps the union of its matched transfers (they are equal
     /// when the overlap covers the job's lifetime, which is the caller's
     /// contract).
+    ///
+    /// All windows are dispatched through [`Matcher::match_many`], so an
+    /// inner engine with a shared prepared index (e.g.
+    /// [`crate::prepared::PreparedMatcher`]) builds it once for the whole
+    /// stream instead of once per window.
     pub fn match_streaming(
         &self,
         store: &MetaStore,
         period: Interval,
         method: MatchMethod,
     ) -> MatchSet {
-        let mut by_job: HashMap<u32, Vec<u32>> = HashMap::new();
-        for window in self.windows(period) {
-            let set = self.inner.match_jobs(store, window, method);
+        let mut by_job: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for set in self.inner.match_many(store, &self.windows(period), method) {
             for mj in set.jobs {
                 let entry = by_job.entry(mj.job_idx).or_default();
                 entry.extend(mj.transfers);
@@ -111,8 +116,7 @@ pub fn max_job_lifetime(store: &MetaStore) -> SimDuration {
 /// The longest lead between a transfer's start and its causing job's end
 /// (ground-truth diagnostic; used to size overlaps in tests).
 pub fn max_transfer_lead(store: &MetaStore) -> SimDuration {
-    let end_of: HashMap<u64, SimTime> =
-        store.jobs.iter().map(|j| (j.pandaid, j.endtime)).collect();
+    let end_of: HashMap<u64, SimTime> = store.jobs.iter().map(|j| (j.pandaid, j.endtime)).collect();
     store
         .transfers
         .iter()
@@ -138,8 +142,24 @@ mod tests {
         let site = b.site("SITE-A");
         for i in 0..200u64 {
             let created = (i as i64) * 4_000; // spread over ~9 days
-            b.job_with_file(i, 500 + i, site, 1_000 + i, created, created + 600, created + 5_000);
-            b.download(i, 500 + i, site, site, 1_000 + i, created + 30, created + 90);
+            b.job_with_file(
+                i,
+                500 + i,
+                site,
+                1_000 + i,
+                created,
+                created + 600,
+                created + 5_000,
+            );
+            b.download(
+                i,
+                500 + i,
+                site,
+                site,
+                1_000 + i,
+                created + 30,
+                created + 90,
+            );
         }
         let period = Interval::new(SimTime::EPOCH, SimTime::from_days(10));
         (b.store, period)
@@ -176,6 +196,22 @@ mod tests {
         for method in MatchMethod::ALL {
             let streamed = m.match_streaming(&store, period, method);
             let single = IndexedMatcher.match_jobs(&store, period, method);
+            assert_eq!(streamed, single, "divergence under {method:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_over_prepared_inner_matches_single_pass() {
+        let (store, period) = long_store();
+        let overlap_needed = max_job_lifetime(&store) + max_transfer_lead(&store);
+        let m = WindowedMatcher::new(
+            crate::prepared::PreparedMatcher,
+            SimDuration::from_days(1),
+            overlap_needed + SimDuration::from_hours(1),
+        );
+        for method in MatchMethod::ALL {
+            let streamed = m.match_streaming(&store, period, method);
+            let single = NaiveMatcher.match_jobs(&store, period, method);
             assert_eq!(streamed, single, "divergence under {method:?}");
         }
     }

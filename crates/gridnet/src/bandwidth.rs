@@ -96,8 +96,9 @@ impl BandwidthModel {
     /// Effective per-stream rate in MB/s on the **directed** link
     /// `src → dst` at instant `t`. Always strictly positive.
     pub fn effective_mbps(&self, src: SiteId, dst: SiteId, t: SimTime) -> f64 {
-        let base =
-            self.base_mbps(src, dst) * self.site_factor[src.index()] * self.site_factor[dst.index()];
+        let base = self.base_mbps(src, dst)
+            * self.site_factor[src.index()]
+            * self.site_factor[dst.index()];
         let bucket = t.as_millis().div_euclid(BUCKET.as_millis());
 
         // Directed-link identity: direction matters (Fig 7a vs 7b asymmetry).

@@ -59,18 +59,18 @@ impl GridTopology {
     /// Generate a topology from `config`, deterministically from `rngs`.
     pub fn generate(rngs: &RngFactory, config: &TopologyConfig) -> Self {
         let mut rng = rngs.stream("gridnet/topology");
-        let pareto = Pareto::new(1.0, config.activity_pareto_shape)
-            .expect("pareto shape must be positive");
+        let pareto =
+            Pareto::new(1.0, config.activity_pareto_shape).expect("pareto shape must be positive");
 
         let mut sites = Vec::with_capacity(config.total_sites());
         let mut rses = Vec::new();
 
         let push_site = |sites: &mut Vec<Site>,
-                             rses: &mut Vec<Rse>,
-                             name: String,
-                             tier: Tier,
-                             region: String,
-                             rng: &mut rand::rngs::SmallRng| {
+                         rses: &mut Vec<Rse>,
+                         name: String,
+                         tier: Tier,
+                         region: String,
+                         rng: &mut rand::rngs::SmallRng| {
             let id = SiteId(sites.len() as u32);
             // Compute capacity scales by tier with ±30% jitter.
             let tier_mult = match tier {
@@ -111,8 +111,7 @@ impl GridTopology {
                 name: format!("{name}_DATADISK"),
                 site: id,
                 kind: RseKind::Disk,
-                capacity_bytes: (config.t2_disk_capacity_bytes as f64 * tier_mult * jitter)
-                    as u64,
+                capacity_bytes: (config.t2_disk_capacity_bytes as f64 * tier_mult * jitter) as u64,
             });
             site_rses.push(disk_id);
             if matches!(tier, Tier::T0 | Tier::T1) {
@@ -304,10 +303,7 @@ mod tests {
         for s in t.sites() {
             let disk = t.disk_rse(s.id);
             assert_eq!(t.site_of_rse(disk), s.id);
-            let has_tape = s
-                .rses
-                .iter()
-                .any(|&r| t.rse(r).kind == RseKind::Tape);
+            let has_tape = s.rses.iter().any(|&r| t.rse(r).kind == RseKind::Tape);
             match s.tier {
                 Tier::T0 | Tier::T1 => assert!(has_tape, "{} lacks tape", s.name),
                 _ => assert!(!has_tape, "{} unexpectedly has tape", s.name),
@@ -331,7 +327,10 @@ mod tests {
     fn some_sites_serialize_transfers() {
         let t = topo();
         let single = t.sites().iter().filter(|s| s.transfer_slots == 1).count();
-        assert!(single >= 5, "expected several single-stream sites, got {single}");
+        assert!(
+            single >= 5,
+            "expected several single-stream sites, got {single}"
+        );
         // But never the hubs.
         for s in t.sites_of_tier(Tier::T0).chain(t.sites_of_tier(Tier::T1)) {
             assert!(s.transfer_slots >= 8);

@@ -71,7 +71,7 @@ proptest! {
             let r = bw.effective_mbps(s, d, t);
             min_rate = min_rate.min(r);
             max_rate = max_rate.max(r);
-            t = t + dmsa_simcore::SimDuration::from_secs(60);
+            t += dmsa_simcore::SimDuration::from_secs(60);
         }
         let r_end = bw.effective_mbps(s, d, end);
         min_rate = min_rate.min(r_end);

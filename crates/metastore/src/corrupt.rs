@@ -301,8 +301,7 @@ mod tests {
             .transfers
             .iter()
             .filter(|t| {
-                t.source_site == SymbolTable::UNKNOWN
-                    || t.destination_site == SymbolTable::UNKNOWN
+                t.source_site == SymbolTable::UNKNOWN || t.destination_site == SymbolTable::UNKNOWN
             })
             .count() as f64
             / 20_000.0;
@@ -325,7 +324,10 @@ mod tests {
             assert!(t.gt_pandaid.is_some());
         }
         // And recorded sizes did move.
-        assert!(store.transfers.iter().any(|t| t.file_size != t.gt_file_size));
+        assert!(store
+            .transfers
+            .iter()
+            .any(|t| t.file_size != t.gt_file_size));
     }
 
     #[test]
@@ -339,7 +341,7 @@ mod tests {
         .apply(&mut store, &RngFactory::new(5));
         for t in &store.transfers {
             let err = (t.file_size as i64 - t.gt_file_size as i64).unsigned_abs();
-            assert!(err >= 1 && err <= 64, "jitter {err} out of bounds");
+            assert!((1..=64).contains(&err), "jitter {err} out of bounds");
         }
     }
 

@@ -76,7 +76,10 @@ impl MetaStore {
             self.jobs.len(),
             self.files.len(),
             self.transfers.len(),
-            self.transfers.iter().filter(|t| t.jeditaskid.is_some()).count(),
+            self.transfers
+                .iter()
+                .filter(|t| t.jeditaskid.is_some())
+                .count(),
         )
     }
 
@@ -146,7 +149,10 @@ mod tests {
         store.jobs.push(job(2, false, 10, 50, site)); // production
         store.jobs.push(job(3, true, 10, 200, site)); // ends after window
         store.jobs.push(job(4, true, 10, 100, site)); // ends exactly at window end
-        let got: Vec<u64> = store.user_jobs_in(window(0, 100)).map(|j| j.pandaid).collect();
+        let got: Vec<u64> = store
+            .user_jobs_in(window(0, 100))
+            .map(|j| j.pandaid)
+            .collect();
         assert_eq!(got, vec![1]);
     }
 

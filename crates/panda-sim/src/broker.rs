@@ -153,9 +153,7 @@ impl Broker {
                 .sites()
                 .iter()
                 .filter(|s| s.tier != dmsa_gridnet::Tier::T3)
-                .filter(|s| {
-                    ignore_exclusion || exclude.is_none_or(|e| !e.contains(&s.id))
-                })
+                .filter(|s| ignore_exclusion || exclude.is_none_or(|e| !e.contains(&s.id)))
                 .map(|s| s.id)
                 .min_by(|&a, &b| {
                     load.backlog(a, topology)

@@ -197,12 +197,7 @@ impl FailureModel {
 
     /// Draw the outcome of a job. `staging_fraction` is the share of its
     /// queuing time spent with at least one input transfer active.
-    pub fn draw(
-        &self,
-        doomed_task: bool,
-        staging_fraction: f64,
-        rng: &mut SmallRng,
-    ) -> JobOutcome {
+    pub fn draw(&self, doomed_task: bool, staging_fraction: f64, rng: &mut SmallRng) -> JobOutcome {
         let p = self.fail_prob(doomed_task, staging_fraction);
         if rng.random::<f64>() >= p {
             return JobOutcome {
@@ -265,7 +260,9 @@ mod tests {
     fn walltimes_are_hours_scale() {
         let m = model();
         let mut rng = RngFactory::new(2).stream("t");
-        let xs: Vec<f64> = (0..5_000).map(|_| m.sample_walltime_secs(&mut rng)).collect();
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| m.sample_walltime_secs(&mut rng))
+            .collect();
         let med = dmsa_simcore::stats::median(&xs).unwrap();
         assert!((1_800.0..18_000.0).contains(&med), "median walltime {med}s");
         assert!(xs.iter().all(|&w| (60.0..=72.0 * 3600.0).contains(&w)));

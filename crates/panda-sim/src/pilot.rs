@@ -156,7 +156,10 @@ mod tests {
         let mut r = rng(1);
         for _ in 0..2_000 {
             match m.sample_dispatch(&mut r) {
-                DispatchOutcome::Ready { delay_secs, retries } => {
+                DispatchOutcome::Ready {
+                    delay_secs,
+                    retries,
+                } => {
                     assert!(delay_secs >= 5.0);
                     assert!(retries <= m.params().max_retries);
                 }

@@ -72,7 +72,10 @@ impl Activity {
     /// are absent from the paper's *user job* query, so these transfers can
     /// never match (Table 1 shows 0%).
     pub fn is_production(self) -> bool {
-        matches!(self, Activity::ProductionUpload | Activity::ProductionDownload)
+        matches!(
+            self,
+            Activity::ProductionUpload | Activity::ProductionDownload
+        )
     }
 
     /// The five activities of Table 1 in row order.

@@ -307,13 +307,7 @@ mod tests {
     #[test]
     fn containers_group_datasets() {
         let (mut cat, ds) = cat_with_dataset();
-        let ds2 = cat.register_dataset(
-            Scope::User(2),
-            11,
-            "top",
-            &[50],
-            SimTime::from_secs(5),
-        );
+        let ds2 = cat.register_dataset(Scope::User(2), 11, "top", &[50], SimTime::from_secs(5));
         let c = cat.register_container(DidName("cont.1".into()), vec![ds, ds2]);
         assert_eq!(cat.container(c).datasets, vec![ds, ds2]);
     }

@@ -120,7 +120,9 @@ pub fn reap_all(
     let overfull: Vec<RseId> = topology
         .rses()
         .iter()
-        .filter(|r| usage[r.id.index()] as f64 >= policy.high_watermark * r.capacity_bytes.max(1) as f64)
+        .filter(|r| {
+            usage[r.id.index()] as f64 >= policy.high_watermark * r.capacity_bytes.max(1) as f64
+        })
         .map(|r| r.id)
         .collect();
     let mut all = Vec::new();

@@ -35,8 +35,8 @@ pub mod rules;
 pub mod transfer;
 
 pub use activity::Activity;
-pub use deletion::{reap_all, reap_rse, Deletion, ReaperPolicy};
 pub use catalog::{DatasetId, FileId, ReplicaCatalog};
+pub use deletion::{reap_all, reap_rse, Deletion, ReaperPolicy};
 pub use did::{DidName, Scope};
 pub use rules::{ReplicationRule, RuleEngine, RuleId};
 pub use transfer::{TransferEngine, TransferEvent, TransferId, TransferRequest};

@@ -102,11 +102,7 @@ impl RuleEngine {
 
     /// Transfers required to satisfy `rule` given current replica state.
     /// Candidate RSEs are filled in listed order (deterministic).
-    pub fn missing_replicas(
-        &self,
-        rule: RuleId,
-        catalog: &ReplicaCatalog,
-    ) -> Vec<NeededTransfer> {
+    pub fn missing_replicas(&self, rule: RuleId, catalog: &ReplicaCatalog) -> Vec<NeededTransfer> {
         let rule = self.rule(rule);
         let mut needed = Vec::new();
         for &file in catalog.dataset_files(rule.dataset) {
@@ -141,9 +137,9 @@ impl RuleEngine {
         t: SimTime,
     ) -> bool {
         let ds = catalog.file(file).dataset;
-        self.rules.iter().any(|r| {
-            r.dataset == ds && r.is_active(t) && r.candidate_rses.contains(&rse)
-        })
+        self.rules
+            .iter()
+            .any(|r| r.dataset == ds && r.is_active(t) && r.candidate_rses.contains(&rse))
     }
 }
 
@@ -154,13 +150,7 @@ mod tests {
 
     fn setup() -> (ReplicaCatalog, DatasetId) {
         let mut cat = ReplicaCatalog::new();
-        let ds = cat.register_dataset(
-            Scope::User(1),
-            1,
-            "s",
-            &[10, 20],
-            SimTime::EPOCH,
-        );
+        let ds = cat.register_dataset(Scope::User(1), 1, "s", &[10, 20], SimTime::EPOCH);
         (cat, ds)
     }
 

@@ -178,14 +178,11 @@ impl TransferEngine {
         {
             return Some(local);
         }
-        replicas
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let ra = bw.effective_mbps(topology.site_of_rse(a), dest_site, t);
-                let rb = bw.effective_mbps(topology.site_of_rse(b), dest_site, t);
-                ra.total_cmp(&rb).then(b.cmp(&a)) // deterministic tiebreak
-            })
+        replicas.iter().copied().max_by(|&a, &b| {
+            let ra = bw.effective_mbps(topology.site_of_rse(a), dest_site, t);
+            let rb = bw.effective_mbps(topology.site_of_rse(b), dest_site, t);
+            ra.total_cmp(&rb).then(b.cmp(&a)) // deterministic tiebreak
+        })
     }
 
     /// Execute a transfer request that became ready at `ready`.
@@ -222,7 +219,9 @@ impl TransferEngine {
         let nominal_ms = (nominal_end - start).as_millis().max(1);
         let end = start
             + dmsa_simcore::SimDuration::from_millis(
-                (nominal_ms as f64 * self.duration_factor()).round().max(1.0) as i64,
+                (nominal_ms as f64 * self.duration_factor())
+                    .round()
+                    .max(1.0) as i64,
             );
 
         // Release the streams at completion.
@@ -347,7 +346,14 @@ mod tests {
         let dest_site = SiteId(0);
         let src = f
             .eng
-            .select_source(&f.cat, &f.topo, &f.bw, f.files[0], dest_site, SimTime::EPOCH)
+            .select_source(
+                &f.cat,
+                &f.topo,
+                &f.bw,
+                f.files[0],
+                dest_site,
+                SimTime::EPOCH,
+            )
             .unwrap();
         assert_eq!(f.topo.site_of_rse(src), dest_site);
     }
@@ -360,10 +366,21 @@ mod tests {
         f.cat.add_replica(f.files[0], r2);
         let chosen = f
             .eng
-            .select_source(&f.cat, &f.topo, &f.bw, f.files[0], SiteId(5), SimTime::EPOCH)
+            .select_source(
+                &f.cat,
+                &f.topo,
+                &f.bw,
+                f.files[0],
+                SiteId(5),
+                SimTime::EPOCH,
+            )
             .unwrap();
         let s_chosen = f.topo.site_of_rse(chosen);
-        let alt = if s_chosen == SiteId(0) { SiteId(2) } else { SiteId(0) };
+        let alt = if s_chosen == SiteId(0) {
+            SiteId(2)
+        } else {
+            SiteId(0)
+        };
         let r_chosen = f.bw.effective_mbps(s_chosen, SiteId(5), SimTime::EPOCH);
         let r_alt = f.bw.effective_mbps(alt, SiteId(5), SimTime::EPOCH);
         assert!(r_chosen >= r_alt);
@@ -470,11 +487,23 @@ mod tests {
         let rse = f.topo.disk_rse(SiteId(0));
         let a = f
             .eng
-            .execute(&request(f.files[0], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .execute(
+                &request(f.files[0], rse),
+                SimTime::EPOCH,
+                &mut f.cat,
+                &f.topo,
+                &f.bw,
+            )
             .unwrap();
         let b = f
             .eng
-            .execute(&request(f.files[1], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .execute(
+                &request(f.files[1], rse),
+                SimTime::EPOCH,
+                &mut f.cat,
+                &f.topo,
+                &f.bw,
+            )
             .unwrap();
         assert_eq!(a.id, TransferId(0));
         assert_eq!(b.id, TransferId(1));
@@ -487,7 +516,13 @@ mod tests {
         let rse = f.topo.disk_rse(SiteId(3));
         let ev = f
             .eng
-            .execute(&request(f.files[2], rse), SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw)
+            .execute(
+                &request(f.files[2], rse),
+                SimTime::EPOCH,
+                &mut f.cat,
+                &f.topo,
+                &f.bw,
+            )
             .unwrap();
         let entry = f.cat.file(f.files[2]);
         assert_eq!(ev.lfn, entry.lfn);

@@ -117,11 +117,13 @@ impl ScenarioConfig {
     /// for the site-to-site transfer matrix, so job traffic can be thinner
     /// while background (rule-driven) traffic dominates volume.
     pub fn paper_92day(scale: f64) -> Self {
-        let mut c = ScenarioConfig::default();
-        c.duration = SimDuration::from_days(92);
+        let mut c = ScenarioConfig {
+            duration: SimDuration::from_days(92),
+            background_transfers_per_hour: 8_000.0 * scale,
+            initial_datasets: ((3_000.0 * scale) as usize).max(60),
+            ..ScenarioConfig::default()
+        };
         c.workload.tasks_per_hour = 120.0 * scale;
-        c.background_transfers_per_hour = 8_000.0 * scale;
-        c.initial_datasets = ((3_000.0 * scale) as usize).max(60);
         c.topology.t2_compute_slots = ((120.0 * scale) as u32).max(6);
         c.topology.t2_disk_capacity_bytes = ((40.0e12 * scale) as u64).max(200_000_000_000);
         c
@@ -130,12 +132,14 @@ impl ScenarioConfig {
     /// A fast, small campaign for unit/integration tests: small topology,
     /// a few hours, a few thousand jobs.
     pub fn small() -> Self {
-        let mut c = ScenarioConfig::default();
-        c.topology = TopologyConfig::small();
-        c.duration = SimDuration::from_hours(12);
+        let mut c = ScenarioConfig {
+            topology: TopologyConfig::small(),
+            duration: SimDuration::from_hours(12),
+            background_transfers_per_hour: 200.0,
+            initial_datasets: 80,
+            ..ScenarioConfig::default()
+        };
         c.workload.tasks_per_hour = 30.0;
-        c.background_transfers_per_hour = 200.0;
-        c.initial_datasets = 80;
         c.topology.t2_compute_slots = 24;
         c
     }

@@ -16,11 +16,11 @@
 use crate::config::ScenarioConfig;
 use dmsa_gridnet::{BandwidthModel, GridTopology, SiteId};
 use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, Sym, TransferRecord};
+use dmsa_panda_sim::task::TaskProgress;
 use dmsa_panda_sim::{
     Broker, DispatchOutcome, HeartbeatOutcome, IoMode, Job, JobId, JobStatus, PilotModel,
     SiteLoadView, TaskId, TaskKind, TaskStatus, WorkloadModel,
 };
-use dmsa_panda_sim::task::TaskProgress;
 use dmsa_rucio_sim::transfer::TransferRequest;
 use dmsa_rucio_sim::{
     reap_all, Activity, DatasetId, FileId, ReaperPolicy, ReplicaCatalog, RuleEngine, Scope,
@@ -164,11 +164,7 @@ impl Driver {
         let compute_slots = topology
             .sites()
             .iter()
-            .map(|s| {
-                (0..s.compute_slots.max(1))
-                    .map(|_| Reverse(0i64))
-                    .collect()
-            })
+            .map(|s| (0..s.compute_slots.max(1)).map(|_| Reverse(0i64)).collect())
             .collect();
 
         Driver {
@@ -223,9 +219,9 @@ impl Driver {
                 2 => Scope::GroupPhys,
                 _ => Scope::User(rng.random_range(0..200)),
             };
-            let ds = self
-                .catalog
-                .register_dataset(scope, i as u64, "input", &sizes, SimTime::EPOCH);
+            let ds =
+                self.catalog
+                    .register_dataset(scope, i as u64, "input", &sizes, SimTime::EPOCH);
             // Place 1..=max replicas at activity-weighted sites.
             let n_rep = rng.random_range(1..=self.config.max_replicas_per_dataset.max(1));
             let mut placed: Vec<SiteId> = Vec::new();
@@ -337,7 +333,11 @@ impl Driver {
         let taskid = self.next_taskid;
         self.next_taskid += 1;
 
-        let n_datasets = self.catalog.datasets().len().min(self.config.initial_datasets);
+        let n_datasets = self
+            .catalog
+            .datasets()
+            .len()
+            .min(self.config.initial_datasets);
         if n_datasets == 0 {
             return;
         }
@@ -373,13 +373,10 @@ impl Driver {
                         jeditaskid: None,
                         preferred_source: None,
                     };
-                    if let Some(ev) = self.engine.execute(
-                        &req,
-                        t,
-                        &mut self.catalog,
-                        &self.topology,
-                        &self.bw,
-                    ) {
+                    if let Some(ev) =
+                        self.engine
+                            .execute(&req, t, &mut self.catalog, &self.topology, &self.bw)
+                    {
                         self.transfers.push((ev, true));
                     }
                 }
@@ -407,7 +404,7 @@ impl Driver {
                 let u: f64 = self.rng_task.random();
                 -(1.0 - u).ln() * 90.0
             };
-            created = created + SimDuration::from_secs_f64(gap);
+            created += SimDuration::from_secs_f64(gap);
             // This job's disjoint slice (wrapping only for production).
             let take = (base + usize::from((ji as usize) < rem)).clamp(1, 4);
             let mut input_files: Vec<FileId> = (0..take)
@@ -416,10 +413,7 @@ impl Driver {
             cursor += take;
             input_files.dedup();
             input_files.sort_unstable();
-            let input_bytes = input_files
-                .iter()
-                .map(|&f| self.catalog.file(f).size)
-                .sum();
+            let input_bytes = input_files.iter().map(|&f| self.catalog.file(f).size).sum();
             let pandaid = self.next_pandaid;
             self.next_pandaid += 1;
             let pj = PendingJob {
@@ -479,9 +473,7 @@ impl Driver {
         // before staging begins. A pilot that exhausts validation retries
         // fails the job without it ever running.
         let dispatch = match self.pilot.sample_dispatch(&mut self.rng_job) {
-            DispatchOutcome::Ready { delay_secs, .. } => {
-                SimDuration::from_secs_f64(delay_secs)
-            }
+            DispatchOutcome::Ready { delay_secs, .. } => SimDuration::from_secs_f64(delay_secs),
             DispatchOutcome::ExhaustedRetries { delay_secs } => {
                 self.queued[pj.site.index()] = self.queued[pj.site.index()].saturating_sub(1);
                 let end = t + SimDuration::from_secs_f64(delay_secs);
@@ -516,15 +508,16 @@ impl Driver {
                 // Production inputs are pre-placed by rules; a fraction
                 // records an explicit Production Download.
                 if self.rng_job.random::<f64>() < self.config.prod_download_fraction {
-                    staging_end = self.stage_files(&mut pj, stage_begin, Activity::ProductionDownload, true);
+                    staging_end =
+                        self.stage_files(&mut pj, stage_begin, Activity::ProductionDownload, true);
                 }
             }
             TaskKind::UserAnalysis => match pj.io_mode {
                 IoMode::StageIn => {
-                    pj.recorded_stagein =
-                        self.workload.sample_recorded_stagein(&mut self.rng_job);
+                    pj.recorded_stagein = self.workload.sample_recorded_stagein(&mut self.rng_job);
                     let rec = pj.recorded_stagein;
-                    staging_end = self.stage_files(&mut pj, stage_begin, Activity::AnalysisDownload, rec);
+                    staging_end =
+                        self.stage_files(&mut pj, stage_begin, Activity::AnalysisDownload, rec);
                 }
                 IoMode::DirectIo => {
                     // No pre-staging; reads overlap execution.
@@ -581,7 +574,8 @@ impl Driver {
                 if sequential {
                     ready = ev.endtime;
                 }
-                pj.stage_intervals.push(Interval::new(ev.starttime, ev.endtime));
+                pj.stage_intervals
+                    .push(Interval::new(ev.starttime, ev.endtime));
                 self.transfers.push((ev, recorded));
             }
         }
@@ -593,7 +587,8 @@ impl Driver {
         let heap = &mut self.compute_slots[pj.site.index()];
         let Reverse(free) = heap.pop().expect("compute slot heap never empties");
         let start = SimTime::from_millis(free).max(t);
-        let wall = SimDuration::from_secs_f64(self.workload.sample_walltime_secs(&mut self.rng_job));
+        let wall =
+            SimDuration::from_secs_f64(self.workload.sample_walltime_secs(&mut self.rng_job));
         let exec_end = start + wall;
         heap.push(Reverse(exec_end.as_millis()));
 
@@ -627,7 +622,11 @@ impl Driver {
         // ("it remains plausible that the lengthy transfer increased the
         // likelihood of failure").
         let crossed = pj.io_mode == IoMode::StageIn && pj.staging_end > pj.start;
-        let effective_frac = if crossed { staging_frac.max(0.85) } else { staging_frac };
+        let effective_frac = if crossed {
+            staging_frac.max(0.85)
+        } else {
+            staging_frac
+        };
         let mut outcome = self
             .config
             .failure
@@ -662,13 +661,9 @@ impl Driver {
             };
             let seq = self.next_output_seq;
             self.next_output_seq += 1;
-            let out_ds = self.catalog.register_dataset(
-                scope,
-                1_000_000 + seq,
-                "output",
-                &[output_bytes],
-                t,
-            );
+            let out_ds =
+                self.catalog
+                    .register_dataset(scope, 1_000_000 + seq, "output", &[output_bytes], t);
             let out_file = self.catalog.dataset_files(out_ds)[0];
             output_files.push(out_file);
             // Output first lands on the job's local storage.
@@ -688,8 +683,7 @@ impl Driver {
                 ),
             };
             if do_upload {
-                let dest_site = if self.rng_job.random::<f64>()
-                    < self.config.upload_remote_fraction
+                let dest_site = if self.rng_job.random::<f64>() < self.config.upload_remote_fraction
                 {
                     self.sample_site(RngKind::Task)
                 } else {
@@ -851,7 +845,10 @@ impl Driver {
             };
             (src_site, act)
         } else {
-            (self.sample_site(RngKind::Background), Activity::DataRebalancing)
+            (
+                self.sample_site(RngKind::Background),
+                Activity::DataRebalancing,
+            )
         };
 
         let req = TransferRequest {
@@ -862,9 +859,9 @@ impl Driver {
             jeditaskid: None,
             preferred_source: None,
         };
-        if let Some(ev) =
-            self.engine
-                .execute(&req, t, &mut self.catalog, &self.topology, &self.bw)
+        if let Some(ev) = self
+            .engine
+            .execute(&req, t, &mut self.catalog, &self.topology, &self.bw)
         {
             self.transfers.push((ev, true));
         }
@@ -1042,7 +1039,10 @@ mod tests {
     fn job_timelines_are_ordered() {
         let c = small_campaign();
         for j in &c.store.jobs {
-            assert!(j.creationtime <= j.starttime, "queue phase must be non-negative");
+            assert!(
+                j.creationtime <= j.starttime,
+                "queue phase must be non-negative"
+            );
             assert!(j.starttime <= j.endtime, "wall phase must be non-negative");
         }
     }

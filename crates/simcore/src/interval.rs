@@ -92,7 +92,11 @@ pub fn union_len_within(intervals: &[Interval], window: Interval) -> SimDuration
 
 /// Merge intervals into a minimal sorted list of disjoint intervals.
 pub fn merge(intervals: &[Interval]) -> Vec<Interval> {
-    let mut ivs: Vec<Interval> = intervals.iter().copied().filter(|iv| !iv.is_empty()).collect();
+    let mut ivs: Vec<Interval> = intervals
+        .iter()
+        .copied()
+        .filter(|iv| !iv.is_empty())
+        .collect();
     ivs.sort_by_key(|iv| iv.start);
     let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
     for iv in ivs {

@@ -45,7 +45,9 @@ fn main() {
         None => println!("  (no specimen at this scale/seed — try a larger scale)"),
     }
 
-    println!("\n=== Case 3 (paper Fig 12 / Table 3): redundant transfers + UNKNOWN site inference ===");
+    println!(
+        "\n=== Case 3 (paper Fig 12 / Table 3): redundant transfers + UNKNOWN site inference ==="
+    );
     match find_redundant_unknown_case(store, &rm2, SimDuration::from_days(2)) {
         Some((tl, witnesses)) => {
             render(&tl);

@@ -30,7 +30,7 @@ fn main() {
             (i, row + col)
         })
         .collect();
-    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    totals.sort_by_key(|t| std::cmp::Reverse(t.1));
     let mut shown: Vec<usize> = totals.iter().take(24).map(|&(i, _)| i).collect();
     let unknown = matrix.unknown_index();
     if !shown.contains(&unknown) {
@@ -55,13 +55,16 @@ fn main() {
         shades[((f * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)]
     };
 
-    println!("\nsource \\ destination (top sites by volume; log shade; '@' = {}):", dmsa_bench_fmt(max));
+    println!(
+        "\nsource \\ destination (top sites by volume; log shade; '@' = {}):",
+        dmsa_bench_fmt(max)
+    );
     print!("{:>22} ", "");
     for (k, _) in shown.iter().enumerate() {
         print!("{}", (b'a' + (k % 26) as u8) as char);
     }
     println!();
-    for (_, &i) in shown.iter().enumerate() {
+    for &i in shown.iter() {
         print!("{:>22} ", truncate(&matrix.labels[i], 22));
         for &j in &shown {
             print!("{}", shade(matrix.volume[i][j]));

@@ -71,7 +71,10 @@ fn relaxation_gains_match_the_papers_ordering() {
         tc1.remote,
         tc2.remote
     );
-    assert_eq!(tc2.local, tc1.local, "site relaxation adds no local matches");
+    assert_eq!(
+        tc2.local, tc1.local,
+        "site relaxation adds no local matches"
+    );
 }
 
 #[test]
@@ -180,7 +183,11 @@ fn transfer_matrix_shows_fig3_imbalance() {
 fn matched_jobs_have_higher_precision_than_random_assignment() {
     let c = ctx();
     let e = evaluate(&c.campaign.store, &c.rm2, c.campaign.window);
-    assert!(e.transfer_precision() > 0.95, "RM2 precision {}", e.transfer_precision());
+    assert!(
+        e.transfer_precision() > 0.95,
+        "RM2 precision {}",
+        e.transfer_precision()
+    );
     assert!(e.transfer_recall() > 0.01);
     assert!(e.transfer_recall() < 0.9, "corruption must hide most links");
 }

@@ -71,11 +71,8 @@ fn clean_analysis_uploads_of_in_window_jobs_all_match() {
     // job completed inside the window is matched on clean metadata. (The
     // paper's 4.6 % AU shortfall is corruption + window edges; here only
     // the window edge exists and we exclude it from the population.)
-    let in_window: std::collections::HashSet<u64> = c
-        .store
-        .user_jobs_in(c.window)
-        .map(|j| j.pandaid)
-        .collect();
+    let in_window: std::collections::HashSet<u64> =
+        c.store.user_jobs_in(c.window).map(|j| j.pandaid).collect();
     for (i, t) in c.store.transfers.iter().enumerate() {
         if t.activity != Activity::AnalysisUpload {
             continue;

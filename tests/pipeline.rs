@@ -167,7 +167,8 @@ fn matched_transfers_satisfy_algorithm1_invariants() {
 fn windowed_matching_equals_single_pass_on_campaign_data() {
     use dmsa_core::windowed::{max_job_lifetime, max_transfer_lead, WindowedMatcher};
     let c = campaign();
-    let overlap = max_job_lifetime(&c.store) + max_transfer_lead(&c.store)
+    let overlap = max_job_lifetime(&c.store)
+        + max_transfer_lead(&c.store)
         + dmsa_simcore::SimDuration::from_hours(1);
     let m = WindowedMatcher::new(
         IndexedMatcher,

@@ -5,19 +5,25 @@
 //! private keys, transfers with random corruption of sites, sizes and task
 //! ids. The properties pin the core guarantees of `dmsa-core`:
 //!
-//! 1. engine agreement — naive, indexed, and parallel produce identical
-//!    match sets;
+//! 1. engine agreement — naive, indexed, parallel, prepared, and
+//!    windowed-over-prepared produce identical match sets;
 //! 2. monotonicity — Exact ⊆ RM1 ⊆ RM2, per job and per transfer;
 //! 3. determinism — repeated runs are equal;
 //! 4. algorithm-1 postconditions on every exact match.
 
 use dmsa_core::matcher::Matcher;
-use dmsa_core::{IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher};
-use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, SymbolTable, TransferRecord};
+use dmsa_core::windowed::{max_job_lifetime, max_transfer_lead};
+use dmsa_core::{
+    IndexedMatcher, MatchMethod, NaiveMatcher, ParallelMatcher, PreparedMatcher, PreparedStore,
+    WindowedMatcher,
+};
+use dmsa_metastore::{
+    FileDirection, FileRecord, JobRecord, MetaStore, SymbolTable, TransferRecord,
+};
 use dmsa_panda_sim::{IoMode, JobStatus, TaskStatus};
 use dmsa_rucio_sim::Activity;
 use dmsa_simcore::interval::Interval;
-use dmsa_simcore::SimTime;
+use dmsa_simcore::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -101,12 +107,16 @@ fn raw_transfer() -> impl Strategy<Value = RawTransfer> {
 /// they share a task id — the ambiguity the matcher must survive.
 fn build_store(jobs: &[RawJob], transfers: &[RawTransfer]) -> MetaStore {
     let mut store = MetaStore::new();
-    let sites: Vec<_> = (0..4).map(|i| store.register_site(&format!("SITE-{i}"))).collect();
+    let sites: Vec<_> = (0..4)
+        .map(|i| store.register_site(&format!("SITE-{i}")))
+        .collect();
     let garbage = store.symbols.intern("??bad??");
 
     for j in jobs {
         let site = sites[j.site];
-        let in_bytes: u64 = (0..j.n_files).map(|f| 1_000 + j.pandaid * 10 + f as u64).sum();
+        let in_bytes: u64 = (0..j.n_files)
+            .map(|f| 1_000 + j.pandaid * 10 + f as u64)
+            .sum();
         store.jobs.push(JobRecord {
             pandaid: j.pandaid,
             jeditaskid: j.taskid,
@@ -190,12 +200,41 @@ proptest! {
         transfers in prop::collection::vec(raw_transfer(), 0..40),
     ) {
         let store = build_store(&jobs, &transfers);
+        // One shared prepared index across every method (the tentpole's
+        // reuse contract: building once must not change any result).
+        let shared = PreparedStore::build(&store);
         for method in MatchMethod::ALL {
             let naive = NaiveMatcher.match_jobs(&store, window(), method);
             let indexed = IndexedMatcher.match_jobs(&store, window(), method);
             let parallel = ParallelMatcher.match_jobs(&store, window(), method);
+            let prepared = PreparedMatcher.match_jobs(&store, window(), method);
+            let shared_seq = shared.match_window(window(), method);
+            let shared_par = shared.par_match_window(window(), method);
             prop_assert_eq!(&naive, &indexed);
             prop_assert_eq!(&indexed, &parallel);
+            prop_assert_eq!(&parallel, &prepared);
+            prop_assert_eq!(&prepared, &shared_seq);
+            prop_assert_eq!(&shared_seq, &shared_par);
+        }
+    }
+
+    #[test]
+    fn windowed_streaming_over_prepared_agrees_with_single_pass(
+        jobs in prop::collection::vec(raw_job(), 1..10),
+        transfers in prop::collection::vec(raw_transfer(), 0..30),
+    ) {
+        let store = build_store(&jobs, &transfers);
+        // §4.2's contract: the overlap must cover the longest job lifetime
+        // plus the longest transfer lead for streaming to be lossless.
+        let overlap = max_job_lifetime(&store)
+            + max_transfer_lead(&store)
+            + SimDuration::from_secs(1);
+        let width = overlap + SimDuration::from_secs(5_000);
+        let streaming = WindowedMatcher::new(PreparedMatcher, width, overlap);
+        for method in MatchMethod::ALL {
+            let streamed = streaming.match_streaming(&store, window(), method);
+            let single = NaiveMatcher.match_jobs(&store, window(), method);
+            prop_assert_eq!(&streamed, &single);
         }
     }
 
