@@ -106,6 +106,8 @@ mod tests {
             jeditaskid: taskid,
             is_download: activity.is_download(),
             is_upload: !activity.is_download() && activity.carries_jeditaskid(),
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: None,
             gt_source_site: SymbolTable::UNKNOWN,
             gt_destination_site: SymbolTable::UNKNOWN,

@@ -67,12 +67,15 @@ pub fn usage_series<'a>(
         if t.source_site != src || t.destination_site != dst {
             continue;
         }
-        n += 1;
         let rate_mbps = t.throughput_bytes_per_sec() / 1e6;
         let span = Interval::new(t.starttime, t.endtime);
+        // Empty-interval transfers contribute no bandwidth, so they must
+        // not inflate `n_transfers` either — count and contribution stay
+        // consistent.
         if span.is_empty() {
             continue;
         }
+        n += 1;
         let first = span.start.as_millis().div_euclid(bucket_ms);
         let last = (span.end.as_millis() - 1).div_euclid(bucket_ms);
         for b in first..=last {
@@ -152,6 +155,8 @@ mod tests {
             jeditaskid: None,
             is_download: true,
             is_upload: false,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: None,
             gt_source_site: src,
             gt_destination_site: dst,
@@ -183,6 +188,23 @@ mod tests {
         let s = usage_series(ts.iter(), a, b, SimDuration::from_secs(60));
         assert_eq!(s.points.len(), 1);
         assert!((s.points[0].mbps - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_transfers_are_excluded_from_count_and_series() {
+        let (a, b) = (Sym(1), Sym(2));
+        let ts = [
+            transfer(a, b, 0, 100, 100_000_000),
+            // Zero-duration record (equal timestamps): no bandwidth
+            // contribution, so it must not count either.
+            transfer(a, b, 50, 50, 5_000_000),
+            // Negative-duration record (corrupted timestamps): same.
+            transfer(a, b, 80, 20, 5_000_000),
+        ];
+        let s = usage_series(ts.iter(), a, b, SimDuration::from_secs(60));
+        assert_eq!(s.n_transfers, 1, "only the real transfer counts");
+        assert_eq!(s.points.len(), 2);
+        assert!((s.peak_mbps() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -278,6 +278,8 @@ mod tests {
                 jeditaskid: Some(1),
                 is_download: true,
                 is_upload: false,
+                attempt: 1,
+                succeeded: true,
                 gt_pandaid: None,
                 gt_source_site: site,
                 gt_destination_site: site,

@@ -16,6 +16,7 @@
 //! | [`temporal`] | §3.2's temporal imbalance — volume series, peak/trough, site Gini |
 //! | [`errors`] | §1/§3.1's "altered error distributions" — codes × staging bands |
 //! | [`hotspots`] | §5.3's site-level queueing hot spots — per-site queue stats and imbalance |
+//! | [`redundancy`] | Fig 12 / Table 3 — duplicate deliveries attributed retry- vs reaper-induced |
 //!
 //! All analyses read only the (corrupted) [`dmsa_metastore::MetaStore`] and
 //! [`dmsa_core::MatchSet`]s — never simulator ground truth — exactly as the
@@ -29,6 +30,7 @@ pub mod growth;
 pub mod hotspots;
 pub mod matrix;
 pub mod overlap;
+pub mod redundancy;
 pub mod temporal;
 pub mod threshold;
 pub mod topjobs;

@@ -194,6 +194,8 @@ mod tests {
                 jeditaskid: None,
                 is_download: false,
                 is_upload: false,
+                attempt: 1,
+                succeeded: true,
                 gt_pandaid: None,
                 gt_source_site: s,
                 gt_destination_site: d,

@@ -160,6 +160,8 @@ mod tests {
                 jeditaskid: Some(2),
                 is_download: true,
                 is_upload: false,
+                attempt: 1,
+                succeeded: true,
                 gt_pandaid: Some(1),
                 gt_source_site: site,
                 gt_destination_site: site,

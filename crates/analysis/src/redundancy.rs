@@ -1,0 +1,241 @@
+//! Redundant-transfer attribution: retry-induced vs reaper-induced.
+//!
+//! Fig 12 / Table 3 treat every duplicate delivery of the same bytes to
+//! the same destination as one undifferentiated "redundant transfer".
+//! With the failure-aware transfer path the simulator now produces two
+//! mechanistically distinct kinds of duplicate:
+//!
+//! * **retry-induced** — a transfer request failed mid-flight and Rucio
+//!   retried it; the failed attempts occupied stream slots and show up as
+//!   extra records (`succeeded == false`, or a survivor with
+//!   `attempt > 1`);
+//! * **reaper-induced** — every attempt succeeded, but the replica was
+//!   deleted between deliveries (cache reaping) or a second job staged
+//!   the same file again, so the same bytes crossed the link twice.
+//!
+//! The distinction matters operationally: retry-induced redundancy calls
+//! for link hardening or source failover, reaper-induced redundancy for
+//! cache-lifetime / pin-policy tuning. This module classifies the groups
+//! found by [`dmsa_core::infer::redundant_groups`] and, for the
+//! retry-induced ones, attributes the staging delay the retries added
+//! (success start minus first-attempt start).
+
+use dmsa_core::infer::{redundant_groups, RedundantGroup};
+use dmsa_metastore::MetaStore;
+use dmsa_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Why a duplicate-delivery group exists.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DuplicateClass {
+    /// At least one member is a failed or retry attempt: the duplicates
+    /// come from the transfer engine re-driving a failed request.
+    RetryInduced,
+    /// All members are successful first attempts: the duplicates come
+    /// from re-delivery after the replica was reaped (or a concurrent
+    /// second request), not from transfer failures.
+    ReaperInduced,
+}
+
+/// Classify one redundant group from its members' attempt metadata.
+pub fn classify_group(store: &MetaStore, group: &RedundantGroup) -> DuplicateClass {
+    let retry = group.transfers.iter().any(|&i| {
+        let t = &store.transfers[i as usize];
+        t.is_retry() || !t.succeeded
+    });
+    if retry {
+        DuplicateClass::RetryInduced
+    } else {
+        DuplicateClass::ReaperInduced
+    }
+}
+
+/// Aggregate counts for one duplicate class.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Duplicate groups in this class.
+    pub n_groups: usize,
+    /// Redundant transfers: every group member beyond the first.
+    pub n_redundant: usize,
+    /// Bytes those redundant transfers re-moved.
+    pub redundant_bytes: u64,
+}
+
+impl ClassStats {
+    fn absorb(&mut self, store: &MetaStore, group: &RedundantGroup) {
+        self.n_groups += 1;
+        // The first delivery was necessary; everything after re-moves the
+        // same bytes.
+        for &i in &group.transfers[1..] {
+            self.n_redundant += 1;
+            self.redundant_bytes += store.transfers[i as usize].file_size;
+        }
+    }
+}
+
+/// Redundant-transfer attribution over a whole store.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RedundancyBreakdown {
+    /// Clustering window the groups were built with.
+    pub window: SimDuration,
+    /// Groups containing failed/retry attempts.
+    pub retry_induced: ClassStats,
+    /// Groups of purely successful first attempts.
+    pub reaper_induced: ClassStats,
+    /// Per-group staging delay added by retries: for each retry-induced
+    /// group that eventually delivered, seconds from the first attempt's
+    /// start to the delivering attempt's start.
+    pub retry_delay_secs: Vec<f64>,
+}
+
+impl RedundancyBreakdown {
+    /// Mean retry-added staging delay (`None` if no retry group
+    /// delivered).
+    pub fn mean_retry_delay_secs(&self) -> Option<f64> {
+        dmsa_simcore::stats::mean(&self.retry_delay_secs)
+    }
+
+    /// Share of duplicate groups that are retry-induced (`None` when
+    /// there are no groups at all).
+    pub fn retry_share(&self) -> Option<f64> {
+        let total = self.retry_induced.n_groups + self.reaper_induced.n_groups;
+        (total > 0).then(|| self.retry_induced.n_groups as f64 / total as f64)
+    }
+}
+
+/// Build the attribution by classifying every redundant group found with
+/// the recorded destinations (callers wanting inferred destinations for
+/// `UNKNOWN` endpoints can pre-resolve and use [`classify_group`]
+/// directly).
+pub fn redundancy_breakdown(store: &MetaStore, window: SimDuration) -> RedundancyBreakdown {
+    let groups = redundant_groups(store, window, |i| {
+        store.transfers[i as usize].destination_site
+    });
+    let mut out = RedundancyBreakdown {
+        window,
+        retry_induced: ClassStats::default(),
+        reaper_induced: ClassStats::default(),
+        retry_delay_secs: Vec::new(),
+    };
+    for g in &groups {
+        match classify_group(store, g) {
+            DuplicateClass::RetryInduced => {
+                out.retry_induced.absorb(store, g);
+                // Delay = delivering attempt's start − first attempt's
+                // start. Members arrive start-sorted from the grouper.
+                let first = store.transfers[g.transfers[0] as usize].starttime;
+                if let Some(&winner) = g
+                    .transfers
+                    .iter()
+                    .find(|&&i| store.transfers[i as usize].succeeded)
+                {
+                    let delay = store.transfers[winner as usize].starttime - first;
+                    out.retry_delay_secs
+                        .push(delay.clamp_non_negative().as_secs_f64());
+                }
+            }
+            DuplicateClass::ReaperInduced => out.reaper_induced.absorb(store, g),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_metastore::{Sym, SymbolTable, TransferRecord};
+    use dmsa_rucio_sim::Activity;
+    use dmsa_simcore::SimTime;
+
+    fn transfer(
+        lfn: u64,
+        dest: Sym,
+        start_s: i64,
+        attempt: u32,
+        succeeded: bool,
+    ) -> TransferRecord {
+        TransferRecord {
+            transfer_id: 0,
+            lfn: Sym(lfn as u32),
+            dataset: SymbolTable::UNKNOWN,
+            proddblock: SymbolTable::UNKNOWN,
+            scope: SymbolTable::UNKNOWN,
+            file_size: 1_000,
+            starttime: SimTime::from_secs(start_s),
+            endtime: SimTime::from_secs(start_s + 10),
+            source_site: Sym(90),
+            destination_site: dest,
+            activity: Activity::AnalysisDownload,
+            jeditaskid: None,
+            is_download: true,
+            is_upload: false,
+            attempt,
+            succeeded,
+            gt_pandaid: None,
+            gt_source_site: Sym(90),
+            gt_destination_site: dest,
+            gt_file_size: 1_000,
+        }
+    }
+
+    #[test]
+    fn retry_and_reaper_groups_are_attributed_separately() {
+        let mut store = MetaStore::new();
+        let dest = store.register_site("SITE-A");
+        // Retry group: two failed attempts then the delivery, 60 s apart.
+        store.transfers.push(transfer(1, dest, 0, 1, false));
+        store.transfers.push(transfer(1, dest, 60, 2, false));
+        store.transfers.push(transfer(1, dest, 120, 3, true));
+        // Reaper group: two clean first-attempt deliveries of file 2.
+        store.transfers.push(transfer(2, dest, 0, 1, true));
+        store.transfers.push(transfer(2, dest, 200, 1, true));
+        // Singleton: no group at all.
+        store.transfers.push(transfer(3, dest, 0, 1, true));
+
+        let b = redundancy_breakdown(&store, SimDuration::from_secs(1_000));
+        assert_eq!(b.retry_induced.n_groups, 1);
+        assert_eq!(b.retry_induced.n_redundant, 2);
+        assert_eq!(b.retry_induced.redundant_bytes, 2_000);
+        assert_eq!(b.reaper_induced.n_groups, 1);
+        assert_eq!(b.reaper_induced.n_redundant, 1);
+        assert_eq!(b.reaper_induced.redundant_bytes, 1_000);
+        assert_eq!(b.retry_delay_secs, vec![120.0]);
+        assert_eq!(b.mean_retry_delay_secs(), Some(120.0));
+        assert_eq!(b.retry_share(), Some(0.5));
+    }
+
+    #[test]
+    fn surviving_retry_ordinal_marks_group_even_without_failed_records() {
+        // Corruption may drop failed-attempt rows; the delivered record's
+        // attempt > 1 still gives the group away.
+        let mut store = MetaStore::new();
+        let dest = store.register_site("SITE-A");
+        store.transfers.push(transfer(1, dest, 0, 1, true));
+        store.transfers.push(transfer(1, dest, 60, 3, true));
+        let b = redundancy_breakdown(&store, SimDuration::from_secs(1_000));
+        assert_eq!(b.retry_induced.n_groups, 1);
+        assert_eq!(b.reaper_induced.n_groups, 0);
+    }
+
+    #[test]
+    fn exhausted_groups_contribute_no_delay_sample() {
+        // All attempts failed: redundancy counted, but there is no
+        // delivery to attribute a delay to.
+        let mut store = MetaStore::new();
+        let dest = store.register_site("SITE-A");
+        store.transfers.push(transfer(1, dest, 0, 1, false));
+        store.transfers.push(transfer(1, dest, 60, 2, false));
+        let b = redundancy_breakdown(&store, SimDuration::from_secs(1_000));
+        assert_eq!(b.retry_induced.n_groups, 1);
+        assert!(b.retry_delay_secs.is_empty());
+        assert_eq!(b.mean_retry_delay_secs(), None);
+    }
+
+    #[test]
+    fn empty_store_yields_empty_breakdown() {
+        let store = MetaStore::new();
+        let b = redundancy_breakdown(&store, SimDuration::from_secs(100));
+        assert_eq!(b.retry_share(), None);
+        assert_eq!(b.retry_induced.n_groups + b.reaper_induced.n_groups, 0);
+    }
+}

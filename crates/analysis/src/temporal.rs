@@ -111,6 +111,8 @@ mod tests {
             jeditaskid: None,
             is_download: false,
             is_upload: false,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: None,
             gt_source_site: dest,
             gt_destination_site: dest,

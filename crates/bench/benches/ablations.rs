@@ -7,7 +7,11 @@
 //! * **index build vs match** — how much of the prepared engine's time is
 //!   index construction (callers that sweep methods or windows reuse one
 //!   [`PreparedStore`]);
-//! * **site-inference and redundancy detection** — the RM2 extras.
+//! * **site-inference and redundancy detection** — the RM2 extras;
+//! * **failure injection** — simulation cost and retry-traffic volume as
+//!   the per-attempt failure probability sweeps up from zero (the
+//!   zero-knob point doubles as a regression bench for the fault-free
+//!   fast path).
 //!
 //! Run with `cargo bench -p dmsa-bench --bench ablations`.
 
@@ -92,5 +96,37 @@ fn rm2_extras(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, simulation, corruption, index_vs_match, rm2_extras);
+fn outage_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("outage_sweep");
+    g.sample_size(10);
+    // p = 0.0 measures the fault-free fast path (no extra RNG draws, no
+    // retry loop iterations); higher p buys retry traffic with sim time.
+    for p_fail in [0.0, 0.05, 0.15] {
+        g.bench_with_input(BenchmarkId::from_parameter(p_fail), &p_fail, |b, &p| {
+            let mut config = ScenarioConfig::paper_8day(0.01);
+            config.faults.p_attempt_failure = p;
+            config.faults.site_outage_fraction = p / 5.0;
+            b.iter(|| {
+                let camp = dmsa_scenario::run(&config);
+                let retries = camp
+                    .store
+                    .transfers
+                    .iter()
+                    .filter(|t| t.is_retry() || !t.succeeded)
+                    .count();
+                black_box((camp.store.transfers.len(), retries))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    simulation,
+    corruption,
+    index_vs_match,
+    rm2_extras,
+    outage_sweep
+);
 criterion_main!(benches);

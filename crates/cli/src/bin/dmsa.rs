@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
+//! dmsa simulate --preset faulty --fail-prob 0.1 --max-retries 3 --out campaign.json
 //! dmsa match    --campaign campaign.json --method rm2 --engine prepared --out matches.json
-//! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal
+//! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal|redundancy
 //! dmsa compare  --campaign campaign.json
 //! ```
 
-use dmsa_cli::run::{analyze, compare_methods, run_match, simulate, EngineChoice, MatcherChoice};
+use dmsa_cli::run::{
+    analyze, compare_methods, run_match, simulate, EngineChoice, FaultKnobs, MatcherChoice,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -25,10 +28,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dmsa simulate --preset 8day|92day|small [--scale F] [--seed N] [--out FILE]
+  dmsa simulate --preset 8day|92day|small|faulty [--scale F] [--seed N]
+                [--fail-prob F] [--site-outage F] [--link-outage F]
+                [--max-retries N] [--out FILE]
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
-  dmsa analyze  --campaign FILE [--matches FILE] --report summary|matrix|temporal
+  dmsa analyze  --campaign FILE [--matches FILE]
+                --report summary|matrix|temporal|redundancy
   dmsa compare  --campaign FILE";
 
 /// Parse `--key value` pairs after the subcommand.
@@ -84,7 +90,21 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
                 .transpose()?
                 .unwrap_or(42);
-            let json = simulate(preset, scale, seed)?;
+            let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+                f.get(key)
+                    .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+                    .transpose()
+            };
+            let knobs = FaultKnobs {
+                fail_prob: opt_f64("fail-prob")?,
+                site_outage: opt_f64("site-outage")?,
+                link_outage: opt_f64("link-outage")?,
+                max_retries: f
+                    .get("max-retries")
+                    .map(|s| s.parse().map_err(|e| format!("bad --max-retries: {e}")))
+                    .transpose()?,
+            };
+            let json = simulate(preset, scale, seed, knobs)?;
             write_or_print("out", &json)
         }
         "match" => {

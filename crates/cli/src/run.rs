@@ -7,6 +7,7 @@ use crate::export::CampaignExport;
 use dmsa_analysis::activity::ActivityBreakdown;
 use dmsa_analysis::matrix::TransferMatrix;
 use dmsa_analysis::overlap::{all_overlaps, summarize};
+use dmsa_analysis::redundancy::redundancy_breakdown;
 use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
 use dmsa_core::matcher::Matcher;
 use dmsa_core::{
@@ -97,15 +98,53 @@ impl EngineChoice {
     }
 }
 
+/// Failure-injection overrides for `dmsa simulate`. `None` leaves the
+/// preset's value (inert for every preset except `faulty`) untouched, so
+/// default runs stay byte-identical to the pre-fault tool.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultKnobs {
+    /// Per-attempt transfer failure probability.
+    pub fail_prob: Option<f64>,
+    /// Fraction of site-hours spent in outage.
+    pub site_outage: Option<f64>,
+    /// Fraction of link-hours spent in outage.
+    pub link_outage: Option<f64>,
+    /// Retry budget per transfer request.
+    pub max_retries: Option<u32>,
+}
+
+impl FaultKnobs {
+    fn apply(&self, config: &mut ScenarioConfig) {
+        if let Some(p) = self.fail_prob {
+            config.faults.p_attempt_failure = p;
+        }
+        if let Some(p) = self.site_outage {
+            config.faults.site_outage_fraction = p;
+        }
+        if let Some(p) = self.link_outage {
+            config.faults.link_outage_fraction = p;
+        }
+        if let Some(n) = self.max_retries {
+            config.retry.max_retries = n;
+        }
+    }
+}
+
 /// `dmsa simulate`: run a preset campaign and return its JSON export.
-pub fn simulate(preset: &str, scale: f64, seed: u64) -> Result<String, String> {
+pub fn simulate(preset: &str, scale: f64, seed: u64, faults: FaultKnobs) -> Result<String, String> {
     let mut config = match preset {
         "8day" => ScenarioConfig::paper_8day(scale),
         "92day" => ScenarioConfig::paper_92day(scale),
         "small" => ScenarioConfig::small(),
-        other => return Err(format!("unknown preset {other:?} (8day|92day|small)")),
+        "faulty" => ScenarioConfig::small_faulty(),
+        other => {
+            return Err(format!(
+                "unknown preset {other:?} (8day|92day|small|faulty)"
+            ))
+        }
     };
     config.seed = seed;
+    faults.apply(&mut config);
     let campaign = dmsa_scenario::run(&config);
     CampaignExport::from_campaign(&campaign)
         .to_json()
@@ -232,9 +271,41 @@ pub fn analyze(
             )
             .unwrap();
         }
+        "redundancy" => {
+            let b = redundancy_breakdown(store, SimDuration::from_hours(24));
+            writeln!(
+                out,
+                "retry-induced: {} groups, {} redundant transfers, {} B",
+                b.retry_induced.n_groups,
+                b.retry_induced.n_redundant,
+                b.retry_induced.redundant_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "reaper-induced: {} groups, {} redundant transfers, {} B",
+                b.reaper_induced.n_groups,
+                b.reaper_induced.n_redundant,
+                b.reaper_induced.redundant_bytes
+            )
+            .unwrap();
+            let share = b
+                .retry_share()
+                .map(|s| format!("{:.1}%", 100.0 * s))
+                .unwrap_or_else(|| "n/a".into());
+            let delay = b
+                .mean_retry_delay_secs()
+                .map(|d| format!("{d:.0} s"))
+                .unwrap_or_else(|| "n/a".into());
+            writeln!(
+                out,
+                "retry share {share} | mean retry-added staging delay {delay}"
+            )
+            .unwrap();
+        }
         other => {
             return Err(format!(
-                "unknown report {other:?} (summary|matrix|temporal)"
+                "unknown report {other:?} (summary|matrix|temporal|redundancy)"
             ))
         }
     }
@@ -317,7 +388,24 @@ mod tests {
 
     #[test]
     fn simulate_rejects_unknown_preset() {
-        assert!(simulate("weekly", 1.0, 1).is_err());
+        assert!(simulate("weekly", 1.0, 1, FaultKnobs::default()).is_err());
+    }
+
+    #[test]
+    fn fault_knobs_override_only_what_they_set() {
+        let mut config = ScenarioConfig::small();
+        let knobs = FaultKnobs {
+            fail_prob: Some(0.1),
+            max_retries: Some(5),
+            ..FaultKnobs::default()
+        };
+        knobs.apply(&mut config);
+        assert_eq!(config.faults.p_attempt_failure, 0.1);
+        assert_eq!(config.retry.max_retries, 5);
+        // Untouched knobs keep the preset's inert defaults.
+        assert_eq!(config.faults.site_outage_fraction, 0.0);
+        assert_eq!(config.faults.link_outage_fraction, 0.0);
+        assert!(!config.faults.enabled() || config.faults.p_attempt_failure > 0.0);
     }
 
     #[test]
@@ -350,8 +438,23 @@ mod tests {
         assert!(matrix.contains("local"));
         let temporal = analyze(&campaign, None, "temporal").unwrap();
         assert!(temporal.contains("Gini"));
+        let redundancy = analyze(&campaign, None, "redundancy").unwrap();
+        assert!(redundancy.contains("retry-induced") && redundancy.contains("reaper-induced"));
         let cmp = compare_methods(&campaign).unwrap();
         assert!(cmp.contains("Exact") && cmp.contains("RM2"));
+    }
+
+    #[test]
+    fn faulty_campaign_attributes_retry_induced_redundancy() {
+        let mut c = ScenarioConfig::small_faulty();
+        c.duration = SimDuration::from_hours(6);
+        c.workload.tasks_per_hour = 20.0;
+        let campaign = dmsa_scenario::run(&c);
+        let b = redundancy_breakdown(&campaign.store, SimDuration::from_hours(24));
+        // Failed attempts must surface as a *separately attributed* class
+        // of duplicates, not blend into the reaper-induced pool.
+        assert!(b.retry_induced.n_groups > 0, "no retry-induced groups");
+        assert!(b.retry_induced.n_redundant > 0);
     }
 
     #[test]

@@ -325,6 +325,8 @@ pub(crate) mod testutil {
                 jeditaskid: Some(taskid),
                 is_download: true,
                 is_upload: false,
+                attempt: 1,
+                succeeded: true,
                 gt_pandaid: Some(pandaid),
                 gt_source_site: src,
                 gt_destination_site: dst,

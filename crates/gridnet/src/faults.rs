@@ -1,0 +1,298 @@
+//! Seeded outage schedules and per-attempt transfer failure probabilities.
+//!
+//! The paper's anomalies are *caused* by transfer failures: Fig 10's retry
+//! storms and dead storage movers, §5.2's redundant transfers (the same
+//! bytes delivered repeatedly), §5.3's staging delays (queued→start gaps
+//! far beyond the link's nominal duration). This module supplies the causal
+//! layer: per-site and per-directed-link **outage windows** plus a base
+//! **per-attempt failure probability**, all deterministic pure functions of
+//! `(master seed, entity, time bucket)` — the same stateless discipline as
+//! [`crate::BandwidthModel`], so any component may query the schedule at any
+//! `SimTime` without perturbing a single RNG stream. With every knob at
+//! zero the model is inert: nothing downstream draws, branches, or shifts,
+//! and a campaign is byte-identical to one built without it.
+
+use crate::site::SiteId;
+use dmsa_simcore::{RngFactory, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Width of the piecewise-constant outage windows. Real downtime
+/// declarations (GOCDB) are scheduled in hours, not seconds.
+pub const OUTAGE_BUCKET: SimDuration = SimDuration::from_secs(3_600);
+
+/// Failure/outage knobs. All probabilities default to zero: the fault
+/// layer is strictly additive and off unless a scenario turns it on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Base probability that any single transfer attempt fails (mover
+    /// crash, checksum mismatch, auth token expiry) outside outages.
+    pub p_attempt_failure: f64,
+    /// Fraction of hour-buckets during which a given site's storage
+    /// frontend is in outage (dead storage movers).
+    pub site_outage_fraction: f64,
+    /// Fraction of hour-buckets during which a given directed link is in
+    /// outage (network path down, FTS channel drained).
+    pub link_outage_fraction: f64,
+    /// Attempt failure probability while an endpoint or the link is in
+    /// outage. Not 1.0: a transfer that *started* just before the window
+    /// closes occasionally squeaks through.
+    pub p_outage_failure: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// The inert configuration: no outages, no attempt failures.
+    pub fn none() -> Self {
+        FaultConfig {
+            p_attempt_failure: 0.0,
+            site_outage_fraction: 0.0,
+            link_outage_fraction: 0.0,
+            p_outage_failure: 0.95,
+        }
+    }
+
+    /// A degraded-grid preset for tests and the outage-sweep ablation:
+    /// noticeable attempt failures plus rare site/link outage windows.
+    pub fn degraded() -> Self {
+        FaultConfig {
+            p_attempt_failure: 0.08,
+            site_outage_fraction: 0.01,
+            link_outage_fraction: 0.015,
+            p_outage_failure: 0.95,
+        }
+    }
+
+    /// Does any knob make faults possible?
+    pub fn enabled(&self) -> bool {
+        self.p_attempt_failure > 0.0
+            || self.site_outage_fraction > 0.0
+            || self.link_outage_fraction > 0.0
+    }
+}
+
+/// Deterministic fault oracle for a fixed topology.
+///
+/// Construction consumes **no** RNG stream draws (everything is hashed from
+/// the master seed), so adding a `FaultModel` to an existing scenario never
+/// re-randomizes other components.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    seed: u64,
+    config: FaultConfig,
+}
+
+/// Salts keeping the site/link/attempt hash families disjoint.
+const SITE_SALT: u64 = 0xFA_517E;
+const LINK_SALT: u64 = 0xFA_11ED;
+
+impl FaultModel {
+    /// Build the oracle. The `rngs` factory supplies only the master seed.
+    pub fn new(rngs: &RngFactory, config: FaultConfig) -> Self {
+        FaultModel {
+            seed: rngs.master_seed(),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Can this model ever fail an attempt? Callers gate every draw on
+    /// this so a disabled model leaves RNG streams untouched.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    fn bucket(t: SimTime) -> u64 {
+        t.as_millis().div_euclid(OUTAGE_BUCKET.as_millis()) as u64
+    }
+
+    /// Is `site`'s storage frontend in a scheduled outage at `t`?
+    pub fn site_down(&self, site: SiteId, t: SimTime) -> bool {
+        if self.config.site_outage_fraction <= 0.0 {
+            return false;
+        }
+        let h = mix(
+            self.seed,
+            SITE_SALT ^ ((site.0 as u64) << 20),
+            Self::bucket(t),
+        );
+        uniform(h) < self.config.site_outage_fraction
+    }
+
+    /// Is the directed link `src → dst` in outage at `t`? (Endpoint site
+    /// outages are queried separately; see [`Self::path_down`].)
+    pub fn link_down(&self, src: SiteId, dst: SiteId, t: SimTime) -> bool {
+        if self.config.link_outage_fraction <= 0.0 || src == dst {
+            // Local moves never traverse a WAN link.
+            return false;
+        }
+        let link = ((src.0 as u64) << 32) | dst.0 as u64;
+        let h = mix(self.seed, LINK_SALT ^ link, Self::bucket(t));
+        uniform(h) < self.config.link_outage_fraction
+    }
+
+    /// Is the whole transfer path degraded at `t` — either endpoint's
+    /// frontend down, or (for remote transfers) the link down?
+    pub fn path_down(&self, src: SiteId, dst: SiteId, t: SimTime) -> bool {
+        self.site_down(src, t)
+            || (src != dst && self.site_down(dst, t))
+            || self.link_down(src, dst, t)
+    }
+
+    /// Probability that a single attempt starting at `t` on `src → dst`
+    /// fails.
+    pub fn attempt_failure_prob(&self, src: SiteId, dst: SiteId, t: SimTime) -> f64 {
+        if self.path_down(src, dst, t) {
+            self.config.p_outage_failure
+        } else {
+            self.config.p_attempt_failure
+        }
+    }
+}
+
+/// SplitMix64-style integer mixing (same family as the bandwidth model's,
+/// differently salted).
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed ^ a.rotate_left(23) ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform in `(0, 1)`.
+fn uniform(h: u64) -> f64 {
+    (((h >> 11) as f64) + 0.5) / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(config: FaultConfig) -> FaultModel {
+        FaultModel::new(&RngFactory::new(42), config)
+    }
+
+    #[test]
+    fn inert_config_never_fails_anything() {
+        let m = model(FaultConfig::none());
+        assert!(!m.enabled());
+        for h in 0..200 {
+            let t = SimTime::from_hours(h);
+            assert!(!m.site_down(SiteId(3), t));
+            assert!(!m.link_down(SiteId(1), SiteId(2), t));
+            assert_eq!(m.attempt_failure_prob(SiteId(1), SiteId(2), t), 0.0);
+        }
+    }
+
+    #[test]
+    fn outage_fractions_are_roughly_respected() {
+        let m = model(FaultConfig {
+            site_outage_fraction: 0.10,
+            link_outage_fraction: 0.05,
+            ..FaultConfig::none()
+        });
+        let n = 20_000;
+        let site_down = (0..n)
+            .filter(|&h| m.site_down(SiteId(7), SimTime::from_hours(h)))
+            .count() as f64
+            / n as f64;
+        let link_down = (0..n)
+            .filter(|&h| m.link_down(SiteId(1), SiteId(9), SimTime::from_hours(h)))
+            .count() as f64
+            / n as f64;
+        assert!(
+            (site_down - 0.10).abs() < 0.02,
+            "site outage rate {site_down}"
+        );
+        assert!(
+            (link_down - 0.05).abs() < 0.02,
+            "link outage rate {link_down}"
+        );
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_per_entity() {
+        let m = model(FaultConfig::degraded());
+        let m2 = model(FaultConfig::degraded());
+        let mut differ = false;
+        for h in 0..2_000 {
+            let t = SimTime::from_hours(h);
+            assert_eq!(m.site_down(SiteId(4), t), m2.site_down(SiteId(4), t));
+            if m.site_down(SiteId(4), t) != m.site_down(SiteId(5), t) {
+                differ = true;
+            }
+        }
+        assert!(differ, "distinct sites must have distinct schedules");
+    }
+
+    #[test]
+    fn outage_windows_are_bucket_constant() {
+        let m = model(FaultConfig {
+            site_outage_fraction: 0.2,
+            ..FaultConfig::none()
+        });
+        // Find a down bucket, then verify constancy across the hour.
+        let t = (0..5_000)
+            .map(SimTime::from_hours)
+            .find(|&t| m.site_down(SiteId(2), t))
+            .expect("a down hour exists at 20 %");
+        for offset in [0, 1, 1_800, 3_599] {
+            assert!(m.site_down(SiteId(2), t + SimDuration::from_secs(offset)));
+        }
+    }
+
+    #[test]
+    fn outages_elevate_attempt_failure_probability() {
+        let m = model(FaultConfig {
+            p_attempt_failure: 0.02,
+            site_outage_fraction: 0.1,
+            ..FaultConfig::degraded()
+        });
+        let (src, dst) = (SiteId(0), SiteId(6));
+        let down = (0..5_000)
+            .map(SimTime::from_hours)
+            .find(|&t| m.path_down(src, dst, t))
+            .expect("an outage exists");
+        let up = (0..5_000)
+            .map(SimTime::from_hours)
+            .find(|&t| !m.path_down(src, dst, t))
+            .expect("an up hour exists");
+        assert_eq!(m.attempt_failure_prob(src, dst, down), 0.95);
+        assert_eq!(m.attempt_failure_prob(src, dst, up), 0.02);
+    }
+
+    #[test]
+    fn local_paths_ignore_link_outages() {
+        let m = model(FaultConfig {
+            link_outage_fraction: 1.0,
+            ..FaultConfig::none()
+        });
+        for h in 0..50 {
+            assert!(!m.link_down(SiteId(3), SiteId(3), SimTime::from_hours(h)));
+        }
+        // But remote paths are always down at fraction 1.
+        assert!(m.link_down(SiteId(3), SiteId(4), SimTime::EPOCH));
+    }
+
+    #[test]
+    fn directed_links_fail_independently() {
+        let m = model(FaultConfig {
+            link_outage_fraction: 0.3,
+            ..FaultConfig::none()
+        });
+        let differ = (0..2_000)
+            .map(SimTime::from_hours)
+            .any(|t| m.link_down(SiteId(1), SiteId(2), t) != m.link_down(SiteId(2), SiteId(1), t));
+        assert!(differ, "direction must matter, as for bandwidth");
+    }
+}

@@ -24,10 +24,12 @@
 
 pub mod bandwidth;
 pub mod config;
+pub mod faults;
 pub mod site;
 pub mod topology;
 
 pub use bandwidth::BandwidthModel;
 pub use config::TopologyConfig;
+pub use faults::{FaultConfig, FaultModel};
 pub use site::{Rse, RseId, RseKind, Site, SiteId, Tier};
 pub use topology::GridTopology;

@@ -56,6 +56,12 @@ pub struct CorruptionModel {
     pub p_task_unknown_site: f64,
     /// Burst pathology: a whole task's transfers lose `jeditaskid`.
     pub p_task_drop_taskid: f64,
+    /// A transfer's recorded `attempt` ordinal is reset to 1 (retry
+    /// bookkeeping lost in the metadata pipeline), hiding a retry from
+    /// the redundancy attribution. Off by default so pre-existing
+    /// scenarios replay unchanged.
+    #[serde(default)]
+    pub p_clear_attempt: f64,
 }
 
 impl Default for CorruptionModel {
@@ -73,6 +79,7 @@ impl Default for CorruptionModel {
             p_task_size_jitter: 0.62,
             p_task_unknown_site: 0.42,
             p_task_drop_taskid: 0.12,
+            p_clear_attempt: 0.0,
         }
     }
 }
@@ -105,6 +112,7 @@ impl CorruptionModel {
             p_task_size_jitter: 0.0,
             p_task_unknown_site: 0.0,
             p_task_drop_taskid: 0.0,
+            p_clear_attempt: 0.0,
         }
     }
 
@@ -125,6 +133,7 @@ impl CorruptionModel {
             p_task_size_jitter: c(self.p_task_size_jitter),
             p_task_unknown_site: c(self.p_task_unknown_site),
             p_task_drop_taskid: c(self.p_task_drop_taskid),
+            p_clear_attempt: c(self.p_clear_attempt),
         }
     }
 
@@ -227,6 +236,11 @@ impl CorruptionModel {
             let sign = if rng.random::<bool>() { 1 } else { -1 };
             t.file_size = (t.file_size as i64 + sign * jitter).max(1) as u64;
         }
+        // Guarded draw: at the 0.0 default this consumes nothing, so the
+        // stream stays aligned with pre-retry-era runs.
+        if self.p_clear_attempt > 0.0 && rng.random::<f64>() < self.p_clear_attempt {
+            t.attempt = 1;
+        }
     }
 }
 
@@ -256,6 +270,8 @@ mod tests {
                 jeditaskid: Some(1),
                 is_download: true,
                 is_upload: false,
+                attempt: if id % 3 == 0 { 2 } else { 1 },
+                succeeded: true,
                 gt_pandaid: Some(id),
                 gt_source_site: site,
                 gt_destination_site: site,
@@ -358,6 +374,19 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn clear_attempt_resets_retry_ordinals_only_when_enabled() {
+        let mut store = store_with_transfers(3_000);
+        CorruptionModel::none().apply(&mut store, &RngFactory::new(7));
+        assert!(store.transfers.iter().any(|t| t.attempt > 1));
+        CorruptionModel {
+            p_clear_attempt: 1.0,
+            ..CorruptionModel::none()
+        }
+        .apply(&mut store, &RngFactory::new(7));
+        assert!(store.transfers.iter().all(|t| t.attempt == 1));
     }
 
     #[test]

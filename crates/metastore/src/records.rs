@@ -123,6 +123,15 @@ pub struct TransferRecord {
     pub is_download: bool,
     /// Moves data *from* the computing site.
     pub is_upload: bool,
+    /// 1-based attempt ordinal as Rucio would record it (retries of the
+    /// same request share lfn/size/destination but bump this; may be
+    /// cleared to the default by corruption).
+    #[serde(default = "default_attempt")]
+    pub attempt: u32,
+    /// Did this attempt deliver the file? Failed attempts are the
+    /// retry-induced redundant transfers of §5.2.
+    #[serde(default = "default_succeeded")]
+    pub succeeded: bool,
     /// Ground truth: the job that caused this transfer.
     pub gt_pandaid: Option<u64>,
     /// Ground truth: true source site.
@@ -133,7 +142,22 @@ pub struct TransferRecord {
     pub gt_file_size: u64,
 }
 
+/// Serde default: pre-retry exports carried only first attempts.
+fn default_attempt() -> u32 {
+    1
+}
+
+/// Serde default: pre-retry exports carried only delivered transfers.
+fn default_succeeded() -> bool {
+    true
+}
+
 impl TransferRecord {
+    /// A retry attempt (not the first try of its request)?
+    pub fn is_retry(&self) -> bool {
+        self.attempt > 1
+    }
+
     /// Duration of the transfer.
     pub fn duration(&self) -> SimDuration {
         (self.endtime - self.starttime).clamp_non_negative()
@@ -175,6 +199,8 @@ mod tests {
             jeditaskid: Some(9),
             is_download: true,
             is_upload: false,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: Some(77),
             gt_source_site: Sym(5),
             gt_destination_site: Sym(6),

@@ -130,6 +130,8 @@ mod tests {
             jeditaskid: taskid,
             is_download: true,
             is_upload: false,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: None,
             gt_source_site: Sym(0),
             gt_destination_site: Sym(0),

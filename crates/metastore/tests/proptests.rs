@@ -55,6 +55,8 @@ fn store_with(n_jobs: u64, n_transfers: u64) -> MetaStore {
             jeditaskid: Some(id / 5),
             is_download: true,
             is_upload: false,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: Some(id),
             gt_source_site: site,
             gt_destination_site: site,

@@ -101,6 +101,10 @@ pub mod error_codes {
     pub const PILOT_VALIDATION: u32 = 1150;
     /// Pilot heartbeat lost mid-execution.
     pub const LOST_HEARTBEAT: u32 = 1361;
+    /// Input file could not be staged after exhausting transfer retries
+    /// (the transfer layer's graceful-degradation surface: PanDA
+    /// re-brokers the job once).
+    pub const LOST_INPUT: u32 = 1103;
 
     /// Message for a code, mirroring PanDA's error dictionary style.
     pub fn message(code: u32) -> &'static str {
@@ -112,6 +116,7 @@ pub mod error_codes {
             NO_DISK_SPACE => "No space left on scratch disk",
             PILOT_VALIDATION => "Pilot failed to validate a worker node",
             LOST_HEARTBEAT => "Lost heartbeat",
+            LOST_INPUT => "Input file lost: stage-in retries exhausted",
             _ => "Unknown error",
         }
     }

@@ -39,4 +39,6 @@ pub use catalog::{DatasetId, FileId, ReplicaCatalog};
 pub use deletion::{reap_all, reap_rse, Deletion, ReaperPolicy};
 pub use did::{DidName, Scope};
 pub use rules::{ReplicationRule, RuleEngine, RuleId};
-pub use transfer::{TransferEngine, TransferEvent, TransferId, TransferRequest};
+pub use transfer::{
+    RetryPolicy, TransferEngine, TransferEvent, TransferId, TransferOutcome, TransferRequest,
+};

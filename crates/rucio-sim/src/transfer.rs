@@ -13,12 +13,32 @@
 //! their transfers — reproducing the paper's Fig 10 case study, where three
 //! stage-in transfers at one site ran strictly back-to-back and left the
 //! link idle ("clear evidence of bandwidth underutilization").
+//!
+//! ## Failures and retries
+//!
+//! When a [`FaultModel`] is attached ([`TransferEngine::with_faults`]),
+//! individual attempts can fail — with elevated probability inside the
+//! model's outage windows. A failed attempt still occupies its streams for
+//! the partial duration it ran, emits its own [`TransferEvent`] (marked
+//! `succeeded = false`), and is retried after exponential backoff with
+//! jitter, up to [`RetryPolicy::max_retries`] extra attempts. This is the
+//! causal source of two of the paper's anomaly classes: retry attempts of
+//! the same file to the same destination are §5.2's *redundant transfers*,
+//! and the widening `queued → starttime` gap across attempts is §5.3's
+//! *staging delay*. When every attempt fails the file is simply not
+//! delivered ([`TransferOutcome::Exhausted`]) and the consumer degrades
+//! gracefully — the PanDA side surfaces it as a lost-input job failure.
+//!
+//! All failure draws come from a dedicated `"rucio/transfer-faults"` RNG
+//! stream and are taken only when faults are enabled, so a zero-knob
+//! engine replays the exact draw sequence of an engine built without a
+//! fault model at all.
 
 use crate::activity::Activity;
 use crate::catalog::{FileId, ReplicaCatalog};
 use crate::did::{DidName, Scope};
-use dmsa_gridnet::{BandwidthModel, GridTopology, RseId, SiteId};
-use dmsa_simcore::{RngFactory, SimTime};
+use dmsa_gridnet::{BandwidthModel, FaultConfig, FaultModel, GridTopology, RseId, SiteId};
+use dmsa_simcore::{RngFactory, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -71,14 +91,19 @@ pub struct TransferEvent {
     pub source_site: SiteId,
     /// True destination site.
     pub destination_site: SiteId,
-    /// When the request entered the engine.
+    /// When the request entered the engine (shared by every attempt of
+    /// the same request — retries widen the queued→start gap).
     pub queued: SimTime,
     /// When bytes started flowing (slot acquired).
     pub starttime: SimTime,
-    /// When the last byte arrived.
+    /// When the last byte arrived (or the attempt died).
     pub endtime: SimTime,
     /// Activity class.
     pub activity: Activity,
+    /// 1-based attempt ordinal within the request.
+    pub attempt: u32,
+    /// Did this attempt deliver the file?
+    pub succeeded: bool,
     /// Ground truth: triggering job, hidden from the matcher.
     pub caused_by_pandaid: Option<u64>,
     /// `jeditaskid` as Rucio would record it (pre-corruption).
@@ -97,6 +122,87 @@ impl TransferEvent {
     }
 }
 
+/// Exponential-backoff retry policy for failed transfer attempts
+/// (Rucio's `--max-retries` / FTS retry semantics).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per further retry.
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction (`0.25` = ±25 %) decorrelating retry storms.
+    pub backoff_jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_secs(60),
+            backoff_factor: 2.0,
+            backoff_jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `retry` (1-based), with `u ∈ [0, 1)`
+    /// supplying the jitter.
+    pub fn backoff(&self, retry: u32, u: f64) -> SimDuration {
+        let exp = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        let jitter = 1.0 + self.backoff_jitter * (2.0 * u - 1.0);
+        let ms = self.backoff_base.as_millis() as f64 * exp * jitter;
+        SimDuration::from_millis(ms.round().max(0.0) as i64)
+    }
+}
+
+/// What [`TransferEngine::execute`] did with a request.
+#[derive(Clone, Debug)]
+pub enum TransferOutcome {
+    /// The file arrived. The last event is the successful attempt; any
+    /// earlier ones are failed attempts that preceded it.
+    Delivered(Vec<TransferEvent>),
+    /// Every attempt failed; the file was *not* delivered and no replica
+    /// was registered. The consumer must degrade gracefully.
+    Exhausted(Vec<TransferEvent>),
+    /// The file has no source replica anywhere (lost data): nothing was
+    /// attempted and no slot was touched.
+    NoReplica,
+}
+
+impl TransferOutcome {
+    /// The successful delivery event, if any.
+    pub fn delivered(&self) -> Option<&TransferEvent> {
+        match self {
+            TransferOutcome::Delivered(evs) => evs.last(),
+            _ => None,
+        }
+    }
+
+    /// All attempt events, oldest first (empty for [`Self::NoReplica`]).
+    pub fn events(&self) -> &[TransferEvent] {
+        match self {
+            TransferOutcome::Delivered(evs) | TransferOutcome::Exhausted(evs) => evs,
+            TransferOutcome::NoReplica => &[],
+        }
+    }
+
+    /// Consume into the attempt events.
+    pub fn into_events(self) -> Vec<TransferEvent> {
+        match self {
+            TransferOutcome::Delivered(evs) | TransferOutcome::Exhausted(evs) => evs,
+            TransferOutcome::NoReplica => Vec::new(),
+        }
+    }
+
+    /// Did the file arrive?
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, TransferOutcome::Delivered(_))
+    }
+}
+
 /// Per-site stream accounting + transfer execution.
 pub struct TransferEngine {
     /// `slots[site]` holds one entry per stream: the time it frees up.
@@ -111,13 +217,36 @@ pub struct TransferEngine {
     jitter_rng: SmallRng,
     jitter_sigma: f64,
     stall_prob: f64,
+    /// Outage schedule / attempt-failure oracle.
+    faults: FaultModel,
+    /// Backoff schedule for failed attempts.
+    retry: RetryPolicy,
+    /// Failure + backoff-jitter draws; touched only when faults are
+    /// enabled, so zero-knob runs replay the fault-free draw sequence.
+    fault_rng: SmallRng,
 }
 
 impl TransferEngine {
-    /// Engine for `topology`, all streams free at the epoch. Jitter draws
-    /// come from the `"rucio/transfer-jitter"` stream of `rngs`, so runs
-    /// are reproducible.
+    /// Engine for `topology`, all streams free at the epoch, faults
+    /// disabled. Jitter draws come from the `"rucio/transfer-jitter"`
+    /// stream of `rngs`, so runs are reproducible.
     pub fn new(topology: &GridTopology, rngs: &RngFactory) -> Self {
+        Self::with_faults(
+            topology,
+            rngs,
+            FaultModel::new(rngs, FaultConfig::none()),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Engine with a fault model and retry policy attached. With an inert
+    /// fault config this is draw-for-draw identical to [`Self::new`].
+    pub fn with_faults(
+        topology: &GridTopology,
+        rngs: &RngFactory,
+        faults: FaultModel,
+        retry: RetryPolicy,
+    ) -> Self {
         let slots = topology
             .sites()
             .iter()
@@ -133,6 +262,9 @@ impl TransferEngine {
             jitter_rng: rngs.stream("rucio/transfer-jitter"),
             jitter_sigma: 0.55,
             stall_prob: 0.02,
+            faults,
+            retry,
+            fault_rng: rngs.stream("rucio/transfer-faults"),
         }
     }
 
@@ -187,10 +319,12 @@ impl TransferEngine {
 
     /// Execute a transfer request that became ready at `ready`.
     ///
-    /// Picks the source replica, waits for a free stream at both endpoints,
-    /// integrates link bandwidth for the duration, registers the new
-    /// replica in the catalog, and returns the completed event. Returns
-    /// `None` if the file has no source replica (lost data).
+    /// Picks the source replica, waits for a free stream at both
+    /// endpoints, integrates link bandwidth for the duration, and repeats
+    /// with exponential backoff while attempts fail (see module docs).
+    /// On delivery the new replica is registered in the catalog. Every
+    /// attempt — failed or not — appears in the outcome and consumed its
+    /// streams for exactly the span of its event.
     pub fn execute(
         &mut self,
         req: &TransferRequest,
@@ -198,59 +332,105 @@ impl TransferEngine {
         catalog: &mut ReplicaCatalog,
         topology: &GridTopology,
         bw: &BandwidthModel,
-    ) -> Option<TransferEvent> {
+    ) -> TransferOutcome {
         let dest_site = topology.site_of_rse(req.dest);
-        let source_rse = match req.preferred_source {
-            Some(rse) if catalog.has_replica(req.file, rse) => rse,
-            _ => self.select_source(catalog, topology, bw, req.file, dest_site, ready)?,
-        };
-        let source_site = topology.site_of_rse(source_rse);
+        let faults_on = self.faults.enabled();
+        let max_attempts = 1 + if faults_on { self.retry.max_retries } else { 0 };
+        let mut events: Vec<TransferEvent> = Vec::new();
+        let mut attempt_ready = ready;
 
-        // Acquire one stream at each distinct endpoint.
-        let start = if source_site == dest_site {
-            self.acquire_slot(source_site, ready)
-        } else {
-            self.acquire_pair(source_site, dest_site, ready)
-        };
+        for attempt in 1..=max_attempts {
+            // Re-discover per attempt: the reaper may have deleted the
+            // replica we used last time, or a better one may exist now.
+            let source_rse = match req.preferred_source {
+                Some(rse) if catalog.has_replica(req.file, rse) => rse,
+                _ => match self.select_source(
+                    catalog,
+                    topology,
+                    bw,
+                    req.file,
+                    dest_site,
+                    attempt_ready,
+                ) {
+                    Some(rse) => rse,
+                    None if events.is_empty() => return TransferOutcome::NoReplica,
+                    None => return TransferOutcome::Exhausted(events),
+                },
+            };
+            let source_site = topology.site_of_rse(source_rse);
 
-        let entry = catalog.file(req.file);
-        let size = entry.size;
-        let nominal_end = bw.transfer_end(source_site, dest_site, start, size);
-        let nominal_ms = (nominal_end - start).as_millis().max(1);
-        let end = start
-            + dmsa_simcore::SimDuration::from_millis(
-                (nominal_ms as f64 * self.duration_factor())
-                    .round()
-                    .max(1.0) as i64,
-            );
+            // Acquire one stream at each distinct endpoint.
+            let start = if source_site == dest_site {
+                self.acquire_slot(source_site, attempt_ready)
+            } else {
+                self.acquire_pair(source_site, dest_site, attempt_ready)
+            };
 
-        // Release the streams at completion.
-        self.release_slot(source_site, end);
-        if source_site != dest_site {
-            self.release_slot(dest_site, end);
+            let entry = catalog.file(req.file);
+            let size = entry.size;
+            let nominal_end = bw.transfer_end(source_site, dest_site, start, size);
+            let nominal_ms = (nominal_end - start).as_millis().max(1);
+
+            let failed = if faults_on {
+                let p = self
+                    .faults
+                    .attempt_failure_prob(source_site, dest_site, start);
+                p > 0.0 && self.fault_rng.random::<f64>() < p
+            } else {
+                false
+            };
+
+            let end = if failed {
+                // The mover died partway through: the streams were held
+                // for a fraction of the nominal duration, then errored.
+                let frac = 0.05 + 0.85 * self.fault_rng.random::<f64>();
+                start + SimDuration::from_millis((nominal_ms as f64 * frac).round().max(1.0) as i64)
+            } else {
+                start
+                    + SimDuration::from_millis(
+                        (nominal_ms as f64 * self.duration_factor())
+                            .round()
+                            .max(1.0) as i64,
+                    )
+            };
+
+            // Release the streams when the attempt ends, success or not.
+            self.release_slot(source_site, end);
+            if source_site != dest_site {
+                self.release_slot(dest_site, end);
+            }
+
+            let ds = catalog.dataset(entry.dataset);
+            events.push(TransferEvent {
+                id: TransferId(self.next_id),
+                file: req.file,
+                lfn: entry.lfn.clone(),
+                dataset: ds.name.clone(),
+                proddblock: ds.prod_dblock.clone(),
+                scope: entry.scope,
+                file_size: size,
+                source_site,
+                destination_site: dest_site,
+                queued: ready,
+                starttime: start,
+                endtime: end,
+                activity: req.activity,
+                attempt,
+                succeeded: !failed,
+                caused_by_pandaid: req.caused_by_pandaid,
+                jeditaskid: req.jeditaskid,
+            });
+            self.next_id += 1;
+
+            if !failed {
+                catalog.add_replica(req.file, req.dest);
+                return TransferOutcome::Delivered(events);
+            }
+            // Exponential backoff with jitter before the next attempt.
+            let u = self.fault_rng.random::<f64>();
+            attempt_ready = end + self.retry.backoff(attempt, u);
         }
-
-        let ds = catalog.dataset(entry.dataset);
-        let event = TransferEvent {
-            id: TransferId(self.next_id),
-            file: req.file,
-            lfn: entry.lfn.clone(),
-            dataset: ds.name.clone(),
-            proddblock: ds.prod_dblock.clone(),
-            scope: entry.scope,
-            file_size: size,
-            source_site,
-            destination_site: dest_site,
-            queued: ready,
-            starttime: start,
-            endtime: end,
-            activity: req.activity,
-            caused_by_pandaid: req.caused_by_pandaid,
-            jeditaskid: req.jeditaskid,
-        };
-        self.next_id += 1;
-        catalog.add_replica(req.file, req.dest);
-        Some(event)
+        TransferOutcome::Exhausted(events)
     }
 
     /// Pop the earliest-free stream at `site`; the stream is considered
@@ -281,6 +461,19 @@ impl TransferEngine {
         SimTime::from_millis(free)
     }
 
+    /// Current number of *free* stream slots tracked for `site`. Outside
+    /// an `execute` call every stream is parked in the heap, so this must
+    /// always equal the site's configured `transfer_slots` — the leak
+    /// invariant the slot property test asserts.
+    pub fn slot_count(&self, site: SiteId) -> usize {
+        self.slots[site.index()].len()
+    }
+
+    /// Number of sites the engine tracks slots for.
+    pub fn n_sites(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Number of events issued so far.
     pub fn n_transfers(&self) -> u64 {
         self.next_id
@@ -302,6 +495,10 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
+        fixture_with(None)
+    }
+
+    fn fixture_with(faults: Option<(FaultConfig, RetryPolicy)>) -> Fixture {
         let rngs = RngFactory::new(11);
         let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
         let bw = BandwidthModel::new(&rngs, &topo);
@@ -319,7 +516,13 @@ mod tests {
         for &f in &files {
             cat.add_replica(f, t0_disk);
         }
-        let eng = TransferEngine::new(&topo, &rngs);
+        let eng = match faults {
+            None => TransferEngine::new(&topo, &rngs),
+            Some((fc, rp)) => {
+                let fm = FaultModel::new(&rngs, fc);
+                TransferEngine::with_faults(&topo, &rngs, fm, rp)
+            }
+        };
         Fixture {
             topo,
             bw,
@@ -338,6 +541,12 @@ mod tests {
             jeditaskid: Some(10),
             preferred_source: None,
         }
+    }
+
+    /// Run a request that must deliver; return the successful event.
+    fn exec_ok(f: &mut Fixture, req: &TransferRequest, ready: SimTime) -> TransferEvent {
+        let out = f.eng.execute(req, ready, &mut f.cat, &f.topo, &f.bw);
+        out.delivered().expect("transfer delivers").clone()
     }
 
     #[test]
@@ -387,39 +596,35 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_yields_none() {
+    fn missing_file_yields_no_replica() {
         let mut f = fixture();
         let lost = f.files[0];
         let rse0 = f.topo.disk_rse(SiteId(0));
         f.cat.remove_replica(lost, rse0);
-        let ev = f.eng.execute(
+        let out = f.eng.execute(
             &request(lost, f.topo.disk_rse(SiteId(3))),
             SimTime::EPOCH,
             &mut f.cat,
             &f.topo,
             &f.bw,
         );
-        assert!(ev.is_none());
+        assert!(matches!(out, TransferOutcome::NoReplica));
+        assert!(out.events().is_empty());
+        assert_eq!(f.eng.n_transfers(), 0);
     }
 
     #[test]
     fn execute_registers_replica_and_orders_times() {
         let mut f = fixture();
         let dest = f.topo.disk_rse(SiteId(4));
-        let ev = f
-            .eng
-            .execute(
-                &request(f.files[0], dest),
-                SimTime::from_secs(100),
-                &mut f.cat,
-                &f.topo,
-                &f.bw,
-            )
-            .unwrap();
+        let req = request(f.files[0], dest);
+        let ev = exec_ok(&mut f, &req, SimTime::from_secs(100));
         assert!(ev.starttime >= ev.queued);
         assert!(ev.endtime > ev.starttime);
         assert!(f.cat.has_replica(f.files[0], dest));
         assert_eq!(ev.file_size, 2_000_000_000);
+        assert_eq!(ev.attempt, 1);
+        assert!(ev.succeeded);
         assert!(!ev.is_local());
         assert!(ev.throughput_bytes_per_sec() > 0.0);
     }
@@ -450,11 +655,7 @@ mod tests {
             .files
             .clone()
             .into_iter()
-            .map(|file| {
-                f.eng
-                    .execute(&request(file, rse), ready, &mut f.cat, &f.topo, &f.bw)
-                    .unwrap()
-            })
+            .map(|file| exec_ok(&mut f, &request(file, rse), ready))
             .collect();
         // Strictly sequential: each starts when the previous one ends.
         assert!(evs[1].starttime >= evs[0].endtime);
@@ -471,11 +672,7 @@ mod tests {
             .files
             .clone()
             .into_iter()
-            .map(|file| {
-                f.eng
-                    .execute(&request(file, rse), ready, &mut f.cat, &f.topo, &f.bw)
-                    .unwrap()
-            })
+            .map(|file| exec_ok(&mut f, &request(file, rse), ready))
             .collect();
         assert_eq!(evs[0].starttime, evs[1].starttime);
         assert_eq!(evs[1].starttime, evs[2].starttime);
@@ -485,26 +682,10 @@ mod tests {
     fn event_ids_are_sequential() {
         let mut f = fixture();
         let rse = f.topo.disk_rse(SiteId(0));
-        let a = f
-            .eng
-            .execute(
-                &request(f.files[0], rse),
-                SimTime::EPOCH,
-                &mut f.cat,
-                &f.topo,
-                &f.bw,
-            )
-            .unwrap();
-        let b = f
-            .eng
-            .execute(
-                &request(f.files[1], rse),
-                SimTime::EPOCH,
-                &mut f.cat,
-                &f.topo,
-                &f.bw,
-            )
-            .unwrap();
+        let ra = request(f.files[0], rse);
+        let a = exec_ok(&mut f, &ra, SimTime::EPOCH);
+        let rb = request(f.files[1], rse);
+        let b = exec_ok(&mut f, &rb, SimTime::EPOCH);
         assert_eq!(a.id, TransferId(0));
         assert_eq!(b.id, TransferId(1));
         assert_eq!(f.eng.n_transfers(), 2);
@@ -514,16 +695,8 @@ mod tests {
     fn metadata_fields_round_trip_from_catalog() {
         let mut f = fixture();
         let rse = f.topo.disk_rse(SiteId(3));
-        let ev = f
-            .eng
-            .execute(
-                &request(f.files[2], rse),
-                SimTime::EPOCH,
-                &mut f.cat,
-                &f.topo,
-                &f.bw,
-            )
-            .unwrap();
+        let req = request(f.files[2], rse);
+        let ev = exec_ok(&mut f, &req, SimTime::EPOCH);
         let entry = f.cat.file(f.files[2]);
         assert_eq!(ev.lfn, entry.lfn);
         assert_eq!(ev.scope, entry.scope);
@@ -532,5 +705,135 @@ mod tests {
         assert_eq!(ev.proddblock, ds.prod_dblock);
         assert_eq!(ev.jeditaskid, Some(10));
         assert_eq!(ev.caused_by_pandaid, Some(1));
+    }
+
+    #[test]
+    fn zero_knob_engine_matches_fault_free_engine_exactly() {
+        // The acceptance criterion in miniature: an engine built through
+        // with_faults + inert knobs must replay new()'s event stream.
+        let mut a = fixture();
+        let mut b = fixture_with(Some((
+            FaultConfig::none(),
+            RetryPolicy {
+                max_retries: 7, // retry knobs must be inert at zero faults
+                ..RetryPolicy::default()
+            },
+        )));
+        for i in 0..3 {
+            let dest = a.topo.disk_rse(SiteId(4));
+            let ready = SimTime::from_secs(50 * i);
+            let req_a = request(a.files[i as usize], dest);
+            let ea = exec_ok(&mut a, &req_a, ready);
+            let req_b = request(b.files[i as usize], b.topo.disk_rse(SiteId(4)));
+            let eb = exec_ok(&mut b, &req_b, ready);
+            assert_eq!(ea.starttime, eb.starttime);
+            assert_eq!(ea.endtime, eb.endtime);
+            assert_eq!(ea.id, eb.id);
+            assert_eq!(ea.attempt, eb.attempt);
+        }
+    }
+
+    #[test]
+    fn failed_attempts_emit_events_and_retry_with_backoff() {
+        // Force failure on every attempt: the request exhausts its
+        // retries, each attempt emits an event, no replica appears.
+        let mut f = fixture_with(Some((
+            FaultConfig {
+                p_attempt_failure: 1.0,
+                ..FaultConfig::none()
+            },
+            RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+        )));
+        let dest = f.topo.disk_rse(SiteId(4));
+        let req = request(f.files[0], dest);
+        let out = f
+            .eng
+            .execute(&req, SimTime::from_secs(5), &mut f.cat, &f.topo, &f.bw);
+        assert!(!out.is_delivered());
+        let evs = out.events();
+        assert_eq!(evs.len(), 3, "1 initial + 2 retries");
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.attempt, i as u32 + 1);
+            assert!(!ev.succeeded);
+            assert_eq!(ev.queued, SimTime::from_secs(5), "queued is per-request");
+            assert!(ev.endtime > ev.starttime);
+        }
+        // Backoff: each retry starts strictly after the previous attempt
+        // ended (failed duration + backoff delay).
+        assert!(evs[1].starttime > evs[0].endtime);
+        assert!(evs[2].starttime > evs[1].endtime);
+        assert!(!f.cat.has_replica(f.files[0], dest));
+        assert_eq!(f.eng.n_transfers(), 3, "failed attempts are events too");
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        // p = 0.5: over several requests some must retry then deliver.
+        let mut f = fixture_with(Some((
+            FaultConfig {
+                p_attempt_failure: 0.5,
+                ..FaultConfig::none()
+            },
+            RetryPolicy::default(),
+        )));
+        let mut saw_retry_delivery = false;
+        for _ in 0..30 {
+            let dest = f.topo.disk_rse(SiteId(4));
+            let req = request(f.files[0], dest);
+            let out = f
+                .eng
+                .execute(&req, SimTime::EPOCH, &mut f.cat, &f.topo, &f.bw);
+            if let TransferOutcome::Delivered(evs) = &out {
+                let last = evs.last().unwrap();
+                assert!(last.succeeded);
+                assert!(evs.iter().take(evs.len() - 1).all(|e| !e.succeeded));
+                if evs.len() > 1 {
+                    saw_retry_delivery = true;
+                }
+            }
+        }
+        assert!(saw_retry_delivery, "p=0.5 must produce a retried delivery");
+    }
+
+    #[test]
+    fn slot_counts_are_restored_after_exhausted_retries() {
+        let mut f = fixture_with(Some((
+            FaultConfig {
+                p_attempt_failure: 1.0,
+                ..FaultConfig::none()
+            },
+            RetryPolicy::default(),
+        )));
+        let before: Vec<usize> = (0..f.eng.n_sites())
+            .map(|s| f.eng.slot_count(SiteId(s as u32)))
+            .collect();
+        let dest = f.topo.disk_rse(SiteId(4));
+        let _ = f.eng.execute(
+            &request(f.files[0], dest),
+            SimTime::EPOCH,
+            &mut f.cat,
+            &f.topo,
+            &f.bw,
+        );
+        let after: Vec<usize> = (0..f.eng.n_sites())
+            .map(|s| f.eng.slot_count(SiteId(s as u32)))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_jitters_within_bounds() {
+        let rp = RetryPolicy::default();
+        let base = rp.backoff_base.as_millis() as f64;
+        for retry in 1..=4u32 {
+            let nominal = base * rp.backoff_factor.powi(retry as i32 - 1);
+            let lo = rp.backoff(retry, 0.0).as_millis() as f64;
+            let hi = rp.backoff(retry, 1.0).as_millis() as f64;
+            assert!((lo - nominal * 0.75).abs() <= 1.0);
+            assert!((hi - nominal * 1.25).abs() <= 1.0);
+        }
     }
 }

@@ -2,9 +2,11 @@
 //! operation sequences, rule-engine fixpoints, and transfer-engine slot
 //! discipline.
 
-use dmsa_gridnet::{BandwidthModel, GridTopology, RseId, TopologyConfig};
+use dmsa_gridnet::{BandwidthModel, FaultConfig, FaultModel, GridTopology, RseId, TopologyConfig};
 use dmsa_rucio_sim::transfer::TransferRequest;
-use dmsa_rucio_sim::{Activity, ReplicaCatalog, RuleEngine, Scope, TransferEngine};
+use dmsa_rucio_sim::{
+    Activity, ReplicaCatalog, RetryPolicy, RuleEngine, Scope, TransferEngine, TransferOutcome,
+};
 use dmsa_simcore::{RngFactory, SimTime};
 use proptest::prelude::*;
 
@@ -116,7 +118,9 @@ proptest! {
                         &topo,
                         &bw,
                     )
-                    .expect("replica exists")
+                    .delivered()
+                    .expect("replica exists and faults are off")
+                    .clone()
             })
             .collect();
         // At no instant may more transfers be active on the pair than the
@@ -148,6 +152,72 @@ proptest! {
         for (e, &f) in events.iter().zip(&files) {
             prop_assert!(e.endtime > e.starttime);
             prop_assert!(cat.has_replica(f, dst_rse));
+        }
+    }
+
+    /// Slot-heap conservation: whatever `execute` does — delivers on the
+    /// first attempt, burns through retries, exhausts them, or bails out
+    /// early because the file has no replica at all — every per-site slot
+    /// heap must hold exactly as many entries afterwards as before. A leak
+    /// (transfer forgets to release) would deadlock the site; growth
+    /// (double release) would overcommit its streams.
+    #[test]
+    fn slot_heaps_conserve_entries_across_outcome_mix(
+        seed in 0u64..48,
+        p_fail in prop_oneof![Just(0.0), Just(0.35), Just(1.0)],
+        max_retries in 0u32..4,
+        requests in prop::collection::vec((0usize..12, 0u32..6, prop::bool::weighted(0.2)), 1..30),
+    ) {
+        let rngs = RngFactory::new(seed);
+        let topo = GridTopology::generate(&rngs, &TopologyConfig::small());
+        let bw = BandwidthModel::new(&rngs, &topo);
+        let mut cat = ReplicaCatalog::new();
+        let sizes: Vec<u64> = (0..12u64).map(|k| 40_000_000 + k * 7_000).collect();
+        let ds = cat.register_dataset(Scope::Data, 0, "x", &sizes, SimTime::EPOCH);
+        let files = cat.dataset_files(ds).to_vec();
+        let src_rse = topo.disk_rse(dmsa_gridnet::SiteId(0));
+        for &f in &files {
+            cat.add_replica(f, src_rse);
+        }
+        let faults = FaultModel::new(&rngs, FaultConfig {
+            p_attempt_failure: p_fail,
+            ..FaultConfig::none()
+        });
+        let retry = RetryPolicy { max_retries, ..RetryPolicy::default() };
+        let mut engine = TransferEngine::with_faults(&topo, &rngs, faults, retry);
+        let baseline: Vec<usize> = (0..engine.n_sites())
+            .map(|s| engine.slot_count(dmsa_gridnet::SiteId(s as u32)))
+            .collect();
+        for (i, &(fi, dsite, lose_replica)) in requests.iter().enumerate() {
+            let file = files[fi % files.len()];
+            if lose_replica {
+                // Strip every replica so execute takes the no-replica
+                // early return (which must not touch any heap either).
+                for s in 0..engine.n_sites() {
+                    cat.remove_replica(file, topo.disk_rse(dmsa_gridnet::SiteId(s as u32)));
+                }
+            }
+            let out = engine.execute(
+                &TransferRequest {
+                    file,
+                    dest: topo.disk_rse(dmsa_gridnet::SiteId(dsite % topo.sites().len() as u32)),
+                    activity: Activity::DataRebalancing,
+                    caused_by_pandaid: None,
+                    jeditaskid: None,
+                    preferred_source: None,
+                },
+                SimTime::from_secs(i as i64 * 30),
+                &mut cat,
+                &topo,
+                &bw,
+            );
+            if lose_replica && cat.replicas_of(file).is_empty() {
+                prop_assert!(matches!(out, TransferOutcome::NoReplica));
+            }
+            let now: Vec<usize> = (0..engine.n_sites())
+                .map(|s| engine.slot_count(dmsa_gridnet::SiteId(s as u32)))
+                .collect();
+            prop_assert_eq!(&now, &baseline, "slot heaps leaked or grew after request {}", i);
         }
     }
 }

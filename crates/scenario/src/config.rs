@@ -1,8 +1,9 @@
 //! Campaign configuration and the paper's calibrated presets.
 
-use dmsa_gridnet::TopologyConfig;
+use dmsa_gridnet::{FaultConfig, TopologyConfig};
 use dmsa_metastore::CorruptionModel;
 use dmsa_panda_sim::{BrokerConfig, FailureModel, WorkloadParams};
+use dmsa_rucio_sim::RetryPolicy;
 use dmsa_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +20,16 @@ pub struct ScenarioConfig {
     pub broker: BrokerConfig,
     /// Failure process.
     pub failure: FailureModel,
+    /// Transfer-level fault injection: outage schedules and per-attempt
+    /// failure probabilities. Inert by default (`#[serde(default)]` keeps
+    /// pre-fault configs loadable), making the failure layer strictly
+    /// additive — zero knobs reproduce pre-fault campaigns byte for byte.
+    #[serde(default)]
+    pub faults: FaultConfig,
+    /// Retry/backoff schedule for failed transfer attempts. Irrelevant
+    /// (never consulted) while `faults` is inert.
+    #[serde(default)]
+    pub retry: RetryPolicy,
     /// Metadata-quality model applied to the final store.
     pub corruption: CorruptionModel,
     /// Observation window length (jobs must finish inside it to count).
@@ -73,6 +84,8 @@ impl Default for ScenarioConfig {
             workload: WorkloadParams::default(),
             broker: BrokerConfig::default(),
             failure: FailureModel::default(),
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
             corruption: CorruptionModel::default(),
             duration: SimDuration::from_days(8),
             background_transfers_per_hour: 1_500.0,
@@ -152,6 +165,17 @@ impl ScenarioConfig {
             ..Self::small()
         }
     }
+
+    /// Same as [`ScenarioConfig::small`] but on a degraded grid: attempt
+    /// failures and occasional site/link outages, so the retry path, the
+    /// lost-input surface, and the retry-redundancy analysis all light up
+    /// in tests and the CI smoke run.
+    pub fn small_faulty() -> Self {
+        ScenarioConfig {
+            faults: FaultConfig::degraded(),
+            ..Self::small()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +208,12 @@ mod tests {
         let c = ScenarioConfig::small_clean();
         assert_eq!(c.corruption.p_drop_transfer, 0.0);
         assert_eq!(c.corruption.p_unknown_site, 0.0);
+    }
+
+    #[test]
+    fn faults_default_to_inert() {
+        assert!(!ScenarioConfig::default().faults.enabled());
+        assert!(!ScenarioConfig::paper_8day(1.0).faults.enabled());
+        assert!(ScenarioConfig::small_faulty().faults.enabled());
     }
 }

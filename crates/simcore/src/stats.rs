@@ -75,6 +75,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     overflow: u64,
     underflow: u64,
+    nan: u64,
     total: u64,
 }
 
@@ -88,6 +89,7 @@ impl Histogram {
             counts: vec![0; bins],
             overflow: 0,
             underflow: 0,
+            nan: 0,
             total: 0,
         }
     }
@@ -95,6 +97,12 @@ impl Histogram {
     /// Record one observation.
     pub fn add(&mut self, x: f64) {
         self.total += 1;
+        // `NaN < min` is false and `(NaN / width) as usize` is 0, so without
+        // this check NaN observations land silently in bucket 0.
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         if x < self.min {
             self.underflow += 1;
             return;
@@ -120,6 +128,12 @@ impl Histogram {
     /// Observations at or above the range max.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// NaN observations — recorded in `total()` but excluded from every
+    /// bucket, including under/overflow.
+    pub fn nan(&self) -> u64 {
+        self.nan
     }
 
     /// Total observations recorded.
@@ -267,6 +281,20 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.total(), 7);
         assert_eq!(h.bin_lower_edge(2), 4.0);
+    }
+
+    #[test]
+    fn histogram_routes_nan_to_dedicated_counter() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(f64::NAN);
+        h.add(0.5);
+        h.add(f64::NAN);
+        // NaN must not masquerade as a bucket-0 observation.
+        assert_eq!(h.counts(), &[1, 0, 0, 0, 0]);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 3);
     }
 
     #[test]

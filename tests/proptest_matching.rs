@@ -178,6 +178,8 @@ fn build_store(jobs: &[RawJob], transfers: &[RawTransfer]) -> MetaStore {
             jeditaskid: (!t.drop_taskid).then_some(j.taskid),
             is_download: !t.is_upload,
             is_upload: t.is_upload,
+            attempt: 1,
+            succeeded: true,
             gt_pandaid: Some(j.pandaid),
             gt_source_site: site,
             gt_destination_site: site,
