@@ -1,0 +1,250 @@
+//! Adaptive-exclusion accounting: what did the circuit breakers buy?
+//!
+//! The closed health loop (PR 3) excludes sick sites/links from brokerage
+//! and source selection. This module turns one campaign's breaker
+//! telemetry ([`HealthSummary`]), transfer-path counters
+//! ([`TransferPathStats`]) and metadata store into a single
+//! [`ExclusionReport`] — excluded site/link hours, refusal and probe
+//! counts, failure/exhaustion totals, and the retry-attributed staging
+//! delay (reusing the [`crate::redundancy`] machinery) — and diffs two
+//! such reports ([`exclusion_delta`]) to quantify adaptive vs non-adaptive
+//! at the same seed: the PR's acceptance numbers come straight from this
+//! diff.
+
+use crate::redundancy::redundancy_breakdown;
+use dmsa_gridnet::HealthSummary;
+use dmsa_metastore::MetaStore;
+use dmsa_rucio_sim::TransferPathStats;
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Clustering window the retry-delay attribution uses (same as the
+/// `redundancy` report, so the two reports' numbers line up).
+pub const RETRY_CLUSTER_WINDOW: SimDuration = SimDuration::from_hours(24);
+
+/// One campaign's exclusion/health accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExclusionReport {
+    /// Was the health loop armed at all?
+    pub adaptive: bool,
+    /// Breaker trips (Closed/HalfOpen → Open).
+    pub trips: u64,
+    /// Total site exclusion in hours, clamped to the window.
+    pub excluded_site_hours: f64,
+    /// Total directed-link exclusion in hours, clamped to the window.
+    pub excluded_link_hours: f64,
+    /// Broker placements refused by an Open/over-quota site breaker.
+    pub site_refusals: u64,
+    /// Source-selection skips from site or link breakers.
+    pub link_refusals: u64,
+    /// Probe admissions granted during Half-Open probation.
+    pub probes_granted: u64,
+    /// Engine transfer-path counters (always-on, adaptive or not).
+    pub path: TransferPathStats,
+    /// Failed attempt records in the (corrupted) store — the metadata's
+    /// own view of the same thing `path.failed_attempts` counts.
+    pub failed_attempt_records: u64,
+    /// Total retry-attributed staging delay (seconds summed over
+    /// delivering retry-induced duplicate groups).
+    pub retry_delay_total_secs: f64,
+    /// Number of delay samples behind the total.
+    pub retry_delay_samples: usize,
+}
+
+/// Build the report for one campaign. `health` is `None` for a
+/// non-adaptive run — the path counters and store-side numbers are still
+/// filled in, so the report stays diffable against an adaptive run.
+pub fn exclusion_report(
+    store: &MetaStore,
+    window: Interval,
+    path: TransferPathStats,
+    health: Option<&HealthSummary>,
+) -> ExclusionReport {
+    let breakdown = redundancy_breakdown(store, RETRY_CLUSTER_WINDOW);
+    let failed_attempt_records = store.transfers.iter().filter(|t| !t.succeeded).count() as u64;
+    let (trips, site_hours, link_hours, counters) = match health {
+        Some(h) => (
+            h.counters.trips,
+            h.excluded_site_hours(window.end),
+            h.excluded_link_hours(window.end),
+            h.counters,
+        ),
+        None => (0, 0.0, 0.0, Default::default()),
+    };
+    ExclusionReport {
+        adaptive: health.is_some(),
+        trips,
+        excluded_site_hours: site_hours,
+        excluded_link_hours: link_hours,
+        site_refusals: counters.site_refusals,
+        link_refusals: counters.link_refusals,
+        probes_granted: counters.probes_granted,
+        path,
+        failed_attempt_records,
+        retry_delay_total_secs: breakdown.retry_delay_secs.iter().sum(),
+        retry_delay_samples: breakdown.retry_delay_secs.len(),
+    }
+}
+
+/// Adaptive-minus-baseline difference of the outcome metrics (negative =
+/// the adaptive run did better).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExclusionDelta {
+    /// Exhausted-transfer difference.
+    pub exhausted: i64,
+    /// Failed-attempt difference (engine view).
+    pub failed_attempts: i64,
+    /// Retry-attributed staging-delay difference in seconds.
+    pub retry_delay_secs: f64,
+    /// Lost-input job surface difference: requests that exhausted plus
+    /// requests with no replica.
+    pub undelivered: i64,
+}
+
+impl ExclusionDelta {
+    /// Did the adaptive run strictly improve on both acceptance axes
+    /// (fewer exhausted transfers *and* less retry-attributed delay)?
+    pub fn strictly_better(&self) -> bool {
+        self.exhausted < 0 && self.retry_delay_secs < 0.0
+    }
+}
+
+/// Diff an adaptive report against a same-seed baseline.
+pub fn exclusion_delta(adaptive: &ExclusionReport, baseline: &ExclusionReport) -> ExclusionDelta {
+    let undelivered = |r: &ExclusionReport| (r.path.exhausted + r.path.no_replica) as i64;
+    ExclusionDelta {
+        exhausted: adaptive.path.exhausted as i64 - baseline.path.exhausted as i64,
+        failed_attempts: adaptive.path.failed_attempts as i64
+            - baseline.path.failed_attempts as i64,
+        retry_delay_secs: adaptive.retry_delay_total_secs - baseline.retry_delay_total_secs,
+        undelivered: undelivered(adaptive) - undelivered(baseline),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsa_gridnet::{HealthCounters, HealthSubject, OpenEpisode, SiteId};
+    use dmsa_metastore::{Sym, SymbolTable, TransferRecord};
+    use dmsa_rucio_sim::Activity;
+    use dmsa_simcore::SimTime;
+
+    fn transfer(lfn: u64, start_s: i64, attempt: u32, succeeded: bool) -> TransferRecord {
+        TransferRecord {
+            transfer_id: 0,
+            lfn: Sym(lfn as u32),
+            dataset: SymbolTable::UNKNOWN,
+            proddblock: SymbolTable::UNKNOWN,
+            scope: SymbolTable::UNKNOWN,
+            file_size: 1_000,
+            starttime: SimTime::from_secs(start_s),
+            endtime: SimTime::from_secs(start_s + 10),
+            source_site: Sym(90),
+            destination_site: Sym(91),
+            activity: Activity::AnalysisDownload,
+            jeditaskid: None,
+            is_download: true,
+            is_upload: false,
+            attempt,
+            succeeded,
+            gt_pandaid: None,
+            gt_source_site: Sym(90),
+            gt_destination_site: Sym(91),
+            gt_file_size: 1_000,
+        }
+    }
+
+    fn window() -> Interval {
+        Interval::new(SimTime::EPOCH, SimTime::from_hours(12))
+    }
+
+    #[test]
+    fn report_folds_store_health_and_path_counters() {
+        let mut store = MetaStore::new();
+        store.transfers.push(transfer(1, 0, 1, false));
+        store.transfers.push(transfer(1, 300, 2, true));
+        let summary = HealthSummary {
+            episodes: vec![OpenEpisode {
+                subject: HealthSubject::Site(SiteId(3)),
+                from: SimTime::from_hours(1),
+                until: SimTime::from_hours(2),
+            }],
+            counters: HealthCounters {
+                site_refusals: 7,
+                link_refusals: 5,
+                probes_granted: 2,
+                trips: 1,
+            },
+        };
+        let path = TransferPathStats {
+            requests: 10,
+            delivered: 9,
+            delivered_after_retry: 1,
+            failed_attempts: 1,
+            exhausted: 1,
+            no_replica: 0,
+        };
+        let r = exclusion_report(&store, window(), path, Some(&summary));
+        assert!(r.adaptive);
+        assert_eq!(r.trips, 1);
+        assert!((r.excluded_site_hours - 1.0).abs() < 1e-9);
+        assert_eq!(r.excluded_link_hours, 0.0);
+        assert_eq!(r.site_refusals, 7);
+        assert_eq!(r.link_refusals, 5);
+        assert_eq!(r.probes_granted, 2);
+        assert_eq!(r.failed_attempt_records, 1);
+        // One retry-induced group delivering 300 s after the first start.
+        assert_eq!(r.retry_delay_samples, 1);
+        assert!((r.retry_delay_total_secs - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_report_has_no_health_numbers_but_keeps_path() {
+        let store = MetaStore::new();
+        let path = TransferPathStats {
+            requests: 4,
+            exhausted: 2,
+            ..Default::default()
+        };
+        let r = exclusion_report(&store, window(), path, None);
+        assert!(!r.adaptive);
+        assert_eq!(r.trips, 0);
+        assert_eq!(r.excluded_site_hours, 0.0);
+        assert_eq!(r.path.exhausted, 2);
+    }
+
+    #[test]
+    fn delta_is_adaptive_minus_baseline() {
+        let store = MetaStore::new();
+        let adaptive = exclusion_report(
+            &store,
+            window(),
+            TransferPathStats {
+                exhausted: 3,
+                failed_attempts: 10,
+                no_replica: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        let baseline = exclusion_report(
+            &store,
+            window(),
+            TransferPathStats {
+                exhausted: 8,
+                failed_attempts: 25,
+                no_replica: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        let d = exclusion_delta(&adaptive, &baseline);
+        assert_eq!(d.exhausted, -5);
+        assert_eq!(d.failed_attempts, -15);
+        assert_eq!(d.undelivered, -5);
+        assert_eq!(d.retry_delay_secs, 0.0);
+        assert!(d.strictly_better() == (d.retry_delay_secs < 0.0));
+        assert!(!d.strictly_better(), "zero delay delta is not strict");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`errors`] | §1/§3.1's "altered error distributions" — codes × staging bands |
 //! | [`hotspots`] | §5.3's site-level queueing hot spots — per-site queue stats and imbalance |
 //! | [`redundancy`] | Fig 12 / Table 3 — duplicate deliveries attributed retry- vs reaper-induced |
+//! | [`exclusion`] | adaptive-exclusion accounting — breaker trips, excluded hours, avoided failures |
 //!
 //! All analyses read only the (corrupted) [`dmsa_metastore::MetaStore`] and
 //! [`dmsa_core::MatchSet`]s — never simulator ground truth — exactly as the
@@ -26,6 +27,7 @@ pub mod activity;
 pub mod bandwidth;
 pub mod cases;
 pub mod errors;
+pub mod exclusion;
 pub mod growth;
 pub mod hotspots;
 pub mod matrix;

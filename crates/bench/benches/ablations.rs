@@ -11,7 +11,10 @@
 //! * **failure injection** — simulation cost and retry-traffic volume as
 //!   the per-attempt failure probability sweeps up from zero (the
 //!   zero-knob point doubles as a regression bench for the fault-free
-//!   fast path).
+//!   fast path);
+//! * **adaptive exclusion** — the closed health loop's overhead on a
+//!   degraded grid, swept over breaker sensitivity (off, the calibrated
+//!   default, and a hair-trigger breaker that trips constantly).
 //!
 //! Run with `cargo bench -p dmsa-bench --bench ablations`.
 
@@ -19,6 +22,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmsa_core::infer::{infer_sites, redundant_groups};
 use dmsa_core::matcher::{job_universe, Matcher};
 use dmsa_core::{IndexedMatcher, MatchMethod, PreparedStore};
+use dmsa_gridnet::HealthConfig;
 use dmsa_metastore::CorruptionModel;
 use dmsa_scenario::ScenarioConfig;
 use dmsa_simcore::{RngFactory, SimDuration};
@@ -121,12 +125,44 @@ fn outage_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+fn adaptive_exclusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_exclusion");
+    g.sample_size(10);
+    // The off point is the PR 3 regression bench: breakers disabled must
+    // cost nothing over the plain faulty path. "default" is the
+    // calibrated HealthConfig::adaptive() thresholds; "hair-trigger"
+    // maximizes breaker churn (trips, probation rounds, waiver chains)
+    // to bound the monitor's worst-case overhead.
+    let variants: [(&str, Option<(f64, u32)>); 3] = [
+        ("off", None),
+        ("default", Some((0.7, 4))),
+        ("hair-trigger", Some((0.05, 1))),
+    ];
+    for (label, breaker) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &breaker, |b, &knobs| {
+            let mut config = ScenarioConfig::small_faulty();
+            if let Some((rate, consecutive)) = knobs {
+                config.health = HealthConfig::adaptive();
+                config.health.failure_rate_threshold = rate;
+                config.health.consecutive_failures = consecutive;
+            }
+            b.iter(|| {
+                let camp = dmsa_scenario::run(&config);
+                let trips = camp.health.as_ref().map_or(0, |h| h.counters.trips);
+                black_box((camp.path_stats.exhausted, trips))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     simulation,
     corruption,
     index_vs_match,
     rm2_extras,
-    outage_sweep
+    outage_sweep,
+    adaptive_exclusion
 );
 criterion_main!(benches);

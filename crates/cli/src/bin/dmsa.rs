@@ -3,15 +3,19 @@
 //! ```text
 //! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
 //! dmsa simulate --preset faulty --fail-prob 0.1 --max-retries 3 --out campaign.json
+//! dmsa simulate --preset faulty --adaptive-exclusion --out adaptive.json
 //! dmsa match    --campaign campaign.json --method rm2 --engine prepared --out matches.json
 //! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal|redundancy
+//! dmsa analyze  --campaign adaptive.json --baseline campaign.json --report exclusion
 //! dmsa compare  --campaign campaign.json
 //! ```
 
 use dmsa_cli::run::{
-    analyze, compare_methods, run_match, simulate, EngineChoice, FaultKnobs, MatcherChoice,
+    analyze, compare_methods, run_match, simulate, EngineChoice, FaultKnobs, HealthKnobs,
+    MatcherChoice,
 };
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,16 +32,24 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dmsa simulate --preset 8day|92day|small|faulty [--scale F] [--seed N]
+  dmsa simulate --preset 8day|92day|small|faulty|faulty-adaptive
+                [--scale F] [--seed N]
                 [--fail-prob F] [--site-outage F] [--link-outage F]
-                [--max-retries N] [--out FILE]
+                [--max-retries N]
+                [--adaptive-exclusion] [--breaker-failure-rate F]
+                [--breaker-consecutive N] [--breaker-cooldown SECS]
+                [--out FILE]
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
-  dmsa analyze  --campaign FILE [--matches FILE]
-                --report summary|matrix|temporal|redundancy
+  dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
+                --report summary|matrix|temporal|redundancy|exclusion
   dmsa compare  --campaign FILE";
 
-/// Parse `--key value` pairs after the subcommand.
+/// Flags that take no value; their presence means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["adaptive-exclusion"];
+
+/// Parse `--key value` pairs (and bare boolean flags) after the
+/// subcommand.
 fn flags(args: &[String]) -> Result<HashMap<&str, &str>, String> {
     let mut map = HashMap::new();
     let mut i = 0;
@@ -45,6 +57,11 @@ fn flags(args: &[String]) -> Result<HashMap<&str, &str>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            map.insert(key, "true");
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -52,6 +69,17 @@ fn flags(args: &[String]) -> Result<HashMap<&str, &str>, String> {
         i += 2;
     }
     Ok(map)
+}
+
+/// Print to stdout without panicking when the consumer hangs up
+/// (`dmsa ... | head`): `BrokenPipe` is quiet success.
+fn print_stdout(content: &str) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    match writeln!(out, "{content}").and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing stdout: {e}")),
+    }
 }
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -70,10 +98,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 eprintln!("wrote {path} ({} bytes)", content.len());
                 Ok(())
             }
-            None => {
-                println!("{content}");
-                Ok(())
-            }
+            None => print_stdout(content),
         }
     };
 
@@ -104,7 +129,25 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     .map(|s| s.parse().map_err(|e| format!("bad --max-retries: {e}")))
                     .transpose()?,
             };
-            let json = simulate(preset, scale, seed, knobs)?;
+            let health = HealthKnobs {
+                adaptive: f.contains_key("adaptive-exclusion"),
+                failure_rate: opt_f64("breaker-failure-rate")?,
+                consecutive: f
+                    .get("breaker-consecutive")
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|e| format!("bad --breaker-consecutive: {e}"))
+                    })
+                    .transpose()?,
+                cooldown_secs: f
+                    .get("breaker-cooldown")
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|e| format!("bad --breaker-cooldown: {e}"))
+                    })
+                    .transpose()?,
+            };
+            let json = simulate(preset, scale, seed, knobs, health)?;
             write_or_print("out", &json)
         }
         "match" => {
@@ -117,21 +160,28 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "analyze" => {
             let campaign = read("campaign")?;
-            let matches = match f.get("matches") {
-                Some(path) => Some(
-                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
-                ),
-                None => None,
+            let read_opt = |key: &str| -> Result<Option<String>, String> {
+                match f.get(key) {
+                    Some(path) => std::fs::read_to_string(path)
+                        .map(Some)
+                        .map_err(|e| format!("reading {path}: {e}")),
+                    None => Ok(None),
+                }
             };
+            let matches = read_opt("matches")?;
+            let baseline = read_opt("baseline")?;
             let report = f.get("report").copied().unwrap_or("summary");
-            let out = analyze(&campaign, matches.as_deref(), report)?;
-            println!("{out}");
-            Ok(())
+            analyze(
+                &campaign,
+                matches.as_deref(),
+                baseline.as_deref(),
+                report,
+                &mut std::io::stdout().lock(),
+            )
         }
         "compare" => {
             let campaign = read("campaign")?;
-            println!("{}", compare_methods(&campaign)?);
-            Ok(())
+            print_stdout(&compare_methods(&campaign)?)
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }

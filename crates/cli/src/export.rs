@@ -7,7 +7,9 @@
 //! exported: analyses must work from metadata alone, exactly like the
 //! paper's.
 
+use dmsa_gridnet::HealthSummary;
 use dmsa_metastore::MetaStore;
+use dmsa_rucio_sim::TransferPathStats;
 use dmsa_scenario::{Campaign, ScenarioConfig};
 use dmsa_simcore::interval::Interval;
 use serde::{Deserialize, Serialize};
@@ -23,6 +25,14 @@ pub struct CampaignExport {
     pub window: Interval,
     /// The corrupted metadata store.
     pub store: MetaStore,
+    /// Engine transfer-path counters (defaulted when reading pre-health
+    /// exports, which keeps the format at version 1).
+    #[serde(default)]
+    pub path_stats: TransferPathStats,
+    /// Breaker telemetry, present only when the campaign ran with the
+    /// health loop armed.
+    #[serde(default)]
+    pub health: Option<HealthSummary>,
 }
 
 /// Current format version.
@@ -36,6 +46,8 @@ impl CampaignExport {
             config: campaign.config.clone(),
             window: campaign.window,
             store: campaign.store.clone(),
+            path_stats: campaign.path_stats,
+            health: campaign.health.clone(),
         }
     }
 

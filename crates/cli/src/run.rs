@@ -5,6 +5,7 @@
 
 use crate::export::CampaignExport;
 use dmsa_analysis::activity::ActivityBreakdown;
+use dmsa_analysis::exclusion::{exclusion_delta, exclusion_report, ExclusionReport};
 use dmsa_analysis::matrix::TransferMatrix;
 use dmsa_analysis::overlap::{all_overlaps, summarize};
 use dmsa_analysis::redundancy::redundancy_breakdown;
@@ -14,9 +15,11 @@ use dmsa_core::{
     evaluate, IndexedMatcher, MatchMethod, MatchSet, NaiveMatcher, ParallelMatcher,
     PreparedMatcher, PreparedStore, ScoredMatcher,
 };
+use dmsa_gridnet::HealthConfig;
 use dmsa_scenario::ScenarioConfig;
 use dmsa_simcore::SimDuration;
 use std::fmt::Write as _;
+use std::io;
 
 /// Which matcher the `match` subcommand runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,21 +133,66 @@ impl FaultKnobs {
     }
 }
 
+/// Closed-loop health overrides for `dmsa simulate`. `adaptive` arms the
+/// breakers (`--adaptive-exclusion`); the threshold knobs override
+/// individual [`HealthConfig`] fields and imply arming, since a breaker
+/// threshold on a disabled monitor would silently do nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HealthKnobs {
+    /// Arm the circuit breakers (`HealthConfig::adaptive` baseline).
+    pub adaptive: bool,
+    /// Failure rate over the sliding window that opens a breaker.
+    pub failure_rate: Option<f64>,
+    /// Consecutive failures that open a breaker regardless of rate.
+    pub consecutive: Option<u32>,
+    /// Open-state cooldown before Half-Open probation, in seconds.
+    pub cooldown_secs: Option<i64>,
+}
+
+impl HealthKnobs {
+    fn apply(&self, config: &mut ScenarioConfig) {
+        if self.adaptive
+            || self.failure_rate.is_some()
+            || self.consecutive.is_some()
+            || self.cooldown_secs.is_some()
+        {
+            config.health = HealthConfig::adaptive();
+        }
+        if let Some(r) = self.failure_rate {
+            config.health.failure_rate_threshold = r;
+        }
+        if let Some(n) = self.consecutive {
+            config.health.consecutive_failures = n;
+        }
+        if let Some(s) = self.cooldown_secs {
+            config.health.cooldown = SimDuration::from_secs(s);
+        }
+    }
+}
+
 /// `dmsa simulate`: run a preset campaign and return its JSON export.
-pub fn simulate(preset: &str, scale: f64, seed: u64, faults: FaultKnobs) -> Result<String, String> {
+pub fn simulate(
+    preset: &str,
+    scale: f64,
+    seed: u64,
+    faults: FaultKnobs,
+    health: HealthKnobs,
+) -> Result<String, String> {
     let mut config = match preset {
         "8day" => ScenarioConfig::paper_8day(scale),
         "92day" => ScenarioConfig::paper_92day(scale),
         "small" => ScenarioConfig::small(),
         "faulty" => ScenarioConfig::small_faulty(),
+        "faulty-adaptive" | "faulty_adaptive" => ScenarioConfig::faulty_adaptive(),
         other => {
             return Err(format!(
-                "unknown preset {other:?} (8day|92day|small|faulty)"
+                "unknown preset {other:?} (8day|92day|small|faulty|faulty-adaptive)"
             ))
         }
     };
     config.seed = seed;
     faults.apply(&mut config);
+    health.apply(&mut config);
     let campaign = dmsa_scenario::run(&config);
     CampaignExport::from_campaign(&campaign)
         .to_json()
@@ -193,123 +241,213 @@ pub fn run_match(
     Ok((json, stats))
 }
 
-/// `dmsa analyze`: produce a textual report over a campaign (and
-/// optionally a match set).
+/// `dmsa analyze`: write a textual report over a campaign (and optionally
+/// a match set) to `out`.
+///
+/// Inputs are parsed and the report name validated *before* anything is
+/// written, so usage errors never leave a half-printed report. Write
+/// failures propagate as errors — except `BrokenPipe`, which is treated
+/// as success so `dmsa analyze | head` exits cleanly instead of
+/// panicking. `baseline_json` is a second campaign export consulted only
+/// by the `exclusion` report (adaptive-vs-baseline delta).
 pub fn analyze(
     campaign_json: &str,
     matches_json: Option<&str>,
+    baseline_json: Option<&str>,
     report: &str,
-) -> Result<String, String> {
+    out: &mut dyn io::Write,
+) -> Result<(), String> {
     let export = CampaignExport::from_json(campaign_json)?;
-    let store = &export.store;
-    let mut out = String::new();
-    match report {
-        "summary" => {
-            let (jobs, files, transfers, with_tid) = store.counts();
-            let user = store.user_jobs_in(export.window).count();
-            writeln!(out, "jobs {jobs} (user {user}) | file rows {files}").unwrap();
-            writeln!(out, "transfers {transfers} (with taskid {with_tid})").unwrap();
-            if let Some(mj) = matches_json {
-                let set: MatchSet =
-                    serde_json::from_str(mj).map_err(|e| format!("matches parse error: {e}"))?;
-                let overlaps = all_overlaps(store, &set);
-                let s = summarize(&overlaps);
-                writeln!(
-                    out,
-                    "matched jobs {} | transfer-time in queue: mean {:.2}% geo {:.2}% max {:.1}%",
-                    set.n_matched_jobs(),
-                    s.mean_percent,
-                    s.geo_mean_percent,
-                    s.max_percent
-                )
-                .unwrap();
-                let table = ActivityBreakdown::build(store, &set);
-                for row in &table.rows {
-                    writeln!(
-                        out,
-                        "  {:<30} {:>7}/{:<8} {:.2}%",
-                        row.activity.label(),
-                        row.matched,
-                        row.total,
-                        row.percent()
-                    )
-                    .unwrap();
-                }
-            }
-        }
-        "matrix" => {
-            let m = TransferMatrix::build(store, export.window);
-            let s = m.summary();
-            writeln!(out, "sites {} | transfers {}", m.n(), m.n_transfers).unwrap();
-            writeln!(
-                out,
-                "total {} B | local {:.1}% | mean/geo {:.1}x",
-                s.total_bytes,
-                100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64,
-                s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
-            )
-            .unwrap();
-            for c in m.top_outliers(5) {
-                writeln!(
-                    out,
-                    "  {:>16} B  {} -> {}",
-                    c.bytes, c.src_label, c.dst_label
-                )
-                .unwrap();
-            }
-        }
-        "temporal" => {
-            let series = volume_series(store, export.window, SimDuration::from_hours(6));
-            let p2t = peak_to_trough(&series)
-                .map(|r| format!("{r:.1}x"))
-                .unwrap_or_else(|| "n/a".into());
-            writeln!(out, "{} buckets of 6h | peak/trough {}", series.len(), p2t).unwrap();
-            writeln!(
-                out,
-                "destination-site volume Gini {:.3}",
-                site_volume_gini(store, export.window)
-            )
-            .unwrap();
-        }
-        "redundancy" => {
-            let b = redundancy_breakdown(store, SimDuration::from_hours(24));
-            writeln!(
-                out,
-                "retry-induced: {} groups, {} redundant transfers, {} B",
-                b.retry_induced.n_groups,
-                b.retry_induced.n_redundant,
-                b.retry_induced.redundant_bytes
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "reaper-induced: {} groups, {} redundant transfers, {} B",
-                b.reaper_induced.n_groups,
-                b.reaper_induced.n_redundant,
-                b.reaper_induced.redundant_bytes
-            )
-            .unwrap();
-            let share = b
-                .retry_share()
-                .map(|s| format!("{:.1}%", 100.0 * s))
-                .unwrap_or_else(|| "n/a".into());
-            let delay = b
-                .mean_retry_delay_secs()
-                .map(|d| format!("{d:.0} s"))
-                .unwrap_or_else(|| "n/a".into());
-            writeln!(
-                out,
-                "retry share {share} | mean retry-added staging delay {delay}"
-            )
-            .unwrap();
-        }
+    let matches: Option<MatchSet> = matches_json
+        .map(|mj| serde_json::from_str(mj).map_err(|e| format!("matches parse error: {e}")))
+        .transpose()?;
+    let baseline: Option<ExclusionReport> = baseline_json
+        .map(|bj| {
+            CampaignExport::from_json(bj)
+                .map(|b| exclusion_report(&b.store, b.window, b.path_stats, b.health.as_ref()))
+        })
+        .transpose()?;
+    let result = match report {
+        "summary" => write_summary(out, &export, matches.as_ref()),
+        "matrix" => write_matrix(out, &export),
+        "temporal" => write_temporal(out, &export),
+        "redundancy" => write_redundancy(out, &export),
+        "exclusion" => write_exclusion(out, &export, baseline.as_ref()),
         other => {
             return Err(format!(
-                "unknown report {other:?} (summary|matrix|temporal|redundancy)"
+                "unknown report {other:?} (summary|matrix|temporal|redundancy|exclusion)"
             ))
         }
+    };
+    swallow_broken_pipe(result)
+}
+
+/// Map a report-writer outcome to the CLI error domain: `BrokenPipe` is
+/// success (the consumer closed early, e.g. `| head`), everything else
+/// is a real error.
+fn swallow_broken_pipe(result: io::Result<()>) -> Result<(), String> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing report: {e}")),
     }
-    Ok(out)
+}
+
+fn write_summary(
+    out: &mut dyn io::Write,
+    export: &CampaignExport,
+    matches: Option<&MatchSet>,
+) -> io::Result<()> {
+    let store = &export.store;
+    let (jobs, files, transfers, with_tid) = store.counts();
+    let user = store.user_jobs_in(export.window).count();
+    writeln!(out, "jobs {jobs} (user {user}) | file rows {files}")?;
+    writeln!(out, "transfers {transfers} (with taskid {with_tid})")?;
+    if let Some(set) = matches {
+        let overlaps = all_overlaps(store, set);
+        let s = summarize(&overlaps);
+        writeln!(
+            out,
+            "matched jobs {} | transfer-time in queue: mean {:.2}% geo {:.2}% max {:.1}%",
+            set.n_matched_jobs(),
+            s.mean_percent,
+            s.geo_mean_percent,
+            s.max_percent
+        )?;
+        let table = ActivityBreakdown::build(store, set);
+        for row in &table.rows {
+            writeln!(
+                out,
+                "  {:<30} {:>7}/{:<8} {:.2}%",
+                row.activity.label(),
+                row.matched,
+                row.total,
+                row.percent()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_matrix(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
+    let m = TransferMatrix::build(&export.store, export.window);
+    let s = m.summary();
+    writeln!(out, "sites {} | transfers {}", m.n(), m.n_transfers)?;
+    writeln!(
+        out,
+        "total {} B | local {:.1}% | mean/geo {:.1}x",
+        s.total_bytes,
+        100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64,
+        s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
+    )?;
+    for c in m.top_outliers(5) {
+        writeln!(
+            out,
+            "  {:>16} B  {} -> {}",
+            c.bytes, c.src_label, c.dst_label
+        )?;
+    }
+    Ok(())
+}
+
+fn write_temporal(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
+    let store = &export.store;
+    let series = volume_series(store, export.window, SimDuration::from_hours(6));
+    let p2t = peak_to_trough(&series)
+        .map(|r| format!("{r:.1}x"))
+        .unwrap_or_else(|| "n/a".into());
+    writeln!(out, "{} buckets of 6h | peak/trough {}", series.len(), p2t)?;
+    writeln!(
+        out,
+        "destination-site volume Gini {:.3}",
+        site_volume_gini(store, export.window)
+    )?;
+    Ok(())
+}
+
+fn write_redundancy(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
+    let b = redundancy_breakdown(&export.store, SimDuration::from_hours(24));
+    writeln!(
+        out,
+        "retry-induced: {} groups, {} redundant transfers, {} B",
+        b.retry_induced.n_groups, b.retry_induced.n_redundant, b.retry_induced.redundant_bytes
+    )?;
+    writeln!(
+        out,
+        "reaper-induced: {} groups, {} redundant transfers, {} B",
+        b.reaper_induced.n_groups, b.reaper_induced.n_redundant, b.reaper_induced.redundant_bytes
+    )?;
+    let share = b
+        .retry_share()
+        .map(|s| format!("{:.1}%", 100.0 * s))
+        .unwrap_or_else(|| "n/a".into());
+    let delay = b
+        .mean_retry_delay_secs()
+        .map(|d| format!("{d:.0} s"))
+        .unwrap_or_else(|| "n/a".into());
+    writeln!(
+        out,
+        "retry share {share} | mean retry-added staging delay {delay}"
+    )?;
+    Ok(())
+}
+
+fn write_exclusion(
+    out: &mut dyn io::Write,
+    export: &CampaignExport,
+    baseline: Option<&ExclusionReport>,
+) -> io::Result<()> {
+    let r = exclusion_report(
+        &export.store,
+        export.window,
+        export.path_stats,
+        export.health.as_ref(),
+    );
+    writeln!(
+        out,
+        "adaptive exclusion {} | breaker trips {}",
+        if r.adaptive { "armed" } else { "off" },
+        r.trips
+    )?;
+    writeln!(
+        out,
+        "excluded site-hours {:.2} | excluded link-hours {:.2}",
+        r.excluded_site_hours, r.excluded_link_hours
+    )?;
+    writeln!(
+        out,
+        "refusals: site {} link {} | probes granted {}",
+        r.site_refusals, r.link_refusals, r.probes_granted
+    )?;
+    writeln!(
+        out,
+        "path: {} requests, {} delivered ({} after retry), {} failed attempts, {} exhausted, {} no-replica",
+        r.path.requests,
+        r.path.delivered,
+        r.path.delivered_after_retry,
+        r.path.failed_attempts,
+        r.path.exhausted,
+        r.path.no_replica
+    )?;
+    writeln!(
+        out,
+        "retry-attributed staging delay {:.0} s over {} delivering groups",
+        r.retry_delay_total_secs, r.retry_delay_samples
+    )?;
+    if let Some(b) = baseline {
+        let d = exclusion_delta(&r, b);
+        writeln!(
+            out,
+            "vs baseline: exhausted {:+}, failed attempts {:+}, undelivered {:+}, retry delay {:+.0} s",
+            d.exhausted, d.failed_attempts, d.undelivered, d.retry_delay_secs
+        )?;
+        writeln!(
+            out,
+            "strictly better on both acceptance axes: {}",
+            d.strictly_better()
+        )?;
+    }
+    Ok(())
 }
 
 /// Run the three matchers sequentially on one campaign (the `bench-lite`
@@ -386,9 +524,22 @@ mod tests {
         assert!(EngineChoice::parse("quantum").is_err());
     }
 
+    fn analyze_str(campaign: &str, matches: Option<&str>, report: &str) -> Result<String, String> {
+        let mut buf = Vec::new();
+        analyze(campaign, matches, None, report, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("reports are utf-8"))
+    }
+
     #[test]
     fn simulate_rejects_unknown_preset() {
-        assert!(simulate("weekly", 1.0, 1, FaultKnobs::default()).is_err());
+        let r = simulate(
+            "weekly",
+            1.0,
+            1,
+            FaultKnobs::default(),
+            HealthKnobs::default(),
+        );
+        assert!(r.is_err());
     }
 
     #[test]
@@ -432,14 +583,16 @@ mod tests {
         let (matches, stats) =
             run_match(&campaign, MatcherChoice::Rm2, EngineChoice::default()).unwrap();
         assert!(stats.contains("precision"));
-        let report = analyze(&campaign, Some(&matches), "summary").unwrap();
+        let report = analyze_str(&campaign, Some(&matches), "summary").unwrap();
         assert!(report.contains("transfers"));
-        let matrix = analyze(&campaign, None, "matrix").unwrap();
+        let matrix = analyze_str(&campaign, None, "matrix").unwrap();
         assert!(matrix.contains("local"));
-        let temporal = analyze(&campaign, None, "temporal").unwrap();
+        let temporal = analyze_str(&campaign, None, "temporal").unwrap();
         assert!(temporal.contains("Gini"));
-        let redundancy = analyze(&campaign, None, "redundancy").unwrap();
+        let redundancy = analyze_str(&campaign, None, "redundancy").unwrap();
         assert!(redundancy.contains("retry-induced") && redundancy.contains("reaper-induced"));
+        let exclusion = analyze_str(&campaign, None, "exclusion").unwrap();
+        assert!(exclusion.contains("adaptive exclusion off"));
         let cmp = compare_methods(&campaign).unwrap();
         assert!(cmp.contains("Exact") && cmp.contains("RM2"));
     }
@@ -460,7 +613,116 @@ mod tests {
     #[test]
     fn analyze_rejects_unknown_report() {
         let campaign = tiny_campaign_json();
-        assert!(analyze(&campaign, None, "pie-chart").is_err());
+        assert!(analyze_str(&campaign, None, "pie-chart").is_err());
+    }
+
+    #[test]
+    fn health_knobs_arm_and_override_the_breakers() {
+        let mut config = ScenarioConfig::small_faulty();
+        assert!(!config.health.enabled);
+        // Any breaker-threshold override implies arming.
+        HealthKnobs {
+            consecutive: Some(2),
+            ..HealthKnobs::default()
+        }
+        .apply(&mut config);
+        assert!(config.health.enabled);
+        assert_eq!(config.health.consecutive_failures, 2);
+
+        let mut config = ScenarioConfig::small_faulty();
+        HealthKnobs {
+            adaptive: true,
+            failure_rate: Some(0.5),
+            cooldown_secs: Some(600),
+            ..HealthKnobs::default()
+        }
+        .apply(&mut config);
+        assert!(config.health.enabled);
+        assert_eq!(config.health.failure_rate_threshold, 0.5);
+        assert_eq!(config.health.cooldown, SimDuration::from_secs(600));
+
+        // No knobs set: the preset's health block is untouched.
+        let mut config = ScenarioConfig::small();
+        HealthKnobs::default().apply(&mut config);
+        assert!(!config.health.enabled);
+    }
+
+    #[test]
+    fn exclusion_report_surfaces_breaker_telemetry_end_to_end() {
+        // Built from the campaign directly (not via JSON) so the test
+        // also runs where serde_json is stubbed out.
+        let mut c = ScenarioConfig::faulty_adaptive();
+        c.duration = SimDuration::from_hours(6);
+        c.workload.tasks_per_hour = 20.0;
+        let adaptive = CampaignExport::from_campaign(&dmsa_scenario::run(&c));
+        assert!(adaptive.health.is_some(), "armed run exports telemetry");
+        assert!(adaptive.path_stats.requests > 0);
+
+        let mut b = ScenarioConfig::small_faulty();
+        b.duration = SimDuration::from_hours(6);
+        b.workload.tasks_per_hour = 20.0;
+        let baseline = CampaignExport::from_campaign(&dmsa_scenario::run(&b));
+        assert!(
+            baseline.health.is_none(),
+            "unarmed run exports no telemetry"
+        );
+
+        let baseline_report = exclusion_report(
+            &baseline.store,
+            baseline.window,
+            baseline.path_stats,
+            baseline.health.as_ref(),
+        );
+        let mut buf = Vec::new();
+        write_exclusion(&mut buf, &adaptive, Some(&baseline_report)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("adaptive exclusion armed"));
+        assert!(text.contains("vs baseline"));
+        assert!(text.contains("strictly better"));
+    }
+
+    #[test]
+    fn broken_pipe_is_swallowed_but_other_write_errors_propagate() {
+        use std::io;
+        assert_eq!(swallow_broken_pipe(Ok(())), Ok(()));
+        let pipe = io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed");
+        assert_eq!(swallow_broken_pipe(Err(pipe)), Ok(()));
+        let disk = io::Error::other("disk full");
+        assert!(swallow_broken_pipe(Err(disk)).is_err());
+    }
+
+    #[test]
+    fn report_writers_stop_at_a_broken_pipe_without_panicking() {
+        // A sink that accepts one write then reports the consumer hung up
+        // (what `dmsa analyze | head` does once head exits).
+        struct ClosedPipe {
+            writes_left: u32,
+        }
+        impl std::io::Write for ClosedPipe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.writes_left == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "pipe closed",
+                    ));
+                }
+                self.writes_left -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut c = ScenarioConfig::small();
+        c.duration = SimDuration::from_hours(3);
+        c.workload.tasks_per_hour = 10.0;
+        c.background_transfers_per_hour = 50.0;
+        c.initial_datasets = 20;
+        let export = CampaignExport::from_campaign(&dmsa_scenario::run(&c));
+        let mut sink = ClosedPipe { writes_left: 1 };
+        let err = write_summary(&mut sink, &export, None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert_eq!(swallow_broken_pipe(Err(err)), Ok(()));
     }
 
     #[test]

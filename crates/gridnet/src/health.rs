@@ -1,0 +1,735 @@
+//! Closed-loop site/link health: failure telemetry and circuit breakers.
+//!
+//! PR 2's fault layer makes transfers *fail* realistically; this module
+//! makes the system *react*, the way production ATLAS operations do with
+//! site exclusion and probation. Every transfer attempt and pilot mishap
+//! emits a [`HealthEvent`]; a [`HealthMonitor`] folds the stream into one
+//! **circuit breaker** per site and per directed link:
+//!
+//! ```text
+//!            failure rate / consecutive failures over a sliding window
+//!   Closed ────────────────────────────────────────────────────────▶ Open
+//!     ▲                                                               │
+//!     │ `probe_successes` probe deliveries                 cooldown   │
+//!     └──────────────────────────── HalfOpen ◀──────────────────────┘
+//!                                     │  any probe failure ──▶ Open
+//! ```
+//!
+//! While a breaker is **Open** the broker hard-excludes the site and the
+//! transfer engine skips the source unless it holds the only replica.
+//! After `cooldown` the breaker drops to **HalfOpen** probation, which
+//! admits a bounded trickle of probe traffic (`probe_quota` grants); probe
+//! successes re-close it, a probe failure re-opens it. A breaker can
+//! therefore never starve an entity forever — cooldown always re-arms
+//! probation (property-tested).
+//!
+//! **Determinism.** The monitor owns no RNG: state is a pure fold over the
+//! observed event sequence plus the query times, both of which are fully
+//! determined by the simulation's own event order. With the subsystem
+//! disabled (the default) nothing downstream consults it, so existing
+//! seeds stay byte-identical.
+
+use crate::site::SiteId;
+use dmsa_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// What a health event is about.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum HealthSubject {
+    /// A site's storage/compute frontend.
+    Site(SiteId),
+    /// A directed WAN link.
+    Link {
+        /// Source site.
+        src: SiteId,
+        /// Destination site.
+        dst: SiteId,
+    },
+}
+
+/// One telemetry signal. Transfer-engine signals carry per-attempt
+/// outcomes; pilot-layer signals carry job-level mishaps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HealthSignal {
+    /// A transfer attempt delivered its file.
+    AttemptSucceeded,
+    /// A transfer attempt died mid-flight.
+    AttemptFailed,
+    /// A whole transfer request exhausted its retry budget.
+    TransferExhausted,
+    /// A pilot burned through its validation retries at the site.
+    PilotValidationFailed,
+    /// A running payload's pilot stopped heartbeating.
+    LostHeartbeat,
+}
+
+impl HealthSignal {
+    /// Does this signal count against the subject?
+    pub fn is_failure(self) -> bool {
+        !matches!(self, HealthSignal::AttemptSucceeded)
+    }
+}
+
+/// One entry of the telemetry stream.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Entity the signal is about.
+    pub subject: HealthSubject,
+    /// Sim time the signal was observed.
+    pub at: SimTime,
+    /// What happened.
+    pub signal: HealthSignal,
+}
+
+/// Circuit-breaker tuning. `enabled` gates the whole subsystem; with it
+/// false (the default) no component consults the monitor and campaigns
+/// are byte-identical to pre-health builds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Master switch for adaptive exclusion.
+    pub enabled: bool,
+    /// Sliding telemetry window the failure rate is computed over.
+    pub window: SimDuration,
+    /// Minimum samples inside the window before the rate can trip.
+    pub min_samples: u32,
+    /// Failure rate (0..1] over the window that opens the breaker.
+    pub failure_rate_threshold: f64,
+    /// Consecutive failures that open the breaker regardless of rate.
+    pub consecutive_failures: u32,
+    /// How long an Open breaker refuses everything before probation.
+    pub cooldown: SimDuration,
+    /// Probe admissions granted per HalfOpen probation round.
+    pub probe_quota: u32,
+    /// Probe successes needed to re-close from HalfOpen.
+    pub probe_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig::disabled()
+    }
+}
+
+impl HealthConfig {
+    /// The inert configuration: breakers exist nowhere, nothing reacts.
+    pub fn disabled() -> Self {
+        HealthConfig {
+            enabled: false,
+            ..HealthConfig::adaptive()
+        }
+    }
+
+    /// Adaptive exclusion at the default operating point, tuned so the
+    /// 8 %-background-failure `degraded()` grid never trips a breaker
+    /// from noise while hour-long outages (95 % failure) trip within a
+    /// handful of attempts.
+    pub fn adaptive() -> Self {
+        HealthConfig {
+            enabled: true,
+            window: SimDuration::from_secs(1_800),
+            min_samples: 8,
+            failure_rate_threshold: 0.7,
+            consecutive_failures: 4,
+            cooldown: SimDuration::from_secs(1_800),
+            probe_quota: 3,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// Breaker state at a given instant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted, telemetry scored.
+    Closed,
+    /// Tripped: all traffic refused until the cooldown elapses.
+    Open,
+    /// Probation: a bounded trickle of probe traffic admitted.
+    HalfOpen,
+}
+
+/// One contiguous period a breaker spent Open (exclusion accounting).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OpenEpisode {
+    /// What was excluded.
+    pub subject: HealthSubject,
+    /// When the breaker tripped.
+    pub from: SimTime,
+    /// When probation began (trip time + cooldown).
+    pub until: SimTime,
+}
+
+impl OpenEpisode {
+    /// Exclusion span clamped to an observation window end.
+    pub fn clamped_secs(&self, window_end: SimTime) -> f64 {
+        (self.until.min(window_end) - self.from)
+            .clamp_non_negative()
+            .as_secs_f64()
+    }
+}
+
+/// Admission/refusal counters the monitor accumulates; the `exclusion`
+/// analysis report reads them as the "failures avoided" evidence.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct HealthCounters {
+    /// Broker placements refused because the site breaker was not Closed.
+    pub site_refusals: u64,
+    /// Source-selection skips because the source site or link breaker
+    /// was not Closed.
+    pub link_refusals: u64,
+    /// Probe admissions granted during HalfOpen probation.
+    pub probes_granted: u64,
+    /// Breaker trips (Closed/HalfOpen → Open transitions).
+    pub trips: u64,
+}
+
+/// End-of-campaign health telemetry, exported alongside the store so the
+/// `exclusion` report can quantify the closed loop without simulator
+/// access.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HealthSummary {
+    /// Every Open period, in trip order.
+    pub episodes: Vec<OpenEpisode>,
+    /// Admission counters.
+    pub counters: HealthCounters,
+}
+
+impl HealthSummary {
+    /// Total site exclusion, in hours, clamped to `window_end`.
+    pub fn excluded_site_hours(&self, window_end: SimTime) -> f64 {
+        self.subject_hours(window_end, |s| matches!(s, HealthSubject::Site(_)))
+    }
+
+    /// Total directed-link exclusion, in hours, clamped to `window_end`.
+    pub fn excluded_link_hours(&self, window_end: SimTime) -> f64 {
+        self.subject_hours(window_end, |s| matches!(s, HealthSubject::Link { .. }))
+    }
+
+    fn subject_hours(&self, window_end: SimTime, pick: impl Fn(HealthSubject) -> bool) -> f64 {
+        self.episodes
+            .iter()
+            .filter(|e| pick(e.subject))
+            .map(|e| e.clamped_secs(window_end))
+            .sum::<f64>()
+            / 3_600.0
+    }
+}
+
+/// One circuit breaker: sliding sample window + state machine.
+#[derive(Clone, Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// `(observed_at, failed)` samples, oldest first, pruned to `window`.
+    samples: VecDeque<(SimTime, bool)>,
+    consecutive_failures: u32,
+    /// While Open: when probation starts.
+    open_until: SimTime,
+    /// While HalfOpen: probe admissions granted this round.
+    probes_granted: u32,
+    /// While HalfOpen: probe successes accumulated this round.
+    probe_successes: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            samples: VecDeque::new(),
+            consecutive_failures: 0,
+            open_until: SimTime::EPOCH,
+            probes_granted: 0,
+            probe_successes: 0,
+        }
+    }
+
+    /// Advance Open → HalfOpen once the cooldown has elapsed. All queries
+    /// and observations funnel through this, so state only ever moves
+    /// forward with the (monotone-in-call-order) times the sim hands us.
+    fn tick(&mut self, t: SimTime) {
+        if self.state == BreakerState::Open && t >= self.open_until {
+            self.state = BreakerState::HalfOpen;
+            self.probes_granted = 0;
+            self.probe_successes = 0;
+        }
+    }
+
+    fn trip(&mut self, t: SimTime, config: &HealthConfig) -> OpenEpisode {
+        self.state = BreakerState::Open;
+        self.open_until = t + config.cooldown;
+        self.samples.clear();
+        self.consecutive_failures = 0;
+        OpenEpisode {
+            subject: HealthSubject::Site(SiteId(0)), // caller overwrites
+            from: t,
+            until: self.open_until,
+        }
+    }
+
+    /// Would traffic be admitted at `t`? Does not consume probe quota.
+    fn admits(&mut self, t: SimTime, config: &HealthConfig) -> bool {
+        self.tick(t);
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => self.probes_granted < config.probe_quota,
+        }
+    }
+
+    /// Consume one probe grant if the breaker is on probation.
+    fn commit(&mut self, t: SimTime, config: &HealthConfig) -> bool {
+        self.tick(t);
+        if self.state == BreakerState::HalfOpen && self.probes_granted < config.probe_quota {
+            self.probes_granted += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Fold one observation in; returns a new episode if this trips it.
+    fn observe(&mut self, t: SimTime, failed: bool, config: &HealthConfig) -> Option<OpenEpisode> {
+        self.tick(t);
+        match self.state {
+            BreakerState::Open => None, // refused traffic; nothing to score
+            BreakerState::HalfOpen => {
+                if failed {
+                    // Probation failed: back to Open for a fresh cooldown.
+                    Some(self.trip(t, config))
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= config.probe_successes {
+                        self.state = BreakerState::Closed;
+                        self.samples.clear();
+                        self.consecutive_failures = 0;
+                    }
+                    None
+                }
+            }
+            BreakerState::Closed => {
+                self.samples.push_back((t, failed));
+                let horizon = t - config.window;
+                while let Some(&(s, _)) = self.samples.front() {
+                    if s < horizon {
+                        self.samples.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if failed {
+                    self.consecutive_failures += 1;
+                } else {
+                    self.consecutive_failures = 0;
+                }
+                let n = self.samples.len() as u32;
+                let fails = self.samples.iter().filter(|&&(_, f)| f).count();
+                let rate_tripped = n >= config.min_samples
+                    && fails as f64 / n as f64 >= config.failure_rate_threshold;
+                let run_tripped = self.consecutive_failures >= config.consecutive_failures;
+                (rate_tripped || run_tripped).then(|| self.trip(t, config))
+            }
+        }
+    }
+}
+
+/// The per-site / per-link breaker registry and telemetry sink.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    sites: Vec<Breaker>,
+    links: HashMap<(SiteId, SiteId), Breaker>,
+    episodes: Vec<OpenEpisode>,
+    counters: HealthCounters,
+}
+
+impl HealthMonitor {
+    /// Monitor for a topology of `n_sites` sites, all breakers Closed.
+    pub fn new(config: HealthConfig, n_sites: usize) -> Self {
+        HealthMonitor {
+            config,
+            sites: (0..n_sites).map(|_| Breaker::new()).collect(),
+            links: HashMap::new(),
+            episodes: Vec::new(),
+            counters: HealthCounters::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Current state of a site's breaker (advancing cooldowns to `t`).
+    pub fn site_state(&mut self, site: SiteId, t: SimTime) -> BreakerState {
+        let b = &mut self.sites[site.index()];
+        b.tick(t);
+        b.state
+    }
+
+    /// Current state of a directed link's breaker.
+    pub fn link_state(&mut self, src: SiteId, dst: SiteId, t: SimTime) -> BreakerState {
+        match self.links.entry((src, dst)) {
+            Entry::Occupied(mut e) => {
+                let b = e.get_mut();
+                b.tick(t);
+                b.state
+            }
+            Entry::Vacant(_) => BreakerState::Closed,
+        }
+    }
+
+    /// Would the broker be allowed to place work at `site` at `t`? Counts
+    /// a refusal when not. Does not consume probe quota — pair with
+    /// [`Self::commit_site`] once a placement is actually made.
+    pub fn site_admits(&mut self, site: SiteId, t: SimTime) -> bool {
+        let ok = self.sites[site.index()].admits(t, &self.config);
+        if !ok {
+            self.counters.site_refusals += 1;
+        }
+        ok
+    }
+
+    /// Would source selection be allowed to draw from `src` towards `dst`
+    /// at `t`? Checks the source-site breaker and (for remote paths) the
+    /// directed-link breaker. Counts a refusal when not.
+    pub fn source_admits(&mut self, src: SiteId, dst: SiteId, t: SimTime) -> bool {
+        let config = &self.config;
+        let site_ok = self.sites[src.index()].admits(t, config);
+        let link_ok = src == dst
+            || match self.links.get_mut(&(src, dst)) {
+                Some(b) => b.admits(t, config),
+                None => true,
+            };
+        if !(site_ok && link_ok) {
+            self.counters.link_refusals += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Commit a placement at `site`: consumes one probe grant if the site
+    /// is on probation.
+    pub fn commit_site(&mut self, site: SiteId, t: SimTime) {
+        if self.sites[site.index()].commit(t, &self.config) {
+            self.counters.probes_granted += 1;
+        }
+    }
+
+    /// Commit a source choice `src → dst`: consumes probe grants on
+    /// whichever of the source-site / link breakers are on probation.
+    pub fn commit_source(&mut self, src: SiteId, dst: SiteId, t: SimTime) {
+        if self.sites[src.index()].commit(t, &self.config) {
+            self.counters.probes_granted += 1;
+        }
+        if src != dst {
+            if let Some(b) = self.links.get_mut(&(src, dst)) {
+                if b.commit(t, &self.config) {
+                    self.counters.probes_granted += 1;
+                }
+            }
+        }
+    }
+
+    /// Fold one telemetry event into the relevant breaker.
+    pub fn observe(&mut self, event: HealthEvent) {
+        let failed = event.signal.is_failure();
+        let config = self.config.clone();
+        let breaker = match event.subject {
+            HealthSubject::Site(site) => &mut self.sites[site.index()],
+            HealthSubject::Link { src, dst } => {
+                self.links.entry((src, dst)).or_insert_with(Breaker::new)
+            }
+        };
+        if let Some(mut episode) = breaker.observe(event.at, failed, &config) {
+            episode.subject = event.subject;
+            self.counters.trips += 1;
+            self.episodes.push(episode);
+        }
+    }
+
+    /// Observe a transfer attempt over `src → dst`: scores the source
+    /// site, the destination site, and (for remote paths) the link. The
+    /// blame is deliberately symmetric — telemetry cannot see *which*
+    /// component failed, only that the path did, exactly like production
+    /// FTS error accounting.
+    pub fn observe_attempt(&mut self, src: SiteId, dst: SiteId, at: SimTime, succeeded: bool) {
+        let signal = if succeeded {
+            HealthSignal::AttemptSucceeded
+        } else {
+            HealthSignal::AttemptFailed
+        };
+        self.observe(HealthEvent {
+            subject: HealthSubject::Site(src),
+            at,
+            signal,
+        });
+        if src != dst {
+            self.observe(HealthEvent {
+                subject: HealthSubject::Site(dst),
+                at,
+                signal,
+            });
+            self.observe(HealthEvent {
+                subject: HealthSubject::Link { src, dst },
+                at,
+                signal,
+            });
+        }
+    }
+
+    /// Observe a request that exhausted its retry budget on `src → dst`.
+    pub fn observe_exhausted(&mut self, src: SiteId, dst: SiteId, at: SimTime) {
+        self.observe(HealthEvent {
+            subject: HealthSubject::Site(src),
+            at,
+            signal: HealthSignal::TransferExhausted,
+        });
+        if src != dst {
+            self.observe(HealthEvent {
+                subject: HealthSubject::Link { src, dst },
+                at,
+                signal: HealthSignal::TransferExhausted,
+            });
+        }
+    }
+
+    /// Snapshot the exclusion telemetry for export.
+    pub fn summary(&self) -> HealthSummary {
+        HealthSummary {
+            episodes: self.episodes.clone(),
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig::adaptive(), 4)
+    }
+
+    fn fail(m: &mut HealthMonitor, site: SiteId, t: SimTime) {
+        m.observe(HealthEvent {
+            subject: HealthSubject::Site(site),
+            at: t,
+            signal: HealthSignal::AttemptFailed,
+        });
+    }
+
+    fn succeed(m: &mut HealthMonitor, site: SiteId, t: SimTime) {
+        m.observe(HealthEvent {
+            subject: HealthSubject::Site(site),
+            at: t,
+            signal: HealthSignal::AttemptSucceeded,
+        });
+    }
+
+    #[test]
+    fn breaker_stays_closed_under_background_noise() {
+        let mut m = monitor();
+        let s = SiteId(1);
+        // 8 % failures, the degraded-grid baseline: never trips.
+        for i in 0..500 {
+            let t = SimTime::from_secs(i * 10);
+            if i % 13 == 0 {
+                fail(&mut m, s, t);
+            } else {
+                succeed(&mut m, s, t);
+            }
+        }
+        assert_eq!(
+            m.site_state(s, SimTime::from_hours(2)),
+            BreakerState::Closed
+        );
+        assert!(m.summary().episodes.is_empty());
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker() {
+        let mut m = monitor();
+        let s = SiteId(2);
+        for i in 0..4 {
+            fail(&mut m, s, SimTime::from_secs(i * 5));
+        }
+        assert_eq!(m.site_state(s, SimTime::from_secs(20)), BreakerState::Open);
+        assert!(!m.site_admits(s, SimTime::from_secs(25)));
+        let summary = m.summary();
+        assert_eq!(summary.episodes.len(), 1);
+        assert_eq!(summary.counters.trips, 1);
+        assert_eq!(summary.counters.site_refusals, 1);
+    }
+
+    #[test]
+    fn failure_rate_opens_without_a_consecutive_run() {
+        let mut m = monitor();
+        let s = SiteId(0);
+        // Alternate 3 fails / 1 success: 75 % ≥ the 70 % threshold, but
+        // never 4 consecutive failures.
+        for i in 0..12i64 {
+            let t = SimTime::from_secs(i * 5);
+            if i % 4 == 3 {
+                succeed(&mut m, s, t);
+            } else {
+                fail(&mut m, s, t);
+            }
+        }
+        assert_eq!(m.site_state(s, SimTime::from_secs(60)), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_reaches_half_open_and_probes_are_bounded() {
+        let mut m = monitor();
+        let s = SiteId(1);
+        for i in 0..4 {
+            fail(&mut m, s, SimTime::from_secs(i));
+        }
+        let after = SimTime::from_secs(4) + m.config().cooldown;
+        assert_eq!(m.site_state(s, after), BreakerState::HalfOpen);
+        // Quota grants, then refusals.
+        for _ in 0..m.config().probe_quota {
+            assert!(m.site_admits(s, after));
+            m.commit_site(s, after);
+        }
+        assert!(!m.site_admits(s, after));
+        assert_eq!(m.summary().counters.probes_granted, 3);
+    }
+
+    #[test]
+    fn probe_successes_reclose_and_probe_failure_reopens() {
+        let mut m = monitor();
+        let s = SiteId(1);
+        for i in 0..4 {
+            fail(&mut m, s, SimTime::from_secs(i));
+        }
+        let after = SimTime::from_secs(10) + m.config().cooldown;
+        assert_eq!(m.site_state(s, after), BreakerState::HalfOpen);
+        succeed(&mut m, s, after);
+        succeed(&mut m, s, after + SimDuration::from_secs(5));
+        assert_eq!(
+            m.site_state(s, after + SimDuration::from_secs(6)),
+            BreakerState::Closed
+        );
+
+        // Trip again; this time the probe fails → straight back to Open.
+        for i in 0..4 {
+            fail(&mut m, s, after + SimDuration::from_secs(10 + i));
+        }
+        let probation = after + SimDuration::from_secs(20) + m.config().cooldown;
+        assert_eq!(m.site_state(s, probation), BreakerState::HalfOpen);
+        fail(&mut m, s, probation);
+        assert_eq!(m.site_state(s, probation), BreakerState::Open);
+        assert_eq!(m.summary().counters.trips, 3);
+        assert_eq!(m.summary().episodes.len(), 3);
+    }
+
+    #[test]
+    fn open_windows_expire_from_the_sliding_window() {
+        let mut m = monitor();
+        let s = SiteId(3);
+        // Three old failures, then much later a fourth: the window prune
+        // plus the success-free gap means only consecutive-run logic could
+        // trip — and the run was broken by a success.
+        for i in 0..3 {
+            fail(&mut m, s, SimTime::from_secs(i));
+        }
+        succeed(&mut m, s, SimTime::from_secs(10));
+        fail(&mut m, s, SimTime::from_hours(3));
+        assert_eq!(
+            m.site_state(s, SimTime::from_hours(3)),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn link_breakers_are_directed_and_independent_of_sites() {
+        let mut m = monitor();
+        let (a, b) = (SiteId(0), SiteId(1));
+        for i in 0..4 {
+            m.observe(HealthEvent {
+                subject: HealthSubject::Link { src: a, dst: b },
+                at: SimTime::from_secs(i),
+                signal: HealthSignal::AttemptFailed,
+            });
+        }
+        assert_eq!(
+            m.link_state(a, b, SimTime::from_secs(5)),
+            BreakerState::Open
+        );
+        assert_eq!(
+            m.link_state(b, a, SimTime::from_secs(5)),
+            BreakerState::Closed
+        );
+        assert_eq!(m.site_state(a, SimTime::from_secs(5)), BreakerState::Closed);
+        // source_admits folds both site and link checks.
+        assert!(!m.source_admits(a, b, SimTime::from_secs(5)));
+        assert!(m.source_admits(b, a, SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn observe_attempt_blames_path_components_symmetrically() {
+        let mut m = monitor();
+        let (src, dst) = (SiteId(2), SiteId(3));
+        for i in 0..4 {
+            m.observe_attempt(src, dst, SimTime::from_secs(i), false);
+        }
+        assert_eq!(m.site_state(src, SimTime::from_secs(5)), BreakerState::Open);
+        assert_eq!(m.site_state(dst, SimTime::from_secs(5)), BreakerState::Open);
+        assert_eq!(
+            m.link_state(src, dst, SimTime::from_secs(5)),
+            BreakerState::Open
+        );
+        // Local attempts only score the one site.
+        let mut m2 = monitor();
+        m2.observe_attempt(SiteId(0), SiteId(0), SimTime::EPOCH, false);
+        assert!(m2.links.is_empty());
+    }
+
+    #[test]
+    fn exhausted_requests_count_as_failures() {
+        let mut m = monitor();
+        let (src, dst) = (SiteId(0), SiteId(1));
+        for i in 0..4 {
+            m.observe_exhausted(src, dst, SimTime::from_secs(i));
+        }
+        assert_eq!(m.site_state(src, SimTime::from_secs(5)), BreakerState::Open);
+        assert_eq!(
+            m.link_state(src, dst, SimTime::from_secs(5)),
+            BreakerState::Open
+        );
+    }
+
+    #[test]
+    fn summary_hours_clamp_to_window_end() {
+        let mut m = monitor();
+        let s = SiteId(1);
+        for i in 0..4 {
+            fail(&mut m, s, SimTime::from_secs(i));
+        }
+        let summary = m.summary();
+        // Full cooldown = 1800 s = 0.5 h.
+        let full = summary.excluded_site_hours(SimTime::from_hours(10));
+        assert!((full - 0.5).abs() < 1e-6, "{full}");
+        // Window ends 900 s after the trip → half the episode counts.
+        let clamped = summary.excluded_site_hours(SimTime::from_secs(3 + 900));
+        assert!((clamped - 0.25).abs() < 1e-6, "{clamped}");
+        assert_eq!(summary.excluded_link_hours(SimTime::from_hours(10)), 0.0);
+    }
+
+    #[test]
+    fn half_open_ignores_further_refused_traffic_scoring() {
+        // Results observed while Open are ignored (that traffic was
+        // forced through the only-replica rule); the breaker still
+        // reaches probation on schedule.
+        let mut m = monitor();
+        let s = SiteId(1);
+        for i in 0..4 {
+            fail(&mut m, s, SimTime::from_secs(i));
+        }
+        succeed(&mut m, s, SimTime::from_secs(100));
+        assert_eq!(m.site_state(s, SimTime::from_secs(101)), BreakerState::Open);
+        let after = SimTime::from_secs(3) + m.config().cooldown;
+        assert_eq!(m.site_state(s, after), BreakerState::HalfOpen);
+    }
+}

@@ -25,11 +25,16 @@
 pub mod bandwidth;
 pub mod config;
 pub mod faults;
+pub mod health;
 pub mod site;
 pub mod topology;
 
 pub use bandwidth::BandwidthModel;
 pub use config::TopologyConfig;
 pub use faults::{FaultConfig, FaultModel};
+pub use health::{
+    BreakerState, HealthConfig, HealthCounters, HealthEvent, HealthMonitor, HealthSignal,
+    HealthSubject, HealthSummary, OpenEpisode,
+};
 pub use site::{Rse, RseId, RseKind, Site, SiteId, Tier};
 pub use topology::GridTopology;

@@ -1,8 +1,12 @@
 //! Property tests for the grid substrate: bandwidth purity and transfer
-//! integration sanity over random sites, times, and sizes.
+//! integration sanity over random sites, times, and sizes, plus the
+//! circuit-breaker liveness guarantee (an Open breaker always reaches
+//! probation, and probation with healthy probes always re-closes).
 
-use dmsa_gridnet::{BandwidthModel, GridTopology, SiteId, TopologyConfig};
-use dmsa_simcore::{RngFactory, SimTime};
+use dmsa_gridnet::{
+    BandwidthModel, BreakerState, GridTopology, HealthConfig, HealthMonitor, SiteId, TopologyConfig,
+};
+use dmsa_simcore::{RngFactory, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn fixture(seed: u64) -> (GridTopology, BandwidthModel) {
@@ -85,6 +89,93 @@ proptest! {
             mean_rate >= min_rate * 0.49,
             "mean {mean_rate} far below min {min_rate}"
         );
+    }
+
+    #[test]
+    fn open_breaker_always_reaches_probation_and_recloses_on_healthy_probes(
+        consecutive in 1u32..6,
+        n_failures in 6usize..20,
+        spacing_s in 1i64..60,
+        cooldown_s in 3_600i64..7_200,
+        probe_successes in 1u32..4,
+    ) {
+        let mut config = HealthConfig::adaptive();
+        config.consecutive_failures = consecutive;
+        // Silence the rate path so only the consecutive-run trigger can
+        // trip; the liveness property must hold regardless of why the
+        // breaker opened.
+        config.min_samples = u32::MAX;
+        config.cooldown = SimDuration::from_secs(cooldown_s);
+        config.probe_successes = probe_successes;
+        config.probe_quota = probe_successes.max(config.probe_quota);
+        let mut monitor = HealthMonitor::new(config, 4);
+        let site = SiteId(1);
+
+        // Feed a failure run. The breaker trips at the `consecutive`-th
+        // failure; later failures land while Open and are ignored, so
+        // they must not extend the exclusion. All failures fit well
+        // inside the cooldown (max span 20*60 s < 3600 s).
+        let mut t = SimTime::from_secs(10);
+        let mut t_trip = None;
+        for i in 0..n_failures {
+            monitor.observe_attempt(site, site, t, false);
+            if i + 1 == consecutive as usize {
+                t_trip = Some(t);
+            }
+            t += SimDuration::from_secs(spacing_s);
+        }
+        let t_trip = t_trip.expect("n_failures >= consecutive");
+        prop_assert_eq!(monitor.site_state(site, t), BreakerState::Open);
+        prop_assert!(!monitor.site_admits(site, t));
+
+        // Liveness: once the cooldown elapses the breaker MUST be in
+        // probation — no amount of ignored-while-Open traffic may wedge
+        // it Open forever.
+        let t_probe = t_trip + SimDuration::from_secs(cooldown_s) + SimDuration::from_secs(1);
+        prop_assert_eq!(monitor.site_state(site, t_probe), BreakerState::HalfOpen);
+
+        // Healthy probes re-close it within `probe_successes` grants.
+        let mut t = t_probe;
+        for _ in 0..probe_successes {
+            prop_assert_eq!(monitor.site_state(site, t), BreakerState::HalfOpen);
+            prop_assert!(monitor.site_admits(site, t), "probation must admit probes");
+            monitor.commit_site(site, t);
+            monitor.observe_attempt(site, site, t, true);
+            t += SimDuration::from_secs(5);
+        }
+        prop_assert_eq!(monitor.site_state(site, t), BreakerState::Closed);
+        prop_assert!(monitor.site_admits(site, t));
+    }
+
+    #[test]
+    fn probation_failure_reopens_for_a_full_cooldown(
+        consecutive in 1u32..6,
+        cooldown_s in 600i64..3_600,
+    ) {
+        let mut config = HealthConfig::adaptive();
+        config.consecutive_failures = consecutive;
+        config.min_samples = u32::MAX;
+        config.cooldown = SimDuration::from_secs(cooldown_s);
+        let mut monitor = HealthMonitor::new(config, 4);
+        let site = SiteId(0);
+
+        let mut t = SimTime::from_secs(1);
+        for _ in 0..consecutive {
+            monitor.observe_attempt(site, site, t, false);
+            t += SimDuration::from_secs(1);
+        }
+        prop_assert_eq!(monitor.site_state(site, t), BreakerState::Open);
+
+        // Into probation, then a failed probe: straight back to Open,
+        // and the next probation is again reachable (liveness survives
+        // the re-trip).
+        let t_half = t + SimDuration::from_secs(cooldown_s);
+        prop_assert_eq!(monitor.site_state(site, t_half), BreakerState::HalfOpen);
+        monitor.commit_site(site, t_half);
+        monitor.observe_attempt(site, site, t_half, false);
+        prop_assert_eq!(monitor.site_state(site, t_half), BreakerState::Open);
+        let t_again = t_half + SimDuration::from_secs(cooldown_s) + SimDuration::from_secs(1);
+        prop_assert_eq!(monitor.site_state(site, t_again), BreakerState::HalfOpen);
     }
 
     #[test]

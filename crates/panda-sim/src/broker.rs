@@ -93,17 +93,54 @@ impl Broker {
         topology: &GridTopology,
         rng: &mut SmallRng,
     ) -> Placement {
+        self.choose_site_guarded(replica_sites, load, topology, rng, |_| false)
+    }
+
+    /// [`Self::choose_site`] with a health veto: sites for which
+    /// `unhealthy` returns true are hard-excluded from every candidate
+    /// pool. When all data-holding sites are vetoed the job load-sheds to
+    /// the coolest healthy site anywhere (paying the remote staging); if
+    /// *every* non-T3 site is vetoed the veto itself is waived — the grid
+    /// degrades rather than deadlocks.
+    ///
+    /// The RNG draw sequence is identical to [`Self::choose_site`] as
+    /// long as no candidate is vetoed, which keeps zero-fault adaptive
+    /// campaigns byte-identical to non-adaptive ones.
+    pub fn choose_site_guarded(
+        &self,
+        replica_sites: &[SiteId],
+        load: SiteLoadView<'_>,
+        topology: &GridTopology,
+        rng: &mut SmallRng,
+        mut unhealthy: impl FnMut(SiteId) -> bool,
+    ) -> Placement {
         // Baseline locality violation (user pinning, special queues).
         if rng.random::<f64>() < self.config.random_remote_prob || replica_sites.is_empty() {
-            let site = self.least_loaded_site(load, topology, None);
+            let site = self.least_loaded_site(load, topology, None, &mut unhealthy);
             return Placement {
                 site,
                 data_local: replica_sites.contains(&site),
             };
         }
 
-        // Data-locality principle: least-loaded replica-holding site.
-        let best_local = replica_sites
+        // Data-locality principle: least-loaded *healthy* replica site.
+        let healthy: Vec<SiteId> = replica_sites
+            .iter()
+            .copied()
+            .filter(|&s| !unhealthy(s))
+            .collect();
+        if healthy.is_empty() {
+            // Every data-holding site is excluded: shed the job to the
+            // coolest healthy site elsewhere instead of queueing on a
+            // breaker. (Draw-free branch — only reachable when a breaker
+            // is open, i.e. never in zero-fault runs.)
+            let site = self.least_loaded_site(load, topology, Some(replica_sites), &mut unhealthy);
+            return Placement {
+                site,
+                data_local: replica_sites.contains(&site),
+            };
+        }
+        let best_local = healthy
             .iter()
             .copied()
             .min_by(|&a, &b| {
@@ -111,7 +148,7 @@ impl Broker {
                     .total_cmp(&load.backlog(b, topology))
                     .then(a.cmp(&b))
             })
-            .expect("non-empty replica set");
+            .expect("non-empty healthy replica set");
         let local_backlog = load.backlog(best_local, topology);
 
         if local_backlog <= self.config.hot_backlog_threshold {
@@ -123,7 +160,7 @@ impl Broker {
 
         // All data sites hot: maybe escape to the coolest site anywhere.
         if rng.random::<f64>() < self.config.remote_when_hot_prob {
-            let site = self.least_loaded_site(load, topology, Some(replica_sites));
+            let site = self.least_loaded_site(load, topology, Some(replica_sites), &mut unhealthy);
             Placement {
                 site,
                 data_local: replica_sites.contains(&site),
@@ -138,31 +175,36 @@ impl Broker {
     }
 
     /// Globally least-loaded site, optionally excluding a set; excludes
-    /// Tier-3 sites (they take no brokered analysis load). If the
-    /// exclusion empties the candidate pool — every non-T3 site already
-    /// holds the data, common on small grids — the exclusion is waived:
-    /// there is nowhere "remote" to escape to.
+    /// Tier-3 sites (they take no brokered analysis load) and sites vetoed
+    /// by `unhealthy`. If the exclusions empty the candidate pool the
+    /// waiver chain relaxes them in order — first the replica-set
+    /// exclusion (every non-T3 site already holds the data, common on
+    /// small grids), then the health veto (the whole grid is sick):
+    /// there must always be *somewhere* to run.
     fn least_loaded_site(
         &self,
         load: SiteLoadView<'_>,
         topology: &GridTopology,
         exclude: Option<&[SiteId]>,
+        unhealthy: &mut impl FnMut(SiteId) -> bool,
     ) -> SiteId {
-        let pick = |ignore_exclusion: bool| {
+        let mut pick = |ignore_exclusion: bool, ignore_health: bool| {
             topology
                 .sites()
                 .iter()
                 .filter(|s| s.tier != dmsa_gridnet::Tier::T3)
                 .filter(|s| ignore_exclusion || exclude.is_none_or(|e| !e.contains(&s.id)))
                 .map(|s| s.id)
+                .filter(|&s| ignore_health || !unhealthy(s))
                 .min_by(|&a, &b| {
                     load.backlog(a, topology)
                         .total_cmp(&load.backlog(b, topology))
                         .then(a.cmp(&b))
                 })
         };
-        pick(false)
-            .or_else(|| pick(true))
+        pick(false, false)
+            .or_else(|| pick(true, false))
+            .or_else(|| pick(true, true))
             .expect("topology has at least one non-T3 site")
     }
 }
@@ -301,6 +343,89 @@ mod tests {
             let p = broker.choose_site(&[SiteId(1)], load, &topo, &mut rng);
             assert_ne!(topo.site(p.site).tier, dmsa_gridnet::Tier::T3);
         }
+    }
+
+    #[test]
+    fn guarded_with_no_vetoes_matches_unguarded_exactly() {
+        let topo = topo();
+        let (mut q, r) = zero_load(topo.n_sites());
+        q[4] = 100_000; // make the hot/escape paths reachable
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.1,
+            ..Default::default()
+        });
+        let mut rng_a = RngFactory::new(9).stream("t");
+        let mut rng_b = RngFactory::new(9).stream("t");
+        for i in 0..200u32 {
+            let replicas = [SiteId(i % 8), SiteId(4)];
+            let a = broker.choose_site(&replicas, load, &topo, &mut rng_a);
+            let b = broker.choose_site_guarded(&replicas, load, &topo, &mut rng_b, |_| false);
+            assert_eq!(a, b, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn guarded_excludes_vetoed_replica_site() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        // Site 4 vetoed: the other replica site must win even at equal load.
+        let p = broker.choose_site_guarded(&[SiteId(4), SiteId(6)], load, &topo, &mut rng, |s| {
+            s == SiteId(4)
+        });
+        assert_eq!(p.site, SiteId(6));
+        assert!(p.data_local);
+    }
+
+    #[test]
+    fn all_replica_sites_vetoed_sheds_load_elsewhere() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        let replicas = [SiteId(4), SiteId(6)];
+        let p =
+            broker.choose_site_guarded(&replicas, load, &topo, &mut rng, |s| replicas.contains(&s));
+        assert!(!replicas.contains(&p.site), "must shed off the sick sites");
+        assert!(!p.data_local);
+        assert_ne!(topo.site(p.site).tier, dmsa_gridnet::Tier::T3);
+    }
+
+    #[test]
+    fn fully_vetoed_grid_waives_the_veto_instead_of_panicking() {
+        let topo = topo();
+        let (q, r) = zero_load(topo.n_sites());
+        let load = SiteLoadView {
+            queued: &q,
+            running: &r,
+        };
+        let broker = Broker::new(BrokerConfig {
+            random_remote_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = RngFactory::new(1).stream("t");
+        // Everything unhealthy: the waiver chain must still place the job.
+        let p = broker.choose_site_guarded(&[SiteId(4)], load, &topo, &mut rng, |_| true);
+        assert_ne!(topo.site(p.site).tier, dmsa_gridnet::Tier::T3);
     }
 
     #[test]

@@ -40,5 +40,6 @@ pub use deletion::{reap_all, reap_rse, Deletion, ReaperPolicy};
 pub use did::{DidName, Scope};
 pub use rules::{ReplicationRule, RuleEngine, RuleId};
 pub use transfer::{
-    RetryPolicy, TransferEngine, TransferEvent, TransferId, TransferOutcome, TransferRequest,
+    RetryPolicy, TransferEngine, TransferEvent, TransferId, TransferOutcome, TransferPathStats,
+    TransferRequest,
 };

@@ -37,7 +37,9 @@
 use crate::activity::Activity;
 use crate::catalog::{FileId, ReplicaCatalog};
 use crate::did::{DidName, Scope};
-use dmsa_gridnet::{BandwidthModel, FaultConfig, FaultModel, GridTopology, RseId, SiteId};
+use dmsa_gridnet::{
+    BandwidthModel, FaultConfig, FaultModel, GridTopology, HealthMonitor, RseId, SiteId,
+};
 use dmsa_simcore::{RngFactory, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::RngExt;
@@ -134,6 +136,11 @@ pub struct RetryPolicy {
     pub backoff_factor: f64,
     /// Uniform jitter fraction (`0.25` = ±25 %) decorrelating retry storms.
     pub backoff_jitter: f64,
+    /// Ceiling on any single backoff delay (pre-jitter): keeps
+    /// `backoff_factor^retry` from producing absurd or overflowing
+    /// durations at large attempt counts.
+    #[serde(default = "RetryPolicy::default_backoff_max")]
+    pub backoff_max: SimDuration,
 }
 
 impl Default for RetryPolicy {
@@ -143,19 +150,48 @@ impl Default for RetryPolicy {
             backoff_base: SimDuration::from_secs(60),
             backoff_factor: 2.0,
             backoff_jitter: 0.25,
+            backoff_max: Self::default_backoff_max(),
         }
     }
 }
 
 impl RetryPolicy {
+    /// Default backoff ceiling: one hour, FTS's maximum retry spacing.
+    pub fn default_backoff_max() -> SimDuration {
+        SimDuration::from_hours(1)
+    }
+
     /// Delay before retry number `retry` (1-based), with `u ∈ [0, 1)`
-    /// supplying the jitter.
+    /// supplying the jitter. The exponential part saturates at
+    /// `backoff_max`; jitter applies on top, so the delay never exceeds
+    /// `backoff_max * (1 + backoff_jitter)`.
     pub fn backoff(&self, retry: u32, u: f64) -> SimDuration {
         let exp = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        let max_ms = self.backoff_max.as_millis().max(0) as f64;
+        let nominal = (self.backoff_base.as_millis() as f64 * exp).min(max_ms);
         let jitter = 1.0 + self.backoff_jitter * (2.0 * u - 1.0);
-        let ms = self.backoff_base.as_millis() as f64 * exp * jitter;
+        let ms = nominal * jitter;
         SimDuration::from_millis(ms.round().max(0.0) as i64)
     }
+}
+
+/// Unconditional per-engine transfer-path counters. Cheap enough to keep
+/// always-on; the `exclusion` analysis report compares them between an
+/// adaptive and a baseline campaign to quantify what the breakers bought.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TransferPathStats {
+    /// Requests handed to [`TransferEngine::execute`].
+    pub requests: u64,
+    /// Requests whose file arrived.
+    pub delivered: u64,
+    /// Delivered requests that needed more than one attempt.
+    pub delivered_after_retry: u64,
+    /// Individual attempts that died mid-flight.
+    pub failed_attempts: u64,
+    /// Requests that burned their whole retry budget undelivered.
+    pub exhausted: u64,
+    /// Requests with no source replica anywhere.
+    pub no_replica: u64,
 }
 
 /// What [`TransferEngine::execute`] did with a request.
@@ -224,6 +260,8 @@ pub struct TransferEngine {
     /// Failure + backoff-jitter draws; touched only when faults are
     /// enabled, so zero-knob runs replay the fault-free draw sequence.
     fault_rng: SmallRng,
+    /// Always-on request/attempt counters.
+    stats: TransferPathStats,
 }
 
 impl TransferEngine {
@@ -265,6 +303,7 @@ impl TransferEngine {
             faults,
             retry,
             fault_rng: rngs.stream("rucio/transfer-faults"),
+            stats: TransferPathStats::default(),
         }
     }
 
@@ -310,11 +349,72 @@ impl TransferEngine {
         {
             return Some(local);
         }
+        Self::best_by_throughput(replicas, topology, bw, dest_site, t)
+    }
+
+    /// Highest-effective-rate replica with the deterministic tiebreak.
+    fn best_by_throughput(
+        replicas: &[RseId],
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+        dest_site: SiteId,
+        t: SimTime,
+    ) -> Option<RseId> {
         replicas.iter().copied().max_by(|&a, &b| {
             let ra = bw.effective_mbps(topology.site_of_rse(a), dest_site, t);
             let rb = bw.effective_mbps(topology.site_of_rse(b), dest_site, t);
             ra.total_cmp(&rb).then(b.cmp(&a)) // deterministic tiebreak
         })
+    }
+
+    /// Health-aware variant of [`Self::select_source`]: replicas whose
+    /// source site or link breaker refuses traffic are skipped — *unless*
+    /// they are the only replicas left, in which case the breaker is
+    /// overridden (a file must never become unreachable just because its
+    /// last host is on probation). A local replica still short-circuits:
+    /// an intra-site move crosses no monitored link, and avoiding the
+    /// destination site is the broker's job, not ours. The chosen source
+    /// consumes a probe grant if it was on probation.
+    ///
+    /// With every breaker Closed this returns exactly what
+    /// [`Self::select_source`] returns, so zero-fault adaptive runs stay
+    /// byte-identical to non-adaptive ones.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_source_healthy(
+        &self,
+        catalog: &ReplicaCatalog,
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+        file: FileId,
+        dest_site: SiteId,
+        t: SimTime,
+        health: &mut HealthMonitor,
+    ) -> Option<RseId> {
+        let replicas = catalog.replicas_of(file);
+        if replicas.is_empty() {
+            return None;
+        }
+        if let Some(&local) = replicas
+            .iter()
+            .find(|&&r| topology.site_of_rse(r) == dest_site)
+        {
+            return Some(local);
+        }
+        let admitted: Vec<RseId> = replicas
+            .iter()
+            .copied()
+            .filter(|&r| health.source_admits(topology.site_of_rse(r), dest_site, t))
+            .collect();
+        let pool: &[RseId] = if admitted.is_empty() {
+            replicas // only-replica override: degrade, don't starve
+        } else {
+            &admitted
+        };
+        let chosen = Self::best_by_throughput(pool, topology, bw, dest_site, t);
+        if let Some(rse) = chosen {
+            health.commit_source(topology.site_of_rse(rse), dest_site, t);
+        }
+        chosen
     }
 
     /// Execute a transfer request that became ready at `ready`.
@@ -333,29 +433,66 @@ impl TransferEngine {
         topology: &GridTopology,
         bw: &BandwidthModel,
     ) -> TransferOutcome {
+        self.execute_monitored(req, ready, catalog, topology, bw, None)
+    }
+
+    /// [`Self::execute`] with an optional health monitor closing the
+    /// loop: source selection skips Open sites/links (only-replica
+    /// override aside) and every attempt outcome — plus a final
+    /// exhaustion, if any — is fed back as breaker telemetry.
+    pub fn execute_monitored(
+        &mut self,
+        req: &TransferRequest,
+        ready: SimTime,
+        catalog: &mut ReplicaCatalog,
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+        mut health: Option<&mut HealthMonitor>,
+    ) -> TransferOutcome {
         let dest_site = topology.site_of_rse(req.dest);
         let faults_on = self.faults.enabled();
         let max_attempts = 1 + if faults_on { self.retry.max_retries } else { 0 };
         let mut events: Vec<TransferEvent> = Vec::new();
         let mut attempt_ready = ready;
+        self.stats.requests += 1;
 
         for attempt in 1..=max_attempts {
             // Re-discover per attempt: the reaper may have deleted the
             // replica we used last time, or a better one may exist now.
             let source_rse = match req.preferred_source {
                 Some(rse) if catalog.has_replica(req.file, rse) => rse,
-                _ => match self.select_source(
-                    catalog,
-                    topology,
-                    bw,
-                    req.file,
-                    dest_site,
-                    attempt_ready,
-                ) {
-                    Some(rse) => rse,
-                    None if events.is_empty() => return TransferOutcome::NoReplica,
-                    None => return TransferOutcome::Exhausted(events),
-                },
+                _ => {
+                    let picked = match health.as_deref_mut() {
+                        Some(h) => self.select_source_healthy(
+                            catalog,
+                            topology,
+                            bw,
+                            req.file,
+                            dest_site,
+                            attempt_ready,
+                            h,
+                        ),
+                        None => self.select_source(
+                            catalog,
+                            topology,
+                            bw,
+                            req.file,
+                            dest_site,
+                            attempt_ready,
+                        ),
+                    };
+                    match picked {
+                        Some(rse) => rse,
+                        None if events.is_empty() => {
+                            self.stats.no_replica += 1;
+                            return TransferOutcome::NoReplica;
+                        }
+                        None => {
+                            self.stats.exhausted += 1;
+                            return TransferOutcome::Exhausted(events);
+                        }
+                    }
+                }
             };
             let source_site = topology.site_of_rse(source_rse);
 
@@ -422,15 +559,35 @@ impl TransferEngine {
             });
             self.next_id += 1;
 
+            if let Some(h) = health.as_deref_mut() {
+                h.observe_attempt(source_site, dest_site, end, !failed);
+            }
+
             if !failed {
                 catalog.add_replica(req.file, req.dest);
+                self.stats.delivered += 1;
+                if events.len() > 1 {
+                    self.stats.delivered_after_retry += 1;
+                }
                 return TransferOutcome::Delivered(events);
             }
+            self.stats.failed_attempts += 1;
             // Exponential backoff with jitter before the next attempt.
             let u = self.fault_rng.random::<f64>();
             attempt_ready = end + self.retry.backoff(attempt, u);
         }
+        self.stats.exhausted += 1;
+        if let Some(h) = health {
+            if let Some(last) = events.last() {
+                h.observe_exhausted(last.source_site, dest_site, last.endtime);
+            }
+        }
         TransferOutcome::Exhausted(events)
+    }
+
+    /// The always-on transfer-path counters.
+    pub fn path_stats(&self) -> TransferPathStats {
+        self.stats
     }
 
     /// Pop the earliest-free stream at `site`; the stream is considered
@@ -835,5 +992,188 @@ mod tests {
             assert!((lo - nominal * 0.75).abs() <= 1.0);
             assert!((hi - nominal * 1.25).abs() <= 1.0);
         }
+    }
+
+    #[test]
+    fn backoff_saturates_at_backoff_max() {
+        let rp = RetryPolicy::default();
+        let max_ms = rp.backoff_max.as_millis();
+        // Attempt counts way past the crossover: without the cap,
+        // 2^99 * 60 s overflows into nonsense; with it the delay pins to
+        // backoff_max (± jitter) and stays finite.
+        for retry in [10u32, 40, 100] {
+            let mid = rp.backoff(retry, 0.5);
+            assert_eq!(mid, rp.backoff_max, "retry {retry}");
+            let hi = rp.backoff(retry, 1.0).as_millis();
+            assert!(hi <= (max_ms as f64 * 1.25).round() as i64 + 1);
+            assert!(rp.backoff(retry, 0.0).as_millis() >= 0);
+        }
+        // Monotone up to the cap: retry 2 under a tiny max is clamped.
+        let tight = RetryPolicy {
+            backoff_max: SimDuration::from_secs(90),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            tight.backoff(2, 0.5),
+            SimDuration::from_secs(90),
+            "120 s nominal clamps to 90 s"
+        );
+    }
+
+    #[test]
+    fn path_stats_track_outcomes() {
+        let mut f = fixture_with(Some((
+            FaultConfig {
+                p_attempt_failure: 1.0,
+                ..FaultConfig::none()
+            },
+            RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+        )));
+        let dest = f.topo.disk_rse(SiteId(4));
+        let _ = f.eng.execute(
+            &request(f.files[0], dest),
+            SimTime::EPOCH,
+            &mut f.cat,
+            &f.topo,
+            &f.bw,
+        );
+        let stats = f.eng.path_stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.failed_attempts, 3);
+        assert_eq!(stats.delivered, 0);
+
+        // A fault-free engine only ever delivers first try.
+        let mut g = fixture();
+        let dest = g.topo.disk_rse(SiteId(3));
+        let req = request(g.files[1], dest);
+        exec_ok(&mut g, &req, SimTime::EPOCH);
+        let stats = g.eng.path_stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.delivered_after_retry, 0);
+        assert_eq!(stats.failed_attempts, 0);
+    }
+
+    #[test]
+    fn healthy_selection_matches_plain_selection_when_all_closed() {
+        let mut f = fixture();
+        let r2 = f.topo.disk_rse(SiteId(2));
+        f.cat.add_replica(f.files[0], r2);
+        let mut health = HealthMonitor::new(dmsa_gridnet::HealthConfig::adaptive(), 16);
+        for t in [0i64, 500, 5_000] {
+            let t = SimTime::from_secs(t);
+            let plain = f
+                .eng
+                .select_source(&f.cat, &f.topo, &f.bw, f.files[0], SiteId(5), t);
+            let guarded = f.eng.select_source_healthy(
+                &f.cat,
+                &f.topo,
+                &f.bw,
+                f.files[0],
+                SiteId(5),
+                t,
+                &mut health,
+            );
+            assert_eq!(plain, guarded);
+        }
+    }
+
+    #[test]
+    fn healthy_selection_skips_open_source_unless_only_replica() {
+        use dmsa_gridnet::{HealthEvent, HealthSignal, HealthSubject};
+        let mut f = fixture();
+        let r2 = f.topo.disk_rse(SiteId(2));
+        f.cat.add_replica(f.files[0], r2);
+        let dest = SiteId(5);
+        let mut health = HealthMonitor::new(dmsa_gridnet::HealthConfig::adaptive(), 16);
+        let t = SimTime::from_secs(100);
+        let plain = f
+            .eng
+            .select_source(&f.cat, &f.topo, &f.bw, f.files[0], dest, t)
+            .unwrap();
+        let plain_site = f.topo.site_of_rse(plain);
+        // Trip the breaker of whichever site plain selection prefers.
+        for i in 0..4 {
+            health.observe(HealthEvent {
+                subject: HealthSubject::Site(plain_site),
+                at: SimTime::from_secs(i),
+                signal: HealthSignal::AttemptFailed,
+            });
+        }
+        let guarded = f
+            .eng
+            .select_source_healthy(&f.cat, &f.topo, &f.bw, f.files[0], dest, t, &mut health)
+            .unwrap();
+        assert_ne!(
+            f.topo.site_of_rse(guarded),
+            plain_site,
+            "open source must be skipped while an alternative exists"
+        );
+        // Remove the alternative: the Open site is now the only replica
+        // and must be used anyway.
+        let other = if guarded == r2 {
+            f.topo.disk_rse(SiteId(0))
+        } else {
+            r2
+        };
+        f.cat.remove_replica(f.files[0], guarded);
+        let forced = f
+            .eng
+            .select_source_healthy(&f.cat, &f.topo, &f.bw, f.files[0], dest, t, &mut health)
+            .unwrap();
+        assert_eq!(forced, other);
+        assert_eq!(f.topo.site_of_rse(forced), plain_site);
+    }
+
+    #[test]
+    fn monitored_execution_feeds_breakers_until_source_shifts() {
+        // All attempts towards dest fail; with two replicas the monitor
+        // must eventually blacklist the first-choice source so later
+        // requests draw from the alternative.
+        use dmsa_gridnet::BreakerState;
+        let mut f = fixture_with(Some((
+            FaultConfig {
+                p_attempt_failure: 1.0,
+                ..FaultConfig::none()
+            },
+            RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+        )));
+        let mut health = HealthMonitor::new(dmsa_gridnet::HealthConfig::adaptive(), 16);
+        let dest = f.topo.disk_rse(SiteId(4));
+        for i in 0..4 {
+            let req = request(f.files[i % 3], dest);
+            let out = f.eng.execute_monitored(
+                &req,
+                SimTime::from_secs(i as i64 * 10),
+                &mut f.cat,
+                &f.topo,
+                &f.bw,
+                Some(&mut health),
+            );
+            assert!(!out.is_delivered());
+        }
+        // Every attempt failed into SiteId(4): its destination-site
+        // breaker must have tripped at some point.
+        let summary = health.summary();
+        assert!(summary.counters.trips > 0);
+        let dest_tripped = summary
+            .episodes
+            .iter()
+            .any(|e| matches!(e.subject, dmsa_gridnet::HealthSubject::Site(s) if s == SiteId(4)));
+        assert!(dest_tripped, "destination site breaker must trip");
+        assert_eq!(
+            health.site_state(SiteId(4), summary.episodes[0].from),
+            BreakerState::Open
+        );
+        let stats = f.eng.path_stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.exhausted, 4);
     }
 }

@@ -1,6 +1,6 @@
 //! Campaign configuration and the paper's calibrated presets.
 
-use dmsa_gridnet::{FaultConfig, TopologyConfig};
+use dmsa_gridnet::{FaultConfig, HealthConfig, TopologyConfig};
 use dmsa_metastore::CorruptionModel;
 use dmsa_panda_sim::{BrokerConfig, FailureModel, WorkloadParams};
 use dmsa_rucio_sim::RetryPolicy;
@@ -30,6 +30,12 @@ pub struct ScenarioConfig {
     /// (never consulted) while `faults` is inert.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Closed-loop health: circuit breakers over failure telemetry, with
+    /// health-aware brokerage and source selection. Disabled by default
+    /// (`#[serde(default)]`), and with it disabled no component consults
+    /// the monitor — existing campaigns stay byte-identical.
+    #[serde(default)]
+    pub health: HealthConfig,
     /// Metadata-quality model applied to the final store.
     pub corruption: CorruptionModel,
     /// Observation window length (jobs must finish inside it to count).
@@ -86,6 +92,7 @@ impl Default for ScenarioConfig {
             failure: FailureModel::default(),
             faults: FaultConfig::none(),
             retry: RetryPolicy::default(),
+            health: HealthConfig::disabled(),
             corruption: CorruptionModel::default(),
             duration: SimDuration::from_days(8),
             background_transfers_per_hour: 1_500.0,
@@ -176,6 +183,18 @@ impl ScenarioConfig {
             ..Self::small()
         }
     }
+
+    /// [`ScenarioConfig::small_faulty`] with the closed health loop armed:
+    /// the same degraded grid, but breakers now exclude sick sites/links
+    /// from brokerage and source selection. Diffing this preset against
+    /// `small_faulty` (same seed) is the measured value of adaptive
+    /// exclusion — the `exclusion` analysis report automates the diff.
+    pub fn faulty_adaptive() -> Self {
+        ScenarioConfig {
+            health: HealthConfig::adaptive(),
+            ..Self::small_faulty()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +234,17 @@ mod tests {
         assert!(!ScenarioConfig::default().faults.enabled());
         assert!(!ScenarioConfig::paper_8day(1.0).faults.enabled());
         assert!(ScenarioConfig::small_faulty().faults.enabled());
+    }
+
+    #[test]
+    fn health_defaults_to_disabled() {
+        // The serde default (what a pre-health config deserializes to)
+        // must be the inert monitor, and only the adaptive preset arms it.
+        assert!(!dmsa_gridnet::HealthConfig::default().enabled);
+        assert!(!ScenarioConfig::default().health.enabled);
+        assert!(!ScenarioConfig::small_faulty().health.enabled);
+        let adaptive = ScenarioConfig::faulty_adaptive();
+        assert!(adaptive.health.enabled);
+        assert!(adaptive.faults.enabled());
     }
 }

@@ -14,7 +14,10 @@
 //! benches) consumes only the store.
 
 use crate::config::ScenarioConfig;
-use dmsa_gridnet::{BandwidthModel, FaultModel, GridTopology, SiteId};
+use dmsa_gridnet::{
+    BandwidthModel, FaultModel, GridTopology, HealthEvent, HealthMonitor, HealthSignal,
+    HealthSubject, HealthSummary, SiteId,
+};
 use dmsa_metastore::{FileDirection, FileRecord, JobRecord, MetaStore, Sym, TransferRecord};
 use dmsa_panda_sim::task::TaskProgress;
 use dmsa_panda_sim::{
@@ -24,7 +27,7 @@ use dmsa_panda_sim::{
 use dmsa_rucio_sim::transfer::TransferRequest;
 use dmsa_rucio_sim::{
     reap_all, Activity, DatasetId, FileId, ReaperPolicy, ReplicaCatalog, RuleEngine, Scope,
-    TransferEngine, TransferEvent, TransferOutcome,
+    TransferEngine, TransferEvent, TransferOutcome, TransferPathStats,
 };
 use dmsa_simcore::interval::Interval;
 use dmsa_simcore::{EventQueue, RngFactory, SimDuration, SimTime};
@@ -57,6 +60,10 @@ pub struct Campaign {
     pub window: Interval,
     /// Site-name symbol per `SiteId` index.
     pub sym_of_site: Vec<Sym>,
+    /// Always-on transfer-path counters from the engine.
+    pub path_stats: TransferPathStats,
+    /// Circuit-breaker telemetry; `None` when the health loop is off.
+    pub health: Option<HealthSummary>,
 }
 
 /// A job in flight, threaded through the event queue.
@@ -127,6 +134,9 @@ struct Driver {
     broker: Broker,
     workload: WorkloadModel,
     pilot: PilotModel,
+    /// Circuit breakers closing the failure-telemetry loop; `None` keeps
+    /// every decision path byte-identical to pre-health builds.
+    health: Option<HealthMonitor>,
     queue: EventQueue<Event>,
     // Load feedback for the brokerage.
     queued: Vec<u32>,
@@ -155,6 +165,10 @@ impl Driver {
         let bw = BandwidthModel::new(&rngs, &topology);
         let faults = FaultModel::new(&rngs, config.faults.clone());
         let engine = TransferEngine::with_faults(&topology, &rngs, faults, config.retry.clone());
+        let health = config
+            .health
+            .enabled
+            .then(|| HealthMonitor::new(config.health.clone(), topology.n_sites()));
         let broker = Broker::new(config.broker.clone());
         let workload = WorkloadModel::new(config.workload.clone());
         let n = topology.n_sites();
@@ -190,6 +204,7 @@ impl Driver {
             broker,
             workload,
             pilot: PilotModel::default(),
+            health,
             queue: EventQueue::new(),
             queued: vec![0; n],
             running: vec![0; n],
@@ -384,9 +399,14 @@ impl Driver {
                     // Every attempt is a recorded rule-driven transfer;
                     // an exhausted prestage just means the jobs will
                     // stage the file themselves later.
-                    let out =
-                        self.engine
-                            .execute(&req, t, &mut self.catalog, &self.topology, &self.bw);
+                    let out = self.engine.execute_monitored(
+                        &req,
+                        t,
+                        &mut self.catalog,
+                        &self.topology,
+                        &self.bw,
+                        self.health.as_mut(),
+                    );
                     for ev in out.into_events() {
                         self.transfers.push((ev, true));
                     }
@@ -458,9 +478,27 @@ impl Driver {
             queued: &self.queued,
             running: &self.running,
         };
-        let placement =
-            self.broker
-                .choose_site(&replica_sites, load, &self.topology, &mut self.rng_job);
+        let placement = match self.health.as_mut() {
+            Some(monitor) => {
+                // Closed-loop brokerage: Open sites are hard-excluded
+                // (with the broker's load-shed waiver chain behind it),
+                // and the chosen site consumes a probe grant if it was on
+                // probation.
+                let p = self.broker.choose_site_guarded(
+                    &replica_sites,
+                    load,
+                    &self.topology,
+                    &mut self.rng_job,
+                    |s| !monitor.site_admits(s, t),
+                );
+                monitor.commit_site(p.site, t);
+                p
+            }
+            None => {
+                self.broker
+                    .choose_site(&replica_sites, load, &self.topology, &mut self.rng_job)
+            }
+        };
         pj.site = placement.site;
         self.queued[pj.site.index()] += 1;
 
@@ -468,9 +506,24 @@ impl Driver {
         // present at the computing site; otherwise the replica site with
         // the best current effective rate. This keeps a job's transfers
         // all-local or all-remote, as in production (the paper's Table 2b
-        // shows zero mixed jobs under exact matching).
+        // shows zero mixed jobs under exact matching). With the health
+        // loop on, sites/links the breakers refuse are skipped unless
+        // they are the only holders (degrade, don't starve).
         if !replica_sites.is_empty() && !replica_sites.contains(&pj.site) {
-            let best = replica_sites
+            let admitted: Vec<SiteId> = match self.health.as_mut() {
+                Some(monitor) => replica_sites
+                    .iter()
+                    .copied()
+                    .filter(|&s| monitor.source_admits(s, pj.site, t))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let pool: &[SiteId] = if admitted.is_empty() {
+                &replica_sites
+            } else {
+                &admitted
+            };
+            let best = pool
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
@@ -479,6 +532,9 @@ impl Driver {
                     ra.total_cmp(&rb).then(b.cmp(&a))
                 })
                 .expect("non-empty replica set");
+            if let Some(monitor) = self.health.as_mut() {
+                monitor.commit_source(best, pj.site, t);
+            }
             pj.stage_source = Some(self.topology.disk_rse(best));
         }
 
@@ -490,6 +546,13 @@ impl Driver {
             DispatchOutcome::ExhaustedRetries { delay_secs } => {
                 self.queued[pj.site.index()] = self.queued[pj.site.index()].saturating_sub(1);
                 let end = t + SimDuration::from_secs_f64(delay_secs);
+                if let Some(monitor) = self.health.as_mut() {
+                    monitor.observe(HealthEvent {
+                        subject: HealthSubject::Site(pj.site),
+                        at: end,
+                        signal: HealthSignal::PilotValidationFailed,
+                    });
+                }
                 let task = &mut self.tasks[pj.task_idx as usize];
                 task.progress.record(false);
                 let job = Job {
@@ -579,9 +642,14 @@ impl Driver {
                 jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
                 preferred_source: pj.stage_source,
             };
-            let out = self
-                .engine
-                .execute(&req, ready, &mut self.catalog, &self.topology, &self.bw);
+            let out = self.engine.execute_monitored(
+                &req,
+                ready,
+                &mut self.catalog,
+                &self.topology,
+                &self.bw,
+                self.health.as_mut(),
+            );
             // Exhausted retries mean this input never arrives; a file
             // with no replica at all is (as before) silently absent —
             // production jobs read pre-placed copies we don't model
@@ -724,7 +792,15 @@ impl Driver {
                 status: JobStatus::Failed,
                 error_code: Some(dmsa_panda_sim::types::error_codes::LOST_HEARTBEAT),
             };
-            truncated_end = Some(pj.start + wall.mul_f64(frac));
+            let lost_at = pj.start + wall.mul_f64(frac);
+            truncated_end = Some(lost_at);
+            if let Some(monitor) = self.health.as_mut() {
+                monitor.observe(HealthEvent {
+                    subject: HealthSubject::Site(pj.site),
+                    at: lost_at,
+                    signal: HealthSignal::LostHeartbeat,
+                });
+            }
         }
 
         // Output registration and (maybe) upload.
@@ -777,12 +853,13 @@ impl Driver {
                     jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
                     preferred_source: None,
                 };
-                let out = self.engine.execute(
+                let out = self.engine.execute_monitored(
                     &req,
                     pj.exec_end,
                     &mut self.catalog,
                     &self.topology,
                     &self.bw,
+                    self.health.as_mut(),
                 );
                 if out.is_delivered() {
                     recorded_upload = true;
@@ -952,9 +1029,14 @@ impl Driver {
             jeditaskid: None,
             preferred_source: None,
         };
-        let out = self
-            .engine
-            .execute(&req, t, &mut self.catalog, &self.topology, &self.bw);
+        let out = self.engine.execute_monitored(
+            &req,
+            t,
+            &mut self.catalog,
+            &self.topology,
+            &self.bw,
+            self.health.as_mut(),
+        );
         for ev in out.into_events() {
             self.transfers.push((ev, true));
         }
@@ -1074,6 +1156,8 @@ impl Driver {
             store,
             window,
             sym_of_site,
+            path_stats: self.engine.path_stats(),
+            health: self.health.as_ref().map(|m| m.summary()),
         }
     }
 }
@@ -1237,6 +1321,81 @@ mod tests {
             .filter(|j| j.status == JobStatus::Finished)
             .count();
         assert!(finished * 2 > c.store.jobs.len(), "re-brokering collapsed");
+    }
+
+    #[test]
+    fn zero_fault_adaptive_run_is_byte_identical_to_non_adaptive() {
+        // The health satellite's regression criterion: with faults
+        // disabled no breaker can ever open, so arming the closed loop
+        // must not perturb a single decision, draw, or timestamp.
+        let base = small_campaign();
+        let adaptive = run(&ScenarioConfig {
+            health: dmsa_gridnet::HealthConfig::adaptive(),
+            ..ScenarioConfig::small()
+        });
+        assert_eq!(base.store.counts(), adaptive.store.counts());
+        for (x, y) in base.store.transfers.iter().zip(&adaptive.store.transfers) {
+            assert_eq!(x.transfer_id, y.transfer_id);
+            assert_eq!(x.starttime, y.starttime);
+            assert_eq!(x.endtime, y.endtime);
+            assert_eq!(x.source_site, y.source_site);
+            assert_eq!(x.destination_site, y.destination_site);
+        }
+        for (x, y) in base.store.jobs.iter().zip(&adaptive.store.jobs) {
+            assert_eq!(x.pandaid, y.pandaid);
+            assert_eq!(x.computingsite, y.computingsite);
+            assert_eq!(x.starttime, y.starttime);
+            assert_eq!(x.endtime, y.endtime);
+            assert_eq!(x.error_code, y.error_code);
+        }
+        // The monitor existed and watched everything, but never tripped
+        // and never refused.
+        let summary = adaptive.health.expect("health loop was armed");
+        assert!(
+            summary.episodes.is_empty(),
+            "breaker tripped without faults"
+        );
+        assert_eq!(summary.counters.trips, 0);
+        assert_eq!(summary.counters.site_refusals, 0);
+        assert_eq!(summary.counters.link_refusals, 0);
+        assert_eq!(base.path_stats.requests, adaptive.path_stats.requests);
+        assert_eq!(base.path_stats.exhausted, 0);
+        assert!(base.health.is_none());
+    }
+
+    #[test]
+    fn adaptive_exclusion_beats_non_adaptive_on_a_degraded_grid() {
+        // The PR's headline acceptance criterion: at the same seed on the
+        // same degraded grid, closing the loop must strictly reduce
+        // exhausted transfers and the retry-attributed staging delay.
+        let baseline = run(&ScenarioConfig::small_faulty());
+        let adaptive = run(&ScenarioConfig::faulty_adaptive());
+
+        let summary = adaptive.health.as_ref().expect("health loop was armed");
+        assert!(
+            summary.counters.trips > 0,
+            "a degraded grid must trip breakers"
+        );
+        assert!(summary.excluded_site_hours(adaptive.window.end) > 0.0);
+
+        assert!(
+            adaptive.path_stats.exhausted < baseline.path_stats.exhausted,
+            "adaptive {} !< baseline {} exhausted transfers",
+            adaptive.path_stats.exhausted,
+            baseline.path_stats.exhausted,
+        );
+
+        let retry_delay = |c: &Campaign| {
+            dmsa_analysis::redundancy::redundancy_breakdown(&c.store, SimDuration::from_hours(24))
+                .retry_delay_secs
+                .iter()
+                .sum::<f64>()
+        };
+        let (da, db) = (retry_delay(&adaptive), retry_delay(&baseline));
+        assert!(
+            da < db,
+            "adaptive retry-attributed staging delay {da} !< baseline {db}"
+        );
     }
 
     #[test]
