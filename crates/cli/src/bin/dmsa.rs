@@ -4,18 +4,22 @@
 //! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
 //! dmsa simulate --preset faulty --fail-prob 0.1 --max-retries 3 --out campaign.json
 //! dmsa simulate --preset faulty --adaptive-exclusion --out adaptive.json
+//! dmsa simulate --preset faulty --checkpoint-dir ckpts --checkpoint-every 6h --resume --out campaign.json
 //! dmsa match    --campaign campaign.json --method rm2 --engine prepared --out matches.json
 //! dmsa analyze  --campaign campaign.json [--matches matches.json] --report summary|matrix|temporal|redundancy
 //! dmsa analyze  --campaign adaptive.json --baseline campaign.json --report exclusion
+//! dmsa analyze  --campaign damaged.json --quarantine-report --report summary
 //! dmsa compare  --campaign campaign.json
 //! ```
 
+use dmsa_cli::atomic::write_atomic;
 use dmsa_cli::run::{
-    analyze, compare_methods, run_match, simulate, EngineChoice, FaultKnobs, HealthKnobs,
-    MatcherChoice,
+    analyze, compare_methods, parse_sim_duration, run_match, simulate, CheckpointKnobs,
+    EngineChoice, FaultKnobs, HealthKnobs, MatcherChoice,
 };
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,15 +42,17 @@ const USAGE: &str = "usage:
                 [--max-retries N]
                 [--adaptive-exclusion] [--breaker-failure-rate F]
                 [--breaker-consecutive N] [--breaker-cooldown SECS]
+                [--checkpoint-dir DIR] [--checkpoint-every 6h] [--resume]
                 [--out FILE]
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
   dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
+                [--quarantine-report]
                 --report summary|matrix|temporal|redundancy|exclusion
   dmsa compare  --campaign FILE";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["adaptive-exclusion"];
+const BOOLEAN_FLAGS: &[&str] = &["adaptive-exclusion", "resume", "quarantine-report"];
 
 /// Parse `--key value` pairs (and bare boolean flags) after the
 /// subcommand.
@@ -82,6 +88,15 @@ fn print_stdout(content: &str) -> Result<(), String> {
     }
 }
 
+/// Read a file as text, decoding lossily: a campaign with a few corrupt
+/// bytes should reach the quarantine loader (which counts them as
+/// bad-utf8 records) instead of dying at the read.
+fn read_lossy(path: &str) -> Result<String, String> {
+    std::fs::read(path)
+        .map(|b| String::from_utf8_lossy(&b).into_owned())
+        .map_err(|e| format!("reading {path}: {e}"))
+}
+
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no subcommand".into());
@@ -89,12 +104,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let f = flags(rest)?;
     let read = |key: &str| -> Result<String, String> {
         let path = f.get(key).ok_or_else(|| format!("--{key} is required"))?;
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+        read_lossy(path)
     };
     let write_or_print = |key: &str, content: &str| -> Result<(), String> {
         match f.get(key) {
             Some(path) => {
-                std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+                write_atomic(Path::new(path), content.as_bytes())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("wrote {path} ({} bytes)", content.len());
                 Ok(())
             }
@@ -147,7 +163,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     })
                     .transpose()?,
             };
-            let json = simulate(preset, scale, seed, knobs, health)?;
+            let mut ckpt = CheckpointKnobs {
+                dir: f.get("checkpoint-dir").map(PathBuf::from),
+                resume: f.contains_key("resume"),
+                ..CheckpointKnobs::default()
+            };
+            if let Some(every) = f.get("checkpoint-every") {
+                ckpt.every = parse_sim_duration(every)?;
+            }
+            if (ckpt.resume || f.contains_key("checkpoint-every")) && ckpt.dir.is_none() {
+                return Err("--resume/--checkpoint-every need --checkpoint-dir".into());
+            }
+            let json = simulate(preset, scale, seed, knobs, health, &ckpt)?;
             write_or_print("out", &json)
         }
         "match" => {
@@ -161,12 +188,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "analyze" => {
             let campaign = read("campaign")?;
             let read_opt = |key: &str| -> Result<Option<String>, String> {
-                match f.get(key) {
-                    Some(path) => std::fs::read_to_string(path)
-                        .map(Some)
-                        .map_err(|e| format!("reading {path}: {e}")),
-                    None => Ok(None),
-                }
+                f.get(key).map(|path| read_lossy(path)).transpose()
             };
             let matches = read_opt("matches")?;
             let baseline = read_opt("baseline")?;
@@ -176,6 +198,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 matches.as_deref(),
                 baseline.as_deref(),
                 report,
+                f.contains_key("quarantine-report"),
                 &mut std::io::stdout().lock(),
             )
         }

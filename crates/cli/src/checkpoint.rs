@@ -1,0 +1,288 @@
+//! Checkpoint files: framed, checksummed snapshots on disk.
+//!
+//! A checkpoint directory holds up to `keep` files named
+//! `ckpt-<millis>.dmsa` (zero-padded so lexical order is numeric order).
+//! Each file frames one scenario snapshot:
+//!
+//! ```text
+//! "DMSACKPT"  8 bytes   magic
+//! version     4 bytes   little-endian u32, currently 1
+//! len         8 bytes   little-endian u64 payload length
+//! payload     len bytes scenario snapshot (see dmsa-scenario::snapshot)
+//! crc32       4 bytes   little-endian IEEE CRC-32 of payload
+//! ```
+//!
+//! Writes go through [`crate::atomic::write_atomic`], so a crash mid-write
+//! leaves no half file visible. Reads are paranoid: [`CheckpointDir::newest_valid`]
+//! walks newest-first and *skips* anything truncated, corrupt, or
+//! version-skewed (reporting why), so resume degrades to an older
+//! checkpoint instead of failing — and to a cold start when none survive.
+
+use crate::atomic::write_atomic;
+use dmsa_simcore::codec::crc32;
+use dmsa_simcore::SimTime;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"DMSACKPT";
+/// Frame layout version (independent of the snapshot payload's version).
+pub const CKPT_VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Wrap a snapshot payload in the on-disk frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Unwrap and verify a frame, returning the payload.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(format!(
+            "truncated: {} bytes is too short for a frame",
+            bytes.len()
+        ));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err("bad magic (not a dmsa checkpoint)".to_string());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(format!(
+            "frame version {version} found, this build supports {CKPT_VERSION}"
+        ));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let Some(expected) = HEADER_LEN.checked_add(len).and_then(|n| n.checked_add(4)) else {
+        return Err("implausible payload length".to_string());
+    };
+    if bytes.len() != expected {
+        return Err(format!(
+            "truncated: frame declares {expected} bytes, file has {}",
+            bytes.len()
+        ));
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    let stored = u32::from_le_bytes(bytes[HEADER_LEN + len..].try_into().unwrap());
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// A frame-verified checkpoint located by [`CheckpointDir::newest_valid`].
+pub struct FoundCheckpoint {
+    /// File the checkpoint came from.
+    pub path: PathBuf,
+    /// The verified snapshot payload.
+    pub payload: Vec<u8>,
+    /// Diagnostics for every newer file that failed verification.
+    pub skipped: Vec<String>,
+}
+
+/// A rotating checkpoint directory.
+pub struct CheckpointDir {
+    dir: PathBuf,
+    /// How many checkpoint files to retain (oldest pruned first).
+    pub keep: usize,
+}
+
+impl CheckpointDir {
+    /// Open (creating if needed) a checkpoint directory keeping the
+    /// newest `keep` files.
+    pub fn open(dir: &Path, keep: usize) -> Result<Self, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        Ok(CheckpointDir {
+            dir: dir.to_path_buf(),
+            keep: keep.max(1),
+        })
+    }
+
+    fn file_for(&self, at: SimTime) -> PathBuf {
+        // Zero-padded millis: lexical order == chronological order.
+        self.dir.join(format!("ckpt-{:013}.dmsa", at.as_millis()))
+    }
+
+    /// Checkpoint filenames, oldest first.
+    fn list(&self) -> Result<Vec<PathBuf>, String> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot read checkpoint dir {}: {e}", self.dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".dmsa"))
+            })
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Checkpoint files newest first — the order a resume ladder tries
+    /// them in.
+    pub fn scan(&self) -> Result<Vec<PathBuf>, String> {
+        let mut files = self.list()?;
+        files.reverse();
+        Ok(files)
+    }
+
+    /// Atomically write the checkpoint for sim-time `at` and prune old
+    /// files past the retention count.
+    pub fn write(&self, at: SimTime, payload: &[u8]) -> Result<(), String> {
+        let path = self.file_for(at);
+        write_atomic(&path, &frame(payload))
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for old in &files[..files.len() - self.keep] {
+                fs::remove_file(old)
+                    .map_err(|e| format!("cannot prune checkpoint {}: {e}", old.display()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The newest checkpoint whose *frame* verifies (magic, version,
+    /// length, checksum), along with diagnostics for every newer file that
+    /// was skipped. Returns `None` when no usable checkpoint exists. The
+    /// payload still needs a snapshot-level validation before resuming —
+    /// callers fall further down the ladder if that fails too.
+    pub fn newest_valid(&self) -> Result<Option<FoundCheckpoint>, String> {
+        let mut skipped = Vec::new();
+        for path in self.list()?.into_iter().rev() {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    skipped.push(format!("{}: unreadable: {e}", path.display()));
+                    continue;
+                }
+            };
+            match unframe(&bytes) {
+                Ok(payload) => {
+                    return Ok(Some(FoundCheckpoint {
+                        path,
+                        payload: payload.to_vec(),
+                        skipped,
+                    }))
+                }
+                Err(why) => skipped.push(format!("{}: {why}", path.display())),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmsa-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn t(hours: i64) -> SimTime {
+        SimTime::from_hours(hours)
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"snapshot bytes".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn unframe_rejects_damage_without_panicking() {
+        let framed = frame(b"payload");
+        // Truncation at every possible length is an error, never a panic.
+        for cut in 0..framed.len() {
+            assert!(unframe(&framed[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // A flipped payload byte fails the checksum.
+        let mut bad = framed.clone();
+        bad[HEADER_LEN + 2] ^= 0x40;
+        assert!(unframe(&bad).unwrap_err().contains("checksum"));
+        // A future frame version is refused with found-vs-supported.
+        let mut newer = framed.clone();
+        newer[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(unframe(&newer).unwrap_err().contains("supports 1"));
+        // Not our file at all (long enough to pass the length gate).
+        assert!(
+            unframe(b"PNG\x0d\x0a\x1a\x0a_definitely_not_our_frame_format")
+                .unwrap_err()
+                .contains("magic")
+        );
+    }
+
+    #[test]
+    fn rotation_keeps_newest_k() {
+        let dir = scratch("rotate");
+        let store = CheckpointDir::open(&dir, 3).unwrap();
+        for h in 1..=5 {
+            store.write(t(h), format!("snap-{h}").as_bytes()).unwrap();
+        }
+        let names: Vec<String> = store
+            .list()
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(names[0], format!("ckpt-{:013}.dmsa", t(3).as_millis()));
+        let found = store.newest_valid().unwrap().unwrap();
+        assert_eq!(found.path, store.file_for(t(5)));
+        assert_eq!(found.payload, b"snap-5");
+        assert!(found.skipped.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_valid_falls_back_past_damage() {
+        let dir = scratch("fallback");
+        let store = CheckpointDir::open(&dir, 3).unwrap();
+        for h in 1..=3 {
+            store.write(t(h), format!("snap-{h}").as_bytes()).unwrap();
+        }
+        // Newest is truncated mid-payload; second-newest has a bad byte.
+        let newest = store.file_for(t(3));
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let second = store.file_for(t(2));
+        let mut bytes = fs::read(&second).unwrap();
+        let last = bytes.len() - 5;
+        bytes[last] ^= 0xFF;
+        fs::write(&second, &bytes).unwrap();
+
+        let found = store.newest_valid().unwrap().unwrap();
+        assert_eq!(found.path, store.file_for(t(1)));
+        assert_eq!(found.payload, b"snap-1");
+        let skipped = &found.skipped;
+        assert_eq!(skipped.len(), 2, "{skipped:?}");
+        assert!(skipped[0].contains("truncated"), "{skipped:?}");
+        assert!(skipped[1].contains("checksum"), "{skipped:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_damaged_means_cold_start_not_error() {
+        let dir = scratch("cold");
+        let store = CheckpointDir::open(&dir, 3).unwrap();
+        store.write(t(1), b"snap").unwrap();
+        fs::write(store.file_for(t(1)), b"garbage").unwrap();
+        let found = store.newest_valid().unwrap();
+        assert!(found.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

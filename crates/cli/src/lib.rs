@@ -6,11 +6,23 @@
 //!
 //! ```text
 //! dmsa simulate --preset 8day --scale 0.02 --seed 42 --out campaign.json
+//! dmsa simulate --preset faulty --checkpoint-dir ckpts --resume --out campaign.json
 //! dmsa match    --campaign campaign.json --method rm2 --out matches.json
 //! dmsa analyze  --campaign campaign.json --matches matches.json --report summary
+//! dmsa analyze  --campaign damaged.json --quarantine-report --report summary
 //! ```
+//!
+//! Robustness spine: every file output goes through [`atomic`] (temp +
+//! fsync + rename, so crashes never tear an output), long campaigns
+//! snapshot through [`checkpoint`] (framed, checksummed, rotated,
+//! resume falls back past damage), and campaign loading via
+//! [`export::CampaignExport::from_json_lenient`] quarantines malformed
+//! records by error kind instead of dying on the first one.
 
+pub mod atomic;
+pub mod checkpoint;
 pub mod export;
+pub mod json;
 pub mod run;
 
 pub use export::CampaignExport;

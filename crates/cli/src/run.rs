@@ -3,7 +3,9 @@
 //! Kept binary-free so every path is unit-testable; the `dmsa` binary is a
 //! thin argv adapter over [`simulate`], [`run_match`], and [`analyze`].
 
+use crate::checkpoint::{self, CheckpointDir};
 use crate::export::CampaignExport;
+use crate::json;
 use dmsa_analysis::activity::ActivityBreakdown;
 use dmsa_analysis::exclusion::{exclusion_delta, exclusion_report, ExclusionReport};
 use dmsa_analysis::matrix::TransferMatrix;
@@ -12,14 +14,16 @@ use dmsa_analysis::redundancy::redundancy_breakdown;
 use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
 use dmsa_core::matcher::Matcher;
 use dmsa_core::{
-    evaluate, IndexedMatcher, MatchMethod, MatchSet, NaiveMatcher, ParallelMatcher,
+    evaluate, IndexedMatcher, MatchMethod, MatchSet, MatchedJob, NaiveMatcher, ParallelMatcher,
     PreparedMatcher, PreparedStore, ScoredMatcher,
 };
 use dmsa_gridnet::HealthConfig;
-use dmsa_scenario::ScenarioConfig;
-use dmsa_simcore::SimDuration;
+use dmsa_scenario::{Campaign, ScenarioConfig};
+use dmsa_simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
+use std::fs;
 use std::io;
+use std::path::PathBuf;
 
 /// Which matcher the `match` subcommand runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -170,6 +174,50 @@ impl HealthKnobs {
     }
 }
 
+/// Checkpointing controls for `dmsa simulate`. With `dir` unset the run is
+/// plain (no snapshots, no resume) and byte-identical to the pre-checkpoint
+/// tool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointKnobs {
+    /// Where checkpoint files live (`--checkpoint-dir`).
+    pub dir: Option<PathBuf>,
+    /// Snapshot cadence in sim time (`--checkpoint-every`, default 6h).
+    pub every: SimDuration,
+    /// Restore the newest usable checkpoint before running (`--resume`).
+    pub resume: bool,
+    /// Checkpoint files retained (oldest pruned).
+    pub keep: usize,
+}
+
+impl Default for CheckpointKnobs {
+    fn default() -> Self {
+        CheckpointKnobs {
+            dir: None,
+            every: SimDuration::from_hours(6),
+            resume: false,
+            keep: 3,
+        }
+    }
+}
+
+/// Parse a `--checkpoint-every` duration: an integer with a `d`/`h`/`m`/`s`
+/// suffix (bare integers are seconds).
+pub fn parse_sim_duration(s: &str) -> Result<SimDuration, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'd') => (&s[..s.len() - 1], 86_400),
+        Some(b'h') => (&s[..s.len() - 1], 3_600),
+        Some(b'm') => (&s[..s.len() - 1], 60),
+        Some(b's') => (&s[..s.len() - 1], 1),
+        _ => (s, 1),
+    };
+    match digits.parse::<i64>() {
+        Ok(n) if n > 0 => Ok(SimDuration::from_secs(n * mult)),
+        _ => Err(format!(
+            "bad duration {s:?} (expected a positive integer with d/h/m/s suffix, e.g. 6h)"
+        )),
+    }
+}
+
 /// `dmsa simulate`: run a preset campaign and return its JSON export.
 pub fn simulate(
     preset: &str,
@@ -177,6 +225,7 @@ pub fn simulate(
     seed: u64,
     faults: FaultKnobs,
     health: HealthKnobs,
+    ckpt: &CheckpointKnobs,
 ) -> Result<String, String> {
     let mut config = match preset {
         "8day" => ScenarioConfig::paper_8day(scale),
@@ -193,10 +242,142 @@ pub fn simulate(
     config.seed = seed;
     faults.apply(&mut config);
     health.apply(&mut config);
-    let campaign = dmsa_scenario::run(&config);
-    CampaignExport::from_campaign(&campaign)
-        .to_json()
-        .map_err(|e| format!("serialize error: {e}"))
+    let campaign = run_with_checkpoints(&config, ckpt, &mut |line| eprintln!("{line}"))?;
+    Ok(CampaignExport::from_campaign(&campaign).to_json())
+}
+
+/// Run a scenario under the checkpoint policy. With no checkpoint dir this
+/// is exactly [`dmsa_scenario::run`]; with one, snapshots are framed and
+/// written atomically at every cadence boundary, and `--resume` walks the
+/// fallback ladder: newest checkpoint first, skipping (with a diagnostic
+/// through `note`) anything whose frame fails to verify *or* whose snapshot
+/// payload fails validation against `config`, down to a cold start when
+/// nothing survives. Determinism of the snapshot layer makes the resumed
+/// campaign byte-identical to an uninterrupted run of the same seed.
+pub fn run_with_checkpoints(
+    config: &ScenarioConfig,
+    ckpt: &CheckpointKnobs,
+    note: &mut dyn FnMut(String),
+) -> Result<Campaign, String> {
+    let Some(dir) = &ckpt.dir else {
+        return Ok(dmsa_scenario::run(config));
+    };
+    let store = CheckpointDir::open(dir, ckpt.keep)?;
+    let mut sink = |at: SimTime, payload: &[u8]| store.write(at, payload);
+    if ckpt.resume {
+        for path in store.scan()? {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    note(format!("skipping {}: unreadable: {e}", path.display()));
+                    continue;
+                }
+            };
+            let payload = match checkpoint::unframe(&bytes) {
+                Ok(p) => p,
+                Err(why) => {
+                    note(format!("skipping {}: {why}", path.display()));
+                    continue;
+                }
+            };
+            match dmsa_scenario::snapshot::validate(config, payload) {
+                Ok(at) => {
+                    note(format!(
+                        "resuming from {} (sim-time {} ms)",
+                        path.display(),
+                        at.as_millis()
+                    ));
+                    return dmsa_scenario::resume_checkpointed(
+                        config,
+                        payload,
+                        Some(ckpt.every),
+                        &mut sink,
+                    );
+                }
+                Err(why) => note(format!("skipping {}: {why}", path.display())),
+            }
+        }
+        note(format!(
+            "no usable checkpoint in {}; starting from the beginning",
+            dir.display()
+        ));
+    }
+    dmsa_scenario::run_checkpointed(config, ckpt.every, &mut sink)
+}
+
+/// Serialize a match set: `{"method":"rm2","jobs":[[job_idx,[t,...]],...]}`.
+pub fn matchset_to_json(set: &MatchSet) -> String {
+    let mut o = String::with_capacity(32 + set.jobs.len() * 16);
+    o.push_str("{\"method\":\"");
+    o.push_str(match set.method {
+        MatchMethod::Exact => "exact",
+        MatchMethod::Rm1 => "rm1",
+        MatchMethod::Rm2 => "rm2",
+    });
+    o.push_str("\",\"jobs\":[");
+    for (i, j) in set.jobs.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('[');
+        o.push_str(&j.job_idx.to_string());
+        o.push_str(",[");
+        for (k, t) in j.transfers.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            o.push_str(&t.to_string());
+        }
+        o.push_str("]]");
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Inverse of [`matchset_to_json`].
+pub fn matchset_from_json(src: &str) -> Result<MatchSet, String> {
+    let idx_u32 = |el: &json::Json, what: &str| -> Result<u32, String> {
+        el.as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| format!("match {what} is not a u32 index {}", el.at()))
+    };
+    let root = json::parse(src).map_err(|e| format!("matches parse error {e}"))?;
+    let mj = root
+        .get("method")
+        .ok_or_else(|| format!("matches have no \"method\" field ({})", root.at()))?;
+    let method = match mj.as_str() {
+        Some("exact") => MatchMethod::Exact,
+        Some("rm1") => MatchMethod::Rm1,
+        Some("rm2") => MatchMethod::Rm2,
+        Some(other) => return Err(format!("unknown match method {other:?} {}", mj.at())),
+        None => return Err(format!("match method is not a string {}", mj.at())),
+    };
+    let jj = root
+        .get("jobs")
+        .ok_or_else(|| format!("matches have no \"jobs\" field ({})", root.at()))?;
+    let arr = jj
+        .as_arr()
+        .ok_or_else(|| format!("match jobs must be an array {}", jj.at()))?;
+    let mut jobs = Vec::with_capacity(arr.len());
+    for el in arr {
+        let Some([idx, ts]) = el.as_arr() else {
+            return Err(format!(
+                "match job must be [job_idx,[transfers]] {}",
+                el.at()
+            ));
+        };
+        let tarr = ts
+            .as_arr()
+            .ok_or_else(|| format!("match transfers must be an array {}", ts.at()))?;
+        jobs.push(MatchedJob {
+            job_idx: idx_u32(idx, "job")?,
+            transfers: tarr
+                .iter()
+                .map(|t| idx_u32(t, "transfer"))
+                .collect::<Result<Vec<u32>, String>>()?,
+        });
+    }
+    Ok(MatchSet { method, jobs })
 }
 
 /// `dmsa match`: run a matcher over an exported campaign; returns the
@@ -237,8 +418,7 @@ pub fn run_match(
         eval.transfer_precision(),
         eval.transfer_recall()
     );
-    let json = serde_json::to_string(&set).map_err(|e| format!("serialize error: {e}"))?;
-    Ok((json, stats))
+    Ok((matchset_to_json(&set), stats))
 }
 
 /// `dmsa analyze`: write a textual report over a campaign (and optionally
@@ -250,35 +430,59 @@ pub fn run_match(
 /// as success so `dmsa analyze | head` exits cleanly instead of
 /// panicking. `baseline_json` is a second campaign export consulted only
 /// by the `exclusion` report (adaptive-vs-baseline delta).
+///
+/// The campaign is loaded through the hardened streaming loader. Without
+/// `quarantine_report`, a campaign carrying malformed records is refused
+/// (the error names the per-kind counts); with it, the quarantine
+/// breakdown is printed ahead of the report and analysis proceeds over
+/// what survived — the recovery path for partially corrupted exports.
 pub fn analyze(
     campaign_json: &str,
     matches_json: Option<&str>,
     baseline_json: Option<&str>,
     report: &str,
+    quarantine_report: bool,
     out: &mut dyn io::Write,
 ) -> Result<(), String> {
-    let export = CampaignExport::from_json(campaign_json)?;
-    let matches: Option<MatchSet> = matches_json
-        .map(|mj| serde_json::from_str(mj).map_err(|e| format!("matches parse error: {e}")))
-        .transpose()?;
+    let loaded = CampaignExport::from_json_lenient(campaign_json)?;
+    if !quarantine_report && !loaded.quarantine.is_empty() {
+        return Err(format!(
+            "campaign export contains {} quarantined record(s): {}; \
+             re-run with --quarantine-report to see the breakdown and analyze what survived",
+            loaded.quarantine.total(),
+            loaded.quarantine.one_line()
+        ));
+    }
+    let export = loaded.export;
+    let matches: Option<MatchSet> = matches_json.map(matchset_from_json).transpose()?;
     let baseline: Option<ExclusionReport> = baseline_json
         .map(|bj| {
             CampaignExport::from_json(bj)
                 .map(|b| exclusion_report(&b.store, b.window, b.path_stats, b.health.as_ref()))
         })
         .transpose()?;
-    let result = match report {
+    let write_report = |out: &mut dyn io::Write| match report {
         "summary" => write_summary(out, &export, matches.as_ref()),
         "matrix" => write_matrix(out, &export),
         "temporal" => write_temporal(out, &export),
         "redundancy" => write_redundancy(out, &export),
         "exclusion" => write_exclusion(out, &export, baseline.as_ref()),
-        other => {
-            return Err(format!(
-                "unknown report {other:?} (summary|matrix|temporal|redundancy|exclusion)"
-            ))
-        }
+        _ => unreachable!("validated above"),
     };
+    if !matches!(
+        report,
+        "summary" | "matrix" | "temporal" | "redundancy" | "exclusion"
+    ) {
+        return Err(format!(
+            "unknown report {report:?} (summary|matrix|temporal|redundancy|exclusion)"
+        ));
+    }
+    let result = (|| {
+        if quarantine_report {
+            out.write_all(loaded.quarantine.render().as_bytes())?;
+        }
+        write_report(out)
+    })();
     swallow_broken_pipe(result)
 }
 
@@ -485,7 +689,7 @@ mod tests {
         c.background_transfers_per_hour = 50.0;
         c.initial_datasets = 20;
         let campaign = dmsa_scenario::run(&c);
-        CampaignExport::from_campaign(&campaign).to_json().unwrap()
+        CampaignExport::from_campaign(&campaign).to_json()
     }
 
     #[test]
@@ -526,7 +730,7 @@ mod tests {
 
     fn analyze_str(campaign: &str, matches: Option<&str>, report: &str) -> Result<String, String> {
         let mut buf = Vec::new();
-        analyze(campaign, matches, None, report, &mut buf)?;
+        analyze(campaign, matches, None, report, false, &mut buf)?;
         Ok(String::from_utf8(buf).expect("reports are utf-8"))
     }
 
@@ -538,8 +742,112 @@ mod tests {
             1,
             FaultKnobs::default(),
             HealthKnobs::default(),
+            &CheckpointKnobs::default(),
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn sim_duration_parsing() {
+        assert_eq!(
+            parse_sim_duration("6h").unwrap(),
+            SimDuration::from_hours(6)
+        );
+        assert_eq!(
+            parse_sim_duration("2d").unwrap(),
+            SimDuration::from_hours(48)
+        );
+        assert_eq!(
+            parse_sim_duration("30m").unwrap(),
+            SimDuration::from_secs(1800)
+        );
+        assert_eq!(
+            parse_sim_duration("90s").unwrap(),
+            SimDuration::from_secs(90)
+        );
+        assert_eq!(
+            parse_sim_duration("45").unwrap(),
+            SimDuration::from_secs(45)
+        );
+        assert!(parse_sim_duration("0h").is_err());
+        assert!(parse_sim_duration("-3h").is_err());
+        assert!(parse_sim_duration("h").is_err());
+        assert!(parse_sim_duration("6 hours").is_err());
+    }
+
+    #[test]
+    fn matchset_json_round_trips() {
+        let campaign = tiny_campaign_json();
+        let (json, _) = run_match(&campaign, MatcherChoice::Rm2, EngineChoice::default()).unwrap();
+        let set = matchset_from_json(&json).unwrap();
+        assert_eq!(matchset_to_json(&set), json);
+        assert!(set.n_matched_jobs() > 0);
+        assert!(matchset_from_json("{\"method\":\"rm9\",\"jobs\":[]}").is_err());
+        assert!(matchset_from_json("{\"method\":\"rm2\",\"jobs\":[[0]]}").is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("dmsa-run-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = ScenarioConfig::small_faulty();
+        c.duration = SimDuration::from_hours(6);
+        c.workload.tasks_per_hour = 20.0;
+        let ckpt = CheckpointKnobs {
+            dir: Some(dir.clone()),
+            every: SimDuration::from_hours(1),
+            resume: false,
+            keep: 3,
+        };
+        let mut notes = Vec::new();
+        let mut note = |l: String| notes.push(l);
+        let full = run_with_checkpoints(&c, &ckpt, &mut note).unwrap();
+        let full_json = CampaignExport::from_campaign(&full).to_json();
+
+        // A "crashed" rerun: checkpoints are on disk, resume picks up the
+        // newest and must land on the identical campaign bytes.
+        let resumed = run_with_checkpoints(
+            &c,
+            &CheckpointKnobs {
+                resume: true,
+                ..ckpt.clone()
+            },
+            &mut note,
+        )
+        .unwrap();
+        assert_eq!(CampaignExport::from_campaign(&resumed).to_json(), full_json);
+        assert!(
+            notes.iter().any(|l| l.contains("resuming from")),
+            "{notes:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analyze_quarantines_or_refuses_corrupt_campaign() {
+        let campaign = tiny_campaign_json();
+        let anchor = "\"files\":[";
+        let at = campaign.find(anchor).unwrap() + anchor.len();
+        let corrupt = format!("{}[1,2,3],{}", &campaign[..at], &campaign[at..]);
+
+        // Strict path (no flag): refused, pointing at the flag.
+        let err = analyze_str(&corrupt, None, "summary").unwrap_err();
+        assert!(err.contains("quarantine-report"), "unhelpful error: {err}");
+
+        // Recovery path: quarantine breakdown first, then the report.
+        let mut buf = Vec::new();
+        analyze(&corrupt, None, None, "summary", true, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("quarantined records: 1"), "{text}");
+        assert!(text.contains("malformed          1"), "{text}");
+        assert!(text.contains("jobs "), "report missing: {text}");
+
+        // The flag on a clean campaign reports an empty quarantine.
+        let mut buf = Vec::new();
+        analyze(&campaign, None, None, "summary", true, &mut buf).unwrap();
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("quarantined records: 0"));
     }
 
     #[test]
@@ -649,8 +957,6 @@ mod tests {
 
     #[test]
     fn exclusion_report_surfaces_breaker_telemetry_end_to_end() {
-        // Built from the campaign directly (not via JSON) so the test
-        // also runs where serde_json is stubbed out.
         let mut c = ScenarioConfig::faulty_adaptive();
         c.duration = SimDuration::from_hours(6);
         c.workload.tasks_per_hour = 20.0;
@@ -730,9 +1036,9 @@ mod tests {
         let campaign = tiny_campaign_json();
         let engine = EngineChoice::default();
         let (json, _) = run_match(&campaign, MatcherChoice::Scored(0.6), engine).unwrap();
-        let set: MatchSet = serde_json::from_str(&json).unwrap();
+        let set = matchset_from_json(&json).unwrap();
         let (strict_json, _) = run_match(&campaign, MatcherChoice::Scored(0.99), engine).unwrap();
-        let strict: MatchSet = serde_json::from_str(&strict_json).unwrap();
+        let strict = matchset_from_json(&strict_json).unwrap();
         assert!(set.n_matched_transfers() >= strict.n_matched_transfers());
     }
 }

@@ -1,0 +1,150 @@
+//! Kill-and-resume: a campaign interrupted mid-flight and resumed from a
+//! checkpoint must export byte-identical JSON — even when the newest
+//! checkpoint on disk was torn by the crash and resume has to fall back
+//! to the previous one.
+
+use dmsa_cli::checkpoint::CheckpointDir;
+use dmsa_cli::run::{run_with_checkpoints, CheckpointKnobs};
+use dmsa_cli::CampaignExport;
+use dmsa_scenario::ScenarioConfig;
+use dmsa_simcore::SimDuration;
+use std::fs;
+use std::path::PathBuf;
+
+fn faulty_config() -> ScenarioConfig {
+    let mut c = ScenarioConfig::small_faulty();
+    c.duration = SimDuration::from_hours(6);
+    c.workload.tasks_per_hour = 20.0;
+    c
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmsa-crash-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn resume_after_truncated_checkpoint_is_byte_identical() {
+    let config = faulty_config();
+    let dir = scratch("trunc");
+    let knobs = CheckpointKnobs {
+        dir: Some(dir.clone()),
+        every: SimDuration::from_hours(1),
+        resume: false,
+        keep: 3,
+    };
+
+    // The uninterrupted reference run, leaving checkpoints behind — the
+    // same files a run killed after its last checkpoint would leave.
+    let mut quiet = |_: String| {};
+    let full = run_with_checkpoints(&config, &knobs, &mut quiet).unwrap();
+    let reference = CampaignExport::from_campaign(&full).to_json();
+
+    // The crash tears the newest checkpoint mid-write.
+    let store = CheckpointDir::open(&dir, 3).unwrap();
+    let newest = store.scan().unwrap().into_iter().next().unwrap();
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Resume must fall back to the previous checkpoint (reporting the
+    // skip), replay the tail, and reproduce the reference bytes exactly.
+    let mut notes = Vec::new();
+    let mut note = |l: String| notes.push(l);
+    let resumed = run_with_checkpoints(
+        &config,
+        &CheckpointKnobs {
+            resume: true,
+            ..knobs
+        },
+        &mut note,
+    )
+    .unwrap();
+    let skips = notes.iter().filter(|l| l.contains("skipping")).count();
+    assert_eq!(
+        skips, 1,
+        "expected exactly one skipped checkpoint: {notes:?}"
+    );
+    assert!(
+        notes.iter().any(|l| l.contains("resuming from")),
+        "{notes:?}"
+    );
+    assert_eq!(CampaignExport::from_campaign(&resumed).to_json(), reference);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_with_all_checkpoints_destroyed_cold_starts_identically() {
+    let config = faulty_config();
+    let dir = scratch("cold");
+    let knobs = CheckpointKnobs {
+        dir: Some(dir.clone()),
+        every: SimDuration::from_hours(2),
+        resume: false,
+        keep: 3,
+    };
+    let mut quiet = |_: String| {};
+    let full = run_with_checkpoints(&config, &knobs, &mut quiet).unwrap();
+    let reference = CampaignExport::from_campaign(&full).to_json();
+
+    for path in CheckpointDir::open(&dir, 3).unwrap().scan().unwrap() {
+        fs::write(&path, b"not a checkpoint").unwrap();
+    }
+
+    let mut notes = Vec::new();
+    let mut note = |l: String| notes.push(l);
+    let resumed = run_with_checkpoints(
+        &config,
+        &CheckpointKnobs {
+            resume: true,
+            ..knobs
+        },
+        &mut note,
+    )
+    .unwrap();
+    assert!(
+        notes.iter().any(|l| l.contains("no usable checkpoint")),
+        "{notes:?}"
+    );
+    assert_eq!(CampaignExport::from_campaign(&resumed).to_json(), reference);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_ignores_checkpoints_from_a_different_scenario() {
+    // A checkpoint directory accidentally shared with another scenario
+    // must not poison the run: the foreign snapshot frame-verifies but
+    // fails config validation, so the ladder skips it.
+    let config = faulty_config();
+    let dir = scratch("foreign");
+    let mut quiet = |_: String| {};
+
+    let mut other = faulty_config();
+    other.seed ^= 0xDEAD_BEEF;
+    let foreign_knobs = CheckpointKnobs {
+        dir: Some(dir.clone()),
+        every: SimDuration::from_hours(3),
+        resume: false,
+        keep: 3,
+    };
+    run_with_checkpoints(&other, &foreign_knobs, &mut quiet).unwrap();
+
+    let reference = CampaignExport::from_campaign(&dmsa_scenario::run(&config)).to_json();
+    let mut notes = Vec::new();
+    let mut note = |l: String| notes.push(l);
+    let resumed = run_with_checkpoints(
+        &config,
+        &CheckpointKnobs {
+            resume: true,
+            ..foreign_knobs
+        },
+        &mut note,
+    )
+    .unwrap();
+    assert!(
+        notes.iter().any(|l| l.contains("fingerprint")),
+        "foreign snapshots should be skipped by fingerprint: {notes:?}"
+    );
+    assert_eq!(CampaignExport::from_campaign(&resumed).to_json(), reference);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -151,7 +151,7 @@ pub enum BreakerState {
 }
 
 /// One contiguous period a breaker spent Open (exclusion accounting).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OpenEpisode {
     /// What was excluded.
     pub subject: HealthSubject,
@@ -172,7 +172,7 @@ impl OpenEpisode {
 
 /// Admission/refusal counters the monitor accumulates; the `exclusion`
 /// analysis report reads them as the "failures avoided" evidence.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HealthCounters {
     /// Broker placements refused because the site breaker was not Closed.
     pub site_refusals: u64,
@@ -215,6 +215,43 @@ impl HealthSummary {
             .sum::<f64>()
             / 3_600.0
     }
+}
+
+/// Checkpointable image of one breaker: every field of the state machine,
+/// including the sliding sample window, so a restored breaker trips (or
+/// recloses) on exactly the same future observation an uninterrupted one
+/// would.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerSnapshot {
+    /// Breaker position in the state machine.
+    pub state: BreakerState,
+    /// `(observed_at, failed)` samples, oldest first.
+    pub samples: Vec<(SimTime, bool)>,
+    /// Current run of consecutive failures.
+    pub consecutive_failures: u32,
+    /// While Open: when probation starts.
+    pub open_until: SimTime,
+    /// While HalfOpen: probe admissions granted this round.
+    pub probes_granted: u32,
+    /// While HalfOpen: probe successes accumulated this round.
+    pub probe_successes: u32,
+}
+
+/// Checkpointable image of a whole [`HealthMonitor`] minus its config
+/// (the resume path re-derives the config from the scenario config, so a
+/// snapshot can never smuggle in stale tuning). Link breakers are listed
+/// sorted by `(src, dst)`, giving the snapshot a canonical byte encoding
+/// independent of `HashMap` iteration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthSnapshot {
+    /// Per-site breakers, indexed by `SiteId`.
+    pub sites: Vec<BreakerSnapshot>,
+    /// Directed-link breakers, sorted by `(src, dst)`.
+    pub links: Vec<((SiteId, SiteId), BreakerSnapshot)>,
+    /// Every Open period so far, in trip order.
+    pub episodes: Vec<OpenEpisode>,
+    /// Admission counters so far.
+    pub counters: HealthCounters,
 }
 
 /// One circuit breaker: sliding sample window + state machine.
@@ -285,6 +322,28 @@ impl Breaker {
             return true;
         }
         false
+    }
+
+    fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            samples: self.samples.iter().copied().collect(),
+            consecutive_failures: self.consecutive_failures,
+            open_until: self.open_until,
+            probes_granted: self.probes_granted,
+            probe_successes: self.probe_successes,
+        }
+    }
+
+    fn from_snapshot(snap: BreakerSnapshot) -> Self {
+        Breaker {
+            state: snap.state,
+            samples: snap.samples.into(),
+            consecutive_failures: snap.consecutive_failures,
+            open_until: snap.open_until,
+            probes_granted: snap.probes_granted,
+            probe_successes: snap.probe_successes,
+        }
     }
 
     /// Fold one observation in; returns a new episode if this trips it.
@@ -498,6 +557,37 @@ impl HealthMonitor {
         HealthSummary {
             episodes: self.episodes.clone(),
             counters: self.counters,
+        }
+    }
+
+    /// Capture the full monitor state for a checkpoint. Canonical: link
+    /// breakers are sorted by `(src, dst)`, so equal monitors always
+    /// produce identical snapshots.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let mut links: Vec<((SiteId, SiteId), BreakerSnapshot)> =
+            self.links.iter().map(|(&k, b)| (k, b.snapshot())).collect();
+        links.sort_by_key(|&((s, d), _)| (s.index(), d.index()));
+        HealthSnapshot {
+            sites: self.sites.iter().map(Breaker::snapshot).collect(),
+            links,
+            episodes: self.episodes.clone(),
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuild a monitor from a checkpoint. `config` comes from the
+    /// scenario config of the resuming run, not the snapshot.
+    pub fn restore(config: HealthConfig, snap: HealthSnapshot) -> Self {
+        HealthMonitor {
+            config,
+            sites: snap.sites.into_iter().map(Breaker::from_snapshot).collect(),
+            links: snap
+                .links
+                .into_iter()
+                .map(|(k, b)| (k, Breaker::from_snapshot(b)))
+                .collect(),
+            episodes: snap.episodes,
+            counters: snap.counters,
         }
     }
 }
@@ -715,6 +805,64 @@ mod tests {
         let clamped = summary.excluded_site_hours(SimTime::from_secs(3 + 900));
         assert!((clamped - 0.25).abs() < 1e-6, "{clamped}");
         assert_eq!(summary.excluded_link_hours(SimTime::from_hours(10)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_future_behavior() {
+        // Build a monitor with one Open site, one HalfOpen site mid-probe,
+        // a tripped link, and a Closed site with a partial failure run —
+        // then check the restored monitor answers every future query the
+        // same way the original does.
+        let mut m = monitor();
+        for i in 0..4 {
+            fail(&mut m, SiteId(0), SimTime::from_secs(i)); // → Open
+        }
+        for i in 0..4 {
+            fail(&mut m, SiteId(1), SimTime::from_secs(i));
+        }
+        let probation = SimTime::from_secs(3) + m.config().cooldown;
+        assert_eq!(m.site_state(SiteId(1), probation), BreakerState::HalfOpen);
+        m.commit_site(SiteId(1), probation); // one probe grant consumed
+        for i in 0..2 {
+            fail(&mut m, SiteId(2), SimTime::from_secs(100 + i)); // partial run
+        }
+        for i in 0..4 {
+            m.observe(HealthEvent {
+                subject: HealthSubject::Link {
+                    src: SiteId(2),
+                    dst: SiteId(3),
+                },
+                at: SimTime::from_secs(i),
+                signal: HealthSignal::AttemptFailed,
+            });
+        }
+
+        let snap = m.snapshot();
+        let mut r = HealthMonitor::restore(m.config().clone(), snap.clone());
+        assert_eq!(r.snapshot(), snap, "restore must be lossless");
+
+        let t = probation + SimDuration::from_secs(1);
+        for site in 0..4 {
+            let s = SiteId(site);
+            assert_eq!(m.site_state(s, t), r.site_state(s, t));
+            assert_eq!(m.site_admits(s, t), r.site_admits(s, t));
+        }
+        assert_eq!(
+            m.link_state(SiteId(2), SiteId(3), t),
+            r.link_state(SiteId(2), SiteId(3), t)
+        );
+        // Two more failures trip the partially-run site in both monitors
+        // at the same instant (consecutive_failures was checkpointed).
+        for i in 0..2 {
+            fail(&mut m, SiteId(2), t + SimDuration::from_secs(i));
+            fail(&mut r, SiteId(2), t + SimDuration::from_secs(i));
+        }
+        assert_eq!(
+            m.site_state(SiteId(2), t + SimDuration::from_secs(3)),
+            r.site_state(SiteId(2), t + SimDuration::from_secs(3))
+        );
+        assert_eq!(m.summary().counters, r.summary().counters);
+        assert_eq!(m.summary().episodes.len(), r.summary().episodes.len());
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub use bandwidth::BandwidthModel;
 pub use config::TopologyConfig;
 pub use faults::{FaultConfig, FaultModel};
 pub use health::{
-    BreakerState, HealthConfig, HealthCounters, HealthEvent, HealthMonitor, HealthSignal,
-    HealthSubject, HealthSummary, OpenEpisode,
+    BreakerSnapshot, BreakerState, HealthConfig, HealthCounters, HealthEvent, HealthMonitor,
+    HealthSignal, HealthSnapshot, HealthSubject, HealthSummary, OpenEpisode,
 };
 pub use site::{Rse, RseId, RseKind, Site, SiteId, Tier};
 pub use topology::GridTopology;

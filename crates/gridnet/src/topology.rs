@@ -70,7 +70,7 @@ impl GridTopology {
                          name: String,
                          tier: Tier,
                          region: String,
-                         rng: &mut rand::rngs::SmallRng| {
+                         rng: &mut dmsa_simcore::SimRng| {
             let id = SiteId(sites.len() as u32);
             // Compute capacity scales by tier with ±30% jitter.
             let tier_mult = match tier {

@@ -14,7 +14,7 @@
 use crate::records::TransferRecord;
 use crate::store::MetaStore;
 use dmsa_simcore::RngFactory;
-use rand::rngs::SmallRng;
+use dmsa_simcore::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -85,7 +85,7 @@ impl Default for CorruptionModel {
 }
 
 /// Shift a byte total by a small non-zero amount (accounting skew).
-fn perturb(bytes: u64, rng: &mut SmallRng) -> u64 {
+fn perturb(bytes: u64, rng: &mut SimRng) -> u64 {
     let jitter = rng.random_range(1..=1_048_576i64);
     let sign = if rng.random::<bool>() { 1 } else { -1 };
     (bytes as i64 + sign * jitter).max(1) as u64
@@ -206,7 +206,7 @@ impl CorruptionModel {
         t: &mut TransferRecord,
         garbage: &[crate::intern::Sym],
         unknown: crate::intern::Sym,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
     ) {
         if t.jeditaskid.is_some() && rng.random::<f64>() < self.p_drop_taskid {
             t.jeditaskid = None;

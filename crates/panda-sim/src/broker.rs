@@ -13,7 +13,7 @@
 //!   special queues), which seeds the remote population of Fig 6.
 
 use dmsa_gridnet::{GridTopology, SiteId};
-use rand::rngs::SmallRng;
+use dmsa_simcore::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -91,7 +91,7 @@ impl Broker {
         replica_sites: &[SiteId],
         load: SiteLoadView<'_>,
         topology: &GridTopology,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
     ) -> Placement {
         self.choose_site_guarded(replica_sites, load, topology, rng, |_| false)
     }
@@ -111,7 +111,7 @@ impl Broker {
         replica_sites: &[SiteId],
         load: SiteLoadView<'_>,
         topology: &GridTopology,
-        rng: &mut SmallRng,
+        rng: &mut SimRng,
         mut unhealthy: impl FnMut(SiteId) -> bool,
     ) -> Placement {
         // Baseline locality violation (user pinning, special queues).

@@ -16,7 +16,7 @@
 
 use crate::job::JobOutcome;
 use crate::types::{error_codes, IoMode, JobStatus, TaskKind};
-use rand::rngs::SmallRng;
+use dmsa_simcore::SimRng;
 use rand::RngExt;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -106,7 +106,7 @@ impl WorkloadModel {
     }
 
     /// Sample a task kind.
-    pub fn sample_kind(&self, rng: &mut SmallRng) -> TaskKind {
+    pub fn sample_kind(&self, rng: &mut SimRng) -> TaskKind {
         if rng.random::<f64>() < self.params.production_fraction {
             TaskKind::Production
         } else {
@@ -115,7 +115,7 @@ impl WorkloadModel {
     }
 
     /// Sample the fan-out (number of jobs) for a task of `kind`.
-    pub fn sample_n_jobs(&self, kind: TaskKind, rng: &mut SmallRng) -> u32 {
+    pub fn sample_n_jobs(&self, kind: TaskKind, rng: &mut SimRng) -> u32 {
         let dist = match kind {
             TaskKind::UserAnalysis => &self.jobs_user,
             TaskKind::Production => &self.jobs_prod,
@@ -124,7 +124,7 @@ impl WorkloadModel {
     }
 
     /// Sample an I/O mode for an analysis job.
-    pub fn sample_io_mode(&self, rng: &mut SmallRng) -> IoMode {
+    pub fn sample_io_mode(&self, rng: &mut SimRng) -> IoMode {
         if rng.random::<f64>() < self.params.direct_io_fraction {
             IoMode::DirectIo
         } else {
@@ -133,17 +133,17 @@ impl WorkloadModel {
     }
 
     /// Whether this job's stage-in produces recorded transfer events.
-    pub fn sample_recorded_stagein(&self, rng: &mut SmallRng) -> bool {
+    pub fn sample_recorded_stagein(&self, rng: &mut SimRng) -> bool {
         rng.random::<f64>() < self.params.recorded_stagein_fraction
     }
 
     /// Whether a new task is doomed.
-    pub fn sample_doomed(&self, rng: &mut SmallRng) -> bool {
+    pub fn sample_doomed(&self, rng: &mut SimRng) -> bool {
         rng.random::<f64>() < self.params.doomed_task_fraction
     }
 
     /// Sample the file sizes of a fresh input dataset.
-    pub fn sample_file_sizes(&self, rng: &mut SmallRng) -> Vec<u64> {
+    pub fn sample_file_sizes(&self, rng: &mut SimRng) -> Vec<u64> {
         let n = rng.random_range(1..=self.params.max_files_per_dataset);
         (0..n)
             .map(|_| (self.file_size.sample(rng) as u64).clamp(10_000_000, 30_000_000_000))
@@ -151,12 +151,12 @@ impl WorkloadModel {
     }
 
     /// Sample a walltime in seconds.
-    pub fn sample_walltime_secs(&self, rng: &mut SmallRng) -> f64 {
+    pub fn sample_walltime_secs(&self, rng: &mut SimRng) -> f64 {
         self.walltime.sample(rng).clamp(60.0, 72.0 * 3_600.0)
     }
 
     /// Sample the output size for a job with `input_bytes` of input.
-    pub fn sample_output_bytes(&self, input_bytes: u64, rng: &mut SmallRng) -> u64 {
+    pub fn sample_output_bytes(&self, input_bytes: u64, rng: &mut SimRng) -> u64 {
         let ratio = self.params.output_ratio * (0.5 + rng.random::<f64>());
         ((input_bytes as f64 * ratio) as u64).max(1_000_000)
     }
@@ -197,7 +197,7 @@ impl FailureModel {
 
     /// Draw the outcome of a job. `staging_fraction` is the share of its
     /// queuing time spent with at least one input transfer active.
-    pub fn draw(&self, doomed_task: bool, staging_fraction: f64, rng: &mut SmallRng) -> JobOutcome {
+    pub fn draw(&self, doomed_task: bool, staging_fraction: f64, rng: &mut SimRng) -> JobOutcome {
         let p = self.fail_prob(doomed_task, staging_fraction);
         if rng.random::<f64>() >= p {
             return JobOutcome {
@@ -322,7 +322,7 @@ mod tests {
         let f = FailureModel::default();
         let mut rng = RngFactory::new(6).stream("t");
         let n = 20_000;
-        let fails = |frac: f64, rng: &mut rand::rngs::SmallRng| {
+        let fails = |frac: f64, rng: &mut dmsa_simcore::SimRng| {
             (0..n)
                 .filter(|_| f.draw(false, frac, rng).status == JobStatus::Failed)
                 .count() as f64

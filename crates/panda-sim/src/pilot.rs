@@ -19,7 +19,7 @@
 //!   error "lost heartbeat"), an error class unrelated to staging that
 //!   keeps the Fig 9 `Low`-staging band's failure population realistic.
 
-use rand::rngs::SmallRng;
+use dmsa_simcore::SimRng;
 use rand::RngExt;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -108,7 +108,7 @@ impl PilotModel {
     }
 
     /// Sample the dispatch phase: provisioning, validation, retries.
-    pub fn sample_dispatch(&self, rng: &mut SmallRng) -> DispatchOutcome {
+    pub fn sample_dispatch(&self, rng: &mut SimRng) -> DispatchOutcome {
         let mut total = 0.0;
         for attempt in 0..=self.params.max_retries {
             total += self.dispatch.sample(rng).clamp(5.0, 3_600.0);
@@ -124,7 +124,7 @@ impl PilotModel {
     }
 
     /// Sample the heartbeat watch for a payload with `walltime_secs`.
-    pub fn sample_heartbeat(&self, walltime_secs: f64, rng: &mut SmallRng) -> HeartbeatOutcome {
+    pub fn sample_heartbeat(&self, walltime_secs: f64, rng: &mut SimRng) -> HeartbeatOutcome {
         let hours = walltime_secs / 3_600.0;
         let p_loss = 1.0 - (-self.params.heartbeat_loss_per_hour * hours).exp();
         if rng.random::<f64>() < p_loss {
@@ -146,7 +146,7 @@ mod tests {
     use super::*;
     use dmsa_simcore::RngFactory;
 
-    fn rng(seed: u64) -> SmallRng {
+    fn rng(seed: u64) -> SimRng {
         RngFactory::new(seed).stream("pilot-test")
     }
 
@@ -213,7 +213,7 @@ mod tests {
             ..Default::default()
         });
         let mut r = rng(4);
-        let losses = |wall: f64, r: &mut SmallRng| {
+        let losses = |wall: f64, r: &mut SimRng| {
             (0..4_000)
                 .filter(|_| m.sample_heartbeat(wall, r) != HeartbeatOutcome::Healthy)
                 .count()

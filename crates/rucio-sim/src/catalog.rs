@@ -198,6 +198,36 @@ impl ReplicaCatalog {
         &self.datasets
     }
 
+    /// All containers.
+    pub fn containers(&self) -> &[ContainerEntry] {
+        &self.containers
+    }
+
+    /// The full replica table: `replicas()[file.index()]` is the sorted RSE
+    /// set of that file. Exposed for checkpoint encoding.
+    pub fn replicas(&self) -> &[Vec<RseId>] {
+        &self.replicas
+    }
+
+    /// Rebuild a catalog from checkpointed parts. Validates the catalog
+    /// invariants so a corrupted checkpoint is rejected here rather than
+    /// surfacing as a panic mid-campaign.
+    pub fn from_parts(
+        files: Vec<FileEntry>,
+        datasets: Vec<DatasetEntry>,
+        containers: Vec<ContainerEntry>,
+        replicas: Vec<Vec<RseId>>,
+    ) -> Result<Self, String> {
+        let cat = ReplicaCatalog {
+            files,
+            datasets,
+            containers,
+            replicas,
+        };
+        cat.check_invariants()?;
+        Ok(cat)
+    }
+
     /// Number of files registered.
     pub fn n_files(&self) -> usize {
         self.files.len()

@@ -35,11 +35,11 @@ pub mod rules;
 pub mod transfer;
 
 pub use activity::Activity;
-pub use catalog::{DatasetId, FileId, ReplicaCatalog};
+pub use catalog::{ContainerId, DatasetId, FileId, ReplicaCatalog};
 pub use deletion::{reap_all, reap_rse, Deletion, ReaperPolicy};
 pub use did::{DidName, Scope};
 pub use rules::{ReplicationRule, RuleEngine, RuleId};
 pub use transfer::{
-    RetryPolicy, TransferEngine, TransferEvent, TransferId, TransferOutcome, TransferPathStats,
-    TransferRequest,
+    RetryPolicy, TransferEngine, TransferEngineSnapshot, TransferEvent, TransferId,
+    TransferOutcome, TransferPathStats, TransferRequest,
 };

@@ -95,6 +95,25 @@ impl RuleEngine {
         &self.rules
     }
 
+    /// Rebuild an engine from checkpointed rules. Ids must be dense and in
+    /// order — the same invariant [`Self::add_rule`] maintains — so a
+    /// corrupted checkpoint is rejected instead of corrupting id lookups.
+    pub fn from_rules(rules: Vec<ReplicationRule>) -> Result<Self, String> {
+        for (i, r) in rules.iter().enumerate() {
+            if r.id.0 != i as u64 {
+                return Err(format!("rule {i} has out-of-order id {:?}", r.id));
+            }
+            if r.copies > r.candidate_rses.len() {
+                return Err(format!(
+                    "rule {i} requests {} copies with {} candidates",
+                    r.copies,
+                    r.candidate_rses.len()
+                ));
+            }
+        }
+        Ok(RuleEngine { rules })
+    }
+
     /// Rule by id.
     pub fn rule(&self, id: RuleId) -> &ReplicationRule {
         &self.rules[id.0 as usize]

@@ -40,8 +40,8 @@ use crate::did::{DidName, Scope};
 use dmsa_gridnet::{
     BandwidthModel, FaultConfig, FaultModel, GridTopology, HealthMonitor, RseId, SiteId,
 };
+use dmsa_simcore::SimRng;
 use dmsa_simcore::{RngFactory, SimDuration, SimTime};
-use rand::rngs::SmallRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -178,7 +178,7 @@ impl RetryPolicy {
 /// Unconditional per-engine transfer-path counters. Cheap enough to keep
 /// always-on; the `exclusion` analysis report compares them between an
 /// adaptive and a baseline campaign to quantify what the breakers bought.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransferPathStats {
     /// Requests handed to [`TransferEngine::execute`].
     pub requests: u64,
@@ -239,6 +239,26 @@ impl TransferOutcome {
     }
 }
 
+/// Checkpointable image of the transfer engine's mutable state. The
+/// immutable parts (fault model, retry policy, jitter parameters) are
+/// rebuilt from the scenario config on resume; what must survive is the
+/// slot occupancy, the id counter, the two RNG stream positions, and the
+/// counters. Slot free-times are sorted per site, so equal engines always
+/// snapshot identically regardless of heap layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferEngineSnapshot {
+    /// Per-site stream free-times (epoch ms), sorted ascending.
+    pub slots: Vec<Vec<i64>>,
+    /// Next transfer id.
+    pub next_id: u64,
+    /// `"rucio/transfer-jitter"` stream position.
+    pub jitter_rng: [u64; 4],
+    /// `"rucio/transfer-faults"` stream position.
+    pub fault_rng: [u64; 4],
+    /// Always-on request/attempt counters.
+    pub stats: TransferPathStats,
+}
+
 /// Per-site stream accounting + transfer execution.
 pub struct TransferEngine {
     /// `slots[site]` holds one entry per stream: the time it frees up.
@@ -250,7 +270,7 @@ pub struct TransferEngine {
     /// 17.7x throughput spread between back-to-back transfers of
     /// similar-sized files at the same site (Fig 10) and the 20x spread
     /// of Fig 11.
-    jitter_rng: SmallRng,
+    jitter_rng: SimRng,
     jitter_sigma: f64,
     stall_prob: f64,
     /// Outage schedule / attempt-failure oracle.
@@ -259,7 +279,7 @@ pub struct TransferEngine {
     retry: RetryPolicy,
     /// Failure + backoff-jitter draws; touched only when faults are
     /// enabled, so zero-knob runs replay the fault-free draw sequence.
-    fault_rng: SmallRng,
+    fault_rng: SimRng,
     /// Always-on request/attempt counters.
     stats: TransferPathStats,
 }
@@ -588,6 +608,58 @@ impl TransferEngine {
     /// The always-on transfer-path counters.
     pub fn path_stats(&self) -> TransferPathStats {
         self.stats
+    }
+
+    /// Capture the engine's mutable state for a checkpoint.
+    pub fn snapshot(&self) -> TransferEngineSnapshot {
+        TransferEngineSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|h| {
+                    let mut v: Vec<i64> = h.iter().map(|&Reverse(t)| t).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            next_id: self.next_id,
+            jitter_rng: self.jitter_rng.state(),
+            fault_rng: self.fault_rng.state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrite this (freshly constructed) engine's mutable state from a
+    /// checkpoint. The slot-table shape must match the topology the engine
+    /// was built for — a mismatch means the checkpoint belongs to a
+    /// different scenario and is rejected.
+    pub fn restore(&mut self, snap: TransferEngineSnapshot) -> Result<(), String> {
+        if snap.slots.len() != self.slots.len() {
+            return Err(format!(
+                "checkpoint has {} slot rows, topology has {}",
+                snap.slots.len(),
+                self.slots.len()
+            ));
+        }
+        for (i, row) in snap.slots.iter().enumerate() {
+            if row.len() != self.slots[i].len() {
+                return Err(format!(
+                    "checkpoint site {i} has {} streams, topology has {}",
+                    row.len(),
+                    self.slots[i].len()
+                ));
+            }
+        }
+        self.slots = snap
+            .slots
+            .into_iter()
+            .map(|row| row.into_iter().map(Reverse).collect())
+            .collect();
+        self.next_id = snap.next_id;
+        self.jitter_rng = SimRng::from_state(snap.jitter_rng);
+        self.fault_rng = SimRng::from_state(snap.fault_rng);
+        self.stats = snap.stats;
+        Ok(())
     }
 
     /// Pop the earliest-free stream at `site`; the stream is considered
@@ -1056,6 +1128,73 @@ mod tests {
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.delivered_after_retry, 0);
         assert_eq!(stats.failed_attempts, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identical_events() {
+        // Run a few transfers (including failures, so both RNG streams
+        // advance), snapshot, keep running the original while a freshly
+        // built engine restored from the snapshot runs the same requests:
+        // every subsequent event must match field-for-field.
+        let faults = Some((
+            FaultConfig {
+                p_attempt_failure: 0.5,
+                ..FaultConfig::none()
+            },
+            RetryPolicy::default(),
+        ));
+        let mut a = fixture_with(faults.clone());
+        for i in 0..5 {
+            let dest = a.topo.disk_rse(SiteId(4));
+            let _ = a.eng.execute(
+                &request(a.files[i % 3], dest),
+                SimTime::from_secs(20 * i as i64),
+                &mut a.cat,
+                &a.topo,
+                &a.bw,
+            );
+        }
+        let snap = a.eng.snapshot();
+
+        let mut b = fixture_with(faults);
+        // Replay b's catalog to a's current replica state.
+        b.cat = a.cat.clone();
+        b.eng.restore(snap.clone()).unwrap();
+        assert_eq!(b.eng.snapshot(), snap, "restore must be lossless");
+
+        for i in 5..10 {
+            let ready = SimTime::from_secs(20 * i as i64);
+            let dest = a.topo.disk_rse(SiteId(3));
+            let req_a = request(a.files[i % 3], dest);
+            let out_a = a
+                .eng
+                .execute(&req_a, ready, &mut a.cat, &a.topo, &a.bw)
+                .into_events();
+            let req_b = request(b.files[i % 3], b.topo.disk_rse(SiteId(3)));
+            let out_b = b
+                .eng
+                .execute(&req_b, ready, &mut b.cat, &b.topo, &b.bw)
+                .into_events();
+            assert_eq!(out_a.len(), out_b.len());
+            for (ea, eb) in out_a.iter().zip(&out_b) {
+                assert_eq!(ea.id, eb.id);
+                assert_eq!(ea.starttime, eb.starttime);
+                assert_eq!(ea.endtime, eb.endtime);
+                assert_eq!(ea.succeeded, eb.succeeded);
+                assert_eq!(ea.source_site, eb.source_site);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut f = fixture();
+        let mut snap = f.eng.snapshot();
+        snap.slots.pop();
+        assert!(f.eng.restore(snap).unwrap_err().contains("slot rows"));
+        let mut snap2 = f.eng.snapshot();
+        snap2.slots[0].pop();
+        assert!(f.eng.restore(snap2).unwrap_err().contains("streams"));
     }
 
     #[test]

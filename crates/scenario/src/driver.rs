@@ -30,8 +30,8 @@ use dmsa_rucio_sim::{
     TransferEngine, TransferEvent, TransferOutcome, TransferPathStats,
 };
 use dmsa_simcore::interval::Interval;
+use dmsa_simcore::SimRng;
 use dmsa_simcore::{EventQueue, RngFactory, SimDuration, SimTime};
-use rand::rngs::SmallRng;
 use rand::RngExt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -67,36 +67,36 @@ pub struct Campaign {
 }
 
 /// A job in flight, threaded through the event queue.
-struct PendingJob {
-    pandaid: u64,
-    task_idx: u32,
-    kind: TaskKind,
-    io_mode: IoMode,
-    doomed: bool,
-    input_files: Vec<FileId>,
-    input_bytes: u64,
-    creation: SimTime,
-    site: SiteId,
-    recorded_stagein: bool,
+pub(crate) struct PendingJob {
+    pub(crate) pandaid: u64,
+    pub(crate) task_idx: u32,
+    pub(crate) kind: TaskKind,
+    pub(crate) io_mode: IoMode,
+    pub(crate) doomed: bool,
+    pub(crate) input_files: Vec<FileId>,
+    pub(crate) input_bytes: u64,
+    pub(crate) creation: SimTime,
+    pub(crate) site: SiteId,
+    pub(crate) recorded_stagein: bool,
     /// Pinned stage-in source RSE when the data is not local (one source
     /// per job, as JEDI/Rucio negotiate a single best replica site).
-    stage_source: Option<dmsa_gridnet::RseId>,
+    pub(crate) stage_source: Option<dmsa_gridnet::RseId>,
     /// Intervals of this job's stage-in transfers (recorded or not).
-    stage_intervals: Vec<Interval>,
+    pub(crate) stage_intervals: Vec<Interval>,
     /// True staging completion (may exceed `start` under the anomaly knob).
-    staging_end: SimTime,
+    pub(crate) staging_end: SimTime,
     /// A stage-in exhausted its transfer retries: the input never arrived
     /// and the job must fail instead of running its payload.
-    lost_input: bool,
+    pub(crate) lost_input: bool,
     /// This job is already a re-brokered replacement for a lost-input
     /// failure; it will not be re-brokered again (one retry at the PanDA
     /// level, like JEDI's re-brokerage cap).
-    rebrokered: bool,
-    start: SimTime,
-    exec_end: SimTime,
+    pub(crate) rebrokered: bool,
+    pub(crate) start: SimTime,
+    pub(crate) exec_end: SimTime,
 }
 
-enum Event {
+pub(crate) enum Event {
     TaskArrival,
     JobCreated(Box<PendingJob>),
     StagingDone(Box<PendingJob>),
@@ -109,57 +109,101 @@ enum Event {
     Reaper,
 }
 
-struct TaskCtx {
-    id: TaskId,
-    kind: TaskKind,
-    doomed: bool,
-    n_jobs: u32,
-    progress: TaskProgress,
+pub(crate) struct TaskCtx {
+    pub(crate) id: TaskId,
+    pub(crate) kind: TaskKind,
+    pub(crate) doomed: bool,
+    pub(crate) n_jobs: u32,
+    pub(crate) progress: TaskProgress,
 }
+
+/// Receives `(boundary time, encoded snapshot)` at each checkpoint
+/// cadence crossing; an `Err` aborts the campaign.
+pub type SnapshotSink<'a> = &'a mut dyn FnMut(SimTime, &[u8]) -> Result<(), String>;
 
 /// Run one campaign.
 pub fn run(config: &ScenarioConfig) -> Campaign {
-    Driver::new(config.clone()).run()
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.drain_with(None, &mut |_, _| Ok(()))
+        .expect("no-op checkpoint sink cannot fail")
 }
 
-struct Driver {
-    config: ScenarioConfig,
-    rngs: RngFactory,
-    topology: GridTopology,
-    bw: BandwidthModel,
-    catalog: ReplicaCatalog,
-    engine: TransferEngine,
-    rules: RuleEngine,
-    reaper_policy: ReaperPolicy,
-    broker: Broker,
-    workload: WorkloadModel,
-    pilot: PilotModel,
+/// Run one campaign, emitting a state snapshot to `sink` at every
+/// `every`-aligned sim-time boundary the event clock crosses. The sink
+/// receives the boundary time and the encoded snapshot; a sink error
+/// aborts the campaign (the caller decides whether a failed checkpoint
+/// write is fatal).
+///
+/// Checkpointing never mutates simulator state and never consumes a
+/// random draw, so the produced campaign is byte-identical to [`run`]
+/// regardless of cadence.
+pub fn run_checkpointed(
+    config: &ScenarioConfig,
+    every: SimDuration,
+    sink: SnapshotSink<'_>,
+) -> Result<Campaign, String> {
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.drain_with(Some(every), sink)
+}
+
+/// Resume a campaign from a snapshot produced by [`run_checkpointed`]
+/// under the *same* config, running it to completion. When `every` is
+/// `Some`, checkpointing continues from the resumed clock.
+///
+/// The resumed campaign is byte-identical to the uninterrupted same-seed
+/// run: the snapshot captures every piece of mutable driver state,
+/// including the exact positions of all RNG streams and the pending event
+/// queue with its FIFO tie-break counters.
+pub fn resume_checkpointed(
+    config: &ScenarioConfig,
+    snapshot: &[u8],
+    every: Option<SimDuration>,
+    sink: SnapshotSink<'_>,
+) -> Result<Campaign, String> {
+    let d = crate::snapshot::decode(config, snapshot)?;
+    d.drain_with(every, sink)
+}
+
+pub(crate) struct Driver {
+    pub(crate) config: ScenarioConfig,
+    pub(crate) rngs: RngFactory,
+    pub(crate) topology: GridTopology,
+    pub(crate) bw: BandwidthModel,
+    pub(crate) catalog: ReplicaCatalog,
+    pub(crate) engine: TransferEngine,
+    pub(crate) rules: RuleEngine,
+    pub(crate) reaper_policy: ReaperPolicy,
+    pub(crate) broker: Broker,
+    pub(crate) workload: WorkloadModel,
+    pub(crate) pilot: PilotModel,
     /// Circuit breakers closing the failure-telemetry loop; `None` keeps
     /// every decision path byte-identical to pre-health builds.
-    health: Option<HealthMonitor>,
-    queue: EventQueue<Event>,
+    pub(crate) health: Option<HealthMonitor>,
+    pub(crate) queue: EventQueue<Event>,
     // Load feedback for the brokerage.
-    queued: Vec<u32>,
-    running: Vec<u32>,
-    compute_slots: Vec<BinaryHeap<Reverse<i64>>>,
+    pub(crate) queued: Vec<u32>,
+    pub(crate) running: Vec<u32>,
+    pub(crate) compute_slots: Vec<BinaryHeap<Reverse<i64>>>,
     // Site sampling by activity weight.
-    cum_weights: Vec<f64>,
+    pub(crate) cum_weights: Vec<f64>,
     // Outputs.
-    tasks: Vec<TaskCtx>,
-    finished: Vec<(Job, u32, bool)>, // job, task_idx, recorded_upload
-    transfers: Vec<(TransferEvent, bool)>, // event, recorded
-    next_pandaid: u64,
-    next_taskid: u64,
-    next_dio_id: u64,
-    next_output_seq: u64,
+    pub(crate) tasks: Vec<TaskCtx>,
+    pub(crate) finished: Vec<(Job, u32, bool)>, // job, task_idx, recorded_upload
+    pub(crate) transfers: Vec<(TransferEvent, bool)>, // event, recorded
+    pub(crate) next_pandaid: u64,
+    pub(crate) next_taskid: u64,
+    pub(crate) next_dio_id: u64,
+    pub(crate) next_output_seq: u64,
     // RNG streams.
-    rng_task: SmallRng,
-    rng_job: SmallRng,
-    rng_bg: SmallRng,
+    pub(crate) rng_task: SimRng,
+    pub(crate) rng_job: SimRng,
+    pub(crate) rng_bg: SimRng,
 }
 
 impl Driver {
-    fn new(config: ScenarioConfig) -> Self {
+    pub(crate) fn new(config: ScenarioConfig) -> Self {
         let rngs = RngFactory::new(config.seed);
         let topology = GridTopology::generate(&rngs, &config.topology);
         let bw = BandwidthModel::new(&rngs, &topology);
@@ -311,14 +355,53 @@ impl Driver {
         sites
     }
 
-    fn run(mut self) -> Campaign {
+    /// Cold-start initialization: seed the catalog and plant the three
+    /// self-perpetuating event chains. A resumed driver must NOT run this
+    /// — its catalog and queue come from the snapshot.
+    pub(crate) fn start(&mut self) {
         self.seed_catalog();
         self.queue.push(SimTime::EPOCH, Event::TaskArrival);
         self.queue.push(SimTime::EPOCH, Event::Background);
         self.queue
             .push(SimTime::EPOCH + SimDuration::from_hours(6), Event::Reaper);
+    }
 
-        while let Some((t, ev)) = self.queue.pop() {
+    /// Drain the event queue to completion, snapshotting between events
+    /// whenever the clock is about to cross an `every`-aligned boundary.
+    /// Snapshots are taken with the queue intact (nothing popped) so a
+    /// resume replays the boundary-crossing event itself.
+    pub(crate) fn drain_with(
+        mut self,
+        every: Option<SimDuration>,
+        sink: SnapshotSink<'_>,
+    ) -> Result<Campaign, String> {
+        // First boundary strictly after the current clock (EPOCH on a cold
+        // start; the restored `now` on a resume).
+        let mut next_cp = every.map(|e| {
+            let em = e.as_millis().max(1);
+            SimTime::from_millis((self.queue.now().as_millis() / em + 1) * em)
+        });
+
+        loop {
+            if let (Some(e), Some(cp)) = (every, next_cp) {
+                if let Some(peek) = self.queue.peek_time() {
+                    if peek >= cp {
+                        let bytes = crate::snapshot::encode(&self);
+                        sink(cp, &bytes)?;
+                        // One snapshot per crossing, however many
+                        // boundaries the gap spans: the state at each of
+                        // them is identical (no event fired in between).
+                        let mut n = cp;
+                        while n <= peek {
+                            n += e;
+                        }
+                        next_cp = Some(n);
+                    }
+                }
+            }
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
             match ev {
                 Event::TaskArrival => self.on_task_arrival(t),
                 Event::JobCreated(pj) => self.on_job_created(t, pj),
@@ -329,7 +412,7 @@ impl Driver {
             }
         }
 
-        self.finish()
+        Ok(self.finish())
     }
 
     fn window_end(&self) -> SimTime {

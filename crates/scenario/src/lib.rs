@@ -21,6 +21,8 @@
 
 pub mod config;
 pub mod driver;
+pub mod snapshot;
 
 pub use config::ScenarioConfig;
-pub use driver::{run, Campaign};
+pub use driver::{resume_checkpointed, run, run_checkpointed, Campaign};
+pub use snapshot::SNAPSHOT_VERSION;

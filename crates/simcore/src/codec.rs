@@ -1,0 +1,335 @@
+//! Binary encoding primitives for checkpoint snapshots.
+//!
+//! Deliberately tiny and dependency-free: fixed-width little-endian
+//! integers, length-prefixed strings and sequences, and a CRC-32 for
+//! whole-payload integrity. Everything a checkpoint contains is written
+//! through [`Writer`] and read back through [`Reader`]; the reader never
+//! panics on malformed input — every decode error carries the byte offset
+//! where the payload stopped making sense, so a truncated or corrupted
+//! checkpoint is diagnosed, skipped, and fallen past rather than crashing
+//! the resume path.
+
+use std::fmt;
+
+/// A decode failure: what went wrong and where in the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub what: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a sequence length prefix; the caller then writes that many
+    /// elements.
+    pub fn put_seq_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    /// Write raw bytes with no prefix (caller manages framing).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: impl Into<String>) -> CodecError {
+        CodecError {
+            offset: self.pos,
+            what: what.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "truncated: need {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a bool byte, rejecting anything other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.take(1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError {
+                offset: self.pos - 1,
+                what: format!("invalid bool byte {b:#04x}"),
+            }),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        let b = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        let b = self.take(8, "f64")?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let n = self.get_u64()? as usize;
+        if n > self.remaining() {
+            return Err(self.err(format!(
+                "truncated: string claims {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let start = self.pos;
+        let bytes = self.take(n, "string")?;
+        std::str::from_utf8(bytes)
+            .map(|s| s.to_owned())
+            .map_err(|e| CodecError {
+                offset: start + e.valid_up_to(),
+                what: "invalid UTF-8 in string".into(),
+            })
+    }
+
+    /// Read a sequence length prefix, sanity-capped so a corrupted length
+    /// cannot trigger an absurd allocation: each element needs at least
+    /// `min_elem_bytes` bytes of remaining payload.
+    pub fn get_seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.get_u64()? as usize;
+        let floor = min_elem_bytes.max(1);
+        if n > self.remaining() / floor {
+            return Err(self.err(format!(
+                "implausible sequence length {n} with {} bytes left",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+/// Matches the ubiquitous zlib/`cksum -o3` definition, so checkpoints can
+/// be checked with standard tools too.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-123_456_789);
+        w.put_f64(-0.125);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo 世界");
+        w.put_seq_len(3);
+        for i in 0..3 {
+            w.put_u8(i);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -123_456_789);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "héllo 世界");
+        assert_eq!(r.get_seq_len(1).unwrap(), 3);
+        for i in 0..3 {
+            assert_eq!(r.get_u8().unwrap(), i);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_with_offset_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.what.contains("truncated"));
+    }
+
+    #[test]
+    fn truncated_string_reports_error() {
+        let mut w = Writer::new();
+        w.put_str("this is a reasonably long string");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..12]);
+        assert!(r.get_str().unwrap_err().what.contains("truncated"));
+    }
+
+    #[test]
+    fn invalid_utf8_string_reports_error() {
+        let mut w = Writer::new();
+        w.put_u64(2);
+        w.put_raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_str().unwrap_err().what.contains("UTF-8"));
+    }
+
+    #[test]
+    fn invalid_bool_byte_rejected() {
+        let bytes = [2u8];
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_bool().unwrap_err().what.contains("bool"));
+    }
+
+    #[test]
+    fn implausible_sequence_length_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_seq_len(8).unwrap_err().what.contains("implausible"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Flipping one bit changes the checksum.
+        assert_ne!(crc32(b"checkpoint"), crc32(b"checkpoInt"));
+    }
+}

@@ -19,6 +19,7 @@
 //! on these primitives, which keeps the full campaign bit-for-bit
 //! reproducible from a single master seed.
 
+pub mod codec;
 pub mod events;
 pub mod interval;
 pub mod rng;
@@ -26,5 +27,5 @@ pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
-pub use rng::RngFactory;
+pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

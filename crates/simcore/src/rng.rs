@@ -5,11 +5,76 @@
 //! own named stream derived from a single master seed. Adding a new
 //! component therefore never perturbs the draws of existing ones — the
 //! classic "common random numbers" discipline for simulation experiments.
+//!
+//! Streams are [`SimRng`] instances: an in-tree xoshiro256++ generator that
+//! is draw-for-draw identical to `rand::rngs::SmallRng` (locked by test)
+//! but whose 256-bit state can be captured and restored. That capture is
+//! what lets a checkpoint resume a campaign mid-stream and still replay the
+//! exact draw sequence of an uninterrupted run.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngCore;
 
-/// Derives independently seeded [`SmallRng`] streams from a master seed.
+/// In-tree xoshiro256++ generator with checkpointable state.
+///
+/// Seeding expands the `u64` seed through SplitMix64 (the reference
+/// xoshiro initialization), so `SimRng::seed_from_u64(s)` produces the
+/// same stream as `rand::rngs::SmallRng::seed_from_u64(s)`. Implements
+/// [`rand::RngCore`], so all of `rand`'s sampling extensions and
+/// `rand_distr`'s distributions work on it unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Seed via SplitMix64 expansion (the reference xoshiro seeding).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        SimRng { s }
+    }
+
+    /// The full 256-bit generator state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact stream position captured by
+    /// [`Self::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Derives independently seeded [`SimRng`] streams from a master seed.
 ///
 /// ```
 /// use dmsa_simcore::RngFactory;
@@ -42,19 +107,19 @@ impl RngFactory {
     }
 
     /// A deterministic RNG for the stream named `name`.
-    pub fn stream(&self, name: &str) -> SmallRng {
-        SmallRng::seed_from_u64(self.master_seed ^ fnv1a(name.as_bytes()))
+    pub fn stream(&self, name: &str) -> SimRng {
+        SimRng::seed_from_u64(self.master_seed ^ fnv1a(name.as_bytes()))
     }
 
     /// A deterministic RNG for a numbered sub-stream, e.g. one per site or
     /// per link, so that per-entity processes are independent of entity
     /// iteration order.
-    pub fn substream(&self, name: &str, index: u64) -> SmallRng {
+    pub fn substream(&self, name: &str, index: u64) -> SimRng {
         let mut h = fnv1a(name.as_bytes());
         h = h
             .wrapping_mul(0x100000001b3)
             .wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
-        SmallRng::seed_from_u64(self.master_seed ^ h)
+        SimRng::seed_from_u64(self.master_seed ^ h)
     }
 }
 
@@ -73,14 +138,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 ///
 /// Used for job submissions and background (non-job) transfer activity.
 pub struct PoissonArrivals {
-    rng: SmallRng,
+    rng: SimRng,
     /// Mean events per second.
     rate_per_sec: f64,
 }
 
 impl PoissonArrivals {
     /// `rate_per_sec` must be finite and strictly positive.
-    pub fn new(rng: SmallRng, rate_per_sec: f64) -> Self {
+    pub fn new(rng: SimRng, rate_per_sec: f64) -> Self {
         assert!(
             rate_per_sec.is_finite() && rate_per_sec > 0.0,
             "arrival rate must be positive, got {rate_per_sec}"
@@ -91,7 +156,7 @@ impl PoissonArrivals {
     /// Next exponential inter-arrival gap, in seconds.
     pub fn next_gap_secs(&mut self) -> f64 {
         // Inverse CDF; `random` returns [0, 1), so `1 - u` is in (0, 1].
-        let u: f64 = self.rng.random();
+        let u: f64 = rand::RngExt::random(&mut self.rng);
         -(1.0 - u).ln() / self.rate_per_sec
     }
 }
@@ -99,6 +164,33 @@ impl PoissonArrivals {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn sim_rng_is_bit_identical_to_small_rng() {
+        // SimRng exists so checkpoints can capture stream positions, but
+        // it must not change a single draw of any calibrated campaign:
+        // pin it against rand's SmallRng across seeds and long runs.
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let mut ours = SimRng::seed_from_u64(seed);
+            let mut theirs = rand::rngs::SmallRng::seed_from_u64(seed);
+            for _ in 0..256 {
+                assert_eq!(ours.next_u64(), theirs.next_u64(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_rng_state_round_trips_mid_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            a.next_u64();
+        }
+        let mut b = SimRng::from_state(a.state());
+        let rest_a: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let rest_b: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(rest_a, rest_b);
+    }
 
     #[test]
     fn streams_are_reproducible() {

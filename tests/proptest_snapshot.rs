@@ -1,0 +1,81 @@
+//! Property: checkpoint/resume is invisible. For random small scenarios —
+//! clean, degraded, and degraded-with-adaptive-exclusion — resuming from a
+//! snapshot taken mid-campaign produces exactly the job table, transfer
+//! log, and health telemetry of the uninterrupted run: `resume(save(t))`
+//! is `run-to-end` for every `t` the checkpoint cadence produces.
+
+use dmsa::scenario::{self, snapshot, ScenarioConfig};
+use dmsa::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn config_for(
+    seed: u64,
+    hours: i64,
+    tasks_per_hour: f64,
+    datasets: usize,
+    mode: u8,
+) -> ScenarioConfig {
+    let mut c = match mode % 3 {
+        0 => ScenarioConfig::small(),
+        1 => ScenarioConfig::small_faulty(),
+        _ => ScenarioConfig::faulty_adaptive(),
+    };
+    c.seed = seed;
+    c.duration = SimDuration::from_hours(hours);
+    c.workload.tasks_per_hour = tasks_per_hour;
+    c.background_transfers_per_hour = 40.0;
+    c.initial_datasets = datasets;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn resume_of_saved_snapshot_equals_uninterrupted_run(
+        seed in 0u64..1_000_000,
+        hours in 2i64..4,
+        tasks_per_hour in 6.0f64..14.0,
+        datasets in 10usize..25,
+        mode in 0u8..3,
+        cut_pct in 10usize..90,
+    ) {
+        let config = config_for(seed, hours, tasks_per_hour, datasets, mode);
+        let every = SimDuration::from_millis(
+            (hours * 3_600_000).max(1) * cut_pct as i64 / 100,
+        );
+
+        // Uninterrupted reference, collecting the snapshot stream.
+        let mut snaps: Vec<(SimTime, Vec<u8>)> = Vec::new();
+        let full = scenario::run_checkpointed(&config, every, &mut |at, bytes| {
+            snaps.push((at, bytes.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+
+        prop_assert!(!snaps.is_empty(), "cadence produced no snapshots");
+        for (at, bytes) in &snaps {
+            // The snapshot's clock is the last event processed before the
+            // cadence boundary, so it sits at or before the boundary time.
+            prop_assert!(snapshot::validate(&config, bytes).unwrap() <= *at);
+            let resumed =
+                scenario::resume_checkpointed(&config, bytes, None, &mut |_, _| Ok(())).unwrap();
+            prop_assert_eq!(
+                format!("{:?}", resumed.store.jobs),
+                format!("{:?}", full.store.jobs),
+                "job table diverged resuming from {:?}", at
+            );
+            prop_assert_eq!(
+                format!("{:?}", resumed.store.transfers),
+                format!("{:?}", full.store.transfers),
+                "transfer log diverged resuming from {:?}", at
+            );
+            prop_assert_eq!(
+                format!("{:?}", resumed.health),
+                format!("{:?}", full.health),
+                "health summary diverged resuming from {:?}", at
+            );
+            prop_assert_eq!(resumed.path_stats, full.path_stats);
+            prop_assert_eq!(resumed.window, full.window);
+        }
+    }
+}
