@@ -1,0 +1,124 @@
+//! Emit the tracked simulation-throughput baseline (`BENCH_sim.json`).
+//!
+//! ```text
+//! cargo run --release -p dmsa-bench --bin bench_sim -- \
+//!     [--scale-8day F] [--scale-92day F] [--seed N] [--no-heap] [--out FILE|-]
+//! ```
+//!
+//! Runs the paper's 8-day and 92-day campaigns at fixed scales on the
+//! calendar event queue and records wall time, delivered-event throughput
+//! (events/s), store population, and peak RSS. Unless `--no-heap` is
+//! given, each preset is re-run on the reference `BinaryHeap` queue; the
+//! report then carries the speedup, and the run *fails* if the two
+//! backends export different stores (determinism is part of the
+//! contract, not a best-effort property).
+
+use dmsa_bench::{rss, sim_report};
+use dmsa_scenario::ScenarioConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_sim [--scale-8day F] [--scale-92day F] [--seed N] \
+                 [--no-heap] [--out FILE|-]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale_8day = 0.2f64;
+    let mut scale_92day = 0.05f64;
+    let mut seed = 42u64;
+    let mut compare_heap = true;
+    let mut out = "BENCH_sim.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-heap" => {
+                compare_heap = false;
+                i += 1;
+            }
+            flag @ ("--scale-8day" | "--scale-92day" | "--seed" | "--out") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--scale-8day" => {
+                        scale_8day = value
+                            .parse()
+                            .map_err(|e| format!("bad --scale-8day: {e}"))?
+                    }
+                    "--scale-92day" => {
+                        scale_92day = value
+                            .parse()
+                            .map_err(|e| format!("bad --scale-92day: {e}"))?
+                    }
+                    "--seed" => seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    _ => out = value.clone(),
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let presets: [(&'static str, f64, ScenarioConfig); 2] = [
+        (
+            "paper_8day",
+            scale_8day,
+            ScenarioConfig {
+                seed,
+                ..ScenarioConfig::paper_8day(scale_8day)
+            },
+        ),
+        (
+            "paper_92day",
+            scale_92day,
+            ScenarioConfig {
+                seed,
+                ..ScenarioConfig::paper_92day(scale_92day)
+            },
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (name, scale, config) in &presets {
+        eprintln!("running {name} at scale {scale} (seed {seed})...");
+        let r = sim_report::measure_preset(name, config, *scale, compare_heap);
+        eprintln!(
+            "  {} events in {:.2} s  ->  {:.0} events/s  ({} jobs, {} transfers)",
+            r.events, r.wall_s, r.events_per_s, r.jobs, r.transfers
+        );
+        if let Some(h) = &r.heap {
+            eprintln!(
+                "  heap queue: {:.0} events/s  ->  speedup {:.2}x, exports identical: {}",
+                h.events_per_s, h.speedup, h.exports_identical
+            );
+            if !h.exports_identical {
+                return Err(format!(
+                    "{name}: calendar and binary-heap queues exported different stores"
+                ));
+            }
+        }
+        results.push(r);
+    }
+
+    let report = sim_report::SimReport {
+        presets: results,
+        peak_rss_bytes: rss::peak_rss_bytes().unwrap_or(0),
+    };
+    let json = report.to_json();
+    if out == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}

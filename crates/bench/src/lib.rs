@@ -107,6 +107,160 @@ pub mod fmt {
     }
 }
 
+/// Peak resident memory, shared by the tracked-baseline binaries.
+pub mod rss {
+    /// Peak resident set size of this process in bytes.
+    ///
+    /// Reads `VmHWM` from `/proc/self/status` (Linux). On platforms
+    /// without procfs this returns `None` and reports record the value
+    /// as 0 — the throughput numbers are the portable part of the
+    /// baseline, the memory figure is best-effort.
+    pub fn peak_rss_bytes() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+}
+
+/// The tracked simulation-throughput baseline (`BENCH_sim.json`).
+///
+/// The `bench_sim` binary runs the two paper campaigns at fixed scales
+/// and records wall time, delivered-event throughput, store population,
+/// and peak RSS. With heap comparison enabled it re-runs each preset on
+/// the reference `BinaryHeap` event queue and verifies the exported
+/// store is identical before reporting the speedup.
+pub mod sim_report {
+    use dmsa_scenario::{Campaign, ScenarioConfig};
+    use dmsa_simcore::QueueBackend;
+    use std::time::Instant;
+
+    /// Reference-queue comparison leg of one preset.
+    #[derive(Clone, Debug)]
+    pub struct HeapLeg {
+        /// Wall seconds on the `BinaryHeap` backend.
+        pub wall_s: f64,
+        /// Events per second on the `BinaryHeap` backend.
+        pub events_per_s: f64,
+        /// Calendar-queue speedup (`events_per_s / heap events_per_s`).
+        pub speedup: f64,
+        /// The two backends exported identical stores (must be true).
+        pub exports_identical: bool,
+    }
+
+    /// One preset measurement.
+    #[derive(Clone, Debug)]
+    pub struct PresetResult {
+        /// Preset label (`paper_8day`, `paper_92day`).
+        pub name: &'static str,
+        /// Campaign scale factor.
+        pub scale: f64,
+        /// Master seed.
+        pub seed: u64,
+        /// Events the queue delivered.
+        pub events: u64,
+        /// Exported store population.
+        pub jobs: usize,
+        /// Exported store population.
+        pub transfers: usize,
+        /// Wall seconds on the calendar queue (campaign + export).
+        pub wall_s: f64,
+        /// Delivered events per wall second.
+        pub events_per_s: f64,
+        /// Reference-queue leg, when comparison was requested.
+        pub heap: Option<HeapLeg>,
+    }
+
+    /// The whole baseline.
+    #[derive(Clone, Debug)]
+    pub struct SimReport {
+        /// Per-preset measurements.
+        pub presets: Vec<PresetResult>,
+        /// Peak RSS after all runs (0 when unavailable).
+        pub peak_rss_bytes: u64,
+    }
+
+    fn timed_run(config: &ScenarioConfig, backend: QueueBackend) -> (Campaign, f64) {
+        let start = Instant::now();
+        let campaign = dmsa_scenario::run_with_queue(config, backend);
+        (campaign, start.elapsed().as_secs_f64())
+    }
+
+    /// Run one preset; `compare_heap` re-runs it on the reference queue.
+    pub fn measure_preset(
+        name: &'static str,
+        config: &ScenarioConfig,
+        scale: f64,
+        compare_heap: bool,
+    ) -> PresetResult {
+        let (campaign, wall_s) = timed_run(config, QueueBackend::Calendar);
+        let events = campaign.events_processed;
+        let events_per_s = events as f64 / wall_s.max(1e-9);
+        let heap = compare_heap.then(|| {
+            let (hc, heap_wall) = timed_run(config, QueueBackend::BinaryHeap);
+            let heap_eps = hc.events_processed as f64 / heap_wall.max(1e-9);
+            HeapLeg {
+                wall_s: heap_wall,
+                events_per_s: heap_eps,
+                speedup: events_per_s / heap_eps.max(1e-9),
+                exports_identical: hc.events_processed == events && hc.store == campaign.store,
+            }
+        });
+        PresetResult {
+            name,
+            scale,
+            seed: config.seed,
+            events,
+            jobs: campaign.store.jobs.len(),
+            transfers: campaign.store.transfers.len(),
+            wall_s,
+            events_per_s,
+            heap,
+        }
+    }
+
+    impl SimReport {
+        /// Serialize as stable, hand-rolled JSON (same discipline as
+        /// `BENCH_matching.json`: flat keys, fixed order, clean diffs).
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n  \"presets\": [\n");
+            for (i, p) in self.presets.iter().enumerate() {
+                let sep = if i + 1 == self.presets.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"scale\": {}, \"seed\": {}, \
+                     \"events\": {}, \"jobs\": {}, \"transfers\": {}, \
+                     \"wall_s\": {:.3}, \"events_per_s\": {:.1}",
+                    p.name,
+                    p.scale,
+                    p.seed,
+                    p.events,
+                    p.jobs,
+                    p.transfers,
+                    p.wall_s,
+                    p.events_per_s
+                ));
+                if let Some(h) = &p.heap {
+                    out.push_str(&format!(
+                        ", \"heap_wall_s\": {:.3}, \"heap_events_per_s\": {:.1}, \
+                         \"speedup\": {:.2}, \"exports_identical\": {}",
+                        h.wall_s, h.events_per_s, h.speedup, h.exports_identical
+                    ));
+                }
+                out.push_str(&format!("}}{sep}\n"));
+            }
+            out.push_str(&format!(
+                "  ],\n  \"peak_rss_bytes\": {}\n}}\n",
+                self.peak_rss_bytes
+            ));
+            out
+        }
+    }
+}
+
 /// The tracked matching-benchmark baseline (`BENCH_matching.json`).
 ///
 /// The `bench_matching` binary measures prepared-index build time and
@@ -150,6 +304,8 @@ pub mod report {
         /// Shared-index pass over all three methods, build included once
         /// (milliseconds) — the number the tentpole optimizes.
         pub shared_all_methods_ms: f64,
+        /// Peak RSS when the measurement finished (0 when unavailable).
+        pub peak_rss_bytes: u64,
         /// Per-engine timings.
         pub engines: Vec<EngineTiming>,
     }
@@ -221,6 +377,7 @@ pub mod report {
             universe,
             build_ms,
             shared_all_methods_ms,
+            peak_rss_bytes: crate::rss::peak_rss_bytes().unwrap_or(0),
             engines,
         }
     }
@@ -238,6 +395,7 @@ pub mod report {
                 "  \"shared_all_methods_ms\": {:.3},\n",
                 self.shared_all_methods_ms
             ));
+            out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
             out.push_str("  \"engines\": [\n");
             for (i, e) in self.engines.iter().enumerate() {
                 let sep = if i + 1 == self.engines.len() { "" } else { "," };
@@ -331,6 +489,7 @@ mod tests {
             "\"universe\"",
             "\"build_ms\"",
             "\"shared_all_methods_ms\"",
+            "\"peak_rss_bytes\"",
             "\"engines\"",
             "\"jobs_per_s\"",
         ] {

@@ -1,125 +1,7 @@
-//! FxHash — the rustc/Firefox multiply-rotate hash — implemented locally
-//! so the matcher's residual hash maps avoid SipHash without pulling in a
-//! new dependency.
+//! FxHash — re-exported from [`dmsa_simcore::fx`].
 //!
-//! The matcher's hot keys are small integers (`u64` task ids, `u32` job
-//! indices) and fixed-width tuples; for those, Fx is several times faster
-//! than the DoS-resistant default. Nothing here hashes attacker-supplied
-//! data: every keyed value is simulator-generated.
+//! The implementation moved to `dmsa-simcore` (the root of the crate
+//! graph) so the interning table can share it; this alias keeps the
+//! matcher's original `dmsa_core::fx` paths working.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Multiplicative constant from the original FxHash (a 64-bit golden-ratio
-/// derived odd number).
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// One mixing step: rotate, xor in the word, multiply.
-#[inline]
-pub const fn mix(hash: u64, word: u64) -> u64 {
-    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
-}
-
-/// The hasher state.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.hash = mix(self.hash, u64::from_le_bytes(chunk.try_into().unwrap()));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.hash = mix(self.hash, u64::from_le_bytes(word));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.hash = mix(self.hash, v as u64);
-    }
-
-    #[inline]
-    fn write_u16(&mut self, v: u16) {
-        self.hash = mix(self.hash, v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.hash = mix(self.hash, v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.hash = mix(self.hash, v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.hash = mix(self.hash, v as u64);
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// `HashMap` keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
-
-/// `HashSet` keyed with [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::hash::{BuildHasher, Hash};
-
-    fn hash_of<T: Hash>(v: T) -> u64 {
-        FxBuildHasher::default().hash_one(v)
-    }
-
-    #[test]
-    fn deterministic_across_hasher_instances() {
-        assert_eq!(hash_of(42u64), hash_of(42u64));
-        assert_eq!(hash_of((1u32, 2u64)), hash_of((1u32, 2u64)));
-    }
-
-    #[test]
-    fn distinguishes_nearby_keys() {
-        assert_ne!(hash_of(1u64), hash_of(2u64));
-        assert_ne!(hash_of(0u64), hash_of(1u64 << 63));
-    }
-
-    #[test]
-    fn byte_slices_hash_in_word_chunks() {
-        // 8-byte-aligned and ragged tails must both mix every byte.
-        assert_ne!(hash_of([0u8; 8]), hash_of([0u8; 9]));
-        let mut a = [0u8; 11];
-        let mut b = [0u8; 11];
-        a[10] = 1;
-        b[10] = 2;
-        assert_ne!(hash_of(a), hash_of(b));
-    }
-
-    #[test]
-    fn map_and_set_aliases_work() {
-        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
-        m.insert(7, 1);
-        assert_eq!(m.get(&7), Some(&1));
-        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
-        assert!(s.insert((1, 2)));
-        assert!(!s.insert((1, 2)));
-    }
-}
+pub use dmsa_simcore::fx::*;

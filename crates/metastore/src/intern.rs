@@ -1,116 +1,9 @@
-//! String interning.
+//! String interning — re-exported from [`dmsa_simcore::intern`].
 //!
-//! Job, file, and transfer records reference the same site names, LFNs,
-//! dataset names, and scopes millions of times. Interning maps each
-//! distinct string to a dense [`Sym`] so records stay compact and the
-//! matcher's string-equality joins become integer comparisons.
+//! The table moved to `dmsa-simcore` so the Rucio-layer replica catalog
+//! can intern LFN/dataset names with the same `Sym` type the metadata
+//! store uses (letting the campaign driver pass symbols end-to-end
+//! instead of cloning strings per record). This alias keeps the original
+//! `dmsa_metastore::{Sym, SymbolTable}` paths working.
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-
-/// Interned string handle.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
-pub struct Sym(pub u32);
-
-/// Append-only interning table.
-///
-/// `Sym(0)` is always the reserved `"UNKNOWN"` sentinel that production
-/// metadata uses for unidentified sites (paper §3.2: "the 102nd site is
-/// labeled as *unknown*, aggregating all transfers with either an
-/// unidentified source or destination").
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SymbolTable {
-    strings: Vec<String>,
-    index: HashMap<String, Sym>,
-}
-
-impl SymbolTable {
-    /// The reserved unknown-site symbol.
-    pub const UNKNOWN: Sym = Sym(0);
-
-    /// New table containing only the `"UNKNOWN"` sentinel.
-    pub fn new() -> Self {
-        let mut t = SymbolTable {
-            strings: Vec::new(),
-            index: HashMap::new(),
-        };
-        let u = t.intern("UNKNOWN");
-        debug_assert_eq!(u, Self::UNKNOWN);
-        t
-    }
-
-    /// Intern `s`, returning its symbol (existing or fresh).
-    pub fn intern(&mut self, s: &str) -> Sym {
-        if let Some(&sym) = self.index.get(s) {
-            return sym;
-        }
-        let sym = Sym(self.strings.len() as u32);
-        self.strings.push(s.to_string());
-        self.index.insert(s.to_string(), sym);
-        sym
-    }
-
-    /// Resolve a symbol back to its string.
-    pub fn resolve(&self, sym: Sym) -> &str {
-        &self.strings[sym.0 as usize]
-    }
-
-    /// Look up without interning.
-    pub fn get(&self, s: &str) -> Option<Sym> {
-        self.index.get(s).copied()
-    }
-
-    /// Number of distinct strings (including the sentinel).
-    pub fn len(&self) -> usize {
-        self.strings.len()
-    }
-
-    /// Only the sentinel present?
-    pub fn is_empty(&self) -> bool {
-        self.strings.len() <= 1
-    }
-}
-
-impl Default for SymbolTable {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unknown_is_symbol_zero() {
-        let t = SymbolTable::new();
-        assert_eq!(t.get("UNKNOWN"), Some(SymbolTable::UNKNOWN));
-        assert_eq!(t.resolve(SymbolTable::UNKNOWN), "UNKNOWN");
-    }
-
-    #[test]
-    fn interning_is_idempotent() {
-        let mut t = SymbolTable::new();
-        let a = t.intern("CERN-PROD");
-        let b = t.intern("CERN-PROD");
-        assert_eq!(a, b);
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn distinct_strings_get_distinct_symbols() {
-        let mut t = SymbolTable::new();
-        let a = t.intern("A");
-        let b = t.intern("B");
-        assert_ne!(a, b);
-        assert_eq!(t.resolve(a), "A");
-        assert_eq!(t.resolve(b), "B");
-    }
-
-    #[test]
-    fn get_does_not_intern() {
-        let t = SymbolTable::new();
-        assert!(t.get("missing").is_none());
-        assert!(t.is_empty());
-    }
-}
+pub use dmsa_simcore::intern::{Sym, SymbolTable};

@@ -17,7 +17,7 @@ use dmsa_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One completed PanDA job, as the query module reports it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
     /// `pandaid`.
     pub pandaid: u64,
@@ -71,7 +71,7 @@ pub enum FileDirection {
 
 /// One row of PanDA's per-job file table — the bridge Algorithm 1 walks
 /// from jobs to transfers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FileRecord {
     /// Owning job.
     pub pandaid: u64,
@@ -92,7 +92,7 @@ pub struct FileRecord {
 }
 
 /// One Rucio file-transfer event.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TransferRecord {
     /// Event identifier.
     pub transfer_id: u64,

@@ -13,7 +13,7 @@ use std::collections::HashSet;
 /// common time window, and "the query module only reports jobs that are
 /// completed before the end of the interval, excluding all jobs still
 /// running at that time".
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetaStore {
     /// Shared string table.
     pub symbols: SymbolTable,

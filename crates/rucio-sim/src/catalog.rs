@@ -14,7 +14,7 @@
 
 use crate::did::{self, DidName, Scope};
 use dmsa_gridnet::RseId;
-use dmsa_simcore::SimTime;
+use dmsa_simcore::{SimTime, Sym, SymbolTable};
 use serde::{Deserialize, Serialize};
 
 /// Dense file identifier.
@@ -34,8 +34,9 @@ pub struct ContainerId(pub u64);
 pub struct FileEntry {
     /// Identifier.
     pub id: FileId,
-    /// Logical file name.
-    pub lfn: DidName,
+    /// Logical file name, interned in the catalog's
+    /// [symbol table](ReplicaCatalog::names).
+    pub lfn: Sym,
     /// Scope of the DID.
     pub scope: Scope,
     /// Exact size in bytes.
@@ -51,12 +52,14 @@ pub struct FileEntry {
 pub struct DatasetEntry {
     /// Identifier.
     pub id: DatasetId,
-    /// Dataset DID name.
-    pub name: DidName,
+    /// Dataset DID name, interned in the catalog's
+    /// [symbol table](ReplicaCatalog::names).
+    pub name: Sym,
     /// Scope.
     pub scope: Scope,
-    /// Production block identifier recorded in PanDA file metadata.
-    pub prod_dblock: DidName,
+    /// Production block identifier recorded in PanDA file metadata
+    /// (interned).
+    pub prod_dblock: Sym,
     /// Member files, in registration order.
     pub files: Vec<FileId>,
     /// Sum of member file sizes.
@@ -82,6 +85,10 @@ pub struct ReplicaCatalog {
     containers: Vec<ContainerEntry>,
     /// `replicas[file.index()]` = RSEs currently holding the file, sorted.
     replicas: Vec<Vec<RseId>>,
+    /// Single owner of every LFN / dataset / prod-dblock string. Entries
+    /// and [`crate::TransferEvent`]s carry [`Sym`] handles into this
+    /// table, so the hot transfer path never clones a name.
+    names: SymbolTable,
 }
 
 impl ReplicaCatalog {
@@ -102,15 +109,21 @@ impl ReplicaCatalog {
         registered: SimTime,
     ) -> DatasetId {
         let ds_id = DatasetId(self.datasets.len() as u64);
-        let name = did::dataset_name(scope, task_seq, stream);
-        let prod_dblock = did::prod_dblock(&name, (task_seq % 7) as u32);
+        let name_did = did::dataset_name(scope, task_seq, stream);
+        let name = self.names.intern(&name_did.0);
+        let prod_dblock = self
+            .names
+            .intern(&did::prod_dblock(&name_did, (task_seq % 7) as u32).0);
         let mut files = Vec::with_capacity(file_sizes.len());
         let mut total = 0u64;
         for (i, &size) in file_sizes.iter().enumerate() {
             let fid = FileId(self.files.len() as u64);
+            let lfn = self
+                .names
+                .intern(&did::file_lfn(scope, task_seq, i as u32).0);
             self.files.push(FileEntry {
                 id: fid,
-                lfn: did::file_lfn(scope, task_seq, i as u32),
+                lfn,
                 scope,
                 size,
                 dataset: ds_id,
@@ -213,6 +226,7 @@ impl ReplicaCatalog {
     /// invariants so a corrupted checkpoint is rejected here rather than
     /// surfacing as a panic mid-campaign.
     pub fn from_parts(
+        names: SymbolTable,
         files: Vec<FileEntry>,
         datasets: Vec<DatasetEntry>,
         containers: Vec<ContainerEntry>,
@@ -223,9 +237,20 @@ impl ReplicaCatalog {
             datasets,
             containers,
             replicas,
+            names,
         };
         cat.check_invariants()?;
         Ok(cat)
+    }
+
+    /// The interning table backing every name in the catalog.
+    pub fn names(&self) -> &SymbolTable {
+        &self.names
+    }
+
+    /// Resolve an interned name (LFN, dataset name, or prod-dblock).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.names.resolve(sym)
     }
 
     /// Number of files registered.
@@ -266,6 +291,17 @@ impl ReplicaCatalog {
         for (i, set) in self.replicas.iter().enumerate() {
             if set.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("replica set of file {i} unsorted/duplicated"));
+            }
+        }
+        let n_syms = self.names.len() as u32;
+        for f in &self.files {
+            if f.lfn.0 >= n_syms {
+                return Err(format!("file {:?} lfn symbol out of range", f.id));
+            }
+        }
+        for ds in &self.datasets {
+            if ds.name.0 >= n_syms || ds.prod_dblock.0 >= n_syms {
+                return Err(format!("dataset {:?} name symbol out of range", ds.id));
             }
         }
         Ok(())

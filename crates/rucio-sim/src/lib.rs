@@ -41,5 +41,5 @@ pub use did::{DidName, Scope};
 pub use rules::{ReplicationRule, RuleEngine, RuleId};
 pub use transfer::{
     RetryPolicy, TransferEngine, TransferEngineSnapshot, TransferEvent, TransferId,
-    TransferOutcome, TransferPathStats, TransferRequest,
+    TransferOutcome, TransferPathStats, TransferRequest, TransferStatus,
 };

@@ -36,12 +36,12 @@
 
 use crate::activity::Activity;
 use crate::catalog::{FileId, ReplicaCatalog};
-use crate::did::{DidName, Scope};
+use crate::did::Scope;
 use dmsa_gridnet::{
     BandwidthModel, FaultConfig, FaultModel, GridTopology, HealthMonitor, RseId, SiteId,
 };
 use dmsa_simcore::SimRng;
-use dmsa_simcore::{RngFactory, SimDuration, SimTime};
+use dmsa_simcore::{RngFactory, SimDuration, SimTime, Sym};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -79,12 +79,13 @@ pub struct TransferEvent {
     pub id: TransferId,
     /// File moved.
     pub file: FileId,
-    /// Logical file name.
-    pub lfn: DidName,
-    /// Owning dataset DID name.
-    pub dataset: DidName,
-    /// Production block identifier.
-    pub proddblock: DidName,
+    /// Logical file name (interned in the catalog's
+    /// [symbol table](ReplicaCatalog::names)).
+    pub lfn: Sym,
+    /// Owning dataset DID name (interned).
+    pub dataset: Sym,
+    /// Production block identifier (interned).
+    pub proddblock: Sym,
     /// DID scope.
     pub scope: Scope,
     /// Exact size in bytes.
@@ -192,6 +193,19 @@ pub struct TransferPathStats {
     pub exhausted: u64,
     /// Requests with no source replica anywhere.
     pub no_replica: u64,
+}
+
+/// Allocation-free verdict from [`TransferEngine::execute_into`]. The
+/// attempt events land in the caller's sink; this tells the caller what
+/// the appended suffix means.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// The file arrived; the last appended event is the delivery.
+    Delivered,
+    /// Every attempt failed; the file was not delivered.
+    Exhausted,
+    /// No source replica anywhere; nothing was appended.
+    NoReplica,
 }
 
 /// What [`TransferEngine::execute`] did with a request.
@@ -467,12 +481,36 @@ impl TransferEngine {
         catalog: &mut ReplicaCatalog,
         topology: &GridTopology,
         bw: &BandwidthModel,
-        mut health: Option<&mut HealthMonitor>,
+        health: Option<&mut HealthMonitor>,
     ) -> TransferOutcome {
+        let mut events = Vec::new();
+        match self.execute_into(req, ready, catalog, topology, bw, health, &mut events) {
+            TransferStatus::Delivered => TransferOutcome::Delivered(events),
+            TransferStatus::Exhausted => TransferOutcome::Exhausted(events),
+            TransferStatus::NoReplica => TransferOutcome::NoReplica,
+        }
+    }
+
+    /// Allocation-free core of the transfer path: appends every attempt
+    /// event to `sink` (which may already hold events from earlier
+    /// requests) and reports what the appended suffix means. The driver's
+    /// hot loop reuses one scratch sink across all requests of a tick
+    /// instead of allocating a fresh `Vec` per file.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_into(
+        &mut self,
+        req: &TransferRequest,
+        ready: SimTime,
+        catalog: &mut ReplicaCatalog,
+        topology: &GridTopology,
+        bw: &BandwidthModel,
+        mut health: Option<&mut HealthMonitor>,
+        sink: &mut Vec<TransferEvent>,
+    ) -> TransferStatus {
         let dest_site = topology.site_of_rse(req.dest);
         let faults_on = self.faults.enabled();
         let max_attempts = 1 + if faults_on { self.retry.max_retries } else { 0 };
-        let mut events: Vec<TransferEvent> = Vec::new();
+        let first = sink.len();
         let mut attempt_ready = ready;
         self.stats.requests += 1;
 
@@ -503,13 +541,13 @@ impl TransferEngine {
                     };
                     match picked {
                         Some(rse) => rse,
-                        None if events.is_empty() => {
+                        None if sink.len() == first => {
                             self.stats.no_replica += 1;
-                            return TransferOutcome::NoReplica;
+                            return TransferStatus::NoReplica;
                         }
                         None => {
                             self.stats.exhausted += 1;
-                            return TransferOutcome::Exhausted(events);
+                            return TransferStatus::Exhausted;
                         }
                     }
                 }
@@ -558,12 +596,12 @@ impl TransferEngine {
             }
 
             let ds = catalog.dataset(entry.dataset);
-            events.push(TransferEvent {
+            sink.push(TransferEvent {
                 id: TransferId(self.next_id),
                 file: req.file,
-                lfn: entry.lfn.clone(),
-                dataset: ds.name.clone(),
-                proddblock: ds.prod_dblock.clone(),
+                lfn: entry.lfn,
+                dataset: ds.name,
+                proddblock: ds.prod_dblock,
                 scope: entry.scope,
                 file_size: size,
                 source_site,
@@ -586,10 +624,10 @@ impl TransferEngine {
             if !failed {
                 catalog.add_replica(req.file, req.dest);
                 self.stats.delivered += 1;
-                if events.len() > 1 {
+                if sink.len() - first > 1 {
                     self.stats.delivered_after_retry += 1;
                 }
-                return TransferOutcome::Delivered(events);
+                return TransferStatus::Delivered;
             }
             self.stats.failed_attempts += 1;
             // Exponential backoff with jitter before the next attempt.
@@ -598,11 +636,11 @@ impl TransferEngine {
         }
         self.stats.exhausted += 1;
         if let Some(h) = health {
-            if let Some(last) = events.last() {
+            if let Some(last) = sink[first..].last() {
                 h.observe_exhausted(last.source_site, dest_site, last.endtime);
             }
         }
-        TransferOutcome::Exhausted(events)
+        TransferStatus::Exhausted
     }
 
     /// The always-on transfer-path counters.

@@ -27,11 +27,12 @@ use dmsa_panda_sim::{
 use dmsa_rucio_sim::transfer::TransferRequest;
 use dmsa_rucio_sim::{
     reap_all, Activity, DatasetId, FileId, ReaperPolicy, ReplicaCatalog, RuleEngine, Scope,
-    TransferEngine, TransferEvent, TransferOutcome, TransferPathStats,
+    TransferEngine, TransferEvent, TransferPathStats, TransferStatus,
 };
+use dmsa_simcore::fx::FxHashMap;
 use dmsa_simcore::interval::Interval;
 use dmsa_simcore::SimRng;
-use dmsa_simcore::{EventQueue, RngFactory, SimDuration, SimTime};
+use dmsa_simcore::{EventQueue, QueueBackend, RngFactory, SimDuration, SimTime, SymbolTable};
 use rand::RngExt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -62,6 +63,9 @@ pub struct Campaign {
     pub sym_of_site: Vec<Sym>,
     /// Always-on transfer-path counters from the engine.
     pub path_stats: TransferPathStats,
+    /// Total events the queue delivered while producing this campaign
+    /// (the denominator of `bench_sim`'s events/s figure).
+    pub events_processed: u64,
     /// Circuit-breaker telemetry; `None` when the health loop is off.
     pub health: Option<HealthSummary>,
 }
@@ -123,7 +127,15 @@ pub type SnapshotSink<'a> = &'a mut dyn FnMut(SimTime, &[u8]) -> Result<(), Stri
 
 /// Run one campaign.
 pub fn run(config: &ScenarioConfig) -> Campaign {
-    let mut d = Driver::new(config.clone());
+    run_with_queue(config, QueueBackend::default())
+}
+
+/// [`run`] with an explicit event-queue backend. Exists so `bench_sim`
+/// (and the differential tests) can pit the calendar queue against the
+/// reference binary heap on identical campaigns; the produced campaign
+/// is byte-identical across backends.
+pub fn run_with_queue(config: &ScenarioConfig, backend: QueueBackend) -> Campaign {
+    let mut d = Driver::with_backend(config.clone(), backend);
     d.start();
     d.drain_with(None, &mut |_, _| Ok(()))
         .expect("no-op checkpoint sink cannot fail")
@@ -196,6 +208,13 @@ pub(crate) struct Driver {
     pub(crate) next_taskid: u64,
     pub(crate) next_dio_id: u64,
     pub(crate) next_output_seq: u64,
+    /// Events delivered so far (snapshotted, so a resumed campaign
+    /// reports the full count).
+    pub(crate) events_processed: u64,
+    // Reusable hot-loop scratch (never snapshotted: both are drained
+    // empty between events, so a checkpoint boundary never sees content).
+    scratch_events: Vec<TransferEvent>,
+    scratch_files: Vec<FileId>,
     // RNG streams.
     pub(crate) rng_task: SimRng,
     pub(crate) rng_job: SimRng,
@@ -204,6 +223,10 @@ pub(crate) struct Driver {
 
 impl Driver {
     pub(crate) fn new(config: ScenarioConfig) -> Self {
+        Self::with_backend(config, QueueBackend::default())
+    }
+
+    pub(crate) fn with_backend(config: ScenarioConfig, backend: QueueBackend) -> Self {
         let rngs = RngFactory::new(config.seed);
         let topology = GridTopology::generate(&rngs, &config.topology);
         let bw = BandwidthModel::new(&rngs, &topology);
@@ -249,7 +272,7 @@ impl Driver {
             workload,
             pilot: PilotModel::default(),
             health,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             queued: vec![0; n],
             running: vec![0; n],
             compute_slots,
@@ -261,6 +284,9 @@ impl Driver {
             next_taskid: FIRST_TASKID,
             next_dio_id: DIO_ID_BASE,
             next_output_seq: 0,
+            events_processed: 0,
+            scratch_events: Vec::new(),
+            scratch_files: Vec::new(),
         }
     }
 
@@ -402,17 +428,31 @@ impl Driver {
             let Some((t, ev)) = self.queue.pop() else {
                 break;
             };
-            match ev {
-                Event::TaskArrival => self.on_task_arrival(t),
-                Event::JobCreated(pj) => self.on_job_created(t, pj),
-                Event::StagingDone(pj) => self.on_staging_done(t, pj),
-                Event::ExecDone(pj) => self.on_exec_done(t, pj),
-                Event::Background => self.on_background(t),
-                Event::Reaper => self.on_reaper(t),
+            self.dispatch(t, ev);
+            // Batch the rest of the tick: a checkpoint boundary can never
+            // fall between two same-time events (next_cp is advanced past
+            // `peek`, and boundaries are strictly increasing), so popping
+            // them without re-checking `next_cp` is behavior-identical —
+            // and skips a boundary comparison per event.
+            while self.queue.peek_time() == Some(t) {
+                let (_, ev) = self.queue.pop().expect("peeked event exists");
+                self.dispatch(t, ev);
             }
         }
 
         Ok(self.finish())
+    }
+
+    fn dispatch(&mut self, t: SimTime, ev: Event) {
+        self.events_processed += 1;
+        match ev {
+            Event::TaskArrival => self.on_task_arrival(t),
+            Event::JobCreated(pj) => self.on_job_created(t, pj),
+            Event::StagingDone(pj) => self.on_staging_done(t, pj),
+            Event::ExecDone(pj) => self.on_exec_done(t, pj),
+            Event::Background => self.on_background(t),
+            Event::Reaper => self.on_reaper(t),
+        }
     }
 
     fn window_end(&self) -> SimTime {
@@ -462,6 +502,13 @@ impl Driver {
         // chosen site now, ahead of job dispatch. Drawn from a dedicated
         // per-task substream so prestage_fraction = 0 leaves every other
         // stream untouched (bit-identical baseline campaigns).
+        // The dataset's file list is consulted while `self` is mutably
+        // borrowed below, so it must be buffered — but into a reusable
+        // scratch vec rather than a fresh allocation per task.
+        let mut files = std::mem::take(&mut self.scratch_files);
+        files.clear();
+        files.extend_from_slice(self.catalog.dataset_files(ds));
+
         if self.config.prestage_fraction > 0.0 && kind == TaskKind::UserAnalysis {
             let mut prng = self.rngs.substream("scenario/prestage", taskid);
             if prng.random::<f64>() < self.config.prestage_fraction {
@@ -470,7 +517,7 @@ impl Driver {
                 let idx = self.cum_weights.partition_point(|&c| c < x);
                 let target = SiteId(idx.min(self.topology.n_sites() - 1) as u32);
                 let dest = self.topology.disk_rse(target);
-                for &file in &self.catalog.dataset_files(ds).to_vec() {
+                for &file in &files {
                     let req = TransferRequest {
                         file,
                         dest,
@@ -482,15 +529,16 @@ impl Driver {
                     // Every attempt is a recorded rule-driven transfer;
                     // an exhausted prestage just means the jobs will
                     // stage the file themselves later.
-                    let out = self.engine.execute_monitored(
+                    self.engine.execute_into(
                         &req,
                         t,
                         &mut self.catalog,
                         &self.topology,
                         &self.bw,
                         self.health.as_mut(),
+                        &mut self.scratch_events,
                     );
-                    for ev in out.into_events() {
+                    for ev in self.scratch_events.drain(..) {
                         self.transfers.push((ev, true));
                     }
                 }
@@ -501,7 +549,6 @@ impl Driver {
         // the input dataset across jobs: each file is processed by exactly
         // one job of the task (user analysis caps fan-out at the file
         // count; production tasks may wrap around and share).
-        let files: Vec<FileId> = self.catalog.dataset_files(ds).to_vec();
         let n_jobs = match kind {
             TaskKind::UserAnalysis => n_jobs.min(files.len() as u32),
             TaskKind::Production => n_jobs,
@@ -551,6 +598,7 @@ impl Driver {
             };
             self.queue.push(created, Event::JobCreated(Box::new(pj)));
         }
+        self.scratch_files = files;
     }
 
     fn on_job_created(&mut self, t: SimTime, mut pj: Box<PendingJob>) {
@@ -646,7 +694,7 @@ impl Driver {
                     creationtime: pj.creation,
                     starttime: end,
                     endtime: end,
-                    input_files: pj.input_files.clone(),
+                    input_files: std::mem::take(&mut pj.input_files),
                     output_files: Vec::new(),
                     ninputfilebytes: pj.input_bytes,
                     noutputfilebytes: 0,
@@ -716,31 +764,32 @@ impl Driver {
         let sequential = self.rng_job.random::<f64>() < self.config.p_sequential_stagein;
         let mut end = begin;
         let mut ready = begin;
-        for &file in &pj.input_files.clone() {
+        for i in 0..pj.input_files.len() {
             let req = TransferRequest {
-                file,
+                file: pj.input_files[i],
                 dest,
                 activity,
                 caused_by_pandaid: Some(pj.pandaid),
                 jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
                 preferred_source: pj.stage_source,
             };
-            let out = self.engine.execute_monitored(
+            let status = self.engine.execute_into(
                 &req,
                 ready,
                 &mut self.catalog,
                 &self.topology,
                 &self.bw,
                 self.health.as_mut(),
+                &mut self.scratch_events,
             );
             // Exhausted retries mean this input never arrives; a file
             // with no replica at all is (as before) silently absent —
             // production jobs read pre-placed copies we don't model
             // individually.
-            if matches!(out, TransferOutcome::Exhausted(_)) {
+            if status == TransferStatus::Exhausted {
                 pj.lost_input = true;
             }
-            for ev in out.into_events() {
+            for ev in self.scratch_events.drain(..) {
                 end = end.max(ev.endtime);
                 if sequential {
                     // The pilot's serial loop waits out failed attempts
@@ -757,7 +806,7 @@ impl Driver {
 
     fn on_staging_done(&mut self, t: SimTime, mut pj: Box<PendingJob>) {
         if pj.lost_input {
-            self.fail_lost_input(t, &pj);
+            self.fail_lost_input(t, pj);
             return;
         }
         // Acquire a compute slot.
@@ -781,8 +830,9 @@ impl Driver {
     /// with `LOST_INPUT` without ever holding a compute slot, and PanDA
     /// re-brokers it once — a fresh `pandaid`, a fresh brokerage pass
     /// (the input's surviving replicas may favour a different site now).
-    fn fail_lost_input(&mut self, t: SimTime, pj: &PendingJob) {
+    fn fail_lost_input(&mut self, t: SimTime, mut pj: Box<PendingJob>) {
         self.queued[pj.site.index()] = self.queued[pj.site.index()].saturating_sub(1);
+        let will_rebroker = !pj.rebrokered && t < self.window_end();
         let task = &mut self.tasks[pj.task_idx as usize];
         task.progress.record(false);
         let job = Job {
@@ -793,7 +843,13 @@ impl Driver {
             creationtime: pj.creation,
             starttime: t,
             endtime: t,
-            input_files: pj.input_files.clone(),
+            // The input list is only cloned when the replacement job
+            // below still needs it; the common path moves it.
+            input_files: if will_rebroker {
+                pj.input_files.clone()
+            } else {
+                std::mem::take(&mut pj.input_files)
+            },
             output_files: Vec::new(),
             ninputfilebytes: pj.input_bytes,
             noutputfilebytes: 0,
@@ -804,31 +860,26 @@ impl Driver {
         };
         self.finished.push((job, pj.task_idx, false));
 
-        if pj.rebrokered || t >= self.window_end() {
+        if !will_rebroker {
             return;
         }
+        // Recycle the box as the re-brokered replacement: fresh pandaid,
+        // fresh brokerage pass, same inputs (one retry, like JEDI's
+        // re-brokerage cap).
         let pandaid = self.next_pandaid;
         self.next_pandaid += 1;
-        let replacement = PendingJob {
-            pandaid,
-            task_idx: pj.task_idx,
-            kind: pj.kind,
-            io_mode: pj.io_mode,
-            doomed: pj.doomed,
-            input_files: pj.input_files.clone(),
-            input_bytes: pj.input_bytes,
-            creation: t,
-            site: SiteId(0),
-            recorded_stagein: false,
-            stage_source: None,
-            stage_intervals: Vec::new(),
-            staging_end: t,
-            lost_input: false,
-            rebrokered: true,
-            start: t,
-            exec_end: t,
-        };
-        self.queue.push(t, Event::JobCreated(Box::new(replacement)));
+        pj.pandaid = pandaid;
+        pj.creation = t;
+        pj.site = SiteId(0);
+        pj.recorded_stagein = false;
+        pj.stage_source = None;
+        pj.stage_intervals.clear();
+        pj.staging_end = t;
+        pj.lost_input = false;
+        pj.rebrokered = true;
+        pj.start = t;
+        pj.exec_end = t;
+        self.queue.push(t, Event::JobCreated(pj));
     }
 
     fn on_exec_done(&mut self, t: SimTime, pj: Box<PendingJob>) {
@@ -936,17 +987,18 @@ impl Driver {
                     jeditaskid: Some(self.tasks[pj.task_idx as usize].id.0),
                     preferred_source: None,
                 };
-                let out = self.engine.execute_monitored(
+                let status = self.engine.execute_into(
                     &req,
                     pj.exec_end,
                     &mut self.catalog,
                     &self.topology,
                     &self.bw,
                     self.health.as_mut(),
+                    &mut self.scratch_events,
                 );
-                if out.is_delivered() {
+                if status == TransferStatus::Delivered {
                     recorded_upload = true;
-                } else if matches!(out, TransferOutcome::Exhausted(_)) {
+                } else if status == TransferStatus::Exhausted {
                     // The output never reached its destination RSE: the
                     // job degrades to a stage-out failure (its local copy
                     // survives, but PanDA counts the job failed).
@@ -955,7 +1007,7 @@ impl Driver {
                         error_code: Some(dmsa_panda_sim::types::error_codes::STAGEOUT_FAILURE),
                     };
                 }
-                for ev in out.into_events() {
+                for ev in self.scratch_events.drain(..) {
                     endtime = endtime.max(ev.endtime);
                     self.transfers.push((ev, true));
                 }
@@ -973,7 +1025,7 @@ impl Driver {
             creationtime: pj.creation,
             starttime: pj.start,
             endtime,
-            input_files: pj.input_files.clone(),
+            input_files: std::mem::take(&mut pj.input_files),
             output_files,
             ninputfilebytes: pj.input_bytes,
             noutputfilebytes: output_bytes,
@@ -988,7 +1040,8 @@ impl Driver {
     /// Synthesize streaming-read transfer events for a direct-I/O job.
     fn emit_dio_reads(&mut self, pj: &mut PendingJob) {
         let wall = (pj.exec_end - pj.start).as_secs_f64().max(1.0);
-        for &file in &pj.input_files.clone() {
+        for i in 0..pj.input_files.len() {
+            let file = pj.input_files[i];
             if self.rng_job.random::<f64>() >= self.config.dio_recorded_fraction {
                 continue;
             }
@@ -1033,9 +1086,9 @@ impl Driver {
             let ev = TransferEvent {
                 id: dmsa_rucio_sim::TransferId(id),
                 file,
-                lfn: entry.lfn.clone(),
-                dataset: ds.name.clone(),
-                proddblock: ds.prod_dblock.clone(),
+                lfn: entry.lfn,
+                dataset: ds.name,
+                proddblock: ds.prod_dblock,
                 scope: entry.scope,
                 file_size: size,
                 source_site: src_site,
@@ -1112,15 +1165,16 @@ impl Driver {
             jeditaskid: None,
             preferred_source: None,
         };
-        let out = self.engine.execute_monitored(
+        self.engine.execute_into(
             &req,
             t,
             &mut self.catalog,
             &self.topology,
             &self.bw,
             self.health.as_mut(),
+            &mut self.scratch_events,
         );
-        for ev in out.into_events() {
+        for ev in self.scratch_events.drain(..) {
             self.transfers.push((ev, true));
         }
     }
@@ -1154,6 +1208,13 @@ impl Driver {
             })
             .collect();
 
+        // Catalog-sym -> store-sym memo. `store.symbols.intern` already
+        // dedupes by string, so the memo changes no sym numbering — it
+        // only skips re-hashing the same long DID string per record.
+        let names = self.catalog.names();
+        let mut name_map: Vec<Option<Sym>> = vec![None; names.len()];
+        let mut scope_map: FxHashMap<Scope, Sym> = FxHashMap::default();
+
         // Job + file records.
         for (job, task_idx, _) in &self.finished {
             let site_sym = sym_of_site[job.computing_site.index()];
@@ -1183,10 +1244,15 @@ impl Driver {
                 let rec = FileRecord {
                     pandaid: job.id.0,
                     jeditaskid: job.task.0,
-                    lfn: store.symbols.intern(&entry.lfn.0),
-                    dataset: store.symbols.intern(&ds.name.0),
-                    proddblock: store.symbols.intern(&ds.prod_dblock.0),
-                    scope: store.symbols.intern(&entry.scope.to_string()),
+                    lfn: remap_name(&mut name_map, names, &mut store.symbols, entry.lfn),
+                    dataset: remap_name(&mut name_map, names, &mut store.symbols, ds.name),
+                    proddblock: remap_name(
+                        &mut name_map,
+                        names,
+                        &mut store.symbols,
+                        ds.prod_dblock,
+                    ),
+                    scope: remap_scope(&mut scope_map, &mut store.symbols, entry.scope),
                     file_size: entry.size,
                     direction,
                 };
@@ -1201,10 +1267,10 @@ impl Driver {
             }
             let rec = TransferRecord {
                 transfer_id: ev.id.0,
-                lfn: store.symbols.intern(&ev.lfn.0),
-                dataset: store.symbols.intern(&ev.dataset.0),
-                proddblock: store.symbols.intern(&ev.proddblock.0),
-                scope: store.symbols.intern(&ev.scope.to_string()),
+                lfn: remap_name(&mut name_map, names, &mut store.symbols, ev.lfn),
+                dataset: remap_name(&mut name_map, names, &mut store.symbols, ev.dataset),
+                proddblock: remap_name(&mut name_map, names, &mut store.symbols, ev.proddblock),
+                scope: remap_scope(&mut scope_map, &mut store.symbols, ev.scope),
                 file_size: ev.file_size,
                 starttime: ev.starttime,
                 endtime: ev.endtime,
@@ -1240,9 +1306,35 @@ impl Driver {
             window,
             sym_of_site,
             path_stats: self.engine.path_stats(),
+            events_processed: self.events_processed,
             health: self.health.as_ref().map(|m| m.summary()),
         }
     }
+}
+
+/// Intern a catalog name into the store's symbol table, memoized by the
+/// catalog sym id (the store dedupes by string, so the memo is purely a
+/// fast path — numbering is unaffected).
+fn remap_name(
+    map: &mut [Option<Sym>],
+    names: &SymbolTable,
+    symbols: &mut SymbolTable,
+    s: Sym,
+) -> Sym {
+    if let Some(m) = map[s.0 as usize] {
+        return m;
+    }
+    let m = symbols.intern(names.resolve(s));
+    map[s.0 as usize] = Some(m);
+    m
+}
+
+/// Intern a scope's display form, memoized so the formatting (a fresh
+/// `String` per call) happens once per distinct scope instead of once
+/// per record.
+fn remap_scope(map: &mut FxHashMap<Scope, Sym>, symbols: &mut SymbolTable, scope: Scope) -> Sym {
+    *map.entry(scope)
+        .or_insert_with(|| symbols.intern(&scope.to_string()))
 }
 
 /// Which RNG stream a helper should draw from (keeps streams disjoint by
@@ -1259,6 +1351,15 @@ mod tests {
 
     fn small_campaign() -> Campaign {
         run(&ScenarioConfig::small())
+    }
+
+    #[test]
+    fn calendar_and_heap_queues_export_identical_campaigns() {
+        let config = ScenarioConfig::small();
+        let cal = run_with_queue(&config, QueueBackend::Calendar);
+        let heap = run_with_queue(&config, QueueBackend::BinaryHeap);
+        assert_eq!(cal.events_processed, heap.events_processed);
+        assert_eq!(cal.store, heap.store);
     }
 
     #[test]

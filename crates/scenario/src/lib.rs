@@ -24,5 +24,5 @@ pub mod driver;
 pub mod snapshot;
 
 pub use config::ScenarioConfig;
-pub use driver::{resume_checkpointed, run, run_checkpointed, Campaign};
+pub use driver::{resume_checkpointed, run, run_checkpointed, run_with_queue, Campaign};
 pub use snapshot::SNAPSHOT_VERSION;

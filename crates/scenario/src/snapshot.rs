@@ -38,14 +38,17 @@ use dmsa_rucio_sim::{
 };
 use dmsa_simcore::codec::{CodecError, Reader, Writer};
 use dmsa_simcore::interval::Interval;
-use dmsa_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use dmsa_simcore::{EventQueue, SimDuration, SimRng, SimTime, Sym, SymbolTable};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Version of the snapshot payload layout. Bumped on any incompatible
 /// change; [`decode`] refuses payloads from a newer layout with a
 /// found-vs-supported message instead of misreading them.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version history: v2 interned catalog/transfer-event names (the
+/// catalog's symbol table is now part of the payload and name fields are
+/// `u32` symbol ids) and added the delivered-event counter.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Encode
@@ -139,6 +142,9 @@ pub(crate) fn encode(d: &Driver) -> Vec<u8> {
     w.put_u64(d.next_taskid);
     w.put_u64(d.next_dio_id);
     w.put_u64(d.next_output_seq);
+
+    // Delivered-event counter (v2).
+    w.put_u64(d.events_processed);
 
     w.into_bytes()
 }
@@ -333,8 +339,15 @@ fn decode_inner(config: &ScenarioConfig, r: &mut Reader<'_>) -> Result<Driver, C
     // Ground-truth transfer events.
     let n = r.get_seq_len(80)?;
     let mut transfers = Vec::with_capacity(n);
-    for _ in 0..n {
+    let n_syms = d.catalog.names().len() as u32;
+    for i in 0..n {
         let ev = get_transfer_event(r)?;
+        if ev.lfn.0 >= n_syms || ev.dataset.0 >= n_syms || ev.proddblock.0 >= n_syms {
+            return Err(bad(
+                r,
+                format!("transfer event {i} name symbol out of range"),
+            ));
+        }
         let recorded = r.get_bool()?;
         transfers.push((ev, recorded));
     }
@@ -345,6 +358,9 @@ fn decode_inner(config: &ScenarioConfig, r: &mut Reader<'_>) -> Result<Driver, C
     d.next_taskid = r.get_u64()?;
     d.next_dio_id = r.get_u64()?;
     d.next_output_seq = r.get_u64()?;
+
+    // Delivered-event counter (v2).
+    d.events_processed = r.get_u64()?;
 
     if !r.is_exhausted() {
         return Err(bad(
@@ -695,10 +711,13 @@ fn get_engine(r: &mut Reader<'_>) -> Result<TransferEngineSnapshot, CodecError> 
 }
 
 fn put_catalog(w: &mut Writer, c: &ReplicaCatalog) {
+    // Symbol table first: every string once, in dense sym order, so the
+    // per-entry name fields below are plain u32 handles.
+    put_symbol_table(w, c.names());
     w.put_seq_len(c.files().len());
     for f in c.files() {
         w.put_u64(f.id.0);
-        w.put_str(&f.lfn.0);
+        w.put_u32(f.lfn.0);
         put_scope(w, f.scope);
         w.put_u64(f.size);
         w.put_u64(f.dataset.0);
@@ -707,9 +726,9 @@ fn put_catalog(w: &mut Writer, c: &ReplicaCatalog) {
     w.put_seq_len(c.datasets().len());
     for ds in c.datasets() {
         w.put_u64(ds.id.0);
-        w.put_str(&ds.name.0);
+        w.put_u32(ds.name.0);
         put_scope(w, ds.scope);
-        w.put_str(&ds.prod_dblock.0);
+        w.put_u32(ds.prod_dblock.0);
         put_file_ids(w, &ds.files);
         w.put_u64(ds.total_bytes);
     }
@@ -732,12 +751,13 @@ fn put_catalog(w: &mut Writer, c: &ReplicaCatalog) {
 }
 
 fn get_catalog(r: &mut Reader<'_>) -> Result<ReplicaCatalog, CodecError> {
+    let names = get_symbol_table(r)?;
     let n = r.get_seq_len(35)?;
     let mut files = Vec::with_capacity(n);
     for _ in 0..n {
         files.push(FileEntry {
             id: FileId(r.get_u64()?),
-            lfn: DidName(r.get_str()?),
+            lfn: Sym(r.get_u32()?),
             scope: get_scope(r)?,
             size: r.get_u64()?,
             dataset: DatasetId(r.get_u64()?),
@@ -749,9 +769,9 @@ fn get_catalog(r: &mut Reader<'_>) -> Result<ReplicaCatalog, CodecError> {
     for _ in 0..n {
         datasets.push(DatasetEntry {
             id: DatasetId(r.get_u64()?),
-            name: DidName(r.get_str()?),
+            name: Sym(r.get_u32()?),
             scope: get_scope(r)?,
-            prod_dblock: DidName(r.get_str()?),
+            prod_dblock: Sym(r.get_u32()?),
             files: get_file_ids(r)?,
             total_bytes: r.get_u64()?,
         });
@@ -777,10 +797,37 @@ fn get_catalog(r: &mut Reader<'_>) -> Result<ReplicaCatalog, CodecError> {
         replicas.push(set);
     }
     let off = r.offset();
-    ReplicaCatalog::from_parts(files, datasets, containers, replicas).map_err(|e| CodecError {
-        offset: off,
-        what: format!("catalog: {e}"),
+    ReplicaCatalog::from_parts(names, files, datasets, containers, replicas).map_err(|e| {
+        CodecError {
+            offset: off,
+            what: format!("catalog: {e}"),
+        }
     })
+}
+
+/// Dense symbol-table image: string count, then every string in sym
+/// order (index 0 is always the `UNKNOWN` sentinel a fresh table holds).
+fn put_symbol_table(w: &mut Writer, t: &SymbolTable) {
+    w.put_seq_len(t.len());
+    for i in 0..t.len() as u32 {
+        w.put_str(t.resolve(Sym(i)));
+    }
+}
+
+fn get_symbol_table(r: &mut Reader<'_>) -> Result<SymbolTable, CodecError> {
+    let n = r.get_seq_len(8)?;
+    let mut t = SymbolTable::new();
+    for i in 0..n {
+        let s = r.get_str()?;
+        let sym = t.intern(&s);
+        if sym.0 as usize != i {
+            return Err(bad(
+                r,
+                format!("symbol table entry {i} duplicates entry {}", sym.0),
+            ));
+        }
+    }
+    Ok(t)
 }
 
 fn put_rule(w: &mut Writer, rule: &ReplicationRule) {
@@ -1040,9 +1087,9 @@ fn get_job(r: &mut Reader<'_>) -> Result<Job, CodecError> {
 fn put_transfer_event(w: &mut Writer, ev: &TransferEvent) {
     w.put_u64(ev.id.0);
     w.put_u64(ev.file.0);
-    w.put_str(&ev.lfn.0);
-    w.put_str(&ev.dataset.0);
-    w.put_str(&ev.proddblock.0);
+    w.put_u32(ev.lfn.0);
+    w.put_u32(ev.dataset.0);
+    w.put_u32(ev.proddblock.0);
     put_scope(w, ev.scope);
     w.put_u64(ev.file_size);
     w.put_u32(ev.source_site.0);
@@ -1061,9 +1108,9 @@ fn get_transfer_event(r: &mut Reader<'_>) -> Result<TransferEvent, CodecError> {
     Ok(TransferEvent {
         id: TransferId(r.get_u64()?),
         file: FileId(r.get_u64()?),
-        lfn: DidName(r.get_str()?),
-        dataset: DidName(r.get_str()?),
-        proddblock: DidName(r.get_str()?),
+        lfn: Sym(r.get_u32()?),
+        dataset: Sym(r.get_u32()?),
+        proddblock: Sym(r.get_u32()?),
         scope: get_scope(r)?,
         file_size: r.get_u64()?,
         source_site: SiteId(r.get_u32()?),
@@ -1197,7 +1244,7 @@ mod tests {
         future[0] = 99;
         let err = decode(&config, &future).err().unwrap();
         assert!(err.contains("version 99"), "bad message: {err}");
-        assert!(err.contains("supported 1"), "bad message: {err}");
+        assert!(err.contains("supported 2"), "bad message: {err}");
     }
 
     #[test]

@@ -1,10 +1,30 @@
 //! Stable discrete-event queue.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that delivers events
-//! in non-decreasing timestamp order and — crucially for reproducibility —
-//! **FIFO among events scheduled for the same instant**. A plain binary heap
-//! gives no such guarantee, so every entry carries a monotonically
-//! increasing sequence number used as a tiebreaker.
+//! Delivers events in non-decreasing timestamp order and — crucially for
+//! reproducibility — **FIFO among events scheduled for the same instant**.
+//! Every entry carries a monotonically increasing sequence number used as
+//! the tiebreaker, so delivery order is the total order on `(time, seq)`.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`QueueBackend::Calendar`] (the default) — a three-level calendar
+//!   queue (hierarchical timing wheel). Each level is a ring of 4096 FIFO
+//!   lanes; level 0 lanes cover a single millisecond tick, level 1 lanes a
+//!   4096 ms block, level 2 lanes a ~4.66 h block, and a sorted overflow
+//!   heap catches anything beyond the ~2.2-year level-2 horizon. Push and
+//!   pop are O(1) amortized: a pop takes the front of the first occupied
+//!   tick lane (found via occupancy bitmaps), and events only move when a
+//!   coarse lane's window opens and it cascades one level down. Because a
+//!   tick lane is exactly one timestamp, FIFO order *is* append order — no
+//!   comparisons on the hot path.
+//! * [`QueueBackend::BinaryHeap`] — the original `std::collections::BinaryHeap`
+//!   over `(time, seq)` entries, kept as the reference implementation for
+//!   differential tests and the `bench_sim` before/after comparison.
+//!
+//! Both backends produce identical pop sequences, identical
+//! [`EventQueue::snapshot_entries`] output, and honour the same
+//! [`EventQueue::restore`] contract, so checkpoints are byte-identical
+//! regardless of backend.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -39,6 +59,237 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Which event-queue implementation backs an [`EventQueue`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Three-level calendar queue with per-tick FIFO lanes (the fast path).
+    #[default]
+    Calendar,
+    /// The original binary-heap implementation (reference/baseline).
+    BinaryHeap,
+}
+
+// ---------------------------------------------------------------------------
+// Calendar backend
+// ---------------------------------------------------------------------------
+
+/// Bits per wheel level: 4096 lanes each.
+const LB: u32 = 12;
+/// Lanes per level.
+const SLOTS: usize = 1 << LB;
+/// Lane-index mask.
+const MASK: i64 = SLOTS as i64 - 1;
+/// `u64` words in one occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// Occupancy bitmap over one level's 4096 lanes, with a one-word summary
+/// (bit `w` set ⇔ word `w` non-zero) so the first occupied lane is found
+/// in two `trailing_zeros` calls.
+struct Bitmap {
+    words: [u64; WORDS],
+    summary: u64,
+}
+
+impl Bitmap {
+    fn new() -> Self {
+        Bitmap {
+            words: [0; WORDS],
+            summary: 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+        self.summary |= 1 << (i / 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        let w = i / 64;
+        self.words[w] &= !(1 << (i % 64));
+        if self.words[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    /// Index of the first occupied lane, if any.
+    #[inline]
+    fn first(&self) -> Option<usize> {
+        if self.summary == 0 {
+            return None;
+        }
+        let w = self.summary.trailing_zeros() as usize;
+        Some(w * 64 + self.words[w].trailing_zeros() as usize)
+    }
+}
+
+/// One FIFO lane: a `VecDeque` so the front pops in O(1) while the ring
+/// buffer keeps its allocation across wheel revolutions.
+type Lane<E> = std::collections::VecDeque<Entry<E>>;
+
+struct Level<E> {
+    lanes: Box<[Lane<E>]>,
+    map: Bitmap,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            lanes: (0..SLOTS).map(|_| Lane::new()).collect(),
+            map: Bitmap::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, slot: usize, entry: Entry<E>) {
+        self.lanes[slot].push_back(entry);
+        self.map.set(slot);
+    }
+}
+
+/// The calendar queue proper.
+///
+/// Window invariant: level ℓ holds exactly the entries whose time `t`
+/// satisfies `t >> ((ℓ+1)·12) == blocks[ℓ]` and which do not fit a finer
+/// level; `blocks` only ever advances, and an entry is inserted at the
+/// finest level whose current window contains it. Pops drain level 0 in
+/// lane order; when level 0 empties, the next occupied coarser lane
+/// cascades down, preserving stored (push) order. Since stored order is
+/// seq order among equal timestamps at every level (pushes arrive in seq
+/// order, cascades preserve order, overflow drains in `(time, seq)` heap
+/// order), a tick lane is always FIFO-correct without sorting.
+struct Calendar<E> {
+    levels: [Level<E>; 3],
+    /// Current aligned window per level: `blocks[ℓ] = t >> ((ℓ+1)·12)` for
+    /// every `t` the level may currently hold.
+    blocks: [i64; 3],
+    /// Entries beyond the level-2 horizon, sorted by `(time, seq)`.
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new(now: SimTime) -> Self {
+        let t = now.as_millis();
+        Calendar {
+            levels: [Level::new(), Level::new(), Level::new()],
+            blocks: [t >> LB, t >> (2 * LB), t >> (3 * LB)],
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_millis();
+        if t >> LB == self.blocks[0] {
+            self.levels[0].push((t & MASK) as usize, entry);
+        } else if t >> (2 * LB) == self.blocks[1] {
+            self.levels[1].push(((t >> LB) & MASK) as usize, entry);
+        } else if t >> (3 * LB) == self.blocks[2] {
+            self.levels[2].push(((t >> (2 * LB)) & MASK) as usize, entry);
+        } else {
+            self.overflow.push(entry);
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Hot path: first occupied tick lane, FIFO front.
+            if let Some(s) = self.levels[0].map.first() {
+                let lane = &mut self.levels[0].lanes[s];
+                let entry = lane.pop_front().expect("occupied lane");
+                if lane.is_empty() {
+                    self.levels[0].map.clear(s);
+                }
+                self.len -= 1;
+                return Some(entry);
+            }
+            // Level 0 exhausted: open the next occupied level-1 lane.
+            if let Some(j) = self.levels[1].map.first() {
+                self.blocks[0] = (self.blocks[1] << LB) | j as i64;
+                self.levels[1].map.clear(j);
+                let [l0, l1, _] = &mut self.levels;
+                for e in l1.lanes[j].drain(..) {
+                    let s = (e.time.as_millis() & MASK) as usize;
+                    l0.push(s, e);
+                }
+                continue;
+            }
+            // Level 1 exhausted: open the next occupied level-2 lane.
+            if let Some(k) = self.levels[2].map.first() {
+                self.blocks[1] = (self.blocks[2] << LB) | k as i64;
+                self.levels[2].map.clear(k);
+                let [_, l1, l2] = &mut self.levels;
+                for e in l2.lanes[k].drain(..) {
+                    let s = ((e.time.as_millis() >> LB) & MASK) as usize;
+                    l1.push(s, e);
+                }
+                continue;
+            }
+            // Wheel fully drained (len > 0 ⇒ overflow non-empty): open the
+            // overflow's earliest level-2 window. The heap yields (time,
+            // seq) order, so lanes fill FIFO-correct.
+            let top = self.overflow.peek().expect("len > 0 with empty wheel");
+            self.blocks[2] = top.time.as_millis() >> (3 * LB);
+            while let Some(top) = self.overflow.peek() {
+                if top.time.as_millis() >> (3 * LB) != self.blocks[2] {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked entry");
+                let s = ((e.time.as_millis() >> (2 * LB)) & MASK) as usize;
+                self.levels[2].push(s, e);
+            }
+        }
+    }
+
+    /// Earliest pending `(time)` without mutating any window state.
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(s) = self.levels[0].map.first() {
+            // A tick lane is a single timestamp.
+            return Some(SimTime::from_millis((self.blocks[0] << LB) | s as i64));
+        }
+        for level in self.levels.iter().skip(1) {
+            if let Some(j) = level.map.first() {
+                // Coarse lanes hold several ticks in push (not time) order.
+                let t = level.lanes[j]
+                    .iter()
+                    .map(|e| e.time)
+                    .min()
+                    .expect("occupied lane");
+                return Some(t);
+            }
+        }
+        self.overflow.peek().map(|e| e.time)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.levels
+            .iter()
+            .flat_map(|level| level.lanes.iter().flat_map(|lane| lane.iter()))
+            .chain(self.overflow.iter())
+            .map(|e| (e.time, e.seq, &e.event))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public queue
+// ---------------------------------------------------------------------------
+
+enum Backend<E> {
+    // Boxed: the calendar's bucket array dwarfs the heap variant.
+    Calendar(Box<Calendar<E>>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// ```
@@ -54,7 +305,7 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
 }
@@ -66,21 +317,39 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue positioned at the epoch.
+    /// Create an empty queue positioned at the epoch (calendar backend).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Calendar)
+    }
+
+    /// Create an empty queue positioned at the epoch on a chosen backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match backend {
+                QueueBackend::Calendar => Backend::Calendar(Box::new(Calendar::new(SimTime::EPOCH))),
+                QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+            },
             next_seq: 0,
             now: SimTime::EPOCH,
         }
     }
 
-    /// Create an empty queue with pre-allocated capacity.
+    /// Create an empty queue with pre-allocated capacity (calendar
+    /// backend; the hint sizes the heap on the heap backend and is
+    /// otherwise advisory).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            now: SimTime::EPOCH,
+        let mut q = Self::new();
+        if let Backend::Heap(heap) = &mut q.backend {
+            heap.reserve(cap);
+        }
+        q
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Calendar(_) => QueueBackend::Calendar,
+            Backend::Heap(_) => QueueBackend::BinaryHeap,
         }
     }
 
@@ -98,19 +367,29 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        match &mut self.backend {
+            Backend::Calendar(c) => c.insert(entry),
+            Backend::Heap(h) => h.push(entry),
+        }
     }
 
     /// Pop the earliest event, advancing the queue's clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let entry = match &mut self.backend {
+            Backend::Calendar(c) => c.pop()?,
+            Backend::Heap(h) => h.pop()?,
+        };
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Calendar(c) => c.peek_time(),
+            Backend::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// The timestamp of the most recently popped event (the current
@@ -121,12 +400,15 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len,
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The sequence number the next pushed event will receive.
@@ -136,31 +418,56 @@ impl<E> EventQueue<E> {
 
     /// All pending entries as `(time, seq, event)`, sorted by `(time, seq)`
     /// — the exact pop order. Canonical form for checkpoint encoding: the
-    /// heap's internal layout is not observable, so two queues holding the
-    /// same entries always snapshot identically.
+    /// backend's internal layout is not observable, so two queues holding
+    /// the same entries always snapshot identically — whatever the backend.
     pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, &E)> {
-        let mut entries: Vec<(SimTime, u64, &E)> = self
-            .heap
-            .iter()
-            .map(|e| (e.time, e.seq, &e.event))
-            .collect();
+        let mut entries: Vec<(SimTime, u64, &E)> = match &self.backend {
+            Backend::Calendar(c) => c.iter().collect(),
+            Backend::Heap(h) => h.iter().map(|e| (e.time, e.seq, &e.event)).collect(),
+        };
         entries.sort_by_key(|&(t, s, _)| (t, s));
         entries
     }
 
     /// Rebuild a queue from checkpointed entries plus the clock and
-    /// sequence counter captured alongside them. Entries keep their
-    /// original sequence numbers, so FIFO tiebreaks replay exactly.
+    /// sequence counter captured alongside them (calendar backend).
+    /// Entries keep their original sequence numbers, so FIFO tiebreaks
+    /// replay exactly.
     pub fn restore(entries: Vec<(SimTime, u64, E)>, next_seq: u64, now: SimTime) -> Self {
-        let heap = entries
-            .into_iter()
-            .map(|(time, seq, event)| {
-                debug_assert!(seq < next_seq, "entry seq {seq} >= next_seq {next_seq}");
-                Entry { time, seq, event }
-            })
-            .collect();
+        Self::restore_with_backend(entries, next_seq, now, QueueBackend::Calendar)
+    }
+
+    /// [`EventQueue::restore`] onto an explicit backend.
+    pub fn restore_with_backend(
+        mut entries: Vec<(SimTime, u64, E)>,
+        next_seq: u64,
+        now: SimTime,
+        backend: QueueBackend,
+    ) -> Self {
+        // Calendar lanes require per-timestamp seq order on insertion;
+        // sorting also tolerates non-canonical entry order from callers.
+        entries.sort_by_key(|&(t, s, _)| (t, s));
+        let backend = match backend {
+            QueueBackend::Calendar => {
+                let mut c = Calendar::new(now);
+                for (time, seq, event) in entries {
+                    debug_assert!(seq < next_seq, "entry seq {seq} >= next_seq {next_seq}");
+                    c.insert(Entry { time, seq, event });
+                }
+                Backend::Calendar(Box::new(c))
+            }
+            QueueBackend::BinaryHeap => Backend::Heap(
+                entries
+                    .into_iter()
+                    .map(|(time, seq, event)| {
+                        debug_assert!(seq < next_seq, "entry seq {seq} >= next_seq {next_seq}");
+                        Entry { time, seq, event }
+                    })
+                    .collect(),
+            ),
+        };
         EventQueue {
-            heap,
+            backend,
             next_seq,
             now,
         }
@@ -172,59 +479,101 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Run a test closure against both backends.
+    fn on_both(f: impl Fn(QueueBackend)) {
+        f(QueueBackend::Calendar);
+        f(QueueBackend::BinaryHeap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for &s in &[30i64, 10, 20, 5, 25] {
-            q.push(SimTime::from_secs(s), s);
-        }
-        let mut out = Vec::new();
-        while let Some((_, e)) = q.pop() {
-            out.push(e);
-        }
-        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            for &s in &[30i64, 10, 20, 5, 25] {
+                q.push(SimTime::from_secs(s), s);
+            }
+            let mut out = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            assert_eq!(out, vec![5, 10, 20, 25, 30]);
+        });
     }
 
     #[test]
     fn fifo_among_equal_timestamps() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(7), ());
-        assert_eq!(q.now(), SimTime::EPOCH);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(7));
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_secs(7), ());
+            assert_eq!(q.now(), SimTime::EPOCH);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(7));
+        });
     }
 
     #[test]
     fn interleaved_push_pop_remains_ordered() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), 1);
-        q.push(SimTime::from_secs(3), 3);
-        assert_eq!(q.pop().unwrap().1, 1);
-        // Push something between current time and the pending event.
-        q.push(q.now() + SimDuration::from_secs(1), 2);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_secs(1), 1);
+            q.push(SimTime::from_secs(3), 3);
+            assert_eq!(q.pop().unwrap().1, 1);
+            // Push something between current time and the pending event.
+            q.push(q.now() + SimDuration::from_secs(1), 2);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+        });
     }
 
     #[test]
     fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
-        assert_eq!(q.now(), SimTime::EPOCH);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_secs(4), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+            assert_eq!(q.now(), SimTime::EPOCH);
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        });
+    }
+
+    #[test]
+    fn peek_matches_pop_across_wheel_levels() {
+        // Times chosen to land in the tick wheel, both coarse wheels, and
+        // the overflow heap (past the ~2.2-year horizon).
+        let times = [
+            0i64,
+            1,
+            4_095,
+            4_096,
+            1 << 20,
+            (1 << 24) + 123,
+            1 << 30,
+            (1 << 36) + 7,
+            (1 << 37) + 11,
+        ];
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        while !q.is_empty() {
+            let expect = q.peek_time().unwrap();
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, expect);
+        }
     }
 
     #[test]
@@ -238,33 +587,126 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_restore_replays_identically() {
-        let mut q = EventQueue::new();
-        for &s in &[30i64, 10, 20, 10, 25] {
-            q.push(SimTime::from_secs(s), s);
+    fn backends_agree_on_mixed_workload() {
+        // Deterministic pseudo-random interleaving of pushes and pops with
+        // plenty of same-tick ties; the two backends must emit identical
+        // (time, seq, event) streams.
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..20_000u64 {
+            let r = rng();
+            if r % 3 != 0 || cal.is_empty() {
+                // Mix tick-local, near-future, far-future, and overflow times.
+                let dt = match r % 7 {
+                    0 => 0,
+                    1 => (r >> 8) % 4,
+                    2 => (r >> 8) % 5_000,
+                    3 => (r >> 8) % 1_000_000,
+                    4 => (r >> 8) % (1 << 25),
+                    5 => (r >> 8) % (1 << 30),
+                    _ => (1 << 36) + (r >> 8) % 1_000,
+                } as i64;
+                let t = cal.now() + SimDuration::from_millis(dt);
+                cal.push(t, i);
+                heap.push(t, i);
+            } else {
+                assert_eq!(cal.pop(), heap.pop());
+            }
         }
-        q.pop(); // advance the clock past the first event
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        on_both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            for &s in &[30i64, 10, 20, 10, 25] {
+                q.push(SimTime::from_secs(s), s);
+            }
+            q.pop(); // advance the clock past the first event
+            let entries: Vec<(SimTime, u64, i64)> = q
+                .snapshot_entries()
+                .into_iter()
+                .map(|(t, s, &e)| (t, s, e))
+                .collect();
+            // Canonical order: sorted by (time, seq).
+            assert!(entries
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+            let mut r = EventQueue::restore_with_backend(entries, q.next_seq(), q.now(), b);
+            assert_eq!(r.now(), q.now());
+            assert_eq!(r.next_seq(), q.next_seq());
+            // Both queues must drain in the same order, FIFO ties included.
+            loop {
+                match (q.pop(), r.pop()) {
+                    (None, None) => break,
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+            // And accept new pushes with continuing sequence numbers.
+            r.push(r.now() + SimDuration::from_secs(1), 99);
+            assert_eq!(r.pop().unwrap().1, 99);
+        });
+    }
+
+    #[test]
+    fn restore_crosses_backends() {
+        // A snapshot taken on one backend restores onto the other with an
+        // identical drain sequence.
+        let mut q = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        for &ms in &[5_000i64, 10, 10, 1 << 26, (1 << 36) + 3, 42] {
+            q.push(SimTime::from_millis(ms), ms);
+        }
+        q.pop();
         let entries: Vec<(SimTime, u64, i64)> = q
             .snapshot_entries()
             .into_iter()
             .map(|(t, s, &e)| (t, s, e))
             .collect();
-        // Canonical order: sorted by (time, seq).
-        assert!(entries
-            .windows(2)
-            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
-        let mut r = EventQueue::restore(entries, q.next_seq(), q.now());
-        assert_eq!(r.now(), q.now());
-        assert_eq!(r.next_seq(), q.next_seq());
-        // Both queues must drain in the same order, FIFO ties included.
+        let mut r = EventQueue::restore_with_backend(
+            entries,
+            q.next_seq(),
+            q.now(),
+            QueueBackend::Calendar,
+        );
         loop {
             match (q.pop(), r.pop()) {
                 (None, None) => break,
                 (a, b) => assert_eq!(a, b),
             }
         }
-        // And accept new pushes with continuing sequence numbers.
-        r.push(r.now() + SimDuration::from_secs(1), 99);
-        assert_eq!(r.pop().unwrap().1, 99);
+    }
+
+    #[test]
+    fn lane_reuse_does_not_leak_or_double_drop() {
+        // Drop-counting payload exercises Lane's manual memory management:
+        // partially drained lanes, cascades, and queue drop mid-drain.
+        use std::rc::Rc;
+        let token = Rc::new(());
+        {
+            let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+            for i in 0..1_000i64 {
+                q.push(SimTime::from_millis(i % 10), Rc::clone(&token));
+                q.push(SimTime::from_millis(10_000 + i), Rc::clone(&token));
+            }
+            for _ in 0..700 {
+                q.pop();
+            }
+            // q drops here with lanes in mixed drained/undrained states.
+        }
+        assert_eq!(Rc::strong_count(&token), 1);
     }
 }

@@ -6,8 +6,13 @@
 //! jobs, or transfers. It provides
 //!
 //! * [`SimTime`] / [`SimDuration`] — millisecond-resolution simulated time,
-//! * [`EventQueue`] — a stable (FIFO-among-equal-timestamps) priority queue,
+//! * [`EventQueue`] — a stable (FIFO-among-equal-timestamps) priority queue
+//!   backed by a calendar queue (or the reference binary heap, selectable
+//!   via [`QueueBackend`]),
 //! * [`RngFactory`] — named, independently seeded deterministic RNG streams,
+//! * [`fx`] / [`intern`] — the in-tree FxHash and the deduplicated
+//!   string-interning table ([`Sym`], [`SymbolTable`]) shared by the
+//!   metadata store, the replica catalog, and the matcher,
 //! * [`interval`] — interval-union arithmetic used by the paper's definition
 //!   of *file transfer time* ("cumulative duration during the job's queuing
 //!   time phase in which at least one associated file was actively
@@ -21,11 +26,14 @@
 
 pub mod codec;
 pub mod events;
+pub mod fx;
+pub mod intern;
 pub mod interval;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueBackend};
+pub use intern::{Sym, SymbolTable};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

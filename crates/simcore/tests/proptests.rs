@@ -2,7 +2,7 @@
 
 use dmsa_simcore::interval::{merge, union_len_within, Interval};
 use dmsa_simcore::stats::{geometric_mean, mean, percentile, OnlineStats};
-use dmsa_simcore::{EventQueue, SimDuration, SimTime};
+use dmsa_simcore::{EventQueue, QueueBackend, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
@@ -144,6 +144,114 @@ proptest! {
         }
         if let (Some(v1), Some(v2)) = (ab.variance(), ba.variance()) {
             prop_assert!((v1 - v2).abs() < 1e-6);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue vs reference binary heap: the two backends must be
+// observationally identical — same pop order (FIFO among equal
+// timestamps included) and byte-identical checkpoint images.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of pushes and pops (with deliberately heavy
+    /// timestamp collisions from the tiny time range) pop identically
+    /// from both backends, down to the last event.
+    #[test]
+    fn calendar_and_heap_backends_pop_identically(
+        ops in prop::collection::vec((0i64..25, prop::bool::weighted(0.4)), 1..120),
+    ) {
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut next = 0u32;
+        for &(gap, pop_now) in &ops {
+            // Push relative to the consumed clock so time never regresses.
+            let at = cal.now() + SimDuration::from_millis(gap);
+            cal.push(at, next);
+            heap.push(at, next);
+            next += 1;
+            if pop_now {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.now(), heap.now());
+            }
+        }
+        loop {
+            let a = cal.pop();
+            prop_assert_eq!(a, heap.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-tick ties drain in push (FIFO) order on both backends.
+    #[test]
+    fn same_tick_ties_are_fifo_on_both_backends(
+        n in 1usize..40,
+        t in 0i64..1_000,
+    ) {
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            let at = SimTime::from_millis(t);
+            for i in 0..n {
+                q.push(at, i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop(), Some((at, i)));
+            }
+            prop_assert!(q.pop().is_none());
+        }
+    }
+
+    /// `snapshot_entries` → `restore_with_backend` round-trips onto
+    /// either backend: the restored queue snapshots byte-identically and
+    /// drains exactly like the original.
+    #[test]
+    fn restore_round_trips_on_both_backends(
+        gaps in prop::collection::vec(0i64..20, 1..60),
+        pops in 0usize..20,
+        onto_heap in any::<bool>(),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &gap) in gaps.iter().enumerate() {
+            let at = q.now() + SimDuration::from_millis(gap);
+            q.push(at, i as u32);
+        }
+        for _ in 0..pops.min(gaps.len()) {
+            q.pop();
+        }
+        let entries: Vec<(SimTime, u64, u32)> = q
+            .snapshot_entries()
+            .into_iter()
+            .map(|(t, s, &e)| (t, s, e))
+            .collect();
+        let backend = if onto_heap {
+            QueueBackend::BinaryHeap
+        } else {
+            QueueBackend::Calendar
+        };
+        let mut r =
+            EventQueue::restore_with_backend(entries.clone(), q.next_seq(), q.now(), backend);
+        prop_assert_eq!(r.backend(), backend);
+        prop_assert_eq!(r.next_seq(), q.next_seq());
+        prop_assert_eq!(r.now(), q.now());
+        // Identical canonical checkpoint image...
+        let reimage: Vec<(SimTime, u64, u32)> = r
+            .snapshot_entries()
+            .into_iter()
+            .map(|(t, s, &e)| (t, s, e))
+            .collect();
+        prop_assert_eq!(&reimage, &entries);
+        // ...and an identical drain.
+        loop {
+            let a = q.pop();
+            prop_assert_eq!(a, r.pop());
+            if a.is_none() {
+                break;
+            }
         }
     }
 }
