@@ -1,0 +1,197 @@
+//! Cross-run aggregation for ablation sweeps.
+//!
+//! A sweep produces one campaign per grid cell; this module reduces the
+//! fleet to per-knob statistics. [`cell_metrics`] flattens one
+//! campaign's outcome (built on [`crate::exclusion::exclusion_report`],
+//! so the numbers line up with the single-run `exclusion` report), and
+//! [`aggregate`] groups cells by every `(axis, value)` knob they were
+//! run under — all cells at `fail_prob=0.15`, all cells at
+//! `breaker=adp`, … — summarizing each outcome metric with
+//! [`Summary`] (mean, sd, p50, p95, 95% CI). The sweep summary JSON and
+//! human report are direct renderings of these rows.
+
+use crate::exclusion::exclusion_report;
+use dmsa_gridnet::HealthSummary;
+use dmsa_metastore::MetaStore;
+use dmsa_rucio_sim::TransferPathStats;
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::stats::Summary;
+
+/// One cell's outcome, flattened to the metrics the sweep aggregates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellMetrics {
+    /// Transfer requests that exhausted their retry budget.
+    pub exhausted: u64,
+    /// Failed transfer attempts (engine view).
+    pub failed_attempts: u64,
+    /// Requests delivered (with or without retries).
+    pub delivered: u64,
+    /// Total transfer requests.
+    pub requests: u64,
+    /// Retry-attributed staging delay, seconds.
+    pub retry_delay_secs: f64,
+    /// Breaker exclusion, site-hours + link-hours (0 when disarmed).
+    pub excluded_hours: f64,
+    /// Breaker trips (0 when disarmed).
+    pub trips: u64,
+    /// Jobs in the exported store.
+    pub jobs: u64,
+    /// Transfer records in the exported store.
+    pub transfers: u64,
+}
+
+/// Flatten one campaign to its sweep metrics.
+pub fn cell_metrics(
+    store: &MetaStore,
+    window: Interval,
+    path: TransferPathStats,
+    health: Option<&HealthSummary>,
+) -> CellMetrics {
+    let r = exclusion_report(store, window, path, health);
+    let (jobs, _, transfers, _) = store.counts();
+    CellMetrics {
+        exhausted: r.path.exhausted,
+        failed_attempts: r.path.failed_attempts,
+        delivered: r.path.delivered,
+        requests: r.path.requests,
+        retry_delay_secs: r.retry_delay_total_secs,
+        excluded_hours: r.excluded_site_hours + r.excluded_link_hours,
+        trips: r.trips,
+        jobs: jobs as u64,
+        transfers: transfers as u64,
+    }
+}
+
+/// Statistics over every cell sharing one `(axis, value)` knob.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnobGroup {
+    /// Axis name, e.g. `fail_prob`.
+    pub axis: String,
+    /// Axis value, e.g. `0.15`.
+    pub value: String,
+    /// Cells in the group.
+    pub n_cells: usize,
+    pub exhausted: Summary,
+    pub failed_attempts: Summary,
+    pub retry_delay_secs: Summary,
+    pub excluded_hours: Summary,
+}
+
+/// Group cells by every knob they carry and summarize each group.
+/// Rows come out in first-seen knob order (grid expansion order), so the
+/// aggregation is as deterministic as the grid itself. Cells that failed
+/// (and therefore have no metrics) are simply absent from `cells`.
+pub fn aggregate(cells: &[(Vec<(String, String)>, CellMetrics)]) -> Vec<KnobGroup> {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (knobs, _) in cells {
+        for k in knobs {
+            if !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+    }
+    keys.iter()
+        .map(|(axis, value)| {
+            let group: Vec<&CellMetrics> = cells
+                .iter()
+                .filter(|(knobs, _)| knobs.iter().any(|(a, v)| a == axis && v == value))
+                .map(|(_, m)| m)
+                .collect();
+            let col = |f: &dyn Fn(&CellMetrics) -> f64| -> Summary {
+                let xs: Vec<f64> = group.iter().map(|m| f(m)).collect();
+                Summary::of(&xs).expect("knob groups are non-empty by construction")
+            };
+            KnobGroup {
+                axis: axis.clone(),
+                value: value.clone(),
+                n_cells: group.len(),
+                exhausted: col(&|m| m.exhausted as f64),
+                failed_attempts: col(&|m| m.failed_attempts as f64),
+                retry_delay_secs: col(&|m| m.retry_delay_secs),
+                excluded_hours: col(&|m| m.excluded_hours),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(exhausted: u64, delay: f64, excluded: f64) -> CellMetrics {
+        CellMetrics {
+            exhausted,
+            failed_attempts: exhausted * 3,
+            delivered: 100,
+            requests: 100 + exhausted,
+            retry_delay_secs: delay,
+            excluded_hours: excluded,
+            trips: 0,
+            jobs: 50,
+            transfers: 200,
+        }
+    }
+
+    fn knobs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, v)| (a.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_groups_by_every_knob_and_summarizes() {
+        let cells = vec![
+            (
+                knobs(&[("seed", "1"), ("breaker", "off")]),
+                m(10, 100.0, 0.0),
+            ),
+            (
+                knobs(&[("seed", "2"), ("breaker", "off")]),
+                m(14, 140.0, 0.0),
+            ),
+            (knobs(&[("seed", "1"), ("breaker", "adp")]), m(4, 40.0, 6.0)),
+            (knobs(&[("seed", "2"), ("breaker", "adp")]), m(6, 60.0, 8.0)),
+        ];
+        let rows = aggregate(&cells);
+        // 2 seed values + 2 breaker values.
+        assert_eq!(rows.len(), 4);
+        let off = rows
+            .iter()
+            .find(|r| r.axis == "breaker" && r.value == "off")
+            .unwrap();
+        assert_eq!(off.n_cells, 2);
+        assert_eq!(off.exhausted.mean, 12.0);
+        assert_eq!(off.excluded_hours.mean, 0.0);
+        let adp = rows
+            .iter()
+            .find(|r| r.axis == "breaker" && r.value == "adp")
+            .unwrap();
+        assert_eq!(adp.exhausted.mean, 5.0);
+        assert!(adp.excluded_hours.mean > 0.0);
+        // CI brackets the mean.
+        assert!(adp.exhausted.ci95_lo <= adp.exhausted.mean);
+        assert!(adp.exhausted.ci95_hi >= adp.exhausted.mean);
+        // Knob order is first-seen: seed=1 row precedes breaker=adp row.
+        assert_eq!(rows[0].axis, "seed");
+        assert_eq!(rows[0].value, "1");
+    }
+
+    #[test]
+    fn failed_cells_simply_shrink_the_groups() {
+        let cells = vec![
+            (knobs(&[("seed", "1"), ("breaker", "off")]), m(10, 0.0, 0.0)),
+            (knobs(&[("seed", "1"), ("breaker", "adp")]), m(2, 0.0, 1.0)),
+        ];
+        let rows = aggregate(&cells);
+        let seed1 = rows.iter().find(|r| r.axis == "seed").unwrap();
+        assert_eq!(seed1.n_cells, 2);
+        let off = rows
+            .iter()
+            .find(|r| r.axis == "breaker" && r.value == "off")
+            .unwrap();
+        assert_eq!(off.n_cells, 1);
+        // Single-cell group: degenerate but well-defined CI.
+        assert_eq!(off.exhausted.ci95_lo, off.exhausted.mean);
+    }
+}

@@ -111,7 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let report = sim_report::SimReport {
         presets: results,
-        peak_rss_bytes: rss::peak_rss_bytes().unwrap_or(0),
+        peak_rss_bytes: rss::peak_rss_bytes(),
     };
     let json = report.to_json();
     if out == "-" {

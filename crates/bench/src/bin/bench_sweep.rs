@@ -1,0 +1,184 @@
+//! Emit the tracked sweep-throughput baseline (`BENCH_sweep.json`).
+//!
+//! ```text
+//! cargo run --release -p dmsa-bench --bin bench_sweep -- \
+//!     [--scale F] [--seeds 1,7] [--fail-probs 0.05,0.12,0.2] \
+//!     [--breakers off,adaptive,adaptive:600] \
+//!     [--duration 96h] [--warm-start-at 88h] [--jobs N] [--out FILE|-]
+//! ```
+//!
+//! Runs one ablation grid (default 2 seeds × 3 fault rates × 3 breaker
+//! settings = 18 cells on the `8day-faulty` preset — the paper's
+//! 111-site topology with the fault model armed) twice: sequentially from
+//! cold starts (`--jobs 1`, no warm start), then with the full sweep
+//! machinery — worker pool plus shared warm-start prefixes, each cell
+//! continuing from a clone of the live prefix state. Cells that share a
+//! `(preset, seed)` base pay the `[0, warm-start-at)` prefix once in
+//! the warm leg, so the speedup holds even on a single core.
+//!
+//! The headline legs run metrics-only (`write_cell_exports: false`):
+//! per-cell export serialization + file IO is an identical additive
+//! term in both legs (the exports are pinned byte-identical by the
+//! sweep's tests), so timing it would measure the disk, not the
+//! machinery. The same pair of legs is then re-run end-to-end with
+//! exports written; both wall clocks land in the report
+//! (`speedup` vs `end_to_end.speedup`).
+//!
+//! The run *fails* if any cell is quarantined in any leg — a tracked
+//! baseline must measure a fully healthy fleet.
+
+use dmsa_bench::{json_opt_u64, rss, safe_ratio};
+use dmsa_cli::run::parse_sim_duration;
+use dmsa_cli::sweep::{parse_breakers, parse_fail_probs, parse_seeds, run_sweep, SweepOpts};
+use dmsa_scenario::{PresetAxis, ScenarioConfig, SweepGrid};
+use dmsa_simcore::SimDuration;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_sweep [--scale F] [--seeds N,N] [--fail-probs F,F] \
+                 [--breakers L,L] [--duration DUR] [--warm-start-at DUR] [--jobs N] \
+                 [--out FILE|-]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = 0.01f64;
+    let mut seeds = "1,7".to_string();
+    let mut fail_probs = "0.05,0.12,0.2".to_string();
+    let mut breakers = "off,adaptive,adaptive:600".to_string();
+    let mut duration = SimDuration::from_hours(96);
+    let mut warm_start_at = SimDuration::from_hours(88);
+    let mut jobs = 0usize;
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--scale" => scale = value.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--seeds" => seeds = value.clone(),
+            "--fail-probs" => fail_probs = value.clone(),
+            "--breakers" => breakers = value.clone(),
+            "--duration" => duration = parse_sim_duration(value)?,
+            "--warm-start-at" => warm_start_at = parse_sim_duration(value)?,
+            "--jobs" => jobs = value.parse().map_err(|e| format!("bad --jobs: {e}"))?,
+            "--out" => out = value.clone(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+
+    if warm_start_at >= duration {
+        return Err(format!(
+            "--warm-start-at ({warm_start_at}) must fall inside --duration ({duration})"
+        ));
+    }
+    // The paper-scale topology at a small workload scale: per-event
+    // loop work (brokerage + replica scans) is O(sites) and the site
+    // count does not shrink with `scale`, so the event loop — the part
+    // a warm start skips — dominates each cell.
+    let base = ScenarioConfig {
+        duration,
+        ..ScenarioConfig::paper_8day_faulty(scale)
+    };
+    let grid = SweepGrid {
+        presets: vec![PresetAxis {
+            name: "8day-faulty".into(),
+            base,
+        }],
+        seeds: parse_seeds(&seeds)?,
+        fail_probs: parse_fail_probs(&fail_probs)?,
+        breakers: parse_breakers(&breakers)?,
+    };
+    let n_cells = grid.n_cells();
+    let scratch = std::env::temp_dir().join(format!("dmsa-bench-sweep-{}", std::process::id()));
+    let leg = |tag: &str, opts: &SweepOpts| -> Result<f64, String> {
+        let outcome = run_sweep(&grid, opts)?;
+        if outcome.n_failed() > 0 {
+            return Err(format!(
+                "{tag} leg quarantined {} cell(s); a tracked baseline needs a healthy fleet",
+                outcome.n_failed()
+            ));
+        }
+        eprintln!(
+            "  {tag}: {} cells in {:.2} s ({:.2} cells/s)",
+            n_cells,
+            outcome.wall_s,
+            outcome.cells_per_s()
+        );
+        Ok(outcome.wall_s)
+    };
+    let cold_opts = |dir: &str, exports: bool| SweepOpts {
+        jobs: 1,
+        warm_start_at: None,
+        out_dir: scratch.join(dir),
+        write_cell_exports: exports,
+    };
+    let warm_opts = |dir: &str, exports: bool| SweepOpts {
+        jobs,
+        warm_start_at: Some(warm_start_at),
+        out_dir: scratch.join(dir),
+        write_cell_exports: exports,
+    };
+
+    eprintln!("sweep grid: {n_cells} cells (8day-faulty preset, scale {scale}), compute-only legs");
+    let cold_wall = leg("sequential cold", &cold_opts("cold", false))?;
+    let warm_wall = leg("warm + parallel", &warm_opts("warm", false))?;
+    eprintln!("end-to-end legs (cell exports written)");
+    let e2e_cold_wall = leg("sequential cold", &cold_opts("cold-e2e", true))?;
+    let e2e_warm_wall = leg("warm + parallel", &warm_opts("warm-e2e", true))?;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let speedup = safe_ratio(cold_wall, warm_wall);
+    let e2e_speedup = safe_ratio(e2e_cold_wall, e2e_warm_wall);
+    eprintln!("  speedup: {speedup:.2}x compute, {e2e_speedup:.2}x end-to-end");
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"grid\": {{\"preset\": \"8day-faulty\", \"scale\": {scale}, \"seeds\": {}, \
+         \"fail_probs\": {}, \"breakers\": {}, \"n_cells\": {}}},\n",
+        grid.seeds.len(),
+        grid.fail_probs.len(),
+        grid.breakers.len(),
+        n_cells
+    ));
+    json.push_str(&format!(
+        "  \"duration_ms\": {},\n  \"warm_start_at_ms\": {},\n  \"jobs\": {},\n",
+        duration.as_millis(),
+        warm_start_at.as_millis(),
+        jobs
+    ));
+    json.push_str(&format!(
+        "  \"sequential_cold_wall_s\": {cold_wall:.3},\n  \"warm_parallel_wall_s\": {warm_wall:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"cold_cells_per_s\": {:.3},\n  \"warm_cells_per_s\": {:.3},\n",
+        safe_ratio(n_cells as f64, cold_wall),
+        safe_ratio(n_cells as f64, warm_wall)
+    ));
+    json.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    json.push_str(&format!(
+        "  \"end_to_end\": {{\"sequential_cold_wall_s\": {e2e_cold_wall:.3}, \
+         \"warm_parallel_wall_s\": {e2e_warm_wall:.3}, \"speedup\": {e2e_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {}\n}}\n",
+        json_opt_u64(rss::peak_rss_bytes())
+    ));
+    if out == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}

@@ -75,6 +75,24 @@ impl ReproContext {
     }
 }
 
+/// `num / den` with the denominator clamped away from zero. Every
+/// throughput and speedup ratio in the tracked baselines goes through
+/// this one helper: the JSON writers are hand-rolled, and a naked
+/// division by a sub-resolution wall clock would put `inf`/`NaN` in a
+/// tracked file — which is not even valid JSON.
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    num / den.max(1e-9)
+}
+
+/// Render an optional byte count for a tracked-JSON writer: `null` when
+/// the measurement is unavailable, never a fake `0`.
+pub fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
 /// Human-readable formatting used by the repro binary's tables.
 pub mod fmt {
     /// Format bytes with a binary-decimal mix matching the paper (PB/TB/GB).
@@ -113,8 +131,10 @@ pub mod rss {
     ///
     /// Reads `VmHWM` from `/proc/self/status` (Linux). On platforms
     /// without procfs this returns `None` and reports record the value
-    /// as 0 — the throughput numbers are the portable part of the
-    /// baseline, the memory figure is best-effort.
+    /// as JSON `null` — the throughput numbers are the portable part of
+    /// the baseline, the memory figure is best-effort, and an honest
+    /// absence beats a fake `0` that cross-run comparisons would read
+    /// as "memory regressed to nothing".
     pub fn peak_rss_bytes() -> Option<u64> {
         let status = std::fs::read_to_string("/proc/self/status").ok()?;
         for line in status.lines() {
@@ -180,8 +200,10 @@ pub mod sim_report {
     pub struct SimReport {
         /// Per-preset measurements.
         pub presets: Vec<PresetResult>,
-        /// Peak RSS after all runs (0 when unavailable).
-        pub peak_rss_bytes: u64,
+        /// Peak RSS after all runs (`None` when the platform cannot
+        /// measure it; written as JSON `null`, and cross-run comparisons
+        /// skip the memory column rather than diff against a fake 0).
+        pub peak_rss_bytes: Option<u64>,
     }
 
     fn timed_run(config: &ScenarioConfig, backend: QueueBackend) -> (Campaign, f64) {
@@ -199,14 +221,14 @@ pub mod sim_report {
     ) -> PresetResult {
         let (campaign, wall_s) = timed_run(config, QueueBackend::Calendar);
         let events = campaign.events_processed;
-        let events_per_s = events as f64 / wall_s.max(1e-9);
+        let events_per_s = crate::safe_ratio(events as f64, wall_s);
         let heap = compare_heap.then(|| {
             let (hc, heap_wall) = timed_run(config, QueueBackend::BinaryHeap);
-            let heap_eps = hc.events_processed as f64 / heap_wall.max(1e-9);
+            let heap_eps = crate::safe_ratio(hc.events_processed as f64, heap_wall);
             HeapLeg {
                 wall_s: heap_wall,
                 events_per_s: heap_eps,
-                speedup: events_per_s / heap_eps.max(1e-9),
+                speedup: crate::safe_ratio(events_per_s, heap_eps),
                 exports_identical: hc.events_processed == events && hc.store == campaign.store,
             }
         });
@@ -254,7 +276,7 @@ pub mod sim_report {
             }
             out.push_str(&format!(
                 "  ],\n  \"peak_rss_bytes\": {}\n}}\n",
-                self.peak_rss_bytes
+                crate::json_opt_u64(self.peak_rss_bytes)
             ));
             out
         }
@@ -304,8 +326,9 @@ pub mod report {
         /// Shared-index pass over all three methods, build included once
         /// (milliseconds) — the number the tentpole optimizes.
         pub shared_all_methods_ms: f64,
-        /// Peak RSS when the measurement finished (0 when unavailable).
-        pub peak_rss_bytes: u64,
+        /// Peak RSS when the measurement finished (`None` when the
+        /// platform cannot measure it; written as JSON `null`).
+        pub peak_rss_bytes: Option<u64>,
         /// Per-engine timings.
         pub engines: Vec<EngineTiming>,
     }
@@ -343,7 +366,7 @@ pub mod report {
                     engine,
                     method: label,
                     millis,
-                    jobs_per_s: universe as f64 / (millis / 1e3).max(1e-9),
+                    jobs_per_s: crate::safe_ratio(universe as f64, millis / 1e3),
                     matched_jobs,
                 });
             };
@@ -377,7 +400,7 @@ pub mod report {
             universe,
             build_ms,
             shared_all_methods_ms,
-            peak_rss_bytes: crate::rss::peak_rss_bytes().unwrap_or(0),
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
             engines,
         }
     }
@@ -395,7 +418,10 @@ pub mod report {
                 "  \"shared_all_methods_ms\": {:.3},\n",
                 self.shared_all_methods_ms
             ));
-            out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+            out.push_str(&format!(
+                "  \"peak_rss_bytes\": {},\n",
+                crate::json_opt_u64(self.peak_rss_bytes)
+            ));
             out.push_str("  \"engines\": [\n");
             for (i, e) in self.engines.iter().enumerate() {
                 let sep = if i + 1 == self.engines.len() { "" } else { "," };
@@ -475,6 +501,60 @@ mod tests {
                 "engines disagree under {method}: {counts:?}"
             );
         }
+    }
+
+    #[test]
+    fn safe_ratio_is_always_finite() {
+        assert!(safe_ratio(1e9, 0.0).is_finite());
+        assert!(safe_ratio(0.0, 0.0).is_finite());
+        assert_eq!(safe_ratio(10.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn unmeasurable_rss_is_null_not_zero() {
+        assert_eq!(json_opt_u64(None), "null");
+        assert_eq!(json_opt_u64(Some(123)), "123");
+        let r = sim_report::SimReport {
+            presets: vec![],
+            peak_rss_bytes: None,
+        };
+        assert!(r.to_json().contains("\"peak_rss_bytes\": null"));
+        let campaign = dmsa_scenario::run(&ScenarioConfig::small());
+        let mut m = report::measure(&campaign, 1.0, false);
+        m.peak_rss_bytes = None;
+        assert!(m.to_json().contains("\"peak_rss_bytes\": null"));
+        assert!(!m.to_json().contains("\"peak_rss_bytes\": 0"));
+    }
+
+    #[test]
+    fn zero_wall_clock_still_emits_valid_json() {
+        // A sub-resolution wall clock exercises every clamped ratio; the
+        // hand-rolled writer must never see inf/NaN.
+        let leg = sim_report::HeapLeg {
+            wall_s: 0.0,
+            events_per_s: safe_ratio(1e6, 0.0),
+            speedup: safe_ratio(safe_ratio(1e6, 0.0), safe_ratio(1e6, 0.0)),
+            exports_identical: true,
+        };
+        let r = sim_report::SimReport {
+            presets: vec![sim_report::PresetResult {
+                name: "degenerate",
+                scale: 0.0,
+                seed: 1,
+                events: 1_000_000,
+                jobs: 0,
+                transfers: 0,
+                wall_s: 0.0,
+                events_per_s: safe_ratio(1e6, 0.0),
+                heap: Some(leg),
+            }],
+            peak_rss_bytes: None,
+        };
+        let json = r.to_json();
+        for bad in ["inf", "NaN", "nan"] {
+            assert!(!json.contains(bad), "{bad} leaked into {json}");
+        }
+        assert!(json.contains("\"speedup\": 1.00"));
     }
 
     #[test]

@@ -14,9 +14,13 @@
 
 use dmsa_cli::atomic::write_atomic;
 use dmsa_cli::run::{
-    analyze, compare_methods, parse_sim_duration, run_match, simulate, CheckpointKnobs,
-    EngineChoice, FaultKnobs, HealthKnobs, MatcherChoice,
+    analyze, compare_methods, parse_sim_duration, preset_config, run_match, simulate,
+    CheckpointKnobs, EngineChoice, FaultKnobs, HealthKnobs, MatcherChoice,
 };
+use dmsa_cli::sweep::{
+    human_report, parse_breakers, parse_fail_probs, parse_seeds, run_sweep, SweepOpts,
+};
+use dmsa_scenario::{PresetAxis, SweepGrid};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -25,7 +29,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -36,14 +40,21 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dmsa simulate --preset 8day|92day|small|faulty|faulty-adaptive
+  dmsa simulate --preset 8day|92day|small|faulty|faulty-adaptive|8day-faulty
                 [--scale F] [--seed N]
                 [--fail-prob F] [--site-outage F] [--link-outage F]
                 [--max-retries N]
                 [--adaptive-exclusion] [--breaker-failure-rate F]
                 [--breaker-consecutive N] [--breaker-cooldown SECS]
                 [--checkpoint-dir DIR] [--checkpoint-every 6h] [--resume]
+                [--fork-at DUR]
                 [--out FILE]
+  dmsa sweep    --out-dir DIR
+                [--presets faulty,8day-faulty] [--scale F]
+                [--seeds 1,7] [--fail-probs 0.05,0.2]
+                [--breakers off,adaptive,adaptive:SECS]
+                [--warm-start-at 10h] [--jobs N]
+                (exit 3 = partial success: some cells quarantined)
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
   dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
@@ -97,7 +108,7 @@ fn read_lossy(path: &str) -> Result<String, String> {
         .map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no subcommand".into());
     };
@@ -174,8 +185,67 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             if (ckpt.resume || f.contains_key("checkpoint-every")) && ckpt.dir.is_none() {
                 return Err("--resume/--checkpoint-every need --checkpoint-dir".into());
             }
-            let json = simulate(preset, scale, seed, knobs, health, &ckpt)?;
-            write_or_print("out", &json)
+            let fork_at = f
+                .get("fork-at")
+                .map(|s| parse_sim_duration(s))
+                .transpose()?;
+            let json = simulate(preset, scale, seed, knobs, health, &ckpt, fork_at)?;
+            write_or_print("out", &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "sweep" => {
+            let out_dir = f
+                .get("out-dir")
+                .ok_or_else(|| "--out-dir is required".to_string())?;
+            let scale: f64 = f
+                .get("scale")
+                .map(|s| s.parse().map_err(|e| format!("bad --scale: {e}")))
+                .transpose()?
+                .unwrap_or(0.02);
+            let presets = f
+                .get("presets")
+                .copied()
+                .unwrap_or("faulty")
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|name| {
+                    Ok(PresetAxis {
+                        name: name.to_string(),
+                        base: preset_config(name, scale, 0)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let grid = SweepGrid {
+                presets,
+                seeds: parse_seeds(f.get("seeds").copied().unwrap_or("42"))?,
+                fail_probs: parse_fail_probs(f.get("fail-probs").copied().unwrap_or(""))?,
+                breakers: parse_breakers(f.get("breakers").copied().unwrap_or(""))?,
+            };
+            let opts = SweepOpts {
+                jobs: f
+                    .get("jobs")
+                    .map(|s| s.parse().map_err(|e| format!("bad --jobs: {e}")))
+                    .transpose()?
+                    .unwrap_or(0),
+                warm_start_at: f
+                    .get("warm-start-at")
+                    .map(|s| parse_sim_duration(s))
+                    .transpose()?,
+                out_dir: PathBuf::from(out_dir),
+                write_cell_exports: true,
+            };
+            let outcome = run_sweep(&grid, &opts)?;
+            print_stdout(&human_report(&outcome))?;
+            eprintln!(
+                "wrote {} cell exports + sweep_summary.json to {out_dir}",
+                outcome.cells.len() - outcome.n_failed()
+            );
+            if outcome.n_failed() > 0 {
+                Ok(ExitCode::from(3))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
         }
         "match" => {
             let campaign = read("campaign")?;
@@ -183,7 +253,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let engine = EngineChoice::parse(f.get("engine").copied().unwrap_or("prepared"))?;
             let (json, stats) = run_match(&campaign, method, engine)?;
             eprintln!("{stats}");
-            write_or_print("out", &json)
+            write_or_print("out", &json)?;
+            Ok(ExitCode::SUCCESS)
         }
         "analyze" => {
             let campaign = read("campaign")?;
@@ -200,11 +271,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 report,
                 f.contains_key("quarantine-report"),
                 &mut std::io::stdout().lock(),
-            )
+            )?;
+            Ok(ExitCode::SUCCESS)
         }
         "compare" => {
             let campaign = read("campaign")?;
-            print_stdout(&compare_methods(&campaign)?)
+            print_stdout(&compare_methods(&campaign)?)?;
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }

@@ -24,5 +24,6 @@ pub mod checkpoint;
 pub mod export;
 pub mod json;
 pub mod run;
+pub mod sweep;
 
 pub use export::CampaignExport;

@@ -218,7 +218,33 @@ pub fn parse_sim_duration(s: &str) -> Result<SimDuration, String> {
     }
 }
 
+/// Resolve a preset name to its seeded base config at `scale` — the
+/// config a warm-started run shares with its siblings, before any knob
+/// overrides.
+pub fn preset_config(preset: &str, scale: f64, seed: u64) -> Result<ScenarioConfig, String> {
+    let mut config = match preset {
+        "8day" => ScenarioConfig::paper_8day(scale),
+        "92day" => ScenarioConfig::paper_92day(scale),
+        "small" => ScenarioConfig::small(),
+        "faulty" => ScenarioConfig::small_faulty(),
+        "faulty-adaptive" | "faulty_adaptive" => ScenarioConfig::faulty_adaptive(),
+        "8day-faulty" | "8day_faulty" => ScenarioConfig::paper_8day_faulty(scale),
+        other => {
+            return Err(format!(
+                "unknown preset {other:?} (8day|92day|small|faulty|faulty-adaptive|8day-faulty)"
+            ))
+        }
+    };
+    config.seed = seed;
+    Ok(config)
+}
+
 /// `dmsa simulate`: run a preset campaign and return its JSON export.
+///
+/// With `fork_at` set, the run reproduces a sweep's warm-started cell:
+/// the `[0, fork_at)` prefix runs under the *base* config (preset +
+/// seed, knobs not yet applied) and the knobs take effect from the
+/// divergence time — byte-identical to the corresponding sweep cell.
 pub fn simulate(
     preset: &str,
     scale: f64,
@@ -226,23 +252,25 @@ pub fn simulate(
     faults: FaultKnobs,
     health: HealthKnobs,
     ckpt: &CheckpointKnobs,
+    fork_at: Option<SimDuration>,
 ) -> Result<String, String> {
-    let mut config = match preset {
-        "8day" => ScenarioConfig::paper_8day(scale),
-        "92day" => ScenarioConfig::paper_92day(scale),
-        "small" => ScenarioConfig::small(),
-        "faulty" => ScenarioConfig::small_faulty(),
-        "faulty-adaptive" | "faulty_adaptive" => ScenarioConfig::faulty_adaptive(),
-        other => {
-            return Err(format!(
-                "unknown preset {other:?} (8day|92day|small|faulty|faulty-adaptive)"
-            ))
-        }
-    };
-    config.seed = seed;
+    let base = preset_config(preset, scale, seed)?;
+    let mut config = base.clone();
     faults.apply(&mut config);
     health.apply(&mut config);
-    let campaign = run_with_checkpoints(&config, ckpt, &mut |line| eprintln!("{line}"))?;
+    let campaign = match fork_at {
+        Some(at) => {
+            if ckpt.dir.is_some() {
+                return Err(
+                    "--fork-at cannot be combined with --checkpoint-dir (a forked run \
+                     replays a fresh prefix; resume it from the sweep instead)"
+                        .into(),
+                );
+            }
+            dmsa_scenario::run_forked(&base, &config, SimTime::EPOCH + at)?
+        }
+        None => run_with_checkpoints(&config, ckpt, &mut |line| eprintln!("{line}"))?,
+    };
     Ok(CampaignExport::from_campaign(&campaign).to_json())
 }
 
@@ -743,8 +771,55 @@ mod tests {
             FaultKnobs::default(),
             HealthKnobs::default(),
             &CheckpointKnobs::default(),
+            None,
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn forked_simulate_with_unchanged_knobs_matches_a_plain_run() {
+        // With no knob overrides, forking at T replays the same campaign:
+        // prefix and suffix run under the identical config.
+        let plain = simulate(
+            "faulty",
+            1.0,
+            11,
+            FaultKnobs::default(),
+            HealthKnobs::default(),
+            &CheckpointKnobs::default(),
+            None,
+        )
+        .unwrap();
+        let forked = simulate(
+            "faulty",
+            1.0,
+            11,
+            FaultKnobs::default(),
+            HealthKnobs::default(),
+            &CheckpointKnobs::default(),
+            Some(SimDuration::from_hours(6)),
+        )
+        .unwrap();
+        assert_eq!(plain, forked);
+    }
+
+    #[test]
+    fn forked_simulate_refuses_checkpoint_dir() {
+        let ckpt = CheckpointKnobs {
+            dir: Some(std::env::temp_dir().join("dmsa-fork-ckpt-refused")),
+            ..CheckpointKnobs::default()
+        };
+        let r = simulate(
+            "faulty",
+            1.0,
+            1,
+            FaultKnobs::default(),
+            HealthKnobs::default(),
+            &ckpt,
+            Some(SimDuration::from_hours(1)),
+        );
+        let err = r.unwrap_err();
+        assert!(err.contains("--fork-at"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! `dmsa sweep`: a parallel ablation-fleet runner.
+//!
+//! Expands a config grid ([`dmsa_scenario::SweepGrid`]: presets × seeds
+//! × fault rates × breaker settings), runs every cell deterministically
+//! across a capped worker pool, and aggregates the per-cell campaigns
+//! into one machine-readable `sweep_summary.json` plus a human report.
+//!
+//! Three properties the tests pin:
+//!
+//! * **Byte-identity** — every cell's export equals a standalone
+//!   `dmsa simulate` with the same config/seed. Warm-started cells fork
+//!   from a shared prefix, which equals `dmsa simulate --fork-at` of
+//!   the same `(base, cell)` pair.
+//! * **Warm-start sharing** — cells agreeing on `(preset, seed)` pay
+//!   the `[0, warm_start_at)` prefix once, via
+//!   [`dmsa_scenario::shared_prefix`]; each cell then continues from a
+//!   memcpy-scale clone of the live prefix state
+//!   ([`dmsa_scenario::SharedPrefix::fork`]) rather than re-decoding a
+//!   byte snapshot per cell.
+//! * **Failure isolation** — one panicking cell is quarantined (its row
+//!   records the panic, the summary counts it, the exit code reflects
+//!   partial success); the rest of the fleet completes.
+
+use crate::atomic::write_atomic;
+use crate::export::CampaignExport;
+use dmsa_analysis::sweep::{aggregate, cell_metrics, CellMetrics, KnobGroup};
+use dmsa_scenario::{BreakerSetting, Campaign, GridCell, SharedPrefix, SweepGrid};
+use dmsa_simcore::stats::Summary;
+use dmsa_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema tag written into `sweep_summary.json`.
+pub const SWEEP_SCHEMA: &str = "dmsa-sweep-summary-v1";
+
+/// Sweep execution knobs.
+#[derive(Clone, Debug)]
+pub struct SweepOpts {
+    /// Worker-pool cap (`--jobs`); 0 means one worker per available core.
+    pub jobs: usize,
+    /// Warm-start divergence time (`--warm-start-at`): cells sharing a
+    /// `(preset, seed)` base pay the `[0, at)` prefix once. `None` runs
+    /// every cell cold from t=0.
+    pub warm_start_at: Option<SimDuration>,
+    /// Directory receiving `cell-<label>.json` exports and
+    /// `sweep_summary.json`.
+    pub out_dir: PathBuf,
+    /// Write the per-cell campaign exports (the default). `false` keeps
+    /// only the aggregated summary — metrics are computed straight from
+    /// each in-memory campaign — which `bench_sweep` uses to time fleet
+    /// compute without the export serialization/IO term (identical in
+    /// every mode, and pinned byte-identical by the sweep tests).
+    pub write_cell_exports: bool,
+}
+
+/// What happened to one cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    pub label: String,
+    pub seed: u64,
+    pub knobs: Vec<(String, String)>,
+    pub warm_started: bool,
+    /// Wall-clock seconds this cell took (run + export + write).
+    pub wall_s: f64,
+    /// Metrics on success; the panic/error message on failure.
+    pub result: Result<CellMetrics, String>,
+    /// Export file name (relative to the out dir), when written.
+    pub export_file: Option<String>,
+}
+
+/// The whole fleet's outcome.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    pub cells: Vec<CellOutcome>,
+    /// Per-knob aggregation rows over the successful cells.
+    pub rows: Vec<KnobGroup>,
+    pub wall_s: f64,
+    pub jobs: usize,
+    pub warm_start_at: Option<SimDuration>,
+}
+
+impl SweepOutcome {
+    pub fn n_failed(&self) -> usize {
+        self.cells.iter().filter(|c| c.result.is_err()).count()
+    }
+
+    /// Throughput over the whole fleet; denominator clamped so a
+    /// sub-resolution wall clock can never put `inf` in the JSON.
+    pub fn cells_per_s(&self) -> f64 {
+        safe_ratio(self.cells.len() as f64, self.wall_s)
+    }
+}
+
+/// `num / den` with the denominator clamped away from zero — the one
+/// ratio guard every tracked-JSON number goes through, so hand-rolled
+/// writers never see `inf`/`NaN`.
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    num / den.max(1e-9)
+}
+
+/// Split a `--seeds`-style comma list, ignoring blanks.
+fn split_list(s: &str) -> impl Iterator<Item = &str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty())
+}
+
+/// Parse a `--seeds 1,7,42` axis.
+pub fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
+    split_list(s)
+        .map(|t| t.parse().map_err(|e| format!("bad seed {t:?}: {e}")))
+        .collect()
+}
+
+/// Parse a `--fail-probs 0.05,0.2` axis.
+pub fn parse_fail_probs(s: &str) -> Result<Vec<f64>, String> {
+    split_list(s)
+        .map(|t| match t.parse::<f64>() {
+            Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
+            _ => Err(format!("bad fail probability {t:?} (want 0..=1)")),
+        })
+        .collect()
+}
+
+/// Parse a `--breakers off,adaptive,adaptive:600` axis — `adaptive:SECS`
+/// overrides the open-state cooldown.
+pub fn parse_breakers(s: &str) -> Result<Vec<BreakerSetting>, String> {
+    split_list(s)
+        .map(|t| match t {
+            "off" => Ok(BreakerSetting::Off),
+            "adaptive" => Ok(BreakerSetting::Adaptive {
+                cooldown_secs: None,
+            }),
+            other => match other.strip_prefix("adaptive:") {
+                Some(secs) => match secs.parse::<i64>() {
+                    Ok(s) if s > 0 => Ok(BreakerSetting::Adaptive {
+                        cooldown_secs: Some(s),
+                    }),
+                    _ => Err(format!(
+                        "bad breaker cooldown {secs:?} (want positive secs)"
+                    )),
+                },
+                None => Err(format!(
+                    "bad breaker {other:?} (off | adaptive | adaptive:SECS)"
+                )),
+            },
+        })
+        .collect()
+}
+
+/// Runs one cell to a campaign; `prefix` is the shared warm-start state
+/// when the sweep runs warm. Injectable so tests can make a specific
+/// cell panic and watch the fleet survive.
+pub type CellRunner = dyn Fn(&GridCell, Option<&SharedPrefix>) -> Result<Campaign, String> + Sync;
+
+/// The production runner: cold cells run from t=0, warm cells fork the
+/// shared prefix under the cell's (knob-applied) config.
+pub fn run_cell(cell: &GridCell, prefix: Option<&SharedPrefix>) -> Result<Campaign, String> {
+    match prefix {
+        None => Ok(dmsa_scenario::run(&cell.config)),
+        Some(p) => p.fork(&cell.config),
+    }
+}
+
+/// Run the fleet with the production cell runner.
+pub fn run_sweep(grid: &SweepGrid, opts: &SweepOpts) -> Result<SweepOutcome, String> {
+    run_sweep_with(grid, opts, &run_cell)
+}
+
+/// [`run_sweep`] with an injected cell runner (panic-isolation tests).
+pub fn run_sweep_with(
+    grid: &SweepGrid,
+    opts: &SweepOpts,
+    runner: &CellRunner,
+) -> Result<SweepOutcome, String> {
+    let cells = grid.expand()?;
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("creating {}: {e}", opts.out_dir.display()))?;
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.jobs
+    };
+    let t0 = Instant::now();
+
+    // Shared prefixes, one per distinct base config (= per (preset,
+    // seed) group), computed across the same worker pool. A panicking
+    // prefix poisons only its own group's cells.
+    let mut prefixes: HashMap<u64, Result<SharedPrefix, String>> = HashMap::new();
+    if let Some(at) = opts.warm_start_at {
+        let divergence = SimTime::EPOCH + at;
+        let mut groups: Vec<(u64, &GridCell)> = Vec::new();
+        for cell in &cells {
+            let key = cell.base.behavior_fingerprint();
+            if !groups.iter().any(|(k, _)| *k == key) {
+                groups.push((key, cell));
+            }
+        }
+        let snaps = run_pool(groups.len(), jobs, |i| {
+            catch_unwind(AssertUnwindSafe(|| {
+                dmsa_scenario::shared_prefix(&groups[i].1.base, divergence)
+            }))
+            .map_err(|p| {
+                format!(
+                    "prefix for {} panicked: {}",
+                    groups[i].1.label,
+                    panic_msg(&*p)
+                )
+            })
+        });
+        for ((key, _), snap) in groups.into_iter().zip(snaps) {
+            prefixes.insert(key, snap);
+        }
+    }
+
+    let outcomes = run_pool(cells.len(), jobs, |i| {
+        let cell = &cells[i];
+        let cell_t0 = Instant::now();
+        let prefix =
+            opts.warm_start_at
+                .map(|_| match &prefixes[&cell.base.behavior_fingerprint()] {
+                    Ok(p) => Ok(p),
+                    Err(e) => Err(format!("shared prefix unavailable: {e}")),
+                });
+        let result = run_one(cell, prefix, runner, opts);
+        CellOutcome {
+            label: cell.label.clone(),
+            seed: cell.seed,
+            knobs: cell.knobs.clone(),
+            warm_started: opts.warm_start_at.is_some(),
+            wall_s: cell_t0.elapsed().as_secs_f64(),
+            export_file: result
+                .as_ref()
+                .ok()
+                .filter(|_| opts.write_cell_exports)
+                .map(|_| export_file_name(&cell.label)),
+            result,
+        }
+    });
+
+    let ok: Vec<(Vec<(String, String)>, CellMetrics)> = outcomes
+        .iter()
+        .filter_map(|c| c.result.as_ref().ok().map(|m| (c.knobs.clone(), *m)))
+        .collect();
+    let outcome = SweepOutcome {
+        rows: aggregate(&ok),
+        cells: outcomes,
+        wall_s: t0.elapsed().as_secs_f64(),
+        jobs,
+        warm_start_at: opts.warm_start_at,
+    };
+
+    let summary_path = opts.out_dir.join("sweep_summary.json");
+    write_atomic(&summary_path, summary_json(&outcome).as_bytes())
+        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+    Ok(outcome)
+}
+
+/// One cell end-to-end: run (panics caught), metrics, and — unless the
+/// sweep is metrics-only — export + write.
+fn run_one(
+    cell: &GridCell,
+    prefix: Option<Result<&SharedPrefix, String>>,
+    runner: &CellRunner,
+    opts: &SweepOpts,
+) -> Result<CellMetrics, String> {
+    let prefix = prefix.transpose()?;
+    let campaign = catch_unwind(AssertUnwindSafe(|| runner(cell, prefix)))
+        .map_err(|p| format!("cell panicked: {}", panic_msg(&*p)))??;
+    let metrics = cell_metrics(
+        &campaign.store,
+        campaign.window,
+        campaign.path_stats,
+        campaign.health.as_ref(),
+    );
+    if opts.write_cell_exports {
+        let export = CampaignExport::from_campaign(&campaign);
+        let path = opts.out_dir.join(export_file_name(&cell.label));
+        write_atomic(&path, export.to_json().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(metrics)
+}
+
+fn export_file_name(label: &str) -> String {
+    format!("cell-{label}.json")
+}
+
+/// Fixed-size worker pool over indices `0..n`: `jobs` threads pull the
+/// next index from a shared counter. Results land in input order, so
+/// downstream output is deterministic regardless of scheduling. `f`
+/// must not panic (cell panics are caught inside it).
+fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(n: usize, jobs: usize, f: F) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("pool filled every slot")
+        })
+        .collect()
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// A float for hand-rolled JSON: plain decimal, never `inf`/`NaN`
+/// (non-finite values — which no guarded ratio should produce — render
+/// as `null` rather than corrupting the document).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    o.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\t' => o.push_str("\\t"),
+            '\r' => o.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(o, "\\u{:04x}", c as u32);
+            }
+            c => o.push(c),
+        }
+    }
+    o.push('"');
+    o
+}
+
+fn summary_obj(s: &Summary) -> String {
+    format!(
+        "{{\"n\":{},\"mean\":{},\"sd\":{},\"p50\":{},\"p95\":{},\"ci95_lo\":{},\"ci95_hi\":{}}}",
+        s.n,
+        json_f64(s.mean),
+        json_f64(s.sd),
+        json_f64(s.p50),
+        json_f64(s.p95),
+        json_f64(s.ci95_lo),
+        json_f64(s.ci95_hi),
+    )
+}
+
+/// The machine-readable `sweep_summary.json`: stable key order, flat
+/// enough to diff, floats guarded. Layout:
+/// `{schema, n_cells, n_failed, jobs, warm_start_at_ms, wall_s,
+/// cells_per_s, cells: [...], knob_rows: [...]}`.
+pub fn summary_json(o: &SweepOutcome) -> String {
+    let mut out = String::with_capacity(1024 + o.cells.len() * 256);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"schema\":{},\"n_cells\":{},\"n_failed\":{},\"jobs\":{}",
+        json_str(SWEEP_SCHEMA),
+        o.cells.len(),
+        o.n_failed(),
+        o.jobs
+    );
+    match o.warm_start_at {
+        Some(at) => {
+            let _ = write!(out, ",\"warm_start_at_ms\":{}", at.as_millis());
+        }
+        None => out.push_str(",\"warm_start_at_ms\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"wall_s\":{},\"cells_per_s\":{}",
+        json_f64(o.wall_s),
+        json_f64(o.cells_per_s())
+    );
+    out.push_str(",\"cells\":[");
+    for (i, c) in o.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":{},\"seed\":{},\"warm_started\":{},\"wall_s\":{}",
+            json_str(&c.label),
+            c.seed,
+            c.warm_started,
+            json_f64(c.wall_s)
+        );
+        out.push_str(",\"knobs\":{");
+        for (k, (axis, value)) in c.knobs.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(axis), json_str(value));
+        }
+        out.push('}');
+        match &c.result {
+            Ok(m) => {
+                let _ = write!(
+                    out,
+                    ",\"ok\":true,\"error\":null,\"export\":{},\"exhausted\":{},\
+                     \"failed_attempts\":{},\"delivered\":{},\"requests\":{},\
+                     \"retry_delay_secs\":{},\"excluded_hours\":{},\"trips\":{},\
+                     \"jobs\":{},\"transfers\":{}",
+                    c.export_file
+                        .as_deref()
+                        .map_or_else(|| "null".into(), json_str),
+                    m.exhausted,
+                    m.failed_attempts,
+                    m.delivered,
+                    m.requests,
+                    json_f64(m.retry_delay_secs),
+                    json_f64(m.excluded_hours),
+                    m.trips,
+                    m.jobs,
+                    m.transfers
+                );
+            }
+            Err(e) => {
+                let _ = write!(
+                    out,
+                    ",\"ok\":false,\"error\":{},\"export\":null",
+                    json_str(e)
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("],\"knob_rows\":[");
+    for (i, r) in o.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"axis\":{},\"value\":{},\"n_cells\":{},\"exhausted\":{},\
+             \"failed_attempts\":{},\"retry_delay_secs\":{},\"excluded_hours\":{}}}",
+            json_str(&r.axis),
+            json_str(&r.value),
+            r.n_cells,
+            summary_obj(&r.exhausted),
+            summary_obj(&r.failed_attempts),
+            summary_obj(&r.retry_delay_secs),
+            summary_obj(&r.excluded_hours)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The human report printed after a sweep.
+pub fn human_report(o: &SweepOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: {} cells ({} failed) | {} workers | {:.2} s wall | {:.2} cells/s{}",
+        o.cells.len(),
+        o.n_failed(),
+        o.jobs,
+        o.wall_s,
+        o.cells_per_s(),
+        match o.warm_start_at {
+            Some(at) => format!(" | warm-started at {} h", at.as_millis() / 3_600_000),
+            None => " | cold".into(),
+        }
+    );
+    for c in o.cells.iter().filter(|c| c.result.is_err()) {
+        let why = c.result.as_ref().err().map(String::as_str).unwrap_or("");
+        let _ = writeln!(out, "  FAILED {}: {}", c.label, why);
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>5} {:>26} {:>22} {:>14}",
+        "axis", "value", "cells", "exhausted mean [95% CI]", "retry delay s (p95)", "excl hours"
+    );
+    for r in &o.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>5} {:>10.1} [{:>6.1},{:>6.1}] {:>14.0} ({:>5.0}) {:>14.2}",
+            r.axis,
+            r.value,
+            r.n_cells,
+            r.exhausted.mean,
+            r.exhausted.ci95_lo,
+            r.exhausted.ci95_hi,
+            r.retry_delay_secs.mean,
+            r.retry_delay_secs.p95,
+            r.excluded_hours.mean
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use dmsa_scenario::{BreakerSetting, PresetAxis, ScenarioConfig};
+
+    fn tiny_preset() -> ScenarioConfig {
+        let mut c = ScenarioConfig::small_faulty();
+        c.duration = SimDuration::from_hours(6);
+        c.workload.tasks_per_hour = 10.0;
+        c.initial_datasets = 20;
+        c.background_transfers_per_hour = 50.0;
+        c
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            presets: vec![PresetAxis {
+                name: "faulty".into(),
+                base: tiny_preset(),
+            }],
+            seeds: vec![1, 2],
+            fail_probs: vec![0.05, 0.2],
+            breakers: vec![
+                BreakerSetting::Off,
+                BreakerSetting::Adaptive {
+                    cooldown_secs: None,
+                },
+            ],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dmsa-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn axis_flag_parsing() {
+        assert_eq!(parse_seeds("1, 7,42").unwrap(), vec![1, 7, 42]);
+        assert!(parse_seeds("1,x").is_err());
+        assert_eq!(parse_fail_probs("0.05,0.2").unwrap(), vec![0.05, 0.2]);
+        assert!(parse_fail_probs("1.5").is_err());
+        assert_eq!(
+            parse_breakers("off,adaptive,adaptive:600").unwrap(),
+            vec![
+                BreakerSetting::Off,
+                BreakerSetting::Adaptive {
+                    cooldown_secs: None
+                },
+                BreakerSetting::Adaptive {
+                    cooldown_secs: Some(600)
+                },
+            ]
+        );
+        assert!(parse_breakers("on").is_err());
+        assert!(parse_breakers("adaptive:-5").is_err());
+        // Blank lists mean "axis absent".
+        assert!(parse_fail_probs("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn safe_ratio_never_produces_non_finite() {
+        assert!(safe_ratio(5.0, 0.0).is_finite());
+        assert!(safe_ratio(0.0, 0.0).is_finite());
+        assert_eq!(safe_ratio(10.0, 2.0), 5.0);
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn cold_sweep_cells_are_byte_identical_to_standalone_runs() {
+        let dir = tmp_dir("cold");
+        let grid = tiny_grid();
+        let outcome = run_sweep(
+            &grid,
+            &SweepOpts {
+                jobs: 2,
+                warm_start_at: None,
+                out_dir: dir.clone(),
+                write_cell_exports: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.cells.len(), 8);
+        assert_eq!(outcome.n_failed(), 0);
+        for cell in grid.expand().unwrap() {
+            let standalone =
+                CampaignExport::from_campaign(&dmsa_scenario::run(&cell.config)).to_json();
+            let from_sweep =
+                std::fs::read_to_string(dir.join(export_file_name(&cell.label))).unwrap();
+            assert_eq!(from_sweep, standalone, "cell {} diverged", cell.label);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_sweep_cells_are_byte_identical_to_standalone_forked_runs() {
+        let dir = tmp_dir("warm");
+        let grid = tiny_grid();
+        let at = SimDuration::from_hours(4);
+        let outcome = run_sweep(
+            &grid,
+            &SweepOpts {
+                jobs: 2,
+                warm_start_at: Some(at),
+                out_dir: dir.clone(),
+                write_cell_exports: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.n_failed(), 0, "{:?}", outcome.cells);
+        assert!(outcome.cells.iter().all(|c| c.warm_started));
+        for cell in grid.expand().unwrap() {
+            let standalone = CampaignExport::from_campaign(
+                &dmsa_scenario::run_forked(&cell.base, &cell.config, SimTime::EPOCH + at).unwrap(),
+            )
+            .to_json();
+            let from_sweep =
+                std::fs::read_to_string(dir.join(export_file_name(&cell.label))).unwrap();
+            assert_eq!(from_sweep, standalone, "warm cell {} diverged", cell.label);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn one_panicking_cell_is_quarantined_and_the_fleet_completes() {
+        let dir = tmp_dir("panic");
+        let grid = tiny_grid();
+        let victim = "faulty-s2-fp0.2-brkoff";
+        let runner = move |cell: &GridCell, prefix: Option<&SharedPrefix>| {
+            if cell.label == victim {
+                panic!("injected failure for {}", cell.label);
+            }
+            run_cell(cell, prefix)
+        };
+        let outcome = run_sweep_with(
+            &grid,
+            &SweepOpts {
+                jobs: 2,
+                warm_start_at: None,
+                out_dir: dir.clone(),
+                write_cell_exports: true,
+            },
+            &runner,
+        )
+        .unwrap();
+        assert_eq!(outcome.cells.len(), 8);
+        assert_eq!(outcome.n_failed(), 1);
+        let failed = outcome.cells.iter().find(|c| c.result.is_err()).unwrap();
+        assert_eq!(failed.label, victim);
+        let why = failed.result.as_ref().err().unwrap();
+        assert!(why.contains("injected failure"), "{why}");
+        assert!(failed.export_file.is_none());
+        assert!(!dir.join(export_file_name(victim)).exists());
+        // The other 7 cells all delivered exports and metrics.
+        assert_eq!(outcome.cells.iter().filter(|c| c.result.is_ok()).count(), 7);
+        // The summary is still valid JSON and marks the failure.
+        let summary = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+        let root = json::parse(&summary).expect("summary parses");
+        assert_eq!(root.get("n_failed").and_then(|v| v.as_u64()), Some(1));
+        // Aggregation rows cover only the survivors.
+        let seed2_off: Vec<&KnobGroup> = outcome
+            .rows
+            .iter()
+            .filter(|r| r.axis == "seed" && r.value == "2")
+            .collect();
+        assert_eq!(seed2_off[0].n_cells, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summary_json_is_parseable_with_the_documented_schema() {
+        let dir = tmp_dir("schema");
+        let grid = SweepGrid {
+            seeds: vec![1],
+            fail_probs: vec![0.05],
+            breakers: vec![BreakerSetting::Off],
+            ..tiny_grid()
+        };
+        let outcome = run_sweep(
+            &grid,
+            &SweepOpts {
+                jobs: 1,
+                warm_start_at: None,
+                out_dir: dir.clone(),
+                write_cell_exports: true,
+            },
+        )
+        .unwrap();
+        let text = summary_json(&outcome);
+        let root = json::parse(&text).expect("summary parses");
+        assert_eq!(
+            root.get("schema").and_then(|v| v.as_str()),
+            Some(SWEEP_SCHEMA)
+        );
+        for key in ["n_cells", "n_failed", "jobs"] {
+            assert!(root.get(key).and_then(|v| v.as_u64()).is_some(), "{key}");
+        }
+        let cells = root.get("cells").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(cells.len(), 1);
+        for key in ["label", "ok", "exhausted", "knobs", "export"] {
+            assert!(cells[0].get(key).is_some(), "cell lacks {key}");
+        }
+        let rows = root.get("knob_rows").and_then(|v| v.as_arr()).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows[0].get("exhausted").unwrap().get("ci95_lo").is_some());
+        let report = human_report(&outcome);
+        assert!(report.contains("cells/s"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -184,6 +184,34 @@ impl ScenarioConfig {
         }
     }
 
+    /// Fingerprint of **every** behavior-affecting knob: a stable hash of
+    /// the config's derived `Debug` rendering, which enumerates all
+    /// fields recursively — a knob added to any sub-config is picked up
+    /// automatically, so the fingerprint can never silently lag the
+    /// config the way the old seed+duration check did. Two configs with
+    /// equal fingerprints produce byte-identical campaigns from the same
+    /// seed; any differing knob — fault rates, breaker thresholds, retry
+    /// budgets, workload shape — changes the fingerprint. Snapshots embed
+    /// it so [`crate::snapshot::validate`] refuses a resume under a config
+    /// that would silently replay divergent state.
+    pub fn behavior_fingerprint(&self) -> u64 {
+        dmsa_simcore::fx::hash_bytes(format!("{self:?}").as_bytes())
+    }
+
+    /// Fingerprint of the *structural* knobs a deliberate config fork must
+    /// still agree on: the master seed (RNG stream continuity) and the
+    /// topology (site/RSE/link shape every snapshotted table is indexed
+    /// by). [`crate::snapshot::fork_with_config`] checks only this, so a
+    /// warm-started sweep cell may change fault rates, breaker settings,
+    /// retry budgets, or workload mid-flight — but never the grid itself.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let topo = format!("{:?}", self.topology);
+        let mut bytes = Vec::with_capacity(8 + topo.len());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(topo.as_bytes());
+        dmsa_simcore::fx::hash_bytes(&bytes)
+    }
+
     /// [`ScenarioConfig::small_faulty`] with the closed health loop armed:
     /// the same degraded grid, but breakers now exclude sick sites/links
     /// from brokerage and source selection. Diffing this preset against
@@ -193,6 +221,19 @@ impl ScenarioConfig {
         ScenarioConfig {
             health: HealthConfig::adaptive(),
             ..Self::small_faulty()
+        }
+    }
+
+    /// [`ScenarioConfig::paper_8day`] on a degraded grid: the paper's
+    /// full 111-site topology with the fault model armed. The ablation
+    /// preset for sweeps and the sweep bench — per-event brokerage and
+    /// replica-scan work scales with the site count while the record
+    /// volume scales with the workload, so at small `scale` the event
+    /// loop (which a warm start skips) dominates each cell.
+    pub fn paper_8day_faulty(scale: f64) -> Self {
+        ScenarioConfig {
+            faults: FaultConfig::degraded(),
+            ..Self::paper_8day(scale)
         }
     }
 }
@@ -234,6 +275,50 @@ mod tests {
         assert!(!ScenarioConfig::default().faults.enabled());
         assert!(!ScenarioConfig::paper_8day(1.0).faults.enabled());
         assert!(ScenarioConfig::small_faulty().faults.enabled());
+    }
+
+    #[test]
+    fn behavior_fingerprint_sees_every_knob_class() {
+        let base = ScenarioConfig::small_faulty();
+        let fp = base.behavior_fingerprint();
+        // Stable for an identical config.
+        assert_eq!(fp, base.behavior_fingerprint());
+        // Sensitive to fault rates, breaker settings, retry budget, seed.
+        let mut c = base.clone();
+        c.faults.p_attempt_failure += 0.01;
+        assert_ne!(fp, c.behavior_fingerprint(), "fault rate missed");
+        let mut c = base.clone();
+        c.health = dmsa_gridnet::HealthConfig::adaptive();
+        assert_ne!(fp, c.behavior_fingerprint(), "breaker arming missed");
+        let mut c = ScenarioConfig::faulty_adaptive();
+        let fp_a = c.behavior_fingerprint();
+        c.health.cooldown = c.health.cooldown + SimDuration::from_secs(1);
+        assert_ne!(fp_a, c.behavior_fingerprint(), "breaker cooldown missed");
+        let mut c = base.clone();
+        c.retry.max_retries += 1;
+        assert_ne!(fp, c.behavior_fingerprint(), "retry budget missed");
+        let mut c = base.clone();
+        c.seed += 1;
+        assert_ne!(fp, c.behavior_fingerprint(), "seed missed");
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_forkable_knobs() {
+        let base = ScenarioConfig::small_faulty();
+        let fp = base.structural_fingerprint();
+        // Forkable knobs leave it alone...
+        let mut c = base.clone();
+        c.faults.p_attempt_failure += 0.05;
+        c.health = dmsa_gridnet::HealthConfig::adaptive();
+        c.retry.max_retries += 3;
+        assert_eq!(fp, c.structural_fingerprint());
+        // ...seed and topology do not.
+        let mut c = base.clone();
+        c.seed += 1;
+        assert_ne!(fp, c.structural_fingerprint());
+        let mut c = base.clone();
+        c.topology = TopologyConfig::default();
+        assert_ne!(fp, c.structural_fingerprint());
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub struct Campaign {
 }
 
 /// A job in flight, threaded through the event queue.
+#[derive(Clone)]
 pub(crate) struct PendingJob {
     pub(crate) pandaid: u64,
     pub(crate) task_idx: u32,
@@ -100,6 +101,7 @@ pub(crate) struct PendingJob {
     pub(crate) exec_end: SimTime,
 }
 
+#[derive(Clone)]
 pub(crate) enum Event {
     TaskArrival,
     JobCreated(Box<PendingJob>),
@@ -113,6 +115,7 @@ pub(crate) enum Event {
     Reaper,
 }
 
+#[derive(Clone)]
 pub(crate) struct TaskCtx {
     pub(crate) id: TaskId,
     pub(crate) kind: TaskKind,
@@ -176,6 +179,101 @@ pub fn resume_checkpointed(
 ) -> Result<Campaign, String> {
     let d = crate::snapshot::decode(config, snapshot)?;
     d.drain_with(every, sink)
+}
+
+/// Run `config`'s campaign up to (but not including) sim-time `at` and
+/// return the encoded snapshot of that state. Byte-identical to the
+/// checkpoint [`run_checkpointed`] would emit at an `at`-aligned
+/// boundary: every event strictly before `at` is dispatched, the queue
+/// is left intact, and no random draw is consumed by the encoding.
+///
+/// This is the shared-prefix half of a warm start: sweep cells that
+/// agree on `(seed, prefix config)` pay this once and each continue via
+/// [`fork_with_config`].
+pub fn prefix_snapshot(config: &ScenarioConfig, at: SimTime) -> Vec<u8> {
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.run_until(at);
+    crate::snapshot::encode(&d)
+}
+
+/// Resume a snapshot under a **deliberately different** config — the
+/// escape hatch around the strict behavior fingerprint that
+/// [`resume_checkpointed`] enforces. Seed and topology must still match
+/// (they are structural: the snapshot's tables are indexed by them);
+/// every other knob — fault rates, breaker settings, retry budgets,
+/// workload shape — is taken from `config` and governs the campaign
+/// from the snapshot time onward. Arming the health loop across the
+/// fork starts fresh breakers; disarming drops the snapshot's breaker
+/// state.
+pub fn fork_with_config(
+    config: &ScenarioConfig,
+    snapshot: &[u8],
+    every: Option<SimDuration>,
+    sink: SnapshotSink<'_>,
+) -> Result<Campaign, String> {
+    let d = crate::snapshot::decode_forked(config, snapshot)?;
+    d.drain_with(every, sink)
+}
+
+/// One-shot reference for a warm-started sweep cell: run `base` up to
+/// `at`, then continue under `fork` to completion. Exactly equivalent to
+/// `fork_with_config(fork, &prefix_snapshot(base, at), ..)` — the CLI's
+/// `simulate --fork-at` uses this so a standalone run can reproduce any
+/// warm-started cell byte-for-byte.
+pub fn run_forked(
+    base: &ScenarioConfig,
+    fork: &ScenarioConfig,
+    at: SimTime,
+) -> Result<Campaign, String> {
+    fork_with_config(fork, &prefix_snapshot(base, at), None, &mut |_, _| Ok(()))
+}
+
+/// A fully materialized warm-start prefix: the live driver state of
+/// `config`'s campaign at sim-time `at`, reusable across any number of
+/// forked continuations. The in-memory sibling of [`prefix_snapshot`]:
+/// forking from it restores exactly the state the snapshot codec
+/// round-trips — [`SharedPrefix::fork`] is byte-identical to
+/// [`fork_with_config`] over the encoded prefix at the same boundary —
+/// but costs a memcpy-scale clone per fork instead of a parse.
+pub struct SharedPrefix {
+    driver: Driver,
+}
+
+/// Run `config`'s campaign up to (but not including) `at` and keep the
+/// live driver state for reuse. Sweep cells that agree on `(seed,
+/// prefix config)` pay this once and each continue via
+/// [`SharedPrefix::fork`].
+pub fn shared_prefix(config: &ScenarioConfig, at: SimTime) -> SharedPrefix {
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.run_until(at);
+    SharedPrefix { driver: d }
+}
+
+impl SharedPrefix {
+    /// The prefix config this state was produced under.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.driver.config
+    }
+
+    /// Encode the prefix as a snapshot — what [`prefix_snapshot`] would
+    /// return for the same `(config, at)`.
+    pub fn encode(&self) -> Vec<u8> {
+        crate::snapshot::encode(&self.driver)
+    }
+
+    /// Continue this prefix to completion under a (possibly different)
+    /// config — the in-memory equivalent of [`fork_with_config`], with
+    /// the same rules: seed and topology are structural and must match;
+    /// every other knob is taken from `config` from the prefix time
+    /// onward; arming the health loop starts fresh breakers, disarming
+    /// drops the prefix's breaker state.
+    pub fn fork(&self, config: &ScenarioConfig) -> Result<Campaign, String> {
+        self.driver
+            .fork_clone(config)?
+            .drain_with(None, &mut |_, _| Ok(()))
+    }
 }
 
 pub(crate) struct Driver {
@@ -290,6 +388,66 @@ impl Driver {
         }
     }
 
+    /// Clone this driver's mutable state onto a fresh `config`-derived
+    /// driver — the in-memory mirror of `snapshot::decode_forked`
+    /// (construct `Driver::new(config)`, then overwrite exactly the
+    /// state the snapshot codec carries). Kept in lockstep with the
+    /// codec: a field added to `encode`/`decode_inner` must be cloned
+    /// here too — the sweep's byte-identity tests against [`run_forked`]
+    /// catch a miss.
+    pub(crate) fn fork_clone(&self, config: &ScenarioConfig) -> Result<Driver, String> {
+        if config.structural_fingerprint() != self.config.structural_fingerprint() {
+            return Err(format!(
+                "prefix fork structural fingerprint mismatch: prefix ran under seed {} — \
+                 fork config has seed {} (seed and topology can never change across a fork)",
+                self.config.seed, config.seed
+            ));
+        }
+        let mut d = Driver::new(config.clone());
+        // Clock + event queue (FIFO tie-break counters included).
+        let entries = self
+            .queue
+            .snapshot_entries()
+            .into_iter()
+            .map(|(t, seq, ev)| (t, seq, ev.clone()))
+            .collect();
+        d.queue = EventQueue::restore(entries, self.queue.next_seq(), self.queue.now());
+        // Driver RNG streams.
+        d.rng_task = self.rng_task.clone();
+        d.rng_job = self.rng_job.clone();
+        d.rng_bg = self.rng_bg.clone();
+        // Transfer engine: mutable state from the prefix; fault oracle
+        // and retry policy stay config-derived, which is where the
+        // forked knobs take effect.
+        d.engine
+            .restore(self.engine.snapshot())
+            .map_err(|e| format!("transfer engine: {e}"))?;
+        d.catalog = self.catalog.clone();
+        d.rules = self.rules.clone();
+        // Same arm/disarm matrix as a forked decode: arming starts fresh
+        // breakers, disarming drops the prefix's breaker state.
+        d.health = match (&self.health, config.health.enabled) {
+            (None, false) | (Some(_), false) => None,
+            (Some(h), true) => Some(HealthMonitor::restore(config.health.clone(), h.snapshot())),
+            (None, true) => Some(HealthMonitor::new(
+                config.health.clone(),
+                d.topology.n_sites(),
+            )),
+        };
+        d.queued = self.queued.clone();
+        d.running = self.running.clone();
+        d.compute_slots = self.compute_slots.clone();
+        d.tasks = self.tasks.clone();
+        d.finished = self.finished.clone();
+        d.transfers = self.transfers.clone();
+        d.next_pandaid = self.next_pandaid;
+        d.next_taskid = self.next_taskid;
+        d.next_dio_id = self.next_dio_id;
+        d.next_output_seq = self.next_output_seq;
+        d.events_processed = self.events_processed;
+        Ok(d)
+    }
+
     /// Weighted site draw (activity-weighted; used for replica placement
     /// and background destinations).
     fn sample_site(&mut self, rng_kind: RngKind) -> SiteId {
@@ -390,6 +548,21 @@ impl Driver {
         self.queue.push(SimTime::EPOCH, Event::Background);
         self.queue
             .push(SimTime::EPOCH + SimDuration::from_hours(6), Event::Reaper);
+    }
+
+    /// Dispatch every event strictly before `at`, leaving the queue
+    /// intact from `at` onward. The resulting state is what a
+    /// checkpoint boundary at `at` observes (snapshots are taken with
+    /// nothing popped), which is what makes [`prefix_snapshot`]
+    /// byte-identical to a [`run_checkpointed`] emission.
+    pub(crate) fn run_until(&mut self, at: SimTime) {
+        while let Some(peek) = self.queue.peek_time() {
+            if peek >= at {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(t, ev);
+        }
     }
 
     /// Drain the event queue to completion, snapshotting between events

@@ -21,8 +21,13 @@
 
 pub mod config;
 pub mod driver;
+pub mod grid;
 pub mod snapshot;
 
 pub use config::ScenarioConfig;
-pub use driver::{resume_checkpointed, run, run_checkpointed, run_with_queue, Campaign};
+pub use driver::{
+    fork_with_config, prefix_snapshot, resume_checkpointed, run, run_checkpointed, run_forked,
+    run_with_queue, shared_prefix, Campaign, SharedPrefix,
+};
+pub use grid::{BreakerSetting, GridCell, PresetAxis, SweepGrid};
 pub use snapshot::SNAPSHOT_VERSION;

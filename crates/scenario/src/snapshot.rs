@@ -47,8 +47,25 @@ use std::collections::BinaryHeap;
 /// found-vs-supported message instead of misreading them.
 /// Version history: v2 interned catalog/transfer-event names (the
 /// catalog's symbol table is now part of the payload and name fields are
-/// `u32` symbol ids) and added the delivered-event counter.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `u32` symbol ids) and added the delivered-event counter. v3 widened
+/// the config fingerprint to cover **every** behavior-affecting knob
+/// (fault rates, breaker settings, retry budgets, workload shape — not
+/// just seed/duration/datasets) plus a structural fingerprint consulted
+/// by the deliberate-fork path.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// How strictly [`decode`] matches the resume config against the config
+/// the snapshot was taken under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ResumeMode {
+    /// Resume: every behavior-affecting knob must match, otherwise the
+    /// resumed campaign would silently replay divergent state.
+    Strict,
+    /// Deliberate fork ([`fork_with_config`]): only the structural knobs
+    /// (seed, topology) must match; fault/retry/health/workload knobs may
+    /// differ and take effect from the snapshot time onward.
+    Fork,
+}
 
 // ---------------------------------------------------------------------------
 // Encode
@@ -59,11 +76,17 @@ pub(crate) fn encode(d: &Driver) -> Vec<u8> {
     w.put_u32(SNAPSHOT_VERSION);
 
     // Config fingerprint: enough to catch a resume under the wrong
-    // scenario before any state is misinterpreted.
+    // scenario before any state is misinterpreted. The legible fields
+    // (seed/duration/datasets/sites) drive the human-readable mismatch
+    // message; the two hashes are the actual guarantees — `behavior`
+    // covers every knob, `structural` only what a deliberate fork must
+    // still agree on.
     w.put_u64(d.config.seed);
     w.put_i64(d.config.duration.as_millis());
     w.put_u64(d.config.initial_datasets as u64);
     w.put_u32(d.topology.n_sites() as u32);
+    w.put_u64(d.config.behavior_fingerprint());
+    w.put_u64(d.config.structural_fingerprint());
 
     // Clock + event queue.
     w.put_i64(d.queue.now().as_millis());
@@ -155,7 +178,20 @@ pub(crate) fn encode(d: &Driver) -> Vec<u8> {
 
 pub(crate) fn decode(config: &ScenarioConfig, bytes: &[u8]) -> Result<Driver, String> {
     let mut r = Reader::new(bytes);
-    decode_inner(config, &mut r).map_err(|e| e.to_string())
+    decode_inner(config, &mut r, ResumeMode::Strict).map_err(|e| e.to_string())
+}
+
+/// Decode a snapshot for a **deliberate config fork**: the escape hatch
+/// the sweep's warm-start path uses. Only the structural fingerprint
+/// (seed + topology) must match the snapshot; every other knob — fault
+/// rates, breaker settings, retry budgets, workload shape — is taken
+/// from `config` and governs the campaign from the snapshot time onward.
+/// Arming or disarming the health loop across the fork is allowed: a
+/// newly armed fork starts with fresh (empty-telemetry) breakers, a
+/// disarming fork drops the snapshot's breaker state.
+pub(crate) fn decode_forked(config: &ScenarioConfig, bytes: &[u8]) -> Result<Driver, String> {
+    let mut r = Reader::new(bytes);
+    decode_inner(config, &mut r, ResumeMode::Fork).map_err(|e| e.to_string())
 }
 
 /// Fully decode-check a snapshot against `config` without resuming it,
@@ -168,7 +204,11 @@ pub fn validate(config: &ScenarioConfig, bytes: &[u8]) -> Result<SimTime, String
     decode(config, bytes).map(|d| d.queue.now())
 }
 
-fn decode_inner(config: &ScenarioConfig, r: &mut Reader<'_>) -> Result<Driver, CodecError> {
+fn decode_inner(
+    config: &ScenarioConfig,
+    r: &mut Reader<'_>,
+    mode: ResumeMode,
+) -> Result<Driver, CodecError> {
     let version = r.get_u32()?;
     if version != SNAPSHOT_VERSION {
         return Err(bad(
@@ -180,30 +220,64 @@ fn decode_inner(config: &ScenarioConfig, r: &mut Reader<'_>) -> Result<Driver, C
     // A freshly constructed driver supplies all config-derived state; the
     // snapshot then overwrites everything mutable. `Driver::new` does not
     // seed the catalog or push events — that is `start()`, which a resume
-    // must never run.
+    // must never run. Under `ResumeMode::Fork` the config-derived state
+    // (fault oracle, retry policy, breaker thresholds, samplers) is
+    // exactly where the forked knobs take effect.
     let mut d = Driver::new(config.clone());
 
     let seed = r.get_u64()?;
     let duration_ms = r.get_i64()?;
     let initial_datasets = r.get_u64()?;
     let n_sites = r.get_u32()? as usize;
-    if seed != config.seed
-        || duration_ms != config.duration.as_millis()
-        || initial_datasets != config.initial_datasets as u64
-        || n_sites != d.topology.n_sites()
-    {
+    let behavior_fp = r.get_u64()?;
+    let structural_fp = r.get_u64()?;
+    if structural_fp != config.structural_fingerprint() || n_sites != d.topology.n_sites() {
         return Err(bad(
             r,
             format!(
-                "snapshot fingerprint mismatch: taken under seed {seed}, duration {duration_ms} ms, \
-                 {initial_datasets} datasets, {n_sites} sites — resume config has seed {}, \
-                 duration {} ms, {} datasets, {} sites",
+                "snapshot structural fingerprint mismatch: taken under seed {seed} with \
+                 {n_sites} sites — {} config has seed {} and {} sites (seed and topology can \
+                 never change across a resume or fork)",
+                if mode == ResumeMode::Fork {
+                    "fork"
+                } else {
+                    "resume"
+                },
                 config.seed,
-                config.duration.as_millis(),
-                config.initial_datasets,
                 d.topology.n_sites()
             ),
         ));
+    }
+    if mode == ResumeMode::Strict {
+        if seed != config.seed
+            || duration_ms != config.duration.as_millis()
+            || initial_datasets != config.initial_datasets as u64
+        {
+            return Err(bad(
+                r,
+                format!(
+                    "snapshot fingerprint mismatch: taken under seed {seed}, duration {duration_ms} ms, \
+                     {initial_datasets} datasets — resume config has seed {}, \
+                     duration {} ms, {} datasets",
+                    config.seed,
+                    config.duration.as_millis(),
+                    config.initial_datasets,
+                ),
+            ));
+        }
+        if behavior_fp != config.behavior_fingerprint() {
+            return Err(bad(
+                r,
+                format!(
+                    "snapshot behavior fingerprint mismatch ({behavior_fp:#018x} vs \
+                     {:#018x}): the resume config differs in a behavior-affecting knob \
+                     (fault rates, breaker settings, retry budget, workload, corruption, \
+                     or traffic fractions); resuming would silently replay divergent \
+                     state — use the deliberate fork entry point if the change is intended",
+                    config.behavior_fingerprint()
+                ),
+            ));
+        }
     }
 
     // Clock + event queue.
@@ -247,35 +321,46 @@ fn decode_inner(config: &ScenarioConfig, r: &mut Reader<'_>) -> Result<Driver, C
     }
     d.rules = RuleEngine::from_rules(rules).map_err(|e| bad(r, format!("rules: {e}")))?;
 
-    // Circuit breakers. The armed/disarmed choice must agree with the
-    // config, otherwise the resumed decision paths would diverge from the
-    // run that produced the snapshot.
+    // Circuit breakers. On a strict resume the armed/disarmed choice must
+    // agree with the config, otherwise the resumed decision paths would
+    // diverge from the run that produced the snapshot. A deliberate fork
+    // may flip the switch: arming starts fresh breakers (empty
+    // telemetry), disarming drops the snapshot's breaker state.
     let had_health = r.get_bool()?;
-    match (had_health, config.health.enabled) {
-        (false, false) => d.health = None,
-        (true, true) => {
-            let snap = get_health(r)?;
-            if snap.sites.len() != d.topology.n_sites() {
-                return Err(bad(
-                    r,
-                    format!(
-                        "health snapshot covers {} sites, topology has {}",
-                        snap.sites.len(),
-                        d.topology.n_sites()
-                    ),
-                ));
-            }
-            d.health = Some(HealthMonitor::restore(config.health.clone(), snap));
-        }
-        (snap_armed, cfg_armed) => {
+    let snap_health = if had_health {
+        let snap = get_health(r)?;
+        if snap.sites.len() != d.topology.n_sites() {
             return Err(bad(
                 r,
                 format!(
-                    "health loop mismatch: snapshot armed = {snap_armed}, config armed = {cfg_armed}"
+                    "health snapshot covers {} sites, topology has {}",
+                    snap.sites.len(),
+                    d.topology.n_sites()
                 ),
             ));
         }
-    }
+        Some(snap)
+    } else {
+        None
+    };
+    d.health = match (snap_health, config.health.enabled) {
+        (None, false) => None,
+        (Some(snap), true) => Some(HealthMonitor::restore(config.health.clone(), snap)),
+        (None, true) if mode == ResumeMode::Fork => Some(HealthMonitor::new(
+            config.health.clone(),
+            d.topology.n_sites(),
+        )),
+        (Some(_), false) if mode == ResumeMode::Fork => None,
+        (snap, cfg_armed) => {
+            return Err(bad(
+                r,
+                format!(
+                    "health loop mismatch: snapshot armed = {}, config armed = {cfg_armed}",
+                    snap.is_some()
+                ),
+            ));
+        }
+    };
 
     // Brokerage load feedback + compute slots.
     d.queued = get_u32_seq(r, d.topology.n_sites(), "queued")?;
@@ -1244,7 +1329,7 @@ mod tests {
         future[0] = 99;
         let err = decode(&config, &future).err().unwrap();
         assert!(err.contains("version 99"), "bad message: {err}");
-        assert!(err.contains("supported 2"), "bad message: {err}");
+        assert!(err.contains("supported 3"), "bad message: {err}");
     }
 
     #[test]
@@ -1255,5 +1340,119 @@ mod tests {
         let other = ScenarioConfig { seed: 43, ..tiny() };
         let err = decode(&other, bytes).err().unwrap();
         assert!(err.contains("fingerprint"), "bad message: {err}");
+    }
+
+    #[test]
+    fn resume_under_divergent_behavior_knob_is_rejected() {
+        // The historical hole: fault rates and breaker settings were not
+        // part of the fingerprint, so a resume under silently different
+        // tuning replayed divergent state. Now every behavior knob counts.
+        let config = ScenarioConfig {
+            duration: SimDuration::from_hours(6),
+            ..ScenarioConfig::small_faulty()
+        };
+        let cps = checkpoints(&config, SimDuration::from_hours(2));
+        let (_, bytes) = cps.last().unwrap();
+
+        let mut hotter = config.clone();
+        hotter.faults.p_attempt_failure += 0.05;
+        let err = decode(&hotter, bytes).err().unwrap();
+        assert!(err.contains("behavior fingerprint"), "bad message: {err}");
+        assert!(
+            err.contains("fork"),
+            "should point at the escape hatch: {err}"
+        );
+
+        let mut armed = config.clone();
+        armed.health = ScenarioConfig::faulty_adaptive().health;
+        assert!(armed.health.enabled);
+        let err = decode(&armed, bytes).err().unwrap();
+        assert!(err.contains("behavior fingerprint"), "bad message: {err}");
+    }
+
+    #[test]
+    fn fork_accepts_divergent_behavior_knobs_but_not_structural_ones() {
+        let config = ScenarioConfig {
+            duration: SimDuration::from_hours(6),
+            ..ScenarioConfig::small_faulty()
+        };
+        let cps = checkpoints(&config, SimDuration::from_hours(2));
+        let (t, bytes) = cps.last().unwrap();
+
+        // Fault-rate fork: accepted, resumes at the snapshot time.
+        let mut hotter = config.clone();
+        hotter.faults.p_attempt_failure += 0.05;
+        let d = decode_forked(&hotter, bytes).expect("fault-rate fork");
+        // The snapshot clock is the last event dispatched before the
+        // checkpoint boundary `t` (the queue is snapshotted intact).
+        assert!(d.queue.now() <= *t, "{:?} > {t:?}", d.queue.now());
+
+        // Arming the health loop across the fork: fresh breakers.
+        let mut armed = config.clone();
+        armed.health = ScenarioConfig::faulty_adaptive().health;
+        let d = decode_forked(&armed, bytes).expect("arming fork");
+        let snap = d.health.as_ref().expect("fork armed the loop").snapshot();
+        assert!(snap.episodes.is_empty(), "fresh breakers carry no episodes");
+        assert_eq!(snap.counters.trips, 0);
+
+        // Disarming across the fork: breaker state dropped.
+        let adaptive = ScenarioConfig {
+            duration: SimDuration::from_hours(6),
+            ..ScenarioConfig::faulty_adaptive()
+        };
+        let acps = checkpoints(&adaptive, SimDuration::from_hours(2));
+        let (_, abytes) = acps.last().unwrap();
+        let mut disarmed = adaptive.clone();
+        disarmed.health.enabled = false;
+        let d = decode_forked(&disarmed, abytes).expect("disarming fork");
+        assert!(d.health.is_none());
+
+        // Seed and topology stay load-bearing even for a fork.
+        let err = decode_forked(
+            &ScenarioConfig {
+                seed: 43,
+                ..config.clone()
+            },
+            bytes,
+        )
+        .err()
+        .unwrap();
+        assert!(err.contains("structural"), "bad message: {err}");
+    }
+
+    #[test]
+    fn fork_with_identical_config_is_byte_identical_to_uninterrupted_run() {
+        // Degenerate fork (fork config == base config) must collapse to a
+        // plain resume: prefix + continuation is the uninterrupted run.
+        for config in [
+            tiny(),
+            ScenarioConfig {
+                duration: SimDuration::from_hours(6),
+                ..ScenarioConfig::faulty_adaptive()
+            },
+        ] {
+            let base = driver::run(&config);
+            let forked = driver::run_forked(
+                &config,
+                &config,
+                SimTime::EPOCH + SimDuration::from_hours(3),
+            )
+            .expect("degenerate fork");
+            assert_same_campaign(&base, &forked);
+        }
+    }
+
+    #[test]
+    fn prefix_snapshot_matches_the_checkpoint_at_the_same_boundary() {
+        let config = tiny();
+        let every = SimDuration::from_hours(2);
+        let cps = checkpoints(&config, every);
+        for (t, bytes) in &cps {
+            assert_eq!(
+                &driver::prefix_snapshot(&config, *t),
+                bytes,
+                "prefix snapshot at {t:?} drifted from the checkpointed emission"
+            );
+        }
     }
 }

@@ -326,7 +326,9 @@ impl<E> EventQueue<E> {
     pub fn with_backend(backend: QueueBackend) -> Self {
         EventQueue {
             backend: match backend {
-                QueueBackend::Calendar => Backend::Calendar(Box::new(Calendar::new(SimTime::EPOCH))),
+                QueueBackend::Calendar => {
+                    Backend::Calendar(Box::new(Calendar::new(SimTime::EPOCH)))
+                }
                 QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
             },
             next_seq: 0,

@@ -67,6 +67,59 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 50.0)
 }
 
+/// Normal-approximation 95% confidence interval of the mean:
+/// `mean ± 1.96 · sd / √n`. Returns `None` for an empty slice; a single
+/// observation yields the degenerate interval `[x, x]` (no spread
+/// information, but the point estimate is still reportable).
+///
+/// The normal approximation (rather than Student's t) keeps the helper
+/// dependency-free; for the sweep-aggregation use case (handfuls of
+/// seeds per knob value) the interval is indicative, not inferential —
+/// the report labels it `ci95` and documents the approximation.
+pub fn mean_ci95(xs: &[f64]) -> Option<(f64, f64, f64)> {
+    let m = mean(xs)?;
+    let sd = std_dev(xs)?;
+    let half = 1.96 * sd / (xs.len() as f64).sqrt();
+    Some((m - half, m, m + half))
+}
+
+/// Five-number-plus summary of one metric across sweep cells: the
+/// cross-run aggregation unit `sweep_summary.json` is built from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub sd: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// Lower edge of the normal-approximation 95% CI of the mean.
+    pub ci95_lo: f64,
+    /// Upper edge of the normal-approximation 95% CI of the mean.
+    pub ci95_hi: f64,
+}
+
+impl Summary {
+    /// Summarize a slice. Returns `None` for an empty slice — callers
+    /// must distinguish "no cells" from "all-zero cells".
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        let (ci95_lo, mean, ci95_hi) = mean_ci95(xs)?;
+        Some(Summary {
+            n: xs.len(),
+            mean,
+            sd: std_dev(xs)?,
+            p50: median(xs)?,
+            p95: percentile(xs, 95.0)?,
+            ci95_lo,
+            ci95_hi,
+        })
+    }
+}
+
 /// A fixed-width histogram over `[min, max)` with an overflow bucket.
 #[derive(Clone, Debug)]
 pub struct Histogram {
@@ -262,6 +315,38 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), Some(10.0));
         assert_eq!(percentile(&xs, 100.0), Some(40.0));
         assert_eq!(median(&xs), Some(25.0));
+    }
+
+    #[test]
+    fn mean_ci95_brackets_the_mean_and_shrinks_with_n() {
+        assert!(mean_ci95(&[]).is_none());
+        // One observation: degenerate interval at the point estimate.
+        let (lo, m, hi) = mean_ci95(&[7.0]).unwrap();
+        assert_eq!((lo, m, hi), (7.0, 7.0, 7.0));
+        // Fixed spread: quadrupling n halves the half-width.
+        let small: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..32).map(|i| (i % 2) as f64).collect();
+        let (lo_s, m_s, hi_s) = mean_ci95(&small).unwrap();
+        let (lo_l, m_l, hi_l) = mean_ci95(&large).unwrap();
+        assert!((m_s - 0.5).abs() < 1e-12 && (m_l - 0.5).abs() < 1e-12);
+        assert!(lo_s < m_s && m_s < hi_s);
+        let half_s = hi_s - m_s;
+        let half_l = hi_l - m_l;
+        assert!((half_s / half_l - 2.0).abs() < 1e-9);
+        assert!(lo_l > lo_s && hi_l < hi_s);
+    }
+
+    #[test]
+    fn summary_of_combines_the_helpers() {
+        assert!(Summary::of(&[]).is_none());
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, median(&xs).unwrap());
+        assert_eq!(s.p95, percentile(&xs, 95.0).unwrap());
+        assert!(s.ci95_lo < s.mean && s.mean < s.ci95_hi);
+        assert_eq!(s.sd, std_dev(&xs).unwrap());
     }
 
     #[test]
