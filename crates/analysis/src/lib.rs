@@ -33,6 +33,7 @@ pub mod hotspots;
 pub mod matrix;
 pub mod overlap;
 pub mod redundancy;
+pub mod render;
 pub mod sweep;
 pub mod temporal;
 pub mod threshold;

@@ -1,0 +1,305 @@
+//! Reusable textual report rendering.
+//!
+//! Every `dmsa analyze` report used to be rendered by private helpers in
+//! the CLI crate, welded to its export type and (originally) to stdout.
+//! A long-lived `dmsa serve` process needs the same reports rendered
+//! **in memory**, per request, over whatever store generation the request
+//! loaded — so the writers live here, parameterized on the few inputs
+//! they actually consume ([`ReportInputs`]) and on any [`io::Write`]
+//! sink. The CLI wraps them around stdout; the server wraps them around
+//! a `String` buffer that becomes a protocol reply.
+
+use crate::activity::ActivityBreakdown;
+use crate::exclusion::{exclusion_delta, exclusion_report, ExclusionReport};
+use crate::matrix::TransferMatrix;
+use crate::overlap::{all_overlaps, summarize};
+use crate::redundancy::redundancy_breakdown;
+use crate::temporal::{peak_to_trough, site_volume_gini, volume_series};
+use dmsa_core::MatchSet;
+use dmsa_gridnet::HealthSummary;
+use dmsa_metastore::MetaStore;
+use dmsa_rucio_sim::TransferPathStats;
+use dmsa_simcore::interval::Interval;
+use dmsa_simcore::SimDuration;
+use std::io;
+
+/// Everything a report reads from a campaign, borrowed piecewise so any
+/// owner of a store — a CLI export, a server store generation — can
+/// render without copying.
+#[derive(Clone, Copy)]
+pub struct ReportInputs<'a> {
+    /// The (corrupted) metadata store.
+    pub store: &'a MetaStore,
+    /// Observation window.
+    pub window: Interval,
+    /// Transfer-path counters.
+    pub path_stats: TransferPathStats,
+    /// Breaker telemetry when the health loop ran armed.
+    pub health: Option<&'a HealthSummary>,
+}
+
+/// The report names [`render_report`] accepts, in display order.
+pub const REPORT_NAMES: &[&str] = &["summary", "matrix", "temporal", "redundancy", "exclusion"];
+
+/// Why a render failed — callers treat the two cases differently (a
+/// usage error is the client's fault; a sink error may be a benign
+/// `BrokenPipe` the CLI swallows).
+#[derive(Debug)]
+pub enum RenderError {
+    /// The report name is not one of [`REPORT_NAMES`]. Raised before
+    /// anything is written.
+    UnknownReport(String),
+    /// The sink failed mid-report.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::UnknownReport(name) => {
+                write!(f, "unknown report {name:?} ({})", REPORT_NAMES.join("|"))
+            }
+            RenderError::Io(e) => write!(f, "writing report: {e}"),
+        }
+    }
+}
+
+/// Render the named report into `out`. `matches` feeds the summary
+/// report's overlap/activity tables; `baseline` feeds the exclusion
+/// report's delta section. An unknown name is an error *before* anything
+/// is written.
+pub fn render_report(
+    inputs: &ReportInputs<'_>,
+    report: &str,
+    matches: Option<&MatchSet>,
+    baseline: Option<&ExclusionReport>,
+    out: &mut dyn io::Write,
+) -> Result<(), RenderError> {
+    if !REPORT_NAMES.contains(&report) {
+        return Err(RenderError::UnknownReport(report.to_string()));
+    }
+    let result = match report {
+        "summary" => write_summary(out, inputs, matches),
+        "matrix" => write_matrix(out, inputs),
+        "temporal" => write_temporal(out, inputs),
+        "redundancy" => write_redundancy(out, inputs),
+        "exclusion" => write_exclusion(out, inputs, baseline),
+        _ => unreachable!("validated above"),
+    };
+    result.map_err(RenderError::Io)
+}
+
+/// [`render_report`] into an owned `String` — the in-memory form a
+/// service reply wants. Infallible on the sink side (a `String` buffer
+/// cannot fail to grow short of OOM).
+pub fn render_report_string(
+    inputs: &ReportInputs<'_>,
+    report: &str,
+    matches: Option<&MatchSet>,
+    baseline: Option<&ExclusionReport>,
+) -> Result<String, String> {
+    let mut buf = Vec::new();
+    render_report(inputs, report, matches, baseline, &mut buf).map_err(|e| e.to_string())?;
+    String::from_utf8(buf).map_err(|e| format!("report is not utf-8: {e}"))
+}
+
+/// The `summary` report: store counts, then (with matches) overlap and
+/// per-activity match-rate tables.
+pub fn write_summary(
+    out: &mut dyn io::Write,
+    inputs: &ReportInputs<'_>,
+    matches: Option<&MatchSet>,
+) -> io::Result<()> {
+    let store = inputs.store;
+    let (jobs, files, transfers, with_tid) = store.counts();
+    let user = store.user_jobs_in(inputs.window).count();
+    writeln!(out, "jobs {jobs} (user {user}) | file rows {files}")?;
+    writeln!(out, "transfers {transfers} (with taskid {with_tid})")?;
+    if let Some(set) = matches {
+        let overlaps = all_overlaps(store, set);
+        let s = summarize(&overlaps);
+        writeln!(
+            out,
+            "matched jobs {} | transfer-time in queue: mean {:.2}% geo {:.2}% max {:.1}%",
+            set.n_matched_jobs(),
+            s.mean_percent,
+            s.geo_mean_percent,
+            s.max_percent
+        )?;
+        let table = ActivityBreakdown::build(store, set);
+        for row in &table.rows {
+            writeln!(
+                out,
+                "  {:<30} {:>7}/{:<8} {:.2}%",
+                row.activity.label(),
+                row.matched,
+                row.total,
+                row.percent()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The `matrix` report: site-pair volume concentration and outliers.
+pub fn write_matrix(out: &mut dyn io::Write, inputs: &ReportInputs<'_>) -> io::Result<()> {
+    let m = TransferMatrix::build(inputs.store, inputs.window);
+    let s = m.summary();
+    writeln!(out, "sites {} | transfers {}", m.n(), m.n_transfers)?;
+    writeln!(
+        out,
+        "total {} B | local {:.1}% | mean/geo {:.1}x",
+        s.total_bytes,
+        100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64,
+        s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
+    )?;
+    for c in m.top_outliers(5) {
+        writeln!(
+            out,
+            "  {:>16} B  {} -> {}",
+            c.bytes, c.src_label, c.dst_label
+        )?;
+    }
+    Ok(())
+}
+
+/// The `temporal` report: volume burstiness and destination skew.
+pub fn write_temporal(out: &mut dyn io::Write, inputs: &ReportInputs<'_>) -> io::Result<()> {
+    let store = inputs.store;
+    let series = volume_series(store, inputs.window, SimDuration::from_hours(6));
+    let p2t = peak_to_trough(&series)
+        .map(|r| format!("{r:.1}x"))
+        .unwrap_or_else(|| "n/a".into());
+    writeln!(out, "{} buckets of 6h | peak/trough {}", series.len(), p2t)?;
+    writeln!(
+        out,
+        "destination-site volume Gini {:.3}",
+        site_volume_gini(store, inputs.window)
+    )?;
+    Ok(())
+}
+
+/// The `redundancy` report: duplicate deliveries split by cause.
+pub fn write_redundancy(out: &mut dyn io::Write, inputs: &ReportInputs<'_>) -> io::Result<()> {
+    let b = redundancy_breakdown(inputs.store, SimDuration::from_hours(24));
+    writeln!(
+        out,
+        "retry-induced: {} groups, {} redundant transfers, {} B",
+        b.retry_induced.n_groups, b.retry_induced.n_redundant, b.retry_induced.redundant_bytes
+    )?;
+    writeln!(
+        out,
+        "reaper-induced: {} groups, {} redundant transfers, {} B",
+        b.reaper_induced.n_groups, b.reaper_induced.n_redundant, b.reaper_induced.redundant_bytes
+    )?;
+    let share = b
+        .retry_share()
+        .map(|s| format!("{:.1}%", 100.0 * s))
+        .unwrap_or_else(|| "n/a".into());
+    let delay = b
+        .mean_retry_delay_secs()
+        .map(|d| format!("{d:.0} s"))
+        .unwrap_or_else(|| "n/a".into());
+    writeln!(
+        out,
+        "retry share {share} | mean retry-added staging delay {delay}"
+    )?;
+    Ok(())
+}
+
+/// The `exclusion` report: breaker telemetry plus (with a baseline) the
+/// adaptive-vs-baseline delta.
+pub fn write_exclusion(
+    out: &mut dyn io::Write,
+    inputs: &ReportInputs<'_>,
+    baseline: Option<&ExclusionReport>,
+) -> io::Result<()> {
+    let r = exclusion_report(
+        inputs.store,
+        inputs.window,
+        inputs.path_stats,
+        inputs.health,
+    );
+    writeln!(
+        out,
+        "adaptive exclusion {} | breaker trips {}",
+        if r.adaptive { "armed" } else { "off" },
+        r.trips
+    )?;
+    writeln!(
+        out,
+        "excluded site-hours {:.2} | excluded link-hours {:.2}",
+        r.excluded_site_hours, r.excluded_link_hours
+    )?;
+    writeln!(
+        out,
+        "refusals: site {} link {} | probes granted {}",
+        r.site_refusals, r.link_refusals, r.probes_granted
+    )?;
+    writeln!(
+        out,
+        "path: {} requests, {} delivered ({} after retry), {} failed attempts, {} exhausted, {} no-replica",
+        r.path.requests,
+        r.path.delivered,
+        r.path.delivered_after_retry,
+        r.path.failed_attempts,
+        r.path.exhausted,
+        r.path.no_replica
+    )?;
+    writeln!(
+        out,
+        "retry-attributed staging delay {:.0} s over {} delivering groups",
+        r.retry_delay_total_secs, r.retry_delay_samples
+    )?;
+    if let Some(b) = baseline {
+        let d = exclusion_delta(&r, b);
+        writeln!(
+            out,
+            "vs baseline: exhausted {:+}, failed attempts {:+}, undelivered {:+}, retry delay {:+.0} s",
+            d.exhausted, d.failed_attempts, d.undelivered, d.retry_delay_secs
+        )?;
+        writeln!(
+            out,
+            "strictly better on both acceptance axes: {}",
+            d.strictly_better()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_inputs(store: &MetaStore) -> ReportInputs<'_> {
+        ReportInputs {
+            store,
+            window: Interval::new(
+                dmsa_simcore::SimTime::EPOCH,
+                dmsa_simcore::SimTime::EPOCH + SimDuration::from_hours(1),
+            ),
+            path_stats: TransferPathStats::default(),
+            health: None,
+        }
+    }
+
+    #[test]
+    fn unknown_report_is_rejected_before_writing() {
+        let store = MetaStore::default();
+        let mut buf = Vec::new();
+        let err =
+            render_report(&empty_inputs(&store), "pie-chart", None, None, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown report"), "{err}");
+        assert!(buf.is_empty(), "nothing may be written on a usage error");
+    }
+
+    #[test]
+    fn every_report_renders_on_an_empty_store() {
+        let store = MetaStore::default();
+        for name in REPORT_NAMES {
+            let text = render_report_string(&empty_inputs(&store), name, None, None)
+                .unwrap_or_else(|e| panic!("report {name}: {e}"));
+            assert!(!text.is_empty(), "report {name} rendered nothing");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Emit the tracked serve-throughput baseline (`BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run --release -p dmsa-bench --bin bench_serve -- \
+//!     [--scale F] [--seed N] [--clients N] [--requests-per-client N] \
+//!     [--max-inflight N] [--overload-inflight N] [--overload-sleep-ms N] \
+//!     [--out FILE|-]
+//! ```
+//!
+//! Two legs against an in-process `dmsa serve` instance:
+//!
+//! 1. **Throughput** — `--clients` (default 256) concurrent connections
+//!    each issue `--requests-per-client` `match` queries back to back.
+//!    The in-flight cap defaults to the client count so this leg
+//!    measures service throughput, not admission control. Reports
+//!    aggregate queries/s plus p50/p99 per-request latency.
+//! 2. **Overload shedding** — the in-flight cap is dropped to
+//!    `--overload-inflight` and exactly twice that many clients hammer
+//!    requests with a fixed `--overload-sleep-ms` service time
+//!    (`debug_sleep`, so capacity is deterministic rather than a
+//!    function of store size). Shed clients back off one service time
+//!    and retry, so the offered load stays at roughly 2× what capacity
+//!    can absorb and a substantial fraction of offered requests must be
+//!    refused. The leg asserts nothing was *silently* dropped: every
+//!    request got either a result or an explicit `overloaded` refusal.
+//!
+//! Every ratio goes through `safe_ratio`, so the tracked JSON never
+//! carries `inf`/`NaN` even on a degenerate clock.
+
+use dmsa_bench::{json_opt_u64, rss, safe_ratio};
+use dmsa_cli::export::CampaignExport;
+use dmsa_cli::serve::{load_store_gen, ServeConfig, Server};
+use dmsa_scenario::ScenarioConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_serve [--scale F] [--seed N] [--clients N] \
+                 [--requests-per-client N] [--max-inflight N] [--overload-inflight N] \
+                 [--overload-sleep-ms N] [--out FILE|-]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One client's tally for a leg.
+#[derive(Default)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    shed: u64,
+    other: u64,
+}
+
+/// How a client treats an `overloaded` refusal.
+#[derive(Clone, Copy)]
+enum OnShed {
+    /// Count it and move to the next request (throughput leg).
+    Continue,
+    /// Count it, back off this long, and retry until the request
+    /// succeeds (overload leg — sustains the offered concurrency
+    /// instead of letting shed clients burn their budget instantly).
+    RetryAfter(Duration),
+}
+
+/// Connect and complete `n` requests of `line`, classifying every reply.
+fn client_loop(
+    addr: SocketAddr,
+    line: &str,
+    n: usize,
+    on_shed: OnShed,
+) -> Result<ClientTally, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = ClientTally::default();
+    let mut reply = String::new();
+    let mut completed = 0usize;
+    while completed < n {
+        let t0 = Instant::now();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        reply.clear();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if reply.contains("\"ok\":true") {
+            tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            tally.ok += 1;
+            completed += 1;
+        } else if reply.contains("\"overloaded\"") {
+            tally.shed += 1;
+            match on_shed {
+                OnShed::Continue => completed += 1,
+                OnShed::RetryAfter(backoff) => std::thread::sleep(backoff),
+            }
+        } else {
+            tally.other += 1;
+            completed += 1;
+        }
+    }
+    Ok(tally)
+}
+
+/// Fan `clients` concurrent client loops at the server; merge tallies.
+fn drive(
+    addr: SocketAddr,
+    line: &str,
+    clients: usize,
+    per_client: usize,
+    on_shed: OnShed,
+) -> Result<(ClientTally, f64), String> {
+    let t0 = Instant::now();
+    let tallies: Vec<Result<ClientTally, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| s.spawn(move || client_loop(addr, line, per_client, on_shed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut merged = ClientTally::default();
+    for t in tallies {
+        let t = t?;
+        merged.latencies_ms.extend(t.latencies_ms);
+        merged.ok += t.ok;
+        merged.shed += t.shed;
+        merged.other += t.other;
+    }
+    Ok((merged, wall_s))
+}
+
+/// Percentile over a sorted latency list (nearest-rank).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = 0.02f64;
+    let mut seed = 42u64;
+    let mut clients = 256usize;
+    let mut per_client = 8usize;
+    // 0 = auto (resolved to the client count after flag parsing).
+    let mut max_inflight = 0usize;
+    let mut overload_inflight = 8usize;
+    let mut overload_sleep_ms = 20u64;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        let parse_usize =
+            |v: &str, f: &str| v.parse::<usize>().map_err(|e| format!("bad {f}: {e}"));
+        match flag {
+            "--scale" => scale = value.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--seed" => seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--clients" => clients = parse_usize(value, flag)?,
+            "--requests-per-client" => per_client = parse_usize(value, flag)?,
+            "--max-inflight" => max_inflight = parse_usize(value, flag)?,
+            "--overload-inflight" => overload_inflight = parse_usize(value, flag)?,
+            "--overload-sleep-ms" => {
+                overload_sleep_ms = value
+                    .parse()
+                    .map_err(|e| format!("bad --overload-sleep-ms: {e}"))?
+            }
+            "--out" => out = value.clone(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if max_inflight == 0 {
+        // The throughput leg measures serving capacity, not shedding:
+        // admit every client unless the operator pins a tighter cap.
+        max_inflight = clients;
+    }
+
+    // One campaign serves both legs: the paper topology at bench scale.
+    let config = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::paper_8day(scale)
+    };
+    let campaign = dmsa_scenario::run(&config);
+    let json = CampaignExport::from_campaign(&campaign).to_json();
+    eprintln!(
+        "campaign: {} bytes of export (seed {seed}, scale {scale})",
+        json.len()
+    );
+
+    // --- Leg 1: throughput under ≥`clients` concurrent connections ----
+    let cfg = ServeConfig {
+        max_inflight,
+        max_conns: clients + overload_inflight * 2 + 16,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, load_store_gen(&json, "<bench>", 0.01)?, None)?;
+    let addr = server.local_addr();
+    eprintln!(
+        "throughput leg: {clients} clients × {per_client} match queries (cap {max_inflight})"
+    );
+    let (mut tally, wall_s) = drive(
+        addr,
+        "{\"cmd\":\"match\",\"method\":\"rm2\"}",
+        clients,
+        per_client,
+        OnShed::Continue,
+    )?;
+    if tally.other > 0 {
+        return Err(format!(
+            "{} request(s) failed with a non-overload error",
+            tally.other
+        ));
+    }
+    tally
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = (clients * per_client) as f64;
+    let qps = safe_ratio(tally.ok as f64, wall_s);
+    let p50 = percentile(&tally.latencies_ms, 50.0);
+    let p99 = percentile(&tally.latencies_ms, 99.0);
+    eprintln!(
+        "  {:.0} ok in {wall_s:.2} s = {qps:.0} q/s | p50 {p50:.2} ms p99 {p99:.2} ms | shed {}",
+        tally.ok as f64, tally.shed
+    );
+    let throughput_shed_rate = safe_ratio(tally.shed as f64, total);
+    server.shutdown();
+
+    // --- Leg 2: shed rate at 2x overload ------------------------------
+    // Deterministic service time via debug_sleep: capacity is exactly
+    // `overload_inflight` concurrent sleepers; twice as many clients
+    // offer 2x that concurrency. Each shed client backs off one service
+    // time before retrying, so every client offers ~1 request per
+    // service interval — 2x the rate capacity can absorb — and a
+    // substantial fraction of offered requests must be shed (the exact
+    // rate depends on how retries phase-align with slot turnover):
+    // explicitly, never silently.
+    let overload_clients = overload_inflight * 2;
+    let cfg = ServeConfig {
+        max_inflight: overload_inflight,
+        max_conns: overload_clients + 16,
+        debug_commands: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, load_store_gen(&json, "<bench>", 0.01)?, None)?;
+    eprintln!(
+        "overload leg: {overload_clients} clients vs capacity {overload_inflight} \
+         ({overload_sleep_ms} ms service time)"
+    );
+    let sleep_line = format!("{{\"cmd\":\"debug_sleep\",\"ms\":{overload_sleep_ms}}}");
+    let (over, over_wall_s) = drive(
+        server.local_addr(),
+        &sleep_line,
+        overload_clients,
+        per_client,
+        OnShed::RetryAfter(Duration::from_millis(overload_sleep_ms)),
+    )?;
+    let offered = over.ok + over.shed + over.other;
+    if over.other > 0 {
+        return Err(format!(
+            "{} overload request(s) failed with a non-overload error",
+            over.other
+        ));
+    }
+    let shed_rate = safe_ratio(over.shed as f64, offered.max(1) as f64);
+    eprintln!(
+        "  offered {offered} | served {} | shed {} (rate {shed_rate:.2}) in {over_wall_s:.2} s",
+        over.ok, over.shed
+    );
+    let drained = server.shutdown();
+    if !drained.clean {
+        return Err(format!(
+            "overload server abandoned {} connection(s) at drain",
+            drained.abandoned_conns
+        ));
+    }
+
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!(
+        "  \"config\": {{\"scale\": {scale}, \"seed\": {seed}, \"clients\": {clients}, \
+         \"requests_per_client\": {per_client}, \"max_inflight\": {max_inflight}}},\n"
+    ));
+    doc.push_str(&format!(
+        "  \"throughput\": {{\"requests\": {}, \"ok\": {}, \"wall_s\": {:.3}, \
+         \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"shed_rate\": {:.4}}},\n",
+        clients * per_client,
+        tally.ok,
+        wall_s,
+        qps,
+        p50,
+        p99,
+        throughput_shed_rate
+    ));
+    doc.push_str(&format!(
+        "  \"overload\": {{\"capacity\": {overload_inflight}, \"clients\": {overload_clients}, \
+         \"service_ms\": {overload_sleep_ms}, \"offered\": {offered}, \"served\": {}, \
+         \"shed\": {}, \"shed_rate\": {:.4}}},\n",
+        over.ok, over.shed, shed_rate
+    ));
+    doc.push_str(&format!(
+        "  \"peak_rss_bytes\": {}\n}}\n",
+        json_opt_u64(rss::peak_rss_bytes())
+    ));
+    if out == "-" {
+        println!("{doc}");
+    } else {
+        std::fs::write(&out, &doc).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}

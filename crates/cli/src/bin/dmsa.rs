@@ -17,6 +17,8 @@ use dmsa_cli::run::{
     analyze, compare_methods, parse_sim_duration, preset_config, run_match, simulate,
     CheckpointKnobs, EngineChoice, FaultKnobs, HealthKnobs, MatcherChoice,
 };
+use dmsa_cli::serve::{load_store_gen, ServeConfig, Server};
+use dmsa_cli::signals;
 use dmsa_cli::sweep::{
     human_report, parse_breakers, parse_fail_probs, parse_seeds, run_sweep, SweepOpts,
 };
@@ -25,6 +27,8 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,10 +64,21 @@ const USAGE: &str = "usage:
   dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
                 [--quarantine-report]
                 --report summary|matrix|temporal|redundancy|exclusion
-  dmsa compare  --campaign FILE";
+  dmsa compare  --campaign FILE
+  dmsa serve    --campaign FILE [--addr HOST:PORT] [--port-file FILE]
+                [--max-inflight N] [--max-conns N]
+                [--deadline-ms N] [--write-timeout-ms N] [--drain-ms N]
+                [--max-quarantine-frac F] [--debug-commands]
+                (newline-delimited JSON over TCP: health|match|analyze|
+                 reload|shutdown; SIGHUP = hot reload, SIGTERM = drain)";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["adaptive-exclusion", "resume", "quarantine-report"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "adaptive-exclusion",
+    "resume",
+    "quarantine-report",
+    "debug-commands",
+];
 
 /// Parse `--key value` pairs (and bare boolean flags) after the
 /// subcommand.
@@ -222,6 +237,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 fail_probs: parse_fail_probs(f.get("fail-probs").copied().unwrap_or(""))?,
                 breakers: parse_breakers(f.get("breakers").copied().unwrap_or(""))?,
             };
+            // Ctrl-C stops dispatching new cells; in-flight cells finish,
+            // unstarted ones are quarantined, and the partial summary is
+            // still written (exit 3 = partial success).
+            signals::install_termination_handler();
             let opts = SweepOpts {
                 jobs: f
                     .get("jobs")
@@ -234,6 +253,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                     .transpose()?,
                 out_dir: PathBuf::from(out_dir),
                 write_cell_exports: true,
+                interrupt: Some(signals::termination_requested),
             };
             let outcome = run_sweep(&grid, &opts)?;
             print_stdout(&human_report(&outcome))?;
@@ -277,6 +297,76 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "compare" => {
             let campaign = read("campaign")?;
             print_stdout(&compare_methods(&campaign)?)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "serve" => {
+            let campaign_path = f
+                .get("campaign")
+                .ok_or_else(|| "--campaign is required".to_string())?;
+            let parse_ms = |key: &str, default_ms: u64| -> Result<Duration, String> {
+                f.get(key)
+                    .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+                    .transpose()
+                    .map(|ms| Duration::from_millis(ms.unwrap_or(default_ms)))
+            };
+            let mut cfg = ServeConfig {
+                watch_signals: true,
+                debug_commands: f.contains_key("debug-commands"),
+                deadline: parse_ms("deadline-ms", 10_000)?,
+                write_timeout: parse_ms("write-timeout-ms", 5_000)?,
+                drain_deadline: parse_ms("drain-ms", 5_000)?,
+                ..ServeConfig::default()
+            };
+            if let Some(addr) = f.get("addr") {
+                cfg.addr = addr.to_string();
+            }
+            if let Some(n) = f.get("max-inflight") {
+                cfg.max_inflight = n.parse().map_err(|e| format!("bad --max-inflight: {e}"))?;
+            }
+            if let Some(n) = f.get("max-conns") {
+                cfg.max_conns = n.parse().map_err(|e| format!("bad --max-conns: {e}"))?;
+            }
+            if let Some(frac) = f.get("max-quarantine-frac") {
+                cfg.max_quarantine_frac = frac
+                    .parse()
+                    .map_err(|e| format!("bad --max-quarantine-frac: {e}"))?;
+            }
+            let json = read_lossy(campaign_path)?;
+            let initial = load_store_gen(&json, campaign_path, cfg.max_quarantine_frac)?;
+            drop(json);
+
+            // Latch signals before the accept loop starts polling them.
+            signals::install_termination_handler();
+            signals::install_reload_handler();
+
+            let server = Server::start(cfg, initial, Some(PathBuf::from(campaign_path)))?;
+            let addr = server.local_addr();
+            if let Some(port_file) = f.get("port-file") {
+                write_atomic(Path::new(port_file), addr.to_string().as_bytes())
+                    .map_err(|e| format!("writing {port_file}: {e}"))?;
+            }
+            eprintln!("dmsa serve: listening on {addr} (campaign {campaign_path})");
+            eprintln!("dmsa serve: SIGHUP reloads the campaign, SIGTERM drains and exits");
+
+            while !server.state().draining() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let state = std::sync::Arc::clone(server.state());
+            let outcome = server.shutdown();
+            let c = state.counters();
+            eprintln!(
+                "dmsa serve: drained ({}); served {} | shed {} | panics contained {} | reloads {} ok / {} failed",
+                if outcome.clean {
+                    "clean".to_string()
+                } else {
+                    format!("{} connection(s) abandoned", outcome.abandoned_conns)
+                },
+                c.served.load(Ordering::Relaxed),
+                c.shed.load(Ordering::Relaxed),
+                c.panics.load(Ordering::Relaxed),
+                c.reloads_ok.load(Ordering::Relaxed),
+                c.reloads_failed.load(Ordering::Relaxed),
+            );
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?}")),

@@ -1,8 +1,13 @@
 //! Checkpoint files: framed, checksummed snapshots on disk.
 //!
 //! A checkpoint directory holds up to `keep` files named
-//! `ckpt-<millis>.dmsa` (zero-padded so lexical order is numeric order).
-//! Each file frames one scenario snapshot:
+//! `ckpt-<millis>-<seq>.dmsa`: zero-padded sim-time millis plus a
+//! directory-wide monotonic sequence number, so two snapshots taken at
+//! the same sim-millisecond (a sub-millisecond checkpoint cadence, or a
+//! write-then-resume-then-write at one boundary) get distinct files
+//! instead of silently overwriting each other. Pre-sequence files
+//! (`ckpt-<millis>.dmsa`) are still read, and order before any suffixed
+//! file of the same millisecond. Each file frames one scenario snapshot:
 //!
 //! ```text
 //! "DMSACKPT"  8 bytes   magic
@@ -23,6 +28,7 @@ use dmsa_simcore::codec::crc32;
 use dmsa_simcore::SimTime;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 8] = b"DMSACKPT";
 /// Frame layout version (independent of the snapshot payload's version).
@@ -88,44 +94,79 @@ pub struct FoundCheckpoint {
     pub skipped: Vec<String>,
 }
 
+/// Ordering key of a checkpoint filename: `(millis, seq)`, where
+/// pre-sequence files (`ckpt-<millis>.dmsa`) sort as sequence 0 and a
+/// suffixed file's stored sequence is shifted up by one — legacy files
+/// therefore order *before* any suffixed file of the same millisecond.
+/// `None` for names that aren't checkpoints.
+fn sort_key(name: &str) -> Option<(i64, u64)> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".dmsa")?;
+    match rest.split_once('-') {
+        Some((millis, seq)) => Some((
+            millis.parse().ok()?,
+            seq.parse::<u64>().ok()?.checked_add(1)?,
+        )),
+        None => Some((rest.parse().ok()?, 0)),
+    }
+}
+
+/// The sequence-number suffix of a checkpoint filename (0 for legacy
+/// names) — what [`CheckpointDir::open`] resumes the counter from.
+fn seq_suffix(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".dmsa")?;
+    match rest.split_once('-') {
+        Some((_, seq)) => seq.parse().ok(),
+        None => Some(0),
+    }
+}
+
 /// A rotating checkpoint directory.
 pub struct CheckpointDir {
     dir: PathBuf,
     /// How many checkpoint files to retain (oldest pruned first).
     pub keep: usize,
+    /// Next filename sequence number. Monotonic per directory handle and
+    /// resumed past existing files on open, so same-millisecond snapshots
+    /// never collide — including across a crash/reopen.
+    seq: AtomicU64,
 }
 
 impl CheckpointDir {
     /// Open (creating if needed) a checkpoint directory keeping the
-    /// newest `keep` files.
+    /// newest `keep` files. The write sequence resumes after the highest
+    /// sequence number already present.
     pub fn open(dir: &Path, keep: usize) -> Result<Self, String> {
         fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        let next_seq = fs::read_dir(dir)
+            .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().and_then(seq_suffix))
+            .map(|s| s.saturating_add(1))
+            .max()
+            .unwrap_or(0);
         Ok(CheckpointDir {
             dir: dir.to_path_buf(),
             keep: keep.max(1),
+            seq: AtomicU64::new(next_seq),
         })
     }
 
-    fn file_for(&self, at: SimTime) -> PathBuf {
-        // Zero-padded millis: lexical order == chronological order.
-        self.dir.join(format!("ckpt-{:013}.dmsa", at.as_millis()))
-    }
-
-    /// Checkpoint filenames, oldest first.
+    /// Checkpoint filenames, oldest first — ordered by the parsed
+    /// `(millis, seq)` key, so mixed legacy/suffixed directories still
+    /// resolve chronologically.
     fn list(&self) -> Result<Vec<PathBuf>, String> {
-        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)
+        let mut files: Vec<((i64, u64), PathBuf)> = fs::read_dir(&self.dir)
             .map_err(|e| format!("cannot read checkpoint dir {}: {e}", self.dir.display()))?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".dmsa"))
+            .filter_map(|p| {
+                let key = p.file_name().and_then(|n| n.to_str()).and_then(sort_key)?;
+                Some((key, p))
             })
             .collect();
         files.sort();
-        Ok(files)
+        Ok(files.into_iter().map(|(_, p)| p).collect())
     }
 
     /// Checkpoint files newest first — the order a resume ladder tries
@@ -139,7 +180,10 @@ impl CheckpointDir {
     /// Atomically write the checkpoint for sim-time `at` and prune old
     /// files past the retention count.
     pub fn write(&self, at: SimTime, payload: &[u8]) -> Result<(), String> {
-        let path = self.file_for(at);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("ckpt-{:013}-{seq:06}.dmsa", at.as_millis()));
         write_atomic(&path, &frame(payload))
             .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
         let files = self.list()?;
@@ -240,11 +284,51 @@ mod tests {
             .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
             .collect();
         assert_eq!(names.len(), 3);
-        assert_eq!(names[0], format!("ckpt-{:013}.dmsa", t(3).as_millis()));
+        assert!(
+            names[0].starts_with(&format!("ckpt-{:013}-", t(3).as_millis())),
+            "{names:?}"
+        );
         let found = store.newest_valid().unwrap().unwrap();
-        assert_eq!(found.path, store.file_for(t(5)));
+        assert_eq!(found.path, *store.list().unwrap().last().unwrap());
         assert_eq!(found.payload, b"snap-5");
         assert!(found.skipped.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_millis_checkpoints_do_not_collide() {
+        let dir = scratch("collide");
+        let store = CheckpointDir::open(&dir, 10).unwrap();
+        // Three snapshots at one sim-millisecond used to map to one
+        // filename, each overwriting the last.
+        for i in 0..3 {
+            store.write(t(1), format!("snap-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.list().unwrap().len(), 3, "collided filenames");
+        assert_eq!(store.newest_valid().unwrap().unwrap().payload, b"snap-2");
+
+        // A reopened directory resumes the sequence past existing files
+        // instead of colliding with them.
+        let reopened = CheckpointDir::open(&dir, 10).unwrap();
+        reopened.write(t(1), b"snap-3").unwrap();
+        assert_eq!(reopened.list().unwrap().len(), 4);
+        assert_eq!(reopened.newest_valid().unwrap().unwrap().payload, b"snap-3");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_unsuffixed_names_still_resolve_and_order_first() {
+        let dir = scratch("legacy");
+        let store = CheckpointDir::open(&dir, 10).unwrap();
+        // A pre-sequence file written by an older build...
+        let legacy = dir.join(format!("ckpt-{:013}.dmsa", t(1).as_millis()));
+        fs::write(&legacy, frame(b"legacy")).unwrap();
+        // ...and a new write at the very same millisecond.
+        store.write(t(1), b"newer").unwrap();
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0], legacy, "legacy file must order first");
+        assert_eq!(store.newest_valid().unwrap().unwrap().payload, b"newer");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -256,17 +340,18 @@ mod tests {
             store.write(t(h), format!("snap-{h}").as_bytes()).unwrap();
         }
         // Newest is truncated mid-payload; second-newest has a bad byte.
-        let newest = store.file_for(t(3));
-        let bytes = fs::read(&newest).unwrap();
-        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
-        let second = store.file_for(t(2));
-        let mut bytes = fs::read(&second).unwrap();
+        let files = store.list().unwrap();
+        let newest = &files[2];
+        let bytes = fs::read(newest).unwrap();
+        fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+        let second = &files[1];
+        let mut bytes = fs::read(second).unwrap();
         let last = bytes.len() - 5;
         bytes[last] ^= 0xFF;
-        fs::write(&second, &bytes).unwrap();
+        fs::write(second, &bytes).unwrap();
 
         let found = store.newest_valid().unwrap().unwrap();
-        assert_eq!(found.path, store.file_for(t(1)));
+        assert_eq!(found.path, files[0]);
         assert_eq!(found.payload, b"snap-1");
         let skipped = &found.skipped;
         assert_eq!(skipped.len(), 2, "{skipped:?}");
@@ -280,7 +365,7 @@ mod tests {
         let dir = scratch("cold");
         let store = CheckpointDir::open(&dir, 3).unwrap();
         store.write(t(1), b"snap").unwrap();
-        fs::write(store.file_for(t(1)), b"garbage").unwrap();
+        fs::write(&store.list().unwrap()[0], b"garbage").unwrap();
         let found = store.newest_valid().unwrap();
         assert!(found.is_none());
         fs::remove_dir_all(&dir).unwrap();

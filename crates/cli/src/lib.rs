@@ -24,6 +24,8 @@ pub mod checkpoint;
 pub mod export;
 pub mod json;
 pub mod run;
+pub mod serve;
+pub mod signals;
 pub mod sweep;
 
 pub use export::CampaignExport;

@@ -6,12 +6,8 @@
 use crate::checkpoint::{self, CheckpointDir};
 use crate::export::CampaignExport;
 use crate::json;
-use dmsa_analysis::activity::ActivityBreakdown;
-use dmsa_analysis::exclusion::{exclusion_delta, exclusion_report, ExclusionReport};
-use dmsa_analysis::matrix::TransferMatrix;
-use dmsa_analysis::overlap::{all_overlaps, summarize};
-use dmsa_analysis::redundancy::redundancy_breakdown;
-use dmsa_analysis::temporal::{peak_to_trough, site_volume_gini, volume_series};
+use dmsa_analysis::exclusion::{exclusion_report, ExclusionReport};
+use dmsa_analysis::render::{self, ReportInputs};
 use dmsa_core::matcher::Matcher;
 use dmsa_core::{
     evaluate, IndexedMatcher, MatchMethod, MatchSet, MatchedJob, NaiveMatcher, ParallelMatcher,
@@ -489,29 +485,30 @@ pub fn analyze(
                 .map(|b| exclusion_report(&b.store, b.window, b.path_stats, b.health.as_ref()))
         })
         .transpose()?;
-    let write_report = |out: &mut dyn io::Write| match report {
-        "summary" => write_summary(out, &export, matches.as_ref()),
-        "matrix" => write_matrix(out, &export),
-        "temporal" => write_temporal(out, &export),
-        "redundancy" => write_redundancy(out, &export),
-        "exclusion" => write_exclusion(out, &export, baseline.as_ref()),
-        _ => unreachable!("validated above"),
-    };
-    if !matches!(
-        report,
-        "summary" | "matrix" | "temporal" | "redundancy" | "exclusion"
-    ) {
-        return Err(format!(
-            "unknown report {report:?} (summary|matrix|temporal|redundancy|exclusion)"
-        ));
+    let inputs = report_inputs(&export);
+    // Validate the report name before anything is written, so usage
+    // errors never leave a half-printed report.
+    if !render::REPORT_NAMES.contains(&report) {
+        return Err(render::RenderError::UnknownReport(report.to_string()).to_string());
     }
-    let result = (|| {
-        if quarantine_report {
-            out.write_all(loaded.quarantine.render().as_bytes())?;
-        }
-        write_report(out)
-    })();
-    swallow_broken_pipe(result)
+    if quarantine_report {
+        swallow_broken_pipe(out.write_all(loaded.quarantine.render().as_bytes()))?;
+    }
+    match render::render_report(&inputs, report, matches.as_ref(), baseline.as_ref(), out) {
+        Ok(()) => Ok(()),
+        Err(render::RenderError::Io(e)) => swallow_broken_pipe(Err(e)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Borrow the report-relevant pieces of an export as [`ReportInputs`].
+pub fn report_inputs(export: &CampaignExport) -> ReportInputs<'_> {
+    ReportInputs {
+        store: &export.store,
+        window: export.window,
+        path_stats: export.path_stats,
+        health: export.health.as_ref(),
+    }
 }
 
 /// Map a report-writer outcome to the CLI error domain: `BrokenPipe` is
@@ -523,163 +520,6 @@ fn swallow_broken_pipe(result: io::Result<()>) -> Result<(), String> {
         Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Ok(()),
         Err(e) => Err(format!("writing report: {e}")),
     }
-}
-
-fn write_summary(
-    out: &mut dyn io::Write,
-    export: &CampaignExport,
-    matches: Option<&MatchSet>,
-) -> io::Result<()> {
-    let store = &export.store;
-    let (jobs, files, transfers, with_tid) = store.counts();
-    let user = store.user_jobs_in(export.window).count();
-    writeln!(out, "jobs {jobs} (user {user}) | file rows {files}")?;
-    writeln!(out, "transfers {transfers} (with taskid {with_tid})")?;
-    if let Some(set) = matches {
-        let overlaps = all_overlaps(store, set);
-        let s = summarize(&overlaps);
-        writeln!(
-            out,
-            "matched jobs {} | transfer-time in queue: mean {:.2}% geo {:.2}% max {:.1}%",
-            set.n_matched_jobs(),
-            s.mean_percent,
-            s.geo_mean_percent,
-            s.max_percent
-        )?;
-        let table = ActivityBreakdown::build(store, set);
-        for row in &table.rows {
-            writeln!(
-                out,
-                "  {:<30} {:>7}/{:<8} {:.2}%",
-                row.activity.label(),
-                row.matched,
-                row.total,
-                row.percent()
-            )?;
-        }
-    }
-    Ok(())
-}
-
-fn write_matrix(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
-    let m = TransferMatrix::build(&export.store, export.window);
-    let s = m.summary();
-    writeln!(out, "sites {} | transfers {}", m.n(), m.n_transfers)?;
-    writeln!(
-        out,
-        "total {} B | local {:.1}% | mean/geo {:.1}x",
-        s.total_bytes,
-        100.0 * s.local_bytes as f64 / s.total_bytes.max(1) as f64,
-        s.mean_pair_bytes / s.geo_mean_pair_bytes.max(1.0)
-    )?;
-    for c in m.top_outliers(5) {
-        writeln!(
-            out,
-            "  {:>16} B  {} -> {}",
-            c.bytes, c.src_label, c.dst_label
-        )?;
-    }
-    Ok(())
-}
-
-fn write_temporal(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
-    let store = &export.store;
-    let series = volume_series(store, export.window, SimDuration::from_hours(6));
-    let p2t = peak_to_trough(&series)
-        .map(|r| format!("{r:.1}x"))
-        .unwrap_or_else(|| "n/a".into());
-    writeln!(out, "{} buckets of 6h | peak/trough {}", series.len(), p2t)?;
-    writeln!(
-        out,
-        "destination-site volume Gini {:.3}",
-        site_volume_gini(store, export.window)
-    )?;
-    Ok(())
-}
-
-fn write_redundancy(out: &mut dyn io::Write, export: &CampaignExport) -> io::Result<()> {
-    let b = redundancy_breakdown(&export.store, SimDuration::from_hours(24));
-    writeln!(
-        out,
-        "retry-induced: {} groups, {} redundant transfers, {} B",
-        b.retry_induced.n_groups, b.retry_induced.n_redundant, b.retry_induced.redundant_bytes
-    )?;
-    writeln!(
-        out,
-        "reaper-induced: {} groups, {} redundant transfers, {} B",
-        b.reaper_induced.n_groups, b.reaper_induced.n_redundant, b.reaper_induced.redundant_bytes
-    )?;
-    let share = b
-        .retry_share()
-        .map(|s| format!("{:.1}%", 100.0 * s))
-        .unwrap_or_else(|| "n/a".into());
-    let delay = b
-        .mean_retry_delay_secs()
-        .map(|d| format!("{d:.0} s"))
-        .unwrap_or_else(|| "n/a".into());
-    writeln!(
-        out,
-        "retry share {share} | mean retry-added staging delay {delay}"
-    )?;
-    Ok(())
-}
-
-fn write_exclusion(
-    out: &mut dyn io::Write,
-    export: &CampaignExport,
-    baseline: Option<&ExclusionReport>,
-) -> io::Result<()> {
-    let r = exclusion_report(
-        &export.store,
-        export.window,
-        export.path_stats,
-        export.health.as_ref(),
-    );
-    writeln!(
-        out,
-        "adaptive exclusion {} | breaker trips {}",
-        if r.adaptive { "armed" } else { "off" },
-        r.trips
-    )?;
-    writeln!(
-        out,
-        "excluded site-hours {:.2} | excluded link-hours {:.2}",
-        r.excluded_site_hours, r.excluded_link_hours
-    )?;
-    writeln!(
-        out,
-        "refusals: site {} link {} | probes granted {}",
-        r.site_refusals, r.link_refusals, r.probes_granted
-    )?;
-    writeln!(
-        out,
-        "path: {} requests, {} delivered ({} after retry), {} failed attempts, {} exhausted, {} no-replica",
-        r.path.requests,
-        r.path.delivered,
-        r.path.delivered_after_retry,
-        r.path.failed_attempts,
-        r.path.exhausted,
-        r.path.no_replica
-    )?;
-    writeln!(
-        out,
-        "retry-attributed staging delay {:.0} s over {} delivering groups",
-        r.retry_delay_total_secs, r.retry_delay_samples
-    )?;
-    if let Some(b) = baseline {
-        let d = exclusion_delta(&r, b);
-        writeln!(
-            out,
-            "vs baseline: exhausted {:+}, failed attempts {:+}, undelivered {:+}, retry delay {:+.0} s",
-            d.exhausted, d.failed_attempts, d.undelivered, d.retry_delay_secs
-        )?;
-        writeln!(
-            out,
-            "strictly better on both acceptance axes: {}",
-            d.strictly_better()
-        )?;
-    }
-    Ok(())
 }
 
 /// Run the three matchers sequentially on one campaign (the `bench-lite`
@@ -709,6 +549,7 @@ pub fn compare_methods(campaign_json: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmsa_analysis::redundancy::redundancy_breakdown;
 
     fn tiny_campaign_json() -> String {
         let mut c = ScenarioConfig::small();
@@ -1055,7 +896,8 @@ mod tests {
             baseline.health.as_ref(),
         );
         let mut buf = Vec::new();
-        write_exclusion(&mut buf, &adaptive, Some(&baseline_report)).unwrap();
+        render::write_exclusion(&mut buf, &report_inputs(&adaptive), Some(&baseline_report))
+            .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("adaptive exclusion armed"));
         assert!(text.contains("vs baseline"));
@@ -1101,7 +943,7 @@ mod tests {
         c.initial_datasets = 20;
         let export = CampaignExport::from_campaign(&dmsa_scenario::run(&c));
         let mut sink = ClosedPipe { writes_left: 1 };
-        let err = write_summary(&mut sink, &export, None).unwrap_err();
+        let err = render::write_summary(&mut sink, &report_inputs(&export), None).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
         assert_eq!(swallow_broken_pipe(Err(err)), Ok(()));
     }

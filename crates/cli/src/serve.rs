@@ -1,0 +1,1087 @@
+//! `dmsa serve` — a fault-hardened concurrent analysis service.
+//!
+//! One process loads a campaign export through the lenient quarantine
+//! loader, builds a single shared [`SharedPrepared`] index, and answers
+//! newline-delimited-JSON queries over TCP. The design goals, in order:
+//!
+//! 1. **The process survives.** Request handlers run under
+//!    `catch_unwind`; a panicking request becomes an `internal_error`
+//!    reply and a counter bump, never a dead server. Slow or vanished
+//!    clients hit write timeouts and are dropped, never block a thread
+//!    forever.
+//! 2. **Overload is explicit.** Admission is bounded two ways — a
+//!    connection cap (excess connections get one `overloaded` line and
+//!    are closed) and an in-flight request cap (excess requests on live
+//!    connections get an `overloaded` reply immediately instead of
+//!    queueing without bound). Clients always learn *why* they were
+//!    refused.
+//! 3. **Reload is atomic.** A reload (SIGHUP or `reload` command) loads
+//!    and validates the new export off the serving path, builds a fresh
+//!    prepared store, and swaps it into a [`StoreSwap`] in one atomic
+//!    step. In-flight requests keep the generation they started with; a
+//!    failed load rolls back to the old store and records the error.
+//! 4. **Shutdown drains.** SIGTERM (or the `shutdown` command) stops
+//!    accepting, lets in-flight work finish up to a drain deadline, and
+//!    exits cleanly.
+//!
+//! ## Line protocol
+//!
+//! One JSON object per line, one reply line per request:
+//!
+//! ```text
+//! -> {"cmd":"health"}
+//! <- {"ok":true,"cmd":"health","generation":1,...}
+//! -> {"cmd":"match","method":"rm2"}
+//! <- {"ok":true,"cmd":"match","method":"rm2","matched_jobs":17,...}
+//! -> {"cmd":"analyze","report":"summary"}
+//! <- {"ok":true,"cmd":"analyze","report":"summary","text":"jobs 100..."}
+//! -> {"cmd":"reload","path":"new-campaign.json"}
+//! <- {"ok":true,"cmd":"reload","generation":2}
+//! ```
+//!
+//! Failure replies are `{"ok":false,"error":E}` with `E` one of
+//! `overloaded`, `deadline_exceeded`, `bad_request`, `internal_error`,
+//! `reload_failed`, `shutting_down` (plus a human `detail` where it
+//! helps). The current store generation appears **only** in the `health`
+//! reply, so `match`/`analyze` replies are byte-comparable across
+//! reloads of identical content — the property the hot-reload atomicity
+//! test locks.
+
+use crate::export::CampaignExport;
+use crate::json::{self, push_str_lit};
+use crate::run::{matchset_to_json, MatcherChoice};
+use crate::signals;
+use dmsa_core::{MatchMethod, MatchSet, ScoredMatcher, SharedPrepared, StoreSwap};
+use dmsa_gridnet::HealthSummary;
+use dmsa_rucio_sim::TransferPathStats;
+use dmsa_simcore::interval::Interval;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How many jobs a `match` request processes between deadline checks.
+/// Cancellation is cooperative; this bounds how far past the deadline a
+/// request can run.
+const DEADLINE_STRIDE: usize = 1024;
+
+/// How long connection threads and the accept loop sleep between polls
+/// of the drain/reload/readable state. Bounds signal-to-action latency.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Tunables for [`Server::start`]. `Default` gives conservative values
+/// sized for the CI smoke and the bench harness; the CLI maps flags onto
+/// these.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximum concurrently *executing* requests before shedding.
+    pub max_inflight: usize,
+    /// Maximum live connections before new ones are refused.
+    pub max_conns: usize,
+    /// Per-request compute deadline.
+    pub deadline: Duration,
+    /// Per-reply socket write timeout (slow-client guard).
+    pub write_timeout: Duration,
+    /// How long shutdown waits for in-flight connections to finish.
+    pub drain_deadline: Duration,
+    /// Reloads refuse an export whose quarantined-record fraction
+    /// exceeds this (a mostly-corrupt replacement must not evict a
+    /// healthy store).
+    pub max_quarantine_frac: f64,
+    /// Poll the process-global signal latches (SIGTERM drain, SIGHUP
+    /// reload). Off in unit tests, on under the CLI.
+    pub watch_signals: bool,
+    /// Enable `debug_panic` / `debug_sleep` fault-injection commands.
+    pub debug_commands: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_inflight: thread::available_parallelism().map_or(4, |n| n.get()),
+            max_conns: 1024,
+            deadline: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            max_quarantine_frac: 0.01,
+            watch_signals: false,
+            debug_commands: false,
+        }
+    }
+}
+
+/// One immutable store generation: everything a request reads, owned
+/// together so the [`StoreSwap`] can retire it as a unit when the last
+/// in-flight reader drops.
+pub struct StoreGen {
+    /// The shared prepared index (owns the store).
+    pub shared: SharedPrepared,
+    /// Observation window of the export.
+    pub window: Interval,
+    /// Transfer-path counters of the export.
+    pub path_stats: TransferPathStats,
+    /// Breaker telemetry of the export, when armed.
+    pub health: Option<HealthSummary>,
+    /// Where this generation was loaded from (display only).
+    pub source: String,
+    /// Records the lenient loader quarantined while loading it.
+    pub quarantined: u64,
+}
+
+/// Parse + validate + index an export into a servable [`StoreGen`].
+///
+/// This is the *whole* reload path minus the swap: strict format-version
+/// checking and record quarantine happen inside `from_json_lenient`, the
+/// quarantine fraction is checked against `max_quarantine_frac`, and the
+/// prepared index is built — all before the caller decides to swap. Any
+/// `Err` here therefore leaves a running server untouched.
+pub fn load_store_gen(
+    campaign_json: &str,
+    source: &str,
+    max_quarantine_frac: f64,
+) -> Result<StoreGen, String> {
+    let loaded = CampaignExport::from_json_lenient(campaign_json)?;
+    let quarantined = loaded.quarantine.total();
+    if quarantined > 0 {
+        let (jobs, files, transfers, _) = loaded.export.store.counts();
+        let kept = (jobs + files + transfers) as u64;
+        let frac = quarantined as f64 / (kept + quarantined).max(1) as f64;
+        if frac > max_quarantine_frac {
+            return Err(format!(
+                "refusing export {source}: {quarantined} quarantined record(s) \
+                 ({:.2}% > {:.2}% allowed): {}",
+                100.0 * frac,
+                100.0 * max_quarantine_frac,
+                loaded.quarantine.one_line()
+            ));
+        }
+    }
+    let export = loaded.export;
+    Ok(StoreGen {
+        shared: SharedPrepared::build(export.store),
+        window: export.window,
+        path_stats: export.path_stats,
+        health: export.health,
+        source: source.to_string(),
+        quarantined,
+    })
+}
+
+/// Monotonic counters exposed through the `health` reply. All relaxed:
+/// they are telemetry, not synchronization.
+#[derive(Default)]
+pub struct Counters {
+    /// Requests answered with `"ok":true`.
+    pub served: AtomicU64,
+    /// Requests refused with `overloaded` (either cap).
+    pub shed: AtomicU64,
+    /// Unparseable or unknown requests.
+    pub bad_requests: AtomicU64,
+    /// Request handlers that panicked (and were contained).
+    pub panics: AtomicU64,
+    /// Requests cancelled at their deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Connections dropped because the client read too slowly (write
+    /// timeout) or vanished mid-reply.
+    pub slow_client_drops: AtomicU64,
+    /// Reloads that swapped a new generation in.
+    pub reloads_ok: AtomicU64,
+    /// Reloads rejected with the old generation left serving.
+    pub reloads_failed: AtomicU64,
+}
+
+/// Shared mutable state of a running server.
+pub struct ServeState {
+    swap: StoreSwap<StoreGen>,
+    counters: Counters,
+    /// Set to stop accepting and drain.
+    draining: AtomicBool,
+    /// Per-server reload latch (the signal latch is process-global; this
+    /// one lets tests and the `reload` command target one server).
+    reload_requested: AtomicBool,
+    /// Serializes reloads so two never interleave load-then-swap.
+    reload_lock: Mutex<()>,
+    /// Path re-read on pathless reloads; updated by `reload` with a path.
+    reload_path: Mutex<Option<PathBuf>>,
+    last_reload_error: Mutex<Option<String>>,
+    live_conns: AtomicUsize,
+    inflight: AtomicUsize,
+    started: Instant,
+}
+
+impl ServeState {
+    fn new(initial: StoreGen, reload_path: Option<PathBuf>) -> ServeState {
+        ServeState {
+            swap: StoreSwap::new(initial),
+            counters: Counters::default(),
+            draining: AtomicBool::new(false),
+            reload_requested: AtomicBool::new(false),
+            reload_lock: Mutex::new(()),
+            reload_path: Mutex::new(reload_path),
+            last_reload_error: Mutex::new(None),
+            live_conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current generation counter (bumped by every successful reload).
+    pub fn generation(&self) -> u64 {
+        self.swap.generation()
+    }
+
+    /// Counter block (for assertions and the drain summary).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Is the server draining?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Reload now, synchronously: load + validate `path` (or the stored
+    /// reload path), then atomically swap on success. Serialized; the
+    /// serving path never blocks on this. Returns the new generation.
+    pub fn reload(&self, cfg: &ServeConfig, path: Option<&PathBuf>) -> Result<u64, String> {
+        let _guard = self.reload_lock.lock().unwrap();
+        let path = match path {
+            Some(p) => p.clone(),
+            None => self
+                .reload_path
+                .lock()
+                .unwrap()
+                .clone()
+                .ok_or_else(|| "no reload path configured".to_string())?,
+        };
+        let outcome = (|| {
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            load_store_gen(&json, &path.display().to_string(), cfg.max_quarantine_frac)
+        })();
+        match outcome {
+            Ok(gen) => {
+                let (_old, new_gen) = self.swap.swap(gen);
+                *self.reload_path.lock().unwrap() = Some(path);
+                *self.last_reload_error.lock().unwrap() = None;
+                self.counters.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(new_gen)
+            }
+            Err(e) => {
+                *self.last_reload_error.lock().unwrap() = Some(e.clone());
+                self.counters.reloads_failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Outcome of [`Server::shutdown`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// All connections finished inside the drain deadline.
+    pub clean: bool,
+    /// Connections still open when the deadline expired.
+    pub abandoned_conns: usize,
+}
+
+/// A running serve instance. Dropping without [`Server::shutdown`]
+/// requests a drain and waits for the accept thread (test convenience);
+/// the CLI calls `shutdown` explicitly for the drain summary.
+pub struct Server {
+    state: Arc<ServeState>,
+    cfg: ServeConfig,
+    local_addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop, and return. `reload_path` is what a
+    /// pathless `reload`/SIGHUP re-reads.
+    pub fn start(
+        cfg: ServeConfig,
+        initial: StoreGen,
+        reload_path: Option<PathBuf>,
+    ) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let state = Arc::new(ServeState::new(initial, reload_path));
+        let accept_state = Arc::clone(&state);
+        let accept_cfg = cfg.clone();
+        let accept_thread = thread::Builder::new()
+            .name("dmsa-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, accept_cfg))
+            .map_err(|e| format!("spawning accept loop: {e}"))?;
+        Ok(Server {
+            state,
+            cfg,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared state handle (tests read counters through this).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Begin draining: stop accepting, let in-flight requests finish.
+    pub fn request_drain(&self) {
+        self.state.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Latch a reload for the accept loop to perform.
+    pub fn request_reload(&self) {
+        self.state.reload_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Drain and wait: returns once all connections closed or the drain
+    /// deadline expired (whichever first).
+    pub fn shutdown(mut self) -> DrainOutcome {
+        self.request_drain();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + self.cfg.drain_deadline;
+        while self.state.live_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let abandoned = self.state.live_conns.load(Ordering::Acquire);
+        DrainOutcome {
+            clean: abandoned == 0,
+            abandoned_conns: abandoned,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_drain();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept loop: polls for connections, signal latches, and reload
+/// requests until draining. Runs on its own thread.
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig) {
+    loop {
+        if cfg.watch_signals && signals::termination_requested() {
+            state.draining.store(true, Ordering::Relaxed);
+        }
+        if state.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        if cfg.watch_signals && signals::take_reload_request() {
+            state.reload_requested.store(true, Ordering::Relaxed);
+        }
+        if state.reload_requested.swap(false, Ordering::Relaxed) {
+            // Off the serving path by construction: requests never wait
+            // on this thread. Outcome lands in counters + health.
+            let _ = state.reload(&cfg, None);
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.live_conns.load(Ordering::Acquire) >= cfg.max_conns {
+                    shed_connection(stream, &state, &cfg);
+                    continue;
+                }
+                state.live_conns.fetch_add(1, Ordering::AcqRel);
+                let conn_state = Arc::clone(&state);
+                let conn_cfg = cfg.clone();
+                let spawned =
+                    thread::Builder::new()
+                        .name("dmsa-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_state, &conn_cfg);
+                            conn_state.live_conns.fetch_sub(1, Ordering::AcqRel);
+                        });
+                if spawned.is_err() {
+                    // Thread exhaustion is overload by another name.
+                    state.live_conns.fetch_sub(1, Ordering::AcqRel);
+                    state.counters.shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Refuse a connection over the cap: one `overloaded` line, then close.
+/// Best-effort — a client that won't read its refusal is simply dropped.
+fn shed_connection(mut stream: TcpStream, state: &Arc<ServeState>, cfg: &ServeConfig) {
+    state.counters.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream
+        .write_all(b"{\"ok\":false,\"error\":\"overloaded\",\"detail\":\"connection limit\"}\n");
+}
+
+/// Per-connection loop: read request lines, answer each, until EOF,
+/// drain, or a dead/slow client.
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>, cfg: &ServeConfig) {
+    // Short read timeout so the thread observes drain within a tick even
+    // when the client is idle; write timeout guards against clients that
+    // stop reading mid-reply.
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve any complete lines already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = serve_request(&line, state, cfg);
+            if !write_reply(&mut stream, &reply, state) {
+                return;
+            }
+        }
+        if state.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle tick — re-check drain
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Write one reply line. Returns false (and counts the drop) if the
+/// client is too slow or gone — the caller closes the connection; the
+/// process carries on.
+fn write_reply(stream: &mut TcpStream, reply: &str, state: &Arc<ServeState>) -> bool {
+    let mut framed = String::with_capacity(reply.len() + 1);
+    framed.push_str(reply);
+    framed.push('\n');
+    match stream
+        .write_all(framed.as_bytes())
+        .and_then(|()| stream.flush())
+    {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::BrokenPipe
+            ) {
+                state
+                    .counters
+                    .slow_client_drops
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            false
+        }
+    }
+}
+
+/// Admission + panic containment around one request.
+fn serve_request(line: &str, state: &Arc<ServeState>, cfg: &ServeConfig) -> String {
+    if state.draining.load(Ordering::Relaxed) {
+        return err_reply("shutting_down", None);
+    }
+    // Admission: take an in-flight permit or shed. The counter is the
+    // entire "queue" — bounded at zero depth, so overload turns into an
+    // immediate explicit refusal instead of unbounded latency.
+    let admitted = state
+        .inflight
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < cfg.max_inflight).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        state.counters.shed.fetch_add(1, Ordering::Relaxed);
+        return err_reply("overloaded", Some("in-flight request limit"));
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| handle_request(line, state, cfg)));
+    state.inflight.fetch_sub(1, Ordering::AcqRel);
+    match result {
+        Ok(reply) => reply,
+        Err(_) => {
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            err_reply("internal_error", Some("request handler panicked"))
+        }
+    }
+}
+
+fn err_reply(error: &str, detail: Option<&str>) -> String {
+    let mut o = String::from("{\"ok\":false,\"error\":");
+    push_str_lit(&mut o, error);
+    if let Some(d) = detail {
+        o.push_str(",\"detail\":");
+        push_str_lit(&mut o, d);
+    }
+    o.push('}');
+    o
+}
+
+/// Dispatch one parsed request. Runs inside the permit + catch_unwind.
+fn handle_request(line: &str, state: &Arc<ServeState>, cfg: &ServeConfig) -> String {
+    let req = match json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return err_reply("bad_request", Some(&format!("parse: {e}")));
+        }
+    };
+    let Some(cmd) = req.get("cmd").and_then(|c| c.as_str()) else {
+        state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return err_reply("bad_request", Some("missing \"cmd\""));
+    };
+    let deadline = Instant::now() + cfg.deadline;
+    let reply = match cmd {
+        "health" => Ok(health_reply(state)),
+        "match" => handle_match(&req, state, deadline),
+        "analyze" => handle_analyze(&req, state, deadline),
+        "reload" => handle_reload(&req, state, cfg),
+        "shutdown" => {
+            state.draining.store(true, Ordering::Relaxed);
+            Ok("{\"ok\":true,\"cmd\":\"shutdown\",\"draining\":true}".to_string())
+        }
+        "debug_panic" if cfg.debug_commands => {
+            panic!("injected panic (debug_panic)");
+        }
+        "debug_sleep" if cfg.debug_commands => {
+            let ms = req.get("ms").and_then(|m| m.as_u64()).unwrap_or(100);
+            let until = Instant::now() + Duration::from_millis(ms);
+            // Sleep in slices so the deadline still cancels us.
+            loop {
+                let now = Instant::now();
+                if now >= until {
+                    break Ok("{\"ok\":true,\"cmd\":\"debug_sleep\"}".to_string());
+                }
+                if now >= deadline {
+                    break Err(err_reply("deadline_exceeded", None));
+                }
+                thread::sleep(POLL_TICK.min(until - now));
+            }
+        }
+        other => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return err_reply("bad_request", Some(&format!("unknown cmd {other:?}")));
+        }
+    };
+    match reply {
+        Ok(r) => {
+            state.counters.served.fetch_add(1, Ordering::Relaxed);
+            r
+        }
+        Err(r) => {
+            if r.contains("\"deadline_exceeded\"") {
+                state
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            r
+        }
+    }
+}
+
+/// Run the chosen matcher over `gen` with cooperative deadline checks
+/// every [`DEADLINE_STRIDE`] jobs. Job order equals
+/// [`dmsa_core::PreparedStore::match_window`], so the result is
+/// byte-identical to the offline `dmsa match` path.
+fn match_with_deadline(
+    gen: &StoreGen,
+    choice: MatcherChoice,
+    deadline: Instant,
+) -> Result<MatchSet, ()> {
+    let prepared = gen.shared.prepared();
+    let method = match choice {
+        MatcherChoice::Exact => MatchMethod::Exact,
+        MatcherChoice::Rm1 => MatchMethod::Rm1,
+        MatcherChoice::Rm2 => MatchMethod::Rm2,
+        MatcherChoice::Scored(t) => {
+            if Instant::now() > deadline {
+                return Err(());
+            }
+            // The scored matcher has no incremental API; it runs whole
+            // and the deadline is checked after (coarse cancellation).
+            let set = ScoredMatcher::default().match_jobs_scored(gen.shared.store(), gen.window, t);
+            return if Instant::now() > deadline {
+                Err(())
+            } else {
+                Ok(set)
+            };
+        }
+    };
+    let universe = prepared.window_universe(gen.window);
+    let mut jobs = Vec::new();
+    for chunk in universe.chunks(DEADLINE_STRIDE) {
+        if Instant::now() > deadline {
+            return Err(());
+        }
+        jobs.extend(chunk.iter().filter_map(|&j| prepared.match_one(j, method)));
+    }
+    Ok(MatchSet { method, jobs })
+}
+
+fn handle_match(
+    req: &json::Json,
+    state: &Arc<ServeState>,
+    deadline: Instant,
+) -> Result<String, String> {
+    let method_str = req.get("method").and_then(|m| m.as_str()).unwrap_or("rm2");
+    let choice = match MatcherChoice::parse(method_str) {
+        Ok(c) => c,
+        Err(e) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(err_reply("bad_request", Some(&e)));
+        }
+    };
+    let full = req.get("full").and_then(|f| f.as_bool()).unwrap_or(false);
+    // Pin a generation for the whole request: a reload mid-request swaps
+    // the slot but this Arc keeps the old store alive and consistent.
+    let (gen, _g) = state.swap.load();
+    let set = match match_with_deadline(&gen, choice, deadline) {
+        Ok(s) => s,
+        Err(()) => return Err(err_reply("deadline_exceeded", None)),
+    };
+    let mut o = String::from("{\"ok\":true,\"cmd\":\"match\",\"method\":");
+    push_str_lit(&mut o, method_str);
+    o.push_str(&format!(
+        ",\"matched_jobs\":{},\"matched_transfers\":{}",
+        set.n_matched_jobs(),
+        set.n_matched_transfers()
+    ));
+    if full {
+        o.push_str(",\"set\":");
+        o.push_str(&matchset_to_json(&set));
+    }
+    o.push('}');
+    Ok(o)
+}
+
+fn handle_analyze(
+    req: &json::Json,
+    state: &Arc<ServeState>,
+    deadline: Instant,
+) -> Result<String, String> {
+    let Some(report) = req.get("report").and_then(|r| r.as_str()) else {
+        state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Err(err_reply("bad_request", Some("missing \"report\"")));
+    };
+    if !dmsa_analysis::render::REPORT_NAMES.contains(&report) {
+        state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Err(err_reply(
+            "bad_request",
+            Some(&format!(
+                "unknown report {report:?} ({})",
+                dmsa_analysis::render::REPORT_NAMES.join("|")
+            )),
+        ));
+    }
+    let (gen, _g) = state.swap.load();
+    // Optional "method": co-compute a match set so the summary report
+    // carries its overlap/activity tables, as the CLI does with a
+    // --matches file.
+    let matches = match req.get("method").and_then(|m| m.as_str()) {
+        None => None,
+        Some(m) => {
+            let choice = match MatcherChoice::parse(m) {
+                Ok(c) => c,
+                Err(e) => {
+                    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    return Err(err_reply("bad_request", Some(&e)));
+                }
+            };
+            match match_with_deadline(&gen, choice, deadline) {
+                Ok(s) => Some(s),
+                Err(()) => return Err(err_reply("deadline_exceeded", None)),
+            }
+        }
+    };
+    if Instant::now() > deadline {
+        return Err(err_reply("deadline_exceeded", None));
+    }
+    let inputs = dmsa_analysis::render::ReportInputs {
+        store: gen.shared.store(),
+        window: gen.window,
+        path_stats: gen.path_stats,
+        health: gen.health.as_ref(),
+    };
+    let text = dmsa_analysis::render::render_report_string(&inputs, report, matches.as_ref(), None)
+        .map_err(|e| err_reply("internal_error", Some(&e)))?;
+    let mut o = String::from("{\"ok\":true,\"cmd\":\"analyze\",\"report\":");
+    push_str_lit(&mut o, report);
+    o.push_str(",\"text\":");
+    push_str_lit(&mut o, &text);
+    o.push('}');
+    Ok(o)
+}
+
+fn handle_reload(
+    req: &json::Json,
+    state: &Arc<ServeState>,
+    cfg: &ServeConfig,
+) -> Result<String, String> {
+    let path = req.get("path").and_then(|p| p.as_str()).map(PathBuf::from);
+    match state.reload(cfg, path.as_ref()) {
+        Ok(generation) => Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"reload\",\"generation\":{generation}}}"
+        )),
+        Err(e) => Err(err_reply("reload_failed", Some(&e))),
+    }
+}
+
+/// Render the `health` reply: generation, store shape, counters, reload
+/// history. The only reply that carries the generation, by design.
+fn health_reply(state: &Arc<ServeState>) -> String {
+    let (gen, generation) = state.swap.load();
+    let (jobs, files, transfers, _) = gen.shared.store().counts();
+    let c = &state.counters;
+    let mut o = String::with_capacity(512);
+    o.push_str("{\"ok\":true,\"cmd\":\"health\"");
+    o.push_str(&format!(",\"generation\":{generation}"));
+    o.push_str(&format!(
+        ",\"uptime_ms\":{}",
+        state.started.elapsed().as_millis()
+    ));
+    o.push_str(&format!(
+        ",\"draining\":{}",
+        state.draining.load(Ordering::Relaxed)
+    ));
+    o.push_str(",\"store\":{");
+    o.push_str(&format!(
+        "\"jobs\":{jobs},\"files\":{files},\"transfers\":{transfers}"
+    ));
+    o.push_str(&format!(",\"quarantined\":{}", gen.quarantined));
+    o.push_str(&format!(
+        ",\"window_ms\":[{},{}]",
+        gen.window.start.as_millis(),
+        gen.window.end.as_millis()
+    ));
+    o.push_str(",\"source\":");
+    push_str_lit(&mut o, &gen.source);
+    o.push_str("},\"counters\":{");
+    let pairs: [(&str, u64); 8] = [
+        ("served", c.served.load(Ordering::Relaxed)),
+        ("shed", c.shed.load(Ordering::Relaxed)),
+        ("bad_requests", c.bad_requests.load(Ordering::Relaxed)),
+        ("panics", c.panics.load(Ordering::Relaxed)),
+        (
+            "deadline_exceeded",
+            c.deadline_exceeded.load(Ordering::Relaxed),
+        ),
+        (
+            "slow_client_drops",
+            c.slow_client_drops.load(Ordering::Relaxed),
+        ),
+        ("reloads_ok", c.reloads_ok.load(Ordering::Relaxed)),
+        ("reloads_failed", c.reloads_failed.load(Ordering::Relaxed)),
+    ];
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!("\"{k}\":{v}"));
+    }
+    o.push_str("},\"reload\":{\"last_error\":");
+    match &*state.last_reload_error.lock().unwrap() {
+        Some(e) => push_str_lit(&mut o, e),
+        None => o.push_str("null"),
+    }
+    o.push_str("}}");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::io::BufReader;
+
+    fn tiny_export_json() -> String {
+        let mut c = dmsa_scenario::ScenarioConfig::small();
+        c.duration = dmsa_simcore::SimDuration::from_hours(3);
+        c.workload.tasks_per_hour = 10.0;
+        c.background_transfers_per_hour = 50.0;
+        c.initial_datasets = 20;
+        let campaign = dmsa_scenario::run(&c);
+        CampaignExport::from_campaign(&campaign).to_json()
+    }
+
+    fn test_gen(json: &str) -> StoreGen {
+        load_store_gen(json, "<test>", 0.01).expect("tiny export loads")
+    }
+
+    fn test_server(cfg: ServeConfig) -> (Server, String) {
+        let json = tiny_export_json();
+        let server = Server::start(cfg, test_gen(&json), None).expect("server starts");
+        (server, json)
+    }
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(20)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { stream, reader }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.stream.write_all(line.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read reply");
+            line.trim_end().to_string()
+        }
+
+        fn round_trip(&mut self, line: &str) -> String {
+            self.send(line);
+            self.recv()
+        }
+    }
+
+    #[test]
+    fn health_match_analyze_round_trip() {
+        let (server, _) = test_server(ServeConfig::default());
+        let mut c = Client::connect(server.local_addr());
+
+        let health = c.round_trip("{\"cmd\":\"health\"}");
+        assert!(health.contains("\"ok\":true"), "{health}");
+        assert!(health.contains("\"generation\":1"), "{health}");
+
+        let m = c.round_trip("{\"cmd\":\"match\",\"method\":\"rm2\"}");
+        assert!(m.contains("\"ok\":true"), "{m}");
+        assert!(m.contains("\"matched_jobs\":"), "{m}");
+
+        for report in dmsa_analysis::render::REPORT_NAMES {
+            let a = c.round_trip(&format!("{{\"cmd\":\"analyze\",\"report\":\"{report}\"}}"));
+            assert!(a.contains("\"ok\":true"), "report {report}: {a}");
+        }
+
+        let bad = c.round_trip("{\"cmd\":\"analyze\",\"report\":\"pie\"}");
+        assert!(bad.contains("\"bad_request\""), "{bad}");
+        let garbage = c.round_trip("not json");
+        assert!(garbage.contains("\"bad_request\""), "{garbage}");
+
+        let out = server.shutdown();
+        assert!(out.clean, "drain left {} conns", out.abandoned_conns);
+    }
+
+    #[test]
+    fn match_replies_agree_with_offline_matcher() {
+        let (server, json) = test_server(ServeConfig::default());
+        let export = CampaignExport::from_json(&json).unwrap();
+        let prepared = dmsa_core::PreparedStore::build(&export.store);
+        let offline = matchset_to_json(&prepared.match_window(export.window, MatchMethod::Rm2));
+
+        let mut c = Client::connect(server.local_addr());
+        let reply = c.round_trip("{\"cmd\":\"match\",\"method\":\"rm2\",\"full\":true}");
+        let parsed = json::parse(&reply).expect("reply parses");
+        assert_eq!(parsed.get("ok").and_then(|o| o.as_bool()), Some(true));
+        // The served set serializes byte-identically to the offline path.
+        let set_start = reply.find("\"set\":").expect("full reply carries set") + 6;
+        let served = &reply[set_start..reply.len() - 1];
+        assert_eq!(served, offline);
+        drop(server);
+    }
+
+    #[test]
+    fn overload_sheds_with_explicit_reply() {
+        let cfg = ServeConfig {
+            max_inflight: 1,
+            debug_commands: true,
+            ..ServeConfig::default()
+        };
+        let (server, _) = test_server(cfg);
+        let addr = server.local_addr();
+
+        let mut slow = Client::connect(addr);
+        slow.send("{\"cmd\":\"debug_sleep\",\"ms\":1500}");
+        // Give the sleeper time to take the only permit.
+        thread::sleep(Duration::from_millis(300));
+
+        let mut probe = Client::connect(addr);
+        let reply = probe.round_trip("{\"cmd\":\"health\"}");
+        assert!(
+            reply.contains("\"error\":\"overloaded\""),
+            "expected shed, got {reply}"
+        );
+        assert!(server.state().counters().shed.load(Ordering::Relaxed) >= 1);
+
+        // The sleeper finishes; capacity returns.
+        let done = slow.recv();
+        assert!(done.contains("\"ok\":true"), "{done}");
+        let after = probe.round_trip("{\"cmd\":\"health\"}");
+        assert!(after.contains("\"ok\":true"), "{after}");
+        drop(server);
+    }
+
+    #[test]
+    fn panicking_request_is_contained() {
+        let cfg = ServeConfig {
+            debug_commands: true,
+            ..ServeConfig::default()
+        };
+        let (server, _) = test_server(cfg);
+        let mut c = Client::connect(server.local_addr());
+
+        let reply = c.round_trip("{\"cmd\":\"debug_panic\"}");
+        assert!(reply.contains("\"internal_error\""), "{reply}");
+        assert_eq!(server.state().counters().panics.load(Ordering::Relaxed), 1);
+
+        // Same connection still serves; the process obviously survived.
+        let health = c.round_trip("{\"cmd\":\"health\"}");
+        assert!(health.contains("\"ok\":true"), "{health}");
+        assert!(health.contains("\"panics\":1"), "{health}");
+        drop(server);
+    }
+
+    #[test]
+    fn deadline_cancels_slow_requests() {
+        let cfg = ServeConfig {
+            deadline: Duration::from_millis(100),
+            debug_commands: true,
+            ..ServeConfig::default()
+        };
+        let (server, _) = test_server(cfg);
+        let mut c = Client::connect(server.local_addr());
+        let reply = c.round_trip("{\"cmd\":\"debug_sleep\",\"ms\":5000}");
+        assert!(reply.contains("\"deadline_exceeded\""), "{reply}");
+        assert!(
+            server
+                .state()
+                .counters()
+                .deadline_exceeded
+                .load(Ordering::Relaxed)
+                >= 1
+        );
+        drop(server);
+    }
+
+    #[test]
+    fn failed_reload_rolls_back_and_reports() {
+        let dir = std::env::temp_dir().join(format!("dmsa-serve-reload-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{\"version\":999,\"nope\":").unwrap();
+
+        let (server, _) = test_server(ServeConfig::default());
+        let mut c = Client::connect(server.local_addr());
+        let before = c.round_trip("{\"cmd\":\"match\",\"method\":\"rm1\",\"full\":true}");
+
+        let reply = c.round_trip(&format!("{{\"cmd\":\"reload\",\"path\":{}}}", {
+            let mut p = String::new();
+            push_str_lit(&mut p, &corrupt.display().to_string());
+            p
+        }));
+        assert!(reply.contains("\"reload_failed\""), "{reply}");
+
+        // Old generation still serving, byte-identically.
+        let health = c.round_trip("{\"cmd\":\"health\"}");
+        assert!(health.contains("\"generation\":1"), "{health}");
+        assert!(health.contains("\"reloads_failed\":1"), "{health}");
+        assert!(health.contains("\"last_error\":\""), "{health}");
+        let after = c.round_trip("{\"cmd\":\"match\",\"method\":\"rm1\",\"full\":true}");
+        assert_eq!(before, after);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn successful_reload_bumps_generation_and_swaps_store() {
+        let dir = std::env::temp_dir().join(format!("dmsa-serve-swap-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let json = tiny_export_json();
+        let path = dir.join("campaign.json");
+        std::fs::write(&path, &json).unwrap();
+
+        let server =
+            Server::start(ServeConfig::default(), test_gen(&json), Some(path.clone())).unwrap();
+        let mut c = Client::connect(server.local_addr());
+
+        // Pathless reload re-reads the configured path.
+        let reply = c.round_trip("{\"cmd\":\"reload\"}");
+        assert!(reply.contains("\"generation\":2"), "{reply}");
+        let health = c.round_trip("{\"cmd\":\"health\"}");
+        assert!(health.contains("\"generation\":2"), "{health}");
+        assert!(health.contains("\"reloads_ok\":1"), "{health}");
+
+        // Same content → match replies identical across the swap.
+        let a = c.round_trip("{\"cmd\":\"match\",\"method\":\"exact\",\"full\":true}");
+        let _ = c.round_trip("{\"cmd\":\"reload\"}");
+        let b = c.round_trip("{\"cmd\":\"match\",\"method\":\"exact\",\"full\":true}");
+        assert_eq!(a, b, "reload of identical content changed replies");
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_new_work() {
+        let (server, _) = test_server(ServeConfig::default());
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr);
+        assert!(c.round_trip("{\"cmd\":\"health\"}").contains("\"ok\":true"));
+
+        let reply = c.round_trip("{\"cmd\":\"shutdown\"}");
+        assert!(reply.contains("\"draining\":true"), "{reply}");
+        let out = server.shutdown();
+        assert!(out.clean, "{} conns abandoned", out.abandoned_conns);
+        // Accept loop is gone: new connections are refused or dead.
+        thread::sleep(Duration::from_millis(50));
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = s.write_all(b"{\"cmd\":\"health\"}\n");
+                let mut buf = [0u8; 64];
+                let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+                let n = s.read(&mut buf).unwrap_or(0);
+                assert_eq!(n, 0, "drained server must not serve new connections");
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_threshold_refuses_mostly_corrupt_exports() {
+        let json = tiny_export_json();
+        // A valid export loads at any threshold.
+        assert!(load_store_gen(&json, "<t>", 0.0).is_ok());
+        // Garbage is refused with a loader error, not a panic.
+        let err = load_store_gen("{\"version\":1", "<t>", 0.5)
+            .err()
+            .expect("garbage must be refused");
+        assert!(!err.is_empty());
+    }
+}

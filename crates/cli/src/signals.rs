@@ -1,0 +1,148 @@
+//! Minimal async-signal-safe signal latching.
+//!
+//! The offline build environment has no `libc`/`signal-hook` crates, so
+//! this module binds the two libc entry points it needs directly. The
+//! handler does the only thing an async-signal-safe handler may do with
+//! the tools at hand: set a `static` atomic flag. Everything else —
+//! draining connections, reloading stores, writing partial summaries —
+//! happens on normal threads that *poll* the latches.
+//!
+//! Latches are process-global and sticky until consumed:
+//!
+//! * `SIGTERM`/`SIGINT` → [`termination_requested`] (graceful drain for
+//!   `dmsa serve`, dispatch stop for `dmsa sweep`).
+//! * `SIGHUP` → [`take_reload_request`] (hot reload for `dmsa serve`;
+//!   consuming resets the latch so each HUP triggers one reload).
+//!
+//! On non-Unix targets installation is a no-op: the latches still work
+//! (admin commands set them through [`request_termination`] /
+//! [`request_reload`]), only the signal wiring is absent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGHUP` on every Unix dmsa targets.
+pub const SIGHUP: i32 = 1;
+/// `SIGINT`.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM`.
+pub const SIGTERM: i32 = 15;
+
+static TERM: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{RELOAD, SIGHUP, SIGINT, SIGTERM, TERM};
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        // `signal(2)` — handler is a plain code address; `raise(3)` lets
+        // tests and smoke drills deliver a real signal to this process.
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_signal(sig: i32) {
+        // Async-signal-safe: a relaxed atomic store and nothing else.
+        match sig {
+            SIGTERM | SIGINT => TERM.store(true, Ordering::Relaxed),
+            SIGHUP => RELOAD.store(true, Ordering::Relaxed),
+            _ => {}
+        }
+    }
+
+    pub fn install(signums: &[i32]) {
+        for &s in signums {
+            // SAFETY: installing a handler that only stores to a static
+            // atomic; `on_signal` is async-signal-safe by construction.
+            unsafe {
+                signal(s, on_signal as *const () as usize);
+            }
+        }
+    }
+
+    pub fn deliver(signum: i32) {
+        // SAFETY: raising a signal this module installed a handler for.
+        unsafe {
+            raise(signum);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install(_signums: &[i32]) {}
+    pub fn deliver(_signum: i32) {}
+}
+
+/// Latch `SIGTERM`/`SIGINT` into the termination flag. Idempotent.
+pub fn install_termination_handler() {
+    imp::install(&[SIGTERM, SIGINT]);
+}
+
+/// Latch `SIGHUP` into the reload flag. Idempotent.
+pub fn install_reload_handler() {
+    imp::install(&[SIGHUP]);
+}
+
+/// Has a termination signal (or [`request_termination`]) arrived?
+/// Sticky: once set it stays set for the life of the process.
+pub fn termination_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}
+
+/// Set the termination latch from ordinary code (admin command, tests).
+pub fn request_termination() {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+/// Consume a pending reload request (signal- or admin-initiated),
+/// resetting the latch. Each `SIGHUP` therefore triggers one reload.
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::Relaxed)
+}
+
+/// Set the reload latch from ordinary code (admin command, tests).
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::Relaxed);
+}
+
+/// Deliver `signum` to this process (test/drill helper; no-op off Unix).
+pub fn deliver_to_self(signum: i32) {
+    imp::deliver(signum);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers the whole latch lifecycle: latches are process
+    // globals, so separate #[test] functions would race each other.
+    #[test]
+    fn signal_latches_set_and_consume() {
+        install_termination_handler();
+        install_reload_handler();
+        assert!(!take_reload_request());
+
+        #[cfg(unix)]
+        {
+            deliver_to_self(SIGHUP);
+            assert!(take_reload_request(), "SIGHUP latches a reload");
+            assert!(!take_reload_request(), "consuming resets the latch");
+        }
+        request_reload();
+        assert!(take_reload_request());
+
+        assert!(!termination_requested());
+        #[cfg(unix)]
+        {
+            deliver_to_self(SIGTERM);
+            assert!(termination_requested(), "SIGTERM latches termination");
+        }
+        #[cfg(not(unix))]
+        {
+            request_termination();
+            assert!(termination_requested());
+        }
+    }
+}

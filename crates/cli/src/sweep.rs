@@ -56,6 +56,12 @@ pub struct SweepOpts {
     /// compute without the export serialization/IO term (identical in
     /// every mode, and pinned byte-identical by the sweep tests).
     pub write_cell_exports: bool,
+    /// Polled before each cell is dispatched; `true` stops the fleet:
+    /// in-flight cells finish, unstarted cells are quarantined as
+    /// interrupted, and the partial summary is still written. The CLI
+    /// wires [`crate::signals::termination_requested`] (Ctrl-C) here;
+    /// `None` never interrupts.
+    pub interrupt: Option<fn() -> bool>,
 }
 
 /// What happened to one cell.
@@ -82,6 +88,9 @@ pub struct SweepOutcome {
     pub wall_s: f64,
     pub jobs: usize,
     pub warm_start_at: Option<SimDuration>,
+    /// The fleet stopped early on an interrupt (Ctrl-C): some cells may
+    /// be quarantined as never-started, and the summary is partial.
+    pub interrupted: bool,
 }
 
 impl SweepOutcome {
@@ -199,7 +208,7 @@ pub fn run_sweep_with(
                 groups.push((key, cell));
             }
         }
-        let snaps = run_pool(groups.len(), jobs, |i| {
+        let snaps = run_pool(groups.len(), jobs, opts.interrupt, |i| {
             catch_unwind(AssertUnwindSafe(|| {
                 dmsa_scenario::shared_prefix(&groups[i].1.base, divergence)
             }))
@@ -212,11 +221,14 @@ pub fn run_sweep_with(
             })
         });
         for ((key, _), snap) in groups.into_iter().zip(snaps) {
-            prefixes.insert(key, snap);
+            prefixes.insert(
+                key,
+                snap.unwrap_or_else(|| Err("interrupted before the shared prefix ran".into())),
+            );
         }
     }
 
-    let outcomes = run_pool(cells.len(), jobs, |i| {
+    let outcomes = run_pool(cells.len(), jobs, opts.interrupt, |i| {
         let cell = &cells[i];
         let cell_t0 = Instant::now();
         let prefix =
@@ -241,6 +253,26 @@ pub fn run_sweep_with(
         }
     });
 
+    // Cells the pool never claimed (interrupt observed first) are
+    // quarantined explicitly, not silently dropped: their rows appear in
+    // the summary with an `interrupted` error, they count as failed, and
+    // the exit code reports partial success.
+    let outcomes: Vec<CellOutcome> = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| CellOutcome {
+                label: cells[i].label.clone(),
+                seed: cells[i].seed,
+                knobs: cells[i].knobs.clone(),
+                warm_started: opts.warm_start_at.is_some(),
+                wall_s: 0.0,
+                result: Err("interrupted: cell never started".into()),
+                export_file: None,
+            })
+        })
+        .collect();
+
     let ok: Vec<(Vec<(String, String)>, CellMetrics)> = outcomes
         .iter()
         .filter_map(|c| c.result.as_ref().ok().map(|m| (c.knobs.clone(), *m)))
@@ -251,6 +283,7 @@ pub fn run_sweep_with(
         wall_s: t0.elapsed().as_secs_f64(),
         jobs,
         warm_start_at: opts.warm_start_at,
+        interrupted: opts.interrupt.is_some_and(|stop| stop()),
     };
 
     let summary_path = opts.out_dir.join("sweep_summary.json");
@@ -292,13 +325,23 @@ fn export_file_name(label: &str) -> String {
 /// Fixed-size worker pool over indices `0..n`: `jobs` threads pull the
 /// next index from a shared counter. Results land in input order, so
 /// downstream output is deterministic regardless of scheduling. `f`
-/// must not panic (cell panics are caught inside it).
-fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(n: usize, jobs: usize, f: F) -> Vec<T> {
+/// must not panic (cell panics are caught inside it). `stop` is polled
+/// before each claim; once it reports true, workers finish what they
+/// hold and claim nothing more — unclaimed slots come back `None`.
+fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(
+    n: usize,
+    jobs: usize,
+    stop: Option<fn() -> bool>,
+    f: F,
+) -> Vec<Option<T>> {
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs.clamp(1, n.max(1)) {
             s.spawn(|| loop {
+                if stop.is_some_and(|should_stop| should_stop()) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -310,11 +353,7 @@ fn run_pool<T: Send, F: Fn(usize) -> T + Sync>(n: usize, jobs: usize, f: F) -> V
     });
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("pool filled every slot")
-        })
+        .map(|m| m.into_inner().expect("result slot poisoned"))
         .collect()
 }
 
@@ -385,10 +424,11 @@ pub fn summary_json(o: &SweepOutcome) -> String {
     out.push('{');
     let _ = write!(
         out,
-        "\"schema\":{},\"n_cells\":{},\"n_failed\":{},\"jobs\":{}",
+        "\"schema\":{},\"n_cells\":{},\"n_failed\":{},\"interrupted\":{},\"jobs\":{}",
         json_str(SWEEP_SCHEMA),
         o.cells.len(),
         o.n_failed(),
+        o.interrupted,
         o.jobs
     );
     match o.warm_start_at {
@@ -494,6 +534,12 @@ pub fn human_report(o: &SweepOutcome) -> String {
             None => " | cold".into(),
         }
     );
+    if o.interrupted {
+        let _ = writeln!(
+            out,
+            "  INTERRUPTED: fleet stopped early; summary is partial"
+        );
+    }
     for c in o.cells.iter().filter(|c| c.result.is_err()) {
         let why = c.result.as_ref().err().map(String::as_str).unwrap_or("");
         let _ = writeln!(out, "  FAILED {}: {}", c.label, why);
@@ -604,6 +650,7 @@ mod tests {
                 warm_start_at: None,
                 out_dir: dir.clone(),
                 write_cell_exports: true,
+                interrupt: None,
             },
         )
         .unwrap();
@@ -631,6 +678,7 @@ mod tests {
                 warm_start_at: Some(at),
                 out_dir: dir.clone(),
                 write_cell_exports: true,
+                interrupt: None,
             },
         )
         .unwrap();
@@ -666,6 +714,7 @@ mod tests {
                 warm_start_at: None,
                 out_dir: dir.clone(),
                 write_cell_exports: true,
+                interrupt: None,
             },
             &runner,
         )
@@ -695,6 +744,63 @@ mod tests {
     }
 
     #[test]
+    fn interrupt_quarantines_unstarted_cells_but_still_writes_the_summary() {
+        use std::sync::atomic::AtomicBool;
+        static STOP: AtomicBool = AtomicBool::new(false);
+        STOP.store(false, Ordering::Relaxed);
+
+        let dir = tmp_dir("interrupt");
+        let grid = tiny_grid();
+        // The first dispatched cell raises the "signal"; with one worker,
+        // every later cell observes it before being claimed.
+        let runner = |cell: &GridCell, prefix: Option<&SharedPrefix>| {
+            STOP.store(true, Ordering::Relaxed);
+            run_cell(cell, prefix)
+        };
+        let outcome = run_sweep_with(
+            &grid,
+            &SweepOpts {
+                jobs: 1,
+                warm_start_at: None,
+                out_dir: dir.clone(),
+                write_cell_exports: false,
+                interrupt: Some(|| STOP.load(Ordering::Relaxed)),
+            },
+            &runner,
+        )
+        .unwrap();
+
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.cells.len(), 8, "every cell gets a row");
+        // The in-flight cell finished; the rest were quarantined as
+        // never-started rather than silently dropped.
+        assert_eq!(outcome.cells.iter().filter(|c| c.result.is_ok()).count(), 1);
+        let interrupted = outcome
+            .cells
+            .iter()
+            .filter(|c| {
+                c.result
+                    .as_ref()
+                    .err()
+                    .is_some_and(|e| e.contains("interrupted"))
+            })
+            .count();
+        assert_eq!(interrupted, 7);
+        assert_eq!(outcome.n_failed(), 7, "partial success must exit 3");
+
+        // The partial summary still lands, marked interrupted.
+        let summary = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+        let root = json::parse(&summary).expect("partial summary parses");
+        assert_eq!(
+            root.get("interrupted").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(root.get("n_failed").and_then(|v| v.as_u64()), Some(7));
+        assert!(human_report(&outcome).contains("INTERRUPTED"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn summary_json_is_parseable_with_the_documented_schema() {
         let dir = tmp_dir("schema");
         let grid = SweepGrid {
@@ -710,6 +816,7 @@ mod tests {
                 warm_start_at: None,
                 out_dir: dir.clone(),
                 write_cell_exports: true,
+                interrupt: None,
             },
         )
         .unwrap();

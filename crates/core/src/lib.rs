@@ -52,6 +52,7 @@ pub mod method;
 pub mod parallel;
 pub mod prepared;
 pub mod scored;
+pub mod shared;
 pub mod windowed;
 
 pub use eval::{evaluate, MatchEvaluation};
@@ -62,4 +63,5 @@ pub use method::MatchMethod;
 pub use parallel::ParallelMatcher;
 pub use prepared::{PreparedMatcher, PreparedStore};
 pub use scored::{ScoreParams, ScoredMatcher, ScoredPair};
+pub use shared::{SharedPrepared, StoreSwap};
 pub use windowed::WindowedMatcher;
