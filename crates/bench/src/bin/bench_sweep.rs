@@ -123,14 +123,14 @@ fn run(args: &[String]) -> Result<(), String> {
         warm_start_at: None,
         out_dir: scratch.join(dir),
         write_cell_exports: exports,
-        interrupt: None,
+        ..SweepOpts::default()
     };
     let warm_opts = |dir: &str, exports: bool| SweepOpts {
         jobs,
         warm_start_at: Some(warm_start_at),
         out_dir: scratch.join(dir),
         write_cell_exports: exports,
-        interrupt: None,
+        ..SweepOpts::default()
     };
 
     eprintln!("sweep grid: {n_cells} cells (8day-faulty preset, scale {scale}), compute-only legs");

@@ -8,6 +8,14 @@
 //! complete new file on disk, never a torn mix, and never clobbers the
 //! previous output with a partial one.
 
+//!
+//! All of the durable steps go through a [`vfs::IoBackend`], so a chaos
+//! drill ([`vfs::ChaosBackend`]) can inject ENOSPC, EIO, torn writes,
+//! fsync failures, and rename failures at exactly these points.
+//! [`write_atomic`] uses the real filesystem; [`write_atomic_via`] takes
+//! an explicit backend.
+
+use crate::vfs::IoBackend;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -25,6 +33,48 @@ fn tmp_path_for(path: &Path) -> PathBuf {
 /// Atomically replace `path` with `bytes`.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     write_atomic_with(path, |f| f.write_all(bytes))
+}
+
+/// [`write_atomic`] with every durable step (write, fsync, rename,
+/// parent-directory fsync) routed through `io`. The temp file is created
+/// and cleaned up on the real filesystem — creation faults are not part
+/// of the chaos surface; what happens to the *bytes* is.
+///
+/// Fault behaviour: a failed write/fsync/rename removes the temp file
+/// and leaves the previous contents of `path` untouched. A *torn* write
+/// (which reports success — the lying-disk fault) is published like any
+/// other: that is precisely the damage checksummed frames and
+/// `dmsa verify` exist to catch downstream.
+pub fn write_atomic_via(io: &dyn IoBackend, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path_for(path);
+    let result = (|| {
+        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        io.write_all(&mut f, path, bytes)?;
+        io.sync(&f, path)?;
+        drop(f);
+        io.rename(&tmp, path)?;
+        // Best-effort: directory fsync failure cannot un-publish the
+        // rename, so it degrades to "durable at the next sync" instead
+        // of failing a write that already happened.
+        if let Some(dir) = parent_dir(path) {
+            let _ = io.sync_dir(dir);
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The directory to fsync after publishing into it (`.` for bare names).
+fn parent_dir(path: &Path) -> Option<&Path> {
+    let dir = path.parent()?;
+    Some(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    })
 }
 
 /// Atomically replace `path` with whatever `fill` writes. If `fill` (or
@@ -66,6 +116,49 @@ pub fn write_atomic_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{ChaosBackend, ChaosProfile};
+
+    #[test]
+    fn chaos_enospc_leaves_previous_file_and_no_litter() {
+        let dir = std::env::temp_dir().join(format!("dmsa-atomic-chaos-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"good\":true}").unwrap();
+
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 1,
+            p_enospc: 1.0,
+            ..ChaosProfile::default()
+        });
+        let err = write_atomic_via(&io, &path, b"{\"new\":true}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Old contents intact, torn temp removed.
+        assert_eq!(fs::read(&path).unwrap(), b"{\"good\":true}");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "temp litter");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_torn_write_publishes_a_detectably_short_file() {
+        let dir = std::env::temp_dir().join(format!("dmsa-atomic-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 2,
+            p_torn: 1.0,
+            ..ChaosProfile::default()
+        });
+        let payload = vec![7u8; 4096];
+        // The lying disk reports success...
+        write_atomic_via(&io, &path, &payload).unwrap();
+        // ...and the published file is short — torn damage that only a
+        // checksum (checkpoint frames, `dmsa verify`) catches later.
+        let on_disk = fs::read(&path).unwrap();
+        assert!(on_disk.len() < payload.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn write_then_overwrite() {

@@ -12,7 +12,7 @@
 //! dmsa compare  --campaign campaign.json
 //! ```
 
-use dmsa_cli::atomic::write_atomic;
+use dmsa_cli::atomic::{write_atomic, write_atomic_via};
 use dmsa_cli::run::{
     analyze, compare_methods, parse_sim_duration, preset_config, run_match, simulate,
     CheckpointKnobs, EngineChoice, FaultKnobs, HealthKnobs, MatcherChoice,
@@ -22,6 +22,8 @@ use dmsa_cli::signals;
 use dmsa_cli::sweep::{
     human_report, parse_breakers, parse_fail_probs, parse_seeds, run_sweep, SweepOpts,
 };
+use dmsa_cli::verify;
+use dmsa_cli::vfs::{self, ChaosProfile, IoRetryPolicy};
 use dmsa_scenario::{PresetAxis, SweepGrid};
 use std::collections::HashMap;
 use std::io::Write;
@@ -52,13 +54,18 @@ const USAGE: &str = "usage:
                 [--breaker-consecutive N] [--breaker-cooldown SECS]
                 [--checkpoint-dir DIR] [--checkpoint-every 6h] [--resume]
                 [--fork-at DUR]
+                [--chaos-profile seed=N,enospc=F,eio=F,torn=F,fsync=F,rename=F]
                 [--out FILE]
   dmsa sweep    --out-dir DIR
                 [--presets faulty,8day-faulty] [--scale F]
                 [--seeds 1,7] [--fail-probs 0.05,0.2]
                 [--breakers off,adaptive,adaptive:SECS]
                 [--warm-start-at 10h] [--jobs N]
+                [--chaos-profile seed=N,enospc=F,...]
                 (exit 3 = partial success: some cells quarantined)
+  dmsa verify   DIR
+                (offline artifact audit: checkpoint frames, campaign
+                 exports, sweep summaries; exit 4 = corruption found)
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
   dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
@@ -66,7 +73,7 @@ const USAGE: &str = "usage:
                 --report summary|matrix|temporal|redundancy|exclusion
   dmsa compare  --campaign FILE
   dmsa serve    --campaign FILE [--addr HOST:PORT] [--port-file FILE]
-                [--max-inflight N] [--max-conns N]
+                [--max-inflight N] [--max-conns N] [--max-line-bytes N]
                 [--deadline-ms N] [--write-timeout-ms N] [--drain-ms N]
                 [--max-quarantine-frac F] [--debug-commands]
                 (newline-delimited JSON over TCP: health|match|analyze|
@@ -127,6 +134,22 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no subcommand".into());
     };
+    // `verify` takes a positional directory, not `--flag value` pairs.
+    if cmd == "verify" {
+        let dir = rest
+            .first()
+            .filter(|d| !d.starts_with("--"))
+            .ok_or("verify needs a directory (dmsa verify DIR)")?;
+        let outcome = verify::verify_dir(Path::new(dir))?;
+        print_stdout(&outcome.to_string())?;
+        return Ok(if outcome.clean() {
+            ExitCode::SUCCESS
+        } else {
+            // Exit 4: at least one artifact failed its integrity audit
+            // (2 = usage error, 3 = partial sweep).
+            ExitCode::from(4)
+        });
+    }
     let f = flags(rest)?;
     let read = |key: &str| -> Result<String, String> {
         let path = f.get(key).ok_or_else(|| format!("--{key} is required"))?;
@@ -189,9 +212,14 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                     })
                     .transpose()?,
             };
+            let chaos = f
+                .get("chaos-profile")
+                .map(|s| ChaosProfile::parse(s))
+                .transpose()?;
             let mut ckpt = CheckpointKnobs {
                 dir: f.get("checkpoint-dir").map(PathBuf::from),
                 resume: f.contains_key("resume"),
+                chaos,
                 ..CheckpointKnobs::default()
             };
             if let Some(every) = f.get("checkpoint-every") {
@@ -205,7 +233,21 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 .map(|s| parse_sim_duration(s))
                 .transpose()?;
             let json = simulate(preset, scale, seed, knobs, health, &ckpt, fork_at)?;
-            write_or_print("out", &json)?;
+            match f.get("out") {
+                // Under a chaos drill the export write itself is a
+                // fault-injection target (with the retry ladder).
+                Some(path) if chaos.is_some() => {
+                    let io = vfs::backend_for(chaos.as_ref());
+                    let mut note = |line: String| eprintln!("{line}");
+                    vfs::with_retry(&IoRetryPolicy::default(), "export write", &mut note, || {
+                        write_atomic_via(&*io, Path::new(path), json.as_bytes())
+                            .map_err(|e| e.to_string())
+                    })
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("wrote {path} ({} bytes)", json.len());
+                }
+                _ => write_or_print("out", &json)?,
+            }
             Ok(ExitCode::SUCCESS)
         }
         "sweep" => {
@@ -254,6 +296,11 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 out_dir: PathBuf::from(out_dir),
                 write_cell_exports: true,
                 interrupt: Some(signals::termination_requested),
+                chaos: f
+                    .get("chaos-profile")
+                    .map(|s| ChaosProfile::parse(s))
+                    .transpose()?,
+                ..SweepOpts::default()
             };
             let outcome = run_sweep(&grid, &opts)?;
             print_stdout(&human_report(&outcome))?;
@@ -325,6 +372,11 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             }
             if let Some(n) = f.get("max-conns") {
                 cfg.max_conns = n.parse().map_err(|e| format!("bad --max-conns: {e}"))?;
+            }
+            if let Some(n) = f.get("max-line-bytes") {
+                cfg.max_line_bytes = n
+                    .parse()
+                    .map_err(|e| format!("bad --max-line-bytes: {e}"))?;
             }
             if let Some(frac) = f.get("max-quarantine-frac") {
                 cfg.max_quarantine_frac = frac

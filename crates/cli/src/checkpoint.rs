@@ -23,12 +23,14 @@
 //! version-skewed (reporting why), so resume degrades to an older
 //! checkpoint instead of failing — and to a cold start when none survive.
 
-use crate::atomic::write_atomic;
+use crate::atomic::write_atomic_via;
+use crate::vfs::{IoBackend, RealBackend};
 use dmsa_simcore::codec::crc32;
 use dmsa_simcore::SimTime;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"DMSACKPT";
 /// Frame layout version (independent of the snapshot payload's version).
@@ -129,6 +131,9 @@ pub struct CheckpointDir {
     /// resumed past existing files on open, so same-millisecond snapshots
     /// never collide — including across a crash/reopen.
     seq: AtomicU64,
+    /// The I/O backend every durable operation goes through — the real
+    /// filesystem, or a chaos drill.
+    io: Arc<dyn IoBackend>,
 }
 
 impl CheckpointDir {
@@ -136,6 +141,12 @@ impl CheckpointDir {
     /// newest `keep` files. The write sequence resumes after the highest
     /// sequence number already present.
     pub fn open(dir: &Path, keep: usize) -> Result<Self, String> {
+        Self::open_with(dir, keep, Arc::new(RealBackend))
+    }
+
+    /// [`CheckpointDir::open`] with an explicit I/O backend (chaos
+    /// drills inject storage faults through this).
+    pub fn open_with(dir: &Path, keep: usize, io: Arc<dyn IoBackend>) -> Result<Self, String> {
         fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
         let next_seq = fs::read_dir(dir)
@@ -149,6 +160,7 @@ impl CheckpointDir {
             dir: dir.to_path_buf(),
             keep: keep.max(1),
             seq: AtomicU64::new(next_seq),
+            io,
         })
     }
 
@@ -178,22 +190,38 @@ impl CheckpointDir {
     }
 
     /// Atomically write the checkpoint for sim-time `at` and prune old
-    /// files past the retention count.
+    /// files past the retention count. After any pruning deletions the
+    /// directory itself is fsynced: without it, a crash right after
+    /// rotation could resurrect an unlinked (possibly newest-named)
+    /// entry next to the survivors and confuse the resume ladder.
     pub fn write(&self, at: SimTime, payload: &[u8]) -> Result<(), String> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self
             .dir
             .join(format!("ckpt-{:013}-{seq:06}.dmsa", at.as_millis()));
-        write_atomic(&path, &frame(payload))
+        write_atomic_via(&*self.io, &path, &frame(payload))
             .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
         let files = self.list()?;
         if files.len() > self.keep {
             for old in &files[..files.len() - self.keep] {
-                fs::remove_file(old)
+                self.io
+                    .remove_file(old)
                     .map_err(|e| format!("cannot prune checkpoint {}: {e}", old.display()))?;
             }
+            self.io.sync_dir(&self.dir).map_err(|e| {
+                format!(
+                    "cannot fsync checkpoint dir {} after rotation: {e}",
+                    self.dir.display()
+                )
+            })?;
         }
         Ok(())
+    }
+
+    /// Read a checkpoint file through this directory's I/O backend, so
+    /// chaos drills inject read faults on the resume path too.
+    pub fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.io.read(path)
     }
 
     /// The newest checkpoint whose *frame* verifies (magic, version,
@@ -204,7 +232,7 @@ impl CheckpointDir {
     pub fn newest_valid(&self) -> Result<Option<FoundCheckpoint>, String> {
         let mut skipped = Vec::new();
         for path in self.list()?.into_iter().rev() {
-            let bytes = match fs::read(&path) {
+            let bytes = match self.io.read(&path) {
                 Ok(b) => b,
                 Err(e) => {
                     skipped.push(format!("{}: unreadable: {e}", path.display()));
@@ -357,6 +385,69 @@ mod tests {
         assert_eq!(skipped.len(), 2, "{skipped:?}");
         assert!(skipped[0].contains("truncated"), "{skipped:?}");
         assert!(skipped[1].contains("checksum"), "{skipped:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_fsyncs_the_directory_and_surfaces_failures() {
+        use std::fs::File;
+        use std::io;
+        use std::sync::atomic::AtomicBool;
+
+        /// Real I/O except `sync_dir`, which counts calls and can fail —
+        /// isolating the rotation-durability path from write-path fsync.
+        struct DirSyncProbe {
+            inner: RealBackend,
+            dir_syncs: AtomicU64,
+            fail: AtomicBool,
+        }
+        impl IoBackend for DirSyncProbe {
+            fn write_all(&self, f: &mut File, p: &Path, b: &[u8]) -> io::Result<()> {
+                self.inner.write_all(f, p, b)
+            }
+            fn sync(&self, f: &File, p: &Path) -> io::Result<()> {
+                self.inner.sync(f, p)
+            }
+            fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+                self.inner.rename(a, b)
+            }
+            fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+                self.inner.read(p)
+            }
+            fn remove_file(&self, p: &Path) -> io::Result<()> {
+                self.inner.remove_file(p)
+            }
+            fn sync_dir(&self, d: &Path) -> io::Result<()> {
+                self.dir_syncs.fetch_add(1, Ordering::Relaxed);
+                if self.fail.load(Ordering::Relaxed) {
+                    return Err(io::Error::other("injected dir-fsync failure"));
+                }
+                self.inner.sync_dir(d)
+            }
+        }
+
+        let dir = scratch("dirsync");
+        let probe = Arc::new(DirSyncProbe {
+            inner: RealBackend,
+            dir_syncs: AtomicU64::new(0),
+            fail: AtomicBool::new(false),
+        });
+        let store =
+            CheckpointDir::open_with(&dir, 2, Arc::clone(&probe) as Arc<dyn IoBackend>).unwrap();
+        // Below the retention cap: only the best-effort post-rename sync.
+        store.write(t(1), b"a").unwrap();
+        store.write(t(2), b"b").unwrap();
+        let before = probe.dir_syncs.load(Ordering::Relaxed);
+        // Rotation prunes: an *additional, mandatory* directory fsync.
+        store.write(t(3), b"c").unwrap();
+        assert!(
+            probe.dir_syncs.load(Ordering::Relaxed) >= before + 2,
+            "rotation must fsync the directory after deletions"
+        );
+        // And a failing rotation fsync is an error, not silence.
+        probe.fail.store(true, Ordering::Relaxed);
+        let err = store.write(t(4), b"d").unwrap_err();
+        assert!(err.contains("after rotation"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

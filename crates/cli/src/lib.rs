@@ -17,7 +17,11 @@
 //! snapshot through [`checkpoint`] (framed, checksummed, rotated,
 //! resume falls back past damage), and campaign loading via
 //! [`export::CampaignExport::from_json_lenient`] quarantines malformed
-//! records by error kind instead of dying on the first one.
+//! records by error kind instead of dying on the first one. The durable
+//! steps themselves route through [`vfs`], whose chaos backend injects
+//! deterministic storage faults (ENOSPC, EIO, torn writes, fsync and
+//! rename failures) for drills, and [`verify`] audits the artifacts a
+//! drill leaves behind.
 
 pub mod atomic;
 pub mod checkpoint;
@@ -27,5 +31,7 @@ pub mod run;
 pub mod serve;
 pub mod signals;
 pub mod sweep;
+pub mod verify;
+pub mod vfs;
 
 pub use export::CampaignExport;

@@ -6,6 +6,7 @@
 use crate::checkpoint::{self, CheckpointDir};
 use crate::export::CampaignExport;
 use crate::json;
+use crate::vfs::{self, ChaosProfile, IoRetryPolicy, StorageHealth};
 use dmsa_analysis::exclusion::{exclusion_report, ExclusionReport};
 use dmsa_analysis::render::{self, ReportInputs};
 use dmsa_core::matcher::Matcher;
@@ -17,9 +18,9 @@ use dmsa_gridnet::HealthConfig;
 use dmsa_scenario::{Campaign, ScenarioConfig};
 use dmsa_simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 
 /// Which matcher the `match` subcommand runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -183,6 +184,11 @@ pub struct CheckpointKnobs {
     pub resume: bool,
     /// Checkpoint files retained (oldest pruned).
     pub keep: usize,
+    /// Storage-fault injection profile (`--chaos-profile`); `None` is the
+    /// real filesystem.
+    pub chaos: Option<ChaosProfile>,
+    /// Backoff policy for checkpoint writes that hit storage faults.
+    pub retry: IoRetryPolicy,
 }
 
 impl Default for CheckpointKnobs {
@@ -192,6 +198,8 @@ impl Default for CheckpointKnobs {
             every: SimDuration::from_hours(6),
             resume: false,
             keep: 3,
+            chaos: None,
+            retry: IoRetryPolicy::default(),
         }
     }
 }
@@ -265,7 +273,14 @@ pub fn simulate(
             }
             dmsa_scenario::run_forked(&base, &config, SimTime::EPOCH + at)?
         }
-        None => run_with_checkpoints(&config, ckpt, &mut |line| eprintln!("{line}"))?,
+        None => {
+            let mut note = |line: String| eprintln!("{line}");
+            let (campaign, storage) = run_with_checkpoints_status(&config, ckpt, &mut note)?;
+            if storage.degraded() {
+                note(format!("storage health: {}", storage.summary()));
+            }
+            campaign
+        }
     };
     Ok(CampaignExport::from_campaign(&campaign).to_json())
 }
@@ -283,50 +298,104 @@ pub fn run_with_checkpoints(
     ckpt: &CheckpointKnobs,
     note: &mut dyn FnMut(String),
 ) -> Result<Campaign, String> {
+    run_with_checkpoints_status(config, ckpt, note).map(|(campaign, _)| campaign)
+}
+
+/// [`run_with_checkpoints`] plus the run's [`StorageHealth`] latch.
+///
+/// Degradation contract: a campaign is never aborted because a checkpoint
+/// could not be made durable. Each checkpoint write is retried with
+/// backoff under `ckpt.retry`; one that exhausts its budget (disk full
+/// that never clears, dead device) is *skipped* — the run continues,
+/// latches `degraded_storage`, and says so through `note`. The final
+/// export is unaffected; only crash-resumability is reduced.
+pub fn run_with_checkpoints_status(
+    config: &ScenarioConfig,
+    ckpt: &CheckpointKnobs,
+    note: &mut dyn FnMut(String),
+) -> Result<(Campaign, StorageHealth), String> {
+    let storage = StorageHealth::default();
     let Some(dir) = &ckpt.dir else {
-        return Ok(dmsa_scenario::run(config));
+        return Ok((dmsa_scenario::run(config), storage));
     };
-    let store = CheckpointDir::open(dir, ckpt.keep)?;
-    let mut sink = |at: SimTime, payload: &[u8]| store.write(at, payload);
+    let store = CheckpointDir::open_with(dir, ckpt.keep, vfs::backend_for(ckpt.chaos.as_ref()))?;
+    // Both the checkpoint sink and the resume ladder narrate through the
+    // same caller-supplied channel; the RefCell lets the long-lived sink
+    // closure share it with the ladder below.
+    let note = std::cell::RefCell::new(note);
+    let say = |line: String| (note.borrow_mut())(line);
+    let mut sink = |at: SimTime, payload: &[u8]| -> Result<(), String> {
+        let mut retried = false;
+        let result = vfs::with_retry(
+            &ckpt.retry,
+            "checkpoint write",
+            &mut |line| {
+                retried = true;
+                say(line);
+            },
+            || store.write(at, payload),
+        );
+        if retried {
+            storage.retried_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                storage.mark_degraded();
+                storage.checkpoints_skipped.fetch_add(1, Ordering::Relaxed);
+                say(format!(
+                    "degraded storage: skipping checkpoint at sim-time {} ms: {e}",
+                    at.as_millis()
+                ));
+                Ok(())
+            }
+        }
+    };
     if ckpt.resume {
         for path in store.scan()? {
-            let bytes = match fs::read(&path) {
+            let bytes = match store.read(&path) {
                 Ok(b) => b,
                 Err(e) => {
-                    note(format!("skipping {}: unreadable: {e}", path.display()));
+                    say(format!("skipping {}: unreadable: {e}", path.display()));
                     continue;
                 }
             };
             let payload = match checkpoint::unframe(&bytes) {
                 Ok(p) => p,
                 Err(why) => {
-                    note(format!("skipping {}: {why}", path.display()));
+                    say(format!("skipping {}: {why}", path.display()));
                     continue;
                 }
             };
-            match dmsa_scenario::snapshot::validate(config, payload) {
+            match dmsa_scenario::snapshot::validate_classified(config, payload) {
                 Ok(at) => {
-                    note(format!(
+                    say(format!(
                         "resuming from {} (sim-time {} ms)",
                         path.display(),
                         at.as_millis()
                     ));
-                    return dmsa_scenario::resume_checkpointed(
+                    let campaign = dmsa_scenario::resume_checkpointed(
                         config,
                         payload,
                         Some(ckpt.every),
                         &mut sink,
-                    );
+                    )?;
+                    return Ok((campaign, storage));
                 }
-                Err(why) => note(format!("skipping {}: {why}", path.display())),
+                Err(why) => say(format!(
+                    "skipping {}: [{}] {why}",
+                    path.display(),
+                    why.kind.label()
+                )),
             }
         }
-        note(format!(
+        say(format!(
             "no usable checkpoint in {}; starting from the beginning",
             dir.display()
         ));
     }
-    dmsa_scenario::run_checkpointed(config, ckpt.every, &mut sink)
+    let campaign = dmsa_scenario::run_checkpointed(config, ckpt.every, &mut sink)?;
+    Ok((campaign, storage))
 }
 
 /// Serialize a match set: `{"method":"rm2","jobs":[[job_idx,[t,...]],...]}`.
@@ -550,6 +619,7 @@ pub fn compare_methods(campaign_json: &str) -> Result<String, String> {
 mod tests {
     use super::*;
     use dmsa_analysis::redundancy::redundancy_breakdown;
+    use std::fs;
 
     fn tiny_campaign_json() -> String {
         let mut c = ScenarioConfig::small();
@@ -714,6 +784,7 @@ mod tests {
             every: SimDuration::from_hours(1),
             resume: false,
             keep: 3,
+            ..CheckpointKnobs::default()
         };
         let mut notes = Vec::new();
         let mut note = |l: String| notes.push(l);
@@ -735,6 +806,47 @@ mod tests {
         assert!(
             notes.iter().any(|l| l.contains("resuming from")),
             "{notes:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_writes_that_exhaust_retries_degrade_instead_of_aborting() {
+        let dir = std::env::temp_dir().join(format!("dmsa-run-chaos-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = ScenarioConfig::small();
+        c.duration = SimDuration::from_hours(4);
+        c.workload.tasks_per_hour = 10.0;
+        c.initial_datasets = 20;
+
+        // Every checkpoint write fails with ENOSPC, every retry too: the
+        // campaign must still complete, byte-identical to a plain run,
+        // with the degraded-storage latch set and every skip narrated.
+        let ckpt = CheckpointKnobs {
+            dir: Some(dir.clone()),
+            every: SimDuration::from_hours(1),
+            chaos: Some(ChaosProfile {
+                seed: 9,
+                p_enospc: 1.0,
+                ..ChaosProfile::default()
+            }),
+            retry: IoRetryPolicy::fast(),
+            ..CheckpointKnobs::default()
+        };
+        let mut notes = Vec::new();
+        let (campaign, storage) =
+            run_with_checkpoints_status(&c, &ckpt, &mut |l| notes.push(l)).unwrap();
+        assert!(storage.degraded());
+        assert!(storage.checkpoints_skipped.load(Ordering::Relaxed) > 0);
+        assert!(
+            notes.iter().any(|l| l.contains("degraded storage")),
+            "{notes:?}"
+        );
+        let plain = dmsa_scenario::run(&c);
+        assert_eq!(
+            CampaignExport::from_campaign(&campaign).to_json(),
+            CampaignExport::from_campaign(&plain).to_json(),
+            "storage faults must never perturb the simulation"
         );
         fs::remove_dir_all(&dir).unwrap();
     }

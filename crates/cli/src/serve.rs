@@ -94,6 +94,12 @@ pub struct ServeConfig {
     /// exceeds this (a mostly-corrupt replacement must not evict a
     /// healthy store).
     pub max_quarantine_frac: f64,
+    /// Maximum request-line length the server will buffer. A longer
+    /// line gets a structured `bad_request` reply, its remainder is
+    /// discarded through the terminating newline, and the connection
+    /// stays usable — one hostile or buggy client line must not balloon
+    /// server memory or cost the client its session.
+    pub max_line_bytes: usize,
     /// Poll the process-global signal latches (SIGTERM drain, SIGHUP
     /// reload). Off in unit tests, on under the CLI.
     pub watch_signals: bool,
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             drain_deadline: Duration::from_secs(5),
             max_quarantine_frac: 0.01,
+            max_line_bytes: 1 << 20,
             watch_signals: false,
             debug_commands: false,
         }
@@ -448,10 +455,19 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>, cfg: &Serve
 
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    // True while swallowing the tail of an over-long request line (the
+    // reply already went out; the line itself is unusable).
+    let mut discarding = false;
     loop {
         // Serve any complete lines already buffered.
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
+            if discarding {
+                // The newline ends the oversized line; the connection
+                // is back in sync from here.
+                discarding = false;
+                continue;
+            }
             let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
             if line.trim().is_empty() {
                 continue;
@@ -460,6 +476,23 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>, cfg: &Serve
             if !write_reply(&mut stream, &reply, state) {
                 return;
             }
+        }
+        if discarding {
+            buf.clear(); // still mid-line: drop the partial tail
+        } else if buf.len() > cfg.max_line_bytes {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let reply = err_reply(
+                "bad_request",
+                Some(&format!(
+                    "request line exceeds {} bytes",
+                    cfg.max_line_bytes
+                )),
+            );
+            if !write_reply(&mut stream, &reply, state) {
+                return;
+            }
+            buf.clear();
+            discarding = true;
         }
         if state.draining.load(Ordering::Relaxed) {
             return;
@@ -896,6 +929,30 @@ mod tests {
         let garbage = c.round_trip("not json");
         assert!(garbage.contains("\"bad_request\""), "{garbage}");
 
+        let out = server.shutdown();
+        assert!(out.clean, "drain left {} conns", out.abandoned_conns);
+    }
+
+    #[test]
+    fn oversized_request_line_gets_a_reply_and_keeps_the_connection() {
+        let cfg = ServeConfig {
+            max_line_bytes: 256,
+            ..ServeConfig::default()
+        };
+        let (server, _) = test_server(cfg);
+        let mut c = Client::connect(server.local_addr());
+
+        // 4 KiB of garbage on one line (larger than the server's read
+        // chunk, so it cannot sneak through as a normal parse error):
+        // structured refusal, not a hangup, not unbounded buffering.
+        let huge = "x".repeat(4096);
+        let reply = c.round_trip(&huge);
+        assert!(reply.contains("\"bad_request\""), "{reply}");
+        assert!(reply.contains("exceeds 256 bytes"), "{reply}");
+
+        // The same connection still serves the next request.
+        let health = c.round_trip("{\"cmd\":\"health\"}");
+        assert!(health.contains("\"ok\":true"), "{health}");
         let out = server.shutdown();
         assert!(out.clean, "drain left {} conns", out.abandoned_conns);
     }

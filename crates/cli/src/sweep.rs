@@ -21,8 +21,9 @@
 //!   records the panic, the summary counts it, the exit code reflects
 //!   partial success); the rest of the fleet completes.
 
-use crate::atomic::write_atomic;
+use crate::atomic::write_atomic_via;
 use crate::export::CampaignExport;
+use crate::vfs::{self, ChaosProfile, IoBackend, IoRetryPolicy, RealBackend};
 use dmsa_analysis::sweep::{aggregate, cell_metrics, CellMetrics, KnobGroup};
 use dmsa_scenario::{BreakerSetting, Campaign, GridCell, SharedPrefix, SweepGrid};
 use dmsa_simcore::stats::Summary;
@@ -62,6 +63,25 @@ pub struct SweepOpts {
     /// wires [`crate::signals::termination_requested`] (Ctrl-C) here;
     /// `None` never interrupts.
     pub interrupt: Option<fn() -> bool>,
+    /// Storage-fault injection profile (`--chaos-profile`); `None` is
+    /// the real filesystem.
+    pub chaos: Option<ChaosProfile>,
+    /// Backoff policy for cell-export and summary writes.
+    pub retry: IoRetryPolicy,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            jobs: 1,
+            warm_start_at: None,
+            out_dir: PathBuf::new(),
+            write_cell_exports: true,
+            interrupt: None,
+            chaos: None,
+            retry: IoRetryPolicy::default(),
+        }
+    }
 }
 
 /// What happened to one cell.
@@ -96,6 +116,17 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     pub fn n_failed(&self) -> usize {
         self.cells.iter().filter(|c| c.result.is_err()).count()
+    }
+
+    /// Some cell failed for a storage reason rather than a simulation
+    /// one — its error carries the `storage:` prefix [`run_sweep_with`]
+    /// attaches when an export write exhausts its retry budget. Those
+    /// cells are quarantined (metrics lost, row kept) instead of
+    /// aborting the fleet.
+    pub fn degraded_storage(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| matches!(&c.result, Err(e) if e.starts_with("storage:")))
     }
 
     /// Throughput over the whole fleet; denominator clamped so a
@@ -193,6 +224,7 @@ pub fn run_sweep_with(
     } else {
         opts.jobs
     };
+    let io = vfs::backend_for(opts.chaos.as_ref());
     let t0 = Instant::now();
 
     // Shared prefixes, one per distinct base config (= per (preset,
@@ -237,7 +269,7 @@ pub fn run_sweep_with(
                     Ok(p) => Ok(p),
                     Err(e) => Err(format!("shared prefix unavailable: {e}")),
                 });
-        let result = run_one(cell, prefix, runner, opts);
+        let result = run_one(cell, prefix, runner, opts, &*io);
         CellOutcome {
             label: cell.label.clone(),
             seed: cell.seed,
@@ -286,19 +318,29 @@ pub fn run_sweep_with(
         interrupted: opts.interrupt.is_some_and(|stop| stop()),
     };
 
+    // The summary is the drill's flight recorder, so it deliberately
+    // bypasses the chaos backend: a drill that could eat its own report
+    // would be undebuggable. It still retries real transient faults.
     let summary_path = opts.out_dir.join("sweep_summary.json");
-    write_atomic(&summary_path, summary_json(&outcome).as_bytes())
-        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+    let summary = summary_json(&outcome);
+    let mut note = |line: String| eprintln!("{line}");
+    vfs::with_retry(&opts.retry, "sweep summary write", &mut note, || {
+        write_atomic_via(&RealBackend, &summary_path, summary.as_bytes()).map_err(|e| e.to_string())
+    })
+    .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
     Ok(outcome)
 }
 
 /// One cell end-to-end: run (panics caught), metrics, and — unless the
-/// sweep is metrics-only — export + write.
+/// sweep is metrics-only — export + write. A write that exhausts its
+/// retry budget quarantines the cell with a `storage:`-prefixed reason
+/// instead of taking down the fleet.
 fn run_one(
     cell: &GridCell,
     prefix: Option<Result<&SharedPrefix, String>>,
     runner: &CellRunner,
     opts: &SweepOpts,
+    io: &dyn IoBackend,
 ) -> Result<CellMetrics, String> {
     let prefix = prefix.transpose()?;
     let campaign = catch_unwind(AssertUnwindSafe(|| runner(cell, prefix)))
@@ -312,8 +354,12 @@ fn run_one(
     if opts.write_cell_exports {
         let export = CampaignExport::from_campaign(&campaign);
         let path = opts.out_dir.join(export_file_name(&cell.label));
-        write_atomic(&path, export.to_json().as_bytes())
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let bytes = export.to_json();
+        let mut note = |line: String| eprintln!("{line}");
+        vfs::with_retry(&opts.retry, "cell export write", &mut note, || {
+            write_atomic_via(io, &path, bytes.as_bytes()).map_err(|e| e.to_string())
+        })
+        .map_err(|e| format!("storage: writing {}: {e}", path.display()))?;
     }
     Ok(metrics)
 }
@@ -417,17 +463,20 @@ fn summary_obj(s: &Summary) -> String {
 
 /// The machine-readable `sweep_summary.json`: stable key order, flat
 /// enough to diff, floats guarded. Layout:
-/// `{schema, n_cells, n_failed, jobs, warm_start_at_ms, wall_s,
-/// cells_per_s, cells: [...], knob_rows: [...]}`.
+/// `{schema, n_cells, n_failed, degraded_storage, interrupted, jobs,
+/// warm_start_at_ms, wall_s, cells_per_s, cells: [...],
+/// knob_rows: [...]}`.
 pub fn summary_json(o: &SweepOutcome) -> String {
     let mut out = String::with_capacity(1024 + o.cells.len() * 256);
     out.push('{');
     let _ = write!(
         out,
-        "\"schema\":{},\"n_cells\":{},\"n_failed\":{},\"interrupted\":{},\"jobs\":{}",
+        "\"schema\":{},\"n_cells\":{},\"n_failed\":{},\"degraded_storage\":{},\
+         \"interrupted\":{},\"jobs\":{}",
         json_str(SWEEP_SCHEMA),
         o.cells.len(),
         o.n_failed(),
+        o.degraded_storage(),
         o.interrupted,
         o.jobs
     );
@@ -651,6 +700,7 @@ mod tests {
                 out_dir: dir.clone(),
                 write_cell_exports: true,
                 interrupt: None,
+                ..SweepOpts::default()
             },
         )
         .unwrap();
@@ -679,6 +729,7 @@ mod tests {
                 out_dir: dir.clone(),
                 write_cell_exports: true,
                 interrupt: None,
+                ..SweepOpts::default()
             },
         )
         .unwrap();
@@ -715,6 +766,7 @@ mod tests {
                 out_dir: dir.clone(),
                 write_cell_exports: true,
                 interrupt: None,
+                ..SweepOpts::default()
             },
             &runner,
         )
@@ -765,6 +817,7 @@ mod tests {
                 out_dir: dir.clone(),
                 write_cell_exports: false,
                 interrupt: Some(|| STOP.load(Ordering::Relaxed)),
+                ..SweepOpts::default()
             },
             &runner,
         )
@@ -817,6 +870,7 @@ mod tests {
                 out_dir: dir.clone(),
                 write_cell_exports: true,
                 interrupt: None,
+                ..SweepOpts::default()
             },
         )
         .unwrap();
@@ -840,5 +894,97 @@ mod tests {
         let report = human_report(&outcome);
         assert!(report.contains("cells/s"), "{report}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_storage_failures_quarantine_cells_and_mark_the_summary() {
+        let dir = tmp_dir("chaos");
+        let grid = SweepGrid {
+            seeds: vec![1, 2],
+            fail_probs: vec![0.05],
+            breakers: vec![BreakerSetting::Off],
+            ..tiny_grid()
+        };
+        // Every cell-export write attempt EIOs; the retry budget
+        // exhausts, so every cell is quarantined with a structured
+        // storage reason — but the fleet completes and the summary
+        // (written outside the chaos backend) still lands.
+        let outcome = run_sweep(
+            &grid,
+            &SweepOpts {
+                jobs: 2,
+                out_dir: dir.clone(),
+                chaos: Some(ChaosProfile {
+                    seed: 11,
+                    p_eio: 1.0,
+                    ..ChaosProfile::default()
+                }),
+                retry: IoRetryPolicy::fast(),
+                ..SweepOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.cells.len(), 2);
+        assert_eq!(outcome.n_failed(), 2);
+        assert!(outcome.degraded_storage());
+        for cell in &outcome.cells {
+            let why = cell.result.as_ref().err().unwrap();
+            assert!(why.starts_with("storage:"), "{why}");
+            assert!(why.contains("EIO"), "{why}");
+            assert!(cell.export_file.is_none());
+        }
+        // No torn/partial cell exports litter the output directory.
+        assert!(!dir.join(export_file_name(&outcome.cells[0].label)).exists());
+        let summary = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+        let root = json::parse(&summary).expect("summary parses");
+        assert_eq!(
+            root.get("degraded_storage").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(root.get("n_failed").and_then(|v| v.as_u64()), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inert_chaos_profile_leaves_the_sweep_byte_identical() {
+        let dir_plain = tmp_dir("inert-plain");
+        let dir_chaos = tmp_dir("inert-chaos");
+        let grid = SweepGrid {
+            seeds: vec![1],
+            fail_probs: vec![0.05],
+            breakers: vec![BreakerSetting::Off],
+            ..tiny_grid()
+        };
+        let run = |dir: &PathBuf, chaos: Option<ChaosProfile>| {
+            run_sweep(
+                &grid,
+                &SweepOpts {
+                    jobs: 1,
+                    out_dir: dir.clone(),
+                    chaos,
+                    ..SweepOpts::default()
+                },
+            )
+            .unwrap()
+        };
+        let plain = run(&dir_plain, None);
+        let drilled = run(
+            &dir_chaos,
+            Some(ChaosProfile {
+                seed: 99,
+                ..ChaosProfile::default()
+            }),
+        );
+        assert_eq!(plain.n_failed(), 0);
+        assert_eq!(drilled.n_failed(), 0);
+        assert!(!drilled.degraded_storage());
+        let name = export_file_name(&plain.cells[0].label);
+        assert_eq!(
+            std::fs::read(dir_plain.join(&name)).unwrap(),
+            std::fs::read(dir_chaos.join(&name)).unwrap(),
+            "an inert drill must not perturb artifacts"
+        );
+        std::fs::remove_dir_all(&dir_plain).unwrap();
+        std::fs::remove_dir_all(&dir_chaos).unwrap();
     }
 }

@@ -1,0 +1,385 @@
+//! `dmsa verify <dir>` — offline integrity audit of everything a run
+//! leaves on disk.
+//!
+//! Chaos drills ([`crate::vfs`]) deliberately tear, truncate, and corrupt
+//! artifacts; this module is the other half of that bargain: walk a
+//! directory, recognise each artifact by *content* (not just extension),
+//! and validate it as deeply as its format allows:
+//!
+//! - **Checkpoints** (`*.dmsa`): frame magic, version, declared length,
+//!   CRC32 — then the snapshot payload's layout version via
+//!   [`dmsa_scenario::snapshot::peek_version`].
+//! - **Campaign exports** (JSON with `version` + `config`): parsed with
+//!   the lenient loader; any quarantined record is a corruption.
+//! - **Sweep summaries** (`schema: dmsa-sweep-summary-v1`): schema tag,
+//!   cell-count consistency, and that every cell export the summary
+//!   references actually exists next to it.
+//! - **Match sets** (JSON with `method` + `jobs`): re-parsed through the
+//!   same strict loader `dmsa analyze` uses.
+//!
+//! Anything else is listed as skipped, never silently ignored: an auditor
+//! that skips quietly is how torn artifacts survive.
+
+use crate::checkpoint;
+use crate::export::CampaignExport;
+use crate::json;
+use crate::run::matchset_from_json;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What the auditor decided about one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileVerdict {
+    /// Artifact recognised and fully valid.
+    Ok { kind: &'static str, detail: String },
+    /// Artifact recognised but damaged — the audit failure case.
+    Corrupt { kind: &'static str, reason: String },
+    /// Not an artifact this auditor knows (temp files, logs, …).
+    Skipped { reason: String },
+}
+
+/// Audit result for one file.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    pub path: PathBuf,
+    pub verdict: FileVerdict,
+}
+
+/// Everything `dmsa verify` learned about a directory.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOutcome {
+    pub reports: Vec<FileReport>,
+}
+
+impl VerifyOutcome {
+    pub fn ok_count(&self) -> usize {
+        self.count(|v| matches!(v, FileVerdict::Ok { .. }))
+    }
+    pub fn corrupt_count(&self) -> usize {
+        self.count(|v| matches!(v, FileVerdict::Corrupt { .. }))
+    }
+    pub fn skipped_count(&self) -> usize {
+        self.count(|v| matches!(v, FileVerdict::Skipped { .. }))
+    }
+    fn count(&self, pred: impl Fn(&FileVerdict) -> bool) -> usize {
+        self.reports.iter().filter(|r| pred(&r.verdict)).count()
+    }
+    /// The audit passes only if nothing recognised was corrupt.
+    pub fn clean(&self) -> bool {
+        self.corrupt_count() == 0
+    }
+}
+
+impl fmt::Display for VerifyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.reports {
+            let name = r.path.display();
+            match &r.verdict {
+                FileVerdict::Ok { kind, detail } => {
+                    writeln!(f, "  ok       {name} [{kind}] {detail}")?
+                }
+                FileVerdict::Corrupt { kind, reason } => {
+                    writeln!(f, "  CORRUPT  {name} [{kind}] {reason}")?
+                }
+                FileVerdict::Skipped { reason } => writeln!(f, "  skipped  {name} ({reason})")?,
+            }
+        }
+        writeln!(
+            f,
+            "verify: {} ok, {} corrupt, {} skipped",
+            self.ok_count(),
+            self.corrupt_count(),
+            self.skipped_count()
+        )
+    }
+}
+
+/// Walk `dir` (one level — artifact directories are flat) and audit every
+/// file, in sorted order so the report is stable for diffing.
+pub fn verify_dir(dir: &Path) -> Result<VerifyOutcome, String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    entries.sort();
+    let mut out = VerifyOutcome::default();
+    for path in entries {
+        let verdict = verify_file(&path);
+        out.reports.push(FileReport { path, verdict });
+    }
+    Ok(out)
+}
+
+/// Audit a single file, classifying it by content.
+pub fn verify_file(path: &Path) -> FileVerdict {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    if name.starts_with('.') {
+        return FileVerdict::Skipped {
+            reason: "hidden/temp file".into(),
+        };
+    }
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            return FileVerdict::Corrupt {
+                kind: "unreadable",
+                reason: format!("cannot read: {e}"),
+            }
+        }
+    };
+    if name.ends_with(".dmsa") {
+        return verify_checkpoint(&bytes);
+    }
+    // Everything else the toolchain writes is JSON; classify by shape.
+    let text = match std::str::from_utf8(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            return FileVerdict::Corrupt {
+                kind: "json",
+                reason: format!("not UTF-8: {e}"),
+            }
+        }
+    };
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return FileVerdict::Corrupt {
+                kind: "json",
+                reason: format!("unparseable JSON: {e}"),
+            }
+        }
+    };
+    if doc.get("schema").is_some() {
+        return verify_sweep_summary(path, &doc);
+    }
+    if doc.get("method").is_some() {
+        return verify_matchset(text);
+    }
+    if doc.get("version").is_some() && doc.get("config").is_some() {
+        return verify_campaign(text);
+    }
+    FileVerdict::Skipped {
+        reason: "JSON object of unknown shape".into(),
+    }
+}
+
+fn verify_checkpoint(bytes: &[u8]) -> FileVerdict {
+    let payload = match checkpoint::unframe(bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            return FileVerdict::Corrupt {
+                kind: "checkpoint",
+                reason: e,
+            }
+        }
+    };
+    // The frame is sound; now check the snapshot payload's own layout.
+    match dmsa_scenario::snapshot::peek_version(payload) {
+        Ok(v) if v == dmsa_scenario::snapshot::SNAPSHOT_VERSION => FileVerdict::Ok {
+            kind: "checkpoint",
+            detail: format!("{} payload bytes, snapshot v{v}", payload.len()),
+        },
+        Ok(v) => FileVerdict::Corrupt {
+            kind: "checkpoint",
+            reason: format!(
+                "snapshot layout version {v} found, supported {}",
+                dmsa_scenario::snapshot::SNAPSHOT_VERSION
+            ),
+        },
+        Err(e) => FileVerdict::Corrupt {
+            kind: "checkpoint",
+            reason: format!("frame ok but payload damaged: {e}"),
+        },
+    }
+}
+
+fn verify_campaign(text: &str) -> FileVerdict {
+    match CampaignExport::from_json_lenient(text) {
+        Ok(loaded) => {
+            if loaded.quarantine.is_empty() {
+                let store = &loaded.export.store;
+                FileVerdict::Ok {
+                    kind: "campaign",
+                    detail: format!(
+                        "{} jobs, {} files, {} transfers",
+                        store.jobs.len(),
+                        store.files.len(),
+                        store.transfers.len()
+                    ),
+                }
+            } else {
+                FileVerdict::Corrupt {
+                    kind: "campaign",
+                    reason: format!(
+                        "{} quarantined records ({})",
+                        loaded.quarantine.total(),
+                        loaded.quarantine.one_line()
+                    ),
+                }
+            }
+        }
+        Err(e) => FileVerdict::Corrupt {
+            kind: "campaign",
+            reason: e,
+        },
+    }
+}
+
+fn verify_sweep_summary(path: &Path, doc: &json::Json) -> FileVerdict {
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != crate::sweep::SWEEP_SCHEMA {
+        return FileVerdict::Corrupt {
+            kind: "sweep-summary",
+            reason: format!(
+                "schema {schema:?} found, expected {:?}",
+                crate::sweep::SWEEP_SCHEMA
+            ),
+        };
+    }
+    let cells = match doc.get("cells").and_then(|v| v.as_arr()) {
+        Some(c) => c,
+        None => {
+            return FileVerdict::Corrupt {
+                kind: "sweep-summary",
+                reason: "missing cells array".into(),
+            }
+        }
+    };
+    match doc.get("n_cells").and_then(|v| v.as_u64()) {
+        Some(n) if n as usize == cells.len() => {}
+        Some(n) => {
+            return FileVerdict::Corrupt {
+                kind: "sweep-summary",
+                reason: format!("n_cells {n} but {} cells listed", cells.len()),
+            }
+        }
+        None => {
+            return FileVerdict::Corrupt {
+                kind: "sweep-summary",
+                reason: "missing n_cells".into(),
+            }
+        }
+    }
+    // Every export the summary references must still exist beside it;
+    // failed cells must carry a structured error, never a bare null.
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut problems = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let ok = cell.get("ok").and_then(|v| v.as_bool());
+        match ok {
+            Some(true) => {
+                if let Some(file) = cell.get("export").and_then(|v| v.as_str()) {
+                    if !dir.join(file).is_file() {
+                        problems.push(format!("cell {i}: export {file} missing"));
+                    }
+                }
+            }
+            Some(false) => {
+                let has_reason = cell
+                    .get("error")
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|e| !e.is_empty());
+                if !has_reason {
+                    problems.push(format!("cell {i}: failed without a structured error"));
+                }
+            }
+            None => problems.push(format!("cell {i}: missing ok flag")),
+        }
+    }
+    if !problems.is_empty() {
+        return FileVerdict::Corrupt {
+            kind: "sweep-summary",
+            reason: problems.join("; "),
+        };
+    }
+    FileVerdict::Ok {
+        kind: "sweep-summary",
+        detail: format!("{} cells", cells.len()),
+    }
+}
+
+fn verify_matchset(text: &str) -> FileVerdict {
+    match matchset_from_json(text) {
+        Ok(set) => FileVerdict::Ok {
+            kind: "matchset",
+            detail: format!("{} matched jobs", set.jobs.len()),
+        },
+        Err(e) => FileVerdict::Corrupt {
+            kind: "matchset",
+            reason: e,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::frame;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmsa-verify-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_checkpoint_passes_and_bitflip_fails() {
+        let dir = scratch("ckpt");
+        let config = crate::run::preset_config("8day", 0.01, 7).unwrap();
+        let snap = dmsa_scenario::prefix_snapshot(
+            &config,
+            dmsa_simcore::SimTime::EPOCH + dmsa_simcore::SimDuration::from_hours(1),
+        );
+        fs::write(dir.join("good.dmsa"), frame(&snap)).unwrap();
+        let mut bad = frame(&snap);
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        fs::write(dir.join("bad.dmsa"), bad).unwrap();
+
+        let outcome = verify_dir(&dir).unwrap();
+        assert_eq!(outcome.ok_count(), 1);
+        assert_eq!(outcome.corrupt_count(), 1);
+        assert!(!outcome.clean());
+        let report = outcome.to_string();
+        assert!(report.contains("CORRUPT"), "{report}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_and_unknown_files_classified() {
+        let dir = scratch("mixed");
+        fs::write(dir.join("torn.dmsa"), b"DMSACKPT\x01\x00").unwrap();
+        fs::write(dir.join("notes.txt"), b"not json at all").unwrap();
+        fs::write(dir.join("other.json"), b"{\"hello\":1}").unwrap();
+        let outcome = verify_dir(&dir).unwrap();
+        assert_eq!(outcome.corrupt_count(), 2, "{outcome}"); // torn + non-JSON text
+        assert_eq!(outcome.skipped_count(), 1); // unknown JSON shape
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_and_matchset_round_trip_verify() {
+        let dir = scratch("camp");
+        let config = crate::run::preset_config("8day", 0.01, 3).unwrap();
+        let campaign = dmsa_scenario::run(&config);
+        let export = CampaignExport::from_campaign(&campaign);
+        fs::write(dir.join("campaign.json"), export.to_json()).unwrap();
+        let outcome = verify_dir(&dir).unwrap();
+        assert_eq!(outcome.corrupt_count(), 0, "{outcome}");
+        assert_eq!(outcome.ok_count(), 1);
+
+        // Now plant a subtle corruption: truncate the tail.
+        let text = fs::read_to_string(dir.join("campaign.json")).unwrap();
+        fs::write(dir.join("campaign.json"), &text[..text.len() - 20]).unwrap();
+        let outcome = verify_dir(&dir).unwrap();
+        assert_eq!(outcome.corrupt_count(), 1, "{outcome}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

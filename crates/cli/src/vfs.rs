@@ -1,0 +1,780 @@
+//! `dmsa::vfs` — a seeded, deterministic fault-injecting I/O layer.
+//!
+//! Every durable artifact the tool produces — checkpoints, campaign
+//! exports, sweep cell outputs, sweep summaries — is written through an
+//! [`IoBackend`]. [`RealBackend`] is the plain filesystem.
+//! [`ChaosBackend`] wraps it and injects the storage faults a multi-day
+//! campaign will eventually meet in production: `ENOSPC`, `EIO`, torn
+//! (short) writes that *report success*, fsync failures, and rename
+//! failures.
+//!
+//! ## Fault-schedule determinism
+//!
+//! A chaos drill must replay byte-identically, or its failures cannot be
+//! debugged. The schedule is therefore **not** drawn from a shared
+//! stateful RNG (thread interleaving would perturb it); each decision is
+//! a pure function of
+//!
+//! ```text
+//! (profile seed, op kind, artifact file name, per-artifact op ordinal)
+//! ```
+//!
+//! hashed into a dedicated one-shot [`SimRng`] stream. Two runs with the
+//! same profile fault the same operations on the same files in the same
+//! order, no matter how sweep workers or serve threads interleave —
+//! the same stateless-oracle discipline `gridnet::faults` uses for grid
+//! outages.
+//!
+//! ## Degradation contract
+//!
+//! The backend *injects*; it never decides policy. Callers degrade:
+//! checkpoint writes retry with backoff and then skip the snapshot
+//! (latching [`StorageHealth::degraded`]), sweep cells quarantine with a
+//! structured `storage:` reason, serve reloads roll back. The one
+//! deliberately silent fault is the torn write — it models a lying disk,
+//! and is exactly what `dmsa verify` and the checksum frames exist to
+//! catch after the fact.
+
+use dmsa_simcore::fx::hash_bytes;
+use dmsa_simcore::SimRng;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The storage faults the chaos backend can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Write fails with `ENOSPC` after landing a partial prefix — the
+    /// classic full-disk failure mode.
+    Enospc,
+    /// Read or write fails with `EIO`.
+    Eio,
+    /// Write lands only a prefix of the bytes but **reports success** —
+    /// a lying disk / lost-write. Only checksums catch this later.
+    TornWrite,
+    /// `fsync` fails (`EIO`); the data may or may not be durable.
+    FsyncFail,
+    /// `rename` fails (`EIO`); the new file is never published.
+    RenameFail,
+}
+
+impl FaultKind {
+    /// Stable one-byte tag mixed into the schedule hash.
+    fn tag(self) -> u8 {
+        match self {
+            FaultKind::Enospc => 1,
+            FaultKind::Eio => 2,
+            FaultKind::TornWrite => 3,
+            FaultKind::FsyncFail => 4,
+            FaultKind::RenameFail => 5,
+        }
+    }
+
+    /// Human label used in injected error messages and drill reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+            FaultKind::TornWrite => "torn",
+            FaultKind::FsyncFail => "fsync",
+            FaultKind::RenameFail => "rename",
+        }
+    }
+}
+
+/// A seeded chaos drill: per-fault probabilities, all applied per
+/// operation. Parsed from `--chaos-profile`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosProfile {
+    /// Seed of the dedicated fault-schedule stream.
+    pub seed: u64,
+    /// P(write fails with ENOSPC, partial prefix landed).
+    pub p_enospc: f64,
+    /// P(read/write fails with EIO).
+    pub p_eio: f64,
+    /// P(write silently lands only a prefix).
+    pub p_torn: f64,
+    /// P(fsync fails).
+    pub p_fsync: f64,
+    /// P(rename fails).
+    pub p_rename: f64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            seed: 0,
+            p_enospc: 0.0,
+            p_eio: 0.0,
+            p_torn: 0.0,
+            p_fsync: 0.0,
+            p_rename: 0.0,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// Parse a `--chaos-profile` spec: comma-separated `key=value` pairs
+    /// with keys `seed`, `enospc`, `eio`, `torn`, `fsync`, `rename`.
+    /// Example: `seed=42,enospc=0.2,torn=0.1`.
+    pub fn parse(s: &str) -> Result<ChaosProfile, String> {
+        let mut p = ChaosProfile::default();
+        for part in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos profile part {part:?} (want key=value)"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                match v.parse::<f64>() {
+                    Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
+                    _ => Err(format!("bad chaos probability {v:?} (want 0..=1)")),
+                }
+            };
+            match key {
+                "seed" => {
+                    p.seed = value
+                        .parse()
+                        .map_err(|e| format!("bad chaos seed {value:?}: {e}"))?
+                }
+                "enospc" => p.p_enospc = prob(value)?,
+                "eio" => p.p_eio = prob(value)?,
+                "torn" => p.p_torn = prob(value)?,
+                "fsync" => p.p_fsync = prob(value)?,
+                "rename" => p.p_rename = prob(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos knob {other:?} (seed|enospc|eio|torn|fsync|rename)"
+                    ))
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    fn probability(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Enospc => self.p_enospc,
+            FaultKind::Eio => self.p_eio,
+            FaultKind::TornWrite => self.p_torn,
+            FaultKind::FsyncFail => self.p_fsync,
+            FaultKind::RenameFail => self.p_rename,
+        }
+    }
+}
+
+/// The durable-I/O primitives every artifact writer goes through.
+/// [`crate::atomic::write_atomic_via`] composes them into the
+/// temp+fsync+rename pipeline; [`crate::checkpoint::CheckpointDir`] adds
+/// rotation and directory fsync on top.
+pub trait IoBackend: Send + Sync {
+    /// Write all of `bytes` to an open file. `path` is the artifact the
+    /// schedule keys on (the *destination*, not the temp name).
+    fn write_all(&self, f: &mut File, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Make the file's blocks durable (`File::sync_all`).
+    fn sync(&self, f: &File, path: &Path) -> io::Result<()>;
+    /// Atomically publish `from` as `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Delete a file (checkpoint rotation).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory, making renames/unlinks in it durable.
+    /// Best-effort on filesystems that refuse directory handles.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The plain filesystem.
+pub struct RealBackend;
+
+impl IoBackend for RealBackend {
+    fn write_all(&self, f: &mut File, _path: &Path, bytes: &[u8]) -> io::Result<()> {
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, f: &File, _path: &Path) -> io::Result<()> {
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let d = File::open(dir)?;
+        d.sync_all()
+    }
+}
+
+/// Per-kind counters of faults actually injected — the drill's ground
+/// truth (tests assert `dmsa verify` finds every torn artifact this
+/// records).
+#[derive(Default)]
+pub struct InjectedFaults {
+    pub enospc: AtomicU64,
+    pub eio: AtomicU64,
+    pub torn: AtomicU64,
+    pub fsync: AtomicU64,
+    pub rename: AtomicU64,
+}
+
+impl InjectedFaults {
+    fn bump(&self, kind: FaultKind) {
+        match kind {
+            FaultKind::Enospc => &self.enospc,
+            FaultKind::Eio => &self.eio,
+            FaultKind::TornWrite => &self.torn,
+            FaultKind::FsyncFail => &self.fsync,
+            FaultKind::RenameFail => &self.rename,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total faults injected so far.
+    pub fn total(&self) -> u64 {
+        self.enospc.load(Ordering::Relaxed)
+            + self.eio.load(Ordering::Relaxed)
+            + self.torn.load(Ordering::Relaxed)
+            + self.fsync.load(Ordering::Relaxed)
+            + self.rename.load(Ordering::Relaxed)
+    }
+
+    /// One-line drill report (`enospc 3 | eio 0 | ...`).
+    pub fn one_line(&self) -> String {
+        format!(
+            "enospc {} | eio {} | torn {} | fsync {} | rename {}",
+            self.enospc.load(Ordering::Relaxed),
+            self.eio.load(Ordering::Relaxed),
+            self.torn.load(Ordering::Relaxed),
+            self.fsync.load(Ordering::Relaxed),
+            self.rename.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Fault-injecting wrapper over [`RealBackend`].
+pub struct ChaosBackend {
+    profile: ChaosProfile,
+    inner: RealBackend,
+    /// Per `(op-kind-tag, artifact name)` operation ordinals. Keyed on
+    /// the artifact name (not the full path) so a drill replays
+    /// identically out of different scratch directories.
+    ordinals: Mutex<HashMap<(u8, String), u64>>,
+    /// Ground truth of what was injected.
+    pub injected: InjectedFaults,
+    /// Names of artifacts a torn write silently damaged (`dmsa verify`
+    /// must find every one of these).
+    pub torn_files: Mutex<Vec<String>>,
+}
+
+/// Operation classes that draw from the schedule. Distinct from
+/// [`FaultKind`]: one write op draws for several fault kinds.
+#[derive(Clone, Copy)]
+enum OpClass {
+    Write,
+    Sync,
+    Rename,
+    Read,
+}
+
+impl OpClass {
+    fn tag(self) -> u8 {
+        match self {
+            OpClass::Write => 10,
+            OpClass::Sync => 11,
+            OpClass::Rename => 12,
+            OpClass::Read => 13,
+        }
+    }
+}
+
+impl ChaosBackend {
+    pub fn new(profile: ChaosProfile) -> ChaosBackend {
+        ChaosBackend {
+            profile,
+            inner: RealBackend,
+            ordinals: Mutex::new(HashMap::new()),
+            injected: InjectedFaults::default(),
+            torn_files: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The artifact name the schedule keys on.
+    fn name_of(path: &Path) -> String {
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string()
+    }
+
+    /// Claim the next ordinal for `(op, name)`.
+    fn next_ordinal(&self, op: OpClass, name: &str) -> u64 {
+        let mut map = self.ordinals.lock().expect("ordinal map poisoned");
+        let slot = map.entry((op.tag(), name.to_string())).or_insert(0);
+        let n = *slot;
+        *slot += 1;
+        n
+    }
+
+    /// The dedicated fault-schedule stream: one deterministic draw per
+    /// `(op, artifact, ordinal, fault-kind)` decision point.
+    fn draw(&self, op: OpClass, name: &str, ordinal: u64, kind: FaultKind) -> u64 {
+        let mut key = Vec::with_capacity(name.len() + 11);
+        key.push(op.tag());
+        key.push(kind.tag());
+        key.extend_from_slice(&ordinal.to_le_bytes());
+        key.extend_from_slice(name.as_bytes());
+        let mut stream = SimRng::seed_from_u64(self.profile.seed ^ hash_bytes(&key));
+        stream.next_u64()
+    }
+
+    /// Should this decision point fault? Compares the draw against the
+    /// probability scaled to the u64 range.
+    fn fires(&self, op: OpClass, name: &str, ordinal: u64, kind: FaultKind) -> bool {
+        let p = self.profile.probability(kind);
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let threshold = (p * (u64::MAX as f64)) as u64;
+        self.draw(op, name, ordinal, kind) < threshold
+    }
+
+    /// Deterministic torn-prefix length in `1..len`.
+    fn torn_len(&self, name: &str, ordinal: u64, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        let r = self.draw(OpClass::Write, name, ordinal, FaultKind::TornWrite);
+        // Rotate so the cut point is independent of the fires() compare.
+        1 + (r.rotate_left(17) as usize) % (len - 1)
+    }
+
+    fn enospc(detail: String) -> io::Error {
+        io::Error::new(io::ErrorKind::StorageFull, detail)
+    }
+
+    fn eio(detail: String) -> io::Error {
+        io::Error::other(detail)
+    }
+}
+
+impl IoBackend for ChaosBackend {
+    fn write_all(&self, f: &mut File, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let name = Self::name_of(path);
+        let ordinal = self.next_ordinal(OpClass::Write, &name);
+        if self.fires(OpClass::Write, &name, ordinal, FaultKind::Enospc) {
+            // Realistic ENOSPC: a prefix lands, then the device is full.
+            self.injected.bump(FaultKind::Enospc);
+            let half = bytes.len() / 2;
+            self.inner.write_all(f, path, &bytes[..half])?;
+            return Err(Self::enospc(format!(
+                "injected ENOSPC writing {name} (op {ordinal}): no space left on device"
+            )));
+        }
+        if self.fires(OpClass::Write, &name, ordinal, FaultKind::Eio) {
+            self.injected.bump(FaultKind::Eio);
+            return Err(Self::eio(format!(
+                "injected EIO writing {name} (op {ordinal}): input/output error"
+            )));
+        }
+        if self.fires(OpClass::Write, &name, ordinal, FaultKind::TornWrite) {
+            // The lying disk: a prefix lands, success is reported.
+            self.injected.bump(FaultKind::TornWrite);
+            let cut = self.torn_len(&name, ordinal, bytes.len());
+            self.torn_files
+                .lock()
+                .expect("torn list poisoned")
+                .push(name.clone());
+            return self.inner.write_all(f, path, &bytes[..cut]);
+        }
+        self.inner.write_all(f, path, bytes)
+    }
+
+    fn sync(&self, f: &File, path: &Path) -> io::Result<()> {
+        let name = Self::name_of(path);
+        let ordinal = self.next_ordinal(OpClass::Sync, &name);
+        if self.fires(OpClass::Sync, &name, ordinal, FaultKind::FsyncFail) {
+            self.injected.bump(FaultKind::FsyncFail);
+            return Err(Self::eio(format!(
+                "injected fsync failure on {name} (op {ordinal})"
+            )));
+        }
+        self.inner.sync(f, path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let name = Self::name_of(to);
+        let ordinal = self.next_ordinal(OpClass::Rename, &name);
+        if self.fires(OpClass::Rename, &name, ordinal, FaultKind::RenameFail) {
+            self.injected.bump(FaultKind::RenameFail);
+            return Err(Self::eio(format!(
+                "injected rename failure publishing {name} (op {ordinal})"
+            )));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let name = Self::name_of(path);
+        let ordinal = self.next_ordinal(OpClass::Read, &name);
+        if self.fires(OpClass::Read, &name, ordinal, FaultKind::Eio) {
+            self.injected.bump(FaultKind::Eio);
+            return Err(Self::eio(format!(
+                "injected EIO reading {name} (op {ordinal})"
+            )));
+        }
+        self.inner.read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        // Rotation deletions are left real: a failed unlink only delays
+        // pruning, which the next rotation retries anyway.
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let name = Self::name_of(dir);
+        let ordinal = self.next_ordinal(OpClass::Sync, &name);
+        if self.fires(OpClass::Sync, &name, ordinal, FaultKind::FsyncFail) {
+            self.injected.bump(FaultKind::FsyncFail);
+            return Err(Self::eio(format!(
+                "injected directory fsync failure on {name} (op {ordinal})"
+            )));
+        }
+        self.inner.sync_dir(dir)
+    }
+}
+
+/// Resolve a profile into a backend: `None` is the real filesystem.
+pub fn backend_for(profile: Option<&ChaosProfile>) -> Arc<dyn IoBackend> {
+    match profile {
+        None => Arc::new(RealBackend),
+        Some(p) => Arc::new(ChaosBackend::new(*p)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation helpers: retry with backoff + the degraded-storage latch
+// ---------------------------------------------------------------------------
+
+/// Bounded exponential backoff for durable writes that may hit transient
+/// storage faults (ENOSPC while a reaper frees space, a flaky mount).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoRetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Cap on a single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for IoRetryPolicy {
+    fn default() -> Self {
+        IoRetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl IoRetryPolicy {
+    /// A fast policy for tests (1 ms base delay).
+    pub fn fast() -> IoRetryPolicy {
+        IoRetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+        }
+    }
+}
+
+/// Run `op` under `policy`, pausing with exponential backoff between
+/// attempts and reporting each retry through `note`. Returns the final
+/// error only after the budget is exhausted.
+pub fn with_retry<T>(
+    policy: &IoRetryPolicy,
+    what: &str,
+    note: &mut dyn FnMut(String),
+    mut op: impl FnMut() -> Result<T, String>,
+) -> Result<T, String> {
+    let mut delay = policy.base_delay;
+    let mut last = String::new();
+    for attempt in 1..=policy.attempts.max(1) {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                last = e;
+                if attempt < policy.attempts {
+                    note(format!(
+                        "{what}: attempt {attempt}/{} failed ({last}); retrying in {} ms",
+                        policy.attempts,
+                        delay.as_millis()
+                    ));
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(policy.max_delay);
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+/// The degraded-storage latch a long run carries: once any durable write
+/// exhausts its retries, the run keeps going but reports itself degraded
+/// in its summary — never a silent loss, never an abort.
+#[derive(Debug, Default)]
+pub struct StorageHealth {
+    degraded: AtomicBool,
+    /// Checkpoint writes abandoned after the retry budget.
+    pub checkpoints_skipped: AtomicU64,
+    /// Durable writes that needed at least one retry.
+    pub retried_writes: AtomicU64,
+}
+
+impl StorageHealth {
+    /// Latch the degraded flag (idempotent).
+    pub fn mark_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Has any durable write exhausted its retries?
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// One-line summary for stderr / health replies.
+    pub fn summary(&self) -> String {
+        format!(
+            "degraded_storage={} checkpoints_skipped={} retried_writes={}",
+            self.degraded(),
+            self.checkpoints_skipped.load(Ordering::Relaxed),
+            self.retried_writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmsa-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_via(io: &dyn IoBackend, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        io.write_all(&mut f, path, bytes)
+    }
+
+    #[test]
+    fn profile_parsing() {
+        let p = ChaosProfile::parse("seed=7,enospc=0.2,torn=0.1").unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.p_enospc, 0.2);
+        assert_eq!(p.p_torn, 0.1);
+        assert_eq!(p.p_eio, 0.0);
+        assert!(ChaosProfile::parse("enospc=1.5").is_err());
+        assert!(ChaosProfile::parse("seed=x").is_err());
+        assert!(ChaosProfile::parse("gamma=0.1").is_err());
+        assert!(ChaosProfile::parse("seed").is_err());
+        // Blank spec is the all-zero (inert) profile.
+        assert_eq!(ChaosProfile::parse("").unwrap(), ChaosProfile::default());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_order_independent() {
+        let profile = ChaosProfile {
+            seed: 42,
+            p_enospc: 0.3,
+            p_torn: 0.2,
+            ..ChaosProfile::default()
+        };
+        // Two backends, operations issued in different file orders, must
+        // agree on every per-file fault decision.
+        let a = ChaosBackend::new(profile);
+        let b = ChaosBackend::new(profile);
+        let files = ["x.json", "y.json", "z.dmsa"];
+        let mut decisions_a = Vec::new();
+        for name in &files {
+            for _ in 0..20 {
+                let ord = a.next_ordinal(OpClass::Write, name);
+                decisions_a.push(a.fires(OpClass::Write, name, ord, FaultKind::Enospc));
+            }
+        }
+        let mut decisions_b = Vec::new();
+        // Interleave round-robin instead of file-major.
+        let mut ords = [0u64; 3];
+        let mut per_file: Vec<Vec<bool>> = vec![Vec::new(); 3];
+        for _ in 0..20 {
+            for (i, name) in files.iter().enumerate() {
+                let ord = b.next_ordinal(OpClass::Write, name);
+                assert_eq!(ord, ords[i]);
+                ords[i] += 1;
+                per_file[i].push(b.fires(OpClass::Write, name, ord, FaultKind::Enospc));
+            }
+        }
+        for row in per_file {
+            decisions_b.extend(row);
+        }
+        assert_eq!(decisions_a, decisions_b);
+        // And the schedule actually fires somewhere at p=0.3 over 60 ops.
+        assert!(
+            decisions_a.iter().any(|&d| d),
+            "p=0.3 never fired in 60 ops"
+        );
+        assert!(!decisions_a.iter().all(|&d| d), "p=0.3 always fired");
+    }
+
+    #[test]
+    fn enospc_lands_a_prefix_then_errors() {
+        let dir = scratch("enospc");
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 1,
+            p_enospc: 1.0,
+            ..ChaosProfile::default()
+        });
+        let path = dir.join("victim.bin");
+        let err = write_via(&io, &path, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        // Half the payload landed: the torn state a crash would leave.
+        assert_eq!(fs::read(&path).unwrap(), b"01234");
+        assert_eq!(io.injected.enospc.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_lands_a_prefix() {
+        let dir = scratch("torn");
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 3,
+            p_torn: 1.0,
+            ..ChaosProfile::default()
+        });
+        let path = dir.join("lying.bin");
+        let payload = vec![0xAB; 1000];
+        write_via(&io, &path, &payload).unwrap(); // success!
+        let on_disk = fs::read(&path).unwrap();
+        assert!(on_disk.len() < payload.len(), "write was not torn");
+        assert!(!on_disk.is_empty(), "torn write landed nothing");
+        assert_eq!(
+            io.torn_files.lock().unwrap().as_slice(),
+            &["lying.bin".to_string()]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_rename_and_read_faults_fire() {
+        let dir = scratch("misc");
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 5,
+            p_fsync: 1.0,
+            p_rename: 1.0,
+            p_eio: 1.0,
+            ..ChaosProfile::default()
+        });
+        let path = dir.join("a.bin");
+        fs::write(&path, b"data").unwrap();
+        let f = File::open(&path).unwrap();
+        assert!(io.sync(&f, &path).is_err());
+        assert!(io.rename(&path, &dir.join("b.bin")).is_err());
+        assert!(io.read(&path).is_err());
+        assert_eq!(io.injected.fsync.load(Ordering::Relaxed), 1);
+        assert_eq!(io.injected.rename.load(Ordering::Relaxed), 1);
+        assert!(io.injected.eio.load(Ordering::Relaxed) >= 1);
+        assert!(io.injected.total() >= 3);
+        assert!(io.injected.one_line().contains("fsync 1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inert_profile_injects_nothing() {
+        let dir = scratch("inert");
+        let io = ChaosBackend::new(ChaosProfile {
+            seed: 9,
+            ..ChaosProfile::default()
+        });
+        let path = dir.join("clean.bin");
+        for _ in 0..50 {
+            write_via(&io, &path, b"payload").unwrap();
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"payload");
+        assert_eq!(io.injected.total(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_faults_and_reports_each_attempt() {
+        let mut notes = Vec::new();
+        let mut left = 2u32;
+        let out = with_retry(
+            &IoRetryPolicy::fast(),
+            "checkpoint write",
+            &mut |l| notes.push(l),
+            || {
+                if left > 0 {
+                    left -= 1;
+                    Err("injected ENOSPC".into())
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("attempt 1/4"), "{notes:?}");
+        assert!(notes[0].contains("retrying"), "{notes:?}");
+    }
+
+    #[test]
+    fn retry_exhausts_and_returns_the_last_error() {
+        let mut notes = Vec::new();
+        let out: Result<(), String> = with_retry(
+            &IoRetryPolicy::fast(),
+            "export write",
+            &mut |l| notes.push(l),
+            || Err("still full".into()),
+        );
+        assert_eq!(out, Err("still full".to_string()));
+        assert_eq!(notes.len(), 3, "retries = attempts - 1: {notes:?}");
+    }
+
+    #[test]
+    fn storage_health_latches() {
+        let h = StorageHealth::default();
+        assert!(!h.degraded());
+        h.checkpoints_skipped.fetch_add(1, Ordering::Relaxed);
+        h.mark_degraded();
+        assert!(h.degraded());
+        h.mark_degraded(); // idempotent
+        assert!(h.degraded());
+        assert!(h.summary().contains("degraded_storage=true"));
+        assert!(h.summary().contains("checkpoints_skipped=1"));
+    }
+}

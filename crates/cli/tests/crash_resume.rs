@@ -33,6 +33,7 @@ fn resume_after_truncated_checkpoint_is_byte_identical() {
         every: SimDuration::from_hours(1),
         resume: false,
         keep: 3,
+        ..CheckpointKnobs::default()
     };
 
     // The uninterrupted reference run, leaving checkpoints behind — the
@@ -82,6 +83,7 @@ fn resume_with_all_checkpoints_destroyed_cold_starts_identically() {
         every: SimDuration::from_hours(2),
         resume: false,
         keep: 3,
+        ..CheckpointKnobs::default()
     };
     let mut quiet = |_: String| {};
     let full = run_with_checkpoints(&config, &knobs, &mut quiet).unwrap();
@@ -126,6 +128,7 @@ fn resume_ignores_checkpoints_from_a_different_scenario() {
         every: SimDuration::from_hours(3),
         resume: false,
         keep: 3,
+        ..CheckpointKnobs::default()
     };
     run_with_checkpoints(&other, &foreign_knobs, &mut quiet).unwrap();
 

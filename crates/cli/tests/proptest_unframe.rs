@@ -1,0 +1,102 @@
+//! Property tests for the checkpoint frame codec.
+//!
+//! The resume ladder feeds `unframe` whatever it finds on disk — files a
+//! chaos drill tore mid-write, files a different build wrote, files that
+//! are not checkpoints at all. Two properties must hold for every input:
+//! it never panics, and every corruption lands in the right taxonomy
+//! bucket (truncation vs magic vs version vs checksum), because the
+//! ladder's skip notes and `dmsa verify` both classify by those stable
+//! message prefixes.
+
+use dmsa_cli::checkpoint::{frame, unframe, CKPT_VERSION};
+use proptest::prelude::*;
+
+/// Classify an `unframe` error by its stable message prefix.
+fn classify(err: &str) -> &'static str {
+    if err.starts_with("truncated") {
+        "truncated"
+    } else if err.starts_with("bad magic") {
+        "magic"
+    } else if err.starts_with("frame version") {
+        "version"
+    } else if err.starts_with("checksum mismatch") {
+        "checksum"
+    } else if err.starts_with("implausible payload length") {
+        "length"
+    } else {
+        "unknown"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn round_trip_recovers_the_payload(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let framed = frame(&payload);
+        prop_assert_eq!(unframe(&framed).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn any_strict_prefix_is_a_truncation(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        cut in 0usize..10_000,
+    ) {
+        let framed = frame(&payload);
+        let cut = cut % framed.len(); // 0..len: strictly shorter
+        let err = unframe(&framed[..cut]).unwrap_err();
+        prop_assert_eq!(classify(&err), "truncated", "cut {}: {}", cut, err);
+    }
+
+    #[test]
+    fn single_byte_corruption_maps_to_the_right_bucket(
+        payload in prop::collection::vec(any::<u8>(), 1..300),
+        pos in 0usize..10_000,
+        delta in 0u8..255,
+    ) {
+        let framed = frame(&payload);
+        let pos = pos % framed.len();
+        let mut bad = framed.clone();
+        bad[pos] ^= delta + 1; // non-zero flip: the byte always changes
+        let err = unframe(&bad).unwrap_err();
+        let bucket = classify(&err);
+        match pos {
+            // Frame layout: magic[0..8] version[8..12] len[12..20]
+            // payload[20..20+n] crc32[20+n..24+n].
+            0..=7 => prop_assert_eq!(bucket, "magic", "pos {}: {}", pos, err),
+            8..=11 => prop_assert_eq!(bucket, "version", "pos {}: {}", pos, err),
+            // A corrupt length field reads as a truncation (declared
+            // and actual sizes disagree) or an implausible length
+            // (checked arithmetic overflows) — never as a clean parse.
+            12..=19 => prop_assert!(
+                bucket == "truncated" || bucket == "length",
+                "pos {}: {}", pos, err
+            ),
+            _ => prop_assert_eq!(bucket, "checksum", "pos {}: {}", pos, err),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_never_false_parse(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        if let Ok(payload) = unframe(&bytes) {
+            // Accepting random bytes is only legitimate if they are a
+            // canonical frame down to the last byte.
+            prop_assert_eq!(frame(payload), bytes.clone());
+        }
+    }
+
+    #[test]
+    fn valid_header_with_garbage_body_never_panics(
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"DMSACKPT");
+        bytes.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = unframe(&bytes); // classification may vary; panics may not
+    }
+}

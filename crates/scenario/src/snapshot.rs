@@ -201,7 +201,92 @@ pub(crate) fn decode_forked(config: &ScenarioConfig, bytes: &[u8]) -> Result<Dri
 /// wrong-config snapshot is reported as an error (never a panic), so the
 /// caller can fall back to an older checkpoint.
 pub fn validate(config: &ScenarioConfig, bytes: &[u8]) -> Result<SimTime, String> {
-    decode(config, bytes).map(|d| d.queue.now())
+    validate_classified(config, bytes).map_err(|e| e.to_string())
+}
+
+/// Coarse taxonomy of snapshot validation failures. Resume ladders and
+/// auditors act on the *class*: truncation and corruption mean the file
+/// is damaged (fall back to an older checkpoint, flag the artifact);
+/// version skew means a different build wrote it (not damage); a
+/// fingerprint mismatch means the bytes are fine but the config is wrong
+/// (falling back further will not help).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotErrorKind {
+    /// The payload ends before the layout says it should.
+    Truncated,
+    /// A different (usually newer) layout version wrote this snapshot.
+    VersionSkew,
+    /// Structurally sound but taken under a different scenario config.
+    FingerprintMismatch,
+    /// Any other structural damage: bad tags, broken invariants,
+    /// out-of-range references, trailing bytes.
+    Corrupt,
+}
+
+impl SnapshotErrorKind {
+    /// Stable lower-case label for logs and structured errors.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotErrorKind::Truncated => "truncated",
+            SnapshotErrorKind::VersionSkew => "version-skew",
+            SnapshotErrorKind::FingerprintMismatch => "fingerprint-mismatch",
+            SnapshotErrorKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// A classified snapshot validation failure: the kind plus the full
+/// offset-carrying diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError {
+    pub kind: SnapshotErrorKind,
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// [`validate`] with the failure classified into [`SnapshotErrorKind`].
+pub fn validate_classified(
+    config: &ScenarioConfig,
+    bytes: &[u8],
+) -> Result<SimTime, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    decode_inner(config, &mut r, ResumeMode::Strict)
+        .map(|d| d.queue.now())
+        .map_err(|e| SnapshotError {
+            kind: classify(&e.what),
+            message: e.to_string(),
+        })
+}
+
+/// Map a codec diagnostic onto the coarse taxonomy. The codec's error
+/// strings are part of its tested contract (`truncated: …`, `snapshot
+/// layout version … found`, `… fingerprint mismatch …`), so matching on
+/// their stable prefixes here is deliberate, not incidental.
+fn classify(what: &str) -> SnapshotErrorKind {
+    if what.starts_with("truncated") {
+        SnapshotErrorKind::Truncated
+    } else if what.starts_with("snapshot layout version") {
+        SnapshotErrorKind::VersionSkew
+    } else if what.contains("fingerprint") {
+        SnapshotErrorKind::FingerprintMismatch
+    } else {
+        SnapshotErrorKind::Corrupt
+    }
+}
+
+/// The layout version stamped at the front of a snapshot payload, without
+/// decoding (or validating) the rest. Errors only when the payload is too
+/// short to carry a version at all.
+pub fn peek_version(bytes: &[u8]) -> Result<u32, String> {
+    let mut r = Reader::new(bytes);
+    r.get_u32().map_err(|e| e.to_string())
 }
 
 fn decode_inner(
