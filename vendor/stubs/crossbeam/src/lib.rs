@@ -1,0 +1,1 @@
+//! Offline stub for `crossbeam` 0.8 (declared but unused in dmsa).

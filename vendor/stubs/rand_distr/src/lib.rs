@@ -1,0 +1,85 @@
+//! Offline stub for `rand_distr` 0.6: only the distributions the dmsa
+//! workspace samples (LogNormal, Pareto), implemented for real so
+//! statistical tests remain meaningful.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Sampling trait (subset).
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Construction error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal via Box-Muller (one value per draw; two uniforms).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = 1.0 - uniform01(rng); // (0, 1]
+    let u2 = uniform01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal: exp(mu + sigma·Z). Generic marker matches the real crate's
+/// `LogNormal<F: Float>`; only `f64` is implemented offline.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto: scale / U^(1/shape). Generic marker as in the real crate.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto<F> {
+    scale: F,
+    inv_shape: F,
+}
+
+impl Pareto<f64> {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite() {
+            Ok(Pareto {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - uniform01(rng); // (0, 1]
+        self.scale * u.powf(-self.inv_shape)
+    }
+}

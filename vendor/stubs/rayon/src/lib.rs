@@ -1,0 +1,110 @@
+//! Offline stub for `rayon` 1.12: the parallel API surface dmsa uses,
+//! executed sequentially. Results are identical (dmsa only uses
+//! order-preserving or commutative operations); only wall-clock parallelism
+//! is lost.
+
+/// Run both closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    /// `par_iter()` on slices/vecs: sequential `iter()` under the stub.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()`: sequential `into_iter()` under the stub.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator,
+    {
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Rayon-specific adapters dmsa uses on parallel iterators.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        fn with_min_len(self, _n: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// Parallel in-place slice sorts: sequential unstable sorts here.
+    pub trait ParallelSliceMut<T> {
+        fn as_mut_slice_stub(&mut self) -> &mut [T];
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord + Send,
+        {
+            self.as_mut_slice_stub().sort_unstable();
+        }
+
+        fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K + Sync,
+            T: Send,
+        {
+            self.as_mut_slice_stub().sort_unstable_by_key(f);
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, f: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering + Sync,
+            T: Send,
+        {
+            self.as_mut_slice_stub().sort_unstable_by(f);
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice_stub(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}

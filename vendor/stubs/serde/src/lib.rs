@@ -1,0 +1,175 @@
+//! Offline compile stub for `serde` 1.x.
+//!
+//! Traits have real shapes (so custom impls written against this stub
+//! also compile against real serde) but no working data formats exist:
+//! every serialize/deserialize call reports an error at runtime.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    /// Error raised by a `Serializer`.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    pub use self::Error as SerError;
+}
+
+pub mod de {
+    /// Error raised by a `Deserializer`.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    pub use self::Error as DeError;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! stub_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                Err(<S::Error as ser::Error>::custom("offline serde stub"))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+                Err(<DE::Error as de::Error>::custom("offline serde stub"))
+            }
+        }
+    )*};
+}
+
+stub_impls!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    H: Default,
+{
+    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, H: Default> Deserialize<'de> for std::collections::HashSet<T, H> {
+    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                Err(<S::Error as ser::Error>::custom("offline serde stub"))
+            }
+        }
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {
+            fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+                Err(<DE::Error as de::Error>::custom("offline serde stub"))
+            }
+        }
+    )*};
+}
+
+tuple_impls!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));

@@ -1,0 +1,53 @@
+//! Offline stub for `serde_derive`: emits inert trait impls.
+//!
+//! Parses only far enough to find the type name (derived types in dmsa
+//! are all non-generic); `#[serde(...)]` helper attributes are accepted
+//! and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the struct/enum a derive input defines.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(t) = tokens.next() {
+        if let TokenTree::Ident(id) = &t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                for t2 in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = t2 {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {{\n\
+                 Err(<S::Error as serde::ser::Error>::custom(\"offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {{\n\
+                 Err(<D::Error as serde::de::Error>::custom(\"offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
