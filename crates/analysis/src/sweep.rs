@@ -62,6 +62,54 @@ pub fn cell_metrics(
     }
 }
 
+/// The reason taxonomy of a quarantined sweep cell, keyed by the stable
+/// prefix of its quarantine reason string. The supervision layer reacts
+/// per class: `Storage` quarantines are retried (transient by
+/// definition), `Timeout` and `Interrupted` are re-dispatched only by a
+/// `--resume`, `Panic` and `Other` are never retried automatically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellFailureClass {
+    /// `storage:` — an I/O fault exhausted the write retry budget.
+    Storage,
+    /// `timeout:` — the cell exceeded its cooperative deadline.
+    Timeout,
+    /// `interrupted:` — termination was requested mid-sweep.
+    Interrupted,
+    /// `panicked:` — the cell's simulation panicked.
+    Panic,
+    /// Anything else (config errors, fork mismatches, …).
+    Other,
+}
+
+impl CellFailureClass {
+    /// The stable reason-string prefix this class is keyed on (empty for
+    /// [`CellFailureClass::Other`]).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            CellFailureClass::Storage => "storage:",
+            CellFailureClass::Timeout => "timeout:",
+            CellFailureClass::Interrupted => "interrupted:",
+            CellFailureClass::Panic => "panicked:",
+            CellFailureClass::Other => "",
+        }
+    }
+}
+
+/// Classify a quarantine reason by its stable prefix.
+pub fn classify_failure(reason: &str) -> CellFailureClass {
+    for class in [
+        CellFailureClass::Storage,
+        CellFailureClass::Timeout,
+        CellFailureClass::Interrupted,
+        CellFailureClass::Panic,
+    ] {
+        if reason.starts_with(class.prefix()) {
+            return class;
+        }
+    }
+    CellFailureClass::Other
+}
+
 /// Statistics over every cell sharing one `(axis, value)` knob.
 #[derive(Clone, Debug, PartialEq)]
 pub struct KnobGroup {
@@ -137,6 +185,36 @@ mod tests {
             .iter()
             .map(|(a, v)| (a.to_string(), v.to_string()))
             .collect()
+    }
+
+    #[test]
+    fn failure_classification_keys_on_stable_prefixes() {
+        assert_eq!(
+            classify_failure("storage: export write failed after 4 attempts"),
+            CellFailureClass::Storage
+        );
+        assert_eq!(
+            classify_failure("timeout: cell exceeded 30s (cooperative cancel)"),
+            CellFailureClass::Timeout
+        );
+        assert_eq!(
+            classify_failure("interrupted: cell never started"),
+            CellFailureClass::Interrupted
+        );
+        assert_eq!(
+            classify_failure("panicked: index out of bounds"),
+            CellFailureClass::Panic
+        );
+        assert_eq!(
+            classify_failure("prefix fork structural fingerprint mismatch"),
+            CellFailureClass::Other
+        );
+        // Prefixes are position-sensitive: a reason merely *mentioning*
+        // storage is not a storage failure.
+        assert_eq!(
+            classify_failure("canceled: storage: red herring"),
+            CellFailureClass::Other
+        );
     }
 
     #[test]

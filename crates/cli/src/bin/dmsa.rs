@@ -61,11 +61,19 @@ const USAGE: &str = "usage:
                 [--seeds 1,7] [--fail-probs 0.05,0.2]
                 [--breakers off,adaptive,adaptive:SECS]
                 [--warm-start-at 10h] [--jobs N]
+                [--resume] [--cell-retries N] [--cell-timeout SECS]
                 [--chaos-profile seed=N,enospc=F,...]
-                (exit 3 = partial success: some cells quarantined)
+                (journals to sweep-journal.dmsaj; --resume adopts
+                 verified-complete cells instead of re-running them,
+                 --cell-retries re-runs storage:-quarantined cells with
+                 backoff, --cell-timeout quarantines hung cells)
   dmsa verify   DIR
-                (offline artifact audit: checkpoint frames, campaign
-                 exports, sweep summaries; exit 4 = corruption found)
+                (offline artifact audit: checkpoint frames, sweep
+                 journals, campaign exports, sweep summaries/ops)
+
+  exit codes: 0 = success            2 = usage error
+              3 = partial sweep (some cells quarantined; summary valid)
+              4 = verify found corruption
   dmsa match    --campaign FILE --method exact|rm1|rm2|scored[:T]
                 [--engine naive|indexed|parallel|prepared] [--out FILE]
   dmsa analyze  --campaign FILE [--matches FILE] [--baseline FILE]
@@ -299,6 +307,21 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 chaos: f
                     .get("chaos-profile")
                     .map(|s| ChaosProfile::parse(s))
+                    .transpose()?,
+                resume: f.contains_key("resume"),
+                cell_retries: f
+                    .get("cell-retries")
+                    .map(|s| s.parse().map_err(|e| format!("bad --cell-retries: {e}")))
+                    .transpose()?
+                    .unwrap_or(0),
+                cell_timeout: f
+                    .get("cell-timeout")
+                    .map(|s| match s.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                            Ok(Duration::from_secs_f64(secs))
+                        }
+                        _ => Err(format!("bad --cell-timeout {s:?} (want positive seconds)")),
+                    })
                     .transpose()?,
                 ..SweepOpts::default()
             };

@@ -48,8 +48,11 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Unwrap and verify a frame, returning the payload.
-pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
+/// Parse and validate a frame header, returning `(payload_len, total
+/// frame length)`. Shared by [`unframe`] (exact-length files) and
+/// [`unframe_prefix`] (frames embedded in a longer stream); both report
+/// the same error taxonomy.
+fn parse_header(bytes: &[u8]) -> Result<(usize, usize), String> {
     if bytes.len() < HEADER_LEN + 4 {
         return Err(format!(
             "truncated: {} bytes is too short for a frame",
@@ -69,14 +72,17 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
     let Some(expected) = HEADER_LEN.checked_add(len).and_then(|n| n.checked_add(4)) else {
         return Err("implausible payload length".to_string());
     };
-    if bytes.len() != expected {
-        return Err(format!(
-            "truncated: frame declares {expected} bytes, file has {}",
-            bytes.len()
-        ));
-    }
+    Ok((len, expected))
+}
+
+/// Verify the checksummed payload of a frame whose header already parsed.
+fn checked_payload(bytes: &[u8], len: usize) -> Result<&[u8], String> {
     let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
-    let stored = u32::from_le_bytes(bytes[HEADER_LEN + len..].try_into().unwrap());
+    let stored = u32::from_le_bytes(
+        bytes[HEADER_LEN + len..HEADER_LEN + len + 4]
+            .try_into()
+            .unwrap(),
+    );
     let actual = crc32(payload);
     if stored != actual {
         return Err(format!(
@@ -84,6 +90,34 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
         ));
     }
     Ok(payload)
+}
+
+/// Unwrap and verify a frame, returning the payload. The input must be
+/// exactly one frame — trailing bytes are a truncation-class error.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
+    let (len, expected) = parse_header(bytes)?;
+    if bytes.len() != expected {
+        return Err(format!(
+            "truncated: frame declares {expected} bytes, file has {}",
+            bytes.len()
+        ));
+    }
+    checked_payload(bytes, len)
+}
+
+/// Unwrap and verify one frame from the *head* of `bytes`, tolerating
+/// trailing data — the record-stream variant of [`unframe`] used by the
+/// sweep journal. Returns the payload and the total number of bytes the
+/// frame occupies, so callers can advance to the next record.
+pub fn unframe_prefix(bytes: &[u8]) -> Result<(&[u8], usize), String> {
+    let (len, expected) = parse_header(bytes)?;
+    if bytes.len() < expected {
+        return Err(format!(
+            "truncated: frame declares {expected} bytes, stream has {}",
+            bytes.len()
+        ));
+    }
+    checked_payload(&bytes[..expected], len).map(|p| (p, expected))
 }
 
 /// A frame-verified checkpoint located by [`CheckpointDir::newest_valid`].
@@ -296,6 +330,32 @@ mod tests {
                 .unwrap_err()
                 .contains("magic")
         );
+    }
+
+    #[test]
+    fn unframe_prefix_walks_a_record_stream() {
+        let mut stream = Vec::new();
+        for rec in [b"first".as_slice(), b"second", b""] {
+            stream.extend_from_slice(&frame(rec));
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while at < stream.len() {
+            let (payload, used) = unframe_prefix(&stream[at..]).unwrap();
+            seen.push(payload.to_vec());
+            at += used;
+        }
+        assert_eq!(seen, vec![b"first".to_vec(), b"second".to_vec(), vec![]]);
+
+        // A torn tail (half a frame) errors without touching the prefix.
+        let cut = stream.len() - 3;
+        let (payload, used) = unframe_prefix(&stream[..cut]).unwrap();
+        assert_eq!(payload, b"first");
+        let second = unframe_prefix(&stream[used..cut]);
+        assert!(second.is_ok(), "full second frame should still parse");
+        let (_, used2) = second.unwrap();
+        let torn = unframe_prefix(&stream[used + used2..cut]);
+        assert!(torn.unwrap_err().contains("truncated"));
     }
 
     #[test]

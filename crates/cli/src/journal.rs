@@ -1,0 +1,529 @@
+//! The sweep journal: an append-only, CRC-framed cell manifest.
+//!
+//! A sweep writes `sweep-journal.dmsaj` next to its outputs, recording
+//! the grid identity and every per-cell lifecycle transition as one
+//! [`crate::checkpoint::frame`]-wrapped record each. Crash-safety comes
+//! from the frame, not from fsync discipline alone: a record torn by a
+//! crash fails its CRC, and replay salvages the intact prefix — exactly
+//! the degradation ladder checkpoint resume uses, applied to a stream.
+//!
+//! ```text
+//! sweep-journal.dmsaj = frame(header) frame(record)*
+//! header  = "g" \t grid-fingerprint(016x) \t n_cells \t warm-start-ms|-
+//! record  = "d" \t label                                    dispatched
+//!         | "c" \t label \t export|- \t crc(08x) \t len \t m1..m9 \t retries
+//!         | "q" \t label \t retries \t reason               quarantined
+//!         | "r" \t label \t attempt \t reason               retry scheduled
+//! ```
+//!
+//! Records are tab-separated text inside the binary frame: trivially
+//! greppable once unframed, while torn/flipped bytes are still caught
+//! by the checksum. Metric floats use Rust's shortest-round-trip
+//! `to_string`, so a resumed cell's adopted metrics are bit-equal to
+//! the originals.
+//!
+//! The journal is a *flight recorder*: appends go straight through
+//! [`RealBackend`] (never the chaos backend — the recorder must outlive
+//! the drill), and append failures are reported but never abort the
+//! sweep. Losing journal tail records costs re-simulation on resume,
+//! never correctness: resume re-validates every surviving artifact
+//! against the journal's checksums before adopting it.
+
+use crate::checkpoint::{frame, unframe_prefix};
+use crate::vfs::{IoBackend, RealBackend};
+use dmsa_analysis::sweep::CellMetrics;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The journal's file name inside a sweep output directory.
+pub const FILE_NAME: &str = "sweep-journal.dmsaj";
+
+/// The journal's first record: which sweep this is.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Header {
+    /// [`dmsa_scenario::SweepGrid::fingerprint`] of the grid.
+    pub grid_fingerprint: u64,
+    /// Expanded cell count (a cheap sanity cross-check).
+    pub n_cells: usize,
+    /// Warm-start boundary in sim-millis; `None` for cold sweeps. Part
+    /// of the identity: the same grid warm-started elsewhere produces
+    /// different per-cell artifacts.
+    pub warm_start_at_ms: Option<i64>,
+}
+
+/// One per-cell lifecycle transition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// The cell was claimed by a worker.
+    Dispatched { label: String },
+    /// The cell completed; metrics and (when exporting) the artifact's
+    /// content checksum are journaled so resume can adopt the cell
+    /// without re-simulating it.
+    Completed {
+        label: String,
+        /// Export file name (`cell-<label>.json`), `None` when the
+        /// sweep ran without `--write-cell-exports`.
+        export: Option<String>,
+        /// CRC-32 of the export bytes (0 when no export).
+        export_crc: u32,
+        /// Export length in bytes (0 when no export).
+        export_len: u64,
+        metrics: CellMetrics,
+        /// Cell-level retries this completion needed.
+        retries: u32,
+    },
+    /// The cell failed; `reason` carries the stable taxonomy prefix
+    /// (`storage:`, `timeout:`, `interrupted:`, `panicked:`, …).
+    Quarantined {
+        label: String,
+        retries: u32,
+        reason: String,
+    },
+    /// A `storage:`-failed attempt was scheduled for retry `attempt`.
+    RetryScheduled {
+        label: String,
+        attempt: u32,
+        reason: String,
+    },
+}
+
+fn encode_header(h: &Header) -> String {
+    format!(
+        "g\t{:016x}\t{}\t{}",
+        h.grid_fingerprint,
+        h.n_cells,
+        h.warm_start_at_ms
+            .map_or_else(|| "-".to_string(), |ms| ms.to_string())
+    )
+}
+
+fn encode_record(r: &Record) -> String {
+    match r {
+        Record::Dispatched { label } => format!("d\t{label}"),
+        Record::Completed {
+            label,
+            export,
+            export_crc,
+            export_len,
+            metrics: m,
+            retries,
+        } => format!(
+            "c\t{label}\t{}\t{export_crc:08x}\t{export_len}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{retries}",
+            export.as_deref().unwrap_or("-"),
+            m.exhausted,
+            m.failed_attempts,
+            m.delivered,
+            m.requests,
+            m.retry_delay_secs,
+            m.excluded_hours,
+            m.trips,
+            m.jobs,
+            m.transfers,
+        ),
+        Record::Quarantined {
+            label,
+            retries,
+            reason,
+        } => format!("q\t{label}\t{retries}\t{reason}"),
+        Record::RetryScheduled {
+            label,
+            attempt,
+            reason,
+        } => format!("r\t{label}\t{attempt}\t{reason}"),
+    }
+}
+
+fn parse_header(payload: &str) -> Result<Header, String> {
+    let mut f = payload.split('\t');
+    if f.next() != Some("g") {
+        return Err("journal header record is not tagged 'g'".into());
+    }
+    let fp = f.next().ok_or("journal header missing fingerprint")?;
+    let grid_fingerprint =
+        u64::from_str_radix(fp, 16).map_err(|e| format!("bad grid fingerprint {fp:?}: {e}"))?;
+    let n = f.next().ok_or("journal header missing cell count")?;
+    let n_cells = n
+        .parse()
+        .map_err(|e| format!("bad journal cell count {n:?}: {e}"))?;
+    let w = f.next().ok_or("journal header missing warm-start field")?;
+    let warm_start_at_ms = match w {
+        "-" => None,
+        ms => Some(
+            ms.parse()
+                .map_err(|e| format!("bad journal warm-start millis {ms:?}: {e}"))?,
+        ),
+    };
+    Ok(Header {
+        grid_fingerprint,
+        n_cells,
+        warm_start_at_ms,
+    })
+}
+
+fn parse_record(payload: &str) -> Result<Record, String> {
+    let (tag, rest) = payload
+        .split_once('\t')
+        .ok_or_else(|| format!("journal record has no tab: {payload:?}"))?;
+    match tag {
+        "d" => Ok(Record::Dispatched {
+            label: rest.to_string(),
+        }),
+        "c" => {
+            let fields: Vec<&str> = rest.split('\t').collect();
+            if fields.len() != 14 {
+                return Err(format!(
+                    "completed record has {} fields, want 14",
+                    fields.len()
+                ));
+            }
+            let num = |i: usize, what: &str| -> Result<u64, String> {
+                fields[i]
+                    .parse()
+                    .map_err(|e| format!("bad {what} {:?}: {e}", fields[i]))
+            };
+            let flt = |i: usize, what: &str| -> Result<f64, String> {
+                fields[i]
+                    .parse()
+                    .map_err(|e| format!("bad {what} {:?}: {e}", fields[i]))
+            };
+            Ok(Record::Completed {
+                label: fields[0].to_string(),
+                export: match fields[1] {
+                    "-" => None,
+                    name => Some(name.to_string()),
+                },
+                export_crc: u32::from_str_radix(fields[2], 16)
+                    .map_err(|e| format!("bad export crc {:?}: {e}", fields[2]))?,
+                export_len: num(3, "export length")?,
+                metrics: CellMetrics {
+                    exhausted: num(4, "exhausted")?,
+                    failed_attempts: num(5, "failed_attempts")?,
+                    delivered: num(6, "delivered")?,
+                    requests: num(7, "requests")?,
+                    retry_delay_secs: flt(8, "retry_delay_secs")?,
+                    excluded_hours: flt(9, "excluded_hours")?,
+                    trips: num(10, "trips")?,
+                    jobs: num(11, "jobs")?,
+                    transfers: num(12, "transfers")?,
+                },
+                retries: num(13, "retries")? as u32,
+            })
+        }
+        "q" => {
+            // Reason comes last and may itself contain tabs: split off
+            // exactly the two leading fields.
+            let mut f = rest.splitn(3, '\t');
+            let label = f.next().unwrap_or_default().to_string();
+            let retries = f
+                .next()
+                .ok_or("quarantine record missing retries")?
+                .parse::<u32>()
+                .map_err(|e| format!("bad quarantine retries: {e}"))?;
+            let reason = f
+                .next()
+                .ok_or("quarantine record missing reason")?
+                .to_string();
+            Ok(Record::Quarantined {
+                label,
+                retries,
+                reason,
+            })
+        }
+        "r" => {
+            let mut f = rest.splitn(3, '\t');
+            let label = f.next().unwrap_or_default().to_string();
+            let attempt = f
+                .next()
+                .ok_or("retry record missing attempt")?
+                .parse::<u32>()
+                .map_err(|e| format!("bad retry attempt: {e}"))?;
+            let reason = f.next().ok_or("retry record missing reason")?.to_string();
+            Ok(Record::RetryScheduled {
+                label,
+                attempt,
+                reason,
+            })
+        }
+        other => Err(format!("unknown journal record tag {other:?}")),
+    }
+}
+
+/// An open, appendable sweep journal. Appends are serialized through a
+/// mutex (sweep workers journal concurrently) and each record is framed
+/// and fdatasync'd individually, so a crash tears at most the record
+/// being written — which replay then drops as the torn tail.
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl SweepJournal {
+    /// The journal path inside a sweep output directory.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(FILE_NAME)
+    }
+
+    /// Create (truncating any predecessor) and write the header. The
+    /// truncate-then-rewrite is what a resume does too: once surviving
+    /// cells are adopted, the journal is rewritten fresh so it never
+    /// accretes stale generations.
+    pub fn create(dir: &Path, header: &Header) -> Result<SweepJournal, String> {
+        let path = Self::path_in(dir);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| format!("cannot create sweep journal {}: {e}", path.display()))?;
+        let j = SweepJournal {
+            path,
+            file: Mutex::new(file),
+        };
+        j.append_payload(encode_header(header).as_bytes())?;
+        Ok(j)
+    }
+
+    fn append_payload(&self, payload: &[u8]) -> Result<(), String> {
+        let mut f = self.file.lock().expect("journal file poisoned");
+        RealBackend
+            .write_all(&mut f, &self.path, &frame(payload))
+            .and_then(|()| f.sync_data())
+            .map_err(|e| format!("sweep journal append failed: {e}"))
+    }
+
+    /// Append one lifecycle record. Errors are returned, not panicked:
+    /// the sweep reports them and keeps running (flight-recorder
+    /// contract — a failing journal disk costs resume coverage, never
+    /// the sweep itself).
+    pub fn append(&self, record: &Record) -> Result<(), String> {
+        self.append_payload(encode_record(record).as_bytes())
+    }
+}
+
+/// The replayed content of a journal file.
+#[derive(Debug)]
+pub struct JournalReplay {
+    pub header: Header,
+    pub records: Vec<Record>,
+    /// Why replay stopped early, if it did (torn tail after a crash,
+    /// flipped bytes, …). The records before the damage are still valid.
+    pub torn_tail: Option<String>,
+    /// Frames that parsed (header included) — verify's audit detail.
+    pub frames_ok: usize,
+}
+
+/// Replay a journal byte stream: parse framed records until the bytes
+/// run out or damage is hit, salvaging the intact prefix. Never panics —
+/// arbitrary bytes yield an `Err` (no header) or a truncated replay.
+pub fn replay(bytes: &[u8]) -> Result<JournalReplay, String> {
+    let (first, mut at) = unframe_prefix(bytes).map_err(|e| format!("journal header: {e}"))?;
+    let header = std::str::from_utf8(first)
+        .map_err(|_| "journal header is not UTF-8".to_string())
+        .and_then(parse_header)?;
+    let mut records = Vec::new();
+    let mut torn_tail = None;
+    let mut frames_ok = 1;
+    while at < bytes.len() {
+        let (payload, used) = match unframe_prefix(&bytes[at..]) {
+            Ok(x) => x,
+            Err(e) => {
+                torn_tail = Some(format!("at byte {at}: {e}"));
+                break;
+            }
+        };
+        let rec = std::str::from_utf8(payload)
+            .map_err(|_| "record is not UTF-8".to_string())
+            .and_then(parse_record);
+        match rec {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                // A frame whose CRC passed but whose payload does not
+                // parse is version skew or corruption the checksum
+                // cannot see; stop here, keep the prefix.
+                torn_tail = Some(format!("at byte {at}: unparseable record: {e}"));
+                break;
+            }
+        }
+        frames_ok += 1;
+        at += used;
+    }
+    Ok(JournalReplay {
+        header,
+        records,
+        torn_tail,
+        frames_ok,
+    })
+}
+
+/// Read and replay the journal in `dir`. `Ok(None)` when no journal
+/// exists (a cold start, not an error).
+pub fn load(dir: &Path) -> Result<Option<JournalReplay>, String> {
+    let path = SweepJournal::path_in(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    replay(&bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmsa-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header() -> Header {
+        Header {
+            grid_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            n_cells: 8,
+            warm_start_at_ms: Some(7_200_000),
+        }
+    }
+
+    fn metrics() -> CellMetrics {
+        CellMetrics {
+            exhausted: 3,
+            failed_attempts: 11,
+            delivered: 97,
+            requests: 100,
+            retry_delay_secs: 1234.5678901234567,
+            excluded_hours: 0.25,
+            trips: 2,
+            jobs: 50,
+            transfers: 210,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_every_record_kind() {
+        let dir = scratch("roundtrip");
+        let j = SweepJournal::create(&dir, &header()).unwrap();
+        let records = vec![
+            Record::Dispatched {
+                label: "faulty-s1-fp0.05-brkoff".into(),
+            },
+            Record::RetryScheduled {
+                label: "faulty-s1-fp0.05-brkoff".into(),
+                attempt: 1,
+                reason: "storage: injected EIO".into(),
+            },
+            Record::Completed {
+                label: "faulty-s1-fp0.05-brkoff".into(),
+                export: Some("cell-faulty-s1-fp0.05-brkoff.json".into()),
+                export_crc: 0xABCD_1234,
+                export_len: 4096,
+                metrics: metrics(),
+                retries: 1,
+            },
+            Record::Completed {
+                label: "no-export".into(),
+                export: None,
+                export_crc: 0,
+                export_len: 0,
+                metrics: metrics(),
+                retries: 0,
+            },
+            Record::Quarantined {
+                label: "faulty-s2-fp0.2-brkoff".into(),
+                retries: 2,
+                reason: "timeout: cell exceeded 30s (cooperative cancel)".into(),
+            },
+        ];
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        let replayed = load(&dir).unwrap().expect("journal exists");
+        assert_eq!(replayed.header, header());
+        assert_eq!(replayed.records, records);
+        assert!(replayed.torn_tail.is_none());
+        assert_eq!(replayed.frames_ok, 1 + records.len());
+        // Float metrics round-trip bit-exactly (shortest repr).
+        let Record::Completed { metrics: m, .. } = &replayed.records[2] else {
+            panic!("record 2 is Completed");
+        };
+        assert_eq!(
+            m.retry_delay_secs.to_bits(),
+            metrics().retry_delay_secs.to_bits()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_salvages_the_prefix_of_a_torn_journal() {
+        let dir = scratch("torn");
+        let j = SweepJournal::create(&dir, &header()).unwrap();
+        j.append(&Record::Dispatched { label: "a".into() }).unwrap();
+        j.append(&Record::Dispatched { label: "b".into() }).unwrap();
+        drop(j);
+        let path = SweepJournal::path_in(&dir);
+        let bytes = fs::read(&path).unwrap();
+        // Crash mid-append: half the final record is on disk.
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let replayed = load(&dir).unwrap().unwrap();
+        assert_eq!(replayed.records.len(), 1, "intact prefix only");
+        assert_eq!(
+            replayed.records[0],
+            Record::Dispatched { label: "a".into() }
+        );
+        let tail = replayed.torn_tail.expect("tail damage reported");
+        assert!(tail.contains("truncated"), "{tail}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reasons_with_tabs_survive_and_missing_journal_is_none() {
+        let dir = scratch("tabs");
+        assert!(load(&dir).unwrap().is_none(), "no journal → cold start");
+        let j = SweepJournal::create(&dir, &header()).unwrap();
+        let rec = Record::Quarantined {
+            label: "x".into(),
+            retries: 0,
+            reason: "panicked: weird\tmessage\twith tabs".into(),
+        };
+        j.append(&rec).unwrap();
+        let replayed = load(&dir).unwrap().unwrap();
+        assert_eq!(replayed.records, vec![rec]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arbitrary_bytes_are_an_error_not_a_panic() {
+        assert!(replay(b"").is_err());
+        assert!(replay(b"not a journal at all").is_err());
+        // A valid frame whose payload is not a header.
+        let framed = frame(b"x\tnot-a-header");
+        let err = replay(&framed).unwrap_err();
+        assert!(
+            err.contains("not tagged 'g'") || err.contains("journal header"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn create_truncates_a_previous_generation() {
+        let dir = scratch("truncate");
+        let j = SweepJournal::create(&dir, &header()).unwrap();
+        j.append(&Record::Dispatched {
+            label: "old".into(),
+        })
+        .unwrap();
+        drop(j);
+        let h2 = Header {
+            n_cells: 2,
+            ..header()
+        };
+        SweepJournal::create(&dir, &h2).unwrap();
+        let replayed = load(&dir).unwrap().unwrap();
+        assert_eq!(replayed.header, h2);
+        assert!(replayed.records.is_empty(), "old generation must be gone");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -26,6 +26,7 @@
 pub mod atomic;
 pub mod checkpoint;
 pub mod export;
+pub mod journal;
 pub mod json;
 pub mod run;
 pub mod serve;

@@ -107,6 +107,15 @@ pub fn request_reload() {
     RELOAD.store(true, Ordering::Relaxed);
 }
 
+/// Reset the sticky termination latch. **Test/drill helper only**: in a
+/// real process termination stays requested for the life of the process.
+/// Tests that deliver SIGTERM to themselves (sweep interruption drills)
+/// must reset the latch afterwards, or every later test in the same
+/// binary would observe a phantom termination request.
+pub fn reset_termination() {
+    TERM.store(false, Ordering::Relaxed);
+}
+
 /// Deliver `signum` to this process (test/drill helper; no-op off Unix).
 pub fn deliver_to_self(signum: i32) {
     imp::deliver(signum);
@@ -144,5 +153,7 @@ mod tests {
             request_termination();
             assert!(termination_requested());
         }
+        reset_termination();
+        assert!(!termination_requested(), "reset clears the latch");
     }
 }

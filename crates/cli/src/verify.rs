@@ -9,11 +9,17 @@
 //! - **Checkpoints** (`*.dmsa`): frame magic, version, declared length,
 //!   CRC32 — then the snapshot payload's layout version via
 //!   [`dmsa_scenario::snapshot::peek_version`].
+//! - **Sweep journals** (`*.dmsaj`): header frame + per-record replay
+//!   via [`crate::journal`]. A torn tail is *not* corruption — it is the
+//!   format's crash model, and `dmsa sweep --resume` salvages the
+//!   prefix — but an unreadable header is.
 //! - **Campaign exports** (JSON with `version` + `config`): parsed with
 //!   the lenient loader; any quarantined record is a corruption.
-//! - **Sweep summaries** (`schema: dmsa-sweep-summary-v1`): schema tag,
+//! - **Sweep summaries** (`schema: dmsa-sweep-summary-v2`): schema tag,
 //!   cell-count consistency, and that every cell export the summary
-//!   references actually exists next to it.
+//!   references actually exists next to it. The `sweep_ops.json`
+//!   sidecar (`schema: dmsa-sweep-ops-v1`) gets a shape check; any
+//!   other schema value is version skew, reported as corrupt.
 //! - **Match sets** (JSON with `method` + `jobs`): re-parsed through the
 //!   same strict loader `dmsa analyze` uses.
 //!
@@ -133,6 +139,9 @@ pub fn verify_file(path: &Path) -> FileVerdict {
             }
         }
     };
+    if name.ends_with(".dmsaj") {
+        return verify_journal(&bytes);
+    }
     if name.ends_with(".dmsa") {
         return verify_checkpoint(&bytes);
     }
@@ -155,8 +164,25 @@ pub fn verify_file(path: &Path) -> FileVerdict {
             }
         }
     };
+    if let Some(schema) = doc.get("schema").and_then(|v| v.as_str()) {
+        return match schema {
+            crate::sweep::SWEEP_SCHEMA => verify_sweep_summary(path, &doc),
+            crate::sweep::OPS_SCHEMA => verify_sweep_ops(&doc),
+            other => FileVerdict::Corrupt {
+                kind: "sweep-summary",
+                reason: format!(
+                    "schema {other:?} found, expected {:?} or {:?} (version skew)",
+                    crate::sweep::SWEEP_SCHEMA,
+                    crate::sweep::OPS_SCHEMA
+                ),
+            },
+        };
+    }
     if doc.get("schema").is_some() {
-        return verify_sweep_summary(path, &doc);
+        return FileVerdict::Corrupt {
+            kind: "sweep-summary",
+            reason: "schema tag present but not a string".into(),
+        };
     }
     if doc.get("method").is_some() {
         return verify_matchset(text);
@@ -199,6 +225,65 @@ fn verify_checkpoint(bytes: &[u8]) -> FileVerdict {
     }
 }
 
+/// Replay a sweep journal. The intact prefix is what `--resume` would
+/// adopt, so the verdict mirrors resume's ladder: an unreadable header
+/// frame is corruption (nothing salvageable), while a torn tail after a
+/// valid prefix is reported in the detail but still audits Ok.
+fn verify_journal(bytes: &[u8]) -> FileVerdict {
+    match crate::journal::replay(bytes) {
+        Ok(replay) => {
+            let completed = replay
+                .records
+                .iter()
+                .filter(|r| matches!(r, crate::journal::Record::Completed { .. }))
+                .count();
+            let detail = match &replay.torn_tail {
+                None => format!(
+                    "{} records ({} completed), {} frames",
+                    replay.records.len(),
+                    completed,
+                    replay.frames_ok
+                ),
+                Some(t) => format!(
+                    "{} records ({} completed) salvaged before torn tail ({t}); resumable",
+                    replay.records.len(),
+                    completed
+                ),
+            };
+            FileVerdict::Ok {
+                kind: "sweep-journal",
+                detail,
+            }
+        }
+        Err(e) => FileVerdict::Corrupt {
+            kind: "sweep-journal",
+            reason: e,
+        },
+    }
+}
+
+fn verify_sweep_ops(doc: &json::Json) -> FileVerdict {
+    let cells = match doc.get("cells").and_then(|v| v.as_arr()) {
+        Some(c) => c,
+        None => {
+            return FileVerdict::Corrupt {
+                kind: "sweep-ops",
+                reason: "missing cells array".into(),
+            }
+        }
+    };
+    match doc.get("jobs").and_then(|v| v.as_u64()) {
+        Some(_) => FileVerdict::Ok {
+            kind: "sweep-ops",
+            detail: format!("{} cells", cells.len()),
+        },
+        None => FileVerdict::Corrupt {
+            kind: "sweep-ops",
+            reason: "missing jobs".into(),
+        },
+    }
+}
+
 fn verify_campaign(text: &str) -> FileVerdict {
     match CampaignExport::from_json_lenient(text) {
         Ok(loaded) => {
@@ -232,16 +317,6 @@ fn verify_campaign(text: &str) -> FileVerdict {
 }
 
 fn verify_sweep_summary(path: &Path, doc: &json::Json) -> FileVerdict {
-    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
-    if schema != crate::sweep::SWEEP_SCHEMA {
-        return FileVerdict::Corrupt {
-            kind: "sweep-summary",
-            reason: format!(
-                "schema {schema:?} found, expected {:?}",
-                crate::sweep::SWEEP_SCHEMA
-            ),
-        };
-    }
     let cells = match doc.get("cells").and_then(|v| v.as_arr()) {
         Some(c) => c,
         None => {
@@ -361,6 +436,66 @@ mod tests {
         let outcome = verify_dir(&dir).unwrap();
         assert_eq!(outcome.corrupt_count(), 2, "{outcome}"); // torn + non-JSON text
         assert_eq!(outcome.skipped_count(), 1); // unknown JSON shape
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journals_audit_ok_torn_tails_note_and_skewed_schemas_fail() {
+        use crate::journal::{self, Header, Record, SweepJournal};
+        let dir = scratch("journal");
+        let j = SweepJournal::create(
+            &dir,
+            &Header {
+                grid_fingerprint: 7,
+                n_cells: 1,
+                warm_start_at_ms: None,
+            },
+        )
+        .unwrap();
+        j.append(&Record::Dispatched { label: "a".into() }).unwrap();
+        drop(j);
+        // Ops sidecar and a version-skewed summary next to it.
+        fs::write(
+            dir.join("sweep_ops.json"),
+            format!(
+                "{{\"schema\":\"{}\",\"jobs\":2,\"cells\":[]}}",
+                crate::sweep::OPS_SCHEMA
+            ),
+        )
+        .unwrap();
+        fs::write(
+            dir.join("old_summary.json"),
+            "{\"schema\":\"dmsa-sweep-summary-v1\",\"cells\":[]}",
+        )
+        .unwrap();
+        let outcome = verify_dir(&dir).unwrap();
+        assert_eq!(outcome.ok_count(), 2, "{outcome}"); // journal + ops
+        assert_eq!(outcome.corrupt_count(), 1, "{outcome}"); // v1 schema skew
+        let report = outcome.to_string();
+        assert!(report.contains("sweep-journal"), "{report}");
+        assert!(report.contains("version skew"), "{report}");
+
+        // Tear the journal's tail: still Ok (resumable), noted as such.
+        let path = journal::SweepJournal::path_in(&dir);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let torn = verify_file(&path);
+        match torn {
+            FileVerdict::Ok { kind, detail } => {
+                assert_eq!(kind, "sweep-journal");
+                assert!(detail.contains("resumable"), "{detail}");
+            }
+            other => panic!("torn tail must stay auditable: {other:?}"),
+        }
+        // Destroy the header frame: nothing salvageable → corrupt.
+        fs::write(&path, b"ruined").unwrap();
+        assert!(matches!(
+            verify_file(&path),
+            FileVerdict::Corrupt {
+                kind: "sweep-journal",
+                ..
+            }
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -502,6 +502,17 @@ impl IoRetryPolicy {
             max_delay: Duration::from_millis(4),
         }
     }
+
+    /// The capped exponential delay before retry number `retry`
+    /// (1-based: `delay_for(1)` precedes the second attempt). Shared by
+    /// [`with_retry`]'s per-write backoff and the sweep's cell-level
+    /// retry, so both ladders pace identically.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let doublings = retry.saturating_sub(1).min(20);
+        self.base_delay
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_delay)
+    }
 }
 
 /// Run `op` under `policy`, pausing with exponential backoff between
@@ -513,7 +524,6 @@ pub fn with_retry<T>(
     note: &mut dyn FnMut(String),
     mut op: impl FnMut() -> Result<T, String>,
 ) -> Result<T, String> {
-    let mut delay = policy.base_delay;
     let mut last = String::new();
     for attempt in 1..=policy.attempts.max(1) {
         match op() {
@@ -521,13 +531,13 @@ pub fn with_retry<T>(
             Err(e) => {
                 last = e;
                 if attempt < policy.attempts {
+                    let delay = policy.delay_for(attempt);
                     note(format!(
                         "{what}: attempt {attempt}/{} failed ({last}); retrying in {} ms",
                         policy.attempts,
                         delay.as_millis()
                     ));
                     std::thread::sleep(delay);
-                    delay = (delay * 2).min(policy.max_delay);
                 }
             }
         }
@@ -763,6 +773,21 @@ mod tests {
         );
         assert_eq!(out, Err("still full".to_string()));
         assert_eq!(notes.len(), 3, "retries = attempts - 1: {notes:?}");
+    }
+
+    #[test]
+    fn delay_ladder_doubles_and_caps() {
+        let p = IoRetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_millis(50));
+        assert_eq!(p.delay_for(2), Duration::from_millis(100));
+        assert_eq!(p.delay_for(3), Duration::from_millis(200));
+        assert_eq!(p.delay_for(6), Duration::from_millis(1600));
+        assert_eq!(p.delay_for(7), Duration::from_secs(2), "cap");
+        assert_eq!(p.delay_for(100), Duration::from_secs(2), "no overflow");
     }
 
     #[test]

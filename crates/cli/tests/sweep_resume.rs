@@ -1,0 +1,244 @@
+//! Crash-and-resume drills for the sweep supervision layer.
+//!
+//! The contract under test: a sweep interrupted mid-flight and resumed
+//! with `--resume` must (a) not re-run cells whose journaled completion
+//! still verifies on disk, and (b) end with `sweep_summary.json` and
+//! every `cell-*.json` byte-identical to an uninterrupted sweep. The
+//! in-process interruption here models the SIGKILL variant the CI smoke
+//! drill runs against the real binary — the journal can't tell the
+//! difference, which is the point.
+
+use dmsa_cli::journal;
+use dmsa_cli::sweep::{export_file_name, run_cell, run_sweep_with, SweepOpts};
+use dmsa_scenario::{
+    BreakerSetting, CancelToken, GridCell, PresetAxis, ScenarioConfig, SharedPrefix, SweepGrid,
+};
+use dmsa_simcore::SimDuration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tiny_preset() -> ScenarioConfig {
+    let mut c = ScenarioConfig::small_faulty();
+    c.duration = SimDuration::from_hours(6);
+    c.workload.tasks_per_hour = 10.0;
+    c.initial_datasets = 20;
+    c.background_transfers_per_hour = 50.0;
+    c
+}
+
+fn tiny_grid() -> SweepGrid {
+    SweepGrid {
+        presets: vec![PresetAxis {
+            name: "faulty".into(),
+            base: tiny_preset(),
+        }],
+        seeds: vec![1, 2],
+        fail_probs: vec![0.05, 0.2],
+        breakers: vec![
+            BreakerSetting::Off,
+            BreakerSetting::Adaptive {
+                cooldown_secs: None,
+            },
+        ],
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dmsa-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn opts(dir: &Path) -> SweepOpts {
+    SweepOpts {
+        jobs: 1,
+        out_dir: dir.to_path_buf(),
+        ..SweepOpts::default()
+    }
+}
+
+/// Byte-compare the summary and all 8 cell exports of two sweep dirs.
+fn assert_dirs_byte_identical(got: &Path, want: &Path, grid: &SweepGrid) {
+    assert_eq!(
+        std::fs::read(got.join("sweep_summary.json")).unwrap(),
+        std::fs::read(want.join("sweep_summary.json")).unwrap(),
+        "sweep_summary.json diverged"
+    );
+    for cell in grid.expand().unwrap() {
+        let name = export_file_name(&cell.label);
+        assert_eq!(
+            std::fs::read(got.join(&name)).unwrap(),
+            std::fs::read(want.join(&name)).unwrap(),
+            "cell export {name} diverged"
+        );
+    }
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_rerunning_verified_cells() {
+    static RAN_BEFORE: AtomicUsize = AtomicUsize::new(0);
+    static RAN_AFTER: AtomicUsize = AtomicUsize::new(0);
+    RAN_BEFORE.store(0, Ordering::Relaxed);
+    RAN_AFTER.store(0, Ordering::Relaxed);
+
+    let grid = tiny_grid();
+
+    // Reference: one uninterrupted sweep.
+    let dir_ref = tmp_dir("ref");
+    let reference = run_sweep_with(&grid, &opts(&dir_ref), &run_cell).unwrap();
+    assert_eq!(reference.n_failed(), 0);
+
+    // Interrupted sweep: the "signal" latches as the third cell starts.
+    // With one worker, two cells complete, the third aborts in flight
+    // through its cancel-token probe (`interrupted:`), and the rest are
+    // never dispatched.
+    let dir = tmp_dir("victim");
+    let interrupted_runner =
+        |cell: &GridCell, prefix: Option<&SharedPrefix>, cancel: &CancelToken| {
+            RAN_BEFORE.fetch_add(1, Ordering::Relaxed);
+            run_cell(cell, prefix, cancel)
+        };
+    let first = run_sweep_with(
+        &grid,
+        &SweepOpts {
+            interrupt: Some(|| RAN_BEFORE.load(Ordering::Relaxed) >= 3),
+            ..opts(&dir)
+        },
+        &interrupted_runner,
+    )
+    .unwrap();
+    assert!(first.interrupted);
+    let done = first.cells.iter().filter(|c| c.result.is_ok()).count();
+    assert_eq!(done, 2, "pre-interrupt cells complete, in-flight aborts");
+    assert!(
+        first.cells.iter().any(|c| matches!(
+            &c.result,
+            Err(e) if e.starts_with("interrupted:") && e.contains("canceled:")
+        )),
+        "the in-flight cell aborts cooperatively"
+    );
+    assert_eq!(first.n_failed(), 6);
+
+    // Resume: only the unfinished cells are dispatched; the journaled
+    // completions are adopted after re-verification.
+    let counting_runner = |cell: &GridCell, prefix: Option<&SharedPrefix>, cancel: &CancelToken| {
+        RAN_AFTER.fetch_add(1, Ordering::Relaxed);
+        run_cell(cell, prefix, cancel)
+    };
+    let resumed = run_sweep_with(
+        &grid,
+        &SweepOpts {
+            resume: true,
+            ..opts(&dir)
+        },
+        &counting_runner,
+    )
+    .unwrap();
+    assert_eq!(resumed.n_failed(), 0, "{:?}", resumed.cells);
+    assert_eq!(resumed.n_resumed(), 2, "adopted the journaled completions");
+    assert_eq!(
+        RAN_AFTER.load(Ordering::Relaxed),
+        6,
+        "verified-complete cells must not re-run"
+    );
+
+    // The resumed directory is byte-identical to the uninterrupted one.
+    assert_dirs_byte_identical(&dir, &dir_ref, &grid);
+
+    // The rewritten journal is one coherent generation: 8 completions.
+    let replay = journal::load(&dir).unwrap().unwrap();
+    assert!(replay.torn_tail.is_none());
+    let completions = replay
+        .records
+        .iter()
+        .filter(|r| matches!(r, journal::Record::Completed { .. }))
+        .count();
+    assert_eq!(completions, 8);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir_ref).unwrap();
+}
+
+#[test]
+fn corrupted_survivor_exports_are_redispatched_on_resume() {
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    RAN.store(0, Ordering::Relaxed);
+
+    let grid = tiny_grid();
+    let dir = tmp_dir("corrupt");
+    let complete = run_sweep_with(&grid, &opts(&dir), &run_cell).unwrap();
+    assert_eq!(complete.n_failed(), 0);
+
+    // Flip one byte deep inside one export: its length still matches the
+    // journal stamp, so only the checksum/content audit can catch it.
+    let victim = export_file_name(&complete.cells[4].label);
+    let path = dir.join(&victim);
+    let clean = std::fs::read(&path).unwrap();
+    let mut bad = clean.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x20;
+    std::fs::write(&path, &bad).unwrap();
+
+    let counting_runner = |cell: &GridCell, prefix: Option<&SharedPrefix>, cancel: &CancelToken| {
+        RAN.fetch_add(1, Ordering::Relaxed);
+        run_cell(cell, prefix, cancel)
+    };
+    let resumed = run_sweep_with(
+        &grid,
+        &SweepOpts {
+            resume: true,
+            ..opts(&dir)
+        },
+        &counting_runner,
+    )
+    .unwrap();
+    assert_eq!(resumed.n_failed(), 0);
+    assert_eq!(resumed.n_resumed(), 7, "only the damaged cell re-ran");
+    assert_eq!(RAN.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        clean,
+        "the re-dispatched cell must restore the artifact byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_journal_from_a_different_grid_starts_cold() {
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    RAN.store(0, Ordering::Relaxed);
+
+    // Small grids keep this fast: 1 cell first, 2 cells on "resume".
+    let grid_a = SweepGrid {
+        seeds: vec![1],
+        fail_probs: vec![0.05],
+        breakers: vec![BreakerSetting::Off],
+        ..tiny_grid()
+    };
+    let grid_b = SweepGrid {
+        seeds: vec![1, 2],
+        ..grid_a.clone()
+    };
+    let dir = tmp_dir("mismatch");
+    run_sweep_with(&grid_a, &opts(&dir), &run_cell).unwrap();
+
+    let counting_runner = |cell: &GridCell, prefix: Option<&SharedPrefix>, cancel: &CancelToken| {
+        RAN.fetch_add(1, Ordering::Relaxed);
+        run_cell(cell, prefix, cancel)
+    };
+    let resumed = run_sweep_with(
+        &grid_b,
+        &SweepOpts {
+            resume: true,
+            ..opts(&dir)
+        },
+        &counting_runner,
+    )
+    .unwrap();
+    // The journal's grid fingerprint doesn't match: nothing is adopted,
+    // every cell of the new grid runs.
+    assert_eq!(resumed.n_resumed(), 0);
+    assert_eq!(RAN.load(Ordering::Relaxed), 2);
+    assert_eq!(resumed.n_failed(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

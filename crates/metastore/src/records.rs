@@ -142,13 +142,18 @@ pub struct TransferRecord {
     pub gt_file_size: u64,
 }
 
-/// Serde default: pre-retry exports carried only first attempts.
-fn default_attempt() -> u32 {
+/// Serde default for [`TransferRecord::attempt`]: pre-retry exports
+/// carried only first attempts. Public because it is part of the record
+/// schema contract (the offline derive stub does not reference
+/// `#[serde(default = ...)]` targets, so a private fn would lint dead).
+pub fn default_attempt() -> u32 {
     1
 }
 
-/// Serde default: pre-retry exports carried only delivered transfers.
-fn default_succeeded() -> bool {
+/// Serde default for [`TransferRecord::succeeded`]: pre-retry exports
+/// carried only delivered transfers. Public for the same reason as
+/// [`default_attempt`].
+pub fn default_succeeded() -> bool {
     true
 }
 

@@ -36,6 +36,9 @@ use dmsa_simcore::{EventQueue, QueueBackend, RngFactory, SimDuration, SimTime, S
 use rand::RngExt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// First `pandaid` issued (paper-era ids are ~6.58 × 10⁹).
 const FIRST_PANDAID: u64 = 6_583_000_000;
@@ -128,6 +131,74 @@ pub(crate) struct TaskCtx {
 /// cadence crossing; an `Err` aborts the campaign.
 pub type SnapshotSink<'a> = &'a mut dyn FnMut(SimTime, &[u8]) -> Result<(), String>;
 
+/// Event-loop iterations between wall-clock deadline checks — the same
+/// stride pattern as serve's mid-matcher deadline checks. The shared
+/// flag and probe are atomic loads and checked every tick batch; only
+/// `Instant::now()` is strided.
+const CANCEL_STRIDE: u32 = 1024;
+
+/// Cooperative cancellation for an in-flight campaign. The driver's hot
+/// loop polls this once per tick batch; none of the checks consume a
+/// random draw, so a run that is *not* canceled is byte-identical to a
+/// token-free run (locked by a test).
+///
+/// Three independent triggers, any of which aborts the drain with a
+/// `canceled:` error:
+/// - [`CancelToken::cancel`] — an explicit request, shared across
+///   clones (all clones observe it);
+/// - a wall-clock `deadline` — the sweep's `--cell-timeout`;
+/// - a `probe` fn — e.g. `signals::termination_requested`, so SIGTERM
+///   aborts in-flight cells cleanly.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    probe: Option<fn() -> bool>,
+}
+
+impl CancelToken {
+    /// A token with no deadline and no probe — cancelable only via
+    /// [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a wall-clock deadline: the drain aborts once `Instant::now()`
+    /// passes it (checked every [`CANCEL_STRIDE`] tick batches).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Add an external probe checked every tick batch (must be cheap —
+    /// an atomic load, like `signals::termination_requested`).
+    pub fn with_probe(mut self, probe: fn() -> bool) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Request cancellation. Visible to every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the explicit flag or the probe fired? (Does not consult the
+    /// deadline — that is strided separately in the hot loop.)
+    fn fast_canceled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.probe.map(|p| p()) == Some(true)
+    }
+
+    /// Has the wall-clock deadline passed?
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Any trigger fired? (Flag, probe, or deadline.)
+    pub fn is_canceled(&self) -> bool {
+        self.fast_canceled() || self.deadline_exceeded()
+    }
+}
+
 /// Run one campaign.
 pub fn run(config: &ScenarioConfig) -> Campaign {
     run_with_queue(config, QueueBackend::default())
@@ -140,8 +211,17 @@ pub fn run(config: &ScenarioConfig) -> Campaign {
 pub fn run_with_queue(config: &ScenarioConfig, backend: QueueBackend) -> Campaign {
     let mut d = Driver::with_backend(config.clone(), backend);
     d.start();
-    d.drain_with(None, &mut |_, _| Ok(()))
+    d.drain_with(None, &mut |_, _| Ok(()), None)
         .expect("no-op checkpoint sink cannot fail")
+}
+
+/// [`run`] polling a [`CancelToken`] once per tick batch. An un-canceled
+/// run is byte-identical to [`run`]; a canceled one returns a
+/// `canceled:` error (interrogate the token for which trigger fired).
+pub fn run_cancelable(config: &ScenarioConfig, cancel: &CancelToken) -> Result<Campaign, String> {
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.drain_with(None, &mut |_, _| Ok(()), Some(cancel))
 }
 
 /// Run one campaign, emitting a state snapshot to `sink` at every
@@ -160,7 +240,7 @@ pub fn run_checkpointed(
 ) -> Result<Campaign, String> {
     let mut d = Driver::new(config.clone());
     d.start();
-    d.drain_with(Some(every), sink)
+    d.drain_with(Some(every), sink, None)
 }
 
 /// Resume a campaign from a snapshot produced by [`run_checkpointed`]
@@ -178,7 +258,7 @@ pub fn resume_checkpointed(
     sink: SnapshotSink<'_>,
 ) -> Result<Campaign, String> {
     let d = crate::snapshot::decode(config, snapshot)?;
-    d.drain_with(every, sink)
+    d.drain_with(every, sink, None)
 }
 
 /// Run `config`'s campaign up to (but not including) sim-time `at` and
@@ -213,7 +293,7 @@ pub fn fork_with_config(
     sink: SnapshotSink<'_>,
 ) -> Result<Campaign, String> {
     let d = crate::snapshot::decode_forked(config, snapshot)?;
-    d.drain_with(every, sink)
+    d.drain_with(every, sink, None)
 }
 
 /// One-shot reference for a warm-started sweep cell: run `base` up to
@@ -227,6 +307,20 @@ pub fn run_forked(
     at: SimTime,
 ) -> Result<Campaign, String> {
     fork_with_config(fork, &prefix_snapshot(base, at), None, &mut |_, _| Ok(()))
+}
+
+/// [`shared_prefix`] polling a [`CancelToken`] while computing the
+/// prefix, so a sweep deadline or SIGTERM can abort even the warm-start
+/// phase. An un-canceled prefix is byte-identical to [`shared_prefix`].
+pub fn shared_prefix_cancelable(
+    config: &ScenarioConfig,
+    at: SimTime,
+    cancel: &CancelToken,
+) -> Result<SharedPrefix, String> {
+    let mut d = Driver::new(config.clone());
+    d.start();
+    d.run_until_cancelable(at, Some(cancel))?;
+    Ok(SharedPrefix { driver: d })
 }
 
 /// A fully materialized warm-start prefix: the live driver state of
@@ -272,7 +366,19 @@ impl SharedPrefix {
     pub fn fork(&self, config: &ScenarioConfig) -> Result<Campaign, String> {
         self.driver
             .fork_clone(config)?
-            .drain_with(None, &mut |_, _| Ok(()))
+            .drain_with(None, &mut |_, _| Ok(()), None)
+    }
+
+    /// [`SharedPrefix::fork`] polling a [`CancelToken`] once per tick
+    /// batch. An un-canceled fork is byte-identical to [`fork`].
+    pub fn fork_cancelable(
+        &self,
+        config: &ScenarioConfig,
+        cancel: &CancelToken,
+    ) -> Result<Campaign, String> {
+        self.driver
+            .fork_clone(config)?
+            .drain_with(None, &mut |_, _| Ok(()), Some(cancel))
     }
 }
 
@@ -550,29 +656,74 @@ impl Driver {
             .push(SimTime::EPOCH + SimDuration::from_hours(6), Event::Reaper);
     }
 
+    /// The uniform abort error for a canceled drain. Deliberately does
+    /// not say *why* (flag vs probe vs deadline): the caller holds the
+    /// token and can interrogate it — the sweep maps this to its
+    /// `timeout:` / `interrupted:` quarantine taxonomy.
+    fn cancel_error(&self) -> String {
+        format!(
+            "canceled: {} events dispatched, sim-time {} ms",
+            self.events_processed,
+            self.queue.now().as_millis()
+        )
+    }
+
     /// Dispatch every event strictly before `at`, leaving the queue
     /// intact from `at` onward. The resulting state is what a
     /// checkpoint boundary at `at` observes (snapshots are taken with
     /// nothing popped), which is what makes [`prefix_snapshot`]
     /// byte-identical to a [`run_checkpointed`] emission.
     pub(crate) fn run_until(&mut self, at: SimTime) {
+        self.run_until_cancelable(at, None)
+            .expect("cancel-free prefix run cannot abort")
+    }
+
+    /// [`Driver::run_until`] polling a [`CancelToken`] once per tick
+    /// batch — same cadence (and same stride for the wall-clock check)
+    /// as the full drain.
+    pub(crate) fn run_until_cancelable(
+        &mut self,
+        at: SimTime,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), String> {
+        let mut strided = 0u32;
         while let Some(peek) = self.queue.peek_time() {
             if peek >= at {
                 break;
             }
+            if let Some(tok) = cancel {
+                strided += 1;
+                if tok.fast_canceled()
+                    || (strided >= CANCEL_STRIDE && {
+                        strided = 0;
+                        tok.deadline_exceeded()
+                    })
+                {
+                    return Err(self.cancel_error());
+                }
+            }
             let (t, ev) = self.queue.pop().expect("peeked event exists");
             self.dispatch(t, ev);
         }
+        Ok(())
     }
 
     /// Drain the event queue to completion, snapshotting between events
     /// whenever the clock is about to cross an `every`-aligned boundary.
     /// Snapshots are taken with the queue intact (nothing popped) so a
     /// resume replays the boundary-crossing event itself.
+    ///
+    /// When `cancel` is provided it is polled once per tick batch: the
+    /// shared flag and probe on every batch, the wall-clock deadline
+    /// every [`CANCEL_STRIDE`] batches (serve's mid-matcher pattern).
+    /// Cancellation aborts with a `canceled:` error between events —
+    /// never mid-dispatch — and consumes no random draw, so an
+    /// un-canceled run is byte-identical to a token-free one.
     pub(crate) fn drain_with(
         mut self,
         every: Option<SimDuration>,
         sink: SnapshotSink<'_>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Campaign, String> {
         // First boundary strictly after the current clock (EPOCH on a cold
         // start; the restored `now` on a resume).
@@ -580,8 +731,20 @@ impl Driver {
             let em = e.as_millis().max(1);
             SimTime::from_millis((self.queue.now().as_millis() / em + 1) * em)
         });
+        let mut strided = 0u32;
 
         loop {
+            if let Some(tok) = cancel {
+                strided += 1;
+                if tok.fast_canceled()
+                    || (strided >= CANCEL_STRIDE && {
+                        strided = 0;
+                        tok.deadline_exceeded()
+                    })
+                {
+                    return Err(self.cancel_error());
+                }
+            }
             if let (Some(e), Some(cp)) = (every, next_cp) {
                 if let Some(peek) = self.queue.peek_time() {
                     if peek >= cp {
@@ -1533,6 +1696,57 @@ mod tests {
         let heap = run_with_queue(&config, QueueBackend::BinaryHeap);
         assert_eq!(cal.events_processed, heap.events_processed);
         assert_eq!(cal.store, heap.store);
+    }
+
+    #[test]
+    fn inert_cancel_token_is_byte_identical_to_a_plain_run() {
+        // The containment layer's regression criterion: polling a token
+        // that never fires consumes no draw and perturbs nothing.
+        let config = ScenarioConfig::small();
+        let plain = run(&config);
+        let token = CancelToken::new()
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(3600))
+            .with_probe(|| false);
+        let watched = run_cancelable(&config, &token).expect("token never fired");
+        assert_eq!(plain.events_processed, watched.events_processed);
+        assert_eq!(plain.store, watched.store);
+        // Same for the warm-start prefix path.
+        let at = SimTime::from_hours(2);
+        let cold = shared_prefix(&config, at).encode();
+        let guarded = shared_prefix_cancelable(&config, at, &token)
+            .expect("token never fired")
+            .encode();
+        assert_eq!(cold, guarded);
+    }
+
+    #[test]
+    fn canceled_and_expired_tokens_abort_between_events() {
+        let config = ScenarioConfig::small();
+        // An explicitly canceled token aborts before the first batch.
+        let must_cancel = |tok: &CancelToken| match run_cancelable(&config, tok) {
+            Err(e) => e,
+            Ok(_) => panic!("canceled run must abort"),
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let err = must_cancel(&token);
+        assert!(err.starts_with("canceled:"), "{err}");
+        assert!(!token.deadline_exceeded());
+        // A probe (e.g. a termination latch) aborts the same way...
+        let probed = CancelToken::new().with_probe(|| true);
+        let err = must_cancel(&probed);
+        assert!(err.starts_with("canceled:"), "{err}");
+        // ...and an already-passed deadline aborts once the stride
+        // consults the clock, leaving the trigger interrogable.
+        let expired = CancelToken::new().with_deadline(Instant::now());
+        let err = must_cancel(&expired);
+        assert!(err.starts_with("canceled:"), "{err}");
+        assert!(expired.deadline_exceeded());
+        // Cancellation also reaches the prefix phase.
+        let err = shared_prefix_cancelable(&config, SimTime::from_hours(2), &token)
+            .err()
+            .expect("canceled prefix must abort");
+        assert!(err.starts_with("canceled:"), "{err}");
     }
 
     #[test]

@@ -121,6 +121,23 @@ impl SweepGrid {
             * self.breakers.len().max(1)
     }
 
+    /// Order- and content-sensitive identity of this grid: a hash over
+    /// every expanded cell's `(label, behavior fingerprint)`. Two grids
+    /// fingerprint equal iff they expand to the same cells running the
+    /// same behaviors in the same order — the gate a sweep journal uses
+    /// to decide whether its records describe *this* sweep. Errors on
+    /// the same degenerate grids [`expand`](Self::expand) rejects.
+    pub fn fingerprint(&self) -> Result<u64, String> {
+        let mut acc = String::new();
+        for cell in self.expand()? {
+            acc.push_str(&cell.label);
+            acc.push('\t');
+            acc.push_str(&format!("{:016x}", cell.config.behavior_fingerprint()));
+            acc.push('\n');
+        }
+        Ok(dmsa_simcore::fx::hash_bytes(acc.as_bytes()))
+    }
+
     /// Materialize the full factorial product, in deterministic order
     /// (presets outermost, breakers innermost). Labels are unique by
     /// construction: every swept axis contributes a segment, and
@@ -314,6 +331,30 @@ mod tests {
             ..grid()
         }
         .expand()
+        .is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_grid_identity() {
+        let a = grid().fingerprint().unwrap();
+        assert_eq!(a, grid().fingerprint().unwrap(), "not deterministic");
+        // Any axis change moves the fingerprint...
+        let mut g = grid();
+        g.seeds = vec![1, 8];
+        assert_ne!(a, g.fingerprint().unwrap());
+        let mut g = grid();
+        g.fail_probs = vec![0.05, 0.16];
+        assert_ne!(a, g.fingerprint().unwrap());
+        // ...and so does axis *order* (cells would land in other slots).
+        let mut g = grid();
+        g.seeds = vec![7, 1];
+        assert_ne!(a, g.fingerprint().unwrap());
+        // Degenerate grids error rather than fingerprinting.
+        assert!(SweepGrid {
+            seeds: vec![],
+            ..grid()
+        }
+        .fingerprint()
         .is_err());
     }
 

@@ -1,8 +1,13 @@
 //! Offline compile stub for `serde` 1.x.
 //!
 //! Traits have real shapes (so custom impls written against this stub
-//! also compile against real serde) but no working data formats exist:
-//! every serialize/deserialize call reports an error at runtime.
+//! also compile against real serde) and the scalar/string/sequence
+//! subset of the data model is *functional*: primitives, `String`,
+//! `Option<T>`, and `Vec<T>` round-trip through a real format
+//! implementation (the offline `serde_json` stub). Everything outside
+//! that subset — maps, sets, tuples, arrays, and every derived struct —
+//! still reports an error at runtime, because the derive stub emits
+//! inert impls.
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -14,6 +19,17 @@ pub mod ser {
     }
 
     pub use self::Error as SerError;
+
+    /// Sequence serializer returned by `Serializer::serialize_seq`.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: crate::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
 }
 
 pub mod de {
@@ -23,15 +39,108 @@ pub mod de {
     }
 
     pub use self::Error as DeError;
+
+    /// Receives whatever the format found. Defaults reject every shape,
+    /// so a visitor only accepts what it overrides — same contract as
+    /// real serde, minus the borrowed-data variants.
+    pub trait Visitor<'de>: Sized {
+        type Value;
+        fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bool"))
+        }
+        fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected integer"))
+        }
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected unsigned integer"))
+        }
+        fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected float"))
+        }
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected string"))
+        }
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            self.visit_str(&v)
+        }
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected null"))
+        }
+        fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected none"))
+        }
+        fn visit_some<D: crate::Deserializer<'de>>(
+            self,
+            _deserializer: D,
+        ) -> Result<Self::Value, D::Error> {
+            Err(D::Error::custom("unexpected some"))
+        }
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(A::Error::custom("unexpected sequence"))
+        }
+    }
+
+    /// Iterator over a sequence being deserialized.
+    pub trait SeqAccess<'de> {
+        type Error: Error;
+        fn next_element<T: crate::Deserialize<'de>>(
+            &mut self,
+        ) -> Result<Option<T>, Self::Error>;
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
 }
 
 pub trait Serializer: Sized {
     type Ok;
     type Error: ser::Error;
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
 }
 
 pub trait Deserializer<'de>: Sized {
     type Error: de::Error;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    // Hint methods default to `deserialize_any` (self-describing formats
+    // like the offline serde_json stub ignore the hints anyway).
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_i64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_u64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_f64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
 }
 
 pub trait Serialize {
@@ -49,52 +158,264 @@ pub trait Deserialize<'de>: Sized {
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
-macro_rules! stub_impls {
+// --------------------------------------------------------------------------
+// Functional impls: the scalar/string/sequence subset
+// --------------------------------------------------------------------------
+
+macro_rules! uint_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
-            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
-                Err(<S::Error as ser::Error>::custom("offline serde stub"))
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
             }
         }
         impl<'de> Deserialize<'de> for $t {
-            fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
-                Err(<DE::Error as de::Error>::custom("offline serde stub"))
+            fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        write!(f, "an unsigned integer")
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                }
+                d.deserialize_u64(V)
             }
         }
     )*};
 }
 
-stub_impls!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
-);
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        write!(f, "an integer")
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                }
+                d.deserialize_i64(V)
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_f64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        write!(f, "a float")
+                    }
+                    fn visit_f64<E: de::Error>(self, v: f64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                }
+                d.deserialize_f64(V)
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a boolean")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_bool(V)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut buf = [0u8; 4];
+        s.serialize_str(self.encode_utf8(&mut buf))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a single-character string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single character")),
+                }
+            }
+        }
+        d.deserialize_str(V)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_string())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_string(V)
+    }
+}
 
 impl Serialize for str {
-    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
-        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "null")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        d.deserialize_any(V)
     }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
-    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
-        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
     }
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
-    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
-        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_seq(V(std::marker::PhantomData))
     }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
-    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
-        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_none(),
+            Some(v) => s.serialize_some(v),
+        }
     }
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
-    fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
-        Err(<DE::Error as de::Error>::custom("offline serde stub"))
+    fn deserialize<DE: Deserializer<'de>>(d: DE) -> Result<Self, DE::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "an optional value")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        d.deserialize_option(V(std::marker::PhantomData))
     }
 }
 
@@ -115,6 +436,27 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
         T::deserialize(d).map(Box::new)
     }
 }
+
+// --------------------------------------------------------------------------
+// Inert impls: shapes outside the offline data-model subset
+// --------------------------------------------------------------------------
+
+macro_rules! stub_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                Err(<S::Error as ser::Error>::custom("offline serde stub"))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<DE: Deserializer<'de>>(_d: DE) -> Result<Self, DE::Error> {
+                Err(<DE::Error as de::Error>::custom("offline serde stub"))
+            }
+        }
+    )*};
+}
+
+stub_impls!(u128, i128);
 
 impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
     fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {

@@ -1,7 +1,9 @@
-//! Offline stub for `serde_json`: `to_string` yields a fixed placeholder,
-//! `from_str` always errors. Tests that round-trip JSON through serde are
-//! expected to fail offline (documented in the verify skill); they pass in
-//! a networked environment with the real crate.
+//! Offline stub for `serde_json`: a real (if minimal) JSON format over the
+//! offline serde stub's functional subset — scalars, strings, `Option`,
+//! and `Vec`. `to_string` drives a streaming serializer; `from_str` parses
+//! into a `Value` tree and deserializes out of it. Types whose impls fall
+//! outside the subset (derived structs, maps, tuples) error at runtime
+//! with "offline serde stub", same as before.
 
 use std::fmt;
 
@@ -28,14 +30,393 @@ impl serde::de::Error for Error {
     }
 }
 
-pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
-    Ok("{\"stub\":true}".to_string())
+// --------------------------------------------------------------------------
+// Serialization: stream straight into a String
+// --------------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonSer<'a> {
+    out: &'a mut String,
+}
+
+pub struct JsonSeqSer<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> serde::Serializer for JsonSer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = JsonSeqSer<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if !v.is_finite() {
+            return Err(serde::ser::Error::custom("non-finite float is not JSON"));
+        }
+        // Rust's shortest-round-trip repr; integral floats get a ".0"
+        // suffix so the value re-parses as a float.
+        let s = v.to_string();
+        self.out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            self.out.push_str(".0");
+        }
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        push_json_str(self.out, v);
+        Ok(())
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: serde::Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeqSer<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonSeqSer {
+            out: self.out,
+            first: true,
+        })
+    }
+}
+
+impl<'a> serde::ser::SerializeSeq for JsonSeqSer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSer { out: &mut out })?;
+    Ok(out)
 }
 
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     to_string(value)
 }
 
-pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
-    Err(Error("deserialization unavailable offline".to_string()))
+// --------------------------------------------------------------------------
+// Deserialization: parse to a Value tree, then visit it
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_lit("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_lit("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_lit("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value(depth + 1)?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(entries));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are out of scope offline.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+struct ValueDe(Value);
+
+struct SeqDe {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> serde::de::SeqAccess<'de> for SeqDe {
+    type Error = Error;
+    fn next_element<T: serde::Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            None => Ok(None),
+            Some(v) => T::deserialize(ValueDe(v)).map(Some),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for ValueDe {
+    type Error = Error;
+
+    fn deserialize_any<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Num(n) => {
+                // Integral numbers visit as integers so integer types
+                // round-trip exactly; everything else visits as f64.
+                if n.fract() == 0.0 && n.is_finite() {
+                    if n >= 0.0 && n <= u64::MAX as f64 {
+                        return visitor.visit_u64(n as u64);
+                    }
+                    if n >= i64::MIN as f64 && n < 0.0 {
+                        return visitor.visit_i64(n as i64);
+                    }
+                }
+                visitor.visit_f64(n)
+            }
+            Value::Str(s) => visitor.visit_string(s),
+            Value::Arr(items) => visitor.visit_seq(SeqDe {
+                iter: items.into_iter(),
+            }),
+            Value::Obj(entries) => Err(Error(format!(
+                "objects ({} keys) are outside the offline serde stub subset",
+                entries.len()
+            ))),
+        }
+    }
+
+    fn deserialize_f64<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Num(n) => visitor.visit_f64(n),
+            other => ValueDe(other).deserialize_any(visitor),
+        }
+    }
+
+    fn deserialize_option<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_none(),
+            v => visitor.visit_some(ValueDe(v)),
+        }
+    }
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::deserialize(ValueDe(v))
 }
